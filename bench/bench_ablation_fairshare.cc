@@ -1,0 +1,107 @@
+// Ablation: max-min fair sharing vs naive equal splitting.
+//
+// The concurrency results (Figures 3 and 4) depend on how contending
+// shuffles share the network. The simulator uses progressive-filling
+// max-min fairness; a naive allocator that splits each resource evenly
+// among its users (ignoring that a flow may be unable to use its share
+// because another resource limits it) wastes capacity and distorts the
+// concurrency trend.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "sim/fair_share.h"
+
+namespace {
+
+using namespace eedc;
+using sim::FairShareProblem;
+using sim::ResourceUsage;
+
+/// Naive allocator: every flow gets capacity/users on each resource it
+/// touches and runs at the minimum across its resources.
+std::vector<double> NaiveEqualSplit(const FairShareProblem& p) {
+  std::vector<int> users(p.capacity.size(), 0);
+  for (const auto& flow : p.flows) {
+    for (const auto& u : flow) users[static_cast<std::size_t>(u.resource)]++;
+  }
+  std::vector<double> rates;
+  for (const auto& flow : p.flows) {
+    double rate = sim::kUnboundedRate;
+    for (const auto& u : flow) {
+      const auto r = static_cast<std::size_t>(u.resource);
+      rate = std::min(rate,
+                      p.capacity[r] / users[r] / u.coefficient);
+    }
+    rates.push_back(rate);
+  }
+  return rates;
+}
+
+double Utilization(const FairShareProblem& p,
+                   const std::vector<double>& rates, std::size_t r) {
+  double used = 0.0;
+  for (std::size_t f = 0; f < p.flows.size(); ++f) {
+    for (const auto& u : p.flows[f]) {
+      if (static_cast<std::size_t>(u.resource) == r) {
+        used += u.coefficient * rates[f];
+      }
+    }
+  }
+  return used / p.capacity[r];
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation",
+                     "Max-min fair sharing vs naive equal splitting "
+                     "(two shuffles + one local scan sharing a node)");
+
+  // Resource 0: NIC (100 MB/s), resource 1: disk (270 MB/s).
+  // Flow A: shuffle (NIC + disk), flow B: shuffle (NIC only),
+  // flow C: local scan (disk only). Under max-min, A is disk-limited and
+  // B should soak up the NIC capacity A cannot use.
+  FairShareProblem p;
+  p.capacity = {100.0, 270.0};
+  p.flows = {
+      {ResourceUsage{0, 1.0}, ResourceUsage{1, 8.0}},  // selective scan
+      {ResourceUsage{0, 1.0}},
+      {ResourceUsage{1, 1.0}},
+  };
+
+  const auto fair = sim::MaxMinFairRates(p);
+  const auto naive = NaiveEqualSplit(p);
+
+  TablePrinter table({"flow", "max-min rate (MB/s)", "naive rate (MB/s)"});
+  const char* names[] = {"shuffle A (disk-heavy)", "shuffle B",
+                         "local scan C"};
+  for (std::size_t f = 0; f < p.flows.size(); ++f) {
+    table.BeginRow();
+    table.AddCell(names[f]);
+    table.AddNumber(fair[f], 1);
+    table.AddNumber(naive[f], 1);
+  }
+  table.RenderText(std::cout);
+
+  std::cout << StrFormat(
+      "\nNIC utilization:  max-min %.0f%%, naive %.0f%%\n",
+      Utilization(p, fair, 0) * 100.0, Utilization(p, naive, 0) * 100.0);
+  std::cout << StrFormat(
+      "disk utilization: max-min %.0f%%, naive %.0f%%\n",
+      Utilization(p, fair, 1) * 100.0, Utilization(p, naive, 1) * 100.0);
+
+  bench::PrintClaim(
+      "max-min reallocates capacity a limited flow cannot use",
+      "work-conserving allocation (bottleneck resources fully used)",
+      StrFormat("max-min NIC at %.0f%% vs naive %.0f%%",
+                Utilization(p, fair, 0) * 100.0,
+                Utilization(p, naive, 0) * 100.0),
+      Utilization(p, fair, 0) > Utilization(p, naive, 0) + 0.05);
+  bench::PrintNote(
+      "under naive splitting the concurrency experiments of Figure 3 "
+      "would under-utilize the network whenever mixed-selectivity joins "
+      "contend, overstating the energy cost of concurrency.");
+  return 0;
+}

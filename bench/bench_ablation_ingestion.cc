@@ -1,0 +1,72 @@
+// Ablation: the Beefy NIC-ingestion bottleneck in heterogeneous execution.
+//
+// The paper notes ("in the interest of space, we omit this model") that
+// heterogeneous execution adds an ingestion limit at the Beefy nodes: the
+// joiners can only receive at their NIC capacity no matter how many Wimpy
+// scanners push data. This bench quantifies what a model that ignores the
+// constraint (only source-side limits) would predict.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "model/hash_join_model.h"
+#include "model/rate_solver.h"
+
+int main() {
+  using namespace eedc;
+  using model::LinearConstraint;
+
+  bench::PrintHeader("Ablation",
+                     "Heterogeneous execution with and without the Beefy "
+                     "NIC-ingestion constraint (ORDERS 10% build phase)");
+
+  const double L = 100.0;   // NIC MB/s
+  const double I = 1200.0;  // disk MB/s
+  const double sel = 0.10;
+
+  TablePrinter table({"design", "rate w/ ingestion (MB/s)",
+                      "rate w/o ingestion (MB/s)",
+                      "build time ratio (naive/full)"});
+  double worst_underprediction = 1.0;
+  for (int nb = 7; nb >= 2; --nb) {
+    const int nw = 8 - nb;
+    const double cap = I * sel;  // source-side disk-filter cap
+    // Source-side constraints only.
+    std::vector<LinearConstraint> no_ingest;
+    if (nb > 1) {
+      no_ingest.push_back({static_cast<double>(nb - 1) / nb, 0.0, L});
+    }
+    no_ingest.push_back({0.0, 1.0, L});
+    // Full constraint set adds the per-joiner ingestion limit.
+    std::vector<LinearConstraint> full = no_ingest;
+    full.push_back({static_cast<double>(nb - 1) / nb,
+                    static_cast<double>(nw) / nb, L});
+
+    const auto naive = model::SolveClassRates(cap, cap, no_ingest);
+    const auto exact = model::SolveClassRates(cap, cap, full);
+    // Build time is inversely proportional to the per-node rate.
+    const double ratio = exact.wimpy / naive.wimpy;
+    worst_underprediction = std::min(worst_underprediction, ratio);
+    table.BeginRow();
+    table.AddCell(StrFormat("%dB,%dW", nb, nw));
+    table.AddNumber(exact.wimpy, 1);
+    table.AddNumber(naive.wimpy, 1);
+    table.AddNumber(ratio, 2);
+  }
+  table.RenderText(std::cout);
+
+  bench::PrintClaim(
+      "ignoring ingestion overpredicts heterogeneous performance",
+      "\"an ingestion network limitation at the Beefy nodes ... becomes a "
+      "performance bottleneck first\" (Section 5.3)",
+      StrFormat("naive model overpredicts delivery rate by up to %.1fx "
+                "at Wimpy-heavy mixes",
+                1.0 / worst_underprediction),
+      worst_underprediction < 0.5);
+  bench::PrintNote(
+      "without this constraint, Figure 10(b)'s performance collapse and "
+      "Figure 11's knee do not appear at all — every mix would look as "
+      "fast as the all-Beefy design.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: power-law vs linear (energy-proportional) node power models.
+//
+// The paper's conclusions hinge on servers being non-energy-proportional:
+// f(c) = a*(100c)^b draws most of its peak power even at low utilization,
+// so network-stalled big clusters waste energy. Re-running the Figure 1(a)
+// Q12 size sweep with idealized linear models (same idle and peak) shows
+// the effect: under energy proportionality, stalling is cheaper and
+// shrinking the cluster saves less.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/edp.h"
+#include "hw/catalog.h"
+#include "power/catalog.h"
+#include "sim/query_sim.h"
+
+namespace {
+
+using namespace eedc;
+
+std::vector<core::NormalizedOutcome> RunQ12Sweep(bool linear_power) {
+  hw::NodeSpec node = hw::ClusterVNode();
+  if (linear_power) {
+    auto pl = power::ClusterVPowerModel();
+    node = node.WithPowerModel(std::make_shared<power::LinearPowerModel>(
+        pl->IdleWatts(), pl->PeakWatts()));
+  }
+  sim::ShuffleThenLocalQuery q12;
+  q12.shuffle_mb = 44000.0;
+  q12.local_mb = 1104000.0;
+  q12.serial_mb = 124000.0;
+
+  std::vector<core::Outcome> outcomes;
+  for (int n = 8; n <= 16; n += 2) {
+    sim::ClusterSim sim(hw::ClusterSpec::Homogeneous(n, node));
+    auto r = sim.Run({MakeShuffleThenLocalJob(sim, q12, "q12")});
+    EEDC_CHECK(r.ok()) << r.status();
+    outcomes.push_back(core::Outcome{core::DesignPoint{n, 0}, r->makespan,
+                                     r->total_energy});
+  }
+  auto norm = core::NormalizeToDesign(outcomes, core::DesignPoint{16, 0});
+  EEDC_CHECK(norm.ok());
+  return std::move(norm).value();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation",
+                     "Figure 1(a) Q12 size sweep under power-law vs "
+                     "linear (energy-proportional) power models");
+
+  const auto power_law = RunQ12Sweep(false);
+  const auto linear = RunQ12Sweep(true);
+
+  TablePrinter table({"cluster", "performance", "energy (power-law)",
+                      "energy (linear)"});
+  for (std::size_t i = 0; i < power_law.size(); ++i) {
+    table.BeginRow();
+    table.AddCell(power_law[i].design.Label());
+    table.AddNumber(power_law[i].performance, 3);
+    table.AddNumber(power_law[i].energy_ratio, 3);
+    table.AddNumber(linear[i].energy_ratio, 3);
+  }
+  table.RenderText(std::cout);
+
+  const double pl_savings = 1.0 - power_law.front().energy_ratio;
+  const double li_savings = 1.0 - linear.front().energy_ratio;
+  bench::PrintClaim(
+      "non-proportional power curves amplify the savings from shrinking a "
+      "bottlenecked cluster",
+      "stalled nodes draw near-peak power under the measured power-law "
+      "curves, so removing them saves more than under ideal "
+      "proportionality",
+      StrFormat("8N savings: %.1f%% (power-law) vs %.1f%% (linear)",
+                pl_savings * 100.0, li_savings * 100.0),
+      pl_savings > li_savings + 0.01);
+  bench::PrintNote(
+      "with truly energy-proportional hardware, underutilization during "
+      "network stalls would cost almost nothing, and cluster sizing for "
+      "energy would matter far less — exactly the paper's framing.");
+  return 0;
+}

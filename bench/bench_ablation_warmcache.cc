@@ -1,0 +1,84 @@
+// Ablation: warm-cache (CPU-rate, additive) vs cold (disk-rate, pipelined)
+// scan modeling — the switch the paper flips for its Section 5.3.1
+// validation runs. The regime decides which selectivities are scan-bound
+// versus network-bound, and therefore where the AB/BW crossover of
+// Figure 7 sits.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "hw/catalog.h"
+#include "model/hash_join_model.h"
+
+int main() {
+  using namespace eedc;
+
+  bench::PrintHeader("Ablation",
+                     "Warm-cache vs cold-cache modeling of the SF-400 "
+                     "validation join (2B/2W homogeneous, ORDERS 1%)");
+
+  hw::ClusterSpec spec = hw::ClusterSpec::BeefyWimpy(
+      2, hw::ValidationBeefyNode(), 2, hw::ValidationWimpyNode());
+  auto params_or = model::ModelParams::FromCluster(spec);
+  EEDC_CHECK(params_or.ok());
+  model::ModelParams params = *params_or;
+  params.build_mb = 12000.0;
+  params.probe_mb = 48000.0;
+  params.build_sel = 0.01;
+
+  TablePrinter table({"LINEITEM sel", "warm time (s)",
+                      "warm-additive time (s)", "cold time (s)",
+                      "warm probe rate (MB/s)", "cold probe rate (MB/s)"});
+  double warm_l1 = 0, warm_l100 = 0, cold_l1 = 0, cold_l100 = 0;
+  for (double sel : {0.01, 0.10, 0.50, 1.00}) {
+    params.probe_sel = sel;
+    params.warm_cache = true;
+    params.warm_additive = false;
+    auto warm = model::EstimateHashJoin(
+        params, model::JoinStrategy::kDualShuffle);
+    params.warm_additive = true;
+    auto additive = model::EstimateHashJoin(
+        params, model::JoinStrategy::kDualShuffle);
+    params.warm_cache = false;
+    params.warm_additive = false;
+    auto cold = model::EstimateHashJoin(
+        params, model::JoinStrategy::kDualShuffle);
+    EEDC_CHECK(warm.ok());
+    EEDC_CHECK(additive.ok());
+    EEDC_CHECK(cold.ok());
+    if (sel == 0.01) {
+      warm_l1 = warm->total_time().seconds();
+      cold_l1 = cold->total_time().seconds();
+    }
+    if (sel == 1.00) {
+      warm_l100 = warm->total_time().seconds();
+      cold_l100 = cold->total_time().seconds();
+    }
+    table.BeginRow();
+    table.AddCell(StrFormat("%.0f%%", sel * 100.0));
+    table.AddNumber(warm->total_time().seconds(), 1);
+    table.AddNumber(additive->total_time().seconds(), 1);
+    table.AddNumber(cold->total_time().seconds(), 1);
+    table.AddNumber(warm->probe.rate_w, 1);
+    table.AddNumber(cold->probe.rate_w, 1);
+  }
+  table.RenderText(std::cout);
+
+  bench::PrintClaim(
+      "cold modeling exaggerates low-selectivity scan cost",
+      "warm-cache runs scan at CPU speed; cold runs pay the disk at 1/S "
+      "amplification",
+      StrFormat("L1%% time: %.1fs warm vs %.1fs cold", warm_l1, cold_l1),
+      cold_l1 > warm_l1);
+  bench::PrintClaim(
+      "high-selectivity behavior converges (network-bound either way)",
+      "at L 100%% both regimes hit the same shuffle bottleneck",
+      StrFormat("L100%% time: %.1fs warm vs %.1fs cold", warm_l100,
+                cold_l100),
+      std::abs(warm_l100 - cold_l100) / cold_l100 < 0.35);
+  bench::PrintNote(
+      "this is why the paper re-parameterizes the model with CB/CW scan "
+      "rates before validating against the warm-cache Section 5.2 runs.");
+  return 0;
+}

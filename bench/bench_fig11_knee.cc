@@ -1,0 +1,70 @@
+// Figure 11 reproduction: the family of design-space curves for the
+// ORDERS-10% join as the LINEITEM selectivity tightens from 10% to 2%.
+// Tighter probe filters reduce the data each Wimpy node must push through
+// the Beefy ingestion ports, so the curves progressively dip below the
+// constant-EDP line and the "knee" — where ingestion saturates — moves
+// toward designs with more Wimpy nodes.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/explorer.h"
+#include "core/scalability.h"
+
+int main() {
+  using namespace eedc;
+
+  bench::PrintHeader("Figure 11",
+                     "8-node mixes, ORDERS 10%, LINEITEM 2%..10% "
+                     "(dual shuffle, heterogeneous execution)");
+
+  model::ModelParams p = model::ModelParams::Section54Defaults(0, 0);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+
+  auto curves = core::SweepProbeSelectivity(
+      p, model::JoinStrategy::kDualShuffle, 8,
+      {0.10, 0.08, 0.06, 0.04, 0.02});
+  EEDC_CHECK(curves.ok()) << curves.status();
+
+  int prev_below = 0;
+  bool monotone = true;
+  std::vector<int> below_counts;
+  for (const auto& c : *curves) {
+    std::cout << StrFormat("\n--- LINEITEM selectivity %.0f%% ---\n",
+                           c.probe_sel * 100.0);
+    bench::PrintNormalizedCurve(c.curve);
+    int below = 0;
+    for (const auto& o : c.curve) {
+      if (o.below_edp()) ++below;
+    }
+    below_counts.push_back(below);
+    if (below < prev_below) monotone = false;
+    prev_below = below;
+    auto knee = core::KneeIndex(c.curve);
+    if (knee.ok()) {
+      std::cout << "knee at "
+                << c.curve[*knee].design.Label() << "\n";
+    } else {
+      std::cout << "knee: none (curve does not dip below its chord)\n";
+    }
+  }
+
+  bench::PrintClaim(
+      "tighter LINEITEM filters trade less performance for more savings",
+      "curves trend downward below the EDP line as selectivity goes "
+      "10% -> 2%",
+      StrFormat("below-EDP designs per curve: %d, %d, %d, %d, %d",
+                below_counts[0], below_counts[1], below_counts[2],
+                below_counts[3], below_counts[4]),
+      monotone && below_counts.back() > below_counts.front());
+  bench::PrintNote(
+      "to the right of each curve's knee the Beefy NIC ingestion is "
+      "saturated; to the left the scanning nodes' disk/filter rate "
+      "limits delivery — fewer qualifying LINEITEM tuples mean more "
+      "Wimpy nodes are needed to saturate the Beefy ports, moving the "
+      "knee toward Wimpy-heavy designs.");
+  return 0;
+}

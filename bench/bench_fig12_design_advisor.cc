@@ -1,0 +1,155 @@
+// Figure 12 reproduction: the paper's design principles, executed by the
+// design advisor on three scenarios.
+//   (a) highly scalable query   -> use all available nodes;
+//   (b) bottlenecked query      -> fewest nodes meeting the target;
+//   (c) bottlenecked + mixes    -> a 2B,6W design beats the best
+//       homogeneous point at a 0.6 performance target, below the EDP curve.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/advisor.h"
+#include "core/explorer.h"
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+
+namespace {
+
+using namespace eedc;
+
+model::ModelParams JoinParams(int nb, int nw, double probe_sel) {
+  model::ModelParams p = model::ModelParams::Section54Defaults(nb, nw);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+  p.probe_sel = probe_sel;
+  return p;
+}
+
+void Report(const core::Recommendation& rec) {
+  std::cout << "recommended design: " << rec.design.Label() << "  ("
+            << core::ScalabilityClassToString(rec.scalability)
+            << " query, performance " << FormatDouble(rec.outcome.performance, 2)
+            << ", energy " << FormatDouble(rec.outcome.energy_ratio, 2)
+            << (rec.below_edp ? ", BELOW the EDP curve)" : ")") << "\n"
+            << "rationale: " << rec.rationale << "\n";
+}
+
+}  // namespace
+
+int main() {
+  core::AdvisorOptions options;
+  options.performance_target = 0.6;  // the paper's 40% acceptable loss
+
+  // -------------------------------------------------------------------
+  bench::PrintHeader("Figure 12(a)",
+                     "Highly scalable workload (colocated join): use all "
+                     "available nodes");
+  std::vector<core::Outcome> scalable;
+  for (int n = 2; n <= 8; n += 2) {
+    auto est = model::EstimateHashJoin(JoinParams(n, 0, 0.10),
+                                       model::JoinStrategy::kColocated);
+    EEDC_CHECK(est.ok());
+    scalable.push_back(core::Outcome{core::DesignPoint{n, 0},
+                                     est->total_time(),
+                                     est->total_energy()});
+  }
+  auto norm_a = core::NormalizeToDesign(scalable, core::DesignPoint{8, 0});
+  EEDC_CHECK(norm_a.ok());
+  bench::PrintNormalizedCurve(*norm_a);
+  auto rec_a = core::RecommendDesign(*norm_a, options);
+  EEDC_CHECK(rec_a.ok());
+  Report(*rec_a);
+  bench::PrintClaim("scalable query -> largest cluster",
+                    "\"the best cluster design point is to use the most "
+                    "resources\"",
+                    "advisor picked " + rec_a->design.Label(),
+                    rec_a->design == (core::DesignPoint{8, 0}));
+
+  // -------------------------------------------------------------------
+  bench::PrintHeader("Figure 12(b)",
+                     "Bottlenecked workload (the Q12 shape of Figure "
+                     "1(a)): fewest nodes meeting the 0.6 target");
+  sim::ShuffleThenLocalQuery q12;
+  q12.shuffle_mb = 44000.0;
+  q12.local_mb = 1104000.0;
+  q12.serial_mb = 124000.0;
+  std::vector<core::Outcome> bottlenecked;
+  for (int n = 8; n <= 16; n += 2) {
+    sim::ClusterSim sim(
+        hw::ClusterSpec::Homogeneous(n, hw::ClusterVNode()));
+    auto r = sim.Run({MakeShuffleThenLocalJob(sim, q12, "q12")});
+    EEDC_CHECK(r.ok());
+    bottlenecked.push_back(core::Outcome{core::DesignPoint{n, 0},
+                                         r->makespan, r->total_energy});
+  }
+  auto norm_b =
+      core::NormalizeToDesign(bottlenecked, core::DesignPoint{16, 0});
+  EEDC_CHECK(norm_b.ok());
+  bench::PrintNormalizedCurve(*norm_b);
+  auto rec_b = core::RecommendDesign(*norm_b, options);
+  EEDC_CHECK(rec_b.ok());
+  Report(*rec_b);
+  bench::PrintClaim(
+      "bottlenecked query -> smallest cluster meeting the target",
+      "\"reduce the performance to meet any required target, then reduce "
+      "the server resource allocation accordingly\" (e.g. 4 of 8 nodes)",
+      "advisor picked " + rec_b->design.Label() + " of the 16N reference",
+      rec_b->design.nb < 16 && rec_b->outcome.performance >= 0.6 &&
+          rec_b->scalability == core::ScalabilityClass::kSubLinear);
+
+  // -------------------------------------------------------------------
+  bench::PrintHeader("Figure 12(c)",
+                     "Bottlenecked workload with heterogeneous designs: "
+                     "2B,6W beats the best homogeneous point");
+  // Homogeneous Beefy sub-clusters of the 8-node installation, plus every
+  // Beefy/Wimpy mix, all evaluated with the analytical model on the
+  // ORDERS-10% x LINEITEM-2% join.
+  std::vector<core::Outcome> with_mixes;
+  for (int n = 8; n >= 2; --n) {
+    auto est = model::EstimateHashJoin(JoinParams(n, 0, 0.02),
+                                       model::JoinStrategy::kDualShuffle);
+    if (!est.ok()) continue;
+    with_mixes.push_back(core::Outcome{core::DesignPoint{n, 0},
+                                       est->total_time(),
+                                       est->total_energy()});
+  }
+  auto mixes = core::SweepMixes(JoinParams(0, 0, 0.02),
+                                model::JoinStrategy::kDualShuffle, 8);
+  EEDC_CHECK(mixes.ok());
+  for (const auto& mo : mixes->outcomes) {
+    if (mo.design.nw == 0) continue;
+    with_mixes.push_back(mo.ToOutcome());
+  }
+  auto norm_c =
+      core::NormalizeToDesign(with_mixes, core::DesignPoint{8, 0});
+  EEDC_CHECK(norm_c.ok());
+  bench::PrintNormalizedCurve(*norm_c);
+  auto rec_c = core::RecommendDesign(*norm_c, options);
+  EEDC_CHECK(rec_c.ok());
+  Report(*rec_c);
+
+  // The best homogeneous candidate meeting the target, for comparison.
+  const core::NormalizedOutcome* best_homog = nullptr;
+  for (const auto& o : *norm_c) {
+    if (o.design.nw != 0 || o.performance < 0.6) continue;
+    if (best_homog == nullptr ||
+        o.energy_ratio < best_homog->energy_ratio) {
+      best_homog = &o;
+    }
+  }
+  EEDC_CHECK(best_homog != nullptr);
+  bench::PrintClaim(
+      "a heterogeneous design wins on both axes",
+      "2B,6W consumes less energy than the best homogeneous design (5B) "
+      "and has better performance; it lies below the EDP curve",
+      StrFormat("%s (energy %.2f, perf %.2f) vs best homogeneous %s "
+                "(energy %.2f, perf %.2f)",
+                rec_c->design.Label().c_str(),
+                rec_c->outcome.energy_ratio, rec_c->outcome.performance,
+                best_homog->design.Label().c_str(),
+                best_homog->energy_ratio, best_homog->performance),
+      rec_c->design.nw > 0 && rec_c->below_edp &&
+          rec_c->outcome.energy_ratio < best_homog->energy_ratio);
+  return 0;
+}

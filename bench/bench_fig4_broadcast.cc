@@ -1,0 +1,69 @@
+// Figure 4 reproduction: broadcast hash joins (ORDERS selectivity tightened
+// to 1% so the replicated hash table fits in memory) on 4/6/8-node clusters
+// at concurrency 1, 2, 4. Broadcasting does not get faster with more nodes
+// (every node must ingest ~(N-1)/N of the table), so halving the cluster
+// costs little performance — the points land ON the constant-EDP line and
+// 4N saves 25-30% energy.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/str_util.h"
+#include "core/edp.h"
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+
+int main() {
+  using namespace eedc;
+
+  bench::PrintHeader("Figure 4",
+                     "Broadcast Q3 join: 4N/6N/8N at concurrency 1, 2, 4 "
+                     "(ORDERS 1%, LINEITEM 5%)");
+
+  sim::HashJoinQuery join;
+  join.build_mb = 30000.0;
+  join.probe_mb = 120000.0;
+  join.build_sel = 0.01;  // "we increased the ORDERS table selectivity
+  join.probe_sel = 0.05;  //  from 5% to 1%" (Section 4.3.2)
+  join.warm_cache = true;
+  join.strategy = sim::JoinStrategy::kBroadcastBuild;
+
+  double worst_edp_distance = 0.0;
+  for (int concurrency : {1, 2, 4}) {
+    std::cout << "\n--- " << concurrency << " concurrent quer"
+              << (concurrency == 1 ? "y" : "ies") << " ---\n";
+    std::vector<core::Outcome> outcomes;
+    for (int n : {8, 6, 4}) {
+      sim::ClusterSim sim(
+          hw::ClusterSpec::Homogeneous(n, hw::ClusterVNode()));
+      auto r = SimulateHashJoin(sim, join, concurrency);
+      EEDC_CHECK(r.ok()) << r.status();
+      outcomes.push_back(core::Outcome{core::DesignPoint{n, 0},
+                                       r->makespan, r->total_energy});
+    }
+    auto norm =
+        core::NormalizeToDesign(outcomes, core::DesignPoint{8, 0});
+    EEDC_CHECK(norm.ok());
+    bench::PrintNormalizedCurve(*norm);
+
+    const auto& at4 = (*norm)[2];
+    worst_edp_distance = std::max(
+        worst_edp_distance, std::abs(at4.energy_ratio - at4.performance));
+    bench::PrintClaim(
+        StrFormat("4N trades performance for energy ~1:1 (concurrency %d)",
+                  concurrency),
+        "25-30% energy saving for ~30% performance loss (on the EDP line)",
+        StrFormat("%.0f%% energy saving for %.0f%% performance loss",
+                  core::EnergySavings(at4) * 100.0,
+                  core::PerformancePenalty(at4) * 100.0),
+        core::EnergySavings(at4) > 0.15);
+  }
+
+  bench::PrintClaim(
+      "broadcast points lie close to the EDP line",
+      "the algorithmic bottleneck removes the disproportion seen in "
+      "Figure 3",
+      StrFormat("max |energy-performance| gap at 4N = %.3f",
+                worst_edp_distance),
+      worst_edp_distance < 0.15);
+  return 0;
+}

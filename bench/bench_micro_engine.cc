@@ -1,0 +1,127 @@
+// Microbenchmarks of the P-store engine building blocks (google-benchmark):
+// data generation, scans, filters, hash table build/probe, exchange
+// routing, and the full distributed dual-shuffle join.
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "exec/hash_table.h"
+#include "exec/reference.h"
+#include "tpch/dbgen.h"
+
+namespace {
+
+using namespace eedc;
+
+void BM_Dbgen(benchmark::State& state) {
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.001 * state.range(0);
+  std::size_t rows = 0;
+  for (auto _ : state) {
+    auto db = tpch::GenerateDatabase(opts);
+    rows = db.lineitem->num_rows();
+    benchmark::DoNotOptimize(db.lineitem);
+  }
+  state.counters["lineitem_rows"] = static_cast<double>(rows);
+  state.SetItemsProcessed(static_cast<std::int64_t>(rows) *
+                          state.iterations());
+}
+BENCHMARK(BM_Dbgen)->Arg(1)->Arg(5);
+
+void BM_HashTableBuild(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    exec::JoinHashTable table;
+    table.Reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      table.Insert(i, static_cast<std::uint32_t>(i));
+    }
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(n * state.iterations());
+}
+BENCHMARK(BM_HashTableBuild)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  exec::JoinHashTable table;
+  table.Reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    table.Insert(i, static_cast<std::uint32_t>(i));
+  }
+  std::int64_t probe = 0;
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    table.ForEachMatch(probe, [&matches](std::uint32_t) { ++matches; });
+    probe = (probe + 2654435761) % (2 * n);
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1 << 14)->Arg(1 << 18);
+
+tpch::TpchDatabase& SharedDb() {
+  static tpch::TpchDatabase db = [] {
+    tpch::DbgenOptions opts;
+    opts.scale_factor = 0.01;
+    return tpch::GenerateDatabase(opts);
+  }();
+  return db;
+}
+
+void BM_ScanFilter(benchmark::State& state) {
+  const auto& db = SharedDb();
+  exec::ClusterData data(1);
+  data.LoadReplicated("lineitem", db.lineitem);
+  exec::Executor executor(&data);
+  exec::PlanPtr plan = exec::FilterPlan(
+      exec::ScanPlan("lineitem"),
+      exec::Lt(exec::Col("l_shipdate"), exec::I64(1200)));
+  for (auto _ : state) {
+    auto result = executor.Execute(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(db.lineitem->num_rows()) *
+      state.iterations());
+}
+BENCHMARK(BM_ScanFilter);
+
+void BM_DistributedDualShuffleJoin(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const auto& db = SharedDb();
+  exec::ClusterData data(nodes);
+  benchmark::DoNotOptimize(
+      data.LoadHashPartitioned("lineitem", *db.lineitem, "l_shipdate"));
+  benchmark::DoNotOptimize(
+      data.LoadHashPartitioned("orders", *db.orders, "o_custkey"));
+  exec::Executor executor(&data);
+  exec::PlanPtr plan = exec::HashJoinPlan(
+      exec::ShufflePlan(exec::ScanPlan("orders"), "o_orderkey"),
+      exec::ShufflePlan(exec::ScanPlan("lineitem"), "l_orderkey"),
+      "o_orderkey", "l_orderkey");
+  for (auto _ : state) {
+    auto result = executor.Execute(plan);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(db.lineitem->num_rows()) *
+      state.iterations());
+}
+BENCHMARK(BM_DistributedDualShuffleJoin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ReferenceJoin(benchmark::State& state) {
+  const auto& db = SharedDb();
+  for (auto _ : state) {
+    auto result = exec::ReferenceHashJoin(*db.orders, *db.lineitem,
+                                          "o_orderkey", "l_orderkey");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(db.lineitem->num_rows()) *
+      state.iterations());
+}
+BENCHMARK(BM_ReferenceJoin);
+
+}  // namespace
+
+BENCHMARK_MAIN();

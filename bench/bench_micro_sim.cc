@@ -1,0 +1,83 @@
+// Microbenchmarks of the simulator and model (google-benchmark): the
+// max-min solver, full cluster simulations, and closed-form estimates.
+#include <benchmark/benchmark.h>
+
+#include "hw/catalog.h"
+#include "model/hash_join_model.h"
+#include "sim/fair_share.h"
+#include "sim/query_sim.h"
+
+namespace {
+
+using namespace eedc;
+
+void BM_MaxMinFairRates(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  const int resources = 64;
+  sim::FairShareProblem p;
+  p.capacity.assign(resources, 100.0);
+  for (int f = 0; f < flows; ++f) {
+    std::vector<sim::ResourceUsage> usage;
+    for (int r = 0; r < 4; ++r) {
+      usage.push_back(
+          sim::ResourceUsage{(f * 7 + r * 13) % resources, 1.0 + r});
+    }
+    p.flows.push_back(usage);
+  }
+  for (auto _ : state) {
+    auto rates = sim::MaxMinFairRates(p);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(flows * state.iterations());
+}
+BENCHMARK(BM_MaxMinFairRates)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SimulateHashJoin(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sim::ClusterSim sim(
+      hw::ClusterSpec::Homogeneous(nodes, hw::ModeledBeefyNode()));
+  sim::HashJoinQuery q;
+  q.build_mb = 700000.0;
+  q.probe_mb = 2800000.0;
+  q.build_sel = 0.10;
+  q.probe_sel = 0.10;
+  for (auto _ : state) {
+    auto r = SimulateHashJoin(sim, q);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimulateHashJoin)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SimulateConcurrentJoins(benchmark::State& state) {
+  const int concurrency = static_cast<int>(state.range(0));
+  sim::ClusterSim sim(
+      hw::ClusterSpec::Homogeneous(8, hw::ModeledBeefyNode()));
+  sim::HashJoinQuery q;
+  q.build_mb = 700000.0;
+  q.probe_mb = 2800000.0;
+  q.build_sel = 0.10;
+  q.probe_sel = 0.10;
+  for (auto _ : state) {
+    auto r = SimulateHashJoin(sim, q, concurrency);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimulateConcurrentJoins)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ModelEstimate(benchmark::State& state) {
+  model::ModelParams p = model::ModelParams::Section54Defaults(4, 4);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+  p.probe_sel = 0.10;
+  for (auto _ : state) {
+    auto est =
+        model::EstimateHashJoin(p, model::JoinStrategy::kDualShuffle);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_ModelEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+
+namespace eedc::bench {
+
+void PrintHeader(const std::string& artifact, const std::string& title) {
+  std::cout << "\n==========================================================="
+               "=====================\n"
+            << artifact << ": " << title << "\n"
+            << "============================================================"
+               "====================\n";
+}
+
+void PrintNormalizedCurve(
+    const std::vector<core::NormalizedOutcome>& curve) {
+  TablePrinter table({"design", "norm.performance", "norm.energy",
+                      "EDP ratio", "vs EDP curve"});
+  for (const auto& o : curve) {
+    table.BeginRow();
+    table.AddCell(o.design.Label());
+    table.AddNumber(o.performance, 3);
+    table.AddNumber(o.energy_ratio, 3);
+    table.AddNumber(o.edp_ratio, 3);
+    if (o.performance >= 1.0 - 1e-9 && o.energy_ratio >= 1.0 - 1e-9) {
+      table.AddCell("(reference)");
+    } else {
+      table.AddCell(o.below_edp() ? "BELOW (favorable)" : "above");
+    }
+  }
+  table.RenderText(std::cout);
+}
+
+void PrintClaim(const std::string& claim, const std::string& paper,
+                const std::string& measured, bool holds) {
+  std::cout << (holds ? "[OK]       " : "[DEVIATES] ") << claim << "\n"
+            << "           paper:    " << paper << "\n"
+            << "           measured: " << measured << "\n";
+}
+
+void PrintNote(const std::string& note) {
+  std::cout << "note: " << note << "\n";
+}
+
+}  // namespace eedc::bench

@@ -1,0 +1,34 @@
+// Shared console reporting for the figure/table reproduction harnesses.
+//
+// Every bench prints (1) the regenerated rows/series of its paper artifact,
+// and (2) PAPER-vs-MEASURED lines for the qualitative claims the artifact
+// supports. EXPERIMENTS.md aggregates these outputs.
+#ifndef EEDC_BENCH_BENCH_UTIL_H_
+#define EEDC_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/edp.h"
+
+namespace eedc::bench {
+
+/// Prints the bench banner: id ("Figure 1(a)"), title, and what the paper
+/// reported.
+void PrintHeader(const std::string& artifact, const std::string& title);
+
+/// Prints a normalized energy/performance curve in the paper's plotting
+/// convention (performance = ref_time / time; reference row = 1.0/1.0),
+/// with the EDP position of each point.
+void PrintNormalizedCurve(const std::vector<core::NormalizedOutcome>& curve);
+
+/// Prints a PAPER vs MEASURED claim line with an OK / DEVIATES marker.
+void PrintClaim(const std::string& claim, const std::string& paper,
+                const std::string& measured, bool holds);
+
+/// Prints a free-form note.
+void PrintNote(const std::string& note);
+
+}  // namespace eedc::bench
+
+#endif  // EEDC_BENCH_BENCH_UTIL_H_

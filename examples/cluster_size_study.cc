@@ -1,0 +1,99 @@
+// Cluster-size study: how the right cluster size depends on the query.
+//
+// Reproduces the Section 3 methodology on three workload shapes —
+// a perfectly partitionable aggregate (Q1), a mostly-local join (Q21),
+// and a repartition-heavy join (Q12) — sweeping the cluster from 8 to 16
+// cluster-V nodes and reporting the energy/performance trade-off of each
+// size against the 16-node reference.
+//
+// Usage: cluster_size_study [min_nodes max_nodes]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/edp.h"
+#include "core/scalability.h"
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+
+namespace {
+
+using namespace eedc;
+
+void Study(const std::string& name, const sim::ShuffleThenLocalQuery& query,
+           int lo, int hi) {
+  std::cout << "\n=== " << name << " ===\n";
+  std::vector<core::Outcome> outcomes;
+  std::vector<core::SpeedupPoint> speedup;
+  for (int n = lo; n <= hi; n += 2) {
+    sim::ClusterSim sim(
+        hw::ClusterSpec::Homogeneous(n, hw::ClusterVNode()));
+    auto r = sim.Run({MakeShuffleThenLocalJob(sim, query, name)});
+    if (!r.ok()) {
+      std::cerr << r.status() << "\n";
+      std::exit(1);
+    }
+    outcomes.push_back(core::Outcome{core::DesignPoint{n, 0}, r->makespan,
+                                     r->total_energy});
+    speedup.push_back(core::SpeedupPoint{n, r->makespan});
+  }
+  auto norm =
+      core::NormalizeToDesign(outcomes, core::DesignPoint{hi, 0});
+  if (!norm.ok()) {
+    std::cerr << norm.status() << "\n";
+    std::exit(1);
+  }
+  TablePrinter table({"cluster", "performance", "energy", "EDP ratio"});
+  for (const auto& o : *norm) {
+    table.BeginRow();
+    table.AddCell(o.design.Label());
+    table.AddNumber(o.performance, 3);
+    table.AddNumber(o.energy_ratio, 3);
+    table.AddNumber(o.edp_ratio, 3);
+  }
+  table.RenderText(std::cout);
+
+  auto efficiency = core::ParallelEfficiency(speedup);
+  auto cls = core::ClassifySpeedup(speedup);
+  if (efficiency.ok() && cls.ok()) {
+    std::cout << "parallel efficiency " << FormatDouble(*efficiency, 3)
+              << " -> " << core::ScalabilityClassToString(*cls)
+              << " speedup; design rule: "
+              << (*cls == core::ScalabilityClass::kLinear
+                      ? "use as many nodes as possible (no energy cost)"
+                      : "shrink to the smallest size meeting the "
+                        "performance target")
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int lo = 8, hi = 16;
+  if (argc == 3) {
+    lo = std::atoi(argv[1]);
+    hi = std::atoi(argv[2]);
+    if (lo < 2 || hi < lo) {
+      std::cerr << "usage: cluster_size_study [min_nodes max_nodes]\n";
+      return 1;
+    }
+  }
+
+  sim::ShuffleThenLocalQuery q1;
+  q1.local_mb = 1600000.0;
+  Study("Q1 (scan + aggregate, fully local)", q1, lo, hi);
+
+  sim::ShuffleThenLocalQuery q21;
+  q21.shuffle_mb = 2000.0;
+  q21.local_mb = 1500000.0;
+  Study("Q21 (4-table join, 5.5% repartitioning)", q21, lo, hi);
+
+  sim::ShuffleThenLocalQuery q12;
+  q12.shuffle_mb = 44000.0;
+  q12.local_mb = 1104000.0;
+  q12.serial_mb = 124000.0;
+  Study("Q12 (repartition-heavy join + serial tail)", q12, lo, hi);
+  return 0;
+}

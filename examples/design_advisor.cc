@@ -1,0 +1,66 @@
+// Design advisor: given a join workload and a performance target, pick the
+// most energy-efficient 8-node cluster design (Figure 12's principles as a
+// command-line tool).
+//
+// Usage: design_advisor [build_sel probe_sel performance_target]
+//   e.g.: design_advisor 0.10 0.02 0.6
+#include <cstdlib>
+#include <iostream>
+
+#include "common/str_util.h"
+#include "core/advisor.h"
+#include "core/explorer.h"
+
+int main(int argc, char** argv) {
+  using namespace eedc;
+
+  double build_sel = 0.10, probe_sel = 0.02, target = 0.6;
+  if (argc == 4) {
+    build_sel = std::atof(argv[1]);
+    probe_sel = std::atof(argv[2]);
+    target = std::atof(argv[3]);
+  }
+  if (build_sel <= 0 || build_sel > 1 || probe_sel <= 0 ||
+      probe_sel > 1 || target <= 0 || target > 1) {
+    std::cerr << "usage: design_advisor [build_sel probe_sel "
+                 "performance_target], fractions in (0,1]\n";
+    return 1;
+  }
+
+  model::ModelParams p = model::ModelParams::Section54Defaults(0, 0);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = build_sel;
+  p.probe_sel = probe_sel;
+
+  std::cout << StrFormat(
+      "workload: 700 GB build (sel %.0f%%) x 2.8 TB probe (sel %.0f%%), "
+      "dual-shuffle join\nperformance target: %.0f%% of the all-Beefy "
+      "8-node design\n\n",
+      build_sel * 100, probe_sel * 100, target * 100);
+
+  auto curve =
+      core::SweepMixesNormalized(p, model::JoinStrategy::kDualShuffle, 8);
+  if (!curve.ok()) {
+    std::cerr << curve.status() << "\n";
+    return 1;
+  }
+  std::cout << "candidate designs:\n";
+  for (const auto& o : *curve) {
+    std::cout << StrFormat("  %-6s performance %.2f  energy %.2f  %s\n",
+                           o.design.Label().c_str(), o.performance,
+                           o.energy_ratio,
+                           o.below_edp() ? "(below EDP)" : "");
+  }
+
+  core::AdvisorOptions options;
+  options.performance_target = target;
+  auto rec = core::RecommendDesign(*curve, options);
+  if (!rec.ok()) {
+    std::cerr << "no recommendation: " << rec.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nrecommendation: " << rec->design.Label() << "\n"
+            << rec->rationale << "\n";
+  return 0;
+}

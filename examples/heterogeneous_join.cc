@@ -1,0 +1,103 @@
+// Heterogeneous cluster design: should you replace big Xeon servers with
+// low-power laptops?
+//
+// Compares the all-Beefy cluster with Beefy/Wimpy mixes for a
+// partition-incompatible hash join, in two complementary ways:
+//   - the flow simulator on the Section 5.2 prototype hardware (4 nodes,
+//     SF-400 working sets), and
+//   - the Section 5.3 analytical model on the Section 5.4 design space
+//     (8 nodes, 700 GB x 2.8 TB).
+//
+// Usage: heterogeneous_join [orders_sel lineitem_sel]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "core/explorer.h"
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+
+int main(int argc, char** argv) {
+  using namespace eedc;
+
+  double orders_sel = 0.01, lineitem_sel = 0.50;
+  if (argc == 3) {
+    orders_sel = std::atof(argv[1]);
+    lineitem_sel = std::atof(argv[2]);
+    if (orders_sel <= 0 || orders_sel > 1 || lineitem_sel <= 0 ||
+        lineitem_sel > 1) {
+      std::cerr << "usage: heterogeneous_join [orders_sel lineitem_sel] "
+                   "(fractions in (0,1])\n";
+      return 1;
+    }
+  }
+
+  // ---- Prototype clusters (simulator) ---------------------------------
+  std::cout << "=== 4-node prototypes (SF-400 working sets, ORDERS "
+            << orders_sel * 100 << "%, LINEITEM " << lineitem_sel * 100
+            << "%) ===\n";
+  TablePrinter proto({"cluster", "execution", "time (s)", "energy (kJ)"});
+  for (int wimpies : {0, 2}) {
+    hw::ClusterSpec spec =
+        wimpies == 0
+            ? hw::ClusterSpec::Homogeneous(4, hw::ValidationBeefyNode())
+            : hw::ClusterSpec::BeefyWimpy(2, hw::ValidationBeefyNode(), 2,
+                                          hw::ValidationWimpyNode());
+    sim::ClusterSim cluster(spec);
+    sim::HashJoinQuery q;
+    q.build_mb = 12000.0;
+    q.probe_mb = 48000.0;
+    q.build_sel = orders_sel;
+    q.probe_sel = lineitem_sel;
+    q.warm_cache = true;
+    auto mode = sim::PlanHashJoinExecution(spec, q);
+    auto r = SimulateHashJoin(cluster, q);
+    if (!mode.ok() || !r.ok()) {
+      std::cerr << (mode.ok() ? r.status() : mode.status()) << "\n";
+      return 1;
+    }
+    proto.BeginRow();
+    proto.AddCell(spec.Label());
+    proto.AddCell(mode->homogeneous ? "homogeneous" : "heterogeneous");
+    proto.AddNumber(r->makespan.seconds(), 1);
+    proto.AddNumber(r->total_energy.kilojoules(), 1);
+  }
+  proto.RenderText(std::cout);
+
+  // ---- Design space (analytical model) --------------------------------
+  std::cout << "\n=== 8-node design space (700 GB x 2.8 TB, modeled) "
+               "===\n";
+  model::ModelParams p = model::ModelParams::Section54Defaults(0, 0);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = orders_sel;
+  p.probe_sel = lineitem_sel;
+  auto sweep = core::SweepMixes(p, model::JoinStrategy::kDualShuffle, 8);
+  if (!sweep.ok()) {
+    std::cerr << sweep.status() << "\n";
+    return 1;
+  }
+  auto curve =
+      core::SweepMixesNormalized(p, model::JoinStrategy::kDualShuffle, 8);
+  TablePrinter table({"design", "mode", "performance", "energy",
+                      "vs EDP"});
+  for (std::size_t i = 0; i < sweep->outcomes.size(); ++i) {
+    const auto& mo = sweep->outcomes[i];
+    const auto& no = (*curve)[i];
+    table.BeginRow();
+    table.AddCell(mo.design.Label());
+    table.AddCell(mo.estimate.homogeneous ? "homogeneous"
+                                          : "heterogeneous");
+    table.AddNumber(no.performance, 3);
+    table.AddNumber(no.energy_ratio, 3);
+    table.AddCell(i == 0 ? "(reference)"
+                         : (no.below_edp() ? "BELOW" : "above"));
+  }
+  table.RenderText(std::cout);
+  for (const auto& d : sweep->infeasible) {
+    std::cout << d.Label()
+              << ": infeasible (hash table exceeds joiner memory)\n";
+  }
+  return 0;
+}

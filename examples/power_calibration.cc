@@ -1,0 +1,82 @@
+// Power-model calibration walkthrough: the Table 1 methodology as a
+// reusable pipeline.
+//
+//   1. Drive a node to a series of CPU utilization levels (here: the
+//      published cluster-V power curve plays the physical node).
+//   2. Sample its wall power with the simulated WattsUp meter (1 Hz,
+//      +/-1.5%) and the iLO2 interface (5-minute window averages).
+//   3. Fit power-law / exponential / logarithmic / linear regressions and
+//      select the best R^2.
+//   4. Use the fitted model to predict cluster power at arbitrary load.
+#include <algorithm>
+#include <iostream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "hw/catalog.h"
+#include "power/meter.h"
+#include "power/regression.h"
+
+int main() {
+  using namespace eedc;
+
+  const hw::NodeSpec node = hw::ClusterVNode();
+  std::cout << "calibrating: " << node.name() << " (true model "
+            << node.power_model().ToString() << ")\n\n";
+
+  // Step 1 + 2: load generation and metering.
+  power::SimulatedWattsUpMeter wattsup;
+  std::vector<power::PowerSample> samples;
+  TablePrinter readings({"target util", "WattsUp mean (W)",
+                         "samples taken"});
+  for (double raw = 0.05; raw <= 1.001; raw += 0.05) {
+    const double util = std::min(raw, 1.0);
+    const Power truth = node.WattsAt(util);
+    const std::size_t before = wattsup.samples().size();
+    wattsup.ObserveConstant(Duration::Seconds(30.0), truth);
+    double mean = 0.0;
+    std::size_t count = wattsup.samples().size() - before;
+    for (std::size_t i = before; i < wattsup.samples().size(); ++i) {
+      mean += wattsup.samples()[i].watts.watts();
+    }
+    mean /= static_cast<double>(count);
+    samples.push_back(power::PowerSample{util, mean});
+    readings.BeginRow();
+    readings.AddNumber(util, 2);
+    readings.AddNumber(mean, 1);
+    readings.AddInt(static_cast<long long>(count));
+  }
+  readings.RenderText(std::cout);
+  std::cout << StrFormat(
+      "\nmetered energy over the sweep: %.0f J (true %.0f J)\n",
+      wattsup.MeasuredEnergy().joules(), wattsup.TrueEnergy().joules());
+
+  // Step 3: regression with model selection.
+  auto fits = power::FitAllFamilies(samples);
+  if (fits.empty()) {
+    std::cerr << "no regression family produced a fit\n";
+    return 1;
+  }
+  std::cout << "\nfitted families (best R^2 first):\n";
+  TablePrinter fit_table({"family", "model", "R^2"});
+  for (const auto& f : fits) {
+    fit_table.BeginRow();
+    fit_table.AddCell(f.family);
+    fit_table.AddCell(f.model->ToString());
+    fit_table.AddNumber(f.r_squared, 6);
+  }
+  fit_table.RenderText(std::cout);
+
+  // Step 4: prediction.
+  const auto& best = fits.front();
+  std::cout << "\nselected: " << best.family << " -> "
+            << best.model->ToString() << "\n";
+  TablePrinter predict({"cluster load", "predicted 16-node power (W)"});
+  for (double util : {0.25, 0.50, 0.75, 1.0}) {
+    predict.BeginRow();
+    predict.AddNumber(util, 2);
+    predict.AddNumber(16.0 * best.model->WattsAt(util).watts(), 0);
+  }
+  predict.RenderText(std::cout);
+  return 0;
+}

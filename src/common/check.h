@@ -1,0 +1,68 @@
+// EEDC_CHECK / EEDC_DCHECK: invariant checks that abort with a message.
+//
+// These are for programmer errors (broken invariants), not expected runtime
+// failures — those return Status. Usage:
+//   EEDC_CHECK(idx < size()) << "index " << idx << " out of bounds";
+#ifndef EEDC_COMMON_CHECK_H_
+#define EEDC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace eedc {
+namespace internal {
+
+/// Accumulates the streamed message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* expr, const char* file, int line) {
+    stream_ << "CHECK failed: " << expr << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when the check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// glog-style: `operator&` binds looser than `<<`, so the whole streamed
+// expression is evaluated before being discarded as void.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace eedc
+
+#define EEDC_CHECK(cond)               \
+  (cond) ? (void)0                     \
+         : ::eedc::internal::Voidify() & \
+               ::eedc::internal::CheckFailureStream(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define EEDC_DCHECK(cond) \
+  true ? (void)0 : ::eedc::internal::Voidify() & ::eedc::internal::NullStream()
+#else
+#define EEDC_DCHECK(cond) EEDC_CHECK(cond)
+#endif
+
+#endif  // EEDC_COMMON_CHECK_H_

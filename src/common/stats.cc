@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eedc {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+StatusOr<LinearFit> FitLinear(std::span<const double> xs,
+                              std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    return Status::InvalidArgument("FitLinear: size mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) {
+    return Status::InvalidArgument("FitLinear: need at least 2 points");
+  }
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0.0) {
+    return Status::InvalidArgument("FitLinear: xs are constant");
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> pred(n);
+  for (std::size_t i = 0; i < n; ++i) pred[i] = fit.slope * xs[i] + fit.intercept;
+  fit.r_squared = RSquared(ys, pred);
+  return fit;
+}
+
+double RSquared(std::span<const double> observed,
+                std::span<const double> predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) return 0.0;
+  const double mean = Mean(observed);
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_tot += (observed[i] - mean) * (observed[i] - mean);
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double MaxRelativeError(std::span<const double> observed,
+                        std::span<const double> predicted) {
+  double worst = 0.0;
+  const std::size_t n = std::min(observed.size(), predicted.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (observed[i] == 0.0) continue;
+    worst = std::max(worst,
+                     std::abs(predicted[i] - observed[i]) /
+                         std::abs(observed[i]));
+  }
+  return worst;
+}
+
+}  // namespace eedc

@@ -1,0 +1,69 @@
+// Descriptive statistics and least-squares regression.
+//
+// The regression machinery backs the paper's power-model fitting methodology
+// (Section 3.1 / Table 1): "we explored exponential, power, and logarithmic
+// regression models, and picked the one with the best R^2 value."
+#ifndef EEDC_COMMON_STATS_H_
+#define EEDC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace eedc {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of a simple linear least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination of the fit in the (possibly transformed)
+  /// fitting space.
+  double r_squared = 0.0;
+};
+
+/// Fits y = slope*x + intercept by ordinary least squares.
+/// Requires xs.size() == ys.size() >= 2 and non-constant xs.
+StatusOr<LinearFit> FitLinear(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// R^2 of predictions against observations (1 - SS_res/SS_tot).
+/// Returns 0 if the observations are constant.
+double RSquared(std::span<const double> observed,
+                std::span<const double> predicted);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> xs);
+
+/// Maximum absolute relative error |pred-obs|/|obs| over the pairs.
+/// Pairs with obs == 0 are skipped.
+double MaxRelativeError(std::span<const double> observed,
+                        std::span<const double> predicted);
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_STATS_H_

@@ -1,0 +1,70 @@
+// StatusOr<T>: holds either a value or the Status explaining why there is
+// none. Mirrors absl::StatusOr in spirit with the subset we need.
+#ifndef EEDC_COMMON_STATUSOR_H_
+#define EEDC_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace eedc {
+
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `return MakeThing();`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: `return Status::NotFound(...)`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    EEDC_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Crashes with the carried status otherwise.
+  const T& value() const& {
+    EEDC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    EEDC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    EEDC_CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define EEDC_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto EEDC_CONCAT_(_sor_, __LINE__) = (expr);      \
+  if (!EEDC_CONCAT_(_sor_, __LINE__).ok())          \
+    return EEDC_CONCAT_(_sor_, __LINE__).status();  \
+  lhs = std::move(EEDC_CONCAT_(_sor_, __LINE__)).value()
+
+#define EEDC_CONCAT_INNER_(a, b) a##b
+#define EEDC_CONCAT_(a, b) EEDC_CONCAT_INNER_(a, b)
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_STATUSOR_H_

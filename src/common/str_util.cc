@@ -1,0 +1,51 @@
+#include "common/str_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace eedc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string FormatDouble(double v, int digits) {
+  std::string s = StrFormat("%.*f", digits, v);
+  // Trim trailing zeros but keep at least one decimal digit.
+  const std::size_t dot = s.find('.');
+  if (dot == std::string::npos) return s;
+  std::size_t last = s.find_last_not_of('0');
+  if (last == dot) last = dot + 1;
+  s.erase(last + 1);
+  return s;
+}
+
+}  // namespace eedc

@@ -1,0 +1,37 @@
+// Small string helpers (printf-style formatting, join/split).
+#ifndef EEDC_COMMON_STR_UTIL_H_
+#define EEDC_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eedc {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the items with `sep`, streaming each with operator<<.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double v, int digits = 4);
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_STR_UTIL_H_

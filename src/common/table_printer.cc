@@ -1,0 +1,62 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eedc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::BeginRow() { rows_.emplace_back(); }
+
+void TablePrinter::AddCell(std::string value) {
+  EEDC_CHECK(!rows_.empty()) << "BeginRow before AddCell";
+  rows_.back().push_back(std::move(value));
+}
+
+void TablePrinter::AddNumber(double value, int decimals) {
+  AddCell(StrFormat("%.*f", decimals, value));
+}
+
+void TablePrinter::AddInt(long long value) {
+  AddCell(StrFormat("%lld", value));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::RenderText(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  render_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) render_row(row);
+}
+
+void TablePrinter::RenderCsv(std::ostream& os) const {
+  os << StrJoin(headers_, ",") << "\n";
+  for (const auto& row : rows_) os << StrJoin(row, ",") << "\n";
+}
+
+}  // namespace eedc

@@ -1,0 +1,43 @@
+// Console table / CSV rendering used by the benchmark harnesses to print
+// paper-style result tables.
+#ifndef EEDC_COMMON_TABLE_PRINTER_H_
+#define EEDC_COMMON_TABLE_PRINTER_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eedc {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table or as CSV. Numeric convenience overloads format doubles
+/// with a configurable precision.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are added with AddCell/AddNumber.
+  void BeginRow();
+  void AddCell(std::string value);
+  void AddNumber(double value, int decimals = 3);
+  void AddInt(long long value);
+
+  /// Adds a complete row at once.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  void RenderText(std::ostream& os) const;
+  /// Renders as CSV (no quoting; cells must not contain commas).
+  void RenderCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by the P-store executor for per-node workers.
+#ifndef EEDC_COMMON_THREAD_POOL_H_
+#define EEDC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eedc {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future is satisfied when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals workers on new work/shutdown
+  std::condition_variable idle_cv_;   // signals WaitIdle on completion
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,173 @@
+// Physical and data-size units used throughout the library.
+//
+// Conventions (matching the paper's Table 3):
+//   - data sizes:       megabytes (MB, 1e6 bytes unless noted), via double
+//   - rates:            MB/s
+//   - time:             seconds
+//   - power:            watts
+//   - energy:           joules (= watts x seconds)
+//
+// Power, Energy and Duration are strong types so that the dimensional
+// algebra (energy = power x time, EDP = energy x delay) is checked by the
+// compiler. Data sizes stay plain doubles for arithmetic convenience.
+#ifndef EEDC_COMMON_UNITS_H_
+#define EEDC_COMMON_UNITS_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace eedc {
+
+// ---------------------------------------------------------------------------
+// Data sizes (plain doubles, unit = MB).
+// ---------------------------------------------------------------------------
+
+constexpr double kBytesPerMB = 1000.0 * 1000.0;
+constexpr double kMBPerGB = 1000.0;
+constexpr double kMBPerTB = 1000.0 * 1000.0;
+
+constexpr double MBFromBytes(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / kBytesPerMB;
+}
+constexpr double MBFromGB(double gb) { return gb * kMBPerGB; }
+constexpr double MBFromTB(double tb) { return tb * kMBPerTB; }
+
+// ---------------------------------------------------------------------------
+// Duration (seconds).
+// ---------------------------------------------------------------------------
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration Seconds(double s) { return Duration(s); }
+  static constexpr Duration Millis(double ms) { return Duration(ms / 1e3); }
+  static constexpr Duration Hours(double h) { return Duration(h * 3600.0); }
+  static constexpr Duration Zero() { return Duration(0.0); }
+  static constexpr Duration Infinite() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr double millis() const { return seconds_ * 1e3; }
+  constexpr bool is_finite() const {
+    return seconds_ != std::numeric_limits<double>::infinity();
+  }
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(seconds_ + o.seconds_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(seconds_ - o.seconds_);
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(seconds_ * k);
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration(seconds_ / k);
+  }
+  constexpr double operator/(Duration o) const {
+    return seconds_ / o.seconds_;
+  }
+  Duration& operator+=(Duration o) {
+    seconds_ += o.seconds_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Power (watts) and Energy (joules).
+// ---------------------------------------------------------------------------
+
+class Energy;
+
+class Power {
+ public:
+  constexpr Power() = default;
+  static constexpr Power Watts(double w) { return Power(w); }
+  static constexpr Power Zero() { return Power(0.0); }
+
+  constexpr double watts() const { return watts_; }
+
+  constexpr Power operator+(Power o) const { return Power(watts_ + o.watts_); }
+  constexpr Power operator-(Power o) const { return Power(watts_ - o.watts_); }
+  constexpr Power operator*(double k) const { return Power(watts_ * k); }
+  constexpr double operator/(Power o) const { return watts_ / o.watts_; }
+  Power& operator+=(Power o) {
+    watts_ += o.watts_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Power&) const = default;
+
+  /// energy = power x time
+  constexpr Energy operator*(Duration d) const;
+
+ private:
+  explicit constexpr Power(double w) : watts_(w) {}
+  double watts_ = 0.0;
+};
+
+class Energy {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy Joules(double j) { return Energy(j); }
+  static constexpr Energy KiloJoules(double kj) { return Energy(kj * 1e3); }
+  static constexpr Energy Zero() { return Energy(0.0); }
+
+  constexpr double joules() const { return joules_; }
+  constexpr double kilojoules() const { return joules_ / 1e3; }
+
+  constexpr Energy operator+(Energy o) const {
+    return Energy(joules_ + o.joules_);
+  }
+  constexpr Energy operator-(Energy o) const {
+    return Energy(joules_ - o.joules_);
+  }
+  constexpr Energy operator*(double k) const { return Energy(joules_ * k); }
+  constexpr double operator/(Energy o) const { return joules_ / o.joules_; }
+  Energy& operator+=(Energy o) {
+    joules_ += o.joules_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Energy&) const = default;
+
+  /// avg power = energy / time
+  constexpr Power operator/(Duration d) const {
+    return Power::Watts(joules_ / d.seconds());
+  }
+
+ private:
+  explicit constexpr Energy(double j) : joules_(j) {}
+  double joules_ = 0.0;
+};
+
+constexpr Energy Power::operator*(Duration d) const {
+  return Energy::Joules(watts_ * d.seconds());
+}
+constexpr Energy operator*(Duration d, Power p) { return p * d; }
+
+/// Energy-Delay Product in joule-seconds; the paper's trade-off metric.
+constexpr double EnergyDelayProduct(Energy e, Duration d) {
+  return e.joules() * d.seconds();
+}
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.seconds() << "s";
+}
+inline std::ostream& operator<<(std::ostream& os, Power p) {
+  return os << p.watts() << "W";
+}
+inline std::ostream& operator<<(std::ostream& os, Energy e) {
+  return os << e.joules() << "J";
+}
+
+}  // namespace eedc
+
+#endif  // EEDC_COMMON_UNITS_H_

@@ -1,0 +1,70 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eedc::core {
+
+StatusOr<Recommendation> RecommendDesign(
+    const std::vector<NormalizedOutcome>& candidates,
+    const AdvisorOptions& options) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate designs");
+  }
+  if (options.performance_target <= 0.0 ||
+      options.performance_target > 1.0) {
+    return Status::InvalidArgument("performance target must be in (0, 1]");
+  }
+
+  Recommendation rec;
+  rec.scalability =
+      ClassifyEnergyCurve(candidates, options.flat_energy_tolerance);
+
+  if (rec.scalability == ScalabilityClass::kLinear) {
+    // Figure 12(a): flat energy — take the fastest design.
+    const auto best = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const NormalizedOutcome& a, const NormalizedOutcome& b) {
+          return a.performance < b.performance;
+        });
+    rec.design = best->design;
+    rec.outcome = *best;
+    rec.below_edp = best->below_edp();
+    rec.rationale =
+        "query scales linearly: energy is flat across designs, so use all "
+        "available nodes for the best performance at no energy cost";
+    return rec;
+  }
+
+  // Figure 12(b,c): among designs meeting the performance target, take the
+  // lowest energy; break ties toward higher performance.
+  const NormalizedOutcome* best = nullptr;
+  for (const auto& c : candidates) {
+    if (c.performance + 1e-12 < options.performance_target) continue;
+    if (best == nullptr || c.energy_ratio < best->energy_ratio - 1e-12 ||
+        (std::abs(c.energy_ratio - best->energy_ratio) <= 1e-12 &&
+         c.performance > best->performance)) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "no candidate meets the %.0f%% performance target",
+        options.performance_target * 100.0));
+  }
+  rec.design = best->design;
+  rec.outcome = *best;
+  rec.below_edp = best->below_edp();
+  rec.rationale = StrFormat(
+      "query is bottlenecked (sub-linear speedup): design %s minimizes "
+      "energy (%.0f%% of reference) while keeping performance at %.0f%% "
+      "(target %.0f%%)%s",
+      rec.design.Label().c_str(), best->energy_ratio * 100.0,
+      best->performance * 100.0, options.performance_target * 100.0,
+      rec.below_edp ? "; the point lies below the constant-EDP curve"
+                    : "");
+  return rec;
+}
+
+}  // namespace eedc::core

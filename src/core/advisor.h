@@ -1,0 +1,50 @@
+// The Figure-12 design advisor: the paper's guiding principles, encoded.
+//
+//   (a) Highly scalable query  -> use all available nodes (the largest
+//       design is also the most energy-efficient, energy is flat).
+//   (b) Bottlenecked query, homogeneous cluster -> use the fewest nodes
+//       whose performance still meets the target.
+//   (c) Bottlenecked query, heterogeneous designs available -> a Beefy/
+//       Wimpy mix can beat the best homogeneous design on both energy and
+//       performance (points below the EDP curve).
+#ifndef EEDC_CORE_ADVISOR_H_
+#define EEDC_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/edp.h"
+#include "core/scalability.h"
+
+namespace eedc::core {
+
+struct AdvisorOptions {
+  /// Minimum acceptable normalized performance relative to the reference
+  /// design (the paper's example: 0.6, i.e. a 40% acceptable loss).
+  double performance_target = 0.6;
+  /// Energy spread below which the query counts as scalable (flat curve).
+  double flat_energy_tolerance = 0.10;
+};
+
+struct Recommendation {
+  DesignPoint design;
+  ScalabilityClass scalability = ScalabilityClass::kLinear;
+  NormalizedOutcome outcome;
+  /// True when the recommendation lies strictly below the EDP curve.
+  bool below_edp = false;
+  std::string rationale;
+};
+
+/// Picks the best design among `candidates` (already normalized to the
+/// reference design, which must be among them with performance == 1):
+/// for scalable queries, the highest-performance point; for bottlenecked
+/// queries, the minimum-energy point meeting the performance target
+/// (ties broken toward higher performance).
+StatusOr<Recommendation> RecommendDesign(
+    const std::vector<NormalizedOutcome>& candidates,
+    const AdvisorOptions& options);
+
+}  // namespace eedc::core
+
+#endif  // EEDC_CORE_ADVISOR_H_

@@ -1,0 +1,32 @@
+#include "core/design_point.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eedc::core {
+
+std::string DesignPoint::Label() const {
+  if (nw == 0) return StrFormat("%dN", nb);
+  return StrFormat("%dB,%dW", nb, nw);
+}
+
+std::vector<DesignPoint> EnumerateMixes(int total_nodes, int min_beefy) {
+  EEDC_CHECK(total_nodes > 0);
+  EEDC_CHECK(min_beefy >= 0 && min_beefy <= total_nodes);
+  std::vector<DesignPoint> mixes;
+  for (int nb = total_nodes; nb >= min_beefy; --nb) {
+    mixes.push_back(DesignPoint{nb, total_nodes - nb});
+  }
+  return mixes;
+}
+
+std::vector<DesignPoint> EnumerateSizes(int lo, int hi, int step) {
+  EEDC_CHECK(lo > 0 && hi >= lo && step > 0);
+  std::vector<DesignPoint> sizes;
+  for (int n = lo; n <= hi; n += step) {
+    sizes.push_back(DesignPoint{n, 0});
+  }
+  return sizes;
+}
+
+}  // namespace eedc::core

@@ -1,0 +1,32 @@
+// Cluster design points: the (#Beefy, #Wimpy) axis of the paper's design
+// space.
+#ifndef EEDC_CORE_DESIGN_POINT_H_
+#define EEDC_CORE_DESIGN_POINT_H_
+
+#include <string>
+#include <vector>
+
+namespace eedc::core {
+
+struct DesignPoint {
+  int nb = 0;
+  int nw = 0;
+
+  int total() const { return nb + nw; }
+  /// The paper's "xB,yW" label ("8N"-style for homogeneous counts).
+  std::string Label() const;
+
+  bool operator==(const DesignPoint&) const = default;
+};
+
+/// All mixes of a fixed total size, from all-Beefy to min_beefy Beefy nodes
+/// (the paper's 8B,0W → 2B,6W sweeps stop where Beefy memory runs out).
+std::vector<DesignPoint> EnumerateMixes(int total_nodes, int min_beefy = 0);
+
+/// Homogeneous sizes lo..hi (inclusive) stepping by `step` (the paper's
+/// 8N..16N sweeps).
+std::vector<DesignPoint> EnumerateSizes(int lo, int hi, int step = 1);
+
+}  // namespace eedc::core
+
+#endif  // EEDC_CORE_DESIGN_POINT_H_

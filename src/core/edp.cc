@@ -1,0 +1,38 @@
+#include "core/edp.h"
+
+#include "common/str_util.h"
+
+namespace eedc::core {
+
+std::vector<NormalizedOutcome> NormalizeOutcomes(
+    const std::vector<Outcome>& outcomes, const Outcome& reference) {
+  std::vector<NormalizedOutcome> out;
+  out.reserve(outcomes.size());
+  const double ref_t = reference.time.seconds();
+  const double ref_e = reference.energy.joules();
+  for (const auto& o : outcomes) {
+    NormalizedOutcome n;
+    n.design = o.design;
+    n.performance = o.time.seconds() > 0 ? ref_t / o.time.seconds() : 0.0;
+    n.energy_ratio = ref_e > 0 ? o.energy.joules() / ref_e : 0.0;
+    n.edp_ratio = (ref_e > 0 && ref_t > 0)
+                      ? o.edp() / (ref_e * ref_t)
+                      : 0.0;
+    out.push_back(n);
+  }
+  return out;
+}
+
+StatusOr<std::vector<NormalizedOutcome>> NormalizeToDesign(
+    const std::vector<Outcome>& outcomes,
+    const DesignPoint& reference_design) {
+  for (const auto& o : outcomes) {
+    if (o.design == reference_design) {
+      return NormalizeOutcomes(outcomes, o);
+    }
+  }
+  return Status::NotFound(StrFormat("reference design %s not in outcomes",
+                                    reference_design.Label().c_str()));
+}
+
+}  // namespace eedc::core

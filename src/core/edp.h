@@ -1,0 +1,71 @@
+// Energy-Delay-Product analysis: the paper's central metric.
+//
+// Every figure in the paper plots normalized energy consumption against
+// normalized performance (performance = 1 / response time) relative to a
+// reference configuration, with the constant-EDP curve as the break-even
+// trade-off line. A design point strictly below the curve trades
+// proportionally less performance for more energy savings — the favorable
+// region the paper searches for.
+#ifndef EEDC_CORE_EDP_H_
+#define EEDC_CORE_EDP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "core/design_point.h"
+
+namespace eedc::core {
+
+/// A raw measurement of one cluster design.
+struct Outcome {
+  DesignPoint design;
+  Duration time = Duration::Zero();
+  Energy energy = Energy::Zero();
+
+  double edp() const { return EnergyDelayProduct(energy, time); }
+};
+
+/// An outcome normalized against a reference design.
+struct NormalizedOutcome {
+  DesignPoint design;
+  /// ref_time / time: 1.0 at the reference, < 1 when slower.
+  double performance = 0.0;
+  /// energy / ref_energy: 1.0 at the reference, < 1 when cheaper.
+  double energy_ratio = 0.0;
+  /// (energy x time) / (ref energy x ref time).
+  double edp_ratio = 0.0;
+
+  /// Below the constant-EDP curve: saved proportionally more energy than
+  /// the performance given up.
+  bool below_edp() const { return edp_ratio < 1.0 - 1e-12; }
+  /// Distance under (+) or over (-) the EDP line in energy-ratio units.
+  double edp_margin() const { return performance - energy_ratio; }
+};
+
+/// On the constant-EDP curve, energy_ratio equals normalized performance.
+inline double ConstantEdpEnergyAt(double performance) {
+  return performance;
+}
+
+/// Normalizes all outcomes against `reference`.
+std::vector<NormalizedOutcome> NormalizeOutcomes(
+    const std::vector<Outcome>& outcomes, const Outcome& reference);
+
+/// Normalizes against the outcome whose design equals `reference_design`.
+StatusOr<std::vector<NormalizedOutcome>> NormalizeToDesign(
+    const std::vector<Outcome>& outcomes, const DesignPoint& reference_design);
+
+/// Relative energy saved vs. the reference (1 - energy_ratio).
+inline double EnergySavings(const NormalizedOutcome& o) {
+  return 1.0 - o.energy_ratio;
+}
+/// Relative performance given up vs. the reference (1 - performance).
+inline double PerformancePenalty(const NormalizedOutcome& o) {
+  return 1.0 - o.performance;
+}
+
+}  // namespace eedc::core
+
+#endif  // EEDC_CORE_EDP_H_

@@ -1,0 +1,60 @@
+#include "core/explorer.h"
+
+namespace eedc::core {
+
+StatusOr<MixSweepResult> SweepMixes(const model::ModelParams& base,
+                                    model::JoinStrategy strategy,
+                                    int total_nodes) {
+  if (total_nodes <= 0) {
+    return Status::InvalidArgument("total_nodes must be positive");
+  }
+  MixSweepResult result;
+  for (const DesignPoint& design : EnumerateMixes(total_nodes)) {
+    model::ModelParams params = base;
+    params.nb = design.nb;
+    params.nw = design.nw;
+    auto est = model::EstimateHashJoin(params, strategy);
+    if (!est.ok()) {
+      if (est.status().IsFailedPrecondition()) {
+        result.infeasible.push_back(design);
+        continue;
+      }
+      return est.status();
+    }
+    result.outcomes.push_back(MixOutcome{design, std::move(est).value()});
+  }
+  if (result.outcomes.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible design point for this query");
+  }
+  return result;
+}
+
+StatusOr<std::vector<NormalizedOutcome>> SweepMixesNormalized(
+    const model::ModelParams& base, model::JoinStrategy strategy,
+    int total_nodes) {
+  EEDC_ASSIGN_OR_RETURN(MixSweepResult sweep,
+                        SweepMixes(base, strategy, total_nodes));
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(sweep.outcomes.size());
+  for (const auto& mo : sweep.outcomes) outcomes.push_back(mo.ToOutcome());
+  return NormalizeOutcomes(outcomes, outcomes.front());
+}
+
+StatusOr<std::vector<SelectivityCurve>> SweepProbeSelectivity(
+    const model::ModelParams& base, model::JoinStrategy strategy,
+    int total_nodes, const std::vector<double>& probe_sels) {
+  std::vector<SelectivityCurve> curves;
+  curves.reserve(probe_sels.size());
+  for (double sel : probe_sels) {
+    model::ModelParams params = base;
+    params.probe_sel = sel;
+    EEDC_ASSIGN_OR_RETURN(
+        std::vector<NormalizedOutcome> curve,
+        SweepMixesNormalized(params, strategy, total_nodes));
+    curves.push_back(SelectivityCurve{sel, std::move(curve)});
+  }
+  return curves;
+}
+
+}  // namespace eedc::core

@@ -1,0 +1,55 @@
+// Design-space exploration: sweeps over cluster mixes, sizes and query
+// parameters, producing normalized energy/performance curves (the machinery
+// behind Figures 1(b), 10 and 11).
+#ifndef EEDC_CORE_EXPLORER_H_
+#define EEDC_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/design_point.h"
+#include "core/edp.h"
+#include "model/hash_join_model.h"
+#include "model/params.h"
+
+namespace eedc::core {
+
+/// One evaluated mix.
+struct MixOutcome {
+  DesignPoint design;
+  model::JoinEstimate estimate;
+
+  Outcome ToOutcome() const {
+    return Outcome{design, estimate.total_time(), estimate.total_energy()};
+  }
+};
+
+/// Evaluates every Beefy/Wimpy mix of `total_nodes` nodes with the model.
+/// Mixes that are infeasible (hash table no longer fits) are skipped —
+/// exactly why the paper's Figure 10(b) sweep stops at 2B,6W.
+struct MixSweepResult {
+  std::vector<MixOutcome> outcomes;
+  std::vector<DesignPoint> infeasible;
+};
+StatusOr<MixSweepResult> SweepMixes(const model::ModelParams& base,
+                                    model::JoinStrategy strategy,
+                                    int total_nodes);
+
+/// Normalized curve (reference = first feasible design, the paper's
+/// all-Beefy point).
+StatusOr<std::vector<NormalizedOutcome>> SweepMixesNormalized(
+    const model::ModelParams& base, model::JoinStrategy strategy,
+    int total_nodes);
+
+/// One curve per probe selectivity (Figure 11's family of curves).
+struct SelectivityCurve {
+  double probe_sel = 0.0;
+  std::vector<NormalizedOutcome> curve;
+};
+StatusOr<std::vector<SelectivityCurve>> SweepProbeSelectivity(
+    const model::ModelParams& base, model::JoinStrategy strategy,
+    int total_nodes, const std::vector<double>& probe_sels);
+
+}  // namespace eedc::core
+
+#endif  // EEDC_CORE_EXPLORER_H_

@@ -1,0 +1,92 @@
+#include "core/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eedc::core {
+
+const char* ScalabilityClassToString(ScalabilityClass c) {
+  switch (c) {
+    case ScalabilityClass::kLinear:
+      return "linear";
+    case ScalabilityClass::kSubLinear:
+      return "sub-linear";
+  }
+  return "unknown";
+}
+
+StatusOr<double> ParallelEfficiency(
+    const std::vector<SpeedupPoint>& points) {
+  if (points.size() < 2) {
+    return Status::InvalidArgument("need at least two speedup points");
+  }
+  const SpeedupPoint* smallest = &points[0];
+  const SpeedupPoint* largest = &points[0];
+  for (const auto& p : points) {
+    if (p.nodes <= 0 || p.time.seconds() <= 0) {
+      return Status::InvalidArgument("speedup points must be positive");
+    }
+    if (p.nodes < smallest->nodes) smallest = &p;
+    if (p.nodes > largest->nodes) largest = &p;
+  }
+  if (smallest->nodes == largest->nodes) {
+    return Status::InvalidArgument("speedup points share one cluster size");
+  }
+  // Ideal scaling keeps nodes x time constant.
+  return (smallest->time.seconds() * smallest->nodes) /
+         (largest->time.seconds() * largest->nodes);
+}
+
+StatusOr<ScalabilityClass> ClassifySpeedup(
+    const std::vector<SpeedupPoint>& points, double tolerance) {
+  EEDC_ASSIGN_OR_RETURN(double eff, ParallelEfficiency(points));
+  return eff >= 1.0 - tolerance ? ScalabilityClass::kLinear
+                                : ScalabilityClass::kSubLinear;
+}
+
+ScalabilityClass ClassifyEnergyCurve(
+    const std::vector<NormalizedOutcome>& curve,
+    double energy_spread_tolerance) {
+  if (curve.size() < 2) return ScalabilityClass::kLinear;
+  double lo = curve[0].energy_ratio, hi = curve[0].energy_ratio;
+  for (const auto& o : curve) {
+    lo = std::min(lo, o.energy_ratio);
+    hi = std::max(hi, o.energy_ratio);
+  }
+  return (hi - lo) <= energy_spread_tolerance
+             ? ScalabilityClass::kLinear
+             : ScalabilityClass::kSubLinear;
+}
+
+StatusOr<std::size_t> KneeIndex(
+    const std::vector<NormalizedOutcome>& curve) {
+  if (curve.size() < 3) {
+    return Status::NotFound("knee detection needs at least 3 points");
+  }
+  const auto& a = curve.front();
+  const auto& b = curve.back();
+  const double ax = a.performance, ay = a.energy_ratio;
+  const double bx = b.performance, by = b.energy_ratio;
+  const double len = std::hypot(bx - ax, by - ay);
+  if (len <= 0.0) return Status::NotFound("degenerate curve");
+  double best = 0.0;
+  std::size_t best_idx = 0;
+  bool found = false;
+  for (std::size_t i = 1; i + 1 < curve.size(); ++i) {
+    // Signed distance below the chord. With performance decreasing along
+    // the curve (bx < ax), a positive cross product means the point's
+    // energy lies under the chord.
+    const double cross = (bx - ax) * (curve[i].energy_ratio - ay) -
+                         (by - ay) * (curve[i].performance - ax);
+    const double dist = cross / len;  // positive when below the chord
+    if (dist > best) {
+      best = dist;
+      best_idx = i;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no point below the chord");
+  return best_idx;
+}
+
+}  // namespace eedc::core

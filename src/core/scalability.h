@@ -1,0 +1,50 @@
+// Scalability characterization: the paper's classification of queries into
+// "highly scalable" (Figure 12(a)) and "bottlenecked" (Figure 12(b,c)),
+// plus knee detection on energy/performance curves (Figure 11).
+#ifndef EEDC_CORE_SCALABILITY_H_
+#define EEDC_CORE_SCALABILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "core/edp.h"
+
+namespace eedc::core {
+
+enum class ScalabilityClass {
+  kLinear,     // speedup ~ proportional to nodes: energy curve flat
+  kSubLinear,  // bottlenecked: smaller clusters save energy
+};
+
+const char* ScalabilityClassToString(ScalabilityClass c);
+
+struct SpeedupPoint {
+  int nodes = 0;
+  Duration time = Duration::Zero();
+};
+
+/// Parallel efficiency of scaling from the smallest to the largest
+/// configuration: (T_small * n_small) / (T_large * n_large). 1.0 = ideal.
+StatusOr<double> ParallelEfficiency(const std::vector<SpeedupPoint>& points);
+
+/// Classifies speedup as linear when parallel efficiency >= 1 - tolerance.
+StatusOr<ScalabilityClass> ClassifySpeedup(
+    const std::vector<SpeedupPoint>& points, double tolerance = 0.10);
+
+/// Classifies from an energy/performance curve: flat energy (spread below
+/// `energy_spread_tolerance`) indicates a scalable query.
+ScalabilityClass ClassifyEnergyCurve(
+    const std::vector<NormalizedOutcome>& curve,
+    double energy_spread_tolerance = 0.10);
+
+/// Index of the "knee" of a normalized curve: the point with maximum
+/// perpendicular distance below the chord between the curve's endpoints in
+/// (performance, energy) space. Returns NotFound for curves with < 3
+/// points or no point below the chord.
+StatusOr<std::size_t> KneeIndex(const std::vector<NormalizedOutcome>& curve);
+
+}  // namespace eedc::core
+
+#endif  // EEDC_CORE_SCALABILITY_H_

@@ -1,0 +1,42 @@
+#include "exec/channel.h"
+
+#include "common/check.h"
+
+namespace eedc::exec {
+
+void BlockChannel::Send(storage::Block block) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(block));
+  }
+  cv_.notify_one();
+}
+
+void BlockChannel::SenderDone() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EEDC_CHECK(senders_remaining_ > 0) << "SenderDone called too many times";
+    --senders_remaining_;
+  }
+  cv_.notify_all();
+}
+
+std::optional<storage::Block> BlockChannel::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [this] { return !queue_.empty() || senders_remaining_ == 0; });
+  if (queue_.empty()) return std::nullopt;
+  storage::Block block = std::move(queue_.front());
+  queue_.pop_front();
+  return block;
+}
+
+ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id)
+    : id_(exchange_id) {
+  channels_.reserve(static_cast<std::size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    channels_.push_back(std::make_unique<BlockChannel>(num_nodes));
+  }
+}
+
+}  // namespace eedc::exec

@@ -1,0 +1,58 @@
+// Inter-node block channels backing the exchange operator.
+//
+// A BlockChannel is an unbounded MPSC queue: every node is a sender, the
+// owning node is the receiver. Unbounded capacity makes the exchange
+// drain-then-receive protocol deadlock-free (see exchange_op.h); timing is
+// the simulator's concern, not the real channel's.
+#ifndef EEDC_EXEC_CHANNEL_H_
+#define EEDC_EXEC_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "storage/block.h"
+
+namespace eedc::exec {
+
+class BlockChannel {
+ public:
+  explicit BlockChannel(int num_senders) : senders_remaining_(num_senders) {}
+
+  /// Thread-safe enqueue.
+  void Send(storage::Block block);
+
+  /// Each sender calls exactly once when it has nothing more to send.
+  void SenderDone();
+
+  /// Blocks until a block is available or all senders are done.
+  /// Returns nullopt when the channel is closed and drained.
+  std::optional<storage::Block> Receive();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<storage::Block> queue_;
+  int senders_remaining_;
+};
+
+/// The channels of one exchange instance: channel i is received by node i
+/// and written by every node.
+class ExchangeGroup {
+ public:
+  ExchangeGroup(int num_nodes, int exchange_id);
+
+  BlockChannel& channel(int dest) { return *channels_[dest]; }
+  int num_nodes() const { return static_cast<int>(channels_.size()); }
+  int id() const { return id_; }
+
+ private:
+  std::vector<std::unique_ptr<BlockChannel>> channels_;
+  int id_;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_CHANNEL_H_

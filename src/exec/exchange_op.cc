@@ -1,0 +1,181 @@
+#include "exec/exchange_op.h"
+
+#include "storage/partitioner.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::DataType;
+
+const char* ExchangeModeToString(ExchangeMode mode) {
+  switch (mode) {
+    case ExchangeMode::kShuffle:
+      return "shuffle";
+    case ExchangeMode::kBroadcast:
+      return "broadcast";
+    case ExchangeMode::kGather:
+      return "gather";
+  }
+  return "unknown";
+}
+
+StatusOr<OperatorPtr> ExchangeOp::Create(OperatorPtr child,
+                                         ExchangeMode mode,
+                                         std::string partition_key,
+                                         int node_id, ExchangeGroup* group,
+                                         std::vector<int> destinations,
+                                         NodeMetrics* metrics) {
+  if (group == nullptr) {
+    return Status::InvalidArgument("exchange requires a channel group");
+  }
+  if (destinations.empty()) {
+    for (int i = 0; i < group->num_nodes(); ++i) destinations.push_back(i);
+  }
+  for (int d : destinations) {
+    if (d < 0 || d >= group->num_nodes()) {
+      return Status::InvalidArgument("exchange destination out of range");
+    }
+  }
+  int key_idx = -1;
+  if (mode == ExchangeMode::kShuffle) {
+    if (partition_key.empty()) {
+      return Status::InvalidArgument("shuffle exchange requires a key");
+    }
+    const auto& schema = child->schema();
+    EEDC_ASSIGN_OR_RETURN(key_idx, schema.IndexOf(partition_key));
+    if (schema.field(static_cast<std::size_t>(key_idx)).type !=
+        DataType::kInt64) {
+      return Status::InvalidArgument("shuffle key must be int64");
+    }
+  }
+  auto* op = new ExchangeOp(std::move(child), mode,
+                            std::move(partition_key), node_id, group,
+                            std::move(destinations), metrics);
+  op->key_idx_ = key_idx;
+  return OperatorPtr(op);
+}
+
+ExchangeOp::ExchangeOp(OperatorPtr child, ExchangeMode mode,
+                       std::string partition_key, int node_id,
+                       ExchangeGroup* group, std::vector<int> destinations,
+                       NodeMetrics* metrics)
+    : child_(std::move(child)),
+      mode_(mode),
+      partition_key_(std::move(partition_key)),
+      node_id_(node_id),
+      group_(group),
+      metrics_(metrics),
+      destinations_(std::move(destinations)) {}
+
+void ExchangeOp::FlushPending(int dest) {
+  Block& staged = pending_[static_cast<std::size_t>(dest)];
+  if (staged.empty()) return;
+  if (metrics_ != nullptr) {
+    auto& stats = metrics_->exchange(static_cast<std::size_t>(group_->id()));
+    const double bytes = staged.LogicalBytes();
+    if (dest == node_id_) {
+      stats.sent_local_bytes += bytes;
+    } else {
+      stats.sent_remote_bytes += bytes;
+    }
+    stats.rows_routed += static_cast<double>(staged.size());
+    metrics_->cpu_bytes += bytes;
+  }
+  group_->channel(dest).Send(std::move(staged));
+  staged = Block(child_->schema());
+}
+
+void ExchangeOp::RouteBlock(const Block& block) {
+  switch (mode_) {
+    case ExchangeMode::kShuffle: {
+      const auto keys =
+          block.column(static_cast<std::size_t>(key_idx_)).int64s();
+      const int num_dests = static_cast<int>(destinations_.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const int dest = destinations_[static_cast<std::size_t>(
+            storage::PartitionOf(keys[i], num_dests))];
+        Block& staged = pending_[static_cast<std::size_t>(dest)];
+        staged.AppendRowFromBlock(block, i);
+        if (staged.full()) FlushPending(dest);
+      }
+      break;
+    }
+    case ExchangeMode::kBroadcast: {
+      for (int dest : destinations_) {
+        Block copy(child_->schema(), block.size());
+        for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
+          copy.mutable_column(c).AppendRange(block.column(c), 0,
+                                             block.size());
+        }
+        copy.FinishBulkLoad();
+        if (metrics_ != nullptr) {
+          auto& stats =
+              metrics_->exchange(static_cast<std::size_t>(group_->id()));
+          const double bytes = copy.LogicalBytes();
+          if (dest == node_id_) {
+            stats.sent_local_bytes += bytes;
+          } else {
+            stats.sent_remote_bytes += bytes;
+          }
+          stats.rows_routed += static_cast<double>(copy.size());
+          metrics_->cpu_bytes += bytes;
+        }
+        group_->channel(dest).Send(std::move(copy));
+      }
+      break;
+    }
+    case ExchangeMode::kGather: {
+      const int dest = destinations_.front();
+      Block& staged = pending_[static_cast<std::size_t>(dest)];
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        staged.AppendRowFromBlock(block, i);
+        if (staged.full()) FlushPending(dest);
+      }
+      break;
+    }
+  }
+}
+
+Status ExchangeOp::Open() {
+  EEDC_RETURN_IF_ERROR(child_->Open());
+  const int n = group_->num_nodes();
+  pending_.clear();
+  pending_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pending_.emplace_back(child_->schema());
+
+  // Send phase: drain the child completely.
+  while (true) {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, child_->Next());
+    if (!block.has_value()) break;
+    RouteBlock(*block);
+  }
+  for (int dest = 0; dest < n; ++dest) FlushPending(dest);
+  for (int dest = 0; dest < n; ++dest) group_->channel(dest).SenderDone();
+  send_complete_ = true;
+  return child_->Close();
+}
+
+void ExchangeOp::AbortSend() {
+  if (send_complete_) return;
+  for (int dest = 0; dest < group_->num_nodes(); ++dest) {
+    group_->channel(dest).SenderDone();
+  }
+  send_complete_ = true;
+}
+
+StatusOr<std::optional<Block>> ExchangeOp::Next() {
+  while (true) {
+    std::optional<Block> block = group_->channel(node_id_).Receive();
+    if (!block.has_value()) return std::optional<Block>();
+    if (metrics_ != nullptr) {
+      auto& stats =
+          metrics_->exchange(static_cast<std::size_t>(group_->id()));
+      stats.received_bytes += block->LogicalBytes();
+    }
+    if (!block->empty()) return std::optional<Block>(std::move(*block));
+  }
+}
+
+Status ExchangeOp::Close() { return Status::OK(); }
+
+}  // namespace eedc::exec

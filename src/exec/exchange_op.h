@@ -1,0 +1,80 @@
+// Network exchange: P-store's "workhorse" operator (Section 4.3).
+//
+// Modes:
+//   kShuffle   — hash-repartition rows on an int64 key across all nodes
+//                (the "dual shuffle" join repartitions both inputs);
+//   kBroadcast — every node receives a full copy of every input row (the
+//                broadcast join's algorithmic bottleneck: each node must
+//                ingest ~(N-1)/N of the table regardless of N);
+//   kGather    — all rows are collected on node 0 (final results).
+//
+// Protocol: Open() drains the child, routing rows into per-destination
+// blocks sent through the ExchangeGroup's channels, then signals
+// SenderDone on every channel. Next() yields blocks received on this
+// node's channel. Channels are unbounded, so the drain-then-receive order
+// cannot deadlock. Byte accounting distinguishes remote traffic (crosses
+// the simulated network) from same-node loopback.
+#ifndef EEDC_EXEC_EXCHANGE_OP_H_
+#define EEDC_EXEC_EXCHANGE_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/channel.h"
+#include "exec/operator.h"
+
+namespace eedc::exec {
+
+enum class ExchangeMode { kShuffle, kBroadcast, kGather };
+
+const char* ExchangeModeToString(ExchangeMode mode);
+
+class ExchangeOp final : public Operator {
+ public:
+  /// `group` is shared by this exchange's instances on all nodes.
+  /// `partition_key` is required for kShuffle (int64 column).
+  /// `destinations` restricts receivers (heterogeneous execution: Wimpy
+  /// scanners ship to Beefy joiners only); empty means all nodes. Gather
+  /// uses destinations[0] (default node 0).
+  static StatusOr<OperatorPtr> Create(OperatorPtr child, ExchangeMode mode,
+                                      std::string partition_key, int node_id,
+                                      ExchangeGroup* group,
+                                      std::vector<int> destinations,
+                                      NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override {
+    return child_->schema();
+  }
+
+  /// Releases this node's SenderDone tokens if the send phase never
+  /// completed — called when the node aborts so peers blocked in Receive()
+  /// are unblocked instead of deadlocking.
+  void AbortSend();
+
+ private:
+  ExchangeOp(OperatorPtr child, ExchangeMode mode, std::string partition_key,
+             int node_id, ExchangeGroup* group,
+             std::vector<int> destinations, NodeMetrics* metrics);
+
+  void FlushPending(int dest);
+  void RouteBlock(const storage::Block& block);
+
+  OperatorPtr child_;
+  ExchangeMode mode_;
+  std::string partition_key_;
+  int node_id_;
+  ExchangeGroup* group_;
+  NodeMetrics* metrics_;
+
+  int key_idx_ = -1;
+  bool send_complete_ = false;
+  std::vector<int> destinations_;
+  std::vector<storage::Block> pending_;  // per-destination staging blocks
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_EXCHANGE_OP_H_

@@ -1,0 +1,248 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/str_util.h"
+#include "exec/filter_op.h"
+#include "exec/hash_join_op.h"
+#include "exec/project_op.h"
+#include "exec/scan_op.h"
+#include "storage/partitioner.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::Table;
+using storage::TablePtr;
+
+Status ClusterData::LoadHashPartitioned(const std::string& name,
+                                        const Table& table,
+                                        const std::string& key) {
+  EEDC_ASSIGN_OR_RETURN(std::vector<Table> parts,
+                        storage::HashPartition(table, key, num_nodes()));
+  for (int i = 0; i < num_nodes(); ++i) {
+    stores_[static_cast<std::size_t>(i)].Put(
+        name, std::make_shared<Table>(std::move(
+                  parts[static_cast<std::size_t>(i)])));
+  }
+  return Status::OK();
+}
+
+void ClusterData::LoadReplicated(const std::string& name, TablePtr table) {
+  for (auto& store : stores_) store.Put(name, table);
+}
+
+void ClusterData::LoadRoundRobin(const std::string& name,
+                                 const Table& table) {
+  std::vector<Table> parts =
+      storage::RoundRobinPartition(table, num_nodes());
+  for (int i = 0; i < num_nodes(); ++i) {
+    stores_[static_cast<std::size_t>(i)].Put(
+        name, std::make_shared<Table>(std::move(
+                  parts[static_cast<std::size_t>(i)])));
+  }
+}
+
+namespace {
+
+/// Per-node plan instantiation state.
+struct NodeBuildContext {
+  const ClusterData* data = nullptr;
+  int node_id = 0;
+  NodeMetrics* metrics = nullptr;
+  std::vector<std::unique_ptr<ExchangeGroup>>* groups = nullptr;
+  int next_exchange = 0;
+  double memory_budget_bytes = 0.0;
+  /// Exchange instances created for this node, used to unblock peers if
+  /// this node aborts before opening every exchange.
+  std::vector<ExchangeOp*>* exchange_ops = nullptr;
+};
+
+StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan: {
+      EEDC_ASSIGN_OR_RETURN(
+          TablePtr table,
+          ctx->data->store(ctx->node_id).Get(plan.table_name));
+      return OperatorPtr(new ScanOp(std::move(table), ctx->metrics));
+    }
+    case PlanNode::Kind::kFilter: {
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildOps(*plan.children.at(0), ctx));
+      return OperatorPtr(new FilterOp(std::move(child), plan.predicate,
+                                      ctx->metrics));
+    }
+    case PlanNode::Kind::kProject: {
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildOps(*plan.children.at(0), ctx));
+      return ProjectOp::Create(std::move(child), plan.columns,
+                               plan.computed, ctx->metrics);
+    }
+    case PlanNode::Kind::kHashJoin: {
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr build,
+                            BuildOps(*plan.children.at(0), ctx));
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr probe,
+                            BuildOps(*plan.children.at(1), ctx));
+      HashJoinOp::Options options;
+      options.memory_budget_bytes = ctx->memory_budget_bytes;
+      return HashJoinOp::Create(std::move(build), std::move(probe),
+                                plan.build_key, plan.probe_key, options,
+                                ctx->metrics);
+    }
+    case PlanNode::Kind::kHashAgg: {
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildOps(*plan.children.at(0), ctx));
+      return HashAggOp::Create(std::move(child), plan.group_by, plan.aggs,
+                               ctx->metrics);
+    }
+    case PlanNode::Kind::kExchange: {
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
+                            BuildOps(*plan.children.at(0), ctx));
+      const int id = ctx->next_exchange++;
+      if (id >= static_cast<int>(ctx->groups->size())) {
+        return Status::Internal(
+            "per-node plans disagree on exchange count");
+      }
+      EEDC_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          ExchangeOp::Create(std::move(child), plan.mode,
+                             plan.partition_key, ctx->node_id,
+                             (*ctx->groups)[static_cast<std::size_t>(id)]
+                                 .get(),
+                             plan.destinations, ctx->metrics));
+      ctx->exchange_ops->push_back(static_cast<ExchangeOp*>(op.get()));
+      return op;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+Executor::Executor(const ClusterData* data, Options options)
+    : data_(data), options_(std::move(options)) {
+  EEDC_CHECK(data_ != nullptr);
+}
+
+StatusOr<QueryResult> Executor::Execute(PlanPtr plan) {
+  return ExecutePerNode([plan](int) { return plan; });
+}
+
+StatusOr<QueryResult> Executor::ExecutePerNode(
+    const NodePlanFn& plan_for_node) {
+  const int n = data_->num_nodes();
+  if (n <= 0) return Status::InvalidArgument("cluster has no nodes");
+
+  // Channel groups are shared across nodes, created from node 0's plan.
+  PlanPtr plan0 = plan_for_node(0);
+  const int num_exchanges = CountExchanges(*plan0);
+  std::vector<std::unique_ptr<ExchangeGroup>> groups;
+  groups.reserve(static_cast<std::size_t>(num_exchanges));
+  for (int i = 0; i < num_exchanges; ++i) {
+    groups.push_back(std::make_unique<ExchangeGroup>(n, i));
+  }
+
+  ExecMetrics metrics;
+  metrics.nodes.resize(static_cast<std::size_t>(n));
+
+  // Instantiate all node operator trees up front so that schema/placement
+  // errors surface before any thread starts (no partial execution).
+  std::vector<OperatorPtr> roots(static_cast<std::size_t>(n));
+  std::vector<std::vector<ExchangeOp*>> node_exchanges(
+      static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    NodeBuildContext ctx;
+    ctx.data = data_;
+    ctx.node_id = node;
+    ctx.metrics = &metrics.nodes[static_cast<std::size_t>(node)];
+    ctx.groups = &groups;
+    ctx.exchange_ops = &node_exchanges[static_cast<std::size_t>(node)];
+    if (static_cast<std::size_t>(node) <
+        options_.node_memory_budget_bytes.size()) {
+      ctx.memory_budget_bytes =
+          options_.node_memory_budget_bytes[static_cast<std::size_t>(node)];
+    }
+    PlanPtr plan = node == 0 ? plan0 : plan_for_node(node);
+    EEDC_ASSIGN_OR_RETURN(roots[static_cast<std::size_t>(node)],
+                          BuildOps(*plan, &ctx));
+    if (ctx.next_exchange != num_exchanges) {
+      return Status::InvalidArgument(
+          "per-node plans disagree on exchange count");
+    }
+  }
+
+  // Results and statuses, one slot per node.
+  std::vector<Status> statuses(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<Table>> partials(static_cast<std::size_t>(n));
+
+  auto run_node = [&](int node) {
+    const auto start = std::chrono::steady_clock::now();
+    Operator& root = *roots[static_cast<std::size_t>(node)];
+    auto result = std::make_unique<Table>(root.schema());
+    Status st = root.Open();
+    if (st.ok()) {
+      while (true) {
+        auto block_or = root.Next();
+        if (!block_or.ok()) {
+          st = block_or.status();
+          break;
+        }
+        if (!block_or.value().has_value()) break;
+        const Block& block = *block_or.value();
+        for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
+          result->mutable_column(c).AppendRange(block.column(c), 0,
+                                                block.size());
+        }
+        result->FinishBulkLoad();
+      }
+      Status close_st = root.Close();
+      if (st.ok()) st = close_st;
+    }
+    if (!st.ok()) {
+      // Unblock peers: every exchange this node never finished sending on
+      // must still release its SenderDone tokens.
+      for (ExchangeOp* ex : node_exchanges[static_cast<std::size_t>(node)]) {
+        ex->AbortSend();
+      }
+    }
+    const auto end = std::chrono::steady_clock::now();
+    metrics.nodes[static_cast<std::size_t>(node)].wall =
+        Duration::Seconds(std::chrono::duration<double>(end - start)
+                              .count());
+    statuses[static_cast<std::size_t>(node)] = st;
+    partials[static_cast<std::size_t>(node)] = std::move(result);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    threads.emplace_back(run_node, node);
+  }
+  for (auto& t : threads) t.join();
+
+  for (int node = 0; node < n; ++node) {
+    if (!statuses[static_cast<std::size_t>(node)].ok()) {
+      return statuses[static_cast<std::size_t>(node)];
+    }
+  }
+
+  // Concatenate per-node outputs in node order.
+  QueryResult out{Table(roots[0]->schema()), std::move(metrics)};
+  for (int node = 0; node < n; ++node) {
+    const Table& part = *partials[static_cast<std::size_t>(node)];
+    for (std::size_t c = 0; c < part.num_columns(); ++c) {
+      out.table.mutable_column(c).AppendRange(part.column(c), 0,
+                                              part.num_rows());
+    }
+    out.table.FinishBulkLoad();
+  }
+  for (const auto& nm : out.metrics.nodes) {
+    if (nm.wall > out.metrics.wall) out.metrics.wall = nm.wall;
+  }
+  return out;
+}
+
+}  // namespace eedc::exec

@@ -1,0 +1,86 @@
+// The distributed P-store executor.
+//
+// Executes a logical plan SPMD across N simulated nodes: each node runs an
+// identical operator tree over its local partitions in its own thread;
+// exchange operators communicate through in-memory channel groups. The
+// result is the concatenation of every node's root output plus per-node
+// execution metrics.
+//
+// Heterogeneous execution (Section 5.2.2): a per-node memory budget can be
+// set, and plans may diverge per node through NodePlanFn — e.g. Wimpy nodes
+// run scan/filter/ship-only trees while Beefy nodes build hash tables.
+#ifndef EEDC_EXEC_EXECUTOR_H_
+#define EEDC_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "exec/metrics.h"
+#include "exec/plan.h"
+#include "storage/table_store.h"
+
+namespace eedc::exec {
+
+/// The data placement of a cluster: one TableStore per node.
+class ClusterData {
+ public:
+  explicit ClusterData(int num_nodes) : stores_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(stores_.size()); }
+  storage::TableStore& store(int node) {
+    return stores_.at(static_cast<std::size_t>(node));
+  }
+  const storage::TableStore& store(int node) const {
+    return stores_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Hash partitions `table` on `key` and stores one shard per node.
+  Status LoadHashPartitioned(const std::string& name,
+                             const storage::Table& table,
+                             const std::string& key);
+  /// Stores the same table on every node.
+  void LoadReplicated(const std::string& name, storage::TablePtr table);
+  /// Round-robin placement (partition-incompatible on purpose).
+  void LoadRoundRobin(const std::string& name, const storage::Table& table);
+
+ private:
+  std::vector<storage::TableStore> stores_;
+};
+
+struct QueryResult {
+  storage::Table table;
+  ExecMetrics metrics;
+};
+
+class Executor {
+ public:
+  struct Options {
+    /// Per-node hash-join memory budget in bytes; index i applies to node
+    /// i. Empty = unlimited everywhere.
+    std::vector<double> node_memory_budget_bytes;
+  };
+
+  /// Produces the (possibly node-specific) plan for a node. The default
+  /// executes the same plan everywhere.
+  using NodePlanFn = std::function<PlanPtr(int node_id)>;
+
+  explicit Executor(const ClusterData* data, Options options = Options());
+
+  /// Runs the same plan on every node.
+  StatusOr<QueryResult> Execute(PlanPtr plan);
+
+  /// Runs a per-node plan. All plans must contain the same number of
+  /// exchanges with matching modes/keys in preorder position (they share
+  /// channel groups positionally) and produce identical output schemas.
+  StatusOr<QueryResult> ExecutePerNode(const NodePlanFn& plan_for_node);
+
+ private:
+  const ClusterData* data_;
+  Options options_;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_EXECUTOR_H_

@@ -1,0 +1,412 @@
+#include "exec/expr.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace eedc::exec {
+
+using storage::Column;
+using storage::DataType;
+using storage::Schema;
+using storage::Table;
+
+StatusOr<Column> Expr::EvalToColumn(const Table& input) const {
+  EEDC_ASSIGN_OR_RETURN(DataType t, ResultType(input.schema()));
+  Column out(t);
+  out.Reserve(input.num_rows());
+  EEDC_RETURN_IF_ERROR(Eval(input, &out));
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Column reference.
+// ---------------------------------------------------------------------------
+
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override {
+    EEDC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(name_));
+    return schema.field(static_cast<std::size_t>(idx)).type;
+  }
+
+  Status Eval(const Table& input, Column* out) const override {
+    EEDC_ASSIGN_OR_RETURN(const Column* col, input.ColumnByName(name_));
+    for (std::size_t i = 0; i < input.num_rows(); ++i) {
+      out->AppendFrom(*col, i);
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Constants.
+// ---------------------------------------------------------------------------
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(storage::Value v) : value_(std::move(v)) {}
+
+  StatusOr<DataType> ResultType(const Schema&) const override {
+    return storage::TypeOf(value_);
+  }
+
+  Status Eval(const Table& input, Column* out) const override {
+    for (std::size_t i = 0; i < input.num_rows(); ++i) {
+      out->AppendValue(value_);
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const override {
+    switch (value_.index()) {
+      case 0:
+        return StrFormat("%lld",
+                         static_cast<long long>(
+                             std::get<std::int64_t>(value_)));
+      case 1:
+        return FormatDouble(std::get<double>(value_));
+      default:
+        return "'" + std::get<std::string>(value_) + "'";
+    }
+  }
+
+ private:
+  storage::Value value_;
+};
+
+// ---------------------------------------------------------------------------
+// Binary arithmetic.
+// ---------------------------------------------------------------------------
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override {
+    EEDC_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(schema));
+    EEDC_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(schema));
+    if (lt == DataType::kString || rt == DataType::kString) {
+      return Status::InvalidArgument("arithmetic on string operands");
+    }
+    if (lt == DataType::kInt64 && rt == DataType::kInt64 &&
+        op_ != ArithOp::kDiv) {
+      return DataType::kInt64;
+    }
+    return DataType::kDouble;
+  }
+
+  Status Eval(const Table& input, Column* out) const override {
+    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
+    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
+    EEDC_ASSIGN_OR_RETURN(DataType rt, ResultType(input.schema()));
+    const std::size_t n = input.num_rows();
+    auto as_double = [](const Column& c, std::size_t i) {
+      return c.type() == DataType::kInt64
+                 ? static_cast<double>(c.Int64At(i))
+                 : c.DoubleAt(i);
+    };
+    if (rt == DataType::kInt64) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t a = lc.Int64At(i), b = rc.Int64At(i);
+        std::int64_t v = 0;
+        switch (op_) {
+          case ArithOp::kAdd:
+            v = a + b;
+            break;
+          case ArithOp::kSub:
+            v = a - b;
+            break;
+          case ArithOp::kMul:
+            v = a * b;
+            break;
+          case ArithOp::kDiv:
+            break;  // unreachable: int division promotes to double
+        }
+        out->AppendInt64(v);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = as_double(lc, i), b = as_double(rc, i);
+        double v = 0;
+        switch (op_) {
+          case ArithOp::kAdd:
+            v = a + b;
+            break;
+          case ArithOp::kSub:
+            v = a - b;
+            break;
+          case ArithOp::kMul:
+            v = a * b;
+            break;
+          case ArithOp::kDiv:
+            v = a / b;
+            break;
+        }
+        out->AppendDouble(v);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + ArithOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparisons.
+// ---------------------------------------------------------------------------
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+template <typename T>
+bool ApplyCmp(CmpOp op, const T& a, const T& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override {
+    EEDC_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(schema));
+    EEDC_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(schema));
+    const bool numeric_mix =
+        lt != DataType::kString && rt != DataType::kString;
+    if (lt != rt && !numeric_mix) {
+      return Status::InvalidArgument(
+          "comparison operand types are incompatible");
+    }
+    return DataType::kInt64;
+  }
+
+  Status Eval(const Table& input, Column* out) const override {
+    EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
+    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
+    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
+    const std::size_t n = input.num_rows();
+    if (lc.type() == DataType::kString) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out->AppendInt64(
+            ApplyCmp(op_, lc.StringAt(i), rc.StringAt(i)) ? 1 : 0);
+      }
+    } else if (lc.type() == DataType::kInt64 &&
+               rc.type() == DataType::kInt64) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out->AppendInt64(ApplyCmp(op_, lc.Int64At(i), rc.Int64At(i)) ? 1
+                                                                     : 0);
+      }
+    } else {
+      auto as_double = [](const Column& c, std::size_t i) {
+        return c.type() == DataType::kInt64
+                   ? static_cast<double>(c.Int64At(i))
+                   : c.DoubleAt(i);
+      };
+      for (std::size_t i = 0; i < n; ++i) {
+        out->AppendInt64(
+            ApplyCmp(op_, as_double(lc, i), as_double(rc, i)) ? 1 : 0);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + CmpOpName(op_) + " " +
+           rhs_->ToString() + ")";
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Boolean connectives.
+// ---------------------------------------------------------------------------
+
+enum class BoolOp { kAnd, kOr, kNot };
+
+class BoolExpr final : public Expr {
+ public:
+  BoolExpr(BoolOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  StatusOr<DataType> ResultType(const Schema& schema) const override {
+    EEDC_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(schema));
+    if (lt != DataType::kInt64) {
+      return Status::InvalidArgument("boolean operand must be int64 0/1");
+    }
+    if (rhs_) {
+      EEDC_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(schema));
+      if (rt != DataType::kInt64) {
+        return Status::InvalidArgument("boolean operand must be int64 0/1");
+      }
+    }
+    return DataType::kInt64;
+  }
+
+  Status Eval(const Table& input, Column* out) const override {
+    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
+    const std::size_t n = input.num_rows();
+    if (op_ == BoolOp::kNot) {
+      for (std::size_t i = 0; i < n; ++i) {
+        out->AppendInt64(lc.Int64At(i) != 0 ? 0 : 1);
+      }
+      return Status::OK();
+    }
+    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool a = lc.Int64At(i) != 0;
+      const bool b = rc.Int64At(i) != 0;
+      out->AppendInt64((op_ == BoolOp::kAnd ? (a && b) : (a || b)) ? 1 : 0);
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const override {
+    if (op_ == BoolOp::kNot) return "NOT " + lhs_->ToString();
+    return "(" + lhs_->ToString() +
+           (op_ == BoolOp::kAnd ? " AND " : " OR ") + rhs_->ToString() + ")";
+  }
+
+ private:
+  BoolOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+}  // namespace
+
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr I64(std::int64_t v) { return std::make_shared<ConstExpr>(v); }
+ExprPtr F64(double v) { return std::make_shared<ConstExpr>(v); }
+ExprPtr Str(std::string v) {
+  return std::make_shared<ConstExpr>(std::move(v));
+}
+
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kAdd, std::move(a),
+                                     std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kSub, std::move(a),
+                                     std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kMul, std::move(a),
+                                     std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<ArithExpr>(ArithOp::kDiv, std::move(a),
+                                     std::move(b));
+}
+
+ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kEq, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kNe, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kLt, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kLe, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kGt, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(CmpOp::kGe, std::move(a),
+                                       std::move(b));
+}
+
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BoolExpr>(BoolOp::kAnd, std::move(a),
+                                    std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BoolExpr>(BoolOp::kOr, std::move(a),
+                                    std::move(b));
+}
+ExprPtr Not(ExprPtr a) {
+  return std::make_shared<BoolExpr>(BoolOp::kNot, std::move(a), nullptr);
+}
+
+ExprPtr True() { return I64(1); }
+
+}  // namespace eedc::exec

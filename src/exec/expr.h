@@ -1,0 +1,76 @@
+// Expression trees evaluated column-at-a-time over tables/blocks.
+//
+// Expressions compute one output column per input batch. Predicates are
+// expressions producing int64 0/1. The vocabulary covers what the paper's
+// workloads need: column references, constants, arithmetic, comparisons and
+// boolean connectives.
+#ifndef EEDC_EXEC_EXPR_H_
+#define EEDC_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace eedc::exec {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Output type of this expression against the given input schema.
+  virtual StatusOr<storage::DataType> ResultType(
+      const storage::Schema& schema) const = 0;
+
+  /// Evaluates over every row of `input`, appending `input.num_rows()`
+  /// values to `out` (whose type must equal ResultType).
+  virtual Status Eval(const storage::Table& input,
+                      storage::Column* out) const = 0;
+
+  virtual std::string ToString() const = 0;
+
+  /// Convenience: evaluates into a fresh column.
+  StatusOr<storage::Column> EvalToColumn(const storage::Table& input) const;
+};
+
+// ---------------------------------------------------------------------------
+// Factories.
+// ---------------------------------------------------------------------------
+
+/// Reference to a named input column.
+ExprPtr Col(std::string name);
+/// Typed constants.
+ExprPtr I64(std::int64_t v);
+ExprPtr F64(double v);
+ExprPtr Str(std::string v);
+
+/// Arithmetic (numeric operands; result double unless both int64).
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+
+/// Comparisons (int64/double/string operands of equal type; result 0/1).
+ExprPtr Eq(ExprPtr a, ExprPtr b);
+ExprPtr Ne(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr Le(ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Ge(ExprPtr a, ExprPtr b);
+
+/// Boolean connectives over 0/1 int64 operands.
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr a);
+
+/// Constant-true predicate (matches every row).
+ExprPtr True();
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_EXPR_H_

@@ -1,0 +1,47 @@
+#include "exec/filter_op.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::Column;
+using storage::DataType;
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate,
+                   NodeMetrics* metrics)
+    : child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      metrics_(metrics) {
+  EEDC_CHECK(child_ != nullptr);
+  EEDC_CHECK(predicate_ != nullptr);
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+StatusOr<std::optional<Block>> FilterOp::Next() {
+  // Pull until a block yields at least one passing row (or EOS); always
+  // returning non-empty blocks keeps downstream operators simple.
+  while (true) {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, child_->Next());
+    if (!in.has_value()) return std::optional<Block>();
+    EEDC_ASSIGN_OR_RETURN(Column sel,
+                          predicate_->EvalToColumn(in->AsTable()));
+    if (sel.type() != DataType::kInt64) {
+      return Status::InvalidArgument("filter predicate must yield int64");
+    }
+    Block out(in->schema());
+    for (std::size_t i = 0; i < in->size(); ++i) {
+      if (sel.Int64At(i) != 0) out.AppendRowFromBlock(*in, i);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->filter_rows_in += static_cast<double>(in->size());
+      metrics_->filter_rows_out += static_cast<double>(out.size());
+      metrics_->filter_bytes_out += out.LogicalBytes();
+      metrics_->cpu_bytes += in->LogicalBytes();
+    }
+    if (!out.empty()) return std::optional<Block>(std::move(out));
+  }
+}
+
+Status FilterOp::Close() { return child_->Close(); }
+
+}  // namespace eedc::exec

@@ -1,0 +1,29 @@
+// Select (filter): passes rows whose predicate evaluates to nonzero.
+#ifndef EEDC_EXEC_FILTER_OP_H_
+#define EEDC_EXEC_FILTER_OP_H_
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace eedc::exec {
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate, NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override {
+    return child_->schema();
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+  NodeMetrics* metrics_;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_FILTER_OP_H_

@@ -1,0 +1,177 @@
+#include "exec/hash_agg_op.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Value;
+
+StatusOr<OperatorPtr> HashAggOp::Create(OperatorPtr child,
+                                        std::vector<std::string> group_by,
+                                        std::vector<AggSpec> aggs,
+                                        NodeMetrics* metrics) {
+  const Schema& in = child->schema();
+  std::vector<Field> fields;
+  for (const auto& g : group_by) {
+    EEDC_ASSIGN_OR_RETURN(int idx, in.IndexOf(g));
+    fields.push_back(in.field(static_cast<std::size_t>(idx)));
+  }
+  for (const auto& a : aggs) {
+    if (a.kind == AggSpec::Kind::kCount) {
+      fields.push_back(Field{a.name, DataType::kInt64, 0.0});
+      continue;
+    }
+    if (a.arg == nullptr) {
+      return Status::InvalidArgument("aggregate requires an argument");
+    }
+    EEDC_ASSIGN_OR_RETURN(DataType t, a.arg->ResultType(in));
+    if (t == DataType::kString) {
+      return Status::InvalidArgument("cannot aggregate string expression");
+    }
+    fields.push_back(Field{a.name, DataType::kDouble, 0.0});
+  }
+  Schema schema{std::move(fields)};
+  return OperatorPtr(new HashAggOp(std::move(child), std::move(group_by),
+                                   std::move(aggs), std::move(schema),
+                                   metrics));
+}
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<std::string> group_by,
+                     std::vector<AggSpec> aggs, Schema schema,
+                     NodeMetrics* metrics)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggs_(std::move(aggs)),
+      schema_(std::move(schema)),
+      metrics_(metrics) {}
+
+Status HashAggOp::Open() {
+  EEDC_RETURN_IF_ERROR(child_->Open());
+  const Schema& in = child_->schema();
+  std::vector<int> group_idx;
+  for (const auto& g : group_by_) {
+    EEDC_ASSIGN_OR_RETURN(int idx, in.IndexOf(g));
+    group_idx.push_back(idx);
+  }
+  while (true) {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, child_->Next());
+    if (!block.has_value()) break;
+    const std::size_t n = block->size();
+    // Evaluate aggregate arguments once per block.
+    std::vector<Column> args;
+    args.reserve(aggs_.size());
+    for (const auto& a : aggs_) {
+      if (a.arg == nullptr) {
+        args.emplace_back(DataType::kInt64);  // placeholder for COUNT
+      } else {
+        EEDC_ASSIGN_OR_RETURN(Column c, a.arg->EvalToColumn(block->AsTable()));
+        args.push_back(std::move(c));
+      }
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      // Serialize the group key.
+      std::string key;
+      for (int gi : group_idx) {
+        const Column& c = block->column(static_cast<std::size_t>(gi));
+        switch (c.type()) {
+          case DataType::kInt64:
+            key += StrFormat("i%lld|",
+                             static_cast<long long>(c.Int64At(row)));
+            break;
+          case DataType::kDouble:
+            key += StrFormat("d%.17g|", c.DoubleAt(row));
+            break;
+          case DataType::kString:
+            key += "s" + c.StringAt(row) + "|";
+            break;
+        }
+      }
+      auto [it, inserted] = group_index_.emplace(key, groups_.size());
+      if (inserted) {
+        GroupState gs;
+        for (int gi : group_idx) {
+          gs.keys.push_back(
+              block->column(static_cast<std::size_t>(gi)).ValueAt(row));
+        }
+        gs.accum.assign(aggs_.size(), 0.0);
+        gs.initialized.assign(aggs_.size(), false);
+        groups_.push_back(std::move(gs));
+      }
+      GroupState& gs = groups_[it->second];
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        double v = 0.0;
+        if (aggs_[a].kind != AggSpec::Kind::kCount) {
+          const Column& c = args[a];
+          v = c.type() == DataType::kInt64
+                  ? static_cast<double>(c.Int64At(row))
+                  : c.DoubleAt(row);
+        }
+        switch (aggs_[a].kind) {
+          case AggSpec::Kind::kSum:
+            gs.accum[a] += v;
+            break;
+          case AggSpec::Kind::kCount:
+            gs.accum[a] += 1.0;
+            break;
+          case AggSpec::Kind::kMin:
+            gs.accum[a] = gs.initialized[a] ? std::min(gs.accum[a], v) : v;
+            break;
+          case AggSpec::Kind::kMax:
+            gs.accum[a] = gs.initialized[a] ? std::max(gs.accum[a], v) : v;
+            break;
+        }
+        gs.initialized[a] = true;
+      }
+    }
+    if (metrics_ != nullptr) {
+      metrics_->agg_rows_in += static_cast<double>(n);
+      metrics_->cpu_bytes += block->LogicalBytes();
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->agg_groups += static_cast<double>(groups_.size());
+  }
+  emitted_ = false;
+  return child_->Close();
+}
+
+StatusOr<std::optional<Block>> HashAggOp::Next() {
+  if (emitted_) return std::optional<Block>();
+  emitted_ = true;
+  // For a global aggregate (no GROUP BY) with no input rows, SQL semantics
+  // still produce one row (SUM = 0 here, COUNT = 0).
+  if (groups_.empty() && group_by_.empty()) {
+    GroupState gs;
+    gs.accum.assign(aggs_.size(), 0.0);
+    gs.initialized.assign(aggs_.size(), false);
+    groups_.push_back(std::move(gs));
+  }
+  Block out(schema_, std::max<std::size_t>(groups_.size(), 1));
+  for (const auto& gs : groups_) {
+    std::size_t c = 0;
+    for (const auto& key : gs.keys) {
+      out.mutable_column(c++).AppendValue(key);
+    }
+    for (std::size_t a = 0; a < aggs_.size(); ++a, ++c) {
+      if (aggs_[a].kind == AggSpec::Kind::kCount) {
+        out.mutable_column(c).AppendInt64(
+            static_cast<std::int64_t>(gs.accum[a]));
+      } else {
+        out.mutable_column(c).AppendDouble(gs.accum[a]);
+      }
+    }
+  }
+  out.FinishBulkLoad();
+  return std::optional<Block>(std::move(out));
+}
+
+Status HashAggOp::Close() { return Status::OK(); }
+
+}  // namespace eedc::exec

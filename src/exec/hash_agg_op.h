@@ -1,0 +1,77 @@
+// Hash aggregation with optional grouping.
+//
+// Supports SUM / COUNT / MIN / MAX over expressions. AVG is composed
+// downstream as SUM/COUNT, which also makes two-phase (partial-then-final)
+// distributed aggregation exact: partials emit SUM and COUNT columns, the
+// final phase SUMs them.
+#ifndef EEDC_EXEC_HASH_AGG_OP_H_
+#define EEDC_EXEC_HASH_AGG_OP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace eedc::exec {
+
+struct AggSpec {
+  enum class Kind { kSum, kCount, kMin, kMax };
+  Kind kind = Kind::kSum;
+  /// Argument expression (null for COUNT(*)).
+  ExprPtr arg;
+  /// Output column name.
+  std::string name;
+
+  static AggSpec Sum(ExprPtr e, std::string name) {
+    return AggSpec{Kind::kSum, std::move(e), std::move(name)};
+  }
+  static AggSpec Count(std::string name) {
+    return AggSpec{Kind::kCount, nullptr, std::move(name)};
+  }
+  static AggSpec Min(ExprPtr e, std::string name) {
+    return AggSpec{Kind::kMin, std::move(e), std::move(name)};
+  }
+  static AggSpec Max(ExprPtr e, std::string name) {
+    return AggSpec{Kind::kMax, std::move(e), std::move(name)};
+  }
+};
+
+class HashAggOp final : public Operator {
+ public:
+  static StatusOr<OperatorPtr> Create(OperatorPtr child,
+                                      std::vector<std::string> group_by,
+                                      std::vector<AggSpec> aggs,
+                                      NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override { return schema_; }
+
+ private:
+  HashAggOp(OperatorPtr child, std::vector<std::string> group_by,
+            std::vector<AggSpec> aggs, storage::Schema schema,
+            NodeMetrics* metrics);
+
+  struct GroupState {
+    std::vector<storage::Value> keys;
+    std::vector<double> accum;       // one slot per agg (count uses it too)
+    std::vector<bool> initialized;   // for min/max
+  };
+
+  OperatorPtr child_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggs_;
+  storage::Schema schema_;
+  NodeMetrics* metrics_;
+
+  std::unordered_map<std::string, std::size_t> group_index_;
+  std::vector<GroupState> groups_;
+  bool emitted_ = false;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_HASH_AGG_OP_H_

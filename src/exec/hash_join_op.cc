@@ -1,0 +1,128 @@
+#include "exec/hash_join_op.h"
+
+#include "common/str_util.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+
+StatusOr<OperatorPtr> HashJoinOp::Create(OperatorPtr build,
+                                         OperatorPtr probe,
+                                         std::string build_key,
+                                         std::string probe_key,
+                                         Options options,
+                                         NodeMetrics* metrics) {
+  const Schema& bs = build->schema();
+  const Schema& ps = probe->schema();
+  EEDC_ASSIGN_OR_RETURN(int bidx, bs.IndexOf(build_key));
+  EEDC_ASSIGN_OR_RETURN(int pidx, ps.IndexOf(probe_key));
+  if (bs.field(static_cast<std::size_t>(bidx)).type != DataType::kInt64 ||
+      ps.field(static_cast<std::size_t>(pidx)).type != DataType::kInt64) {
+    return Status::InvalidArgument("hash join keys must be int64");
+  }
+  std::vector<Field> fields;
+  fields.reserve(ps.num_fields() + bs.num_fields());
+  for (const auto& f : ps.fields()) fields.push_back(f);
+  for (const auto& f : bs.fields()) {
+    if (ps.Contains(f.name)) {
+      return Status::InvalidArgument(
+          StrFormat("hash join output field '%s' is ambiguous",
+                    f.name.c_str()));
+    }
+    fields.push_back(f);
+  }
+  Schema schema{std::move(fields)};
+  auto* op = new HashJoinOp(std::move(build), std::move(probe),
+                            std::move(build_key), std::move(probe_key),
+                            std::move(schema), options, metrics);
+  op->build_key_idx_ = bidx;
+  op->probe_key_idx_ = pidx;
+  return OperatorPtr(op);
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
+                       std::string build_key, std::string probe_key,
+                       Schema schema, Options options, NodeMetrics* metrics)
+    : build_child_(std::move(build)),
+      probe_child_(std::move(probe)),
+      build_key_(std::move(build_key)),
+      probe_key_(std::move(probe_key)),
+      schema_(std::move(schema)),
+      options_(options),
+      metrics_(metrics),
+      build_table_(build_child_->schema()) {}
+
+Status HashJoinOp::Open() {
+  EEDC_RETURN_IF_ERROR(build_child_->Open());
+  // Drain the build side, inserting into the hash table as blocks arrive.
+  while (true) {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, build_child_->Next());
+    if (!block.has_value()) break;
+    const auto keys =
+        block->column(static_cast<std::size_t>(build_key_idx_)).int64s();
+    const std::size_t base = build_table_.num_rows();
+    for (std::size_t c = 0; c < block->schema().num_fields(); ++c) {
+      build_table_.mutable_column(c).AppendRange(block->column(c), 0,
+                                                 block->size());
+    }
+    build_table_.FinishBulkLoad();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      hash_table_.Insert(keys[i], static_cast<std::uint32_t>(base + i));
+    }
+    if (options_.memory_budget_bytes > 0.0) {
+      const double used =
+          hash_table_.ApproxBytes() + build_table_.ApproxBytes();
+      if (used > options_.memory_budget_bytes) {
+        return Status::ResourceExhausted(StrFormat(
+            "hash table (%.0f B) exceeds node memory budget (%.0f B); "
+            "2-pass joins are unsupported (H predicate violated)",
+            used, options_.memory_budget_bytes));
+      }
+    }
+  }
+  EEDC_RETURN_IF_ERROR(build_child_->Close());
+  if (metrics_ != nullptr) {
+    metrics_->build_rows += static_cast<double>(build_table_.num_rows());
+    metrics_->hash_table_bytes +=
+        hash_table_.ApproxBytes() + build_table_.ApproxBytes();
+    metrics_->cpu_bytes += build_table_.LogicalBytes();
+  }
+  return probe_child_->Open();
+}
+
+StatusOr<std::optional<Block>> HashJoinOp::Next() {
+  while (true) {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, probe_child_->Next());
+    if (!in.has_value()) return std::optional<Block>();
+    const auto keys =
+        in->column(static_cast<std::size_t>(probe_key_idx_)).int64s();
+    Block out(schema_);
+    const std::size_t probe_width = in->schema().num_fields();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      hash_table_.ForEachMatch(keys[i], [&](std::uint32_t build_row) {
+        for (std::size_t c = 0; c < probe_width; ++c) {
+          out.mutable_column(c).AppendFrom(in->column(c), i);
+        }
+        for (std::size_t c = 0; c < build_table_.num_columns(); ++c) {
+          out.mutable_column(probe_width + c)
+              .AppendFrom(build_table_.column(c), build_row);
+        }
+      });
+    }
+    out.FinishBulkLoad();
+    if (metrics_ != nullptr) {
+      metrics_->probe_rows += static_cast<double>(in->size());
+      metrics_->join_output_rows += static_cast<double>(out.size());
+      metrics_->cpu_bytes += in->LogicalBytes() + out.LogicalBytes();
+    }
+    if (!out.empty()) return std::optional<Block>(std::move(out));
+  }
+}
+
+Status HashJoinOp::Close() { return probe_child_->Close(); }
+
+}  // namespace eedc::exec

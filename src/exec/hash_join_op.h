@@ -1,0 +1,59 @@
+// Hash join: builds an in-memory hash table from the build child, then
+// streams the probe child against it ("build the hash table on-the-fly as
+// tuples arrive over the network ... probe on-the-fly", Section 4.3.1).
+//
+// Output schema is probe fields followed by build fields; field names must
+// be disjoint. An optional memory budget enforces the paper's H predicate —
+// a node that cannot hold its hash table fails with ResourceExhausted, which
+// is what forces heterogeneous (scan/filter-only) plans on Wimpy nodes.
+#ifndef EEDC_EXEC_HASH_JOIN_OP_H_
+#define EEDC_EXEC_HASH_JOIN_OP_H_
+
+#include <string>
+
+#include "exec/hash_table.h"
+#include "exec/operator.h"
+
+namespace eedc::exec {
+
+class HashJoinOp final : public Operator {
+ public:
+  struct Options {
+    /// Maximum hash-table + build-side bytes this node may use;
+    /// <= 0 means unlimited. Models Table 3's H predicate.
+    double memory_budget_bytes = 0.0;
+  };
+
+  static StatusOr<OperatorPtr> Create(OperatorPtr build, OperatorPtr probe,
+                                      std::string build_key,
+                                      std::string probe_key,
+                                      Options options,
+                                      NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override { return schema_; }
+
+ private:
+  HashJoinOp(OperatorPtr build, OperatorPtr probe, std::string build_key,
+             std::string probe_key, storage::Schema schema, Options options,
+             NodeMetrics* metrics);
+
+  OperatorPtr build_child_;
+  OperatorPtr probe_child_;
+  std::string build_key_;
+  std::string probe_key_;
+  storage::Schema schema_;
+  Options options_;
+  NodeMetrics* metrics_;
+
+  storage::Table build_table_;
+  JoinHashTable hash_table_;
+  int build_key_idx_ = -1;
+  int probe_key_idx_ = -1;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_HASH_JOIN_OP_H_

@@ -1,0 +1,43 @@
+#include "exec/hash_table.h"
+
+#include <bit>
+
+namespace eedc::exec {
+
+namespace {
+
+std::size_t NextPow2(std::size_t n) {
+  if (n < 16) return 16;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+void JoinHashTable::Reserve(std::size_t expected_entries) {
+  entries_.reserve(expected_entries);
+  const std::size_t want = NextPow2(expected_entries * 2);
+  if (want > buckets_.size()) Rehash(want);
+}
+
+void JoinHashTable::Insert(std::int64_t key, std::uint32_t row) {
+  if (entries_.size() + 1 > buckets_.size() * 3 / 4) {
+    Rehash(NextPow2(buckets_.size() * 2));
+  }
+  const std::uint64_t h = storage::HashKey(key);
+  const std::uint64_t b = h & mask_;
+  entries_.push_back(
+      Entry{key, row, buckets_[b]});
+  buckets_[b] = static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void JoinHashTable::Rehash(std::size_t new_bucket_count) {
+  buckets_.assign(new_bucket_count, kNil);
+  mask_ = new_bucket_count - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    const std::uint64_t b = storage::HashKey(entries_[i].key) & mask_;
+    entries_[i].next = buckets_[b];
+    buckets_[b] = i;
+  }
+}
+
+}  // namespace eedc::exec

@@ -1,0 +1,75 @@
+// Join hash table: int64 key -> build-side row indices (multimap).
+//
+// Bucket-array + entry-chain layout: one contiguous entries vector, one
+// power-of-two bucket directory of chain heads. Insertions are O(1);
+// lookups walk short chains. This is the "cache-conscious, multi-threaded"
+// hash join building block described in Sections 4.2 and 5.1 (one table per
+// worker; probes are read-only and thread-safe).
+#ifndef EEDC_EXEC_HASH_TABLE_H_
+#define EEDC_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/partitioner.h"
+
+namespace eedc::exec {
+
+class JoinHashTable {
+ public:
+  JoinHashTable() = default;
+
+  /// Pre-sizes the directory for an expected number of entries.
+  void Reserve(std::size_t expected_entries);
+
+  /// Adds (key -> row). Grows the directory at load factor > 0.75.
+  void Insert(std::int64_t key, std::uint32_t row);
+
+  /// Invokes fn(row) for every row whose key equals `key`.
+  template <typename Fn>
+  void ForEachMatch(std::int64_t key, Fn&& fn) const {
+    if (buckets_.empty()) return;
+    const std::uint64_t h = storage::HashKey(key);
+    std::uint32_t e = buckets_[h & mask_];
+    while (e != kNil) {
+      const Entry& entry = entries_[e];
+      if (entry.key == key) fn(entry.row);
+      e = entry.next;
+    }
+  }
+
+  /// True if at least one entry matches `key`.
+  bool Contains(std::int64_t key) const {
+    bool found = false;
+    ForEachMatch(key, [&found](std::uint32_t) { found = true; });
+    return found;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Resident bytes of the table structure (directory + entries).
+  double ApproxBytes() const {
+    return static_cast<double>(buckets_.capacity()) * sizeof(std::uint32_t) +
+           static_cast<double>(entries_.capacity()) * sizeof(Entry);
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Entry {
+    std::int64_t key;
+    std::uint32_t row;
+    std::uint32_t next;
+  };
+
+  void Rehash(std::size_t new_bucket_count);
+
+  std::vector<std::uint32_t> buckets_;  // chain heads
+  std::vector<Entry> entries_;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_HASH_TABLE_H_

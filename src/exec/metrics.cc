@@ -1,0 +1,4 @@
+#include "exec/metrics.h"
+
+// Metrics are plain aggregates; this file anchors the header in the library.
+namespace eedc::exec {}  // namespace eedc::exec

@@ -1,0 +1,87 @@
+// Execution metrics collected by P-store operators.
+//
+// These counters are the bridge between the real engine and the cluster
+// simulator: a query run at a small scale factor yields per-node logical
+// byte counts (scanned, shuffled, joined) from which sim::QueryProfile
+// scales up to the paper's table sizes.
+#ifndef EEDC_EXEC_METRICS_H_
+#define EEDC_EXEC_METRICS_H_
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace eedc::exec {
+
+/// Per-exchange-instance traffic on one node. "Local" bytes loop back to the
+/// same node and never cross the network.
+struct ExchangeStats {
+  double sent_remote_bytes = 0.0;
+  double sent_local_bytes = 0.0;
+  double received_bytes = 0.0;
+  double rows_routed = 0.0;
+};
+
+/// Counters for one node's operator tree.
+struct NodeMetrics {
+  double scan_rows = 0.0;
+  double scan_bytes = 0.0;  // logical bytes read from local storage
+  double filter_rows_in = 0.0;
+  double filter_rows_out = 0.0;
+  double filter_bytes_out = 0.0;
+  double build_rows = 0.0;  // hash-join build rows landed on this node
+  double hash_table_bytes = 0.0;
+  double probe_rows = 0.0;
+  double join_output_rows = 0.0;
+  double agg_rows_in = 0.0;
+  double agg_groups = 0.0;
+  /// Logical bytes pushed through every operator boundary: a proxy for CPU
+  /// processing work (the model's U / C ratio).
+  double cpu_bytes = 0.0;
+  Duration wall = Duration::Zero();
+
+  /// Indexed by exchange id assigned during plan instantiation.
+  std::vector<ExchangeStats> exchanges;
+
+  ExchangeStats& exchange(std::size_t id) {
+    if (exchanges.size() <= id) exchanges.resize(id + 1);
+    return exchanges[id];
+  }
+
+  double total_sent_remote_bytes() const {
+    double t = 0.0;
+    for (const auto& e : exchanges) t += e.sent_remote_bytes;
+    return t;
+  }
+  double total_received_bytes() const {
+    double t = 0.0;
+    for (const auto& e : exchanges) t += e.received_bytes;
+    return t;
+  }
+};
+
+/// Whole-query metrics.
+struct ExecMetrics {
+  std::vector<NodeMetrics> nodes;
+  Duration wall = Duration::Zero();  // max node wall time
+
+  double TotalScanBytes() const {
+    double t = 0.0;
+    for (const auto& n : nodes) t += n.scan_bytes;
+    return t;
+  }
+  double TotalRemoteBytes() const {
+    double t = 0.0;
+    for (const auto& n : nodes) t += n.total_sent_remote_bytes();
+    return t;
+  }
+  double TotalJoinOutputRows() const {
+    double t = 0.0;
+    for (const auto& n : nodes) t += n.join_output_rows;
+    return t;
+  }
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_METRICS_H_

@@ -1,0 +1,37 @@
+// The P-store block-iterator operator interface (Section 4.2).
+//
+// Operators form per-node trees. The protocol is Open / Next* / Close;
+// Next returns std::nullopt at end-of-stream. Operators never materialize
+// tuples except where the algorithm requires it (hash-join build side,
+// aggregation state) — mirroring the paper's "our operators never
+// materialize tuples" engine design.
+#ifndef EEDC_EXEC_OPERATOR_H_
+#define EEDC_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/statusor.h"
+#include "exec/metrics.h"
+#include "storage/block.h"
+
+namespace eedc::exec {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// Next output block, or std::nullopt at end-of-stream.
+  virtual StatusOr<std::optional<storage::Block>> Next() = 0;
+  virtual Status Close() = 0;
+
+  /// Output schema (valid after construction, before Open).
+  virtual const storage::Schema& schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_OPERATOR_H_

@@ -1,0 +1,139 @@
+#include "exec/plan.h"
+
+#include "common/str_util.h"
+
+namespace eedc::exec {
+
+namespace {
+
+std::shared_ptr<PlanNode> NewNode(PlanNode::Kind kind) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+void AppendPlanString(const PlanNode& node, int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      out->append(StrFormat("Scan(%s)\n", node.table_name.c_str()));
+      break;
+    case PlanNode::Kind::kFilter:
+      out->append(
+          StrFormat("Filter(%s)\n", node.predicate->ToString().c_str()));
+      break;
+    case PlanNode::Kind::kProject: {
+      std::string cols = StrJoin(node.columns, ", ");
+      for (const auto& [alias, expr] : node.computed) {
+        if (!cols.empty()) cols += ", ";
+        cols += alias + "=" + expr->ToString();
+      }
+      out->append(StrFormat("Project(%s)\n", cols.c_str()));
+      break;
+    }
+    case PlanNode::Kind::kHashJoin:
+      out->append(StrFormat("HashJoin(build.%s = probe.%s)\n",
+                            node.build_key.c_str(),
+                            node.probe_key.c_str()));
+      break;
+    case PlanNode::Kind::kHashAgg: {
+      std::string desc = StrJoin(node.group_by, ", ");
+      out->append(StrFormat("HashAgg(group by [%s], %zu aggs)\n",
+                            desc.c_str(), node.aggs.size()));
+      break;
+    }
+    case PlanNode::Kind::kExchange:
+      out->append(StrFormat("Exchange(%s%s%s)\n",
+                            ExchangeModeToString(node.mode),
+                            node.partition_key.empty() ? "" : " on ",
+                            node.partition_key.c_str()));
+      break;
+  }
+  for (const auto& child : node.children) {
+    AppendPlanString(*child, indent + 1, out);
+  }
+}
+
+int CountExchangesIn(const PlanNode& node) {
+  int n = node.kind == PlanNode::Kind::kExchange ? 1 : 0;
+  for (const auto& child : node.children) n += CountExchangesIn(*child);
+  return n;
+}
+
+}  // namespace
+
+PlanPtr ScanPlan(std::string table_name) {
+  auto node = NewNode(PlanNode::Kind::kScan);
+  node->table_name = std::move(table_name);
+  return node;
+}
+
+PlanPtr FilterPlan(PlanPtr child, ExprPtr predicate) {
+  auto node = NewNode(PlanNode::Kind::kFilter);
+  node->children.push_back(std::move(child));
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr ProjectPlan(PlanPtr child, std::vector<std::string> columns,
+                    std::vector<std::pair<std::string, ExprPtr>> computed) {
+  auto node = NewNode(PlanNode::Kind::kProject);
+  node->children.push_back(std::move(child));
+  node->columns = std::move(columns);
+  node->computed = std::move(computed);
+  return node;
+}
+
+PlanPtr HashJoinPlan(PlanPtr build, PlanPtr probe, std::string build_key,
+                     std::string probe_key) {
+  auto node = NewNode(PlanNode::Kind::kHashJoin);
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  node->build_key = std::move(build_key);
+  node->probe_key = std::move(probe_key);
+  return node;
+}
+
+PlanPtr ShufflePlan(PlanPtr child, std::string partition_key,
+                    std::vector<int> destinations) {
+  auto node = NewNode(PlanNode::Kind::kExchange);
+  node->children.push_back(std::move(child));
+  node->mode = ExchangeMode::kShuffle;
+  node->partition_key = std::move(partition_key);
+  node->destinations = std::move(destinations);
+  return node;
+}
+
+PlanPtr BroadcastPlan(PlanPtr child, std::vector<int> destinations) {
+  auto node = NewNode(PlanNode::Kind::kExchange);
+  node->children.push_back(std::move(child));
+  node->mode = ExchangeMode::kBroadcast;
+  node->destinations = std::move(destinations);
+  return node;
+}
+
+PlanPtr GatherPlan(PlanPtr child) {
+  auto node = NewNode(PlanNode::Kind::kExchange);
+  node->children.push_back(std::move(child));
+  node->mode = ExchangeMode::kGather;
+  return node;
+}
+
+PlanPtr HashAggPlan(PlanPtr child, std::vector<std::string> group_by,
+                    std::vector<AggSpec> aggs) {
+  auto node = NewNode(PlanNode::Kind::kHashAgg);
+  node->children.push_back(std::move(child));
+  node->group_by = std::move(group_by);
+  node->aggs = std::move(aggs);
+  return node;
+}
+
+int CountExchanges(const PlanNode& plan) { return CountExchangesIn(plan); }
+
+std::string PlanToString(const PlanNode& plan) {
+  std::string out;
+  AppendPlanString(plan, 0, &out);
+  return out;
+}
+
+}  // namespace eedc::exec

@@ -1,0 +1,65 @@
+#include "exec/project_op.h"
+
+namespace eedc::exec {
+
+using storage::Block;
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+
+StatusOr<OperatorPtr> ProjectOp::Create(
+    OperatorPtr child, std::vector<std::string> columns,
+    std::vector<std::pair<std::string, ExprPtr>> computed,
+    NodeMetrics* metrics) {
+  const Schema& in = child->schema();
+  std::vector<Field> fields;
+  fields.reserve(columns.size() + computed.size());
+  for (const auto& name : columns) {
+    EEDC_ASSIGN_OR_RETURN(int idx, in.IndexOf(name));
+    fields.push_back(in.field(static_cast<std::size_t>(idx)));
+  }
+  for (const auto& [alias, expr] : computed) {
+    EEDC_ASSIGN_OR_RETURN(DataType t, expr->ResultType(in));
+    fields.push_back(Field{alias, t, 0.0});
+  }
+  Schema schema{std::move(fields)};
+  return OperatorPtr(new ProjectOp(std::move(child), std::move(columns),
+                                   std::move(computed), std::move(schema),
+                                   metrics));
+}
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<std::string> columns,
+                     std::vector<std::pair<std::string, ExprPtr>> computed,
+                     Schema schema, NodeMetrics* metrics)
+    : child_(std::move(child)),
+      columns_(std::move(columns)),
+      computed_(std::move(computed)),
+      schema_(std::move(schema)),
+      metrics_(metrics) {}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+StatusOr<std::optional<Block>> ProjectOp::Next() {
+  EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, child_->Next());
+  if (!in.has_value()) return std::optional<Block>();
+  Block out(schema_);
+  std::size_t out_col = 0;
+  for (const auto& name : columns_) {
+    EEDC_ASSIGN_OR_RETURN(const Column* src,
+                          in->AsTable().ColumnByName(name));
+    out.mutable_column(out_col++).AppendRange(*src, 0, in->size());
+  }
+  for (const auto& [alias, expr] : computed_) {
+    (void)alias;
+    EEDC_RETURN_IF_ERROR(
+        expr->Eval(in->AsTable(), &out.mutable_column(out_col++)));
+  }
+  out.FinishBulkLoad();
+  if (metrics_ != nullptr) metrics_->cpu_bytes += in->LogicalBytes();
+  return std::optional<Block>(std::move(out));
+}
+
+Status ProjectOp::Close() { return child_->Close(); }
+
+}  // namespace eedc::exec

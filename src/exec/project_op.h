@@ -1,0 +1,42 @@
+// Project: passthrough columns by name plus computed expression columns.
+#ifndef EEDC_EXEC_PROJECT_OP_H_
+#define EEDC_EXEC_PROJECT_OP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+
+namespace eedc::exec {
+
+class ProjectOp final : public Operator {
+ public:
+  /// `columns` are passthrough fields; `computed` are (alias, expr) pairs
+  /// appended after them. Use Create so schema errors surface as Status.
+  static StatusOr<OperatorPtr> Create(
+      OperatorPtr child, std::vector<std::string> columns,
+      std::vector<std::pair<std::string, ExprPtr>> computed,
+      NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override { return schema_; }
+
+ private:
+  ProjectOp(OperatorPtr child, std::vector<std::string> columns,
+            std::vector<std::pair<std::string, ExprPtr>> computed,
+            storage::Schema schema, NodeMetrics* metrics);
+
+  OperatorPtr child_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, ExprPtr>> computed_;
+  storage::Schema schema_;
+  NodeMetrics* metrics_;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_PROJECT_OP_H_

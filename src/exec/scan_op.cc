@@ -1,0 +1,41 @@
+#include "exec/scan_op.h"
+
+#include <algorithm>
+
+namespace eedc::exec {
+
+using storage::Block;
+
+ScanOp::ScanOp(storage::TablePtr table, NodeMetrics* metrics)
+    : table_(std::move(table)), metrics_(metrics) {
+  EEDC_CHECK(table_ != nullptr) << "ScanOp requires a table";
+}
+
+Status ScanOp::Open() {
+  cursor_ = 0;
+  return Status::OK();
+}
+
+StatusOr<std::optional<Block>> ScanOp::Next() {
+  if (cursor_ >= table_->num_rows()) return std::optional<Block>();
+  const std::size_t count =
+      std::min(Block::kDefaultCapacity, table_->num_rows() - cursor_);
+  Block block(table_->schema());
+  for (std::size_t c = 0; c < table_->num_columns(); ++c) {
+    block.mutable_column(c).AppendRange(table_->column(c), cursor_, count);
+  }
+  block.FinishBulkLoad();
+  cursor_ += count;
+  if (metrics_ != nullptr) {
+    metrics_->scan_rows += static_cast<double>(count);
+    const double bytes =
+        table_->schema().TupleWidth() * static_cast<double>(count);
+    metrics_->scan_bytes += bytes;
+    metrics_->cpu_bytes += bytes;
+  }
+  return std::optional<Block>(std::move(block));
+}
+
+Status ScanOp::Close() { return Status::OK(); }
+
+}  // namespace eedc::exec

@@ -1,0 +1,30 @@
+// Table scan: emits a local table as a stream of blocks.
+#ifndef EEDC_EXEC_SCAN_OP_H_
+#define EEDC_EXEC_SCAN_OP_H_
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace eedc::exec {
+
+class ScanOp final : public Operator {
+ public:
+  /// `table` is this node's local partition; `metrics` may be null.
+  ScanOp(storage::TablePtr table, NodeMetrics* metrics);
+
+  Status Open() override;
+  StatusOr<std::optional<storage::Block>> Next() override;
+  Status Close() override;
+  const storage::Schema& schema() const override {
+    return table_->schema();
+  }
+
+ private:
+  storage::TablePtr table_;
+  NodeMetrics* metrics_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_SCAN_OP_H_

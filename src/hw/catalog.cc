@@ -1,0 +1,117 @@
+#include "hw/catalog.h"
+
+#include <memory>
+
+#include "power/catalog.h"
+
+namespace eedc::hw {
+
+namespace {
+
+using power::PowerLawModel;
+
+std::shared_ptr<const power::PowerModel> Shared(
+    std::unique_ptr<power::PowerModel> m) {
+  return std::shared_ptr<const power::PowerModel>(std::move(m));
+}
+
+}  // namespace
+
+NodeSpec ClusterVNode() {
+  // 8 local disks; the empirical cluster-V runs are warm-cache so disk
+  // bandwidth is not the operative constraint there. 1 Gb/s => 100 MB/s
+  // effective, matching the Section 5.4 parameterisation.
+  return NodeSpec("cluster-V X5550", NodeClass::kBeefy, /*cores=*/8,
+                  /*threads=*/16, /*memory_mb=*/47000.0,
+                  /*disk_bw_mbps=*/1000.0, /*net_bw_mbps=*/100.0,
+                  /*cpu_bw_mbps=*/5037.0, /*engine_util=*/0.25,
+                  Shared(power::ClusterVPowerModel()));
+}
+
+NodeSpec ValidationBeefyNode() {
+  return NodeSpec("SE326M1R2 L5630", NodeClass::kBeefy, /*cores=*/8,
+                  /*threads=*/16, /*memory_mb=*/31000.0,
+                  /*disk_bw_mbps=*/270.0, /*net_bw_mbps=*/95.0,
+                  /*cpu_bw_mbps=*/4034.0, /*engine_util=*/0.25,
+                  Shared(power::BeefyL5630PowerModel()));
+}
+
+NodeSpec ValidationWimpyNode() {
+  return NodeSpec("Laptop B i7-620m", NodeClass::kWimpy, /*cores=*/2,
+                  /*threads=*/4, /*memory_mb=*/7000.0,
+                  /*disk_bw_mbps=*/270.0, /*net_bw_mbps=*/95.0,
+                  /*cpu_bw_mbps=*/1129.0, /*engine_util=*/0.13,
+                  Shared(power::WimpyLaptopBPowerModel()));
+}
+
+NodeSpec ModeledBeefyNode() {
+  return NodeSpec("modeled Beefy (X5550)", NodeClass::kBeefy, /*cores=*/8,
+                  /*threads=*/16, /*memory_mb=*/47000.0,
+                  /*disk_bw_mbps=*/1200.0, /*net_bw_mbps=*/100.0,
+                  /*cpu_bw_mbps=*/5037.0, /*engine_util=*/0.25,
+                  Shared(power::ClusterVPowerModel()));
+}
+
+NodeSpec ModeledWimpyNode() {
+  return NodeSpec("modeled Wimpy (Laptop B)", NodeClass::kWimpy, /*cores=*/2,
+                  /*threads=*/4, /*memory_mb=*/7000.0,
+                  /*disk_bw_mbps=*/1200.0, /*net_bw_mbps=*/100.0,
+                  /*cpu_bw_mbps=*/1129.0, /*engine_util=*/0.13,
+                  Shared(power::WimpyLaptopBPowerModel()));
+}
+
+NodeSpec WorkstationA() {
+  // Published: i7 920, 4c/8t, 12 GB, 93 W idle. Estimated: power-law curve
+  // reaching ~235 W at full load; CPU bandwidth ~4300 MB/s.
+  return NodeSpec("Workstation A (i7 920)", NodeClass::kBeefy, 4, 8,
+                  /*memory_mb=*/12000.0, /*disk_bw_mbps=*/120.0,
+                  /*net_bw_mbps=*/100.0, /*cpu_bw_mbps=*/4300.0,
+                  /*engine_util=*/0.25,
+                  Shared(std::make_unique<PowerLawModel>(93.0, 0.2013)));
+}
+
+NodeSpec WorkstationB() {
+  // Published: Xeon, 4c/4t, 24 GB, 69 W idle. Estimated peak ~180 W,
+  // CPU bandwidth ~3600 MB/s.
+  return NodeSpec("Workstation B (Xeon)", NodeClass::kBeefy, 4, 4,
+                  /*memory_mb=*/24000.0, /*disk_bw_mbps=*/120.0,
+                  /*net_bw_mbps=*/100.0, /*cpu_bw_mbps=*/3600.0,
+                  /*engine_util=*/0.25,
+                  Shared(std::make_unique<PowerLawModel>(69.0, 0.2082)));
+}
+
+NodeSpec DesktopAtom() {
+  // Published: Atom, 2c/4t, 4 GB, 28 W idle. Estimated peak ~33 W,
+  // CPU bandwidth ~500 MB/s.
+  return NodeSpec("Desktop (Atom)", NodeClass::kWimpy, 2, 4,
+                  /*memory_mb=*/4000.0, /*disk_bw_mbps=*/100.0,
+                  /*net_bw_mbps=*/100.0, /*cpu_bw_mbps=*/500.0,
+                  /*engine_util=*/0.13,
+                  Shared(std::make_unique<PowerLawModel>(28.0, 0.0357)));
+}
+
+NodeSpec LaptopA() {
+  // Published: Core 2 Duo, 2c/2t, 4 GB, 12 W idle (screen off).
+  // Estimated peak ~27 W, CPU bandwidth ~650 MB/s.
+  return NodeSpec("Laptop A (Core 2 Duo)", NodeClass::kWimpy, 2, 2,
+                  /*memory_mb=*/4000.0, /*disk_bw_mbps=*/150.0,
+                  /*net_bw_mbps=*/100.0, /*cpu_bw_mbps=*/650.0,
+                  /*engine_util=*/0.13,
+                  Shared(std::make_unique<PowerLawModel>(12.0, 0.1761)));
+}
+
+NodeSpec LaptopB() {
+  // Fully published: i7 620m, 2c/4t, 8 GB, 11 W idle; fW from Table 3.
+  return NodeSpec("Laptop B (i7 620m)", NodeClass::kWimpy, 2, 4,
+                  /*memory_mb=*/8000.0, /*disk_bw_mbps=*/270.0,
+                  /*net_bw_mbps=*/100.0, /*cpu_bw_mbps=*/1129.0,
+                  /*engine_util=*/0.13,
+                  Shared(power::WimpyLaptopBPowerModel()));
+}
+
+std::vector<NodeSpec> Table2Systems() {
+  return {WorkstationA(), WorkstationB(), DesktopAtom(), LaptopA(),
+          LaptopB()};
+}
+
+}  // namespace eedc::hw

@@ -1,0 +1,58 @@
+// Catalog of the concrete hardware the paper uses, with every published
+// constant. Where the paper does not publish a number (loaded power curves
+// and CPU bandwidths of the Table-2 survey machines other than Laptop B),
+// the value is an estimate consistent with the published idle power and the
+// shape of Figure 6; each such estimate is marked below.
+#ifndef EEDC_HW_CATALOG_H_
+#define EEDC_HW_CATALOG_H_
+
+#include <vector>
+
+#include "hw/node_spec.h"
+
+namespace eedc::hw {
+
+// ---------------------------------------------------------------------------
+// Cluster-V (Table 1): 16x HP ProLiant DL360G6, 2x Xeon X5550, 48 GB RAM,
+// 8x300 GB disks, 1 Gb/s network. SysPower = 130.03*(100c)^0.2369.
+// CPU constants from Table 3: CB = 5037 MB/s, GB = 0.25.
+// ---------------------------------------------------------------------------
+NodeSpec ClusterVNode();
+
+// ---------------------------------------------------------------------------
+// Section 5.2 prototype clusters (SF-400 experiments, WattsUp-metered).
+// Beefy: HP SE326M1R2, 2x Xeon L5630, 32 GB, Crucial C300 SSD; avg 154 W.
+//   Model-validation parameters (Sec. 5.3.1): MB = 31000 MB, I = 270 MB/s,
+//   L = 95 MB/s, CB = 4034 MB/s, fB = 79.006*(100u)^0.2451.
+// Wimpy: Laptop B, i7-620m, 8 GB, C300 SSD; avg 37 W, 11 W idle.
+//   MW = 7000 MB, CW = 1129 MB/s, GW = 0.13, fW = 10.994*(100c)^0.2875.
+// ---------------------------------------------------------------------------
+NodeSpec ValidationBeefyNode();
+NodeSpec ValidationWimpyNode();
+
+// ---------------------------------------------------------------------------
+// Section 5.4 modeled design-space nodes: MB = 47000, MW = 7000, I = 1200
+// (4x Crucial C300 SSD), L = 100 MB/s (1 Gb/s); CPU parameters from Table 3
+// (CB = 5037 / GB = 0.25 with fB = cluster-V model; CW = 1129 / GW = 0.13
+// with fW = Laptop B model).
+// ---------------------------------------------------------------------------
+NodeSpec ModeledBeefyNode();
+NodeSpec ModeledWimpyNode();
+
+// ---------------------------------------------------------------------------
+// Table 2: the five single-node survey systems of Section 5.1.
+// Idle powers are published; loaded power curves and CPU bandwidths for all
+// systems except Laptop B are estimates (marked `*` in name comments).
+// ---------------------------------------------------------------------------
+NodeSpec WorkstationA();  // i7 920, 4c/8t, 12 GB, 93 W idle (*loaded est.)
+NodeSpec WorkstationB();  // Xeon, 4c/4t, 24 GB, 69 W idle (*loaded est.)
+NodeSpec DesktopAtom();   // Atom, 2c/4t, 4 GB, 28 W idle (*loaded est.)
+NodeSpec LaptopA();       // Core 2 Duo, 2c/2t, 4 GB, 12 W idle (*loaded est.)
+NodeSpec LaptopB();       // i7 620m, 2c/4t, 8 GB, 11 W idle (published fW)
+
+/// All five Table-2 systems in the paper's order.
+std::vector<NodeSpec> Table2Systems();
+
+}  // namespace eedc::hw
+
+#endif  // EEDC_HW_CATALOG_H_

@@ -1,0 +1,52 @@
+#include "hw/node_spec.h"
+
+#include "common/str_util.h"
+
+namespace eedc::hw {
+
+const char* NodeClassToString(NodeClass c) {
+  switch (c) {
+    case NodeClass::kBeefy:
+      return "Beefy";
+    case NodeClass::kWimpy:
+      return "Wimpy";
+  }
+  return "Unknown";
+}
+
+ClusterSpec ClusterSpec::Homogeneous(int n, const NodeSpec& spec) {
+  std::vector<NodeSpec> nodes(static_cast<std::size_t>(n), spec);
+  return ClusterSpec(std::move(nodes));
+}
+
+ClusterSpec ClusterSpec::BeefyWimpy(int nb, const NodeSpec& beefy, int nw,
+                                    const NodeSpec& wimpy) {
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(static_cast<std::size_t>(nb + nw));
+  for (int i = 0; i < nb; ++i) nodes.push_back(beefy);
+  for (int i = 0; i < nw; ++i) nodes.push_back(wimpy);
+  return ClusterSpec(std::move(nodes));
+}
+
+int ClusterSpec::num_beefy() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += node.is_wimpy() ? 0 : 1;
+  return n;
+}
+
+int ClusterSpec::num_wimpy() const { return size() - num_beefy(); }
+
+double ClusterSpec::total_memory_mb() const {
+  double total = 0.0;
+  for (const auto& node : nodes_) total += node.memory_mb();
+  return total;
+}
+
+std::string ClusterSpec::Label() const {
+  const int nb = num_beefy();
+  const int nw = num_wimpy();
+  if (nw == 0) return StrFormat("%dN", nb);
+  return StrFormat("%dB,%dW", nb, nw);
+}
+
+}  // namespace eedc::hw

@@ -1,0 +1,146 @@
+// Node and cluster hardware descriptions.
+//
+// A NodeSpec carries exactly the per-node parameters of the paper's model
+// (Table 3): memory capacity M, disk bandwidth I, network bandwidth L,
+// maximum CPU processing bandwidth C (CB/CW), the P-store engine utilization
+// constant G (GB/GW), and the utilization->watts power model f().
+#ifndef EEDC_HW_NODE_SPEC_H_
+#define EEDC_HW_NODE_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "power/power_model.h"
+
+namespace eedc::hw {
+
+/// Coarse class of a node, following the paper's vocabulary.
+enum class NodeClass {
+  kBeefy,  // traditional Xeon-class server
+  kWimpy,  // low-power mobile-CPU node ("slower but [energy] efficient")
+};
+
+const char* NodeClassToString(NodeClass c);
+
+/// Hardware description of one node.
+class NodeSpec {
+ public:
+  NodeSpec() = default;
+  NodeSpec(std::string name, NodeClass cls, int cores, int threads,
+           double memory_mb, double disk_bw_mbps, double net_bw_mbps,
+           double cpu_bw_mbps, double engine_util,
+           std::shared_ptr<const power::PowerModel> power_model)
+      : name_(std::move(name)),
+        node_class_(cls),
+        cores_(cores),
+        threads_(threads),
+        memory_mb_(memory_mb),
+        disk_bw_mbps_(disk_bw_mbps),
+        net_bw_mbps_(net_bw_mbps),
+        cpu_bw_mbps_(cpu_bw_mbps),
+        engine_util_(engine_util),
+        power_model_(std::move(power_model)) {}
+
+  const std::string& name() const { return name_; }
+  NodeClass node_class() const { return node_class_; }
+  bool is_wimpy() const { return node_class_ == NodeClass::kWimpy; }
+  int cores() const { return cores_; }
+  int threads() const { return threads_; }
+
+  /// Memory capacity in MB (Table 3's MB / MW).
+  double memory_mb() const { return memory_mb_; }
+  /// Disk bandwidth in MB/s (Table 3's I).
+  double disk_bw_mbps() const { return disk_bw_mbps_; }
+  /// Network bandwidth in MB/s (Table 3's L).
+  double net_bw_mbps() const { return net_bw_mbps_; }
+  /// Maximum CPU processing bandwidth in MB/s (Table 3's CB / CW).
+  double cpu_bw_mbps() const { return cpu_bw_mbps_; }
+  /// P-store baseline CPU utilization constant (Table 3's GB / GW).
+  double engine_util() const { return engine_util_; }
+
+  const power::PowerModel& power_model() const { return *power_model_; }
+  std::shared_ptr<const power::PowerModel> shared_power_model() const {
+    return power_model_;
+  }
+
+  /// Wall power at a given CPU utilization.
+  Power WattsAt(double utilization) const {
+    return power_model_->WattsAt(utilization);
+  }
+  Power IdleWatts() const { return power_model_->IdleWatts(); }
+  Power PeakWatts() const { return power_model_->PeakWatts(); }
+
+  /// Returns a copy with a different memory capacity (used for what-if
+  /// sweeps over the H predicate).
+  NodeSpec WithMemoryMB(double mb) const {
+    NodeSpec copy = *this;
+    copy.memory_mb_ = mb;
+    return copy;
+  }
+  NodeSpec WithNetBwMbps(double mbps) const {
+    NodeSpec copy = *this;
+    copy.net_bw_mbps_ = mbps;
+    return copy;
+  }
+  NodeSpec WithDiskBwMbps(double mbps) const {
+    NodeSpec copy = *this;
+    copy.disk_bw_mbps_ = mbps;
+    return copy;
+  }
+  NodeSpec WithPowerModel(
+      std::shared_ptr<const power::PowerModel> model) const {
+    NodeSpec copy = *this;
+    copy.power_model_ = std::move(model);
+    return copy;
+  }
+
+ private:
+  std::string name_;
+  NodeClass node_class_ = NodeClass::kBeefy;
+  int cores_ = 0;
+  int threads_ = 0;
+  double memory_mb_ = 0.0;
+  double disk_bw_mbps_ = 0.0;
+  double net_bw_mbps_ = 0.0;
+  double cpu_bw_mbps_ = 0.0;
+  double engine_util_ = 0.0;
+  std::shared_ptr<const power::PowerModel> power_model_;
+};
+
+/// An ordered set of nodes connected through one non-blocking switch whose
+/// per-port capacity equals each node's NIC bandwidth (the paper's 1 Gb/s
+/// SMCGS5 setup).
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  explicit ClusterSpec(std::vector<NodeSpec> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  /// n identical nodes.
+  static ClusterSpec Homogeneous(int n, const NodeSpec& spec);
+  /// nb beefy nodes followed by nw wimpy nodes (the paper's "xB,yW").
+  static ClusterSpec BeefyWimpy(int nb, const NodeSpec& beefy, int nw,
+                                const NodeSpec& wimpy);
+
+  const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  const NodeSpec& node(int i) const { return nodes_.at(i); }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  int num_beefy() const;
+  int num_wimpy() const;
+
+  /// Sum of node memory in MB.
+  double total_memory_mb() const;
+
+  /// "8B,0W"-style label used throughout the paper's figures.
+  std::string Label() const;
+
+ private:
+  std::vector<NodeSpec> nodes_;
+};
+
+}  // namespace eedc::hw
+
+#endif  // EEDC_HW_NODE_SPEC_H_

@@ -1,0 +1,321 @@
+#include "model/hash_join_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/rate_solver.h"
+
+namespace eedc::model {
+
+const char* JoinStrategyToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kColocated:
+      return "colocated";
+    case JoinStrategy::kShuffleBuild:
+      return "shuffle-build";
+    case JoinStrategy::kDualShuffle:
+      return "dual-shuffle";
+    case JoinStrategy::kBroadcastBuild:
+      return "broadcast-build";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// How a phase's qualifying stream moves.
+enum class Routing {
+  kLocal,         // no network
+  kPartitionAll,  // every node hash-partitions its stream to the joiners
+  kBroadcastAll,  // every node copies its stream to every joiner
+  kScannersShip,  // scanners partition to joiners; joiners stay local
+};
+
+struct PhaseSetup {
+  double table_mb = 0.0;
+  double sel = 1.0;
+  Routing routing = Routing::kLocal;
+};
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Network constraints for the given routing. nb/nw are node counts;
+/// joiners are the Beefy nodes when heterogeneous, all nodes otherwise.
+std::vector<LinearConstraint> NetworkConstraints(const ModelParams& p,
+                                                 Routing routing,
+                                                 bool homogeneous) {
+  const double L = p.net_bw;
+  const int nb = p.nb, nw = p.nw;
+  const int n = nb + nw;
+  const int j = homogeneous ? n : nb;
+  std::vector<LinearConstraint> cs;
+  if (routing == Routing::kLocal || j == 0) return cs;
+
+  switch (routing) {
+    case Routing::kLocal:
+      break;
+    case Routing::kPartitionAll: {
+      // NIC-out per node: a joiner keeps 1/j locally, a scanner ships all.
+      if (homogeneous) {
+        const double out = j > 1 ? static_cast<double>(j - 1) / j : 0.0;
+        if (nb > 0 && out > 0) cs.push_back({out, 0.0, L});
+        if (nw > 0 && out > 0) cs.push_back({0.0, out, L});
+        // NIC-in at a node of each class: everyone else's 1/j share.
+        if (nb > 0) {
+          cs.push_back({static_cast<double>(nb - 1) / j,
+                        static_cast<double>(nw) / j, L});
+        }
+        if (nw > 0) {
+          cs.push_back({static_cast<double>(nb) / j,
+                        static_cast<double>(nw - 1) / j, L});
+        }
+      } else {
+        const double out_b = j > 1 ? static_cast<double>(j - 1) / j : 0.0;
+        if (out_b > 0) cs.push_back({out_b, 0.0, L});
+        cs.push_back({0.0, 1.0, L});  // scanners ship everything
+        // Ingestion at each Beefy node: the paper's heterogeneous
+        // bottleneck — (NB-1)/NB of Beefy streams + all Wimpy streams / NB.
+        cs.push_back({static_cast<double>(nb - 1) / j,
+                      static_cast<double>(nw) / j, L});
+      }
+      break;
+    }
+    case Routing::kBroadcastAll: {
+      if (homogeneous) {
+        if (j > 1) {
+          if (nb > 0) cs.push_back({static_cast<double>(j - 1), 0.0, L});
+          if (nw > 0) cs.push_back({0.0, static_cast<double>(j - 1), L});
+          // Ingestion at one node: a full copy of every other stream.
+          if (nb > 0) {
+            cs.push_back({static_cast<double>(nb - 1),
+                          static_cast<double>(nw), L});
+          }
+          if (nw > 0) {
+            cs.push_back({static_cast<double>(nb),
+                          static_cast<double>(nw - 1), L});
+          }
+        }
+      } else {
+        if (j > 1) cs.push_back({static_cast<double>(j - 1), 0.0, L});
+        cs.push_back({0.0, static_cast<double>(j), L});
+        cs.push_back(
+            {static_cast<double>(nb - 1), static_cast<double>(nw), L});
+      }
+      break;
+    }
+    case Routing::kScannersShip: {
+      if (!homogeneous && nw > 0) {
+        cs.push_back({0.0, 1.0, L});  // scanner NIC-out
+        cs.push_back({0.0, static_cast<double>(nw) / j, L});  // Beefy in
+      }
+      break;
+    }
+  }
+  return cs;
+}
+
+/// One phase of the pipelined model (cold: disk-rate scans; warm:
+/// CPU-rate scans).
+PhaseEstimate EstimatePhasePipelined(const ModelParams& p,
+                                     const PhaseSetup& setup,
+                                     bool homogeneous) {
+  const int n = p.total_nodes();
+  PhaseEstimate out;
+
+  // Cold: the paper's published rates use the disk-filter product I*S
+  // directly; CPU bandwidth C enters only through utilization ("the
+  // network and disk bottlenecks mask the performance limitations of the
+  // Wimpy nodes", Section 5.4). The flow simulator does cap rates by C,
+  // which differs by at most (I-CW)/I ~ 6% here — see model_vs_sim_test.
+  // Warm: the scan runs from memory at the engine's CPU bandwidth.
+  const double scan_b = p.warm_cache ? p.cb : p.disk_bw;
+  const double scan_w = p.warm_cache ? p.cw : p.disk_bw;
+  const double cap_b = p.nb > 0 ? scan_b * setup.sel : kNoCap;
+  const double cap_w = p.nw > 0 ? scan_w * setup.sel : kNoCap;
+  const ClassRates rates = SolveClassRates(
+      cap_b, cap_w, NetworkConstraints(p, setup.routing, homogeneous));
+  out.rate_b = p.nb > 0 ? rates.beefy : 0.0;
+  out.rate_w = p.nw > 0 ? rates.wimpy : 0.0;
+
+  const double share = setup.table_mb * setup.sel / n;  // per node
+  const double t_b = p.nb > 0 ? share / out.rate_b : 0.0;
+  const double t_w = p.nw > 0 ? share / out.rate_w : 0.0;
+  const double t = std::max(t_b, t_w);
+  out.time = Duration::Seconds(t);
+
+  const double ub = out.rate_b / setup.sel;  // raw MB/s through the CPU
+  const double uw = out.rate_w / setup.sel;
+  out.util_b = p.nb > 0 ? Clamp01(p.gb + ub / p.cb) : 0.0;
+  out.util_w = p.nw > 0 ? Clamp01(p.gw + uw / p.cw) : 0.0;
+
+  // Each class is busy only until its own share drains, then idles at the
+  // engine baseline G while the slower class finishes the phase.
+  Energy energy = Energy::Zero();
+  if (p.nb > 0) {
+    energy += (p.fb->WattsAt(out.util_b) * Duration::Seconds(t_b) +
+               p.fb->WattsAt(p.gb) * Duration::Seconds(t - t_b)) *
+              p.nb;
+  }
+  if (p.nw > 0) {
+    energy += (p.fw->WattsAt(out.util_w) * Duration::Seconds(t_w) +
+               p.fw->WattsAt(p.gw) * Duration::Seconds(t - t_w)) *
+              p.nw;
+  }
+  out.energy = energy;
+  return out;
+}
+
+/// One phase of the warm-cache additive variant (the paper's Section
+/// 5.3.1 formulation): a CPU pass over the raw table at CB/CW, plus the
+/// network transfer of qualifying tuples.
+PhaseEstimate EstimatePhaseWarmAdditive(const ModelParams& p,
+                                        const PhaseSetup& setup,
+                                        bool homogeneous) {
+  const int n = p.total_nodes();
+  PhaseEstimate out;
+  const double raw_share = setup.table_mb / n;
+  double t_cpu = 0.0;
+  if (p.nb > 0) t_cpu = std::max(t_cpu, raw_share / p.cb);
+  if (p.nw > 0) t_cpu = std::max(t_cpu, raw_share / p.cw);
+
+  Power cpu_power = Power::Zero();
+  if (p.nb > 0) cpu_power += p.fb->WattsAt(1.0) * p.nb;
+  if (p.nw > 0) cpu_power += p.fw->WattsAt(1.0) * p.nw;
+
+  double t_net = 0.0;
+  Power net_power = Power::Zero();
+  if (setup.routing != Routing::kLocal) {
+    const ClassRates rates = SolveClassRates(
+        kNoCap, kNoCap, NetworkConstraints(p, setup.routing, homogeneous));
+    const double qual_share = setup.table_mb * setup.sel / n;
+    const bool beefy_ships =
+        setup.routing != Routing::kScannersShip && p.nb > 0;
+    if (beefy_ships) t_net = std::max(t_net, qual_share / rates.beefy);
+    if (p.nw > 0) t_net = std::max(t_net, qual_share / rates.wimpy);
+    out.rate_b = beefy_ships ? rates.beefy : 0.0;
+    out.rate_w = p.nw > 0 ? rates.wimpy : 0.0;
+    // During the transfer stage the CPU only streams qualifying bytes.
+    out.util_b =
+        p.nb > 0 ? Clamp01(p.gb + out.rate_b / p.cb) : 0.0;
+    out.util_w =
+        p.nw > 0 ? Clamp01(p.gw + out.rate_w / p.cw) : 0.0;
+    if (p.nb > 0) net_power += p.fb->WattsAt(out.util_b) * p.nb;
+    if (p.nw > 0) net_power += p.fw->WattsAt(out.util_w) * p.nw;
+  }
+
+  out.time = Duration::Seconds(t_cpu + t_net);
+  out.energy = cpu_power * Duration::Seconds(t_cpu) +
+               net_power * Duration::Seconds(t_net);
+  if (setup.routing == Routing::kLocal) {
+    out.util_b = p.nb > 0 ? 1.0 : 0.0;
+    out.util_w = p.nw > 0 ? 1.0 : 0.0;
+    out.rate_b = p.nb > 0 ? p.cb * setup.sel : 0.0;
+    out.rate_w = p.nw > 0 ? p.cw * setup.sel : 0.0;
+  }
+  return out;
+}
+
+PhaseEstimate EstimatePhase(const ModelParams& p, const PhaseSetup& setup,
+                            bool homogeneous) {
+  if (p.warm_cache && p.warm_additive) {
+    return EstimatePhaseWarmAdditive(p, setup, homogeneous);
+  }
+  return EstimatePhasePipelined(p, setup, homogeneous);
+}
+
+}  // namespace
+
+double JoinerMemoryRequirementMB(const ModelParams& params,
+                                 JoinStrategy strategy, int num_joiners) {
+  const double qualifying = params.build_mb * params.build_sel;
+  if (strategy == JoinStrategy::kBroadcastBuild) return qualifying;
+  return qualifying / std::max(num_joiners, 1);
+}
+
+double PublishedHomogeneousShuffleRate(const ModelParams& params,
+                                       double sel) {
+  const int n = params.total_nodes();
+  const double disk_rate = params.disk_bw * sel;
+  if (n <= 1) return disk_rate;
+  const double net_rate =
+      static_cast<double>(n) * params.net_bw / (n - 1);
+  return std::min(disk_rate, net_rate);
+}
+
+StatusOr<JoinEstimate> EstimateHashJoin(const ModelParams& params,
+                                        JoinStrategy strategy) {
+  EEDC_RETURN_IF_ERROR(params.Validate());
+  const int n = params.total_nodes();
+
+  // Execution mode: homogeneous when every node can hold the strategy's
+  // hash-table requirement (Table 3's H generalized per strategy).
+  const double need_all = JoinerMemoryRequirementMB(params, strategy, n);
+  const bool wimpy_ok =
+      params.nw == 0 || params.wimpy_mem_mb >= need_all;
+  const bool beefy_ok_all =
+      params.nb == 0 || params.beefy_mem_mb >= need_all;
+
+  JoinEstimate est;
+  if (wimpy_ok && beefy_ok_all) {
+    est.homogeneous = true;
+  } else {
+    if (params.nb == 0) {
+      return Status::FailedPrecondition(
+          "hash table exceeds Wimpy memory and there are no Beefy nodes");
+    }
+    const double need_beefy =
+        JoinerMemoryRequirementMB(params, strategy, params.nb);
+    if (params.beefy_mem_mb < need_beefy) {
+      return Status::FailedPrecondition(
+          "hash table exceeds aggregate Beefy memory");
+    }
+    est.homogeneous = false;
+  }
+
+  PhaseSetup build;
+  build.table_mb = params.build_mb;
+  build.sel = params.build_sel;
+  switch (strategy) {
+    case JoinStrategy::kColocated:
+      build.routing = Routing::kLocal;
+      break;
+    case JoinStrategy::kShuffleBuild:
+    case JoinStrategy::kDualShuffle:
+      build.routing = Routing::kPartitionAll;
+      break;
+    case JoinStrategy::kBroadcastBuild:
+      build.routing = Routing::kBroadcastAll;
+      break;
+  }
+
+  PhaseSetup probe;
+  probe.table_mb = params.probe_mb;
+  probe.sel = params.probe_sel;
+  switch (strategy) {
+    case JoinStrategy::kColocated:
+      probe.routing = Routing::kLocal;
+      break;
+    case JoinStrategy::kDualShuffle:
+      probe.routing = Routing::kPartitionAll;
+      break;
+    case JoinStrategy::kShuffleBuild:
+      probe.routing =
+          est.homogeneous ? Routing::kLocal : Routing::kPartitionAll;
+      break;
+    case JoinStrategy::kBroadcastBuild:
+      probe.routing =
+          est.homogeneous ? Routing::kLocal : Routing::kScannersShip;
+      break;
+  }
+  // n == 1 degenerates to local execution everywhere.
+  if (n == 1) {
+    build.routing = Routing::kLocal;
+    probe.routing = Routing::kLocal;
+  }
+
+  est.build = EstimatePhase(params, build, est.homogeneous);
+  est.probe = EstimatePhase(params, probe, est.homogeneous);
+  return est;
+}
+
+}  // namespace eedc::model

@@ -1,0 +1,83 @@
+// The Section 5.3 analytical performance/energy model for parallel hash
+// joins, extended with the heterogeneous-execution equations the paper
+// omits "in the interest of space" and with the broadcast strategy.
+//
+// Model shape (per phase, cold cache):
+//   per-node qualifying delivery rate r = min(scan cap, network caps)
+//   where the network caps are the paper's published expressions —
+//   homogeneous shuffle:  r <= N*L/(N-1)
+//   broadcast:            r <= L/(N-1)
+//   heterogeneous:        Beefy NIC ingestion (NW*rw + (NB-1)*rb <= NB*L)
+//   T = (table*sel/N) / r          (slowest class when rates differ)
+//   E = T * (NB*fB(GB + U/CB) + NW*fW(GW + U/CW)),  U = r/sel
+//
+// Warm cache (Section 5.3.1 validation variant): phase time is additive —
+// CPU pass over the raw table at CB/CW plus the network transfer of
+// qualifying tuples.
+//
+// Known approximation vs. the flow simulator: when Beefy and Wimpy rates
+// differ, the model charges the whole phase at the initial rates instead of
+// re-allocating after the faster class drains; sim::ClusterSim is exact.
+#ifndef EEDC_MODEL_HASH_JOIN_MODEL_H_
+#define EEDC_MODEL_HASH_JOIN_MODEL_H_
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "model/params.h"
+
+namespace eedc::model {
+
+/// Join execution strategies (mirrors sim::JoinStrategy; the model library
+/// is independent of the simulator by design).
+enum class JoinStrategy {
+  kColocated,
+  kShuffleBuild,
+  kDualShuffle,
+  kBroadcastBuild,
+};
+
+const char* JoinStrategyToString(JoinStrategy s);
+
+struct PhaseEstimate {
+  Duration time = Duration::Zero();
+  Energy energy = Energy::Zero();
+  /// Qualifying-tuple delivery rate per node of each class (RB / RW).
+  double rate_b = 0.0;
+  double rate_w = 0.0;
+  /// Modeled CPU utilization of each class during the phase.
+  double util_b = 0.0;
+  double util_w = 0.0;
+};
+
+struct JoinEstimate {
+  bool homogeneous = true;
+  PhaseEstimate build;
+  PhaseEstimate probe;
+
+  Duration total_time() const { return build.time + probe.time; }
+  Energy total_energy() const { return build.energy + probe.energy; }
+  double Edp() const {
+    return EnergyDelayProduct(total_energy(), total_time());
+  }
+};
+
+/// Memory a joiner node needs for this strategy's hash table:
+/// its 1/J share for partitioned builds, the full qualifying build table
+/// for broadcast builds.
+double JoinerMemoryRequirementMB(const ModelParams& params,
+                                 JoinStrategy strategy, int num_joiners);
+
+/// Predicts time and energy for the hash join. Fails with
+/// FailedPrecondition when even heterogeneous execution cannot hold the
+/// hash tables in Beefy memory.
+StatusOr<JoinEstimate> EstimateHashJoin(const ModelParams& params,
+                                        JoinStrategy strategy);
+
+/// The paper's published homogeneous dual-shuffle rate (Table 3):
+/// min(I*sel, N*L/(N-1)).
+double PublishedHomogeneousShuffleRate(const ModelParams& params,
+                                       double sel);
+
+}  // namespace eedc::model
+
+#endif  // EEDC_MODEL_HASH_JOIN_MODEL_H_

@@ -1,0 +1,80 @@
+#include "model/params.h"
+
+#include "power/catalog.h"
+
+namespace eedc::model {
+
+bool ModelParams::WimpyCanBuildHashTable() const {
+  if (nw == 0) return true;
+  const double share = build_mb * build_sel / total_nodes();
+  return wimpy_mem_mb >= share;
+}
+
+StatusOr<ModelParams> ModelParams::FromCluster(
+    const hw::ClusterSpec& cluster) {
+  if (cluster.size() == 0) {
+    return Status::InvalidArgument("empty cluster");
+  }
+  ModelParams p;
+  bool saw_beefy = false, saw_wimpy = false;
+  for (const auto& node : cluster.nodes()) {
+    if (node.is_wimpy()) {
+      ++p.nw;
+      p.wimpy_mem_mb = node.memory_mb();
+      p.cw = node.cpu_bw_mbps();
+      p.gw = node.engine_util();
+      p.fw = node.shared_power_model();
+      saw_wimpy = true;
+    } else {
+      ++p.nb;
+      p.beefy_mem_mb = node.memory_mb();
+      p.cb = node.cpu_bw_mbps();
+      p.gb = node.engine_util();
+      p.fb = node.shared_power_model();
+      saw_beefy = true;
+    }
+  }
+  p.disk_bw = cluster.node(0).disk_bw_mbps();
+  p.net_bw = cluster.node(0).net_bw_mbps();
+  if (!saw_beefy) p.fb = p.fw;
+  if (!saw_wimpy) p.fw = p.fb;
+  return p;
+}
+
+ModelParams ModelParams::Section54Defaults(int nb, int nw) {
+  ModelParams p;
+  p.nb = nb;
+  p.nw = nw;
+  p.beefy_mem_mb = 47000.0;
+  p.wimpy_mem_mb = 7000.0;
+  p.disk_bw = 1200.0;
+  p.net_bw = 100.0;
+  p.fb = power::ClusterVPowerModel();
+  p.fw = power::WimpyLaptopBPowerModel();
+  return p;
+}
+
+Status ModelParams::Validate() const {
+  if (nb < 0 || nw < 0 || total_nodes() == 0) {
+    return Status::InvalidArgument("model needs at least one node");
+  }
+  if (build_mb <= 0.0 || probe_mb <= 0.0) {
+    return Status::InvalidArgument("table sizes must be positive");
+  }
+  if (build_sel <= 0.0 || build_sel > 1.0 || probe_sel <= 0.0 ||
+      probe_sel > 1.0) {
+    return Status::InvalidArgument("selectivities must be in (0, 1]");
+  }
+  if (disk_bw <= 0.0 || net_bw <= 0.0 || cb <= 0.0 || cw <= 0.0) {
+    return Status::InvalidArgument("bandwidths must be positive");
+  }
+  if (nb > 0 && fb == nullptr) {
+    return Status::InvalidArgument("Beefy power model missing");
+  }
+  if (nw > 0 && fw == nullptr) {
+    return Status::InvalidArgument("Wimpy power model missing");
+  }
+  return Status::OK();
+}
+
+}  // namespace eedc::model

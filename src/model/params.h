@@ -1,0 +1,65 @@
+// Table 3: the analytical model's parameter set.
+#ifndef EEDC_MODEL_PARAMS_H_
+#define EEDC_MODEL_PARAMS_H_
+
+#include <memory>
+
+#include "common/statusor.h"
+#include "hw/node_spec.h"
+#include "power/power_model.h"
+
+namespace eedc::model {
+
+/// All inputs of the Section 5.3 performance/energy model, using the
+/// paper's variable names in the comments.
+struct ModelParams {
+  int nb = 0;  ///< NB: number of Beefy nodes
+  int nw = 0;  ///< NW: number of Wimpy nodes
+
+  double beefy_mem_mb = 47000.0;  ///< MB: Beefy memory (MB)
+  double wimpy_mem_mb = 7000.0;   ///< MW: Wimpy memory (MB)
+
+  double disk_bw = 1200.0;  ///< I: disk bandwidth (MB/s), same on all nodes
+  double net_bw = 100.0;    ///< L: network bandwidth (MB/s)
+
+  double build_mb = 0.0;   ///< Bld: build table size (MB)
+  double probe_mb = 0.0;   ///< Prb: probe table size (MB)
+  double build_sel = 1.0;  ///< Sbld
+  double probe_sel = 1.0;  ///< Sprb
+
+  double cb = 5037.0;  ///< CB: max Beefy CPU bandwidth (MB/s)
+  double cw = 1129.0;  ///< CW: max Wimpy CPU bandwidth (MB/s)
+  double gb = 0.25;    ///< GB: Beefy P-store utilization constant
+  double gw = 0.13;    ///< GW: Wimpy P-store utilization constant
+
+  std::shared_ptr<const power::PowerModel> fb;  ///< Beefy power model
+  std::shared_ptr<const power::PowerModel> fw;  ///< Wimpy power model
+
+  /// Warm cache (Section 5.3.1 validation): scans run at CPU bandwidth
+  /// (CB/CW) instead of disk bandwidth.
+  bool warm_cache = false;
+
+  /// With warm_cache, use the paper's additive variant — phase time equals
+  /// the CPU pass at max speed PLUS the network transfer — instead of the
+  /// default pipelined min(CPU, network) regime the flow simulator uses.
+  bool warm_additive = false;
+
+  int total_nodes() const { return nb + nw; }
+
+  /// Table 3's H: the Wimpy nodes can hold their hash-table share.
+  bool WimpyCanBuildHashTable() const;
+
+  /// Fills nb/nw/memories/C/G/power models from a two-class cluster spec;
+  /// disk/net bandwidths are taken from the first node.
+  static StatusOr<ModelParams> FromCluster(const hw::ClusterSpec& cluster);
+
+  /// The Section 5.4 defaults: modeled Beefy/Wimpy nodes, I = 1200,
+  /// L = 100, fB = cluster-V X5550 model, fW = Laptop B model.
+  static ModelParams Section54Defaults(int nb, int nw);
+
+  Status Validate() const;
+};
+
+}  // namespace eedc::model
+
+#endif  // EEDC_MODEL_PARAMS_H_

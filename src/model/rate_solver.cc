@@ -1,0 +1,47 @@
+#include "model/rate_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eedc::model {
+
+namespace {
+
+bool Feasible(double theta, double cap_b, double cap_w,
+              const std::vector<LinearConstraint>& constraints) {
+  const double rb = std::min(cap_b, theta);
+  const double rw = std::min(cap_w, theta);
+  for (const auto& c : constraints) {
+    if (c.coef_b * rb + c.coef_w * rw > c.bound * (1.0 + 1e-12)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ClassRates SolveClassRates(
+    double cap_b, double cap_w,
+    const std::vector<LinearConstraint>& constraints) {
+  // theta is bounded above by max(cap_b, cap_w); bisect on feasibility.
+  // The feasible set is an interval [0, theta*] because constraint LHS is
+  // nondecreasing in theta.
+  double lo = 0.0;
+  double hi = std::max(cap_b, cap_w);
+  if (!Feasible(hi, cap_b, cap_w, constraints)) {
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (Feasible(mid, cap_b, cap_w, constraints)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  } else {
+    lo = hi;
+  }
+  return ClassRates{std::min(cap_b, lo), std::min(cap_w, lo)};
+}
+
+}  // namespace eedc::model

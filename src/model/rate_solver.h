@@ -1,0 +1,41 @@
+// Two-class max-min rate solver used by the analytical model.
+//
+// The closed-form Table 3 rates cover the homogeneous cases; heterogeneous
+// execution adds the Beefy NIC-ingestion constraint the paper mentions but
+// does not publish equations for. We solve the general two-class problem:
+//
+//   r_b = min(cap_b, theta),  r_w = min(cap_w, theta)
+//   subject to  a_b*r_b + a_w*r_w <= c    for every linear constraint,
+//
+// maximizing theta (water filling). This reduces to the paper's published
+// min() expressions whenever only one constraint binds per class.
+#ifndef EEDC_MODEL_RATE_SOLVER_H_
+#define EEDC_MODEL_RATE_SOLVER_H_
+
+#include <vector>
+
+namespace eedc::model {
+
+struct LinearConstraint {
+  double coef_b = 0.0;
+  double coef_w = 0.0;
+  double bound = 0.0;
+};
+
+struct ClassRates {
+  double beefy = 0.0;
+  double wimpy = 0.0;
+};
+
+/// Solves the water-filling problem above. Caps must be positive (use a
+/// huge value for "unconstrained"); constraints with non-positive bound
+/// force zero rates.
+ClassRates SolveClassRates(double cap_b, double cap_w,
+                           const std::vector<LinearConstraint>& constraints);
+
+/// A practically-infinite rate for unconstrained caps.
+inline constexpr double kNoCap = 1e18;
+
+}  // namespace eedc::model
+
+#endif  // EEDC_MODEL_RATE_SOLVER_H_

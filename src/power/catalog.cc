@@ -1,0 +1,17 @@
+#include "power/catalog.h"
+
+namespace eedc::power {
+
+std::unique_ptr<PowerModel> ClusterVPowerModel() {
+  return std::make_unique<PowerLawModel>(130.03, 0.2369);
+}
+
+std::unique_ptr<PowerModel> BeefyL5630PowerModel() {
+  return std::make_unique<PowerLawModel>(79.006, 0.2451);
+}
+
+std::unique_ptr<PowerModel> WimpyLaptopBPowerModel() {
+  return std::make_unique<PowerLawModel>(10.994, 0.2875);
+}
+
+}  // namespace eedc::power

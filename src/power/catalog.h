@@ -1,0 +1,25 @@
+// The paper's published power models.
+#ifndef EEDC_POWER_CATALOG_H_
+#define EEDC_POWER_CATALOG_H_
+
+#include <memory>
+
+#include "power/power_model.h"
+
+namespace eedc::power {
+
+/// Table 1 "SysPower" for a cluster-V node (2x Xeon X5550, 48 GB, 8 disks):
+/// f(c) = 130.03 * (100c)^0.2369.
+std::unique_ptr<PowerModel> ClusterVPowerModel();
+
+/// Section 5.3 validation beefy node (2x Xeon L5630, HP SE326M1R2):
+/// f(c) = 79.006 * (100c)^0.2451. Average measured 154 W under load.
+std::unique_ptr<PowerModel> BeefyL5630PowerModel();
+
+/// Table 3 fW: Laptop B (i7-620m), f(c) = 10.994 * (100c)^0.2875.
+/// 11 W idle (screen off), ~37 W average under P-store load.
+std::unique_ptr<PowerModel> WimpyLaptopBPowerModel();
+
+}  // namespace eedc::power
+
+#endif  // EEDC_POWER_CATALOG_H_

@@ -1,0 +1,54 @@
+#include "power/meter.h"
+
+namespace eedc::power {
+
+SimulatedWattsUpMeter::SimulatedWattsUpMeter()
+    : SimulatedWattsUpMeter(Options{}) {}
+
+SimulatedWattsUpMeter::SimulatedWattsUpMeter(Options options)
+    : options_(options), rng_(options.seed) {}
+
+void SimulatedWattsUpMeter::ObserveConstant(Duration dt, Power true_watts) {
+  const Duration end = elapsed_ + dt;
+  true_energy_ += true_watts * dt;
+  const Duration period = Duration::Seconds(1.0 / options_.sample_hz);
+  while (next_sample_at_ < end) {
+    const double err =
+        rng_.UniformDouble(-options_.accuracy, options_.accuracy);
+    samples_.push_back(
+        MeterSample{next_sample_at_, true_watts * (1.0 + err)});
+    next_sample_at_ += period;
+  }
+  elapsed_ = end;
+}
+
+Energy SimulatedWattsUpMeter::MeasuredEnergy() const {
+  // The meter integrates each reading over its sampling period, except the
+  // final reading which covers only the remaining observed time.
+  Energy total = Energy::Zero();
+  const Duration period = Duration::Seconds(1.0 / options_.sample_hz);
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const Duration slice = (i + 1 < samples_.size())
+                               ? period
+                               : elapsed_ - samples_[i].at;
+    total += samples_[i].watts * slice;
+  }
+  return total;
+}
+
+SimulatedIlo2Meter::SimulatedIlo2Meter() : SimulatedIlo2Meter(Options{}) {}
+
+SimulatedIlo2Meter::SimulatedIlo2Meter(Options options)
+    : options_(options), rng_(options.seed) {}
+
+Power SimulatedIlo2Meter::MeasureAverage(Power true_watts, int windows) {
+  double sum = 0.0;
+  for (int i = 0; i < windows; ++i) {
+    const double err =
+        rng_.UniformDouble(-options_.accuracy, options_.accuracy);
+    sum += true_watts.watts() * (1.0 + err);
+  }
+  return Power::Watts(sum / windows);
+}
+
+}  // namespace eedc::power

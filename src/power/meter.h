@@ -1,0 +1,90 @@
+// Simulated power meters.
+//
+// The paper measures node power two ways:
+//   - WattsUp Pro at the outlet: 1 Hz sampling, +/- 1.5% accuracy (Sec. 5.1)
+//   - iLO2 remote management: readings averaged over a 5-minute window,
+//     three windows per utilization level (Sec. 3.1)
+// Both are reproduced here so the calibration pipeline (generate load ->
+// read meter -> fit regression -> use model) can be exercised end to end.
+#ifndef EEDC_POWER_METER_H_
+#define EEDC_POWER_METER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eedc::power {
+
+/// A (timestamp, watts) reading.
+struct MeterSample {
+  Duration at;
+  Power watts;
+};
+
+/// WattsUp-Pro-style outlet meter: samples the instantaneous power of the
+/// device under test at a fixed frequency, each reading perturbed by a
+/// uniform relative error (default +/-1.5%).
+class SimulatedWattsUpMeter {
+ public:
+  struct Options {
+    double sample_hz = 1.0;
+    double accuracy = 0.015;  // +/- relative error bound
+    std::uint64_t seed = 42;
+  };
+
+  SimulatedWattsUpMeter();
+  explicit SimulatedWattsUpMeter(Options options);
+
+  /// Feeds a segment during which the true power is constant. Segments are
+  /// concatenated on the meter's internal timeline.
+  void ObserveConstant(Duration dt, Power true_watts);
+
+  /// All samples taken so far (one per 1/sample_hz of observed time).
+  const std::vector<MeterSample>& samples() const { return samples_; }
+
+  /// Energy estimate from the samples (rectangle rule, like the real meter's
+  /// cumulative joules counter).
+  Energy MeasuredEnergy() const;
+
+  /// Exact integral of the fed power curve (for error analysis in tests).
+  Energy TrueEnergy() const { return true_energy_; }
+
+  Duration elapsed() const { return elapsed_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  Duration elapsed_ = Duration::Zero();
+  Duration next_sample_at_ = Duration::Zero();
+  Energy true_energy_ = Energy::Zero();
+  std::vector<MeterSample> samples_;
+};
+
+/// iLO2-style management-interface meter: reports the average power over
+/// fixed windows (default 5 minutes). The paper takes three windows per
+/// load level and averages them.
+class SimulatedIlo2Meter {
+ public:
+  struct Options {
+    Duration window = Duration::Seconds(300.0);
+    double accuracy = 0.01;
+    std::uint64_t seed = 7;
+  };
+
+  SimulatedIlo2Meter();
+  explicit SimulatedIlo2Meter(Options options);
+
+  /// Observes `windows` consecutive windows at constant true power and
+  /// returns the average of the reported window means.
+  Power MeasureAverage(Power true_watts, int windows = 3);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace eedc::power
+
+#endif  // EEDC_POWER_METER_H_

@@ -1,0 +1,55 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace eedc::power {
+
+double PowerModel::Clamp(double utilization) {
+  return std::clamp(utilization, kMinUtilization, 1.0);
+}
+
+Power PowerLawModel::WattsAt(double utilization) const {
+  const double c = Clamp(utilization);
+  return Power::Watts(a_ * std::pow(100.0 * c, b_));
+}
+
+std::string PowerLawModel::ToString() const {
+  return StrFormat("%.4g*(100c)^%.4g", a_, b_);
+}
+
+Power LinearPowerModel::WattsAt(double utilization) const {
+  const double c = Clamp(utilization);
+  return Power::Watts(idle_.watts() + (peak_.watts() - idle_.watts()) * c);
+}
+
+std::string LinearPowerModel::ToString() const {
+  return StrFormat("%.4g+(%.4g-%.4g)*c", idle_.watts(), peak_.watts(),
+                   idle_.watts());
+}
+
+Power ExponentialPowerModel::WattsAt(double utilization) const {
+  const double c = Clamp(utilization);
+  return Power::Watts(a_ * std::exp(b_ * c));
+}
+
+std::string ExponentialPowerModel::ToString() const {
+  return StrFormat("%.4g*exp(%.4g*c)", a_, b_);
+}
+
+Power LogarithmicPowerModel::WattsAt(double utilization) const {
+  const double c = Clamp(utilization);
+  return Power::Watts(a_ + b_ * std::log(100.0 * c));
+}
+
+std::string LogarithmicPowerModel::ToString() const {
+  return StrFormat("%.4g+%.4g*ln(100c)", a_, b_);
+}
+
+std::string ConstantPowerModel::ToString() const {
+  return StrFormat("%.4gW (constant)", watts_.watts());
+}
+
+}  // namespace eedc::power

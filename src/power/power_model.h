@@ -1,0 +1,128 @@
+// CPU-utilization-driven node power models.
+//
+// The paper models a node's wall power as a function of its CPU utilization
+// (Table 1 "SysPower", Table 3 fB/fW). The published models take the form
+//     f(c) = a * (100 c)^b      with c = CPU utilization in [0, 1],
+// so `a` is the power drawn at 1% utilization (~idle) and concavity b < 1
+// captures the non-energy-proportionality of real servers: power rises
+// steeply at low utilization and flattens near peak, which is exactly why
+// underutilized (bottlenecked) clusters waste energy.
+//
+// We also provide linear / exponential / logarithmic / constant forms so the
+// fitting pipeline (regression.h) can reproduce the paper's model-selection
+// step ("picked the one with the best R^2 value").
+#ifndef EEDC_POWER_POWER_MODEL_H_
+#define EEDC_POWER_POWER_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+
+namespace eedc::power {
+
+/// Utilization below this floor is treated as this floor; the power-law and
+/// logarithmic forms are singular at exactly zero utilization.
+inline constexpr double kMinUtilization = 0.01;
+
+/// Interface: maps CPU utilization (fraction in [0,1]) to wall power.
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Power at utilization `c`; c is clamped into [kMinUtilization, 1].
+  virtual Power WattsAt(double utilization) const = 0;
+
+  /// Human-readable formula, e.g. "130.03*(100c)^0.2369".
+  virtual std::string ToString() const = 0;
+
+  virtual std::unique_ptr<PowerModel> Clone() const = 0;
+
+  /// Power at the utilization floor (the model's notion of idle).
+  Power IdleWatts() const { return WattsAt(kMinUtilization); }
+  /// Power at 100% utilization.
+  Power PeakWatts() const { return WattsAt(1.0); }
+
+ protected:
+  static double Clamp(double utilization);
+};
+
+/// f(c) = a * (100c)^b — the paper's published server model form.
+class PowerLawModel final : public PowerModel {
+ public:
+  PowerLawModel(double a, double b) : a_(a), b_(b) {}
+  Power WattsAt(double utilization) const override;
+  std::string ToString() const override;
+  std::unique_ptr<PowerModel> Clone() const override {
+    return std::make_unique<PowerLawModel>(a_, b_);
+  }
+  double a() const { return a_; }
+  double b() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// f(c) = idle + (peak - idle) * c — the "energy proportional" strawman.
+class LinearPowerModel final : public PowerModel {
+ public:
+  LinearPowerModel(Power idle, Power peak) : idle_(idle), peak_(peak) {}
+  Power WattsAt(double utilization) const override;
+  std::string ToString() const override;
+  std::unique_ptr<PowerModel> Clone() const override {
+    return std::make_unique<LinearPowerModel>(idle_, peak_);
+  }
+
+ private:
+  Power idle_;
+  Power peak_;
+};
+
+/// f(c) = a * exp(b c).
+class ExponentialPowerModel final : public PowerModel {
+ public:
+  ExponentialPowerModel(double a, double b) : a_(a), b_(b) {}
+  Power WattsAt(double utilization) const override;
+  std::string ToString() const override;
+  std::unique_ptr<PowerModel> Clone() const override {
+    return std::make_unique<ExponentialPowerModel>(a_, b_);
+  }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// f(c) = a + b * ln(100c).
+class LogarithmicPowerModel final : public PowerModel {
+ public:
+  LogarithmicPowerModel(double a, double b) : a_(a), b_(b) {}
+  Power WattsAt(double utilization) const override;
+  std::string ToString() const override;
+  std::unique_ptr<PowerModel> Clone() const override {
+    return std::make_unique<LogarithmicPowerModel>(a_, b_);
+  }
+
+ private:
+  double a_;
+  double b_;
+};
+
+/// f(c) = w regardless of load (e.g. a switch, or a naive model).
+class ConstantPowerModel final : public PowerModel {
+ public:
+  explicit ConstantPowerModel(Power watts) : watts_(watts) {}
+  Power WattsAt(double) const override { return watts_; }
+  std::string ToString() const override;
+  std::unique_ptr<PowerModel> Clone() const override {
+    return std::make_unique<ConstantPowerModel>(watts_);
+  }
+
+ private:
+  Power watts_;
+};
+
+}  // namespace eedc::power
+
+#endif  // EEDC_POWER_POWER_MODEL_H_

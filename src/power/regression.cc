@@ -1,0 +1,140 @@
+#include "power/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace eedc::power {
+
+namespace {
+
+Status ValidateSamples(std::span<const PowerSample> samples) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("power fit: need at least 2 samples");
+  }
+  for (const auto& s : samples) {
+    if (s.utilization <= 0.0 || s.utilization > 1.0) {
+      return Status::InvalidArgument(
+          "power fit: utilization must be in (0, 1]");
+    }
+    if (s.watts <= 0.0) {
+      return Status::InvalidArgument("power fit: watts must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+double RSquaredOf(const PowerModel& m, std::span<const PowerSample> samples) {
+  std::vector<double> obs, pred;
+  obs.reserve(samples.size());
+  pred.reserve(samples.size());
+  for (const auto& s : samples) {
+    obs.push_back(s.watts);
+    pred.push_back(m.WattsAt(s.utilization).watts());
+  }
+  return RSquared(obs, pred);
+}
+
+}  // namespace
+
+double ModelRSquared(const PowerModel& model,
+                     std::span<const PowerSample> samples) {
+  return RSquaredOf(model, samples);
+}
+
+StatusOr<FittedPowerModel> FitPowerLaw(std::span<const PowerSample> samples) {
+  EEDC_RETURN_IF_ERROR(ValidateSamples(samples));
+  std::vector<double> xs, ys;  // ln(100c), ln(watts)
+  for (const auto& s : samples) {
+    xs.push_back(std::log(100.0 * s.utilization));
+    ys.push_back(std::log(s.watts));
+  }
+  EEDC_ASSIGN_OR_RETURN(LinearFit lf, FitLinear(xs, ys));
+  FittedPowerModel out;
+  out.model = std::make_unique<PowerLawModel>(std::exp(lf.intercept), lf.slope);
+  out.family = "power-law";
+  out.r_squared = RSquaredOf(*out.model, samples);
+  return out;
+}
+
+StatusOr<FittedPowerModel> FitExponential(
+    std::span<const PowerSample> samples) {
+  EEDC_RETURN_IF_ERROR(ValidateSamples(samples));
+  std::vector<double> xs, ys;  // c, ln(watts)
+  for (const auto& s : samples) {
+    xs.push_back(s.utilization);
+    ys.push_back(std::log(s.watts));
+  }
+  EEDC_ASSIGN_OR_RETURN(LinearFit lf, FitLinear(xs, ys));
+  FittedPowerModel out;
+  out.model = std::make_unique<ExponentialPowerModel>(std::exp(lf.intercept),
+                                                      lf.slope);
+  out.family = "exponential";
+  out.r_squared = RSquaredOf(*out.model, samples);
+  return out;
+}
+
+StatusOr<FittedPowerModel> FitLogarithmic(
+    std::span<const PowerSample> samples) {
+  EEDC_RETURN_IF_ERROR(ValidateSamples(samples));
+  std::vector<double> xs, ys;  // ln(100c), watts
+  for (const auto& s : samples) {
+    xs.push_back(std::log(100.0 * s.utilization));
+    ys.push_back(s.watts);
+  }
+  EEDC_ASSIGN_OR_RETURN(LinearFit lf, FitLinear(xs, ys));
+  FittedPowerModel out;
+  out.model =
+      std::make_unique<LogarithmicPowerModel>(lf.intercept, lf.slope);
+  out.family = "logarithmic";
+  out.r_squared = RSquaredOf(*out.model, samples);
+  return out;
+}
+
+StatusOr<FittedPowerModel> FitLinearModel(
+    std::span<const PowerSample> samples) {
+  EEDC_RETURN_IF_ERROR(ValidateSamples(samples));
+  std::vector<double> xs, ys;
+  for (const auto& s : samples) {
+    xs.push_back(s.utilization);
+    ys.push_back(s.watts);
+  }
+  EEDC_ASSIGN_OR_RETURN(LinearFit lf, FitLinear(xs, ys));
+  FittedPowerModel out;
+  // idle = f(0), peak = f(1) under the linear form.
+  out.model = std::make_unique<LinearPowerModel>(
+      Power::Watts(lf.intercept), Power::Watts(lf.intercept + lf.slope));
+  out.family = "linear";
+  out.r_squared = RSquaredOf(*out.model, samples);
+  return out;
+}
+
+std::vector<FittedPowerModel> FitAllFamilies(
+    std::span<const PowerSample> samples) {
+  std::vector<FittedPowerModel> fits;
+  auto consider = [&fits](StatusOr<FittedPowerModel> f) {
+    if (f.ok()) fits.push_back(std::move(f).value());
+  };
+  consider(FitPowerLaw(samples));
+  consider(FitExponential(samples));
+  consider(FitLogarithmic(samples));
+  consider(FitLinearModel(samples));
+  std::sort(fits.begin(), fits.end(),
+            [](const FittedPowerModel& a, const FittedPowerModel& b) {
+              return a.r_squared > b.r_squared;
+            });
+  return fits;
+}
+
+StatusOr<FittedPowerModel> FitBestPowerModel(
+    std::span<const PowerSample> samples) {
+  EEDC_RETURN_IF_ERROR(ValidateSamples(samples));
+  auto fits = FitAllFamilies(samples);
+  if (fits.empty()) {
+    return Status::Internal("power fit: no family produced a fit");
+  }
+  return std::move(fits.front());
+}
+
+}  // namespace eedc::power

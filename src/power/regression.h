@@ -1,0 +1,67 @@
+// Power-model fitting: the paper's Table-1 methodology.
+//
+// "Using a single cluster-V node, we used a custom parallel hash-join program
+//  to generate CPU load, and iLO2 measured the reported power drawn ...
+//  we explored exponential, power, and logarithmic regression models, and
+//  picked the one with the best R^2 value."
+//
+// FitBestPowerModel() reproduces exactly that: it fits the power-law,
+// exponential, logarithmic and linear forms to (utilization, watts) samples
+// and returns the model with the highest R^2 measured in the *original*
+// (untransformed) space.
+#ifndef EEDC_POWER_REGRESSION_H_
+#define EEDC_POWER_REGRESSION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "power/power_model.h"
+
+namespace eedc::power {
+
+/// One calibration observation: node CPU utilization and measured watts.
+struct PowerSample {
+  double utilization = 0.0;  // fraction in (0, 1]
+  double watts = 0.0;
+};
+
+/// A fitted model together with its goodness of fit.
+struct FittedPowerModel {
+  std::unique_ptr<PowerModel> model;
+  std::string family;  // "power-law", "exponential", "logarithmic", "linear"
+  double r_squared = 0.0;
+};
+
+/// Fits f(c) = a*(100c)^b via log-log least squares.
+StatusOr<FittedPowerModel> FitPowerLaw(std::span<const PowerSample> samples);
+
+/// Fits f(c) = a*exp(b c) via semilog least squares.
+StatusOr<FittedPowerModel> FitExponential(
+    std::span<const PowerSample> samples);
+
+/// Fits f(c) = a + b ln(100c) via least squares on ln(100c).
+StatusOr<FittedPowerModel> FitLogarithmic(
+    std::span<const PowerSample> samples);
+
+/// Fits f(c) = idle + (peak-idle) c via ordinary least squares.
+StatusOr<FittedPowerModel> FitLinearModel(
+    std::span<const PowerSample> samples);
+
+/// Fits all families and returns every successful fit, best R^2 first.
+std::vector<FittedPowerModel> FitAllFamilies(
+    std::span<const PowerSample> samples);
+
+/// The paper's selection step: best-R^2 model across all families.
+StatusOr<FittedPowerModel> FitBestPowerModel(
+    std::span<const PowerSample> samples);
+
+/// R^2 of `model` against the samples, in the original space.
+double ModelRSquared(const PowerModel& model,
+                     std::span<const PowerSample> samples);
+
+}  // namespace eedc::power
+
+#endif  // EEDC_POWER_REGRESSION_H_

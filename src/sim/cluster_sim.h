@@ -1,0 +1,98 @@
+// Virtual-time cluster simulator.
+//
+// Substitutes for the paper's physical clusters (see DESIGN.md): each node
+// contributes four rate resources (CPU bandwidth, disk bandwidth, NIC in,
+// NIC out, all MB/s) plus an optional shared switch backplane. Jobs are
+// phase sequences of flows; the event loop advances virtual time from flow
+// completion to flow completion under max-min fair sharing, integrating
+// each node's power draw f(G + cpu_rate/C) along the way.
+//
+// Energy accounting window: from t=0 until the last job completes — every
+// provisioned node contributes its (utilization-dependent) power for the
+// whole window, exactly like the paper's outlet-metered cluster energy.
+#ifndef EEDC_SIM_CLUSTER_SIM_H_
+#define EEDC_SIM_CLUSTER_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "hw/node_spec.h"
+#include "sim/flow.h"
+
+namespace eedc::sim {
+
+struct PhaseResult {
+  std::string name;
+  Duration start = Duration::Zero();
+  Duration end = Duration::Zero();
+  Duration elapsed() const { return end - start; }
+};
+
+struct JobResult {
+  std::string name;
+  Duration completion = Duration::Zero();
+  std::vector<PhaseResult> phases;
+
+  /// Fraction of the job's span spent in the named phase (e.g. the paper's
+  /// "48% of the query time ... repartitioning").
+  double PhaseFraction(const std::string& phase_name) const;
+};
+
+struct SimResult {
+  Duration makespan = Duration::Zero();
+  Energy total_energy = Energy::Zero();
+  std::vector<Energy> node_energy;
+  /// Time-weighted mean CPU utilization per node over the makespan.
+  std::vector<double> node_avg_utilization;
+  std::vector<JobResult> jobs;
+
+  Power AvgPower() const {
+    return makespan.seconds() > 0 ? total_energy / makespan : Power::Zero();
+  }
+  /// Energy-delay product (J*s) over the whole run.
+  double Edp() const {
+    return EnergyDelayProduct(total_energy, makespan);
+  }
+};
+
+class ClusterSim {
+ public:
+  struct Options {
+    /// Aggregate switch capacity in MB/s crossed by every remote byte;
+    /// <= 0 disables the backplane constraint (non-blocking switch).
+    double switch_backplane_mbps = 0.0;
+  };
+
+  explicit ClusterSim(hw::ClusterSpec spec);
+  ClusterSim(hw::ClusterSpec spec, Options options);
+
+  const hw::ClusterSpec& spec() const { return spec_; }
+  int num_nodes() const { return spec_.size(); }
+
+  // Resource ids for flow construction.
+  ResourceId cpu(int node) const { return node * 4 + 0; }
+  ResourceId disk(int node) const { return node * 4 + 1; }
+  ResourceId nic_in(int node) const { return node * 4 + 2; }
+  ResourceId nic_out(int node) const { return node * 4 + 3; }
+  /// Valid only when the backplane option is enabled.
+  ResourceId switch_backplane() const;
+  bool has_switch_backplane() const {
+    return options_.switch_backplane_mbps > 0.0;
+  }
+
+  const std::vector<double>& capacities() const { return capacities_; }
+
+  /// Runs the jobs (all starting at t=0) to completion.
+  StatusOr<SimResult> Run(const std::vector<JobSpec>& jobs) const;
+
+ private:
+  hw::ClusterSpec spec_;
+  Options options_;
+  std::vector<double> capacities_;
+};
+
+}  // namespace eedc::sim
+
+#endif  // EEDC_SIM_CLUSTER_SIM_H_

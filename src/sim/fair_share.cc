@@ -1,0 +1,75 @@
+#include "sim/fair_share.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eedc::sim {
+
+std::vector<double> MaxMinFairRates(const FairShareProblem& problem) {
+  const std::size_t num_flows = problem.flows.size();
+  const std::size_t num_resources = problem.capacity.size();
+  std::vector<double> rates(num_flows, 0.0);
+  std::vector<char> frozen(num_flows, 0);
+
+  std::vector<double> remaining = problem.capacity;
+  std::size_t unfrozen = 0;
+  for (std::size_t f = 0; f < num_flows; ++f) {
+    if (problem.flows[f].empty()) {
+      rates[f] = kUnboundedRate;
+      frozen[f] = 1;
+    } else {
+      for (const auto& u : problem.flows[f]) {
+        EEDC_CHECK(u.resource >= 0 &&
+                   static_cast<std::size_t>(u.resource) < num_resources)
+            << "flow uses unknown resource " << u.resource;
+        EEDC_CHECK(u.coefficient > 0.0);
+      }
+      ++unfrozen;
+    }
+  }
+
+  std::vector<double> load(num_resources, 0.0);
+  while (unfrozen > 0) {
+    std::fill(load.begin(), load.end(), 0.0);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      for (const auto& u : problem.flows[f]) {
+        load[static_cast<std::size_t>(u.resource)] += u.coefficient;
+      }
+    }
+    // Uniform rate increase until the tightest loaded resource saturates.
+    double theta = kUnboundedRate;
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      if (load[r] > 0.0) theta = std::min(theta, remaining[r] / load[r]);
+    }
+    if (theta == kUnboundedRate) break;  // nothing constrains the rest
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (!frozen[f]) rates[f] += theta;
+    }
+    for (std::size_t r = 0; r < num_resources; ++r) {
+      remaining[r] -= theta * load[r];
+    }
+    // Freeze flows that touch any saturated resource.
+    std::size_t newly_frozen = 0;
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      for (const auto& u : problem.flows[f]) {
+        const std::size_t r = static_cast<std::size_t>(u.resource);
+        const double eps =
+            1e-9 * std::max(problem.capacity[r], 1.0);
+        if (remaining[r] <= eps) {
+          frozen[f] = 1;
+          ++newly_frozen;
+          break;
+        }
+      }
+    }
+    EEDC_CHECK(newly_frozen > 0)
+        << "progressive filling failed to converge";
+    unfrozen -= newly_frozen;
+  }
+  return rates;
+}
+
+}  // namespace eedc::sim

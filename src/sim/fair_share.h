@@ -1,0 +1,36 @@
+// Max-min fair rate allocation via progressive filling.
+//
+// Given flows with per-resource usage coefficients and resource capacities,
+// computes the max-min fair rates: every flow's rate rises uniformly until
+// a resource saturates; flows crossing a saturated resource are frozen; the
+// rest continue. This generalizes the paper's bottleneck analysis (Table 3's
+// min(I*S, N*L/(N-1)) rates emerge as special cases) and extends it to
+// concurrent queries sharing the network.
+#ifndef EEDC_SIM_FAIR_SHARE_H_
+#define EEDC_SIM_FAIR_SHARE_H_
+
+#include <limits>
+#include <vector>
+
+#include "sim/flow.h"
+
+namespace eedc::sim {
+
+struct FairShareProblem {
+  /// capacity[r] for each resource id r in [0, capacity.size()).
+  std::vector<double> capacity;
+  /// usage list per flow.
+  std::vector<std::vector<ResourceUsage>> flows;
+};
+
+/// Rate for an unconstrained flow (no usage entries).
+inline constexpr double kUnboundedRate =
+    std::numeric_limits<double>::infinity();
+
+/// Returns the max-min fair rate of each flow. A flow using a
+/// zero-capacity resource gets rate 0.
+std::vector<double> MaxMinFairRates(const FairShareProblem& problem);
+
+}  // namespace eedc::sim
+
+#endif  // EEDC_SIM_FAIR_SHARE_H_

@@ -1,0 +1,55 @@
+// Flow-level workload description for the cluster simulator.
+//
+// A Flow delivers `mb` units of data through a pipeline; while it runs at
+// rate r (MB/s of delivered output), it consumes each listed resource at
+// rate coefficient*r. Coefficients encode pipeline data reduction: a
+// scan-filter-ship flow with selectivity S delivering qualifying tuples
+// uses disk at 1/S per delivered unit (raw reads) and the NIC at the
+// fraction of output that crosses the network.
+//
+// A Job is a sequence of Phases (barriers between them); each phase is a set
+// of flows that run concurrently. Multiple jobs contend for the same
+// resources (the paper's concurrent-query experiments).
+#ifndef EEDC_SIM_FLOW_H_
+#define EEDC_SIM_FLOW_H_
+
+#include <string>
+#include <vector>
+
+namespace eedc::sim {
+
+using ResourceId = int;
+
+struct ResourceUsage {
+  ResourceId resource = 0;
+  /// Resource consumption rate per unit of flow rate (> 0).
+  double coefficient = 1.0;
+};
+
+struct FlowSpec {
+  std::string name;
+  /// Total output units to deliver (MB).
+  double mb = 0.0;
+  std::vector<ResourceUsage> usage;
+
+  void Use(ResourceId r, double coefficient) {
+    if (coefficient > 0.0) usage.push_back(ResourceUsage{r, coefficient});
+  }
+};
+
+struct PhaseSpec {
+  std::string name;
+  std::vector<FlowSpec> flows;
+};
+
+struct JobSpec {
+  std::string name;
+  std::vector<PhaseSpec> phases;
+  /// Nodes engaged by this job: they draw the P-store baseline utilization
+  /// G while the job runs, even when stalled on the network.
+  std::vector<int> participants;
+};
+
+}  // namespace eedc::sim
+
+#endif  // EEDC_SIM_FLOW_H_

@@ -1,0 +1,317 @@
+#include "sim/query_sim.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eedc::sim {
+
+const char* JoinStrategyToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kColocated:
+      return "colocated";
+    case JoinStrategy::kShuffleBuild:
+      return "shuffle-build";
+    case JoinStrategy::kDualShuffle:
+      return "dual-shuffle";
+    case JoinStrategy::kBroadcastBuild:
+      return "broadcast-build";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status ValidateQuery(const HashJoinQuery& q) {
+  if (q.build_mb <= 0.0 || q.probe_mb <= 0.0) {
+    return Status::InvalidArgument("table sizes must be positive");
+  }
+  if (q.build_sel <= 0.0 || q.build_sel > 1.0 || q.probe_sel <= 0.0 ||
+      q.probe_sel > 1.0) {
+    return Status::InvalidArgument("selectivities must be in (0, 1]");
+  }
+  if (q.placement_skew < 0.0 || q.placement_skew >= 1.0) {
+    return Status::InvalidArgument("placement skew must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+/// Adds the source-side network usage: `remote_coef` units leave the NIC
+/// (and cross the switch backplane, when modeled) per delivered unit.
+void UseRemote(const ClusterSim& sim, FlowSpec* flow, int src,
+               double remote_coef) {
+  if (remote_coef <= 0.0) return;
+  flow->Use(sim.nic_out(src), remote_coef);
+  if (sim.has_switch_backplane()) {
+    flow->Use(sim.switch_backplane(), remote_coef);
+  }
+}
+
+/// Routing of one node's qualifying stream to the joiner set.
+/// kind: 0 = hash-partition among joiners, 1 = broadcast to all joiners.
+void RouteToJoiners(const ClusterSim& sim, FlowSpec* flow, int src,
+                    const ExecutionMode& mode, bool broadcast) {
+  const int j = mode.num_joiners();
+  const bool src_is_joiner =
+      std::find(mode.joiners.begin(), mode.joiners.end(), src) !=
+      mode.joiners.end();
+  if (broadcast) {
+    // Every joiner other than the source ingests a full copy.
+    const double copies =
+        static_cast<double>(src_is_joiner ? j - 1 : j);
+    UseRemote(sim, flow, src, copies);
+    for (int dest : mode.joiners) {
+      if (dest != src) flow->Use(sim.nic_in(dest), 1.0);
+    }
+  } else {
+    // Hash partitioning: 1/j of the stream to each joiner.
+    const double remote_frac =
+        src_is_joiner ? static_cast<double>(j - 1) / j : 1.0;
+    UseRemote(sim, flow, src, remote_frac);
+    for (int dest : mode.joiners) {
+      if (dest != src) flow->Use(sim.nic_in(dest), 1.0 / j);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> PlacementWeights(int num_nodes, double skew) {
+  EEDC_CHECK(num_nodes > 0);
+  EEDC_CHECK(skew >= 0.0 && skew < 1.0);
+  std::vector<double> weights(static_cast<std::size_t>(num_nodes),
+                              1.0 / num_nodes);
+  if (num_nodes == 1 || skew == 0.0) return weights;
+  weights[0] += skew * (1.0 - 1.0 / num_nodes);
+  const double rest = (1.0 - weights[0]) / (num_nodes - 1);
+  for (int i = 1; i < num_nodes; ++i) {
+    weights[static_cast<std::size_t>(i)] = rest;
+  }
+  return weights;
+}
+
+StatusOr<ExecutionMode> PlanHashJoinExecution(const hw::ClusterSpec& cluster,
+                                              const HashJoinQuery& query) {
+  EEDC_RETURN_IF_ERROR(ValidateQuery(query));
+  const int n = cluster.size();
+  if (n <= 0) return Status::InvalidArgument("empty cluster");
+  const double qualifying_mb =
+      query.build_mb * query.build_sel * query.hash_table_factor;
+
+  // Table 3's H predicate, generalized per strategy: partitioned builds
+  // need the 1/J share per joiner; broadcast builds replicate the full
+  // qualifying table onto every joiner.
+  const bool broadcast = query.strategy == JoinStrategy::kBroadcastBuild;
+  const double share_all = broadcast ? qualifying_mb : qualifying_mb / n;
+  bool all_fit = true;
+  for (const auto& node : cluster.nodes()) {
+    if (node.memory_mb() < share_all) {
+      all_fit = false;
+      break;
+    }
+  }
+  ExecutionMode mode;
+  if (all_fit) {
+    mode.homogeneous = true;
+    for (int i = 0; i < n; ++i) mode.joiners.push_back(i);
+    return mode;
+  }
+
+  // Heterogeneous: Beefy nodes build, Wimpy nodes scan/filter/ship.
+  mode.homogeneous = false;
+  for (int i = 0; i < n; ++i) {
+    if (cluster.node(i).is_wimpy()) {
+      mode.scanners.push_back(i);
+    } else {
+      mode.joiners.push_back(i);
+    }
+  }
+  if (mode.joiners.empty()) {
+    return Status::FailedPrecondition(
+        "hash table exceeds every node's memory and no Beefy nodes exist");
+  }
+  const double share_beefy =
+      broadcast ? qualifying_mb
+                : qualifying_mb / static_cast<double>(mode.joiners.size());
+  for (int i : mode.joiners) {
+    if (cluster.node(i).memory_mb() < share_beefy) {
+      return Status::FailedPrecondition(StrFormat(
+          "aggregate Beefy memory cannot hold the hash table "
+          "(%.0f MB/node needed, %.0f MB available)",
+          share_beefy, cluster.node(i).memory_mb()));
+    }
+  }
+  return mode;
+}
+
+StatusOr<JobSpec> MakeHashJoinJob(const ClusterSim& sim,
+                                  const HashJoinQuery& query,
+                                  const ExecutionMode& mode,
+                                  std::string job_name) {
+  EEDC_RETURN_IF_ERROR(ValidateQuery(query));
+  const int n = sim.num_nodes();
+  if (mode.joiners.empty()) {
+    return Status::InvalidArgument("execution mode has no joiners");
+  }
+
+  JobSpec job;
+  job.name = std::move(job_name);
+  for (int i = 0; i < n; ++i) job.participants.push_back(i);
+  const std::vector<double> weights =
+      PlacementWeights(n, query.placement_skew);
+
+  // ---- Build phase: scan + filter the build table, route to joiners. ----
+  PhaseSpec build;
+  build.name = kBuildPhase;
+  for (int s = 0; s < n; ++s) {
+    FlowSpec flow;
+    flow.name = StrFormat("%s/build/n%d", job.name.c_str(), s);
+    flow.mb = query.build_mb * weights[static_cast<std::size_t>(s)] *
+              query.build_sel;
+    if (!query.warm_cache) flow.Use(sim.disk(s), 1.0 / query.build_sel);
+    flow.Use(sim.cpu(s), 1.0 / query.build_sel);
+    switch (query.strategy) {
+      case JoinStrategy::kColocated:
+        break;  // pre-partitioned: no network
+      case JoinStrategy::kShuffleBuild:
+      case JoinStrategy::kDualShuffle:
+        RouteToJoiners(sim, &flow, s, mode, /*broadcast=*/false);
+        break;
+      case JoinStrategy::kBroadcastBuild:
+        RouteToJoiners(sim, &flow, s, mode, /*broadcast=*/true);
+        break;
+    }
+    build.flows.push_back(std::move(flow));
+  }
+  job.phases.push_back(std::move(build));
+
+  // ---- Probe phase: scan + filter the probe table, probe hash tables. ----
+  PhaseSpec probe;
+  probe.name = kProbePhase;
+  for (int s = 0; s < n; ++s) {
+    FlowSpec flow;
+    flow.name = StrFormat("%s/probe/n%d", job.name.c_str(), s);
+    flow.mb = query.probe_mb * weights[static_cast<std::size_t>(s)] *
+              query.probe_sel;
+    if (!query.warm_cache) flow.Use(sim.disk(s), 1.0 / query.probe_sel);
+    flow.Use(sim.cpu(s), 1.0 / query.probe_sel);
+    const bool src_is_joiner =
+        std::find(mode.joiners.begin(), mode.joiners.end(), s) !=
+        mode.joiners.end();
+    switch (query.strategy) {
+      case JoinStrategy::kColocated:
+        break;
+      case JoinStrategy::kDualShuffle:
+        RouteToJoiners(sim, &flow, s, mode, /*broadcast=*/false);
+        break;
+      case JoinStrategy::kShuffleBuild:
+        // Probe side is partition-compatible: local when this node has a
+        // hash table; heterogeneous scanners must still ship.
+        if (!src_is_joiner) {
+          RouteToJoiners(sim, &flow, s, mode, /*broadcast=*/false);
+        }
+        break;
+      case JoinStrategy::kBroadcastBuild:
+        // Joiners hold the full build table: probe is local for them;
+        // scanners spread their stream across joiners.
+        if (!src_is_joiner) {
+          RouteToJoiners(sim, &flow, s, mode, /*broadcast=*/false);
+        }
+        break;
+    }
+    probe.flows.push_back(std::move(flow));
+  }
+  job.phases.push_back(std::move(probe));
+  return job;
+}
+
+StatusOr<SimResult> SimulateHashJoin(const ClusterSim& sim,
+                                     const HashJoinQuery& query,
+                                     int concurrency) {
+  if (concurrency < 1) {
+    return Status::InvalidArgument("concurrency must be >= 1");
+  }
+  EEDC_ASSIGN_OR_RETURN(ExecutionMode mode,
+                        PlanHashJoinExecution(sim.spec(), query));
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(concurrency));
+  for (int q = 0; q < concurrency; ++q) {
+    EEDC_ASSIGN_OR_RETURN(
+        JobSpec job,
+        MakeHashJoinJob(sim, query, mode, StrFormat("join-%d", q)));
+    jobs.push_back(std::move(job));
+  }
+  return sim.Run(jobs);
+}
+
+JobSpec MakeLocalScanJob(const ClusterSim& sim, const LocalScanQuery& query,
+                         std::string job_name) {
+  const int n = sim.num_nodes();
+  JobSpec job;
+  job.name = std::move(job_name);
+  for (int i = 0; i < n; ++i) job.participants.push_back(i);
+  PhaseSpec phase;
+  phase.name = kLocalPhase;
+  for (int s = 0; s < n; ++s) {
+    FlowSpec flow;
+    flow.name = StrFormat("%s/local/n%d", job.name.c_str(), s);
+    flow.mb = query.table_mb / n;
+    if (!query.warm_cache) flow.Use(sim.disk(s), 1.0);
+    flow.Use(sim.cpu(s), 1.0);
+    phase.flows.push_back(std::move(flow));
+  }
+  job.phases.push_back(std::move(phase));
+  return job;
+}
+
+JobSpec MakeShuffleThenLocalJob(const ClusterSim& sim,
+                                const ShuffleThenLocalQuery& query,
+                                std::string job_name) {
+  const int n = sim.num_nodes();
+  JobSpec job;
+  job.name = std::move(job_name);
+  for (int i = 0; i < n; ++i) job.participants.push_back(i);
+
+  PhaseSpec repartition;
+  repartition.name = kRepartitionPhase;
+  for (int s = 0; s < n; ++s) {
+    FlowSpec flow;
+    flow.name = StrFormat("%s/repartition/n%d", job.name.c_str(), s);
+    flow.mb = query.shuffle_mb / n;
+    if (!query.warm_cache) flow.Use(sim.disk(s), 1.0 / query.shuffle_sel);
+    flow.Use(sim.cpu(s), 1.0 / query.shuffle_sel);
+    const double remote_frac = static_cast<double>(n - 1) / n;
+    UseRemote(sim, &flow, s, remote_frac);
+    for (int dest = 0; dest < n; ++dest) {
+      if (dest != s) flow.Use(sim.nic_in(dest), 1.0 / n);
+    }
+    repartition.flows.push_back(std::move(flow));
+  }
+  job.phases.push_back(std::move(repartition));
+
+  PhaseSpec local;
+  local.name = kLocalPhase;
+  for (int s = 0; s < n; ++s) {
+    FlowSpec flow;
+    flow.name = StrFormat("%s/local/n%d", job.name.c_str(), s);
+    flow.mb = query.local_mb / n;
+    if (!query.warm_cache) flow.Use(sim.disk(s), 1.0);
+    flow.Use(sim.cpu(s), 1.0);
+    local.flows.push_back(std::move(flow));
+  }
+  job.phases.push_back(std::move(local));
+
+  if (query.serial_mb > 0.0) {
+    PhaseSpec serial;
+    serial.name = kSerialPhase;
+    FlowSpec flow;
+    flow.name = StrFormat("%s/serial/n0", job.name.c_str());
+    flow.mb = query.serial_mb;
+    flow.Use(sim.cpu(0), 1.0);
+    serial.flows.push_back(std::move(flow));
+    job.phases.push_back(std::move(serial));
+  }
+  return job;
+}
+
+}  // namespace eedc::sim

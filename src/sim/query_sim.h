@@ -1,0 +1,132 @@
+// Translates the paper's query workloads into simulator jobs.
+//
+// The central workload is the partition-incompatible hash join of Section
+// 4.3 / 5.2: both tables are stored striped across all nodes on attributes
+// irrelevant to the join, so the build (and possibly probe) input must move
+// over the network. Execution strategies:
+//
+//   kColocated      — tables pre-partitioned on the join key: no network.
+//   kShuffleBuild   — only the build table repartitions (Vertica Q12/Q21
+//                     shape: LINEITEM is already on l_orderkey).
+//   kDualShuffle    — both tables repartition (Section 4.3.1).
+//   kBroadcastBuild — qualifying build tuples are copied to every joiner
+//                     (Section 4.3.2; the algorithmic bottleneck).
+//
+// Execution modes (Section 5.2): homogeneous (every node builds a hash
+// table) when the H predicate holds — MW >= Bld*Sbld/(NB+NW) — otherwise
+// heterogeneous: Wimpy nodes only scan/filter/ship and Beefy nodes build,
+// subject to the Beefy NIC ingestion bottleneck the simulator models
+// naturally through nic_in resources.
+#ifndef EEDC_SIM_QUERY_SIM_H_
+#define EEDC_SIM_QUERY_SIM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "sim/cluster_sim.h"
+
+namespace eedc::sim {
+
+enum class JoinStrategy {
+  kColocated,
+  kShuffleBuild,
+  kDualShuffle,
+  kBroadcastBuild,
+};
+
+const char* JoinStrategyToString(JoinStrategy s);
+
+struct HashJoinQuery {
+  /// Logical table sizes across the whole cluster, MB (pre-predicate).
+  double build_mb = 0.0;
+  double probe_mb = 0.0;
+  /// Predicate selectivities (fraction of rows passing), (0, 1].
+  double build_sel = 1.0;
+  double probe_sel = 1.0;
+  JoinStrategy strategy = JoinStrategy::kDualShuffle;
+  /// Warm cache: scans cost CPU only (Section 5.3.1's validation setting);
+  /// cold: scans also consume disk bandwidth.
+  bool warm_cache = false;
+  /// Hash-table bytes per qualifying build byte (Table 3 uses 1.0).
+  double hash_table_factor = 1.0;
+  /// Data placement skew in [0, 1): extra fraction of each table
+  /// concentrated on node 0 beyond its uniform share (0 = uniform). The
+  /// paper defers skew to future work (Section 4.1); this knob implements
+  /// it — "even a small skew can cause an imbalance in the utilization of
+  /// the cluster nodes, especially as the system scales".
+  double placement_skew = 0.0;
+};
+
+/// Per-node stored fraction of each table under the skew model: node 0
+/// holds 1/n + skew*(1 - 1/n); the rest split the remainder evenly.
+std::vector<double> PlacementWeights(int num_nodes, double skew);
+
+/// Which nodes build hash tables vs. scan/filter only.
+struct ExecutionMode {
+  bool homogeneous = true;
+  std::vector<int> joiners;
+  std::vector<int> scanners;  // empty when homogeneous
+
+  int num_joiners() const { return static_cast<int>(joiners.size()); }
+};
+
+/// Applies the paper's H predicate to decide the execution mode, or fails
+/// with FailedPrecondition when even the Beefy nodes cannot hold the hash
+/// table (the paper stops at 2B,6W for exactly this reason).
+StatusOr<ExecutionMode> PlanHashJoinExecution(const hw::ClusterSpec& cluster,
+                                              const HashJoinQuery& query);
+
+/// Builds the two-phase (build, probe) job for one hash join query.
+StatusOr<JobSpec> MakeHashJoinJob(const ClusterSim& sim,
+                                  const HashJoinQuery& query,
+                                  const ExecutionMode& mode,
+                                  std::string job_name);
+
+/// Convenience: plan + build + run `concurrency` identical joins.
+StatusOr<SimResult> SimulateHashJoin(const ClusterSim& sim,
+                                     const HashJoinQuery& query,
+                                     int concurrency = 1);
+
+// ---------------------------------------------------------------------------
+// Vertica-style whole-query shapes (Section 3).
+// ---------------------------------------------------------------------------
+
+/// Fully local scan + aggregation (TPC-H Q1 shape: perfect speedup).
+struct LocalScanQuery {
+  double table_mb = 0.0;
+  bool warm_cache = true;
+};
+JobSpec MakeLocalScanJob(const ClusterSim& sim, const LocalScanQuery& query,
+                         std::string job_name);
+
+/// A query that repartitions one table and then does local work (the Q12 /
+/// Q21 shape; the repartition share of total time is what separates them).
+/// An optional serial tail models the non-parallel plan stages commercial
+/// systems exhibit (final aggregation/sort at the initiator node) — the
+/// Amdahl component behind Figure 1(a)'s strongly sub-linear Vertica curve.
+struct ShuffleThenLocalQuery {
+  /// Qualifying MB that must repartition across the cluster.
+  double shuffle_mb = 0.0;
+  /// Selectivity applied while scanning the shuffled table.
+  double shuffle_sel = 1.0;
+  /// MB of purely node-local processing (scan + probe + aggregate).
+  double local_mb = 0.0;
+  /// MB of serial work on the initiator node after the parallel phases.
+  double serial_mb = 0.0;
+  bool warm_cache = true;
+};
+JobSpec MakeShuffleThenLocalJob(const ClusterSim& sim,
+                                const ShuffleThenLocalQuery& query,
+                                std::string job_name);
+
+/// Phase names used by the builders (for PhaseFraction lookups).
+inline constexpr const char* kBuildPhase = "build";
+inline constexpr const char* kProbePhase = "probe";
+inline constexpr const char* kRepartitionPhase = "repartition";
+inline constexpr const char* kLocalPhase = "local";
+inline constexpr const char* kSerialPhase = "serial";
+
+}  // namespace eedc::sim
+
+#endif  // EEDC_SIM_QUERY_SIM_H_

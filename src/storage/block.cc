@@ -1,0 +1,5 @@
+#include "storage/block.h"
+
+// Block is header-only today; this translation unit pins the vtable-free
+// class into the storage library and hosts future out-of-line helpers.
+namespace eedc::storage {}  // namespace eedc::storage

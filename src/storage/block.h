@@ -1,0 +1,61 @@
+// Block: the unit of data flow in P-store's block-iterator execution model
+// (Section 4.2: "P-store is built on top of a block-iterator tuple-scan
+// module"). A block is a bounded columnar batch sharing the Table layout.
+#ifndef EEDC_STORAGE_BLOCK_H_
+#define EEDC_STORAGE_BLOCK_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace eedc::storage {
+
+class Block {
+ public:
+  /// Rows per block. Sized so a ~20-byte projected tuple batch stays well
+  /// within L2, keeping the hash-join probe cache-conscious.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Block(Schema schema, std::size_t capacity = kDefaultCapacity)
+      : data_(std::move(schema)), capacity_(capacity) {
+    data_.Reserve(capacity_);
+  }
+
+  const Schema& schema() const { return data_.schema(); }
+  std::size_t size() const { return data_.num_rows(); }
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() >= capacity_; }
+  std::size_t capacity() const { return capacity_; }
+
+  const Column& column(std::size_t i) const { return data_.column(i); }
+  Column& mutable_column(std::size_t i) { return data_.mutable_column(i); }
+
+  void AppendRow(const std::vector<Value>& values) {
+    data_.AppendRow(values);
+  }
+  void AppendRowFrom(const Table& table, std::size_t i) {
+    data_.AppendRowFrom(table, i);
+  }
+  void AppendRowFromBlock(const Block& other, std::size_t i) {
+    data_.AppendRowFrom(other.data_, i);
+  }
+
+  const Table& AsTable() const { return data_; }
+
+  /// Call after writing columns directly via mutable_column(): verifies the
+  /// columns are rectangular and records the row count.
+  void FinishBulkLoad() { data_.FinishBulkLoad(); }
+
+  /// Logical bytes of this batch (schema tuple width x rows).
+  double LogicalBytes() const { return data_.LogicalBytes(); }
+
+ private:
+  Table data_;
+  std::size_t capacity_;
+};
+
+using BlockPtr = std::shared_ptr<Block>;
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_BLOCK_H_

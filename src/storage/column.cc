@@ -1,0 +1,118 @@
+#include "storage/column.h"
+
+namespace eedc::storage {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return i64_.size();
+    case DataType::kDouble:
+      return f64_.size();
+    case DataType::kString:
+      return str_.size();
+  }
+  return 0;
+}
+
+void Column::Reserve(std::size_t n) {
+  switch (type_) {
+    case DataType::kInt64:
+      i64_.reserve(n);
+      break;
+    case DataType::kDouble:
+      f64_.reserve(n);
+      break;
+    case DataType::kString:
+      str_.reserve(n);
+      break;
+  }
+}
+
+void Column::Clear() {
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+}
+
+void Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(std::get<std::int64_t>(v));
+      break;
+    case DataType::kDouble:
+      AppendDouble(std::get<double>(v));
+      break;
+    case DataType::kString:
+      AppendString(std::get<std::string>(v));
+      break;
+  }
+}
+
+Value Column::ValueAt(std::size_t i) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Int64At(i);
+    case DataType::kDouble:
+      return DoubleAt(i);
+    case DataType::kString:
+      return StringAt(i);
+  }
+  return std::int64_t{0};
+}
+
+void Column::AppendFrom(const Column& other, std::size_t i) {
+  EEDC_DCHECK(type_ == other.type_);
+  switch (type_) {
+    case DataType::kInt64:
+      i64_.push_back(other.i64_[i]);
+      break;
+    case DataType::kDouble:
+      f64_.push_back(other.f64_[i]);
+      break;
+    case DataType::kString:
+      str_.push_back(other.str_[i]);
+      break;
+  }
+}
+
+void Column::AppendRange(const Column& other, std::size_t start,
+                         std::size_t count) {
+  EEDC_DCHECK(type_ == other.type_);
+  EEDC_DCHECK(start + count <= other.size());
+  switch (type_) {
+    case DataType::kInt64:
+      i64_.insert(i64_.end(), other.i64_.begin() + start,
+                  other.i64_.begin() + start + count);
+      break;
+    case DataType::kDouble:
+      f64_.insert(f64_.end(), other.f64_.begin() + start,
+                  other.f64_.begin() + start + count);
+      break;
+    case DataType::kString:
+      str_.insert(str_.end(), other.str_.begin() + start,
+                  other.str_.begin() + start + count);
+      break;
+  }
+}
+
+double Column::ApproxBytes() const {
+  double bytes = FixedWidthBytes(type_) * static_cast<double>(size());
+  if (type_ == DataType::kString) {
+    for (const auto& s : str_) bytes += static_cast<double>(s.size());
+  }
+  return bytes;
+}
+
+}  // namespace eedc::storage

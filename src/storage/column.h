@@ -1,0 +1,92 @@
+// A typed, append-only column vector.
+#ifndef EEDC_STORAGE_COLUMN_H_
+#define EEDC_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "storage/types.h"
+
+namespace eedc::storage {
+
+/// Columnar value storage for one attribute. Only the vector matching
+/// `type()` is populated.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  void Reserve(std::size_t n);
+  void Clear();
+
+  // Typed appends. The type must match `type()` (checked in debug builds).
+  void AppendInt64(std::int64_t v) {
+    EEDC_DCHECK(type_ == DataType::kInt64);
+    i64_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    EEDC_DCHECK(type_ == DataType::kDouble);
+    f64_.push_back(v);
+  }
+  void AppendString(std::string v) {
+    EEDC_DCHECK(type_ == DataType::kString);
+    str_.push_back(std::move(v));
+  }
+  void AppendValue(const Value& v);
+
+  // Typed element access.
+  std::int64_t Int64At(std::size_t i) const {
+    EEDC_DCHECK(type_ == DataType::kInt64);
+    EEDC_DCHECK(i < i64_.size());
+    return i64_[i];
+  }
+  double DoubleAt(std::size_t i) const {
+    EEDC_DCHECK(type_ == DataType::kDouble);
+    EEDC_DCHECK(i < f64_.size());
+    return f64_[i];
+  }
+  const std::string& StringAt(std::size_t i) const {
+    EEDC_DCHECK(type_ == DataType::kString);
+    EEDC_DCHECK(i < str_.size());
+    return str_[i];
+  }
+  Value ValueAt(std::size_t i) const;
+
+  // Bulk typed views (valid only for the matching type).
+  std::span<const std::int64_t> int64s() const {
+    EEDC_DCHECK(type_ == DataType::kInt64);
+    return i64_;
+  }
+  std::span<const double> doubles() const {
+    EEDC_DCHECK(type_ == DataType::kDouble);
+    return f64_;
+  }
+  std::span<const std::string> strings() const {
+    EEDC_DCHECK(type_ == DataType::kString);
+    return str_;
+  }
+
+  /// Appends row `i` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, std::size_t i);
+
+  /// Appends rows [start, start+count) of `other` (same type).
+  void AppendRange(const Column& other, std::size_t start, std::size_t count);
+
+  /// In-memory payload bytes (fixed width per row; strings add length).
+  double ApproxBytes() const;
+
+ private:
+  DataType type_;
+  std::vector<std::int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;
+};
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_COLUMN_H_

@@ -1,0 +1,45 @@
+// Table partitioning across cluster nodes.
+//
+// Mirrors Vertica's "hash segmentation" used in Section 3.1: a table is hash
+// partitioned on a user-chosen attribute, or replicated to every node. Which
+// attribute a table is partitioned on determines whether a join is
+// partition-compatible (no shuffling) or requires repartitioning — the
+// central performance/energy lever the paper studies.
+#ifndef EEDC_STORAGE_PARTITIONER_H_
+#define EEDC_STORAGE_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace eedc::storage {
+
+/// The hash used to map partition keys to nodes. The exchange operator uses
+/// the same function so that "hash partitioned on X" and "shuffled on X"
+/// agree on tuple placement.
+std::uint64_t HashKey(std::int64_t key);
+
+/// Node index for a key under an n-way hash partitioning.
+inline int PartitionOf(std::int64_t key, int n) {
+  return static_cast<int>(HashKey(key) % static_cast<std::uint64_t>(n));
+}
+
+/// Hash partitions `table` into `n` tables on int64 column `key_column`.
+/// Every input row lands in exactly one output table.
+StatusOr<std::vector<Table>> HashPartition(const Table& table,
+                                           const std::string& key_column,
+                                           int n);
+
+/// Replicates the table to n nodes (shared, not copied).
+std::vector<TablePtr> Replicate(TablePtr table, int n);
+
+/// Round-robin partitioning: used when a table is stored "partitioned on an
+/// attribute irrelevant to the join" (partition-incompatible by design).
+std::vector<Table> RoundRobinPartition(const Table& table, int n);
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_PARTITIONER_H_

@@ -1,0 +1,65 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace eedc::storage {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+  EEDC_CHECK(index_.size() == fields_.size())
+      << "duplicate field name in schema " << ToString();
+}
+
+StatusOr<int> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound(StrFormat("no field '%s' in schema %s",
+                                      name.c_str(), ToString().c_str()));
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+double Schema::TupleWidth() const {
+  double w = 0.0;
+  for (const auto& f : fields_) w += f.width();
+  return w;
+}
+
+StatusOr<Schema> Schema::Project(
+    const std::vector<std::string>& names) const {
+  std::vector<Field> projected;
+  projected.reserve(names.size());
+  for (const auto& name : names) {
+    EEDC_ASSIGN_OR_RETURN(int idx, IndexOf(name));
+    projected.push_back(fields_[static_cast<std::size_t>(idx)]);
+  }
+  return Schema(std::move(projected));
+}
+
+bool Schema::SameTypes(const Schema& other) const {
+  if (num_fields() != other.num_fields()) return false;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type != other.fields_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace eedc::storage

@@ -1,0 +1,59 @@
+// Relation schemas: ordered, named, typed fields.
+#ifndef EEDC_STORAGE_SCHEMA_H_
+#define EEDC_STORAGE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/types.h"
+
+namespace eedc::storage {
+
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  /// Average payload width in bytes used for *logical* data-size accounting
+  /// (the paper reasons in table MB). Defaults to the fixed width.
+  double logical_width = 0.0;
+
+  double width() const {
+    return logical_width > 0.0 ? logical_width : FixedWidthBytes(type);
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+  Schema(std::initializer_list<Field> fields)
+      : Schema(std::vector<Field>(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_.at(i); }
+
+  /// Index of the field with this name.
+  StatusOr<int> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Sum of per-field logical widths: bytes per tuple.
+  double TupleWidth() const;
+
+  /// Projection of this schema onto the named fields, in the given order.
+  StatusOr<Schema> Project(const std::vector<std::string>& names) const;
+
+  bool SameTypes(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_SCHEMA_H_

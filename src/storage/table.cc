@@ -1,0 +1,72 @@
+#include "storage/table.h"
+
+#include "common/str_util.h"
+
+namespace eedc::storage {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+StatusOr<const Column*> Table::ColumnByName(const std::string& name) const {
+  EEDC_ASSIGN_OR_RETURN(int idx, schema_.IndexOf(name));
+  return &columns_[static_cast<std::size_t>(idx)];
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  EEDC_CHECK(values.size() == columns_.size())
+      << "row arity " << values.size() << " vs schema "
+      << columns_.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    columns_[i].AppendValue(values[i]);
+  }
+  ++num_rows_;
+}
+
+void Table::AppendRowFrom(const Table& other, std::size_t i) {
+  EEDC_DCHECK(columns_.size() == other.columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendFrom(other.columns_[c], i);
+  }
+  ++num_rows_;
+}
+
+void Table::Reserve(std::size_t n) {
+  for (auto& c : columns_) c.Reserve(n);
+}
+
+void Table::FinishBulkLoad() {
+  if (columns_.empty()) return;
+  const std::size_t n = columns_[0].size();
+  for (const auto& c : columns_) {
+    EEDC_CHECK(c.size() == n) << "ragged bulk load: " << c.size() << " vs "
+                              << n;
+  }
+  num_rows_ = n;
+}
+
+double Table::ApproxBytes() const {
+  double bytes = 0.0;
+  for (const auto& c : columns_) bytes += c.ApproxBytes();
+  return bytes;
+}
+
+StatusOr<Table> Table::Project(const std::vector<std::string>& names) const {
+  EEDC_ASSIGN_OR_RETURN(Schema projected, schema_.Project(names));
+  Table out(projected);
+  out.Reserve(num_rows_);
+  for (const auto& name : names) {
+    EEDC_ASSIGN_OR_RETURN(int src_idx, schema_.IndexOf(name));
+    EEDC_ASSIGN_OR_RETURN(int dst_idx, projected.IndexOf(name));
+    Column& dst = out.columns_[static_cast<std::size_t>(dst_idx)];
+    const Column& src = columns_[static_cast<std::size_t>(src_idx)];
+    for (std::size_t i = 0; i < num_rows_; ++i) dst.AppendFrom(src, i);
+  }
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+}  // namespace eedc::storage

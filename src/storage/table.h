@@ -1,0 +1,60 @@
+// An in-memory columnar table.
+#ifndef EEDC_STORAGE_TABLE_H_
+#define EEDC_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace eedc::storage {
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(std::size_t i) const { return columns_.at(i); }
+  Column& mutable_column(std::size_t i) { return columns_.at(i); }
+  StatusOr<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends one row given cell values in schema order.
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Appends row `i` of `other` (same column types) to this table.
+  void AppendRowFrom(const Table& other, std::size_t i);
+
+  void Reserve(std::size_t n);
+
+  /// Call after writing columns directly via mutable_column(); verifies all
+  /// columns agree on the row count and records it.
+  void FinishBulkLoad();
+
+  /// Physical in-memory payload size.
+  double ApproxBytes() const;
+  /// Logical size by schema tuple width (what the paper's model uses).
+  double LogicalBytes() const {
+    return schema_.TupleWidth() * static_cast<double>(num_rows_);
+  }
+  double LogicalMB() const { return LogicalBytes() / 1e6; }
+
+  /// New table with only the named columns (copies data).
+  StatusOr<Table> Project(const std::vector<std::string>& names) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_TABLE_H_

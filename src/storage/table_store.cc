@@ -1,0 +1,40 @@
+#include "storage/table_store.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace eedc::storage {
+
+void TableStore::Put(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+StatusOr<TablePtr> TableStore::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not in store",
+                                      name.c_str()));
+  }
+  return it->second;
+}
+
+bool TableStore::Contains(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> TableStore::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+double TableStore::ApproxBytes() const {
+  double bytes = 0.0;
+  for (const auto& [_, t] : tables_) bytes += t->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace eedc::storage

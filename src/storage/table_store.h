@@ -1,0 +1,33 @@
+// Per-node table catalog: each simulated cluster node owns a TableStore
+// holding its local partitions and replicated tables.
+#ifndef EEDC_STORAGE_TABLE_STORE_H_
+#define EEDC_STORAGE_TABLE_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace eedc::storage {
+
+class TableStore {
+ public:
+  /// Registers a table under `name`, replacing any previous entry.
+  void Put(const std::string& name, TablePtr table);
+
+  StatusOr<TablePtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Total resident payload across all tables.
+  double ApproxBytes() const;
+
+ private:
+  std::unordered_map<std::string, TablePtr> tables_;
+};
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_TABLE_STORE_H_

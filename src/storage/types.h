@@ -1,0 +1,54 @@
+// Scalar types of the columnar storage engine.
+//
+// The engine is deliberately small: 64-bit integers (also used for keys and
+// dates-as-day-numbers), doubles, and strings. That is sufficient for the
+// TPC-H columns the paper's queries touch, while keeping the block layout
+// and byte accounting simple.
+#ifndef EEDC_STORAGE_TYPES_H_
+#define EEDC_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace eedc::storage {
+
+enum class DataType {
+  kInt64,   // integers, keys, flags; also dates as days since 1992-01-01
+  kDouble,  // prices, discounts
+  kString,  // comments, names (rarely scanned in our plans)
+};
+
+const char* DataTypeToString(DataType t);
+
+/// Fixed in-memory width used for byte accounting. Strings report their
+/// actual payload size separately.
+inline constexpr double FixedWidthBytes(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return 8.0;
+    case DataType::kDouble:
+      return 8.0;
+    case DataType::kString:
+      return 16.0;  // pointer + length bookkeeping
+  }
+  return 8.0;
+}
+
+/// Row-wise cell value for convenience APIs (generator, tests).
+using Value = std::variant<std::int64_t, double, std::string>;
+
+inline DataType TypeOf(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return DataType::kInt64;
+    case 1:
+      return DataType::kDouble;
+    default:
+      return DataType::kString;
+  }
+}
+
+}  // namespace eedc::storage
+
+#endif  // EEDC_STORAGE_TYPES_H_

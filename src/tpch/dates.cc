@@ -1,0 +1,54 @@
+#include "tpch/dates.h"
+
+#include "common/check.h"
+#include "common/str_util.h"
+
+namespace eedc::tpch {
+
+namespace {
+
+// Howard Hinnant's days_from_civil, offset to the 1992-01-01 epoch.
+std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<std::int64_t>(doe) - 719468LL;
+}
+
+const std::int64_t kEpoch = DaysFromCivil(1992, 1, 1);
+
+}  // namespace
+
+std::int64_t DayNumber(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) - kEpoch;
+}
+
+void CivilFromDayNumber(std::int64_t days, int* year, int* month, int* day) {
+  std::int64_t z = days + kEpoch + 719468LL;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+std::string FormatDate(std::int64_t days) {
+  int y, m, d;
+  CivilFromDayNumber(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+std::int64_t MaxOrderDate() { return DayNumber(1998, 8, 2) - 151; }
+
+std::int64_t CurrentDate() { return DayNumber(1995, 6, 17); }
+
+}  // namespace eedc::tpch

@@ -1,0 +1,35 @@
+// Date handling for the TPC-H generator and predicates.
+//
+// Dates are stored in int64 columns as days since 1992-01-01 (the TPC-H
+// STARTDATE). The proleptic-Gregorian conversion handles the benchmark's
+// 1992..1998 window exactly.
+#ifndef EEDC_TPCH_DATES_H_
+#define EEDC_TPCH_DATES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eedc::tpch {
+
+/// TPC-H date window.
+inline constexpr int kStartYear = 1992;
+inline constexpr int kEndYear = 1998;
+
+/// Days since 1992-01-01 for a calendar date. Valid for years 1992..1999.
+std::int64_t DayNumber(int year, int month, int day);
+
+/// Inverse of DayNumber.
+void CivilFromDayNumber(std::int64_t days, int* year, int* month, int* day);
+
+/// "YYYY-MM-DD" rendering of a day number.
+std::string FormatDate(std::int64_t days);
+
+/// Last generated o_orderdate: ENDDATE - 151 days = 1998-08-02 - 151.
+std::int64_t MaxOrderDate();
+
+/// TPC-H CURRENTDATE (1995-06-17), used for returnflag/linestatus logic.
+std::int64_t CurrentDate();
+
+}  // namespace eedc::tpch
+
+#endif  // EEDC_TPCH_DATES_H_

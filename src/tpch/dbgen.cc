@@ -1,0 +1,223 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "tpch/dates.h"
+#include "tpch/schema.h"
+
+namespace eedc::tpch {
+
+using storage::Table;
+using storage::TablePtr;
+
+namespace {
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECI", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+
+std::size_t RowsFor(double per_sf, double sf) {
+  return static_cast<std::size_t>(std::llround(per_sf * sf));
+}
+
+}  // namespace
+
+std::size_t OrdersRowsFor(double scale_factor) {
+  return RowsFor(kOrdersRowsPerSF, scale_factor);
+}
+
+std::size_t CustomerRowsFor(double scale_factor) {
+  return RowsFor(kCustomerRowsPerSF, scale_factor);
+}
+
+Table GenerateRegion() {
+  Table t(RegionSchema());
+  for (std::int64_t i = 0; i < 5; ++i) {
+    t.AppendRow({i, std::string(kRegions[i])});
+  }
+  return t;
+}
+
+Table GenerateNation() {
+  Table t(NationSchema());
+  for (std::int64_t i = 0; i < 25; ++i) {
+    t.AppendRow({i, std::string(kNations[i]),
+                 static_cast<std::int64_t>(kNationRegion[i])});
+  }
+  return t;
+}
+
+Table GenerateSupplier(const DbgenOptions& options) {
+  const std::size_t n =
+      std::max<std::size_t>(1, RowsFor(kSupplierRowsPerSF,
+                                       options.scale_factor));
+  Rng rng(options.seed ^ 0x50u);
+  Table t(SupplierSchema());
+  t.Reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    t.AppendRow({static_cast<std::int64_t>(i),
+                 StrFormat("Supplier#%09zu", i), rng.UniformInt(0, 24)});
+  }
+  return t;
+}
+
+Table GenerateCustomer(const DbgenOptions& options) {
+  const std::size_t n =
+      std::max<std::size_t>(1, CustomerRowsFor(options.scale_factor));
+  Rng rng(options.seed ^ 0xC0u);
+  Table t(CustomerSchema());
+  t.Reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    t.AppendRow({static_cast<std::int64_t>(i),
+                 StrFormat("Customer#%09zu", i), rng.UniformInt(0, 24),
+                 std::string(kSegments[rng.UniformInt(0, 4)])});
+  }
+  return t;
+}
+
+Table GeneratePart(const DbgenOptions& options) {
+  const std::size_t n =
+      std::max<std::size_t>(1, RowsFor(kPartRowsPerSF,
+                                       options.scale_factor));
+  Rng rng(options.seed ^ 0x9Au);
+  Table t(PartSchema());
+  t.Reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    t.AppendRow({static_cast<std::int64_t>(i), StrFormat("Part#%09zu", i),
+                 rng.UniformDouble(900.0, 2100.0)});
+  }
+  return t;
+}
+
+Table GeneratePartSupp(const DbgenOptions& options) {
+  const std::size_t parts =
+      std::max<std::size_t>(1, RowsFor(kPartRowsPerSF,
+                                       options.scale_factor));
+  const std::size_t suppliers =
+      std::max<std::size_t>(1, RowsFor(kSupplierRowsPerSF,
+                                       options.scale_factor));
+  Rng rng(options.seed ^ 0xB5u);
+  Table t(PartSuppSchema());
+  t.Reserve(parts * 4);
+  for (std::size_t p = 1; p <= parts; ++p) {
+    for (int s = 0; s < 4; ++s) {
+      t.AppendRow({static_cast<std::int64_t>(p),
+                   rng.UniformInt(1, static_cast<std::int64_t>(suppliers)),
+                   rng.UniformInt(1, 9999),
+                   rng.UniformDouble(1.0, 1000.0)});
+    }
+  }
+  return t;
+}
+
+void GenerateOrdersAndLineitem(const DbgenOptions& options, Table* orders,
+                               Table* lineitem) {
+  const std::size_t num_orders =
+      std::max<std::size_t>(1, OrdersRowsFor(options.scale_factor));
+  const std::int64_t num_customers = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, CustomerRowsFor(options.scale_factor)));
+  const std::int64_t num_parts = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, RowsFor(kPartRowsPerSF,
+                                       options.scale_factor)));
+  const std::int64_t num_suppliers = static_cast<std::int64_t>(
+      std::max<std::size_t>(1, RowsFor(kSupplierRowsPerSF,
+                                       options.scale_factor)));
+
+  Rng rng(options.seed ^ 0x0Eu);
+  *orders = Table(OrdersSchema());
+  *lineitem = Table(LineitemSchema());
+  orders->Reserve(num_orders);
+  lineitem->Reserve(num_orders * 4);
+
+  const std::int64_t max_order_date = MaxOrderDate();
+  const std::int64_t current_date = CurrentDate();
+
+  for (std::size_t o = 1; o <= num_orders; ++o) {
+    const std::int64_t orderkey = static_cast<std::int64_t>(o);
+    const std::int64_t custkey = rng.UniformInt(1, num_customers);
+    const std::int64_t orderdate = rng.UniformInt(0, max_order_date);
+    const int lines = static_cast<int>(rng.UniformInt(1, 7));
+
+    double total_price = 0.0;
+    for (int ln = 1; ln <= lines; ++ln) {
+      const double quantity = static_cast<double>(rng.UniformInt(1, 50));
+      const double price_per_unit = rng.UniformDouble(90.0, 2100.0);
+      const double extended = quantity * price_per_unit;
+      const double discount = rng.UniformInt(0, 10) / 100.0;
+      const double tax = rng.UniformInt(0, 8) / 100.0;
+      const std::int64_t shipdate = orderdate + rng.UniformInt(1, 121);
+      const std::int64_t commitdate = orderdate + rng.UniformInt(30, 90);
+      const std::int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+      std::string returnflag;
+      if (receiptdate <= current_date) {
+        returnflag = rng.Bernoulli(0.5) ? "R" : "A";
+      } else {
+        returnflag = "N";
+      }
+      const std::string linestatus = shipdate > current_date ? "O" : "F";
+      total_price += extended * (1.0 + tax) * (1.0 - discount);
+
+      lineitem->AppendRow(
+          {orderkey, rng.UniformInt(1, num_parts),
+           rng.UniformInt(1, num_suppliers), static_cast<std::int64_t>(ln),
+           quantity, extended, discount, tax, returnflag, linestatus,
+           shipdate, commitdate, receiptdate,
+           std::string(kShipModes[rng.UniformInt(0, 6)])});
+    }
+
+    orders->AppendRow({orderkey, custkey, total_price, orderdate,
+                       std::string(kPriorities[rng.UniformInt(0, 4)]),
+                       std::int64_t{0}});
+  }
+}
+
+TpchDatabase GenerateDatabase(const DbgenOptions& options) {
+  TpchDatabase db;
+  db.region = std::make_shared<Table>(GenerateRegion());
+  db.nation = std::make_shared<Table>(GenerateNation());
+  db.supplier = std::make_shared<Table>(GenerateSupplier(options));
+  db.customer = std::make_shared<Table>(GenerateCustomer(options));
+  db.part = std::make_shared<Table>(GeneratePart(options));
+  db.partsupp = std::make_shared<Table>(GeneratePartSupp(options));
+  auto orders = std::make_shared<Table>(OrdersSchema());
+  auto lineitem = std::make_shared<Table>(LineitemSchema());
+  GenerateOrdersAndLineitem(options, orders.get(), lineitem.get());
+  db.orders = orders;
+  db.lineitem = lineitem;
+  return db;
+}
+
+StatusOr<TablePtr> TpchDatabase::ByName(const std::string& name) const {
+  if (name == "region") return region;
+  if (name == "nation") return nation;
+  if (name == "supplier") return supplier;
+  if (name == "customer") return customer;
+  if (name == "part") return part;
+  if (name == "partsupp") return partsupp;
+  if (name == "orders") return orders;
+  if (name == "lineitem") return lineitem;
+  return Status::NotFound(StrFormat("no TPC-H table named '%s'",
+                                    name.c_str()));
+}
+
+std::vector<std::string> TpchDatabase::TableNames() const {
+  return {"region",   "nation", "supplier", "customer",
+          "part",     "partsupp", "orders", "lineitem"};
+}
+
+}  // namespace eedc::tpch

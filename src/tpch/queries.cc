@@ -1,0 +1,156 @@
+#include "tpch/queries.h"
+
+namespace eedc::tpch {
+
+using exec::AggSpec;
+using exec::Col;
+using exec::ExprPtr;
+using exec::F64;
+using exec::I64;
+using exec::PlanPtr;
+using exec::Str;
+
+PlanPtr Q1Plan(std::int64_t shipdate_cutoff) {
+  // Per-node partial aggregation over the filtered LINEITEM partition.
+  ExprPtr disc_price =
+      Mul(Col("l_extendedprice"), Sub(F64(1.0), Col("l_discount")));
+  ExprPtr charge = Mul(Mul(Col("l_extendedprice"),
+                           Sub(F64(1.0), Col("l_discount"))),
+                       Add(F64(1.0), Col("l_tax")));
+  PlanPtr partial = exec::HashAggPlan(
+      exec::FilterPlan(exec::ScanPlan("lineitem"),
+                       exec::Le(Col("l_shipdate"), I64(shipdate_cutoff))),
+      {"l_returnflag", "l_linestatus"},
+      {AggSpec::Sum(Col("l_quantity"), "sum_qty"),
+       AggSpec::Sum(Col("l_extendedprice"), "sum_base_price"),
+       AggSpec::Sum(disc_price, "sum_disc_price"),
+       AggSpec::Sum(charge, "sum_charge"),
+       AggSpec::Count("count_order")});
+
+  // Gather the tiny partials and merge.
+  PlanPtr final_agg = exec::HashAggPlan(
+      exec::GatherPlan(partial), {"l_returnflag", "l_linestatus"},
+      {AggSpec::Sum(Col("sum_qty"), "sum_qty"),
+       AggSpec::Sum(Col("sum_base_price"), "sum_base_price"),
+       AggSpec::Sum(Col("sum_disc_price"), "sum_disc_price"),
+       AggSpec::Sum(Col("sum_charge"), "sum_charge"),
+       AggSpec::Sum(Col("count_order"), "count_order")});
+
+  // Derived averages (AVG = SUM / COUNT, exact under two-phase agg).
+  return exec::ProjectPlan(
+      final_agg,
+      {"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+       "sum_disc_price", "sum_charge", "count_order"},
+      {{"avg_qty", Div(Col("sum_qty"), Col("count_order"))},
+       {"avg_price", Div(Col("sum_base_price"), Col("count_order"))}});
+}
+
+PlanPtr Q3Plan(const Q3Options& options) {
+  // The paper's projections: four columns of each table (20 B tuples).
+  PlanPtr orders = exec::ProjectPlan(
+      exec::FilterPlan(
+          exec::ScanPlan("orders"),
+          exec::Lt(Col("o_custkey"), I64(options.custkey_threshold))),
+      {"o_orderkey", "o_orderdate", "o_shippriority", "o_custkey"});
+  PlanPtr lineitem = exec::ProjectPlan(
+      exec::FilterPlan(
+          exec::ScanPlan("lineitem"),
+          exec::Lt(Col("l_shipdate"), I64(options.shipdate_threshold))),
+      {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"});
+
+  PlanPtr build =
+      options.broadcast_orders
+          ? exec::BroadcastPlan(orders, options.joiners)
+          : exec::ShufflePlan(orders, "o_orderkey", options.joiners);
+  PlanPtr probe = options.broadcast_orders
+                      ? lineitem
+                      : exec::ShufflePlan(lineitem, "l_orderkey",
+                                          options.joiners);
+  PlanPtr join =
+      exec::HashJoinPlan(build, probe, "o_orderkey", "l_orderkey");
+
+  // revenue = sum(l_extendedprice * (1 - l_discount)) per order.
+  PlanPtr partial = exec::HashAggPlan(
+      join, {"l_orderkey", "o_orderdate", "o_shippriority"},
+      {AggSpec::Sum(Mul(Col("l_extendedprice"),
+                        Sub(F64(1.0), Col("l_discount"))),
+                    "revenue")});
+  return exec::HashAggPlan(
+      exec::GatherPlan(partial),
+      {"l_orderkey", "o_orderdate", "o_shippriority"},
+      {AggSpec::Sum(Col("revenue"), "revenue")});
+}
+
+PlanPtr Q12Plan(const Q12Options& options) {
+  // LINEITEM predicate: the Q12 shipping-delay conditions plus the
+  // MAIL/SHIP mode filter; the table is partitioned on l_orderkey so this
+  // side never crosses the network.
+  ExprPtr line_pred = exec::And(
+      exec::Or(exec::Eq(Col("l_shipmode"), Str("MAIL")),
+               exec::Eq(Col("l_shipmode"), Str("SHIP"))),
+      exec::And(
+          exec::And(exec::Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                    exec::Lt(Col("l_shipdate"), Col("l_commitdate"))),
+          exec::And(exec::Ge(Col("l_receiptdate"), I64(options.receipt_lo)),
+                    exec::Lt(Col("l_receiptdate"),
+                             I64(options.receipt_hi)))));
+  PlanPtr lineitem = exec::ProjectPlan(
+      exec::FilterPlan(exec::ScanPlan("lineitem"), line_pred),
+      {"l_orderkey", "l_shipmode"});
+
+  // ORDERS repartitions onto the LINEITEM layout: the network bottleneck.
+  PlanPtr orders = exec::ShufflePlan(
+      exec::ProjectPlan(exec::ScanPlan("orders"),
+                        {"o_orderkey", "o_orderpriority"}),
+      "o_orderkey");
+
+  PlanPtr join =
+      exec::HashJoinPlan(orders, lineitem, "o_orderkey", "l_orderkey");
+
+  // high_line = priority in {1-URGENT, 2-HIGH}; low_line otherwise.
+  ExprPtr is_high =
+      exec::Or(exec::Eq(Col("o_orderpriority"), Str("1-URGENT")),
+               exec::Eq(Col("o_orderpriority"), Str("2-HIGH")));
+  PlanPtr partial = exec::HashAggPlan(
+      join, {"l_shipmode"},
+      {AggSpec::Sum(is_high, "high_line_count"),
+       AggSpec::Sum(exec::Not(is_high), "low_line_count")});
+  return exec::HashAggPlan(
+      exec::GatherPlan(partial), {"l_shipmode"},
+      {AggSpec::Sum(Col("high_line_count"), "high_line_count"),
+       AggSpec::Sum(Col("low_line_count"), "low_line_count")});
+}
+
+PlanPtr Q21Plan(const Q21Options& options) {
+  // Late lineitems; partitioned on l_orderkey (local for the orders join).
+  PlanPtr late_lines = exec::ProjectPlan(
+      exec::FilterPlan(
+          exec::ScanPlan("lineitem"),
+          exec::Gt(Col("l_receiptdate"), Col("l_commitdate"))),
+      {"l_orderkey", "l_suppkey"});
+
+  // Only ORDERS crosses the network (5.5% of the query time, Sec. 3.1).
+  PlanPtr orders = exec::ShufflePlan(
+      exec::ProjectPlan(
+          exec::FilterPlan(
+              exec::ScanPlan("orders"),
+              exec::Lt(Col("o_orderdate"), I64(options.orderdate_cutoff))),
+          {"o_orderkey"}),
+      "o_orderkey");
+  PlanPtr order_join =
+      exec::HashJoinPlan(orders, late_lines, "o_orderkey", "l_orderkey");
+
+  // SUPPLIER is replicated: the supplier and nation joins stay local.
+  PlanPtr supplier = exec::ProjectPlan(exec::ScanPlan("supplier"),
+                                       {"s_suppkey", "s_nationkey"});
+  PlanPtr supp_join = exec::HashJoinPlan(supplier, order_join, "s_suppkey",
+                                         "l_suppkey");
+
+  PlanPtr partial = exec::HashAggPlan(
+      supp_join, {"s_nationkey"}, {AggSpec::Count("numwait")});
+  return exec::HashAggPlan(
+      exec::GatherPlan(partial), {"s_nationkey"},
+      {AggSpec::Sum(Col("numwait"), "numwait")});
+}
+
+}  // namespace eedc::tpch

@@ -1,0 +1,68 @@
+// Distributed P-store plans for the paper's TPC-H workloads.
+//
+// The plans assume the paper's data placement (Section 3.1 / 4.3):
+//   - LINEITEM hash-partitioned on l_orderkey (Vertica layout) for Q1/Q12/
+//     Q21, or on l_shipdate (partition-incompatible) for the Q3 join;
+//   - ORDERS hash-partitioned on o_custkey (always partition-incompatible
+//     with an orderkey join, so it repartitions);
+//   - SUPPLIER / NATION replicated on every node.
+//
+// Queries with non-key predicates the generator does not model (e.g. Q21's
+// o_orderstatus) substitute an equivalent-selectivity predicate on a
+// generated column; the plan structure — what shuffles, what stays local —
+// is preserved exactly, which is what the paper's analysis depends on.
+#ifndef EEDC_TPCH_QUERIES_H_
+#define EEDC_TPCH_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace eedc::tpch {
+
+/// TPC-H Q1: pricing summary report over LINEITEM, fully local —
+/// per-node partial aggregation, gather, final aggregation, and derived
+/// averages. Output columns: l_returnflag, l_linestatus, sum_qty,
+/// sum_base_price, sum_disc_price, sum_charge, count_order, avg_qty,
+/// avg_price.
+exec::PlanPtr Q1Plan(std::int64_t shipdate_cutoff);
+
+/// The Section 4.3 workhorse: the partition-incompatible LINEITEM x ORDERS
+/// join of Q3 over the paper's four-column projections.
+struct Q3Options {
+  /// ORDERS predicate: o_custkey < threshold (the 1..100% knob).
+  std::int64_t custkey_threshold = 0;
+  /// LINEITEM predicate: l_shipdate < threshold.
+  std::int64_t shipdate_threshold = 0;
+  /// Broadcast the qualifying ORDERS instead of dual-shuffling.
+  bool broadcast_orders = false;
+  /// Heterogeneous execution: restrict hash-table nodes (empty = all).
+  std::vector<int> joiners;
+};
+/// Output: one row per qualifying lineitem with order columns attached,
+/// aggregated to (l_orderkey, o_orderdate, o_shippriority, revenue).
+exec::PlanPtr Q3Plan(const Q3Options& options);
+
+/// TPC-H Q12: shipping-mode / order-priority report. LINEITEM is filtered
+/// locally (partition-compatible); ORDERS repartitions on o_orderkey; the
+/// result is counted by l_shipmode into high/low priority lines.
+struct Q12Options {
+  /// Receipt-date window [receipt_lo, receipt_hi).
+  std::int64_t receipt_lo = 0;
+  std::int64_t receipt_hi = 0;
+};
+exec::PlanPtr Q12Plan(const Q12Options& options);
+
+/// TPC-H Q21 (simplified): suppliers whose lineitems missed their commit
+/// dates, per nation. SUPPLIER is replicated (local join); only ORDERS
+/// repartitions — the "94.5% local execution" structure of Section 3.1.
+struct Q21Options {
+  /// Stand-in for o_orderstatus = 'F': o_orderdate < cutoff.
+  std::int64_t orderdate_cutoff = 0;
+};
+exec::PlanPtr Q21Plan(const Q21Options& options);
+
+}  // namespace eedc::tpch
+
+#endif  // EEDC_TPCH_QUERIES_H_

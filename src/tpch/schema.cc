@@ -1,0 +1,74 @@
+#include "tpch/schema.h"
+
+namespace eedc::tpch {
+
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+
+Schema RegionSchema() {
+  return Schema({Field{"r_regionkey", DataType::kInt64, 4},
+                 Field{"r_name", DataType::kString, 12}});
+}
+
+Schema NationSchema() {
+  return Schema({Field{"n_nationkey", DataType::kInt64, 4},
+                 Field{"n_name", DataType::kString, 12},
+                 Field{"n_regionkey", DataType::kInt64, 4}});
+}
+
+Schema SupplierSchema() {
+  return Schema({Field{"s_suppkey", DataType::kInt64, 4},
+                 Field{"s_name", DataType::kString, 18},
+                 Field{"s_nationkey", DataType::kInt64, 4}});
+}
+
+Schema CustomerSchema() {
+  return Schema({Field{"c_custkey", DataType::kInt64, 4},
+                 Field{"c_name", DataType::kString, 18},
+                 Field{"c_nationkey", DataType::kInt64, 4},
+                 Field{"c_mktsegment", DataType::kString, 10}});
+}
+
+Schema PartSchema() {
+  return Schema({Field{"p_partkey", DataType::kInt64, 4},
+                 Field{"p_name", DataType::kString, 32},
+                 Field{"p_retailprice", DataType::kDouble, 8}});
+}
+
+Schema PartSuppSchema() {
+  return Schema({Field{"ps_partkey", DataType::kInt64, 4},
+                 Field{"ps_suppkey", DataType::kInt64, 4},
+                 Field{"ps_availqty", DataType::kInt64, 4},
+                 Field{"ps_supplycost", DataType::kDouble, 8}});
+}
+
+Schema OrdersSchema() {
+  // 5-byte logical widths on the four Q3 projection columns so that the
+  // paper's 20-byte projected tuple is reproduced exactly.
+  return Schema({Field{"o_orderkey", DataType::kInt64, 5},
+                 Field{"o_custkey", DataType::kInt64, 5},
+                 Field{"o_totalprice", DataType::kDouble, 8},
+                 Field{"o_orderdate", DataType::kInt64, 5},
+                 Field{"o_orderpriority", DataType::kString, 12},
+                 Field{"o_shippriority", DataType::kInt64, 5}});
+}
+
+Schema LineitemSchema() {
+  return Schema({Field{"l_orderkey", DataType::kInt64, 5},
+                 Field{"l_partkey", DataType::kInt64, 4},
+                 Field{"l_suppkey", DataType::kInt64, 4},
+                 Field{"l_linenumber", DataType::kInt64, 1},
+                 Field{"l_quantity", DataType::kDouble, 4},
+                 Field{"l_extendedprice", DataType::kDouble, 5},
+                 Field{"l_discount", DataType::kDouble, 5},
+                 Field{"l_tax", DataType::kDouble, 4},
+                 Field{"l_returnflag", DataType::kString, 1},
+                 Field{"l_linestatus", DataType::kString, 1},
+                 Field{"l_shipdate", DataType::kInt64, 5},
+                 Field{"l_commitdate", DataType::kInt64, 4},
+                 Field{"l_receiptdate", DataType::kInt64, 4},
+                 Field{"l_shipmode", DataType::kString, 8}});
+}
+
+}  // namespace eedc::tpch

@@ -1,0 +1,50 @@
+// TPC-H table schemas (the columns the paper's queries touch, plus enough
+// context columns to keep the data realistic).
+//
+// Logical widths follow the paper's accounting where it publishes numbers:
+// the Section 4.3 projections of LINEITEM and ORDERS are 4 columns stored as
+// 20-byte tuples (5 bytes/column); see ProjectedTupleBytes().
+#ifndef EEDC_TPCH_SCHEMA_H_
+#define EEDC_TPCH_SCHEMA_H_
+
+#include "storage/schema.h"
+
+namespace eedc::tpch {
+
+storage::Schema RegionSchema();
+storage::Schema NationSchema();
+storage::Schema SupplierSchema();
+storage::Schema CustomerSchema();
+storage::Schema PartSchema();
+storage::Schema PartSuppSchema();
+storage::Schema OrdersSchema();
+storage::Schema LineitemSchema();
+
+/// Rows per scale factor unit (SF 1), per the TPC-H specification.
+inline constexpr double kRegionRows = 5;
+inline constexpr double kNationRows = 25;
+inline constexpr double kSupplierRowsPerSF = 10000;
+inline constexpr double kCustomerRowsPerSF = 150000;
+inline constexpr double kPartRowsPerSF = 200000;
+inline constexpr double kPartSuppRowsPerSF = 800000;
+inline constexpr double kOrdersRowsPerSF = 1500000;
+/// Average lineitems per order is ~4 (1..7 uniform), per the spec.
+inline constexpr double kLineitemRowsPerSF = 6000000;
+
+/// The paper's Section 4.3 projection width: "these four column projections
+/// (20B) were stored as tuples in memory".
+inline constexpr double kProjectedTupleBytes = 20.0;
+
+/// Logical bytes of the paper's SF-400 working sets (Section 5.2):
+/// LINEITEM 48 GB, ORDERS 12 GB after projection.
+inline constexpr double kSf400LineitemMB = 48000.0;
+inline constexpr double kSf400OrdersMB = 12000.0;
+
+/// Logical MB of the Section 5.4 modeled full tables:
+/// ORDERS 700 GB, LINEITEM 2.8 TB.
+inline constexpr double kModeledOrdersMB = 700000.0;
+inline constexpr double kModeledLineitemMB = 2800000.0;
+
+}  // namespace eedc::tpch
+
+#endif  // EEDC_TPCH_SCHEMA_H_

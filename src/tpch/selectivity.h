@@ -1,0 +1,32 @@
+// Predicate-selectivity tooling.
+//
+// The paper's P-store experiments dial predicate selectivity on ORDERS
+// (via O_CUSTKEY) and LINEITEM (via L_SHIPDATE) to 1/10/50/100%. These
+// helpers compute, from generated data, the threshold constant that makes a
+// `column < threshold` predicate match the requested fraction of rows — and
+// verify the achieved fraction.
+#ifndef EEDC_TPCH_SELECTIVITY_H_
+#define EEDC_TPCH_SELECTIVITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace eedc::tpch {
+
+/// Smallest threshold T such that `fraction` of the int64 column is < T.
+/// fraction in [0, 1]; fraction 1.0 returns max+1 (all rows pass).
+StatusOr<std::int64_t> ThresholdForSelectivity(const storage::Table& table,
+                                               const std::string& column,
+                                               double fraction);
+
+/// Fraction of rows with column < threshold.
+StatusOr<double> AchievedSelectivity(const storage::Table& table,
+                                     const std::string& column,
+                                     std::int64_t threshold);
+
+}  // namespace eedc::tpch
+
+#endif  // EEDC_TPCH_SELECTIVITY_H_

@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace eedc {
+namespace {
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(FitLinearTest, ExactLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 2x + 1
+  auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearTest, NoisyLineHasHighButImperfectR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  auto fit = FitLinear(xs, ys);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 3.0, 0.01);
+  EXPECT_GT(fit->r_squared, 0.99);
+  EXPECT_LT(fit->r_squared, 1.0);
+}
+
+TEST(FitLinearTest, RejectsBadInput) {
+  std::vector<double> one = {1.0};
+  EXPECT_FALSE(FitLinear(one, one).ok());
+  std::vector<double> xs = {2.0, 2.0, 2.0};
+  std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(FitLinear(xs, ys).ok());  // constant xs
+  std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_FALSE(FitLinear(xs, mismatched).ok());
+}
+
+TEST(RSquaredTest, PerfectAndUseless) {
+  std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RSquared(obs, obs), 1.0);
+  std::vector<double> mean_pred = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_DOUBLE_EQ(RSquared(obs, mean_pred), 0.0);
+}
+
+TEST(RSquaredTest, ConstantObservationsReturnZero) {
+  std::vector<double> obs = {5, 5, 5};
+  std::vector<double> pred = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(RSquared(obs, pred), 0.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{1.0, 2.0, 6.0}), 3.0);
+}
+
+TEST(MaxRelativeErrorTest, PicksWorstPair) {
+  std::vector<double> obs = {10.0, 100.0, 0.0};
+  std::vector<double> pred = {11.0, 95.0, 42.0};  // zero-obs pair skipped
+  EXPECT_NEAR(MaxRelativeError(obs, pred), 0.10, 1e-12);
+}
+
+TEST(MaxRelativeErrorTest, PerfectPrediction) {
+  std::vector<double> obs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(MaxRelativeError(obs, obs), 0.0);
+}
+
+}  // namespace
+}  // namespace eedc

@@ -1,0 +1,104 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statusor.h"
+
+namespace eedc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::AlreadyExists("x").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, CopyingSharesRepresentation) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsInternal());
+}
+
+TEST(StatusTest, CodeToStringNamesAll) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  EEDC_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_TRUE(Chained(-1).IsInvalidArgument());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = ParsePositive(21);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = ParsePositive(-1);
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsOutOfRange());
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+StatusOr<int> UsesAssignOrReturn(int x) {
+  EEDC_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  ASSERT_TRUE(UsesAssignOrReturn(5).ok());
+  EXPECT_EQ(UsesAssignOrReturn(5).value(), 11);
+  EXPECT_TRUE(UsesAssignOrReturn(0).status().IsOutOfRange());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(3));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 3);
+}
+
+}  // namespace
+}  // namespace eedc

@@ -1,0 +1,73 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.h"
+
+namespace eedc {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongStringsDoNotTruncate) {
+  const std::string big(1000, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 1001u);
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(v, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(StrJoin(std::vector<int>{1, 2}, "-"), "1-2");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmpties) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(1.5, 4), "1.5");
+  EXPECT_EQ(FormatDouble(2.0, 4), "2.0");
+  EXPECT_EQ(FormatDouble(0.1234, 2), "0.12");
+}
+
+TEST(TablePrinterTest, RendersAlignedText) {
+  TablePrinter t({"name", "value"});
+  t.BeginRow();
+  t.AddCell("alpha");
+  t.AddNumber(1.5, 2);
+  t.BeginRow();
+  t.AddCell("b");
+  t.AddInt(42);
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  std::ostringstream os;
+  t.RenderText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 1.50 "), std::string::npos);
+  EXPECT_NE(out.find("| 42 "), std::string::npos);
+}
+
+TEST(TablePrinterTest, RendersCsv) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace eedc

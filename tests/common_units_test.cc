@@ -1,0 +1,75 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc {
+namespace {
+
+TEST(UnitsTest, DataSizeConversions) {
+  EXPECT_DOUBLE_EQ(MBFromBytes(2'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(MBFromGB(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(MBFromTB(2.8), 2'800'000.0);
+}
+
+TEST(UnitsTest, DurationArithmetic) {
+  Duration a = Duration::Seconds(2.0);
+  Duration b = Duration::Millis(500.0);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(Duration::Hours(1.0).seconds(), 3600.0);
+}
+
+TEST(UnitsTest, DurationInfinity) {
+  EXPECT_FALSE(Duration::Infinite().is_finite());
+  EXPECT_TRUE(Duration::Seconds(1e12).is_finite());
+}
+
+TEST(UnitsTest, EnergyIsPowerTimesTime) {
+  const Power p = Power::Watts(154.0);
+  const Duration t = Duration::Seconds(10.0);
+  const Energy e = p * t;
+  EXPECT_DOUBLE_EQ(e.joules(), 1540.0);
+  EXPECT_DOUBLE_EQ((t * p).joules(), 1540.0);
+  EXPECT_DOUBLE_EQ((e / t).watts(), 154.0);
+  EXPECT_DOUBLE_EQ(e.kilojoules(), 1.54);
+}
+
+TEST(UnitsTest, EnergyAccumulation) {
+  Energy total = Energy::Zero();
+  total += Power::Watts(100.0) * Duration::Seconds(3.0);
+  total += Energy::Joules(200.0);
+  EXPECT_DOUBLE_EQ(total.joules(), 500.0);
+  EXPECT_DOUBLE_EQ((total - Energy::Joules(100.0)).joules(), 400.0);
+  EXPECT_DOUBLE_EQ((total * 2.0).joules(), 1000.0);
+  EXPECT_DOUBLE_EQ(total / Energy::Joules(250.0), 2.0);
+}
+
+TEST(UnitsTest, EnergyDelayProduct) {
+  // EDP = energy x delay in joule-seconds.
+  EXPECT_DOUBLE_EQ(
+      EnergyDelayProduct(Energy::Joules(800.0), Duration::Seconds(21.0)),
+      16800.0);
+}
+
+TEST(UnitsTest, ConstantEdpTradeExample) {
+  // The paper's break-even rule: x% performance for x% energy keeps EDP
+  // constant relative to the reference.
+  const Energy e0 = Energy::Joules(1000.0);
+  const Duration t0 = Duration::Seconds(10.0);
+  // 20% slower and 20% less energy: EDP preserved.
+  const Energy e1 = e0 * 0.8;
+  const Duration t1 = t0 / 0.8;
+  EXPECT_NEAR(EnergyDelayProduct(e1, t1), EnergyDelayProduct(e0, t0), 1e-9);
+}
+
+TEST(UnitsTest, Comparisons) {
+  EXPECT_LT(Power::Watts(11.0), Power::Watts(130.0));
+  EXPECT_GT(Energy::KiloJoules(1.0), Energy::Joules(999.0));
+}
+
+}  // namespace
+}  // namespace eedc

@@ -1,0 +1,105 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::core {
+namespace {
+
+NormalizedOutcome Candidate(int nb, int nw, double perf, double energy) {
+  NormalizedOutcome o;
+  o.design = DesignPoint{nb, nw};
+  o.performance = perf;
+  o.energy_ratio = energy;
+  o.edp_ratio = perf > 0 ? energy / perf : 0.0;
+  return o;
+}
+
+TEST(AdvisorTest, ScalableQueryUsesAllNodes) {
+  // Figure 12(a): flat energy — recommend the fastest (largest) design.
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(16, 0, 1.0, 1.0), Candidate(12, 0, 0.75, 1.01),
+      Candidate(8, 0, 0.5, 0.99)};
+  AdvisorOptions options;
+  options.performance_target = 0.6;
+  auto rec = RecommendDesign(candidates, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->scalability, ScalabilityClass::kLinear);
+  EXPECT_EQ(rec->design, (DesignPoint{16, 0}));
+  EXPECT_NE(rec->rationale.find("all available nodes"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, BottleneckedQueryPicksSmallestMeetingTarget) {
+  // Figure 12(b): 40% acceptable loss -> the 4-node point (perf 0.62,
+  // lowest energy above the target) wins over 8N and over the too-slow 2N.
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(8, 0, 1.0, 1.0), Candidate(6, 0, 0.85, 0.9),
+      Candidate(4, 0, 0.62, 0.78), Candidate(2, 0, 0.35, 0.6)};
+  AdvisorOptions options;
+  options.performance_target = 0.6;
+  auto rec = RecommendDesign(candidates, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->scalability, ScalabilityClass::kSubLinear);
+  EXPECT_EQ(rec->design, (DesignPoint{4, 0}));
+}
+
+TEST(AdvisorTest, HeterogeneousMixBeatsHomogeneousFigure12c) {
+  // Figure 12(c): 5B is the best homogeneous point at target 0.6, but
+  // 2B,6W has lower energy AND better performance — and sits below EDP.
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(8, 0, 1.0, 1.0),   Candidate(6, 0, 0.8, 0.92),
+      Candidate(5, 0, 0.63, 0.85), Candidate(4, 0, 0.55, 0.8),
+      Candidate(2, 6, 0.68, 0.55)};
+  AdvisorOptions options;
+  options.performance_target = 0.6;
+  auto rec = RecommendDesign(candidates, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->design, (DesignPoint{2, 6}));
+  EXPECT_TRUE(rec->below_edp);
+  EXPECT_NE(rec->rationale.find("below the constant-EDP curve"),
+            std::string::npos);
+}
+
+TEST(AdvisorTest, TargetUnreachable) {
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(8, 0, 1.0, 1.0), Candidate(4, 0, 0.4, 0.5)};
+  AdvisorOptions options;
+  options.performance_target = 0.99;
+  // Energy spread is large -> bottlenecked; only the reference meets the
+  // target, so it is returned.
+  auto rec = RecommendDesign(candidates, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->design, (DesignPoint{8, 0}));
+}
+
+TEST(AdvisorTest, NoCandidateMeetsTarget) {
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(8, 0, 0.5, 1.0), Candidate(4, 0, 0.3, 0.5)};
+  AdvisorOptions options;
+  options.performance_target = 0.9;
+  auto rec = RecommendDesign(candidates, options);
+  EXPECT_TRUE(rec.status().IsFailedPrecondition());
+}
+
+TEST(AdvisorTest, TiesBreakTowardPerformance) {
+  std::vector<NormalizedOutcome> candidates = {
+      Candidate(8, 0, 1.0, 1.0), Candidate(6, 0, 0.9, 0.7),
+      Candidate(5, 0, 0.7, 0.7)};
+  AdvisorOptions options;
+  options.performance_target = 0.5;
+  auto rec = RecommendDesign(candidates, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->design, (DesignPoint{6, 0}));
+}
+
+TEST(AdvisorTest, RejectsBadInput) {
+  AdvisorOptions options;
+  EXPECT_TRUE(RecommendDesign({}, options).status().IsInvalidArgument());
+  options.performance_target = 1.5;
+  EXPECT_TRUE(RecommendDesign({Candidate(1, 0, 1.0, 1.0)}, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace eedc::core

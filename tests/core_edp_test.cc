@@ -1,0 +1,100 @@
+#include "core/edp.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::core {
+namespace {
+
+Outcome Make(int nb, int nw, double secs, double joules) {
+  return Outcome{DesignPoint{nb, nw}, Duration::Seconds(secs),
+                 Energy::Joules(joules)};
+}
+
+TEST(DesignPointTest, Labels) {
+  EXPECT_EQ((DesignPoint{8, 0}).Label(), "8N");
+  EXPECT_EQ((DesignPoint{2, 6}).Label(), "2B,6W");
+  EXPECT_EQ((DesignPoint{0, 8}).Label(), "0B,8W");
+}
+
+TEST(DesignPointTest, EnumerateMixes) {
+  const auto mixes = EnumerateMixes(8);
+  ASSERT_EQ(mixes.size(), 9u);
+  EXPECT_EQ(mixes.front(), (DesignPoint{8, 0}));
+  EXPECT_EQ(mixes.back(), (DesignPoint{0, 8}));
+  const auto bounded = EnumerateMixes(8, 2);
+  ASSERT_EQ(bounded.size(), 7u);
+  EXPECT_EQ(bounded.back(), (DesignPoint{2, 6}));
+}
+
+TEST(DesignPointTest, EnumerateSizes) {
+  const auto sizes = EnumerateSizes(8, 16, 2);
+  ASSERT_EQ(sizes.size(), 5u);
+  EXPECT_EQ(sizes[0].nb, 8);
+  EXPECT_EQ(sizes[4].nb, 16);
+  for (const auto& s : sizes) EXPECT_EQ(s.nw, 0);
+}
+
+TEST(NormalizeTest, ReferenceMapsToUnity) {
+  const Outcome ref = Make(16, 0, 10.0, 1000.0);
+  auto norm = NormalizeOutcomes({ref}, ref);
+  ASSERT_EQ(norm.size(), 1u);
+  EXPECT_DOUBLE_EQ(norm[0].performance, 1.0);
+  EXPECT_DOUBLE_EQ(norm[0].energy_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(norm[0].edp_ratio, 1.0);
+  EXPECT_FALSE(norm[0].below_edp());
+}
+
+TEST(NormalizeTest, PaperFigure1aExample) {
+  // "the 10 node configuration pays a 24% penalty in performance for a
+  //  16% decrease in energy consumption over the 16N case" — above EDP.
+  const Outcome ref = Make(16, 0, 10.0, 1000.0);
+  const Outcome ten = Make(10, 0, 10.0 / 0.76, 840.0);
+  auto norm = NormalizeOutcomes({ref, ten}, ref);
+  EXPECT_NEAR(norm[1].performance, 0.76, 1e-9);
+  EXPECT_NEAR(norm[1].energy_ratio, 0.84, 1e-9);
+  EXPECT_GT(norm[1].edp_ratio, 1.0);
+  EXPECT_FALSE(norm[1].below_edp());
+  EXPECT_NEAR(PerformancePenalty(norm[1]), 0.24, 1e-9);
+  EXPECT_NEAR(EnergySavings(norm[1]), 0.16, 1e-9);
+}
+
+TEST(NormalizeTest, BelowEdpPoint) {
+  // Trading 20% performance for 40% energy savings: EDP ratio < 1.
+  const Outcome ref = Make(8, 0, 10.0, 1000.0);
+  const Outcome mix = Make(2, 6, 12.5, 600.0);
+  auto norm = NormalizeOutcomes({ref, mix}, ref);
+  EXPECT_NEAR(norm[1].performance, 0.8, 1e-9);
+  EXPECT_NEAR(norm[1].energy_ratio, 0.6, 1e-9);
+  EXPECT_TRUE(norm[1].below_edp());
+  EXPECT_NEAR(norm[1].edp_margin(), 0.2, 1e-9);
+}
+
+TEST(NormalizeTest, ConstantEdpCurveIsDiagonal) {
+  // On the constant-EDP line, energy ratio equals normalized performance.
+  for (double perf : {0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(ConstantEdpEnergyAt(perf), perf);
+  }
+  // A point exactly on the line has edp_ratio == 1.
+  const Outcome ref = Make(8, 0, 10.0, 1000.0);
+  const Outcome on_line = Make(4, 0, 10.0 / 0.7, 700.0);
+  auto norm = NormalizeOutcomes({ref, on_line}, ref);
+  EXPECT_NEAR(norm[1].edp_ratio, 1.0, 1e-9);
+}
+
+TEST(NormalizeToDesignTest, FindsReferenceByDesign) {
+  std::vector<Outcome> outcomes = {Make(8, 0, 10, 1000),
+                                   Make(6, 2, 12, 900)};
+  auto norm = NormalizeToDesign(outcomes, DesignPoint{8, 0});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ((*norm)[0].performance, 1.0);
+  EXPECT_TRUE(
+      NormalizeToDesign(outcomes, DesignPoint{1, 1}).status().IsNotFound());
+}
+
+TEST(OutcomeTest, EdpIsEnergyTimesDelay) {
+  const Outcome o = Make(4, 0, 20.0, 500.0);
+  EXPECT_DOUBLE_EQ(o.edp(), 10000.0);
+}
+
+}  // namespace
+}  // namespace eedc::core

@@ -1,0 +1,112 @@
+#include "core/explorer.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::core {
+namespace {
+
+model::ModelParams PaperBase() {
+  model::ModelParams p = model::ModelParams::Section54Defaults(0, 0);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+  p.probe_sel = 0.10;
+  return p;
+}
+
+TEST(SweepMixesTest, SkipsInfeasibleMixesLikeFigure10b) {
+  // At ORDERS 10% the sweep must stop at 2B,6W: 1B and 0B cannot hold the
+  // 70 GB hash table.
+  auto sweep =
+      SweepMixes(PaperBase(), model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->outcomes.size(), 7u);  // 8B..2B
+  ASSERT_EQ(sweep->infeasible.size(), 2u);
+  EXPECT_EQ(sweep->infeasible[0], (DesignPoint{1, 7}));
+  EXPECT_EQ(sweep->infeasible[1], (DesignPoint{0, 8}));
+  EXPECT_EQ(sweep->outcomes.front().design, (DesignPoint{8, 0}));
+  EXPECT_EQ(sweep->outcomes.back().design, (DesignPoint{2, 6}));
+}
+
+TEST(SweepMixesTest, AllMixesFeasibleAtLowSelectivity) {
+  model::ModelParams base = PaperBase();
+  base.build_sel = 0.01;  // 875 MB per node: even all-Wimpy works
+  auto sweep = SweepMixes(base, model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->outcomes.size(), 9u);
+  EXPECT_TRUE(sweep->infeasible.empty());
+}
+
+TEST(SweepMixesNormalizedTest, ReferenceIsAllBeefy) {
+  auto curve = SweepMixesNormalized(PaperBase(),
+                                    model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->front().design, (DesignPoint{8, 0}));
+  EXPECT_DOUBLE_EQ(curve->front().performance, 1.0);
+  EXPECT_DOUBLE_EQ(curve->front().energy_ratio, 1.0);
+}
+
+TEST(SweepMixesNormalizedTest, Figure10aShape) {
+  // O 1% / L 10% homogeneous: performance stays ~1.0 while energy drops
+  // ~90% with all-Wimpy.
+  model::ModelParams base = PaperBase();
+  base.build_sel = 0.01;
+  base.probe_sel = 0.10;
+  auto curve = SweepMixesNormalized(base,
+                                    model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 9u);
+  for (const auto& o : *curve) {
+    EXPECT_NEAR(o.performance, 1.0, 0.01);
+  }
+  EXPECT_LT(curve->back().energy_ratio, 0.15);
+}
+
+TEST(SweepMixesNormalizedTest, EnergyDecreasesWithMoreWimpies) {
+  model::ModelParams base = PaperBase();
+  base.probe_sel = 0.01;  // the Figure 1(b) configuration
+  auto curve = SweepMixesNormalized(base,
+                                    model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  for (std::size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_LE((*curve)[i].energy_ratio,
+              (*curve)[i - 1].energy_ratio + 1e-9);
+  }
+}
+
+TEST(SweepProbeSelectivityTest, Figure11CurveFamily) {
+  model::ModelParams base = PaperBase();
+  auto curves = SweepProbeSelectivity(
+      base, model::JoinStrategy::kDualShuffle, 8,
+      {0.10, 0.08, 0.06, 0.04, 0.02});
+  ASSERT_TRUE(curves.ok());
+  ASSERT_EQ(curves->size(), 5u);
+  for (const auto& c : *curves) {
+    EXPECT_EQ(c.curve.size(), 7u);  // 8B..2B (ORDERS 10% fixed)
+  }
+  // Tighter LINEITEM filters push the 2B,6W endpoint further below the
+  // all-Beefy energy (the Figure 11 trend).
+  const double end_10 = curves->front().curve.back().energy_ratio;
+  const double end_02 = curves->back().curve.back().energy_ratio;
+  EXPECT_LT(end_02, end_10);
+}
+
+TEST(SweepMixesTest, RejectsBadArguments) {
+  EXPECT_FALSE(
+      SweepMixes(PaperBase(), model::JoinStrategy::kDualShuffle, 0).ok());
+  model::ModelParams bad = PaperBase();
+  bad.build_mb = -5.0;
+  EXPECT_FALSE(
+      SweepMixes(bad, model::JoinStrategy::kDualShuffle, 8).ok());
+}
+
+TEST(SweepMixesTest, NoFeasibleDesignIsAnError) {
+  model::ModelParams base = PaperBase();
+  base.build_sel = 1.0;  // 700 GB hash table fits nowhere
+  auto sweep =
+      SweepMixes(base, model::JoinStrategy::kDualShuffle, 8);
+  EXPECT_TRUE(sweep.status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace eedc::core

@@ -1,0 +1,101 @@
+#include "core/scalability.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::core {
+namespace {
+
+NormalizedOutcome Point(double perf, double energy) {
+  NormalizedOutcome o;
+  o.performance = perf;
+  o.energy_ratio = energy;
+  o.edp_ratio = energy / perf;
+  return o;
+}
+
+TEST(ParallelEfficiencyTest, IdealScaling) {
+  // nodes x time constant: 8x20 == 16x10.
+  std::vector<SpeedupPoint> pts = {{8, Duration::Seconds(20.0)},
+                                   {16, Duration::Seconds(10.0)}};
+  auto eff = ParallelEfficiency(pts);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_NEAR(*eff, 1.0, 1e-12);
+}
+
+TEST(ParallelEfficiencyTest, SubLinearScaling) {
+  // Doubling nodes only gains 1.56x (the paper's Q12 shape).
+  std::vector<SpeedupPoint> pts = {{8, Duration::Seconds(15.6)},
+                                   {16, Duration::Seconds(10.0)}};
+  auto eff = ParallelEfficiency(pts);
+  ASSERT_TRUE(eff.ok());
+  EXPECT_NEAR(*eff, 0.78, 1e-9);
+}
+
+TEST(ParallelEfficiencyTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(ParallelEfficiency({}).ok());
+  EXPECT_FALSE(
+      ParallelEfficiency({{8, Duration::Seconds(1.0)}}).ok());
+  EXPECT_FALSE(ParallelEfficiency({{8, Duration::Seconds(1.0)},
+                                   {8, Duration::Seconds(2.0)}})
+                   .ok());
+  EXPECT_FALSE(ParallelEfficiency({{8, Duration::Seconds(0.0)},
+                                   {16, Duration::Seconds(2.0)}})
+                   .ok());
+}
+
+TEST(ClassifySpeedupTest, LinearVsSubLinear) {
+  std::vector<SpeedupPoint> linear = {{8, Duration::Seconds(20.0)},
+                                      {16, Duration::Seconds(10.2)}};
+  auto c = ClassifySpeedup(linear);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, ScalabilityClass::kLinear);
+
+  std::vector<SpeedupPoint> sub = {{8, Duration::Seconds(14.0)},
+                                   {16, Duration::Seconds(10.0)}};
+  c = ClassifySpeedup(sub);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, ScalabilityClass::kSubLinear);
+}
+
+TEST(ClassifyEnergyCurveTest, FlatCurveIsLinear) {
+  std::vector<NormalizedOutcome> curve = {
+      Point(1.0, 1.0), Point(0.75, 1.02), Point(0.5, 0.98)};
+  EXPECT_EQ(ClassifyEnergyCurve(curve), ScalabilityClass::kLinear);
+}
+
+TEST(ClassifyEnergyCurveTest, DroppingEnergyIsSubLinear) {
+  std::vector<NormalizedOutcome> curve = {
+      Point(1.0, 1.0), Point(0.75, 0.85), Point(0.5, 0.7)};
+  EXPECT_EQ(ClassifyEnergyCurve(curve), ScalabilityClass::kSubLinear);
+}
+
+TEST(KneeIndexTest, FindsObviousKnee) {
+  // Energy plummets between the 2nd and 3rd points then flattens: the
+  // knee is the elbow of the curve.
+  std::vector<NormalizedOutcome> curve = {
+      Point(1.0, 1.0), Point(0.95, 0.55), Point(0.9, 0.50),
+      Point(0.85, 0.48), Point(0.8, 0.47)};
+  auto knee = KneeIndex(curve);
+  ASSERT_TRUE(knee.ok());
+  EXPECT_EQ(*knee, 1u);
+}
+
+TEST(KneeIndexTest, NoKneeOnStraightLine) {
+  std::vector<NormalizedOutcome> curve = {
+      Point(1.0, 1.0), Point(0.8, 0.8), Point(0.6, 0.6)};
+  EXPECT_FALSE(KneeIndex(curve).ok());
+}
+
+TEST(KneeIndexTest, RejectsShortCurves) {
+  EXPECT_FALSE(KneeIndex({Point(1.0, 1.0), Point(0.5, 0.5)}).ok());
+}
+
+TEST(ScalabilityClassTest, Names) {
+  EXPECT_STREQ(ScalabilityClassToString(ScalabilityClass::kLinear),
+               "linear");
+  EXPECT_STREQ(ScalabilityClassToString(ScalabilityClass::kSubLinear),
+               "sub-linear");
+}
+
+}  // namespace
+}  // namespace eedc::core

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "exec/channel.h"
+#include "exec/exchange_op.h"
+#include "exec/scan_op.h"
+#include "storage/partitioner.h"
+#include "storage/schema.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::Block;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+
+Schema KeyedSchema() {
+  return Schema({Field{"key", DataType::kInt64, 5},
+                 Field{"val", DataType::kInt64, 5}});
+}
+
+TablePtr MakeKeyed(int lo, int hi) {
+  auto t = std::make_shared<Table>(KeyedSchema());
+  for (int i = lo; i < hi; ++i) {
+    t->AppendRow(
+        {static_cast<std::int64_t>(i), static_cast<std::int64_t>(i * 7)});
+  }
+  return t;
+}
+
+TEST(BlockChannelTest, SendReceiveFifo) {
+  BlockChannel ch(1);
+  Block b1(KeyedSchema());
+  b1.AppendRow({std::int64_t{1}, std::int64_t{7}});
+  ch.Send(std::move(b1));
+  ch.SenderDone();
+  auto got = ch.Receive();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), 1u);
+  EXPECT_FALSE(ch.Receive().has_value());  // closed and drained
+}
+
+TEST(BlockChannelTest, ReceiveBlocksUntilSend) {
+  BlockChannel ch(1);
+  std::atomic<bool> got{false};
+  std::thread receiver([&ch, &got] {
+    auto block = ch.Receive();
+    got = block.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Block b(KeyedSchema());
+  b.AppendRow({std::int64_t{1}, std::int64_t{1}});
+  ch.Send(std::move(b));
+  ch.SenderDone();
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BlockChannelTest, MultipleSendersAllMustFinish) {
+  BlockChannel ch(3);
+  ch.SenderDone();
+  ch.SenderDone();
+  std::atomic<bool> done{false};
+  std::thread receiver([&ch, &done] {
+    while (ch.Receive().has_value()) {
+    }
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());  // third sender still open
+  ch.SenderDone();
+  receiver.join();
+  EXPECT_TRUE(done.load());
+}
+
+// Runs one exchange instance per node over the given local tables and
+// returns each node's received rows.
+std::vector<Table> RunExchange(ExchangeMode mode,
+                               const std::string& key,
+                               std::vector<TablePtr> locals,
+                               std::vector<NodeMetrics>* metrics_out) {
+  const int n = static_cast<int>(locals.size());
+  ExchangeGroup group(n, 0);
+  std::vector<NodeMetrics> metrics(static_cast<std::size_t>(n));
+  std::vector<Table> results;
+  results.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) results.emplace_back(KeyedSchema());
+
+  std::vector<std::thread> threads;
+  for (int node = 0; node < n; ++node) {
+    threads.emplace_back([&, node] {
+      auto op = ExchangeOp::Create(
+          std::make_unique<ScanOp>(locals[static_cast<std::size_t>(node)],
+                                   nullptr),
+          mode, key, node, &group, /*destinations=*/{},
+          &metrics[static_cast<std::size_t>(node)]);
+      ASSERT_TRUE(op.ok());
+      ASSERT_TRUE((*op)->Open().ok());
+      while (true) {
+        auto block = (*op)->Next();
+        ASSERT_TRUE(block.ok());
+        if (!block.value().has_value()) break;
+        for (std::size_t i = 0; i < block.value()->size(); ++i) {
+          results[static_cast<std::size_t>(node)].AppendRowFrom(
+              block.value()->AsTable(), i);
+        }
+      }
+      ASSERT_TRUE((*op)->Close().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (metrics_out) *metrics_out = std::move(metrics);
+  return results;
+}
+
+TEST(ExchangeOpTest, ShuffleDeliversEveryRowToItsHashNode) {
+  const int n = 4;
+  std::vector<TablePtr> locals = {MakeKeyed(0, 100), MakeKeyed(100, 200),
+                                  MakeKeyed(200, 300),
+                                  MakeKeyed(300, 400)};
+  std::vector<NodeMetrics> metrics;
+  auto results = RunExchange(ExchangeMode::kShuffle, "key", locals,
+                             &metrics);
+  std::size_t total = 0;
+  for (int node = 0; node < n; ++node) {
+    const Table& r = results[static_cast<std::size_t>(node)];
+    total += r.num_rows();
+    for (std::size_t i = 0; i < r.num_rows(); ++i) {
+      EXPECT_EQ(storage::PartitionOf(r.column(0).Int64At(i), n), node);
+      // Payload travels with the key.
+      EXPECT_EQ(r.column(1).Int64At(i), r.column(0).Int64At(i) * 7);
+    }
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(ExchangeOpTest, ShuffleByteAccountingSplitsLocalAndRemote) {
+  std::vector<TablePtr> locals = {MakeKeyed(0, 1000), MakeKeyed(1000, 2000)};
+  std::vector<NodeMetrics> metrics;
+  RunExchange(ExchangeMode::kShuffle, "key", locals, &metrics);
+  for (const auto& m : metrics) {
+    ASSERT_EQ(m.exchanges.size(), 1u);
+    const auto& ex = m.exchanges[0];
+    // Each node routed 1000 rows x 10 B; about half stays local.
+    EXPECT_NEAR(ex.sent_remote_bytes + ex.sent_local_bytes, 10000.0, 1.0);
+    EXPECT_GT(ex.sent_remote_bytes, 3000.0);
+    EXPECT_GT(ex.sent_local_bytes, 3000.0);
+    EXPECT_DOUBLE_EQ(ex.rows_routed, 1000.0);
+  }
+}
+
+TEST(ExchangeOpTest, BroadcastGivesEveryNodeEverything) {
+  const int n = 3;
+  std::vector<TablePtr> locals = {MakeKeyed(0, 50), MakeKeyed(50, 100),
+                                  MakeKeyed(100, 150)};
+  auto results =
+      RunExchange(ExchangeMode::kBroadcast, "", locals, nullptr);
+  for (int node = 0; node < n; ++node) {
+    const Table& r = results[static_cast<std::size_t>(node)];
+    EXPECT_EQ(r.num_rows(), 150u);
+    // All 150 distinct keys present.
+    std::set<std::int64_t> keys;
+    for (std::size_t i = 0; i < r.num_rows(); ++i) {
+      keys.insert(r.column(0).Int64At(i));
+    }
+    EXPECT_EQ(keys.size(), 150u);
+  }
+}
+
+TEST(ExchangeOpTest, BroadcastAccountsRemoteCopies) {
+  std::vector<TablePtr> locals = {MakeKeyed(0, 100), MakeKeyed(100, 200),
+                                  MakeKeyed(200, 300)};
+  std::vector<NodeMetrics> metrics;
+  RunExchange(ExchangeMode::kBroadcast, "", locals, &metrics);
+  for (const auto& m : metrics) {
+    const auto& ex = m.exchanges[0];
+    // 100 rows x 10 B to each of 2 remote nodes, plus a local copy.
+    EXPECT_NEAR(ex.sent_remote_bytes, 2000.0, 1.0);
+    EXPECT_NEAR(ex.sent_local_bytes, 1000.0, 1.0);
+    EXPECT_NEAR(ex.received_bytes, 3000.0, 1.0);
+  }
+}
+
+TEST(ExchangeOpTest, GatherCollectsOnNodeZero) {
+  std::vector<TablePtr> locals = {MakeKeyed(0, 30), MakeKeyed(30, 60),
+                                  MakeKeyed(60, 90), MakeKeyed(90, 120)};
+  auto results = RunExchange(ExchangeMode::kGather, "", locals, nullptr);
+  EXPECT_EQ(results[0].num_rows(), 120u);
+  for (std::size_t node = 1; node < results.size(); ++node) {
+    EXPECT_EQ(results[node].num_rows(), 0u);
+  }
+}
+
+TEST(ExchangeOpTest, ShuffleRequiresKey) {
+  ExchangeGroup group(2, 0);
+  auto op = ExchangeOp::Create(
+      std::make_unique<ScanOp>(MakeKeyed(0, 1), nullptr),
+      ExchangeMode::kShuffle, "", 0, &group, {}, nullptr);
+  EXPECT_FALSE(op.ok());
+}
+
+TEST(ExchangeOpTest, DestinationsOutOfRangeRejected) {
+  ExchangeGroup group(2, 0);
+  auto op = ExchangeOp::Create(
+      std::make_unique<ScanOp>(MakeKeyed(0, 1), nullptr),
+      ExchangeMode::kShuffle, "key", 0, &group, {5}, nullptr);
+  EXPECT_FALSE(op.ok());
+}
+
+// Restricting destinations models heterogeneous execution: only joiner
+// nodes receive shuffled tuples.
+TEST(ExchangeOpTest, DestinationSubsetReceivesEverything) {
+  const int n = 4;
+  ExchangeGroup group(n, 0);
+  std::vector<TablePtr> locals = {MakeKeyed(0, 100), MakeKeyed(100, 200),
+                                  MakeKeyed(200, 300),
+                                  MakeKeyed(300, 400)};
+  std::vector<Table> results;
+  for (int i = 0; i < n; ++i) results.emplace_back(KeyedSchema());
+  std::vector<std::thread> threads;
+  for (int node = 0; node < n; ++node) {
+    threads.emplace_back([&, node] {
+      auto op = ExchangeOp::Create(
+          std::make_unique<ScanOp>(locals[static_cast<std::size_t>(node)],
+                                   nullptr),
+          ExchangeMode::kShuffle, "key", node, &group,
+          /*destinations=*/{0, 1}, nullptr);
+      ASSERT_TRUE(op.ok());
+      ASSERT_TRUE((*op)->Open().ok());
+      while (true) {
+        auto block = (*op)->Next();
+        ASSERT_TRUE(block.ok());
+        if (!block.value().has_value()) break;
+        for (std::size_t i = 0; i < block.value()->size(); ++i) {
+          results[static_cast<std::size_t>(node)].AppendRowFrom(
+              block.value()->AsTable(), i);
+        }
+      }
+      ASSERT_TRUE((*op)->Close().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(results[0].num_rows() + results[1].num_rows(), 400u);
+  EXPECT_GT(results[0].num_rows(), 0u);
+  EXPECT_GT(results[1].num_rows(), 0u);
+  EXPECT_EQ(results[2].num_rows(), 0u);
+  EXPECT_EQ(results[3].num_rows(), 0u);
+}
+
+TEST(ExchangeOpTest, SingleNodeShuffleIsLoopback) {
+  std::vector<TablePtr> locals = {MakeKeyed(0, 42)};
+  std::vector<NodeMetrics> metrics;
+  auto results = RunExchange(ExchangeMode::kShuffle, "key", locals,
+                             &metrics);
+  EXPECT_EQ(results[0].num_rows(), 42u);
+  EXPECT_DOUBLE_EQ(metrics[0].exchanges[0].sent_remote_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace eedc::exec

@@ -1,0 +1,144 @@
+#include "exec/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::Column;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+
+Table SampleTable() {
+  Table t(Schema({Field{"k", DataType::kInt64},
+                  Field{"price", DataType::kDouble},
+                  Field{"disc", DataType::kDouble},
+                  Field{"mode", DataType::kString}}));
+  t.AppendRow({std::int64_t{1}, 100.0, 0.10, std::string("AIR")});
+  t.AppendRow({std::int64_t{2}, 200.0, 0.00, std::string("RAIL")});
+  t.AppendRow({std::int64_t{3}, 50.0, 0.05, std::string("AIR")});
+  return t;
+}
+
+TEST(ExprTest, ColumnRef) {
+  const Table t = SampleTable();
+  auto col = Col("k")->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kInt64);
+  EXPECT_EQ(col->Int64At(2), 3);
+  EXPECT_TRUE(Col("nope")->EvalToColumn(t).status().IsNotFound());
+}
+
+TEST(ExprTest, Constants) {
+  const Table t = SampleTable();
+  auto i = I64(9)->EvalToColumn(t);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->size(), 3u);
+  EXPECT_EQ(i->Int64At(1), 9);
+  auto d = F64(1.5)->EvalToColumn(t);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->DoubleAt(0), 1.5);
+  auto s = Str("x")->EvalToColumn(t);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->StringAt(2), "x");
+}
+
+TEST(ExprTest, ArithmeticOnDoubles) {
+  const Table t = SampleTable();
+  // price * (1 - disc): the Q1/Q3 revenue expression.
+  auto revenue = Mul(Col("price"), Sub(F64(1.0), Col("disc")));
+  auto col = revenue->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 90.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(1), 200.0);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(2), 47.5);
+}
+
+TEST(ExprTest, IntegerArithmeticStaysInt) {
+  const Table t = SampleTable();
+  auto col = Add(Col("k"), I64(10))->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kInt64);
+  EXPECT_EQ(col->Int64At(0), 11);
+  auto mul = Mul(Col("k"), Col("k"))->EvalToColumn(t);
+  ASSERT_TRUE(mul.ok());
+  EXPECT_EQ(mul->Int64At(2), 9);
+}
+
+TEST(ExprTest, DivisionPromotesToDouble) {
+  const Table t = SampleTable();
+  auto col = Div(Col("k"), I64(2))->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(col->DoubleAt(0), 0.5);
+}
+
+TEST(ExprTest, MixedNumericComparison) {
+  const Table t = SampleTable();
+  auto col = Gt(Col("price"), I64(60))->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->Int64At(0), 1);
+  EXPECT_EQ(col->Int64At(2), 0);
+}
+
+TEST(ExprTest, AllComparisonOps) {
+  const Table t = SampleTable();
+  EXPECT_EQ(Eq(Col("k"), I64(2))->EvalToColumn(t)->Int64At(1), 1);
+  EXPECT_EQ(Ne(Col("k"), I64(2))->EvalToColumn(t)->Int64At(1), 0);
+  EXPECT_EQ(Lt(Col("k"), I64(2))->EvalToColumn(t)->Int64At(0), 1);
+  EXPECT_EQ(Le(Col("k"), I64(2))->EvalToColumn(t)->Int64At(1), 1);
+  EXPECT_EQ(Gt(Col("k"), I64(2))->EvalToColumn(t)->Int64At(2), 1);
+  EXPECT_EQ(Ge(Col("k"), I64(3))->EvalToColumn(t)->Int64At(2), 1);
+}
+
+TEST(ExprTest, StringComparison) {
+  const Table t = SampleTable();
+  auto col = Eq(Col("mode"), Str("AIR"))->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->Int64At(0), 1);
+  EXPECT_EQ(col->Int64At(1), 0);
+  EXPECT_EQ(col->Int64At(2), 1);
+}
+
+TEST(ExprTest, StringVsNumberRejected) {
+  const Table t = SampleTable();
+  EXPECT_FALSE(Eq(Col("mode"), I64(1))->EvalToColumn(t).ok());
+  EXPECT_FALSE(Add(Col("mode"), Col("mode"))->EvalToColumn(t).ok());
+}
+
+TEST(ExprTest, BooleanConnectives) {
+  const Table t = SampleTable();
+  auto pred = And(Eq(Col("mode"), Str("AIR")), Gt(Col("price"), F64(60.0)));
+  auto col = pred->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->Int64At(0), 1);  // AIR and 100
+  EXPECT_EQ(col->Int64At(1), 0);  // RAIL
+  EXPECT_EQ(col->Int64At(2), 0);  // AIR but 50
+
+  auto either = Or(Eq(Col("k"), I64(1)), Eq(Col("k"), I64(3)));
+  EXPECT_EQ(either->EvalToColumn(t)->Int64At(1), 0);
+  EXPECT_EQ(Not(either)->EvalToColumn(t)->Int64At(1), 1);
+}
+
+TEST(ExprTest, TrueMatchesEverything) {
+  const Table t = SampleTable();
+  auto col = True()->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(col->Int64At(i), 1);
+  }
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  auto e = And(Lt(Col("a"), I64(5)), Eq(Col("m"), Str("AIR")));
+  EXPECT_EQ(e->ToString(), "((a < 5) AND (m = 'AIR'))");
+  EXPECT_EQ(Mul(Col("p"), Sub(F64(1.0), Col("d")))->ToString(),
+            "(p * (1.0 - d))");
+}
+
+}  // namespace
+}  // namespace eedc::exec

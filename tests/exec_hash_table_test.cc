@@ -1,0 +1,105 @@
+#include "exec/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eedc::exec {
+namespace {
+
+TEST(JoinHashTableTest, EmptyLookup) {
+  JoinHashTable ht;
+  EXPECT_TRUE(ht.empty());
+  EXPECT_FALSE(ht.Contains(1));
+  int calls = 0;
+  ht.ForEachMatch(1, [&calls](std::uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(JoinHashTableTest, InsertAndFind) {
+  JoinHashTable ht;
+  ht.Insert(10, 0);
+  ht.Insert(20, 1);
+  EXPECT_EQ(ht.size(), 2u);
+  EXPECT_TRUE(ht.Contains(10));
+  EXPECT_TRUE(ht.Contains(20));
+  EXPECT_FALSE(ht.Contains(30));
+  std::vector<std::uint32_t> rows;
+  ht.ForEachMatch(20, [&rows](std::uint32_t r) { rows.push_back(r); });
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(JoinHashTableTest, DuplicateKeysReturnAllRows) {
+  JoinHashTable ht;
+  ht.Insert(5, 0);
+  ht.Insert(5, 1);
+  ht.Insert(5, 2);
+  std::set<std::uint32_t> rows;
+  ht.ForEachMatch(5, [&rows](std::uint32_t r) { rows.insert(r); });
+  EXPECT_EQ(rows, (std::set<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(JoinHashTableTest, NegativeAndExtremeKeys) {
+  JoinHashTable ht;
+  ht.Insert(-1, 0);
+  ht.Insert(std::numeric_limits<std::int64_t>::min(), 1);
+  ht.Insert(std::numeric_limits<std::int64_t>::max(), 2);
+  ht.Insert(0, 3);
+  EXPECT_TRUE(ht.Contains(-1));
+  EXPECT_TRUE(ht.Contains(std::numeric_limits<std::int64_t>::min()));
+  EXPECT_TRUE(ht.Contains(std::numeric_limits<std::int64_t>::max()));
+  EXPECT_TRUE(ht.Contains(0));
+}
+
+TEST(JoinHashTableTest, GrowthPreservesEntries) {
+  JoinHashTable ht;  // starts tiny; forces several rehashes
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    ht.Insert(i * 3, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(ht.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    std::vector<std::uint32_t> rows;
+    ht.ForEachMatch(i * 3,
+                    [&rows](std::uint32_t r) { rows.push_back(r); });
+    ASSERT_EQ(rows.size(), 1u) << "key " << i * 3;
+    EXPECT_EQ(rows[0], static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(ht.Contains(1));  // not a multiple of 3
+}
+
+TEST(JoinHashTableTest, ReserveAvoidsMisbehavior) {
+  JoinHashTable ht;
+  ht.Reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    ht.Insert(i, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(ht.size(), 1000u);
+  EXPECT_GT(ht.ApproxBytes(), 1000.0 * sizeof(std::uint64_t));
+}
+
+TEST(JoinHashTableTest, MatchesStdMultimapOnRandomWorkload) {
+  JoinHashTable ht;
+  std::unordered_multimap<std::int64_t, std::uint32_t> truth;
+  Rng rng(123);
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    const std::int64_t key = rng.UniformInt(-50, 50);  // heavy duplication
+    ht.Insert(key, i);
+    truth.emplace(key, i);
+  }
+  for (std::int64_t key = -60; key <= 60; ++key) {
+    std::multiset<std::uint32_t> got, want;
+    ht.ForEachMatch(key, [&got](std::uint32_t r) { got.insert(r); });
+    auto [lo, hi] = truth.equal_range(key);
+    for (auto it = lo; it != hi; ++it) want.insert(it->second);
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace eedc::exec

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/filter_op.h"
+#include "exec/hash_agg_op.h"
+#include "exec/project_op.h"
+#include "exec/scan_op.h"
+#include "storage/schema.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::Block;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+
+TablePtr MakeNumbers(int n) {
+  auto t = std::make_shared<Table>(
+      Schema({Field{"k", DataType::kInt64, 5},
+              Field{"v", DataType::kDouble, 5},
+              Field{"tag", DataType::kString, 1}}));
+  for (int i = 0; i < n; ++i) {
+    t->AppendRow({static_cast<std::int64_t>(i), i * 0.5,
+                  std::string(i % 2 == 0 ? "E" : "O")});
+  }
+  return t;
+}
+
+/// Drains an operator into a single table.
+Table Drain(Operator& op) {
+  EXPECT_TRUE(op.Open().ok());
+  Table out(op.schema());
+  while (true) {
+    auto block = op.Next();
+    EXPECT_TRUE(block.ok()) << block.status();
+    if (!block.value().has_value()) break;
+    for (std::size_t i = 0; i < block.value()->size(); ++i) {
+      out.AppendRowFrom(block.value()->AsTable(), i);
+    }
+  }
+  EXPECT_TRUE(op.Close().ok());
+  return out;
+}
+
+TEST(ScanOpTest, EmitsAllRowsInBlocks) {
+  const int n = 10000;  // > 2 blocks
+  NodeMetrics metrics;
+  ScanOp scan(MakeNumbers(n), &metrics);
+  const Table out = Drain(scan);
+  EXPECT_EQ(out.num_rows(), static_cast<std::size_t>(n));
+  EXPECT_EQ(out.column(0).Int64At(n - 1), n - 1);
+  EXPECT_DOUBLE_EQ(metrics.scan_rows, n);
+  EXPECT_DOUBLE_EQ(metrics.scan_bytes, n * 11.0);  // 5+5+1 logical bytes
+}
+
+TEST(ScanOpTest, EmptyTable) {
+  NodeMetrics metrics;
+  ScanOp scan(MakeNumbers(0), &metrics);
+  EXPECT_TRUE(scan.Open().ok());
+  auto block = scan.Next();
+  ASSERT_TRUE(block.ok());
+  EXPECT_FALSE(block.value().has_value());
+}
+
+TEST(ScanOpTest, RescanAfterReopen) {
+  ScanOp scan(MakeNumbers(10), nullptr);
+  EXPECT_EQ(Drain(scan).num_rows(), 10u);
+  EXPECT_EQ(Drain(scan).num_rows(), 10u);  // Open resets the cursor
+}
+
+TEST(FilterOpTest, KeepsMatchingRows) {
+  NodeMetrics metrics;
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(100), &metrics);
+  FilterOp filter(std::move(scan), Lt(Col("k"), I64(30)), &metrics);
+  const Table out = Drain(filter);
+  EXPECT_EQ(out.num_rows(), 30u);
+  EXPECT_DOUBLE_EQ(metrics.filter_rows_in, 100.0);
+  EXPECT_DOUBLE_EQ(metrics.filter_rows_out, 30.0);
+}
+
+TEST(FilterOpTest, NothingMatches) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(50), nullptr);
+  FilterOp filter(std::move(scan), Lt(Col("k"), I64(0)), nullptr);
+  EXPECT_EQ(Drain(filter).num_rows(), 0u);
+}
+
+TEST(FilterOpTest, StringPredicate) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(10), nullptr);
+  FilterOp filter(std::move(scan), Eq(Col("tag"), Str("E")), nullptr);
+  const Table out = Drain(filter);
+  EXPECT_EQ(out.num_rows(), 5u);
+  for (std::size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.column(0).Int64At(i) % 2, 0);
+  }
+}
+
+TEST(ProjectOpTest, PassthroughAndComputed) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(5), nullptr);
+  auto project = ProjectOp::Create(
+      std::move(scan), {"k"}, {{"double_v", Mul(Col("v"), F64(2.0))}},
+      nullptr);
+  ASSERT_TRUE(project.ok());
+  const Table out = Drain(**project);
+  EXPECT_EQ(out.num_columns(), 2u);
+  EXPECT_EQ(out.schema().field(0).name, "k");
+  EXPECT_EQ(out.schema().field(1).name, "double_v");
+  EXPECT_DOUBLE_EQ(out.column(1).DoubleAt(3), 3.0);
+}
+
+TEST(ProjectOpTest, UnknownColumnFailsAtCreate) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(5), nullptr);
+  EXPECT_FALSE(ProjectOp::Create(std::move(scan), {"nope"}, {}, nullptr)
+                   .ok());
+}
+
+TEST(HashAggOpTest, GroupedSumCountMinMax) {
+  NodeMetrics metrics;
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(10), &metrics);
+  auto agg = HashAggOp::Create(
+      std::move(scan), {"tag"},
+      {AggSpec::Sum(Col("v"), "sum_v"), AggSpec::Count("n"),
+       AggSpec::Min(Col("k"), "min_k"), AggSpec::Max(Col("k"), "max_k")},
+      &metrics);
+  ASSERT_TRUE(agg.ok());
+  const Table out = Drain(**agg);
+  ASSERT_EQ(out.num_rows(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const std::string tag = out.column(0).StringAt(i);
+    const double sum = out.column(1).DoubleAt(i);
+    const std::int64_t count = out.column(2).Int64At(i);
+    const double min_k = out.column(3).DoubleAt(i);
+    const double max_k = out.column(4).DoubleAt(i);
+    EXPECT_EQ(count, 5);
+    if (tag == "E") {
+      EXPECT_DOUBLE_EQ(sum, (0 + 2 + 4 + 6 + 8) * 0.5);
+      EXPECT_DOUBLE_EQ(min_k, 0.0);
+      EXPECT_DOUBLE_EQ(max_k, 8.0);
+    } else {
+      EXPECT_DOUBLE_EQ(sum, (1 + 3 + 5 + 7 + 9) * 0.5);
+      EXPECT_DOUBLE_EQ(min_k, 1.0);
+      EXPECT_DOUBLE_EQ(max_k, 9.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(metrics.agg_rows_in, 10.0);
+  EXPECT_DOUBLE_EQ(metrics.agg_groups, 2.0);
+}
+
+TEST(HashAggOpTest, GlobalAggregateWithoutGroups) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(4), nullptr);
+  auto agg = HashAggOp::Create(
+      std::move(scan), {},
+      {AggSpec::Sum(Col("k"), "s"), AggSpec::Count("n")}, nullptr);
+  ASSERT_TRUE(agg.ok());
+  const Table out = Drain(**agg);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(out.column(0).DoubleAt(0), 6.0);
+  EXPECT_EQ(out.column(1).Int64At(0), 4);
+}
+
+TEST(HashAggOpTest, GlobalAggregateOnEmptyInputYieldsOneRow) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(0), nullptr);
+  auto agg = HashAggOp::Create(std::move(scan), {},
+                               {AggSpec::Count("n")}, nullptr);
+  ASSERT_TRUE(agg.ok());
+  const Table out = Drain(**agg);
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.column(0).Int64At(0), 0);
+}
+
+TEST(HashAggOpTest, GroupedAggregateOnEmptyInputYieldsNoRows) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(0), nullptr);
+  auto agg = HashAggOp::Create(std::move(scan), {"tag"},
+                               {AggSpec::Count("n")}, nullptr);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(Drain(**agg).num_rows(), 0u);
+}
+
+TEST(HashAggOpTest, AggregateOverExpression) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(3), nullptr);
+  auto agg = HashAggOp::Create(
+      std::move(scan), {},
+      {AggSpec::Sum(Mul(Col("v"), F64(10.0)), "s")}, nullptr);
+  ASSERT_TRUE(agg.ok());
+  const Table out = Drain(**agg);
+  EXPECT_DOUBLE_EQ(out.column(0).DoubleAt(0), (0.0 + 0.5 + 1.0) * 10.0);
+}
+
+TEST(HashAggOpTest, RejectsStringAggregation) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(3), nullptr);
+  EXPECT_FALSE(HashAggOp::Create(std::move(scan), {},
+                                 {AggSpec::Sum(Col("tag"), "s")}, nullptr)
+                   .ok());
+}
+
+TEST(HashAggOpTest, MinMaxSemantics) {
+  auto scan = std::make_unique<ScanOp>(MakeNumbers(7), nullptr);
+  auto agg = HashAggOp::Create(
+      std::move(scan), {},
+      {AggSpec::Min(Col("v"), "lo"), AggSpec::Max(Col("v"), "hi")},
+      nullptr);
+  ASSERT_TRUE(agg.ok());
+  const Table out = Drain(**agg);
+  EXPECT_DOUBLE_EQ(out.column(0).DoubleAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(out.column(1).DoubleAt(0), 3.0);
+}
+
+}  // namespace
+}  // namespace eedc::exec

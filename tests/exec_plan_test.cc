@@ -1,0 +1,103 @@
+#include "exec/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/schema.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+
+PlanPtr SamplePlan() {
+  return HashJoinPlan(
+      ShufflePlan(FilterPlan(ScanPlan("orders"),
+                             Lt(Col("o_custkey"), I64(10))),
+                  "o_orderkey"),
+      ShufflePlan(ScanPlan("lineitem"), "l_orderkey"), "o_orderkey",
+      "l_orderkey");
+}
+
+TEST(PlanTest, CountExchanges) {
+  EXPECT_EQ(CountExchanges(*ScanPlan("t")), 0);
+  EXPECT_EQ(CountExchanges(*SamplePlan()), 2);
+  EXPECT_EQ(CountExchanges(*GatherPlan(SamplePlan())), 3);
+}
+
+TEST(PlanTest, PlanToStringShowsStructure) {
+  const std::string s = PlanToString(*SamplePlan());
+  EXPECT_NE(s.find("HashJoin(build.o_orderkey = probe.l_orderkey)"),
+            std::string::npos);
+  EXPECT_NE(s.find("Exchange(shuffle on o_orderkey)"), std::string::npos);
+  EXPECT_NE(s.find("Filter((o_custkey < 10))"), std::string::npos);
+  EXPECT_NE(s.find("Scan(lineitem)"), std::string::npos);
+  // Children are indented under their parents.
+  EXPECT_LT(s.find("HashJoin"), s.find("Exchange"));
+}
+
+TEST(PlanTest, PlanToStringForAggAndProject) {
+  PlanPtr plan = ProjectPlan(
+      HashAggPlan(ScanPlan("t"), {"g"}, {AggSpec::Count("n")}), {"g", "n"},
+      {{"doubled", Mul(Col("n"), I64(2))}});
+  const std::string s = PlanToString(*plan);
+  EXPECT_NE(s.find("HashAgg(group by [g], 1 aggs)"), std::string::npos);
+  EXPECT_NE(s.find("Project(g, n, doubled=(n * 2))"), std::string::npos);
+  EXPECT_EQ(s.find("Exchange"), std::string::npos);  // plan has none
+}
+
+Table MakeNumbers(int n) {
+  Table t(Schema({Field{"k", DataType::kInt64, 5}}));
+  for (int i = 0; i < n; ++i) {
+    t.AppendRow({static_cast<std::int64_t>(i)});
+  }
+  return t;
+}
+
+TEST(ExecutePerNodeTest, NodesRunDifferentPlans) {
+  // Node 0 keeps even keys, node 1 keeps odd keys over the same replicated
+  // table; the union must be exactly the whole table.
+  ClusterData data(2);
+  data.LoadReplicated("numbers",
+                      std::make_shared<Table>(MakeNumbers(100)));
+  Executor executor(&data);
+  auto result = executor.ExecutePerNode([](int node) {
+    return FilterPlan(
+        ScanPlan("numbers"),
+        node == 0 ? Lt(Col("k"), I64(50)) : Ge(Col("k"), I64(50)));
+  });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->table.num_rows(), 100u);
+  std::set<std::int64_t> keys;
+  for (std::size_t i = 0; i < result->table.num_rows(); ++i) {
+    keys.insert(result->table.column(0).Int64At(i));
+  }
+  EXPECT_EQ(keys.size(), 100u);  // no duplicates, nothing missing
+}
+
+TEST(ExecutePerNodeTest, MismatchedExchangeCountsRejected) {
+  ClusterData data(2);
+  data.LoadReplicated("numbers",
+                      std::make_shared<Table>(MakeNumbers(10)));
+  Executor executor(&data);
+  auto result = executor.ExecutePerNode([](int node) -> PlanPtr {
+    if (node == 0) return ScanPlan("numbers");
+    return GatherPlan(ScanPlan("numbers"));  // extra exchange on node 1
+  });
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PlanBuilderTest, ShuffleDestinationsArePreserved) {
+  PlanPtr plan = ShufflePlan(ScanPlan("t"), "k", {0, 2});
+  ASSERT_EQ(plan->destinations.size(), 2u);
+  EXPECT_EQ(plan->destinations[0], 0);
+  EXPECT_EQ(plan->destinations[1], 2);
+  EXPECT_EQ(plan->mode, ExchangeMode::kShuffle);
+  EXPECT_EQ(plan->partition_key, "k");
+}
+
+}  // namespace
+}  // namespace eedc::exec

@@ -1,0 +1,106 @@
+#include "hw/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/node_spec.h"
+
+namespace eedc::hw {
+namespace {
+
+TEST(CatalogTest, ClusterVMatchesTable1AndTable3) {
+  const NodeSpec node = ClusterVNode();
+  EXPECT_FALSE(node.is_wimpy());
+  EXPECT_EQ(node.cores(), 8);
+  EXPECT_EQ(node.threads(), 16);
+  EXPECT_DOUBLE_EQ(node.cpu_bw_mbps(), 5037.0);  // CB
+  EXPECT_DOUBLE_EQ(node.engine_util(), 0.25);    // GB
+  EXPECT_DOUBLE_EQ(node.memory_mb(), 47000.0);   // MB (Sec. 5.4)
+  EXPECT_NEAR(node.IdleWatts().watts(), 130.03, 1e-6);
+}
+
+TEST(CatalogTest, ValidationNodesMatchSection531) {
+  const NodeSpec beefy = ValidationBeefyNode();
+  EXPECT_DOUBLE_EQ(beefy.memory_mb(), 31000.0);
+  EXPECT_DOUBLE_EQ(beefy.disk_bw_mbps(), 270.0);
+  EXPECT_DOUBLE_EQ(beefy.net_bw_mbps(), 95.0);
+  EXPECT_DOUBLE_EQ(beefy.cpu_bw_mbps(), 4034.0);
+  EXPECT_NEAR(beefy.IdleWatts().watts(), 79.006, 1e-6);
+
+  const NodeSpec wimpy = ValidationWimpyNode();
+  EXPECT_TRUE(wimpy.is_wimpy());
+  EXPECT_DOUBLE_EQ(wimpy.memory_mb(), 7000.0);
+  EXPECT_DOUBLE_EQ(wimpy.cpu_bw_mbps(), 1129.0);  // CW
+  EXPECT_DOUBLE_EQ(wimpy.engine_util(), 0.13);    // GW
+}
+
+TEST(CatalogTest, ModeledNodesMatchSection54) {
+  const NodeSpec beefy = ModeledBeefyNode();
+  const NodeSpec wimpy = ModeledWimpyNode();
+  EXPECT_DOUBLE_EQ(beefy.disk_bw_mbps(), 1200.0);  // I
+  EXPECT_DOUBLE_EQ(beefy.net_bw_mbps(), 100.0);    // L
+  EXPECT_DOUBLE_EQ(wimpy.disk_bw_mbps(), 1200.0);
+  EXPECT_DOUBLE_EQ(wimpy.memory_mb(), 7000.0);  // MW
+  // Same-I/O uniformity assumption from Table 3 discussion.
+  EXPECT_DOUBLE_EQ(beefy.net_bw_mbps(), wimpy.net_bw_mbps());
+}
+
+TEST(CatalogTest, Table2IdlePowersArePublishedValues) {
+  EXPECT_NEAR(WorkstationA().IdleWatts().watts(), 93.0, 0.1);
+  EXPECT_NEAR(WorkstationB().IdleWatts().watts(), 69.0, 0.1);
+  EXPECT_NEAR(DesktopAtom().IdleWatts().watts(), 28.0, 0.1);
+  EXPECT_NEAR(LaptopA().IdleWatts().watts(), 12.0, 0.1);
+  EXPECT_NEAR(LaptopB().IdleWatts().watts(), 11.0, 0.1);
+}
+
+TEST(CatalogTest, Table2SystemsInPaperOrder) {
+  const auto systems = Table2Systems();
+  ASSERT_EQ(systems.size(), 5u);
+  EXPECT_EQ(systems[0].name(), "Workstation A (i7 920)");
+  EXPECT_EQ(systems[4].name(), "Laptop B (i7 620m)");
+}
+
+TEST(ClusterSpecTest, HomogeneousConstruction) {
+  const ClusterSpec c = ClusterSpec::Homogeneous(16, ClusterVNode());
+  EXPECT_EQ(c.size(), 16);
+  EXPECT_EQ(c.num_beefy(), 16);
+  EXPECT_EQ(c.num_wimpy(), 0);
+  EXPECT_EQ(c.Label(), "16N");
+  EXPECT_DOUBLE_EQ(c.total_memory_mb(), 16 * 47000.0);
+}
+
+TEST(ClusterSpecTest, BeefyWimpyConstructionAndLabel) {
+  const ClusterSpec c =
+      ClusterSpec::BeefyWimpy(2, ValidationBeefyNode(), 6,
+                              ValidationWimpyNode());
+  EXPECT_EQ(c.size(), 8);
+  EXPECT_EQ(c.num_beefy(), 2);
+  EXPECT_EQ(c.num_wimpy(), 6);
+  EXPECT_EQ(c.Label(), "2B,6W");
+  // Beefy nodes come first.
+  EXPECT_FALSE(c.node(0).is_wimpy());
+  EXPECT_TRUE(c.node(7).is_wimpy());
+}
+
+TEST(NodeSpecTest, WithersProduceModifiedCopies) {
+  const NodeSpec base = ModeledWimpyNode();
+  const NodeSpec more_mem = base.WithMemoryMB(16000.0);
+  EXPECT_DOUBLE_EQ(more_mem.memory_mb(), 16000.0);
+  EXPECT_DOUBLE_EQ(base.memory_mb(), 7000.0);  // original untouched
+  EXPECT_DOUBLE_EQ(base.WithNetBwMbps(1000.0).net_bw_mbps(), 1000.0);
+  EXPECT_DOUBLE_EQ(base.WithDiskBwMbps(270.0).disk_bw_mbps(), 270.0);
+}
+
+TEST(NodeSpecTest, PowerLookupDelegatesToModel) {
+  const NodeSpec node = ClusterVNode();
+  EXPECT_DOUBLE_EQ(node.WattsAt(0.5).watts(),
+                   node.power_model().WattsAt(0.5).watts());
+  EXPECT_GT(node.PeakWatts().watts(), node.IdleWatts().watts());
+}
+
+TEST(NodeClassTest, Names) {
+  EXPECT_STREQ(NodeClassToString(NodeClass::kBeefy), "Beefy");
+  EXPECT_STREQ(NodeClassToString(NodeClass::kWimpy), "Wimpy");
+}
+
+}  // namespace
+}  // namespace eedc::hw

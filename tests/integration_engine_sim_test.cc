@@ -1,0 +1,157 @@
+// Engine -> simulator pipeline: run real P-store queries at a small scale
+// factor, extract per-node metrics, and check that the measured traffic
+// matches what the simulator's flow construction assumes (selectivities,
+// remote fractions, partition balance). This is the calibration loop the
+// benches use to parameterize paper-scale simulations.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+#include "tpch/dbgen.h"
+#include "tpch/selectivity.h"
+
+namespace eedc {
+namespace {
+
+using exec::ClusterData;
+using exec::Executor;
+using exec::QueryResult;
+
+QueryResult RunDualShuffle(const tpch::TpchDatabase& db, int nodes,
+                           double orders_sel, double lineitem_sel) {
+  ClusterData data(nodes);
+  EXPECT_TRUE(
+      data.LoadHashPartitioned("lineitem", *db.lineitem, "l_shipdate")
+          .ok());
+  EXPECT_TRUE(
+      data.LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+
+  const std::int64_t ck =
+      tpch::ThresholdForSelectivity(*db.orders, "o_custkey", orders_sel)
+          .value();
+  const std::int64_t sd = tpch::ThresholdForSelectivity(
+                              *db.lineitem, "l_shipdate", lineitem_sel)
+                              .value();
+  exec::PlanPtr plan = exec::HashJoinPlan(
+      exec::ShufflePlan(
+          exec::FilterPlan(exec::ScanPlan("orders"),
+                           exec::Lt(exec::Col("o_custkey"), exec::I64(ck))),
+          "o_orderkey"),
+      exec::ShufflePlan(
+          exec::FilterPlan(
+              exec::ScanPlan("lineitem"),
+              exec::Lt(exec::Col("l_shipdate"), exec::I64(sd))),
+          "l_orderkey"),
+      "o_orderkey", "l_orderkey");
+  Executor executor(&data);
+  auto result = executor.Execute(plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(EngineCalibration, MeasuredSelectivityMatchesConfigured) {
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.005;
+  const auto db = tpch::GenerateDatabase(opts);
+  QueryResult r = RunDualShuffle(db, 4, 0.10, 0.50);
+
+  double rows_in = 0.0, rows_out = 0.0;
+  for (const auto& nm : r.metrics.nodes) {
+    rows_in += nm.filter_rows_in;
+    rows_out += nm.filter_rows_out;
+  }
+  // Blended selectivity across both filters: between the two targets.
+  const double blended = rows_out / rows_in;
+  EXPECT_GT(blended, 0.10);
+  EXPECT_LT(blended, 0.60);
+}
+
+TEST(EngineCalibration, RemoteFractionMatchesSimAssumption) {
+  // The simulator assumes a (N-1)/N remote fraction for shuffles; the
+  // engine's measured byte counters must agree.
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.005;
+  const auto db = tpch::GenerateDatabase(opts);
+  for (int nodes : {2, 4, 8}) {
+    QueryResult r = RunDualShuffle(db, nodes, 1.0, 1.0);
+    double remote = 0.0, local = 0.0;
+    for (const auto& nm : r.metrics.nodes) {
+      for (const auto& ex : nm.exchanges) {
+        remote += ex.sent_remote_bytes;
+        local += ex.sent_local_bytes;
+      }
+    }
+    const double expected = static_cast<double>(nodes - 1) / nodes;
+    EXPECT_NEAR(remote / (remote + local), expected, 0.03)
+        << nodes << " nodes";
+  }
+}
+
+TEST(EngineCalibration, ShuffledBytesMatchQualifyingTuples) {
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.005;
+  const auto db = tpch::GenerateDatabase(opts);
+  const double orders_sel = 0.25;
+  QueryResult r = RunDualShuffle(db, 4, orders_sel, 1.0);
+
+  // Total bytes routed through the ORDERS exchange (id 0) should be about
+  // sel * |ORDERS| * tuple width.
+  double routed = 0.0;
+  for (const auto& nm : r.metrics.nodes) {
+    if (!nm.exchanges.empty()) {
+      routed +=
+          nm.exchanges[0].sent_remote_bytes + nm.exchanges[0].sent_local_bytes;
+    }
+  }
+  const double expected =
+      orders_sel * db.orders->LogicalBytes();
+  EXPECT_NEAR(routed / expected, 1.0, 0.05);
+}
+
+TEST(EngineCalibration, MetricsFeedSimAtPaperScale) {
+  // End-to-end: measure selectivities from a real run, then simulate the
+  // same plan shape at Section-5.4 scale and sanity-check the output.
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.005;
+  const auto db = tpch::GenerateDatabase(opts);
+  QueryResult engine_run = RunDualShuffle(db, 4, 0.10, 0.10);
+
+  double orders_rows_in = 0.0, orders_rows_out = 0.0;
+  for (const auto& nm : engine_run.metrics.nodes) {
+    // Exchange 0 carries qualifying ORDERS rows.
+    if (!nm.exchanges.empty()) orders_rows_out += nm.exchanges[0].rows_routed;
+  }
+  orders_rows_in = static_cast<double>(db.orders->num_rows());
+  const double measured_sel = orders_rows_out / orders_rows_in;
+  EXPECT_NEAR(measured_sel, 0.10, 0.02);
+
+  sim::ClusterSim sim(
+      hw::ClusterSpec::Homogeneous(4, hw::ModeledBeefyNode()));
+  sim::HashJoinQuery q;
+  q.build_mb = 700000.0;
+  q.probe_mb = 2800000.0;
+  q.build_sel = measured_sel;
+  q.probe_sel = 0.10;
+  auto simulated = SimulateHashJoin(sim, q);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_GT(simulated->makespan.seconds(), 0.0);
+  EXPECT_GT(simulated->total_energy.joules(), 0.0);
+  ASSERT_EQ(simulated->jobs[0].phases.size(), 2u);
+}
+
+TEST(EngineCalibration, JoinOutputCardinalityScalesWithSelectivity) {
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.005;
+  const auto db = tpch::GenerateDatabase(opts);
+  QueryResult full = RunDualShuffle(db, 4, 1.0, 1.0);
+  QueryResult half = RunDualShuffle(db, 4, 0.5, 1.0);
+  // Halving the ORDERS selectivity halves the join output (uniform keys).
+  EXPECT_NEAR(
+      static_cast<double>(half.table.num_rows()) / full.table.num_rows(),
+      0.5, 0.05);
+  EXPECT_EQ(full.table.num_rows(), db.lineitem->num_rows());
+}
+
+}  // namespace
+}  // namespace eedc

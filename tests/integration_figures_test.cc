@@ -1,0 +1,448 @@
+// Figure-shape integration tests: every headline qualitative claim of the
+// paper's evaluation, asserted end-to-end against this repository's
+// simulator (empirical figures) and analytical model (design-space
+// figures). See EXPERIMENTS.md for the quantitative comparison.
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/edp.h"
+#include "core/explorer.h"
+#include "core/scalability.h"
+#include "hw/catalog.h"
+#include "model/hash_join_model.h"
+#include "sim/query_sim.h"
+
+namespace eedc {
+namespace {
+
+using core::DesignPoint;
+using core::NormalizedOutcome;
+using core::Outcome;
+
+sim::ClusterSim BeefySim(int n) {
+  return sim::ClusterSim(
+      hw::ClusterSpec::Homogeneous(n, hw::ModeledBeefyNode()));
+}
+
+model::ModelParams Section54Join() {
+  model::ModelParams p = model::ModelParams::Section54Defaults(0, 0);
+  p.build_mb = 700000.0;   // ORDERS
+  p.probe_mb = 2800000.0;  // LINEITEM
+  p.build_sel = 0.10;
+  p.probe_sel = 0.10;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2(a): TPC-H Q1 — linear speedup, flat energy across cluster sizes.
+// ---------------------------------------------------------------------------
+TEST(Figure2a, Q1LinearSpeedupFlatEnergy) {
+  sim::LocalScanQuery q1;
+  q1.table_mb = 200000.0;
+  std::vector<Outcome> outcomes;
+  std::vector<core::SpeedupPoint> speedup;
+  for (int n = 8; n <= 16; n += 2) {
+    sim::ClusterSim sim = BeefySim(n);
+    auto r = sim.Run({MakeLocalScanJob(sim, q1, "q1")});
+    ASSERT_TRUE(r.ok());
+    outcomes.push_back(
+        Outcome{DesignPoint{n, 0}, r->makespan, r->total_energy});
+    speedup.push_back(core::SpeedupPoint{n, r->makespan});
+  }
+  auto norm = core::NormalizeToDesign(outcomes, DesignPoint{16, 0});
+  ASSERT_TRUE(norm.ok());
+  // 8N performance ratio ~0.5 (linear speedup), energy flat within 5%.
+  EXPECT_NEAR(norm->front().performance, 0.5, 0.02);
+  for (const auto& o : *norm) {
+    EXPECT_NEAR(o.energy_ratio, 1.0, 0.05) << o.design.Label();
+  }
+  auto cls = core::ClassifySpeedup(speedup);
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ(*cls, core::ScalabilityClass::kLinear);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1(a) / Section 3.1: Q12 — network repartitioning makes speedup
+// sub-linear; smaller clusters use less energy but sit above the EDP curve.
+// ---------------------------------------------------------------------------
+TEST(Figure1a, Q12SubLinearAboveEdp) {
+  // Q12 shape: repartition the qualifying ORDERS stream (48% of the 8N
+  // query time), probe/aggregate locally, then finish with a serial plan
+  // tail at the initiator — the Amdahl component that makes the measured
+  // Vertica curve strongly sub-linear (8N keeps ~64% of 16N performance).
+  std::vector<Outcome> outcomes;
+  for (int n = 8; n <= 16; n += 2) {
+    sim::ClusterSim sim = BeefySim(n);
+    sim::ShuffleThenLocalQuery q12;
+    q12.shuffle_mb = 44000.0;
+    q12.local_mb = 1104000.0;
+    q12.serial_mb = 124000.0;
+    auto r = sim.Run({MakeShuffleThenLocalJob(sim, q12, "q12")});
+    ASSERT_TRUE(r.ok());
+    outcomes.push_back(
+        Outcome{DesignPoint{n, 0}, r->makespan, r->total_energy});
+    if (n == 8) {
+      // "Q12 spends 48% of the query time network bottlenecked during
+      // repartitioning with the eight node cluster."
+      EXPECT_NEAR(r->jobs[0].PhaseFraction(sim::kRepartitionPhase), 0.48,
+                  0.10);
+    }
+  }
+  auto norm = core::NormalizeToDesign(outcomes, DesignPoint{16, 0});
+  ASSERT_TRUE(norm.ok());
+  const auto& at8 = norm->front();
+  // Paper: 8N keeps ~64% of performance (sub-linear but well above 50%).
+  EXPECT_GT(at8.performance, 0.55);
+  EXPECT_LT(at8.performance, 0.75);
+  // Energy drops as the cluster shrinks (paper: ~0.78 at 8N)...
+  EXPECT_LT(at8.energy_ratio, 0.90);
+  // ...but every point stays above the constant-EDP curve.
+  for (const auto& o : *norm) {
+    if (o.design.nb == 16) continue;
+    EXPECT_GT(o.energy_ratio, core::ConstantEdpEnergyAt(o.performance))
+        << o.design.Label();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2(b) / Section 3.1: Q21 — only ~5.5% of time repartitioning, so
+// energy stays nearly flat like Q1.
+// ---------------------------------------------------------------------------
+TEST(Figure2b, Q21MostlyLocalNearFlatEnergy) {
+  std::vector<Outcome> outcomes;
+  for (int n = 8; n <= 16; n += 2) {
+    sim::ClusterSim sim = BeefySim(n);
+    sim::ShuffleThenLocalQuery q21;
+    q21.shuffle_mb = 2000.0;
+    q21.local_mb = 1500000.0;
+    auto r = sim.Run({MakeShuffleThenLocalJob(sim, q21, "q21")});
+    ASSERT_TRUE(r.ok());
+    if (n == 8) {
+      EXPECT_NEAR(r->jobs[0].PhaseFraction(sim::kRepartitionPhase), 0.055,
+                  0.05);
+    }
+    outcomes.push_back(
+        Outcome{DesignPoint{n, 0}, r->makespan, r->total_energy});
+  }
+  auto norm = core::NormalizeToDesign(outcomes, DesignPoint{16, 0});
+  ASSERT_TRUE(norm.ok());
+  for (const auto& o : *norm) {
+    EXPECT_NEAR(o.energy_ratio, 1.0, 0.10) << o.design.Label();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: dual-shuffle joins — 4N saves energy vs 8N (above EDP), and
+// savings grow with concurrency.
+// ---------------------------------------------------------------------------
+TEST(Figure3, DualShuffleHalfClusterSavesEnergyAboveEdp) {
+  sim::HashJoinQuery join;
+  join.build_mb = 30000.0;  // SF-1000 Q3 projections, qualifying scale
+  join.probe_mb = 120000.0;
+  join.build_sel = 0.05;
+  join.probe_sel = 0.05;
+  join.warm_cache = true;  // cluster-V runs were warm
+  join.strategy = sim::JoinStrategy::kDualShuffle;
+
+  double previous_savings = -1.0;
+  for (int concurrency : {1, 2, 4}) {
+    sim::ClusterSim sim8 = BeefySim(8);
+    sim::ClusterSim sim4 = BeefySim(4);
+    auto r8 = SimulateHashJoin(sim8, join, concurrency);
+    auto r4 = SimulateHashJoin(sim4, join, concurrency);
+    ASSERT_TRUE(r8.ok());
+    ASSERT_TRUE(r4.ok());
+    std::vector<Outcome> outcomes = {
+        Outcome{DesignPoint{8, 0}, r8->makespan, r8->total_energy},
+        Outcome{DesignPoint{4, 0}, r4->makespan, r4->total_energy}};
+    auto norm = core::NormalizeOutcomes(outcomes, outcomes[0]);
+    const auto& at4 = norm[1];
+    // 4N always consumes less energy than 8N...
+    EXPECT_LT(at4.energy_ratio, 1.0) << "concurrency " << concurrency;
+    // ...at a disproportionate performance cost (above the EDP curve).
+    EXPECT_GT(at4.energy_ratio,
+              core::ConstantEdpEnergyAt(at4.performance));
+    // Performance loss from halving is well under 50% (sub-linear).
+    EXPECT_GT(at4.performance, 0.5);
+    // Savings grow (weakly) with concurrency.
+    const double savings = core::EnergySavings(at4);
+    EXPECT_GE(savings, previous_savings - 0.01)
+        << "concurrency " << concurrency;
+    previous_savings = savings;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4 vs Figure 3: broadcast joins land closer to the EDP curve than
+// dual-shuffle joins (they scale worse, so halving costs less performance).
+// ---------------------------------------------------------------------------
+TEST(Figure4, BroadcastTradesCloserToEdpThanShuffle) {
+  sim::HashJoinQuery shuffle;
+  shuffle.build_mb = 30000.0;
+  shuffle.probe_mb = 120000.0;
+  shuffle.build_sel = 0.05;
+  shuffle.probe_sel = 0.05;
+  shuffle.warm_cache = true;
+  shuffle.strategy = sim::JoinStrategy::kDualShuffle;
+
+  sim::HashJoinQuery broadcast = shuffle;
+  broadcast.build_sel = 0.01;  // the paper's 5% -> 1% memory adjustment
+  broadcast.strategy = sim::JoinStrategy::kBroadcastBuild;
+
+  auto edp_distance = [&](const sim::HashJoinQuery& q) {
+    sim::ClusterSim sim8 = BeefySim(8);
+    sim::ClusterSim sim4 = BeefySim(4);
+    auto r8 = SimulateHashJoin(sim8, q);
+    auto r4 = SimulateHashJoin(sim4, q);
+    EXPECT_TRUE(r8.ok());
+    EXPECT_TRUE(r4.ok());
+    std::vector<Outcome> outcomes = {
+        Outcome{DesignPoint{8, 0}, r8->makespan, r8->total_energy},
+        Outcome{DesignPoint{4, 0}, r4->makespan, r4->total_energy}};
+    auto norm = core::NormalizeOutcomes(outcomes, outcomes[0]);
+    // Distance above the EDP line (positive = above).
+    return norm[1].energy_ratio - norm[1].performance;
+  };
+
+  const double shuffle_distance = edp_distance(shuffle);
+  const double broadcast_distance = edp_distance(broadcast);
+  EXPECT_GT(shuffle_distance, 0.0);
+  EXPECT_GE(shuffle_distance, broadcast_distance - 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: half-cluster energy savings by strategy — broadcast saves most,
+// shuffle saves some, pre-partitioned saves nothing.
+// ---------------------------------------------------------------------------
+TEST(Figure5, HalfClusterSavingsOrdering) {
+  auto half_cluster_savings = [&](sim::JoinStrategy strategy,
+                                  double build_sel) {
+    sim::HashJoinQuery q;
+    q.build_mb = 30000.0;
+    q.probe_mb = 120000.0;
+    q.build_sel = build_sel;
+    q.probe_sel = 0.05;
+    q.warm_cache = true;
+    q.strategy = strategy;
+    sim::ClusterSim sim8 = BeefySim(8);
+    sim::ClusterSim sim4 = BeefySim(4);
+    auto r8 = SimulateHashJoin(sim8, q);
+    auto r4 = SimulateHashJoin(sim4, q);
+    EXPECT_TRUE(r8.ok());
+    EXPECT_TRUE(r4.ok());
+    return 1.0 - r4->total_energy.joules() / r8->total_energy.joules();
+  };
+
+  const double shuffle =
+      half_cluster_savings(sim::JoinStrategy::kDualShuffle, 0.05);
+  const double broadcast =
+      half_cluster_savings(sim::JoinStrategy::kBroadcastBuild, 0.01);
+  const double prepartitioned =
+      half_cluster_savings(sim::JoinStrategy::kColocated, 0.05);
+
+  // Paper: ~18% (shuffle), ~26% (broadcast), "mostly unchanged" (local).
+  EXPECT_GT(shuffle, 0.05);
+  EXPECT_GT(broadcast, shuffle);
+  EXPECT_NEAR(prepartitioned, 0.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: single-node hash join — Laptop B consumes the least energy even
+// though workstations are fastest.
+// ---------------------------------------------------------------------------
+TEST(Figure6, LaptopBLowestEnergyWorkstationsFastest) {
+  // Hash join work: 10 MB build + 2 GB probe, in memory. Per-system time
+  // scales with CPU bandwidth; energy = time x power at full load.
+  const double work_mb = 2010.0;
+  // Engine efficiency: fraction of peak CPU bandwidth a real cache-
+  // conscious hash join sustains (calibrated in bench_fig6).
+  const double kJoinEfficiency = 0.085;
+  struct Point {
+    std::string name;
+    double seconds;
+    double joules;
+  };
+  std::vector<Point> points;
+  for (const auto& node : hw::Table2Systems()) {
+    const double secs =
+        work_mb / (kJoinEfficiency * node.cpu_bw_mbps());
+    const double watts = node.PeakWatts().watts();
+    points.push_back(Point{node.name(), secs, secs * watts});
+  }
+  // Laptop B (index 4) has the minimum energy.
+  std::size_t min_energy = 0;
+  std::size_t min_time = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].joules < points[min_energy].joules) min_energy = i;
+    if (points[i].seconds < points[min_time].seconds) min_time = i;
+  }
+  EXPECT_EQ(points[min_energy].name, "Laptop B (i7 620m)");
+  // A workstation is fastest.
+  EXPECT_NE(points[min_time].name.find("Workstation"), std::string::npos);
+  // Magnitudes roughly match the published plot (~800 J vs ~1300 J).
+  EXPECT_NEAR(points[4].joules, 800.0, 250.0);
+  EXPECT_NEAR(points[0].joules, 1300.0, 350.0);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7(a): homogeneous AB-vs-BW — AB wins at high selectivity (Wimpy
+// scan limits), BW wins big when the network is the bottleneck.
+// ---------------------------------------------------------------------------
+TEST(Figure7a, HomogeneousAbVsBwCrossover) {
+  auto run = [&](bool mixed, double probe_sel) {
+    hw::ClusterSpec spec =
+        mixed ? hw::ClusterSpec::BeefyWimpy(2, hw::ValidationBeefyNode(),
+                                            2, hw::ValidationWimpyNode())
+              : hw::ClusterSpec::Homogeneous(4, hw::ValidationBeefyNode());
+    sim::ClusterSim sim(spec);
+    sim::HashJoinQuery q;
+    q.build_mb = 12000.0;  // SF-400 ORDERS working set
+    q.probe_mb = 48000.0;  // SF-400 LINEITEM working set
+    q.build_sel = 0.01;
+    q.probe_sel = probe_sel;
+    q.warm_cache = true;
+    auto r = SimulateHashJoin(sim, q);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return *r;
+  };
+
+  // L 1%: Wimpy scan/filter limits dominate -> AB faster AND cheaper.
+  auto ab_l1 = run(false, 0.01);
+  auto bw_l1 = run(true, 0.01);
+  EXPECT_LT(ab_l1.makespan.seconds(), bw_l1.makespan.seconds());
+  EXPECT_LT(ab_l1.total_energy.joules(), bw_l1.total_energy.joules());
+
+  // L 100%: both network-bound, same speed, BW draws far less power.
+  auto ab_l100 = run(false, 1.0);
+  auto bw_l100 = run(true, 1.0);
+  EXPECT_NEAR(bw_l100.makespan.seconds() / ab_l100.makespan.seconds(),
+              1.0, 0.10);
+  const double savings =
+      1.0 - bw_l100.total_energy.joules() / ab_l100.total_energy.joules();
+  EXPECT_GT(savings, 0.30);  // paper: 56%
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1(b) / Figure 10(a): the modeled design space.
+// ---------------------------------------------------------------------------
+TEST(Figure1b, MixedDesignsFallBelowEdpAtLowProbeSelectivity) {
+  model::ModelParams p = Section54Join();
+  p.probe_sel = 0.01;  // ORDERS 10%, LINEITEM 1%
+  auto curve =
+      core::SweepMixesNormalized(p, model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  // Heterogeneous points exist below the EDP curve.
+  bool any_below = false;
+  for (const auto& o : *curve) {
+    if (o.design.nw > 0 && o.below_edp()) any_below = true;
+  }
+  EXPECT_TRUE(any_below);
+  // And the most-Wimpy feasible design (2B,6W) saves substantial energy.
+  EXPECT_EQ(curve->back().design, (DesignPoint{2, 6}));
+  EXPECT_LT(curve->back().energy_ratio, 0.70);
+}
+
+TEST(Figure10a, HomogeneousMixSweepFlatPerformanceBigSavings) {
+  model::ModelParams p = Section54Join();
+  p.build_sel = 0.01;
+  p.probe_sel = 0.10;
+  auto curve =
+      core::SweepMixesNormalized(p, model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 9u);  // all the way to 0B,8W
+  for (const auto& o : *curve) {
+    EXPECT_NEAR(o.performance, 1.0, 0.02) << o.design.Label();
+  }
+  // "energy consumed ... drops by almost 90%".
+  EXPECT_LT(curve->back().energy_ratio, 0.15);
+}
+
+TEST(Figure10b, HeterogeneousMixSweepNoSavings) {
+  model::ModelParams p = Section54Join();  // ORDERS 10%, LINEITEM 10%
+  auto curve =
+      core::SweepMixesNormalized(p, model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->back().design, (DesignPoint{2, 6}));
+  for (const auto& o : *curve) {
+    // "the energy consumption does not drop below 95%".
+    EXPECT_GT(o.energy_ratio, 0.95) << o.design.Label();
+  }
+  // Performance degrades severely toward 2B,6W.
+  EXPECT_LT(curve->back().performance, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: tightening the LINEITEM filter pushes curves below EDP.
+// ---------------------------------------------------------------------------
+TEST(Figure11, TighterProbeFiltersDipBelowEdp) {
+  model::ModelParams p = Section54Join();
+  auto curves = core::SweepProbeSelectivity(
+      p, model::JoinStrategy::kDualShuffle, 8,
+      {0.10, 0.08, 0.06, 0.04, 0.02});
+  ASSERT_TRUE(curves.ok());
+
+  auto count_below = [](const core::SelectivityCurve& c) {
+    int below = 0;
+    for (const auto& o : c.curve) {
+      if (o.below_edp()) ++below;
+    }
+    return below;
+  };
+  // At 10% nothing is below EDP; at 2% several mixes are.
+  EXPECT_EQ(count_below(curves->front()), 0);
+  EXPECT_GE(count_below(curves->back()), 2);
+  // The below-EDP count grows monotonically as the filter tightens.
+  int prev = 0;
+  for (const auto& c : *curves) {
+    const int now = count_below(c);
+    EXPECT_GE(now, prev) << "probe_sel " << c.probe_sel;
+    prev = now;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12(c): with a 40% acceptable performance loss, a 2B,6W design
+// beats the best homogeneous design on both axes.
+// ---------------------------------------------------------------------------
+TEST(Figure12c, AdvisorPicksHeterogeneousDesignBelowEdp) {
+  model::ModelParams base = Section54Join();
+  base.probe_sel = 0.02;
+
+  // Candidates: homogeneous Beefy sizes 2..8 plus all 8-node mixes.
+  std::vector<Outcome> outcomes;
+  for (int n = 8; n >= 2; n -= 2) {
+    model::ModelParams p = base;
+    p.nb = n;
+    p.nw = 0;
+    auto est = model::EstimateHashJoin(p, model::JoinStrategy::kDualShuffle);
+    ASSERT_TRUE(est.ok());
+    outcomes.push_back(Outcome{DesignPoint{n, 0}, est->total_time(),
+                               est->total_energy()});
+  }
+  auto mixes =
+      core::SweepMixes(base, model::JoinStrategy::kDualShuffle, 8);
+  ASSERT_TRUE(mixes.ok());
+  for (const auto& mo : mixes->outcomes) {
+    if (mo.design.nw == 0) continue;  // 8N already present
+    outcomes.push_back(mo.ToOutcome());
+  }
+  auto norm = core::NormalizeToDesign(outcomes, DesignPoint{8, 0});
+  ASSERT_TRUE(norm.ok());
+
+  core::AdvisorOptions options;
+  options.performance_target = 0.6;
+  auto rec = core::RecommendDesign(*norm, options);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->scalability, core::ScalabilityClass::kSubLinear);
+  EXPECT_GT(rec->design.nw, 0) << "expected a heterogeneous design";
+  EXPECT_TRUE(rec->below_edp);
+  // It beats every homogeneous candidate that meets the target on energy.
+  for (const auto& o : *norm) {
+    if (o.design.nw == 0 && o.performance >= 0.6) {
+      EXPECT_LE(rec->outcome.energy_ratio, o.energy_ratio + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eedc

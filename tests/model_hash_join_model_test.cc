@@ -1,0 +1,240 @@
+#include "model/hash_join_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/catalog.h"
+#include "model/params.h"
+#include "power/catalog.h"
+
+namespace eedc::model {
+namespace {
+
+ModelParams PaperParams(int nb, int nw) {
+  // The Section 5.4 configuration: ORDERS 700 GB ⋈ LINEITEM 2.8 TB.
+  ModelParams p = ModelParams::Section54Defaults(nb, nw);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+  p.probe_sel = 0.10;
+  return p;
+}
+
+TEST(ModelParamsTest, HPredicateMatchesTable3) {
+  // H = MW >= Bld*Sbld/(NB+NW).
+  ModelParams p = PaperParams(4, 4);
+  EXPECT_FALSE(p.WimpyCanBuildHashTable());  // 8750 MB > 7000 MB
+  p.build_sel = 0.01;  // 875 MB per node
+  EXPECT_TRUE(p.WimpyCanBuildHashTable());
+  // Figure 10(a)'s annotation: "each node only needs at least 875MB".
+  EXPECT_NEAR(p.build_mb * p.build_sel / p.total_nodes(), 875.0, 1.0);
+}
+
+TEST(ModelParamsTest, FromClusterExtractsBothClasses) {
+  auto cluster = hw::ClusterSpec::BeefyWimpy(
+      2, hw::ValidationBeefyNode(), 6, hw::ValidationWimpyNode());
+  auto p = ModelParams::FromCluster(cluster);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->nb, 2);
+  EXPECT_EQ(p->nw, 6);
+  EXPECT_DOUBLE_EQ(p->cb, 4034.0);
+  EXPECT_DOUBLE_EQ(p->cw, 1129.0);
+  EXPECT_DOUBLE_EQ(p->beefy_mem_mb, 31000.0);
+  EXPECT_DOUBLE_EQ(p->wimpy_mem_mb, 7000.0);
+  EXPECT_DOUBLE_EQ(p->net_bw, 95.0);
+}
+
+TEST(ModelParamsTest, ValidationCatchesBadInput) {
+  ModelParams p = PaperParams(0, 0);
+  EXPECT_FALSE(p.Validate().ok());
+  p = PaperParams(4, 0);
+  p.build_sel = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = PaperParams(4, 0);
+  p.net_bw = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+  EXPECT_TRUE(PaperParams(4, 4).Validate().ok());
+}
+
+TEST(PublishedRateTest, MatchesTable3Expression) {
+  ModelParams p = PaperParams(8, 0);
+  // Network-bound regime: I*S = 120 > N*L/(N-1) = 114.29.
+  EXPECT_NEAR(PublishedHomogeneousShuffleRate(p, 0.10),
+              8.0 * 100.0 / 7.0, 1e-9);
+  // Disk-bound regime: I*S = 12 < 114.29.
+  EXPECT_NEAR(PublishedHomogeneousShuffleRate(p, 0.01), 12.0, 1e-9);
+}
+
+TEST(DualShuffleModelTest, HomogeneousMatchesPaperEquations) {
+  ModelParams p = PaperParams(8, 0);
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  EXPECT_TRUE(est->homogeneous);
+  const double rb = PublishedHomogeneousShuffleRate(p, 0.10);
+  // Tbld = Bld*Sbld / (N * RBbld).
+  EXPECT_NEAR(est->build.time.seconds(),
+              p.build_mb * p.build_sel / (8.0 * rb), 1e-6);
+  EXPECT_NEAR(est->probe.time.seconds(),
+              p.probe_mb * p.probe_sel / (8.0 * rb), 1e-6);
+  EXPECT_NEAR(est->build.rate_b, rb, 1e-6);
+  // UBbld = rate / Sbld; util = GB + U/CB.
+  const double ub = rb / p.build_sel;
+  EXPECT_NEAR(est->build.util_b, 0.25 + ub / p.cb, 1e-9);
+  // Ebld = Tbld * NB * fB(util).
+  const double watts = p.fb->WattsAt(0.25 + ub / p.cb).watts();
+  EXPECT_NEAR(est->build.energy.joules(),
+              est->build.time.seconds() * 8.0 * watts, 1e-3);
+}
+
+TEST(DualShuffleModelTest, DiskBoundRegime) {
+  ModelParams p = PaperParams(8, 0);
+  p.build_sel = 0.01;
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  // RBbld = I*Sbld = 12; UBbld = I = 1200.
+  EXPECT_NEAR(est->build.rate_b, 12.0, 1e-9);
+  EXPECT_NEAR(est->build.util_b, 0.25 + 1200.0 / 5037.0, 1e-9);
+}
+
+TEST(DualShuffleModelTest, HeterogeneousUsesIngestionBottleneck) {
+  ModelParams p = PaperParams(2, 6);
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(est->homogeneous);
+  // Water-filling on (NB-1)/NB*rb + NW/NB*rw <= L with caps
+  // rb <= min(120, 2L) and rw <= min(120, L): theta = 100/3.5 = 28.57.
+  EXPECT_NEAR(est->build.rate_b, 100.0 / 3.5, 0.01);
+  EXPECT_NEAR(est->build.rate_w, 100.0 / 3.5, 0.01);
+}
+
+TEST(DualShuffleModelTest, InfeasibleMixesRejected) {
+  ModelParams p = PaperParams(1, 7);  // 70 GB > 47 GB Beefy memory
+  EXPECT_TRUE(EstimateHashJoin(p, JoinStrategy::kDualShuffle)
+                  .status()
+                  .IsFailedPrecondition());
+  ModelParams all_wimpy = PaperParams(0, 8);
+  EXPECT_TRUE(EstimateHashJoin(all_wimpy, JoinStrategy::kDualShuffle)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(BroadcastModelTest, MemoryRequirementIsFullTable) {
+  ModelParams p = PaperParams(8, 0);
+  EXPECT_NEAR(
+      JoinerMemoryRequirementMB(p, JoinStrategy::kBroadcastBuild, 8),
+      70000.0, 1e-9);
+  EXPECT_NEAR(JoinerMemoryRequirementMB(p, JoinStrategy::kDualShuffle, 8),
+              8750.0, 1e-9);
+  // 70 GB > 47 GB: homogeneous all-Beefy broadcast infeasible at 10%.
+  EXPECT_TRUE(EstimateHashJoin(p, JoinStrategy::kBroadcastBuild)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(BroadcastModelTest, BuildBarelyFasterWithMoreNodes) {
+  ModelParams p4 = PaperParams(4, 0);
+  ModelParams p8 = PaperParams(8, 0);
+  p4.build_sel = p8.build_sel = 0.05;  // 35 GB broadcast table fits
+  auto e4 = EstimateHashJoin(p4, JoinStrategy::kBroadcastBuild);
+  auto e8 = EstimateHashJoin(p8, JoinStrategy::kBroadcastBuild);
+  ASSERT_TRUE(e4.ok());
+  ASSERT_TRUE(e8.ok());
+  const double ratio =
+      e8->build.time.seconds() / e4->build.time.seconds();
+  EXPECT_NEAR(ratio, (7.0 / 8.0) / (3.0 / 4.0), 0.01);
+  // Probe is local: halves exactly.
+  EXPECT_NEAR(e8->probe.time.seconds() / e4->probe.time.seconds(), 0.5,
+              0.01);
+}
+
+TEST(ColocatedModelTest, NoNetworkAndLinearScaling) {
+  ModelParams p8 = PaperParams(8, 0);
+  ModelParams p16 = PaperParams(16, 0);
+  auto e8 = EstimateHashJoin(p8, JoinStrategy::kColocated);
+  auto e16 = EstimateHashJoin(p16, JoinStrategy::kColocated);
+  ASSERT_TRUE(e8.ok());
+  ASSERT_TRUE(e16.ok());
+  EXPECT_NEAR(e16->total_time().seconds() / e8->total_time().seconds(),
+              0.5, 1e-6);
+  // Flat energy across sizes (the Q1 principle).
+  EXPECT_NEAR(e16->total_energy().joules() / e8->total_energy().joules(),
+              1.0, 0.02);
+}
+
+TEST(ShuffleBuildModelTest, ProbeLocalWhenHomogeneous) {
+  ModelParams p = PaperParams(8, 0);
+  auto est = EstimateHashJoin(p, JoinStrategy::kShuffleBuild);
+  ASSERT_TRUE(est.ok());
+  // Probe runs at disk-filter rate I*Sprb (no network constraint).
+  EXPECT_NEAR(est->probe.rate_b, 120.0, 1e-6);
+  // Build still pays the shuffle.
+  EXPECT_NEAR(est->build.rate_b, 8.0 * 100.0 / 7.0, 1e-6);
+}
+
+TEST(WarmCacheModelTest, AdditiveCpuPlusNetwork) {
+  // Section 5.3.1: build time = CPU pass at CB + network transfer.
+  ModelParams p = PaperParams(4, 0);
+  p.warm_cache = true;
+  p.warm_additive = true;
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  const double t_cpu = (p.build_mb / 4.0) / p.cb;
+  const double net_rate = 4.0 * p.net_bw / 3.0;
+  const double t_net = (p.build_mb * p.build_sel / 4.0) / net_rate;
+  EXPECT_NEAR(est->build.time.seconds(), t_cpu + t_net, 1e-6);
+}
+
+TEST(WarmCacheModelTest, WimpyCpuDominatesMixedClusters) {
+  ModelParams p = PaperParams(2, 2);
+  p.build_sel = 0.01;  // homogeneous
+  p.warm_cache = true;
+  auto est = EstimateHashJoin(p, JoinStrategy::kColocated);
+  ASSERT_TRUE(est.ok());
+  // Local warm phase: slowest class (CW) sets the pace.
+  EXPECT_NEAR(est->build.time.seconds(), (p.build_mb / 4.0) / p.cw, 1e-6);
+}
+
+TEST(ModelEstimateTest, SingleNodeDegeneratesToLocal) {
+  ModelParams p = PaperParams(1, 0);
+  p.build_sel = 0.05;  // fit in memory: 35 GB < 47 GB
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  // No network: disk-filter rate.
+  EXPECT_NEAR(est->build.rate_b, 1200.0 * 0.05, 1e-6);
+}
+
+TEST(ModelEstimateTest, EdpAccessors) {
+  ModelParams p = PaperParams(8, 0);
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->Edp(),
+              est->total_energy().joules() * est->total_time().seconds(),
+              1e-6);
+  EXPECT_GT(est->total_time().seconds(), 0.0);
+  EXPECT_GT(est->total_energy().joules(), 0.0);
+}
+
+TEST(ModelEstimateTest, WimpySubstitutionSavesEnergyAtLowSelectivity) {
+  // The Figure 1(b) effect: at ORDERS 10% / LINEITEM 1%, swapping Beefy
+  // for Wimpy nodes saves energy with modest performance loss.
+  ModelParams all_beefy = PaperParams(8, 0);
+  all_beefy.probe_sel = 0.01;
+  ModelParams mixed = PaperParams(4, 4);
+  mixed.probe_sel = 0.01;
+  auto eb = EstimateHashJoin(all_beefy, JoinStrategy::kDualShuffle);
+  auto em = EstimateHashJoin(mixed, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(eb.ok());
+  ASSERT_TRUE(em.ok());
+  EXPECT_LT(em->total_energy().joules(), eb->total_energy().joules());
+}
+
+TEST(JoinStrategyTest, Names) {
+  EXPECT_STREQ(JoinStrategyToString(JoinStrategy::kColocated),
+               "colocated");
+  EXPECT_STREQ(JoinStrategyToString(JoinStrategy::kShuffleBuild),
+               "shuffle-build");
+}
+
+}  // namespace
+}  // namespace eedc::model

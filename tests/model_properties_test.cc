@@ -1,0 +1,167 @@
+// Property tests: structural invariants of the analytical model that must
+// hold across the whole parameter space (not just the paper's points).
+#include <gtest/gtest.h>
+
+#include "model/hash_join_model.h"
+
+namespace eedc::model {
+namespace {
+
+ModelParams Base(int nb, int nw) {
+  ModelParams p = ModelParams::Section54Defaults(nb, nw);
+  p.build_mb = 700000.0;
+  p.probe_mb = 2800000.0;
+  p.build_sel = 0.10;
+  p.probe_sel = 0.10;
+  return p;
+}
+
+class SelectivityGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectivityGrid, RateNeverExceedsPublishedBound) {
+  const double sel = GetParam();
+  ModelParams p = Base(8, 0);
+  p.build_sel = sel;
+  p.build_mb = 100000.0;  // keep every selectivity feasible in memory
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok()) << est.status();
+  EXPECT_LE(est->build.rate_b,
+            PublishedHomogeneousShuffleRate(p, sel) + 1e-9);
+}
+
+TEST_P(SelectivityGrid, TimeScalesLinearlyInTableSize) {
+  const double sel = GetParam();
+  ModelParams small = Base(8, 0);
+  small.build_sel = sel;
+  small.build_mb = 50000.0;
+  ModelParams big = small;
+  big.build_mb = 100000.0;
+  auto es = EstimateHashJoin(small, JoinStrategy::kDualShuffle);
+  auto eb = EstimateHashJoin(big, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(es.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_NEAR(eb->build.time.seconds() / es->build.time.seconds(), 2.0,
+              1e-9);
+}
+
+TEST_P(SelectivityGrid, UtilizationWithinBounds) {
+  const double sel = GetParam();
+  ModelParams p = Base(4, 4);
+  p.build_sel = 0.01;  // homogeneous
+  p.probe_sel = sel;
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  for (double util : {est->build.util_b, est->build.util_w,
+                      est->probe.util_b, est->probe.util_w}) {
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
+  // The engine baseline is a floor while a class participates.
+  EXPECT_GE(est->probe.util_b, p.gb);
+  EXPECT_GE(est->probe.util_w, p.gw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectivityGrid,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.10, 0.25,
+                                           0.50, 1.00));
+
+TEST(ModelMonotonicityTest, TimeNonIncreasingInNetworkBandwidth) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (double l : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    ModelParams p = Base(8, 0);
+    p.net_bw = l;
+    auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(est->total_time().seconds(), prev + 1e-9) << "L=" << l;
+    prev = est->total_time().seconds();
+  }
+}
+
+TEST(ModelMonotonicityTest, TimeNonIncreasingInClusterSize) {
+  double prev = std::numeric_limits<double>::infinity();
+  for (int n = 2; n <= 32; n *= 2) {
+    auto est = EstimateHashJoin(Base(n, 0), JoinStrategy::kDualShuffle);
+    ASSERT_TRUE(est.ok());
+    EXPECT_LE(est->total_time().seconds(), prev + 1e-9) << n << " nodes";
+    prev = est->total_time().seconds();
+  }
+}
+
+TEST(ModelMonotonicityTest, BroadcastTimeAlmostFlatInClusterSize) {
+  // The algorithmic bottleneck: build time varies by < 15% from 4 to 32
+  // nodes even though resources grow 8x.
+  ModelParams p4 = Base(4, 0);
+  ModelParams p32 = Base(32, 0);
+  p4.build_sel = p32.build_sel = 0.05;
+  auto e4 = EstimateHashJoin(p4, JoinStrategy::kBroadcastBuild);
+  auto e32 = EstimateHashJoin(p32, JoinStrategy::kBroadcastBuild);
+  ASSERT_TRUE(e4.ok());
+  ASSERT_TRUE(e32.ok());
+  const double ratio =
+      e32->build.time.seconds() / e4->build.time.seconds();
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST(ModelMonotonicityTest, EnergyScalesWithPowerCoefficient) {
+  ModelParams cheap = Base(8, 0);
+  ModelParams pricey = Base(8, 0);
+  pricey.fb = std::make_shared<power::PowerLawModel>(2.0 * 130.03, 0.2369);
+  auto ec = EstimateHashJoin(cheap, JoinStrategy::kDualShuffle);
+  auto ep = EstimateHashJoin(pricey, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(ec.ok());
+  ASSERT_TRUE(ep.ok());
+  // Same times, exactly doubled energy.
+  EXPECT_NEAR(ep->total_time().seconds(), ec->total_time().seconds(),
+              1e-9);
+  EXPECT_NEAR(
+      ep->total_energy().joules() / ec->total_energy().joules(), 2.0,
+      1e-9);
+}
+
+TEST(ModelConsistencyTest, EnergyEqualsPowerTimesTimeForOneClass) {
+  ModelParams p = Base(8, 0);
+  auto est = EstimateHashJoin(p, JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(est.ok());
+  const double build_watts = 8.0 * p.fb->WattsAt(est->build.util_b).watts();
+  EXPECT_NEAR(est->build.energy.joules(),
+              build_watts * est->build.time.seconds(), 1e-6);
+}
+
+TEST(ModelConsistencyTest, HeterogeneousNeverFasterThanAllBeefy) {
+  // Replacing Beefy nodes with Wimpy nodes (same node count) cannot speed
+  // up this network/ingestion-bound join.
+  auto all_beefy = EstimateHashJoin(Base(8, 0),
+                                    JoinStrategy::kDualShuffle);
+  ASSERT_TRUE(all_beefy.ok());
+  for (int nw = 1; nw <= 6; ++nw) {
+    auto mixed = EstimateHashJoin(Base(8 - nw, nw),
+                                  JoinStrategy::kDualShuffle);
+    ASSERT_TRUE(mixed.ok());
+    EXPECT_GE(mixed->total_time().seconds(),
+              all_beefy->total_time().seconds() - 1e-9)
+        << nw << " wimpies";
+  }
+}
+
+TEST(ModelConsistencyTest, WarmNeverSlowerThanColdAtEqualBandwidth) {
+  // With CPU bandwidth above disk bandwidth, removing the disk from the
+  // pipeline can only help.
+  for (double sel : {0.01, 0.10, 0.50}) {
+    ModelParams cold = Base(8, 0);
+    cold.build_sel = sel;
+    cold.build_mb = 50000.0;
+    ModelParams warm = cold;
+    warm.warm_cache = true;
+    auto ec = EstimateHashJoin(cold, JoinStrategy::kDualShuffle);
+    auto ew = EstimateHashJoin(warm, JoinStrategy::kDualShuffle);
+    ASSERT_TRUE(ec.ok());
+    ASSERT_TRUE(ew.ok());
+    EXPECT_LE(ew->total_time().seconds(),
+              ec->total_time().seconds() + 1e-9)
+        << "sel " << sel;
+  }
+}
+
+}  // namespace
+}  // namespace eedc::model

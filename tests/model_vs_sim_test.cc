@@ -1,0 +1,143 @@
+// Cross-validation: the closed-form analytical model (src/model) against
+// the flow-level simulator (src/sim). This mirrors the paper's Section
+// 5.3.1 validation of the model against observed P-store runs — here the
+// simulator plays the role of the measured system, and agreement is
+// asserted across a parameter grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/catalog.h"
+#include "model/hash_join_model.h"
+#include "sim/query_sim.h"
+
+namespace eedc {
+namespace {
+
+struct GridCase {
+  int nb;
+  int nw;
+  double build_sel;
+  double probe_sel;
+  model::JoinStrategy strategy;
+};
+
+sim::JoinStrategy ToSimStrategy(model::JoinStrategy s) {
+  switch (s) {
+    case model::JoinStrategy::kColocated:
+      return sim::JoinStrategy::kColocated;
+    case model::JoinStrategy::kShuffleBuild:
+      return sim::JoinStrategy::kShuffleBuild;
+    case model::JoinStrategy::kDualShuffle:
+      return sim::JoinStrategy::kDualShuffle;
+    case model::JoinStrategy::kBroadcastBuild:
+      return sim::JoinStrategy::kBroadcastBuild;
+  }
+  return sim::JoinStrategy::kDualShuffle;
+}
+
+class ModelVsSim : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ModelVsSim, TimesAgreeWithinTenPercent) {
+  const GridCase& c = GetParam();
+
+  model::ModelParams params =
+      model::ModelParams::Section54Defaults(c.nb, c.nw);
+  params.build_mb = 700000.0;
+  params.probe_mb = 2800000.0;
+  params.build_sel = c.build_sel;
+  params.probe_sel = c.probe_sel;
+  auto est = model::EstimateHashJoin(params, c.strategy);
+  ASSERT_TRUE(est.ok()) << est.status();
+
+  sim::ClusterSim cluster(hw::ClusterSpec::BeefyWimpy(
+      c.nb, hw::ModeledBeefyNode(), c.nw, hw::ModeledWimpyNode()));
+  sim::HashJoinQuery query;
+  query.build_mb = params.build_mb;
+  query.probe_mb = params.probe_mb;
+  query.build_sel = c.build_sel;
+  query.probe_sel = c.probe_sel;
+  query.strategy = ToSimStrategy(c.strategy);
+  auto simulated = sim::SimulateHashJoin(cluster, query);
+  ASSERT_TRUE(simulated.ok()) << simulated.status();
+
+  const double model_t = est->total_time().seconds();
+  const double sim_t = simulated->makespan.seconds();
+  EXPECT_NEAR(model_t / sim_t, 1.0, 0.10)
+      << "model " << model_t << "s vs sim " << sim_t << "s";
+
+  const double model_e = est->total_energy().joules();
+  const double sim_e = simulated->total_energy.joules();
+  EXPECT_NEAR(model_e / sim_e, 1.0, 0.10)
+      << "model " << model_e << "J vs sim " << sim_e << "J";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HomogeneousGrid, ModelVsSim,
+    ::testing::Values(
+        GridCase{8, 0, 0.10, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{8, 0, 0.01, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{8, 0, 0.01, 0.01, model::JoinStrategy::kDualShuffle},
+        GridCase{4, 0, 0.10, 0.50, model::JoinStrategy::kDualShuffle},
+        GridCase{16, 0, 0.10, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{8, 0, 0.05, 0.10, model::JoinStrategy::kBroadcastBuild},
+        GridCase{4, 0, 0.05, 0.05, model::JoinStrategy::kBroadcastBuild},
+        GridCase{8, 0, 0.10, 0.10, model::JoinStrategy::kColocated},
+        GridCase{8, 0, 0.10, 0.10, model::JoinStrategy::kShuffleBuild},
+        GridCase{2, 0, 0.05, 1.00, model::JoinStrategy::kDualShuffle}));
+
+INSTANTIATE_TEST_SUITE_P(
+    HomogeneousMixedNodesGrid, ModelVsSim,
+    ::testing::Values(
+        // Low build selectivity keeps H true: Wimpy nodes join too.
+        GridCase{4, 4, 0.01, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{6, 2, 0.01, 0.01, model::JoinStrategy::kDualShuffle},
+        GridCase{2, 6, 0.01, 0.50, model::JoinStrategy::kDualShuffle}));
+
+// Heterogeneous execution: the model charges the whole phase at the
+// initial class rates while the simulator re-allocates bandwidth when the
+// faster class finishes, so the tolerance is wider (the paper itself saw
+// 10% heterogeneous error vs 5% homogeneous).
+class ModelVsSimHeterogeneous : public ::testing::TestWithParam<GridCase> {
+};
+
+TEST_P(ModelVsSimHeterogeneous, TimesAgreeWithinTwentyPercent) {
+  const GridCase& c = GetParam();
+  model::ModelParams params =
+      model::ModelParams::Section54Defaults(c.nb, c.nw);
+  params.build_mb = 700000.0;
+  params.probe_mb = 2800000.0;
+  params.build_sel = c.build_sel;
+  params.probe_sel = c.probe_sel;
+  auto est = model::EstimateHashJoin(params, c.strategy);
+  ASSERT_TRUE(est.ok()) << est.status();
+  ASSERT_FALSE(est->homogeneous);
+
+  sim::ClusterSim cluster(hw::ClusterSpec::BeefyWimpy(
+      c.nb, hw::ModeledBeefyNode(), c.nw, hw::ModeledWimpyNode()));
+  sim::HashJoinQuery query;
+  query.build_mb = params.build_mb;
+  query.probe_mb = params.probe_mb;
+  query.build_sel = c.build_sel;
+  query.probe_sel = c.probe_sel;
+  query.strategy = ToSimStrategy(c.strategy);
+  auto simulated = sim::SimulateHashJoin(cluster, query);
+  ASSERT_TRUE(simulated.ok()) << simulated.status();
+
+  EXPECT_NEAR(est->total_time().seconds() / simulated->makespan.seconds(),
+              1.0, 0.20);
+  EXPECT_NEAR(est->total_energy().joules() /
+                  simulated->total_energy.joules(),
+              1.0, 0.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeterogeneousGrid, ModelVsSimHeterogeneous,
+    ::testing::Values(
+        GridCase{4, 4, 0.10, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{2, 6, 0.10, 0.10, model::JoinStrategy::kDualShuffle},
+        GridCase{6, 2, 0.10, 0.50, model::JoinStrategy::kDualShuffle},
+        GridCase{2, 6, 0.10, 0.02, model::JoinStrategy::kDualShuffle}));
+
+}  // namespace
+}  // namespace eedc

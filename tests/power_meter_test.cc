@@ -1,0 +1,85 @@
+#include "power/meter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace eedc::power {
+namespace {
+
+TEST(WattsUpMeterTest, SamplesAtOneHertz) {
+  SimulatedWattsUpMeter meter;
+  meter.ObserveConstant(Duration::Seconds(10.0), Power::Watts(100.0));
+  EXPECT_EQ(meter.samples().size(), 10u);
+  EXPECT_DOUBLE_EQ(meter.elapsed().seconds(), 10.0);
+}
+
+TEST(WattsUpMeterTest, ReadingsWithinAccuracyBound) {
+  SimulatedWattsUpMeter::Options opt;
+  opt.accuracy = 0.015;
+  SimulatedWattsUpMeter meter(opt);
+  meter.ObserveConstant(Duration::Seconds(100.0), Power::Watts(154.0));
+  for (const auto& s : meter.samples()) {
+    EXPECT_GE(s.watts.watts(), 154.0 * (1.0 - 0.015));
+    EXPECT_LE(s.watts.watts(), 154.0 * (1.0 + 0.015));
+  }
+}
+
+TEST(WattsUpMeterTest, EnergyCloseToTruth) {
+  SimulatedWattsUpMeter meter;
+  meter.ObserveConstant(Duration::Seconds(60.0), Power::Watts(130.0));
+  meter.ObserveConstant(Duration::Seconds(60.0), Power::Watts(37.0));
+  const double truth = meter.TrueEnergy().joules();
+  EXPECT_DOUBLE_EQ(truth, 60.0 * 130.0 + 60.0 * 37.0);
+  EXPECT_NEAR(meter.MeasuredEnergy().joules(), truth, truth * 0.02);
+}
+
+TEST(WattsUpMeterTest, SubSecondSegmentsAccumulate) {
+  SimulatedWattsUpMeter meter;
+  for (int i = 0; i < 10; ++i) {
+    meter.ObserveConstant(Duration::Millis(300.0), Power::Watts(50.0));
+  }
+  EXPECT_NEAR(meter.elapsed().seconds(), 3.0, 1e-9);
+  EXPECT_EQ(meter.samples().size(), 3u);
+  EXPECT_NEAR(meter.TrueEnergy().joules(), 150.0, 1e-9);
+}
+
+TEST(WattsUpMeterTest, DeterministicPerSeed) {
+  SimulatedWattsUpMeter::Options opt;
+  opt.seed = 99;
+  SimulatedWattsUpMeter a(opt), b(opt);
+  a.ObserveConstant(Duration::Seconds(5.0), Power::Watts(100.0));
+  b.ObserveConstant(Duration::Seconds(5.0), Power::Watts(100.0));
+  ASSERT_EQ(a.samples().size(), b.samples().size());
+  for (std::size_t i = 0; i < a.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples()[i].watts.watts(),
+                     b.samples()[i].watts.watts());
+  }
+}
+
+TEST(Ilo2MeterTest, AverageWithinAccuracy) {
+  SimulatedIlo2Meter meter;
+  const Power avg = meter.MeasureAverage(Power::Watts(200.0), 3);
+  EXPECT_NEAR(avg.watts(), 200.0, 200.0 * 0.01);
+}
+
+TEST(Ilo2MeterTest, MoreWindowsTightenTheEstimate) {
+  SimulatedIlo2Meter::Options opt;
+  opt.accuracy = 0.05;
+  SimulatedIlo2Meter meter(opt);
+  double worst3 = 0.0, worst30 = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    worst3 = std::max(
+        worst3,
+        std::abs(meter.MeasureAverage(Power::Watts(100.0), 3).watts() -
+                 100.0));
+    worst30 = std::max(
+        worst30,
+        std::abs(meter.MeasureAverage(Power::Watts(100.0), 30).watts() -
+                 100.0));
+  }
+  EXPECT_LT(worst30, worst3 + 1.0);  // averaging cannot be much worse
+}
+
+}  // namespace
+}  // namespace eedc::power

@@ -1,0 +1,108 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/catalog.h"
+
+namespace eedc::power {
+namespace {
+
+TEST(PowerLawModelTest, MatchesPaperClusterVModel) {
+  // Table 1/3: f(c) = 130.03 * (100c)^0.2369.
+  PowerLawModel m(130.03, 0.2369);
+  EXPECT_NEAR(m.WattsAt(1.0).watts(), 130.03 * std::pow(100.0, 0.2369),
+              1e-9);
+  EXPECT_NEAR(m.WattsAt(0.25).watts(), 130.03 * std::pow(25.0, 0.2369),
+              1e-9);
+  // At the utilization floor (1%), the model reports its base coefficient.
+  EXPECT_NEAR(m.IdleWatts().watts(), 130.03, 1e-9);
+}
+
+TEST(PowerLawModelTest, WimpyIdleMatchesTable2) {
+  // Laptop B: 11 W idle in Table 2; fW(0.01) = 10.994.
+  auto m = WimpyLaptopBPowerModel();
+  EXPECT_NEAR(m->IdleWatts().watts(), 10.994, 1e-9);
+  // ~37 W average under load (Section 5.2): peak is ~41 W.
+  EXPECT_NEAR(m->PeakWatts().watts(),
+              10.994 * std::pow(100.0, 0.2875), 1e-9);
+  EXPECT_GT(m->PeakWatts().watts(), 37.0);
+  EXPECT_LT(m->PeakWatts().watts(), 45.0);
+}
+
+TEST(PowerLawModelTest, ClampsOutOfRangeUtilization) {
+  PowerLawModel m(100.0, 0.25);
+  EXPECT_DOUBLE_EQ(m.WattsAt(-0.5).watts(), m.WattsAt(0.01).watts());
+  EXPECT_DOUBLE_EQ(m.WattsAt(2.0).watts(), m.WattsAt(1.0).watts());
+}
+
+TEST(PowerLawModelTest, NonEnergyProportionality) {
+  // Concave power curves mean half load costs much more than half power —
+  // the root cause of bottleneck-induced energy waste in the paper.
+  auto m = ClusterVPowerModel();
+  const double p50 = m->WattsAt(0.5).watts();
+  const double p100 = m->WattsAt(1.0).watts();
+  EXPECT_GT(p50, 0.5 * p100);
+  EXPECT_GT(p50 / p100, 0.8);  // very non-proportional
+}
+
+TEST(LinearPowerModelTest, InterpolatesIdleToPeak) {
+  LinearPowerModel m(Power::Watts(100.0), Power::Watts(300.0));
+  EXPECT_NEAR(m.WattsAt(0.5).watts(), 200.0, 1e-9);
+  EXPECT_NEAR(m.WattsAt(1.0).watts(), 300.0, 1e-9);
+  EXPECT_NEAR(m.WattsAt(0.01).watts(), 102.0, 1e-9);
+}
+
+TEST(ExponentialPowerModelTest, Shape) {
+  ExponentialPowerModel m(100.0, std::log(2.0));
+  EXPECT_NEAR(m.WattsAt(1.0).watts(), 200.0, 1e-9);
+  EXPECT_GT(m.WattsAt(0.5).watts(), 100.0);
+}
+
+TEST(LogarithmicPowerModelTest, Shape) {
+  LogarithmicPowerModel m(50.0, 10.0);
+  EXPECT_NEAR(m.WattsAt(1.0).watts(), 50.0 + 10.0 * std::log(100.0), 1e-9);
+  EXPECT_NEAR(m.WattsAt(0.01).watts(), 50.0, 1e-9);
+}
+
+TEST(ConstantPowerModelTest, IgnoresUtilization) {
+  ConstantPowerModel m(Power::Watts(25.0));
+  EXPECT_DOUBLE_EQ(m.WattsAt(0.0).watts(), 25.0);
+  EXPECT_DOUBLE_EQ(m.WattsAt(1.0).watts(), 25.0);
+}
+
+TEST(PowerModelTest, CloneIsIndependentAndEquivalent) {
+  PowerLawModel m(79.006, 0.2451);
+  auto clone = m.Clone();
+  EXPECT_DOUBLE_EQ(clone->WattsAt(0.7).watts(), m.WattsAt(0.7).watts());
+  EXPECT_NE(clone.get(), &m);
+}
+
+TEST(PowerModelTest, ToStringMentionsCoefficients) {
+  PowerLawModel m(130.03, 0.2369);
+  EXPECT_NE(m.ToString().find("130"), std::string::npos);
+  EXPECT_NE(m.ToString().find("0.2369"), std::string::npos);
+}
+
+TEST(CatalogTest, BeefyDrawsFarMoreThanWimpy) {
+  auto beefy = ClusterVPowerModel();
+  auto wimpy = WimpyLaptopBPowerModel();
+  // "a Wimpy node power footprint is almost 10% of the Beefy node power
+  // footprint" (Section 5.4).
+  const double ratio =
+      wimpy->PeakWatts().watts() / beefy->PeakWatts().watts();
+  EXPECT_LT(ratio, 0.15);
+  EXPECT_GT(ratio, 0.05);
+}
+
+TEST(CatalogTest, ValidationBeefyAveragePowerPlausible) {
+  // Section 5.2 reports ~154 W average node power for the L5630 servers.
+  auto m = BeefyL5630PowerModel();
+  const double at_busy = m->WattsAt(0.35).watts();
+  EXPECT_GT(at_busy, 120.0);
+  EXPECT_LT(at_busy, 220.0);
+}
+
+}  // namespace
+}  // namespace eedc::power

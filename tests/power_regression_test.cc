@@ -1,0 +1,116 @@
+#include "power/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eedc::power {
+namespace {
+
+std::vector<PowerSample> SampleModel(const PowerModel& m, double noise,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PowerSample> samples;
+  for (double c = 0.05; c <= 1.0; c += 0.05) {
+    const double w = m.WattsAt(c).watts();
+    samples.push_back(
+        PowerSample{c, w * (1.0 + rng.UniformDouble(-noise, noise))});
+  }
+  return samples;
+}
+
+TEST(FitPowerLawTest, RecoversExactCoefficients) {
+  PowerLawModel truth(130.03, 0.2369);
+  auto samples = SampleModel(truth, 0.0, 1);
+  auto fit = FitPowerLaw(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+  auto* m = dynamic_cast<PowerLawModel*>(fit->model.get());
+  ASSERT_NE(m, nullptr);
+  EXPECT_NEAR(m->a(), 130.03, 1e-6);
+  EXPECT_NEAR(m->b(), 0.2369, 1e-9);
+}
+
+TEST(FitExponentialTest, RecoversExactCoefficients) {
+  ExponentialPowerModel truth(90.0, 0.8);
+  auto samples = SampleModel(truth, 0.0, 2);
+  auto fit = FitExponential(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLogarithmicTest, RecoversExactCoefficients) {
+  LogarithmicPowerModel truth(60.0, 15.0);
+  auto samples = SampleModel(truth, 0.0, 3);
+  auto fit = FitLogarithmic(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLinearModelTest, RecoversLine) {
+  LinearPowerModel truth(Power::Watts(100.0), Power::Watts(250.0));
+  auto samples = SampleModel(truth, 0.0, 4);
+  auto fit = FitLinearModel(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit->r_squared, 0.999);
+}
+
+TEST(FitBestPowerModelTest, PicksPowerLawForPowerLawData) {
+  // The paper's methodology: the cluster-V measurements were best fit by
+  // the power-law family.
+  PowerLawModel truth(130.03, 0.2369);
+  auto samples = SampleModel(truth, 0.015, 5);  // WattsUp-level noise
+  auto best = FitBestPowerModel(samples);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->family, "power-law");
+  EXPECT_GT(best->r_squared, 0.98);
+}
+
+TEST(FitBestPowerModelTest, PicksExponentialForExponentialData) {
+  ExponentialPowerModel truth(50.0, 1.2);
+  auto samples = SampleModel(truth, 0.005, 6);
+  auto best = FitBestPowerModel(samples);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->family, "exponential");
+}
+
+TEST(FitBestPowerModelTest, PicksLinearForLinearData) {
+  LinearPowerModel truth(Power::Watts(80.0), Power::Watts(200.0));
+  auto samples = SampleModel(truth, 0.002, 7);
+  auto best = FitBestPowerModel(samples);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->family, "linear");
+}
+
+TEST(FitAllFamiliesTest, SortedByRSquaredDescending) {
+  PowerLawModel truth(100.0, 0.3);
+  auto samples = SampleModel(truth, 0.01, 8);
+  auto fits = FitAllFamilies(samples);
+  ASSERT_GE(fits.size(), 3u);
+  for (std::size_t i = 1; i < fits.size(); ++i) {
+    EXPECT_GE(fits[i - 1].r_squared, fits[i].r_squared);
+  }
+}
+
+TEST(FitValidationTest, RejectsDegenerateInput) {
+  std::vector<PowerSample> empty;
+  EXPECT_FALSE(FitBestPowerModel(empty).ok());
+  std::vector<PowerSample> bad_util = {{0.0, 100.0}, {0.5, 120.0}};
+  EXPECT_FALSE(FitPowerLaw(bad_util).ok());
+  std::vector<PowerSample> bad_watts = {{0.2, -1.0}, {0.5, 120.0}};
+  EXPECT_FALSE(FitPowerLaw(bad_watts).ok());
+}
+
+TEST(ModelRSquaredTest, EvaluatesArbitraryModel) {
+  PowerLawModel truth(100.0, 0.25);
+  auto samples = SampleModel(truth, 0.0, 9);
+  EXPECT_NEAR(ModelRSquared(truth, samples), 1.0, 1e-12);
+  ConstantPowerModel flat(Power::Watts(100.0));
+  EXPECT_LT(ModelRSquared(flat, samples), 0.5);
+}
+
+}  // namespace
+}  // namespace eedc::power

@@ -1,0 +1,208 @@
+#include "sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.h"
+
+namespace eedc::sim {
+namespace {
+
+ClusterSim MakeSim(int nodes) {
+  return ClusterSim(
+      hw::ClusterSpec::Homogeneous(nodes, hw::ModeledBeefyNode()));
+}
+
+JobSpec OneFlowJob(const ClusterSim& sim, double mb, double cpu_coef) {
+  JobSpec job;
+  job.name = "job";
+  job.participants = {0};
+  PhaseSpec phase;
+  phase.name = "phase";
+  FlowSpec flow;
+  flow.name = "flow";
+  flow.mb = mb;
+  flow.Use(sim.cpu(0), cpu_coef);
+  phase.flows.push_back(flow);
+  job.phases.push_back(phase);
+  return job;
+}
+
+TEST(ClusterSimTest, SingleFlowTimeIsDemandOverRate) {
+  ClusterSim sim = MakeSim(1);
+  // CPU capacity 5037 MB/s; 5037 MB of work takes 1 s.
+  auto result = sim.Run({OneFlowJob(sim, 5037.0, 1.0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan.seconds(), 1.0, 1e-9);
+  ASSERT_EQ(result->jobs.size(), 1u);
+  EXPECT_NEAR(result->jobs[0].completion.seconds(), 1.0, 1e-9);
+}
+
+TEST(ClusterSimTest, EnergyIntegratesPowerOverTime) {
+  ClusterSim sim = MakeSim(1);
+  auto result = sim.Run({OneFlowJob(sim, 5037.0, 1.0)});
+  ASSERT_TRUE(result.ok());
+  // Utilization = G + cpu_rate/C = 0.25 + 1.0, clamped to 1.0.
+  const double expected_watts =
+      hw::ModeledBeefyNode().WattsAt(1.0).watts();
+  EXPECT_NEAR(result->total_energy.joules(), expected_watts, 1e-6);
+  EXPECT_NEAR(result->node_avg_utilization[0], 1.0, 1e-9);
+}
+
+TEST(ClusterSimTest, EngagedButIdleNodesDrawEngineBaseline) {
+  ClusterSim sim = MakeSim(2);
+  // Only node 0 works, but both are participants: node 1 burns G=0.25.
+  JobSpec job = OneFlowJob(sim, 5037.0, 1.0);
+  job.participants = {0, 1};
+  auto result = sim.Run({job});
+  ASSERT_TRUE(result.ok());
+  const double baseline =
+      hw::ModeledBeefyNode().WattsAt(0.25).watts();
+  EXPECT_NEAR(result->node_energy[1].joules(), baseline, 1e-6);
+}
+
+TEST(ClusterSimTest, NonParticipantsDrawIdlePower) {
+  ClusterSim sim = MakeSim(2);
+  auto result = sim.Run({OneFlowJob(sim, 5037.0, 1.0)});  // node 0 only
+  ASSERT_TRUE(result.ok());
+  const double idle = hw::ModeledBeefyNode().IdleWatts().watts();
+  EXPECT_NEAR(result->node_energy[1].joules(), idle, 1e-6);
+}
+
+TEST(ClusterSimTest, PhasesRunSequentially) {
+  ClusterSim sim = MakeSim(1);
+  JobSpec job;
+  job.name = "two-phase";
+  job.participants = {0};
+  for (const char* name : {"build", "probe"}) {
+    PhaseSpec phase;
+    phase.name = name;
+    FlowSpec flow;
+    flow.mb = 5037.0;
+    flow.Use(sim.cpu(0), 1.0);
+    phase.flows.push_back(flow);
+    job.phases.push_back(phase);
+  }
+  auto result = sim.Run({job});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan.seconds(), 2.0, 1e-9);
+  ASSERT_EQ(result->jobs[0].phases.size(), 2u);
+  EXPECT_NEAR(result->jobs[0].phases[0].end.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(result->jobs[0].phases[1].start.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(result->jobs[0].PhaseFraction("build"), 0.5, 1e-9);
+}
+
+TEST(ClusterSimTest, EmptyPhasesCompleteInstantly) {
+  ClusterSim sim = MakeSim(1);
+  JobSpec job;
+  job.name = "empty";
+  job.participants = {0};
+  job.phases.push_back(PhaseSpec{"noop", {}});
+  auto result = sim.Run({job});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(result->jobs[0].completion.seconds(), 0.0);
+}
+
+TEST(ClusterSimTest, ConcurrentJobsShareResources) {
+  ClusterSim sim = MakeSim(1);
+  // Two identical CPU-bound jobs take twice as long as one.
+  auto one = sim.Run({OneFlowJob(sim, 5037.0, 1.0)});
+  std::vector<JobSpec> two = {OneFlowJob(sim, 5037.0, 1.0),
+                              OneFlowJob(sim, 5037.0, 1.0)};
+  two[1].name = "job2";
+  auto both = sim.Run(two);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(both.ok());
+  EXPECT_NEAR(both->makespan.seconds(), 2.0 * one->makespan.seconds(),
+              1e-6);
+}
+
+TEST(ClusterSimTest, PipelineBottleneckPicksSlowestResource) {
+  ClusterSim sim = MakeSim(2);
+  // Flow ships 100 MB from node 0 to node 1 while scanning at 10x the
+  // volume: disk (1200 MB/s at coef 10 => 120 MB/s) vs NIC (100 MB/s at
+  // coef 1). NIC binds: rate 100 MB/s, time 1 s.
+  JobSpec job;
+  job.name = "pipe";
+  job.participants = {0, 1};
+  PhaseSpec phase;
+  phase.name = "ship";
+  FlowSpec flow;
+  flow.mb = 100.0;
+  flow.Use(sim.disk(0), 10.0);
+  flow.Use(sim.nic_out(0), 1.0);
+  flow.Use(sim.nic_in(1), 1.0);
+  phase.flows.push_back(flow);
+  job.phases.push_back(phase);
+  auto result = sim.Run({job});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->makespan.seconds(), 1.0, 1e-9);
+}
+
+TEST(ClusterSimTest, SwitchBackplaneLimitsAggregateTraffic) {
+  ClusterSim::Options options;
+  options.switch_backplane_mbps = 150.0;
+  ClusterSim sim(
+      hw::ClusterSpec::Homogeneous(4, hw::ModeledBeefyNode()), options);
+  ASSERT_TRUE(sim.has_switch_backplane());
+  // Four flows of 100 MB each crossing the backplane at coef 1: per-port
+  // NICs allow 100 MB/s each, but the backplane caps the sum at 150.
+  JobSpec job;
+  job.name = "mesh";
+  job.participants = {0, 1, 2, 3};
+  PhaseSpec phase;
+  phase.name = "all";
+  for (int s = 0; s < 4; ++s) {
+    FlowSpec flow;
+    flow.mb = 100.0;
+    flow.Use(sim.nic_out(s), 1.0);
+    flow.Use(sim.nic_in((s + 1) % 4), 1.0);
+    flow.Use(sim.switch_backplane(), 1.0);
+    phase.flows.push_back(flow);
+  }
+  job.phases.push_back(phase);
+  auto result = sim.Run({job});
+  ASSERT_TRUE(result.ok());
+  // Each flow gets 150/4 = 37.5 MB/s -> 100/37.5 = 2.67 s.
+  EXPECT_NEAR(result->makespan.seconds(), 100.0 / 37.5, 1e-6);
+}
+
+TEST(ClusterSimTest, StarvedFlowReportsError) {
+  ClusterSim sim(hw::ClusterSpec::Homogeneous(
+      1, hw::ModeledBeefyNode().WithDiskBwMbps(0.0)));
+  JobSpec job;
+  job.name = "starved";
+  job.participants = {0};
+  PhaseSpec phase;
+  phase.name = "p";
+  FlowSpec flow;
+  flow.mb = 1.0;
+  flow.Use(sim.disk(0), 1.0);
+  phase.flows.push_back(flow);
+  job.phases.push_back(phase);
+  auto result = sim.Run({job});
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(ClusterSimTest, BadParticipantRejected) {
+  ClusterSim sim = MakeSim(2);
+  JobSpec job;
+  job.name = "bad";
+  job.participants = {5};
+  auto result = sim.Run({job});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(ClusterSimTest, AvgPowerAndEdp) {
+  ClusterSim sim = MakeSim(1);
+  auto result = sim.Run({OneFlowJob(sim, 2.0 * 5037.0, 1.0)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->AvgPower().watts(),
+              hw::ModeledBeefyNode().WattsAt(1.0).watts(), 1e-6);
+  EXPECT_NEAR(result->Edp(),
+              result->total_energy.joules() * result->makespan.seconds(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace eedc::sim

@@ -1,0 +1,141 @@
+#include "sim/fair_share.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::sim {
+namespace {
+
+TEST(FairShareTest, SingleFlowGetsFullCapacity) {
+  FairShareProblem p;
+  p.capacity = {100.0};
+  p.flows = {{{0, 1.0}}};
+  auto rates = MaxMinFairRates(p);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(FairShareTest, TwoFlowsSplitEvenly) {
+  FairShareProblem p;
+  p.capacity = {100.0};
+  p.flows = {{{0, 1.0}}, {{0, 1.0}}};
+  auto rates = MaxMinFairRates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(FairShareTest, CoefficientScalesConsumption) {
+  // A flow consuming 2 units of resource per unit rate gets half the rate.
+  FairShareProblem p;
+  p.capacity = {100.0};
+  p.flows = {{{0, 2.0}}};
+  auto rates = MaxMinFairRates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+}
+
+TEST(FairShareTest, ClassicMaxMinExample) {
+  // Two links of capacity 10 and 20. Flow A crosses both, flow B only the
+  // first, flow C only the second. Progressive filling: A and B share link
+  // 0 (5 each), C then takes the rest of link 1 (15).
+  FairShareProblem p;
+  p.capacity = {10.0, 20.0};
+  p.flows = {{{0, 1.0}, {1, 1.0}}, {{0, 1.0}}, {{1, 1.0}}};
+  auto rates = MaxMinFairRates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rates[2], 15.0);
+}
+
+TEST(FairShareTest, UnconstrainedFlowIsUnbounded) {
+  FairShareProblem p;
+  p.capacity = {10.0};
+  p.flows = {{}, {{0, 1.0}}};
+  auto rates = MaxMinFairRates(p);
+  EXPECT_EQ(rates[0], kUnboundedRate);
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+}
+
+TEST(FairShareTest, ZeroCapacityStarvesItsFlows) {
+  FairShareProblem p;
+  p.capacity = {0.0, 10.0};
+  p.flows = {{{0, 1.0}}, {{1, 1.0}}};
+  auto rates = MaxMinFairRates(p);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+}
+
+TEST(FairShareTest, PaperShuffleRateEmerges) {
+  // The Table 3 homogeneous shuffle on an 8-node cluster: each node's flow
+  // uses its own NIC-out at (N-1)/N and every other node's NIC-in at 1/N.
+  // With L = 100 MB/s and no disk cap, r = N*L/(N-1) = 114.28 MB/s.
+  const int n = 8;
+  const double l = 100.0;
+  FairShareProblem p;
+  p.capacity.assign(2 * n, l);  // [0,n): nic_out, [n,2n): nic_in
+  for (int s = 0; s < n; ++s) {
+    std::vector<ResourceUsage> usage;
+    usage.push_back({s, static_cast<double>(n - 1) / n});
+    for (int d = 0; d < n; ++d) {
+      if (d != s) usage.push_back({n + d, 1.0 / n});
+    }
+    p.flows.push_back(usage);
+  }
+  auto rates = MaxMinFairRates(p);
+  for (int s = 0; s < n; ++s) {
+    EXPECT_NEAR(rates[static_cast<std::size_t>(s)], n * l / (n - 1), 1e-6);
+  }
+}
+
+TEST(FairShareTest, BroadcastRateEmerges) {
+  // Broadcast: each node sends N-1 copies => r = L/(N-1) (Section 4.1's
+  // algorithmic bottleneck).
+  const int n = 4;
+  const double l = 100.0;
+  FairShareProblem p;
+  p.capacity.assign(2 * n, l);
+  for (int s = 0; s < n; ++s) {
+    std::vector<ResourceUsage> usage;
+    usage.push_back({s, static_cast<double>(n - 1)});
+    for (int d = 0; d < n; ++d) {
+      if (d != s) usage.push_back({n + d, 1.0});
+    }
+    p.flows.push_back(usage);
+  }
+  auto rates = MaxMinFairRates(p);
+  for (const double r : rates) EXPECT_NEAR(r, l / (n - 1), 1e-6);
+}
+
+TEST(FairShareTest, WorkConservation) {
+  // Saturated resources are fully used: sum of allocations equals cap.
+  FairShareProblem p;
+  p.capacity = {30.0};
+  p.flows = {{{0, 1.0}}, {{0, 2.0}}, {{0, 3.0}}};
+  auto rates = MaxMinFairRates(p);
+  const double used = rates[0] * 1.0 + rates[1] * 2.0 + rates[2] * 3.0;
+  EXPECT_NEAR(used, 30.0, 1e-6);
+  // Equal rates (max-min): everyone gets 5.
+  EXPECT_NEAR(rates[0], 5.0, 1e-6);
+  EXPECT_NEAR(rates[1], 5.0, 1e-6);
+  EXPECT_NEAR(rates[2], 5.0, 1e-6);
+}
+
+TEST(FairShareTest, HeterogeneousIngestionBottleneck) {
+  // 2 Beefy joiners ingest from 6 Wimpy scanners (L=100): each Beefy
+  // nic_in carries 3 scanner streams at 1/2 each... modeled as each
+  // scanner splitting across both joiners: 6 flows x r/2 <= 100 per
+  // joiner => r <= 33.3.
+  FairShareProblem p;
+  p.capacity = {100.0, 100.0};  // two joiner NIC-in ports
+  for (int s = 0; s < 6; ++s) {
+    p.flows.push_back({{0, 0.5}, {1, 0.5}});
+  }
+  auto rates = MaxMinFairRates(p);
+  for (const double r : rates) EXPECT_NEAR(r, 100.0 / 3.0, 1e-6);
+}
+
+TEST(FairShareTest, EmptyProblem) {
+  FairShareProblem p;
+  EXPECT_TRUE(MaxMinFairRates(p).empty());
+}
+
+}  // namespace
+}  // namespace eedc::sim

@@ -1,0 +1,214 @@
+#include "sim/query_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/catalog.h"
+
+namespace eedc::sim {
+namespace {
+
+hw::ClusterSpec Beefy(int n) {
+  return hw::ClusterSpec::Homogeneous(n, hw::ModeledBeefyNode());
+}
+
+hw::ClusterSpec Mixed(int nb, int nw) {
+  return hw::ClusterSpec::BeefyWimpy(nb, hw::ModeledBeefyNode(), nw,
+                                     hw::ModeledWimpyNode());
+}
+
+HashJoinQuery PaperJoin() {
+  // Section 5.4: ORDERS 700 GB build, LINEITEM 2.8 TB probe.
+  HashJoinQuery q;
+  q.build_mb = 700000.0;
+  q.probe_mb = 2800000.0;
+  q.build_sel = 0.10;
+  q.probe_sel = 0.10;
+  q.strategy = JoinStrategy::kDualShuffle;
+  return q;
+}
+
+TEST(PlanExecutionTest, HomogeneousWhenHashTablesFit) {
+  HashJoinQuery q = PaperJoin();
+  q.build_sel = 0.01;  // 7000 MB / 8 nodes = 875 MB per node: fits Wimpy
+  auto mode = PlanHashJoinExecution(Mixed(4, 4), q);
+  ASSERT_TRUE(mode.ok());
+  EXPECT_TRUE(mode->homogeneous);
+  EXPECT_EQ(mode->num_joiners(), 8);
+  EXPECT_TRUE(mode->scanners.empty());
+}
+
+TEST(PlanExecutionTest, HeterogeneousWhenWimpyMemoryTooSmall) {
+  HashJoinQuery q = PaperJoin();  // 10% sel: 8750 MB/node > MW = 7000
+  auto mode = PlanHashJoinExecution(Mixed(4, 4), q);
+  ASSERT_TRUE(mode.ok());
+  EXPECT_FALSE(mode->homogeneous);
+  EXPECT_EQ(mode->num_joiners(), 4);
+  EXPECT_EQ(mode->scanners.size(), 4u);
+}
+
+TEST(PlanExecutionTest, FailsWhenBeefyMemoryExhausted) {
+  // 1B,7W with 10% selectivity: 70 GB hash table > 47 GB Beefy memory —
+  // the reason Figure 10(b) stops at 2B,6W.
+  HashJoinQuery q = PaperJoin();
+  auto mode = PlanHashJoinExecution(Mixed(1, 7), q);
+  EXPECT_TRUE(mode.status().IsFailedPrecondition());
+  auto ok_mode = PlanHashJoinExecution(Mixed(2, 6), q);
+  EXPECT_TRUE(ok_mode.ok());
+}
+
+TEST(PlanExecutionTest, AllWimpyFailsWhenHFalse) {
+  HashJoinQuery q = PaperJoin();
+  auto mode = PlanHashJoinExecution(Mixed(0, 8), q);
+  EXPECT_TRUE(mode.status().IsFailedPrecondition());
+}
+
+TEST(SimulateHashJoinTest, DualShuffleMatchesPublishedRates) {
+  // Cold cache, 8 Beefy nodes, L=100: shuffle rate = min(I*S, N*L/(N-1)).
+  // With S=0.10, I=1200: disk-filter rate 120 > 114.3 network rate, so
+  // the network binds and Tbld = Bld*S/(N*114.3).
+  ClusterSim sim(Beefy(8));
+  HashJoinQuery q = PaperJoin();
+  auto result = SimulateHashJoin(sim, q);
+  ASSERT_TRUE(result.ok());
+  const double rate = 8.0 * 100.0 / 7.0;
+  const double t_build = 700000.0 * 0.10 / (8.0 * rate);
+  const double t_probe = 2800000.0 * 0.10 / (8.0 * rate);
+  ASSERT_EQ(result->jobs[0].phases.size(), 2u);
+  EXPECT_NEAR(result->jobs[0].phases[0].elapsed().seconds(), t_build,
+              t_build * 0.01);
+  EXPECT_NEAR(result->jobs[0].phases[1].elapsed().seconds(), t_probe,
+              t_probe * 0.01);
+}
+
+TEST(SimulateHashJoinTest, LowSelectivityIsDiskBound) {
+  // S=0.01: disk-filter rate I*S = 12 MB/s < network 114.3: disk binds.
+  ClusterSim sim(Beefy(8));
+  HashJoinQuery q = PaperJoin();
+  q.build_sel = 0.01;
+  q.probe_sel = 0.01;
+  auto result = SimulateHashJoin(sim, q);
+  ASSERT_TRUE(result.ok());
+  const double t_build = (700000.0 * 0.01 / 8.0) / 12.0;
+  EXPECT_NEAR(result->jobs[0].phases[0].elapsed().seconds(), t_build,
+              t_build * 0.01);
+}
+
+TEST(SimulateHashJoinTest, BroadcastDoesNotSpeedUpWithNodes) {
+  // Section 4.1: broadcasting m GB takes ~constant time regardless of N.
+  // Selectivity 5%: the 35 GB qualifying table still fits Beefy memory,
+  // and I*S = 60 MB/s production outruns the L/(N-1) broadcast rate, so
+  // the network is the bottleneck at both sizes.
+  HashJoinQuery q = PaperJoin();
+  q.strategy = JoinStrategy::kBroadcastBuild;
+  q.build_sel = 0.05;
+  ClusterSim sim4(Beefy(4));
+  ClusterSim sim8(Beefy(8));
+  auto r4 = SimulateHashJoin(sim4, q);
+  auto r8 = SimulateHashJoin(sim8, q);
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(r8.ok());
+  const double b4 = r4->jobs[0].phases[0].elapsed().seconds();
+  const double b8 = r8->jobs[0].phases[0].elapsed().seconds();
+  // Build phase: (Bld*S/N)*(N-1)/L -> ratio (3/4)/(7/8) = 0.857.
+  EXPECT_NEAR(b8 / b4, (7.0 / 8.0) / (3.0 / 4.0), 0.01);
+}
+
+TEST(SimulateHashJoinTest, ColocatedScalesLinearly) {
+  HashJoinQuery q = PaperJoin();
+  q.strategy = JoinStrategy::kColocated;
+  ClusterSim sim4(Beefy(4));
+  ClusterSim sim8(Beefy(8));
+  auto r4 = SimulateHashJoin(sim4, q);
+  auto r8 = SimulateHashJoin(sim8, q);
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_NEAR(r8->makespan.seconds() / r4->makespan.seconds(), 0.5, 0.01);
+}
+
+TEST(SimulateHashJoinTest, ConcurrencySlowsButSavesEnergyShare) {
+  ClusterSim sim(Beefy(8));
+  HashJoinQuery q = PaperJoin();
+  auto one = SimulateHashJoin(sim, q, 1);
+  auto four = SimulateHashJoin(sim, q, 4);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  // Network-bound: 4 concurrent joins take ~4x as long.
+  EXPECT_NEAR(four->makespan.seconds() / one->makespan.seconds(), 4.0,
+              0.05);
+  // Each concurrent query adds the engine's baseline utilization G while
+  // stalling on the shared network, so per-query energy rises with
+  // concurrency — but far less than the 4x the response time does.
+  const double per_query = four->total_energy.joules() / 4.0;
+  EXPECT_GE(per_query, one->total_energy.joules() * 0.999);
+  EXPECT_LE(per_query, one->total_energy.joules() * 1.5);
+}
+
+TEST(SimulateHashJoinTest, HeterogeneousIngestionBottleneck) {
+  // 2 Beefy + 6 Wimpy, heterogeneous: Beefy NIC-in gates delivery.
+  ClusterSim sim(Mixed(2, 6));
+  HashJoinQuery q = PaperJoin();
+  auto result = SimulateHashJoin(sim, q);
+  ASSERT_TRUE(result.ok());
+  // Aggregate qualifying build data: 70 GB. Two Beefy ports at 100 MB/s
+  // can ingest at most ~200 MB/s (plus locally-kept fraction), so the
+  // build phase takes at least 70000/250 s.
+  EXPECT_GT(result->jobs[0].phases[0].elapsed().seconds(),
+            70000.0 / 250.0);
+}
+
+TEST(LocalScanJobTest, PerfectSpeedupFlatEnergy) {
+  // The Q1 shape (Figure 2(a)): linear speedup, constant energy.
+  LocalScanQuery q;
+  q.table_mb = 100000.0;
+  q.warm_cache = true;
+  ClusterSim sim8(Beefy(8));
+  ClusterSim sim16(Beefy(16));
+  auto r8 = sim8.Run({MakeLocalScanJob(sim8, q, "q1")});
+  auto r16 = sim16.Run({MakeLocalScanJob(sim16, q, "q1")});
+  ASSERT_TRUE(r8.ok());
+  ASSERT_TRUE(r16.ok());
+  EXPECT_NEAR(r16->makespan.seconds() / r8->makespan.seconds(), 0.5,
+              0.01);
+  EXPECT_NEAR(r16->total_energy.joules() / r8->total_energy.joules(), 1.0,
+              0.02);
+}
+
+TEST(ShuffleThenLocalJobTest, PhaseFractionsControllable) {
+  // The Q12-vs-Q21 distinction is the repartition share of query time.
+  ClusterSim sim(Beefy(8));
+  ShuffleThenLocalQuery q21ish;
+  q21ish.shuffle_mb = 1000.0;
+  q21ish.local_mb = 500000.0;
+  auto r = sim.Run({MakeShuffleThenLocalJob(sim, q21ish, "q21")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->jobs[0].PhaseFraction(kRepartitionPhase), 0.15);
+
+  ShuffleThenLocalQuery q12ish;
+  q12ish.shuffle_mb = 25000.0;
+  q12ish.local_mb = 130000.0;
+  auto r12 = sim.Run({MakeShuffleThenLocalJob(sim, q12ish, "q12")});
+  ASSERT_TRUE(r12.ok());
+  EXPECT_GT(r12->jobs[0].PhaseFraction(kRepartitionPhase), 0.35);
+}
+
+TEST(QuerySimTest, InvalidInputsRejected) {
+  ClusterSim sim(Beefy(4));
+  HashJoinQuery q = PaperJoin();
+  q.build_sel = 0.0;
+  EXPECT_FALSE(SimulateHashJoin(sim, q).ok());
+  q = PaperJoin();
+  q.build_mb = -1.0;
+  EXPECT_FALSE(SimulateHashJoin(sim, q).ok());
+  q = PaperJoin();
+  EXPECT_FALSE(SimulateHashJoin(sim, q, 0).ok());
+}
+
+TEST(JoinStrategyTest, Names) {
+  EXPECT_STREQ(JoinStrategyToString(JoinStrategy::kDualShuffle),
+               "dual-shuffle");
+  EXPECT_STREQ(JoinStrategyToString(JoinStrategy::kBroadcastBuild),
+               "broadcast-build");
+}
+
+}  // namespace
+}  // namespace eedc::sim

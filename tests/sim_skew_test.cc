@@ -1,0 +1,126 @@
+// Tests for the data-skew extension (Section 4.1 future work).
+#include <gtest/gtest.h>
+
+#include "hw/catalog.h"
+#include "sim/query_sim.h"
+
+namespace eedc::sim {
+namespace {
+
+ClusterSim Beefy(int n) {
+  return ClusterSim(
+      hw::ClusterSpec::Homogeneous(n, hw::ModeledBeefyNode()));
+}
+
+HashJoinQuery BaseJoin() {
+  HashJoinQuery q;
+  q.build_mb = 30000.0;
+  q.probe_mb = 120000.0;
+  q.build_sel = 0.05;
+  q.probe_sel = 0.05;
+  q.warm_cache = true;
+  return q;
+}
+
+TEST(PlacementWeightsTest, UniformWhenNoSkew) {
+  const auto w = PlacementWeights(8, 0.0);
+  ASSERT_EQ(w.size(), 8u);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 0.125);
+}
+
+TEST(PlacementWeightsTest, SumsToOneAndConcentratesOnNodeZero) {
+  for (double skew : {0.1, 0.3, 0.7}) {
+    const auto w = PlacementWeights(8, skew);
+    double sum = 0.0;
+    for (double x : w) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    EXPECT_NEAR(w[0], 0.125 + skew * 0.875, 1e-12);
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      EXPECT_LT(w[i], w[0]);
+      EXPECT_NEAR(w[i], w[1], 1e-12);  // remainder is even
+    }
+  }
+}
+
+TEST(PlacementWeightsTest, SingleNodeAlwaysUniform) {
+  const auto w = PlacementWeights(1, 0.5);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+class SkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewSweep, SkewNeverImprovesTimeOrEnergy) {
+  const double skew = GetParam();
+  ClusterSim sim = Beefy(8);
+  HashJoinQuery uniform = BaseJoin();
+  HashJoinQuery skewed = BaseJoin();
+  skewed.placement_skew = skew;
+  auto base = SimulateHashJoin(sim, uniform);
+  auto with_skew = SimulateHashJoin(sim, skewed);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(with_skew.ok());
+  EXPECT_GE(with_skew->makespan.seconds(),
+            base->makespan.seconds() * 0.999);
+  EXPECT_GE(with_skew->total_energy.joules(),
+            base->total_energy.joules() * 0.999);
+}
+
+TEST_P(SkewSweep, MonotoneDegradation) {
+  const double skew = GetParam();
+  ClusterSim sim = Beefy(8);
+  HashJoinQuery less = BaseJoin();
+  less.placement_skew = skew * 0.5;
+  HashJoinQuery more = BaseJoin();
+  more.placement_skew = skew;
+  auto a = SimulateHashJoin(sim, less);
+  auto b = SimulateHashJoin(sim, more);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->makespan.seconds(), a->makespan.seconds() * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SkewSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.4, 0.6));
+
+TEST(SkewTest, HotNodeBusierThanOthers) {
+  ClusterSim sim = Beefy(8);
+  HashJoinQuery q = BaseJoin();
+  q.placement_skew = 0.4;
+  auto r = SimulateHashJoin(sim, q);
+  ASSERT_TRUE(r.ok());
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_GT(r->node_avg_utilization[0],
+              r->node_avg_utilization[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(SkewTest, InvalidSkewRejected) {
+  ClusterSim sim = Beefy(4);
+  HashJoinQuery q = BaseJoin();
+  q.placement_skew = 1.0;
+  EXPECT_FALSE(SimulateHashJoin(sim, q).ok());
+  q.placement_skew = -0.1;
+  EXPECT_FALSE(SimulateHashJoin(sim, q).ok());
+}
+
+TEST(SkewTest, SkewWorsensWithScale) {
+  // "especially as the system scales": the same skew fraction hurts a
+  // 16-node cluster more than a 4-node cluster (relative slowdown).
+  HashJoinQuery q = BaseJoin();
+  q.placement_skew = 0.3;
+  HashJoinQuery uniform = BaseJoin();
+
+  auto slowdown = [&](int n) {
+    ClusterSim sim = Beefy(n);
+    auto s = SimulateHashJoin(sim, q);
+    auto u = SimulateHashJoin(sim, uniform);
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(u.ok());
+    return s->makespan.seconds() / u->makespan.seconds();
+  };
+  EXPECT_GT(slowdown(16), slowdown(4) * 0.999);
+}
+
+}  // namespace
+}  // namespace eedc::sim

@@ -1,0 +1,107 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace eedc::storage {
+namespace {
+
+TEST(ColumnTest, Int64RoundTrip) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(-5);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Int64At(0), 1);
+  EXPECT_EQ(c.Int64At(1), -5);
+  EXPECT_EQ(c.int64s().size(), 2u);
+}
+
+TEST(ColumnTest, DoubleRoundTrip) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(3.5);
+  EXPECT_DOUBLE_EQ(c.DoubleAt(0), 3.5);
+}
+
+TEST(ColumnTest, StringRoundTrip) {
+  Column c(DataType::kString);
+  c.AppendString("REG AIR");
+  EXPECT_EQ(c.StringAt(0), "REG AIR");
+}
+
+TEST(ColumnTest, AppendValueDispatchesOnType) {
+  Column i(DataType::kInt64);
+  i.AppendValue(Value{std::int64_t{7}});
+  EXPECT_EQ(i.Int64At(0), 7);
+  Column s(DataType::kString);
+  s.AppendValue(Value{std::string("x")});
+  EXPECT_EQ(s.StringAt(0), "x");
+}
+
+TEST(ColumnTest, ValueAtRoundTrips) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(2.25);
+  EXPECT_DOUBLE_EQ(std::get<double>(c.ValueAt(0)), 2.25);
+}
+
+TEST(ColumnTest, AppendFromCopiesSingleRows) {
+  Column src(DataType::kInt64);
+  for (int i = 0; i < 5; ++i) src.AppendInt64(i * 10);
+  Column dst(DataType::kInt64);
+  dst.AppendFrom(src, 3);
+  dst.AppendFrom(src, 0);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.Int64At(0), 30);
+  EXPECT_EQ(dst.Int64At(1), 0);
+}
+
+TEST(ColumnTest, AppendRangeCopiesBulk) {
+  Column src(DataType::kInt64);
+  for (int i = 0; i < 10; ++i) src.AppendInt64(i);
+  Column dst(DataType::kInt64);
+  dst.AppendRange(src, 2, 5);
+  ASSERT_EQ(dst.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dst.Int64At(i), i + 2);
+}
+
+TEST(ColumnTest, AppendRangeOnStrings) {
+  Column src(DataType::kString);
+  src.AppendString("a");
+  src.AppendString("b");
+  src.AppendString("c");
+  Column dst(DataType::kString);
+  dst.AppendRange(src, 1, 2);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.StringAt(0), "b");
+  EXPECT_EQ(dst.StringAt(1), "c");
+}
+
+TEST(ColumnTest, ClearEmptiesAllStorage) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.Clear();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(ColumnTest, ApproxBytesCountsPayload) {
+  Column i(DataType::kInt64);
+  i.AppendInt64(1);
+  i.AppendInt64(2);
+  EXPECT_DOUBLE_EQ(i.ApproxBytes(), 16.0);
+  Column s(DataType::kString);
+  s.AppendString("abcd");
+  EXPECT_DOUBLE_EQ(s.ApproxBytes(), FixedWidthBytes(DataType::kString) + 4);
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeToString(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeToString(DataType::kString), "string");
+}
+
+TEST(DataTypeTest, TypeOfValue) {
+  EXPECT_EQ(TypeOf(Value{std::int64_t{1}}), DataType::kInt64);
+  EXPECT_EQ(TypeOf(Value{1.0}), DataType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("s")}), DataType::kString);
+}
+
+}  // namespace
+}  // namespace eedc::storage

@@ -1,0 +1,117 @@
+#include "storage/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "storage/schema.h"
+
+namespace eedc::storage {
+namespace {
+
+Table MakeKeyedTable(int rows) {
+  Table t(Schema({Field{"key", DataType::kInt64, 5},
+                  Field{"payload", DataType::kDouble, 5}}));
+  for (int i = 0; i < rows; ++i) {
+    t.AppendRow({static_cast<std::int64_t>(i), i * 0.5});
+  }
+  return t;
+}
+
+TEST(HashKeyTest, DeterministicAndAvalanching) {
+  EXPECT_EQ(HashKey(42), HashKey(42));
+  EXPECT_NE(HashKey(42), HashKey(43));
+  // Dense keys should not land in dense hash buckets.
+  std::set<std::uint64_t> lows;
+  for (std::int64_t k = 0; k < 64; ++k) lows.insert(HashKey(k) % 64);
+  EXPECT_GT(lows.size(), 32u);
+}
+
+TEST(PartitionOfTest, InRangeAndConsistentWithHashKey) {
+  for (std::int64_t k = 0; k < 1000; ++k) {
+    const int p = PartitionOf(k, 7);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 7);
+    EXPECT_EQ(static_cast<std::uint64_t>(p), HashKey(k) % 7);
+  }
+}
+
+// Property sweep: every row lands in exactly one partition, and in the
+// partition its key hashes to.
+class HashPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashPartitionProperty, CompleteAndCorrect) {
+  const int n = GetParam();
+  const Table t = MakeKeyedTable(5000);
+  auto parts = HashPartition(t, "key", n);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), static_cast<std::size_t>(n));
+  std::size_t total = 0;
+  for (int p = 0; p < n; ++p) {
+    const Table& part = (*parts)[static_cast<std::size_t>(p)];
+    total += part.num_rows();
+    const auto keys = part.column(0).int64s();
+    for (std::int64_t k : keys) {
+      EXPECT_EQ(PartitionOf(k, n), p);
+    }
+  }
+  EXPECT_EQ(total, t.num_rows());
+}
+
+TEST_P(HashPartitionProperty, RoughlyBalanced) {
+  const int n = GetParam();
+  const Table t = MakeKeyedTable(20000);
+  auto parts = HashPartition(t, "key", n);
+  ASSERT_TRUE(parts.ok());
+  const double expected = 20000.0 / n;
+  for (const auto& part : *parts) {
+    EXPECT_NEAR(static_cast<double>(part.num_rows()), expected,
+                expected * 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, HashPartitionProperty,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(HashPartitionTest, PayloadTravelsWithKey) {
+  const Table t = MakeKeyedTable(100);
+  auto parts = HashPartition(t, "key", 4);
+  ASSERT_TRUE(parts.ok());
+  for (const auto& part : *parts) {
+    for (std::size_t i = 0; i < part.num_rows(); ++i) {
+      EXPECT_DOUBLE_EQ(part.column(1).DoubleAt(i),
+                       part.column(0).Int64At(i) * 0.5);
+    }
+  }
+}
+
+TEST(HashPartitionTest, RejectsBadArguments) {
+  const Table t = MakeKeyedTable(10);
+  EXPECT_FALSE(HashPartition(t, "key", 0).ok());
+  EXPECT_FALSE(HashPartition(t, "missing", 2).ok());
+  EXPECT_FALSE(HashPartition(t, "payload", 2).ok());  // not int64
+}
+
+TEST(ReplicateTest, SharesTheSameTable) {
+  auto t = std::make_shared<Table>(MakeKeyedTable(10));
+  auto copies = Replicate(t, 5);
+  ASSERT_EQ(copies.size(), 5u);
+  for (const auto& c : copies) EXPECT_EQ(c.get(), t.get());
+}
+
+TEST(RoundRobinPartitionTest, CompleteAndBalanced) {
+  const Table t = MakeKeyedTable(103);
+  auto parts = RoundRobinPartition(t, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.num_rows();
+    EXPECT_GE(p.num_rows(), 25u);
+    EXPECT_LE(p.num_rows(), 26u);
+  }
+  EXPECT_EQ(total, 103u);
+}
+
+}  // namespace
+}  // namespace eedc::storage

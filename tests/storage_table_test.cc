@@ -1,0 +1,144 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/block.h"
+#include "storage/schema.h"
+#include "storage/table_store.h"
+
+namespace eedc::storage {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Field{"k", DataType::kInt64, 5},
+                 Field{"v", DataType::kDouble, 5}});
+}
+
+TEST(SchemaTest, IndexLookupAndContains) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.num_fields(), 2u);
+  ASSERT_TRUE(s.IndexOf("v").ok());
+  EXPECT_EQ(s.IndexOf("v").value(), 1);
+  EXPECT_TRUE(s.Contains("k"));
+  EXPECT_FALSE(s.Contains("missing"));
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, TupleWidthUsesLogicalWidths) {
+  EXPECT_DOUBLE_EQ(TwoColSchema().TupleWidth(), 10.0);
+  Schema defaulted({Field{"a", DataType::kInt64}});
+  EXPECT_DOUBLE_EQ(defaulted.TupleWidth(), 8.0);
+}
+
+TEST(SchemaTest, ProjectPreservesOrderAndWidths) {
+  Schema s({Field{"a", DataType::kInt64, 5},
+            Field{"b", DataType::kString, 10},
+            Field{"c", DataType::kDouble, 5}});
+  auto proj = s.Project({"c", "a"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->field(0).name, "c");
+  EXPECT_EQ(proj->field(1).name, "a");
+  EXPECT_DOUBLE_EQ(proj->TupleWidth(), 10.0);
+  EXPECT_FALSE(s.Project({"nope"}).ok());
+}
+
+TEST(SchemaTest, SameTypesComparesStructurally) {
+  Schema a({Field{"x", DataType::kInt64}});
+  Schema b({Field{"renamed", DataType::kInt64}});
+  Schema c({Field{"x", DataType::kDouble}});
+  EXPECT_TRUE(a.SameTypes(b));
+  EXPECT_FALSE(a.SameTypes(c));
+}
+
+TEST(TableTest, AppendRowAndLookup) {
+  Table t(TwoColSchema());
+  t.AppendRow({std::int64_t{1}, 1.5});
+  t.AppendRow({std::int64_t{2}, 2.5});
+  EXPECT_EQ(t.num_rows(), 2u);
+  ASSERT_TRUE(t.ColumnByName("v").ok());
+  EXPECT_DOUBLE_EQ(t.ColumnByName("v").value()->DoubleAt(1), 2.5);
+}
+
+TEST(TableTest, AppendRowFromCopiesAcrossTables) {
+  Table a(TwoColSchema());
+  a.AppendRow({std::int64_t{42}, 4.2});
+  Table b(TwoColSchema());
+  b.AppendRowFrom(a, 0);
+  EXPECT_EQ(b.num_rows(), 1u);
+  EXPECT_EQ(b.column(0).Int64At(0), 42);
+}
+
+TEST(TableTest, BulkLoadThroughMutableColumns) {
+  Table t(TwoColSchema());
+  t.mutable_column(0).AppendInt64(1);
+  t.mutable_column(0).AppendInt64(2);
+  t.mutable_column(1).AppendDouble(0.1);
+  t.mutable_column(1).AppendDouble(0.2);
+  t.FinishBulkLoad();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, LogicalBytesUseSchemaWidths) {
+  Table t(TwoColSchema());
+  t.AppendRow({std::int64_t{1}, 1.0});
+  t.AppendRow({std::int64_t{2}, 2.0});
+  EXPECT_DOUBLE_EQ(t.LogicalBytes(), 20.0);  // 2 rows x 10 B
+  EXPECT_DOUBLE_EQ(t.LogicalMB(), 20.0 / 1e6);
+}
+
+TEST(TableTest, ProjectCopiesSelectedColumns) {
+  Table t(TwoColSchema());
+  t.AppendRow({std::int64_t{7}, 0.5});
+  auto proj = t.Project({"v"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 1u);
+  EXPECT_EQ(proj->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(proj->column(0).DoubleAt(0), 0.5);
+}
+
+TEST(BlockTest, CapacityAndFull) {
+  Block b(TwoColSchema(), 2);
+  EXPECT_TRUE(b.empty());
+  b.AppendRow({std::int64_t{1}, 1.0});
+  EXPECT_FALSE(b.full());
+  b.AppendRow({std::int64_t{2}, 2.0});
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.LogicalBytes(), 20.0);
+}
+
+TEST(BlockTest, AppendRowFromBlock) {
+  Block a(TwoColSchema());
+  a.AppendRow({std::int64_t{5}, 0.5});
+  Block b(TwoColSchema());
+  b.AppendRowFromBlock(a, 0);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.column(0).Int64At(0), 5);
+}
+
+TEST(TableStoreTest, PutGetNames) {
+  TableStore store;
+  auto t = std::make_shared<Table>(TwoColSchema());
+  store.Put("orders", t);
+  EXPECT_TRUE(store.Contains("orders"));
+  ASSERT_TRUE(store.Get("orders").ok());
+  EXPECT_EQ(store.Get("orders").value().get(), t.get());
+  EXPECT_TRUE(store.Get("lineitem").status().IsNotFound());
+  store.Put("lineitem", std::make_shared<Table>(TwoColSchema()));
+  const auto names = store.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "lineitem");  // sorted
+  EXPECT_EQ(names[1], "orders");
+}
+
+TEST(TableStoreTest, PutReplaces) {
+  TableStore store;
+  store.Put("t", std::make_shared<Table>(TwoColSchema()));
+  auto replacement = std::make_shared<Table>(TwoColSchema());
+  replacement->AppendRow({std::int64_t{1}, 1.0});
+  store.Put("t", replacement);
+  EXPECT_EQ(store.Get("t").value()->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace eedc::storage

@@ -1,0 +1,197 @@
+#include "tpch/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "tpch/dates.h"
+#include "tpch/schema.h"
+
+namespace eedc::tpch {
+namespace {
+
+DbgenOptions SmallOpts() {
+  DbgenOptions opts;
+  opts.scale_factor = 0.002;  // 3000 orders, ~12000 lineitems
+  opts.seed = 7;
+  return opts;
+}
+
+TEST(DatesTest, DayNumberRoundTrip) {
+  for (std::int64_t d : {0LL, 1LL, 365LL, 366LL, 1000LL, 2405LL}) {
+    int y, m, day;
+    CivilFromDayNumber(d, &y, &m, &day);
+    EXPECT_EQ(DayNumber(y, m, day), d);
+  }
+}
+
+TEST(DatesTest, KnownDates) {
+  EXPECT_EQ(DayNumber(1992, 1, 1), 0);
+  EXPECT_EQ(DayNumber(1992, 1, 2), 1);
+  EXPECT_EQ(DayNumber(1992, 12, 31), 365);  // 1992 is a leap year
+  EXPECT_EQ(DayNumber(1993, 1, 1), 366);
+  EXPECT_EQ(FormatDate(0), "1992-01-01");
+  EXPECT_EQ(FormatDate(DayNumber(1995, 6, 17)), "1995-06-17");
+}
+
+TEST(DatesTest, PaperConstants) {
+  EXPECT_EQ(CurrentDate(), DayNumber(1995, 6, 17));
+  EXPECT_EQ(MaxOrderDate(), DayNumber(1998, 8, 2) - 151);
+}
+
+TEST(DbgenTest, Deterministic) {
+  const TpchDatabase a = GenerateDatabase(SmallOpts());
+  const TpchDatabase b = GenerateDatabase(SmallOpts());
+  ASSERT_EQ(a.lineitem->num_rows(), b.lineitem->num_rows());
+  const auto ka = a.lineitem->column(0).int64s();
+  const auto kb = b.lineitem->column(0).int64s();
+  for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+}
+
+TEST(DbgenTest, SeedChangesData) {
+  DbgenOptions other = SmallOpts();
+  other.seed = 8;
+  const TpchDatabase a = GenerateDatabase(SmallOpts());
+  const TpchDatabase b = GenerateDatabase(other);
+  // Same structure, different content.
+  ASSERT_TRUE(a.orders->ColumnByName("o_custkey").ok());
+  const auto ca = a.orders->ColumnByName("o_custkey").value()->int64s();
+  const auto cb = b.orders->ColumnByName("o_custkey").value()->int64s();
+  int diffs = 0;
+  for (std::size_t i = 0; i < std::min(ca.size(), cb.size()); ++i) {
+    if (ca[i] != cb[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(DbgenTest, RowCountsScaleWithSF) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  EXPECT_EQ(db.orders->num_rows(), 3000u);
+  EXPECT_EQ(db.customer->num_rows(), 300u);
+  EXPECT_EQ(db.supplier->num_rows(), 20u);
+  EXPECT_EQ(db.part->num_rows(), 400u);
+  EXPECT_EQ(db.partsupp->num_rows(), 1600u);  // 4 per part
+  EXPECT_EQ(db.region->num_rows(), 5u);
+  EXPECT_EQ(db.nation->num_rows(), 25u);
+  // ~4 lineitems per order (1..7 uniform).
+  const double ratio = static_cast<double>(db.lineitem->num_rows()) /
+                       static_cast<double>(db.orders->num_rows());
+  EXPECT_NEAR(ratio, 4.0, 0.25);
+}
+
+TEST(DbgenTest, LineitemForeignKeysReferToOrders) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  const std::size_t num_orders = db.orders->num_rows();
+  for (std::int64_t k :
+       db.lineitem->ColumnByName("l_orderkey").value()->int64s()) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, static_cast<std::int64_t>(num_orders));
+  }
+}
+
+TEST(DbgenTest, EveryOrderHasAtLeastOneLineitem) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  std::unordered_set<std::int64_t> seen;
+  for (std::int64_t k :
+       db.lineitem->ColumnByName("l_orderkey").value()->int64s()) {
+    seen.insert(k);
+  }
+  EXPECT_EQ(seen.size(), db.orders->num_rows());
+}
+
+TEST(DbgenTest, OrderCustkeysReferToCustomers) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  const auto n = static_cast<std::int64_t>(db.customer->num_rows());
+  for (std::int64_t k :
+       db.orders->ColumnByName("o_custkey").value()->int64s()) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, n);
+  }
+}
+
+TEST(DbgenTest, DatesWithinTpchWindow) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  for (std::int64_t d :
+       db.orders->ColumnByName("o_orderdate").value()->int64s()) {
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, MaxOrderDate());
+  }
+  const auto ship =
+      db.lineitem->ColumnByName("l_shipdate").value()->int64s();
+  const auto receipt =
+      db.lineitem->ColumnByName("l_receiptdate").value()->int64s();
+  for (std::size_t i = 0; i < ship.size(); ++i) {
+    EXPECT_GT(receipt[i], ship[i]);  // receipt follows shipment
+  }
+}
+
+TEST(DbgenTest, FlagLogicFollowsSpec) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  const auto& flag =
+      *db.lineitem->ColumnByName("l_returnflag").value();
+  const auto& status =
+      *db.lineitem->ColumnByName("l_linestatus").value();
+  const auto ship =
+      db.lineitem->ColumnByName("l_shipdate").value()->int64s();
+  const auto receipt =
+      db.lineitem->ColumnByName("l_receiptdate").value()->int64s();
+  const std::int64_t current = CurrentDate();
+  for (std::size_t i = 0; i < ship.size(); ++i) {
+    if (receipt[i] <= current) {
+      EXPECT_TRUE(flag.StringAt(i) == "R" || flag.StringAt(i) == "A");
+    } else {
+      EXPECT_EQ(flag.StringAt(i), "N");
+    }
+    EXPECT_EQ(status.StringAt(i), ship[i] > current ? "O" : "F");
+  }
+}
+
+TEST(DbgenTest, DiscountAndTaxRanges) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  for (double d :
+       db.lineitem->ColumnByName("l_discount").value()->doubles()) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 0.10);
+  }
+  for (double t : db.lineitem->ColumnByName("l_tax").value()->doubles()) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 0.08);
+  }
+}
+
+TEST(DbgenTest, ByNameResolvesAllTables) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  for (const auto& name : db.TableNames()) {
+    ASSERT_TRUE(db.ByName(name).ok()) << name;
+    EXPECT_GT(db.ByName(name).value()->num_rows(), 0u) << name;
+  }
+  EXPECT_TRUE(db.ByName("bogus").status().IsNotFound());
+}
+
+TEST(DbgenTest, NationRegionKeysValid) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  for (std::int64_t r :
+       db.nation->ColumnByName("n_regionkey").value()->int64s()) {
+    EXPECT_GE(r, 0);
+    EXPECT_LE(r, 4);
+  }
+}
+
+TEST(DbgenTest, SchemasMatchDeclared) {
+  const TpchDatabase db = GenerateDatabase(SmallOpts());
+  EXPECT_TRUE(db.lineitem->schema().SameTypes(LineitemSchema()));
+  EXPECT_TRUE(db.orders->schema().SameTypes(OrdersSchema()));
+  // The paper's 20-byte projection: the four Q3 columns of each table.
+  auto lproj = LineitemSchema().Project(
+      {"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"});
+  ASSERT_TRUE(lproj.ok());
+  EXPECT_DOUBLE_EQ(lproj->TupleWidth(), kProjectedTupleBytes);
+  auto oproj = OrdersSchema().Project(
+      {"o_orderkey", "o_orderdate", "o_shippriority", "o_custkey"});
+  ASSERT_TRUE(oproj.ok());
+  EXPECT_DOUBLE_EQ(oproj->TupleWidth(), kProjectedTupleBytes);
+}
+
+}  // namespace
+}  // namespace eedc::tpch

@@ -1,0 +1,286 @@
+#include "tpch/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "exec/executor.h"
+#include "exec/reference.h"
+#include "tpch/dates.h"
+#include "tpch/dbgen.h"
+#include "tpch/selectivity.h"
+
+namespace eedc::tpch {
+namespace {
+
+using exec::ClusterData;
+using exec::Executor;
+using exec::QueryResult;
+using storage::Table;
+
+const TpchDatabase& Db() {
+  static const TpchDatabase db = [] {
+    DbgenOptions opts;
+    opts.scale_factor = 0.002;
+    opts.seed = 99;
+    return GenerateDatabase(opts);
+  }();
+  return db;
+}
+
+/// Loads the Vertica-style layout of Section 3.1 (LINEITEM on orderkey).
+void LoadVerticaLayout(ClusterData* data) {
+  const auto& db = Db();
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey")
+          .ok());
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+  data->LoadReplicated("supplier", db.supplier);
+  data->LoadReplicated("nation", db.nation);
+}
+
+/// Loads the Section 4.3 partition-incompatible layout.
+void LoadQ3Layout(ClusterData* data) {
+  const auto& db = Db();
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("lineitem", *db.lineitem, "l_shipdate")
+          .ok());
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+}
+
+QueryResult RunPlan(exec::PlanPtr plan, int nodes, bool q3_layout) {
+  ClusterData data(nodes);
+  if (q3_layout) {
+    LoadQ3Layout(&data);
+  } else {
+    LoadVerticaLayout(&data);
+  }
+  Executor executor(&data);
+  auto result = executor.Execute(plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(Q1PlanTest, MatchesReferenceAggregation) {
+  const std::int64_t cutoff = DayNumber(1998, 9, 2);
+  QueryResult r = RunPlan(Q1Plan(cutoff), 4, false);
+  // 4 flag/status groups at this scale: A/F, N/F, N/O, R/F.
+  EXPECT_EQ(r.table.num_rows(), 4u);
+
+  const Table filtered = exec::ReferenceFilter(
+      *Db().lineitem, [&](const Table& t, std::size_t row) {
+        return t.ColumnByName("l_shipdate").value()->Int64At(row) <=
+               cutoff;
+      });
+  auto want =
+      exec::ReferenceSumBy(filtered, {"l_returnflag", "l_linestatus"},
+                           "l_quantity");
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ(want->num_rows(), r.table.num_rows());
+  for (std::size_t i = 0; i < r.table.num_rows(); ++i) {
+    const std::string key = r.table.column(0).StringAt(i) + "/" +
+                            r.table.column(1).StringAt(i);
+    bool found = false;
+    for (std::size_t j = 0; j < want->num_rows(); ++j) {
+      if (want->column(0).StringAt(j) + "/" +
+              want->column(1).StringAt(j) ==
+          key) {
+        EXPECT_NEAR(r.table.column(2).DoubleAt(i),
+                    want->column(2).DoubleAt(j), 1e-6)
+            << key;
+        // count_order agrees too (column 6).
+        EXPECT_NEAR(r.table.column(6).DoubleAt(i),
+                    static_cast<double>(want->column(3).Int64At(j)), 1e-6);
+        // avg_qty = sum_qty / count_order.
+        EXPECT_NEAR(r.table.column(7).DoubleAt(i),
+                    r.table.column(2).DoubleAt(i) /
+                        r.table.column(6).DoubleAt(i),
+                    1e-9);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << key;
+  }
+}
+
+TEST(Q1PlanTest, ResultIndependentOfClusterSize) {
+  const std::int64_t cutoff = DayNumber(1998, 9, 2);
+  QueryResult one = RunPlan(Q1Plan(cutoff), 1, false);
+  QueryResult four = RunPlan(Q1Plan(cutoff), 4, false);
+  std::string diff;
+  EXPECT_TRUE(
+      exec::TablesEqualUnordered(one.table, four.table, 1e-9, &diff))
+      << diff;
+}
+
+TEST(Q3PlanTest, ShuffleAndBroadcastAgree) {
+  const auto& db = Db();
+  Q3Options options;
+  options.custkey_threshold =
+      ThresholdForSelectivity(*db.orders, "o_custkey", 0.05).value();
+  options.shipdate_threshold =
+      ThresholdForSelectivity(*db.lineitem, "l_shipdate", 0.30).value();
+  QueryResult shuffled = RunPlan(Q3Plan(options), 4, true);
+  options.broadcast_orders = true;
+  QueryResult broadcast = RunPlan(Q3Plan(options), 4, true);
+  std::string diff;
+  EXPECT_TRUE(exec::TablesEqualUnordered(shuffled.table, broadcast.table,
+                                         1e-9, &diff))
+      << diff;
+  EXPECT_GT(shuffled.table.num_rows(), 0u);
+}
+
+TEST(Q3PlanTest, HeterogeneousJoinersProduceSameResult) {
+  const auto& db = Db();
+  Q3Options options;
+  options.custkey_threshold =
+      ThresholdForSelectivity(*db.orders, "o_custkey", 0.10).value();
+  options.shipdate_threshold = std::numeric_limits<std::int64_t>::max();
+  QueryResult all = RunPlan(Q3Plan(options), 4, true);
+  options.joiners = {0, 1};
+  QueryResult two = RunPlan(Q3Plan(options), 4, true);
+  std::string diff;
+  EXPECT_TRUE(
+      exec::TablesEqualUnordered(all.table, two.table, 1e-9, &diff))
+      << diff;
+}
+
+TEST(Q3PlanTest, RevenueMatchesReference) {
+  const auto& db = Db();
+  Q3Options options;
+  options.custkey_threshold = std::numeric_limits<std::int64_t>::max();
+  options.shipdate_threshold = std::numeric_limits<std::int64_t>::max();
+  QueryResult r = RunPlan(Q3Plan(options), 3, true);
+  // One output group per order (all orders qualify).
+  EXPECT_EQ(r.table.num_rows(), db.orders->num_rows());
+  // Total revenue equals the reference sum over all lineitems.
+  double got = 0.0;
+  ASSERT_TRUE(r.table.ColumnByName("revenue").ok());
+  const auto* rev = r.table.ColumnByName("revenue").value();
+  for (std::size_t i = 0; i < r.table.num_rows(); ++i) {
+    got += rev->DoubleAt(i);
+  }
+  double want = 0.0;
+  const auto prices =
+      db.lineitem->ColumnByName("l_extendedprice").value()->doubles();
+  const auto discounts =
+      db.lineitem->ColumnByName("l_discount").value()->doubles();
+  for (std::size_t i = 0; i < prices.size(); ++i) {
+    want += prices[i] * (1.0 - discounts[i]);
+  }
+  EXPECT_NEAR(got / want, 1.0, 1e-9);
+}
+
+TEST(Q12PlanTest, OnlyMailAndShipModes) {
+  Q12Options options;
+  options.receipt_lo = DayNumber(1994, 1, 1);
+  options.receipt_hi = DayNumber(1995, 1, 1);
+  QueryResult r = RunPlan(Q12Plan(options), 4, false);
+  ASSERT_LE(r.table.num_rows(), 2u);
+  std::set<std::string> modes;
+  for (std::size_t i = 0; i < r.table.num_rows(); ++i) {
+    modes.insert(r.table.column(0).StringAt(i));
+    // high + low counts are positive.
+    EXPECT_GE(r.table.column(1).DoubleAt(i) +
+                  r.table.column(2).DoubleAt(i),
+              1.0);
+  }
+  for (const auto& m : modes) {
+    EXPECT_TRUE(m == "MAIL" || m == "SHIP") << m;
+  }
+}
+
+TEST(Q12PlanTest, CountsMatchReferencePipeline) {
+  Q12Options options;
+  options.receipt_lo = DayNumber(1994, 1, 1);
+  options.receipt_hi = DayNumber(1996, 1, 1);
+  QueryResult r = RunPlan(Q12Plan(options), 4, false);
+
+  // Reference: row-wise filter + join + manual count.
+  const auto& db = Db();
+  const Table lines = exec::ReferenceFilter(
+      *db.lineitem, [&](const Table& t, std::size_t row) {
+        const auto mode = t.ColumnByName("l_shipmode").value();
+        const auto commit = t.ColumnByName("l_commitdate").value();
+        const auto receipt = t.ColumnByName("l_receiptdate").value();
+        const auto ship = t.ColumnByName("l_shipdate").value();
+        return (mode->StringAt(row) == "MAIL" ||
+                mode->StringAt(row) == "SHIP") &&
+               commit->Int64At(row) < receipt->Int64At(row) &&
+               ship->Int64At(row) < commit->Int64At(row) &&
+               receipt->Int64At(row) >= options.receipt_lo &&
+               receipt->Int64At(row) < options.receipt_hi;
+      });
+  auto joined = exec::ReferenceHashJoin(*db.orders, lines, "o_orderkey",
+                                        "l_orderkey");
+  ASSERT_TRUE(joined.ok());
+  double want_total = static_cast<double>(joined->num_rows());
+  double got_total = 0.0;
+  for (std::size_t i = 0; i < r.table.num_rows(); ++i) {
+    got_total +=
+        r.table.column(1).DoubleAt(i) + r.table.column(2).DoubleAt(i);
+  }
+  EXPECT_NEAR(got_total, want_total, 1e-6);
+}
+
+TEST(Q21PlanTest, CountsLateLineitemsPerNation) {
+  Q21Options options;
+  options.orderdate_cutoff = DayNumber(1996, 1, 1);
+  QueryResult r = RunPlan(Q21Plan(options), 4, false);
+  EXPECT_GT(r.table.num_rows(), 0u);
+  EXPECT_LE(r.table.num_rows(), 25u);  // at most one row per nation
+
+  // Reference count: late lineitems of pre-cutoff orders.
+  const auto& db = Db();
+  const Table lines = exec::ReferenceFilter(
+      *db.lineitem, [&](const Table& t, std::size_t row) {
+        return t.ColumnByName("l_receiptdate").value()->Int64At(row) >
+               t.ColumnByName("l_commitdate").value()->Int64At(row);
+      });
+  const Table orders = exec::ReferenceFilter(
+      *db.orders, [&](const Table& t, std::size_t row) {
+        return t.ColumnByName("o_orderdate").value()->Int64At(row) <
+               options.orderdate_cutoff;
+      });
+  auto joined =
+      exec::ReferenceHashJoin(orders, lines, "o_orderkey", "l_orderkey");
+  ASSERT_TRUE(joined.ok());
+  double got = 0.0;
+  for (std::size_t i = 0; i < r.table.num_rows(); ++i) {
+    got += r.table.column(1).DoubleAt(i);  // numwait (summed partials)
+  }
+  EXPECT_NEAR(got, static_cast<double>(joined->num_rows()), 1e-6);
+}
+
+TEST(Q21PlanTest, ResultIndependentOfClusterSize) {
+  Q21Options options;
+  options.orderdate_cutoff = DayNumber(1997, 1, 1);
+  QueryResult one = RunPlan(Q21Plan(options), 1, false);
+  QueryResult six = RunPlan(Q21Plan(options), 6, false);
+  std::string diff;
+  EXPECT_TRUE(
+      exec::TablesEqualUnordered(one.table, six.table, 1e-9, &diff))
+      << diff;
+}
+
+TEST(QueryMetricsTest, Q21ShufflesLessThanQ3) {
+  // The structural claim behind Figures 1(a) and 2(b): Q21 moves only the
+  // filtered ORDERS stream while the Q3 join dual-shuffles both tables.
+  Q21Options q21;
+  q21.orderdate_cutoff = DayNumber(1998, 12, 31);
+  QueryResult r21 = RunPlan(Q21Plan(q21), 4, false);
+
+  Q3Options q3;
+  q3.custkey_threshold = std::numeric_limits<std::int64_t>::max();
+  q3.shipdate_threshold = std::numeric_limits<std::int64_t>::max();
+  QueryResult r3 = RunPlan(Q3Plan(q3), 4, true);
+
+  EXPECT_LT(r21.metrics.TotalRemoteBytes(),
+            r3.metrics.TotalRemoteBytes() * 0.5);
+}
+
+}  // namespace
+}  // namespace eedc::tpch
