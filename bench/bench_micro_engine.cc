@@ -1,12 +1,31 @@
 // Microbenchmarks of the P-store engine building blocks (google-benchmark):
 // data generation, scans, filters, hash table build/probe, exchange
 // routing, and the full distributed dual-shuffle join.
+//
+// In addition to the registered benchmarks, main() runs a before/after
+// comparison of the low-selectivity filter→join pipeline: the seed
+// engine's row-at-a-time semantics (per-row survivor copies, per-block
+// column materialization, per-match row appends) against the zero-copy
+// vectorized path (selection vectors, direct-column predicates, batched
+// probes), asserting bit-identical results and emitting
+// BENCH_micro_engine.json with the measured rows/sec.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string_view>
+
+#include "bench_util.h"
+#include "common/str_util.h"
 #include "exec/executor.h"
+#include "exec/filter_op.h"
+#include "exec/hash_join_op.h"
 #include "exec/hash_table.h"
 #include "exec/reference.h"
+#include "exec/scan_op.h"
 #include "tpch/dbgen.h"
+#include "tpch/selectivity.h"
 
 namespace {
 
@@ -58,6 +77,31 @@ void BM_HashTableProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_HashTableProbe)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_HashTableProbeBatch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  exec::JoinHashTable table;
+  table.Reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    table.Insert(i, static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::int64_t> keys;
+  keys.reserve(4096);
+  std::int64_t probe = 0;
+  for (int i = 0; i < 4096; ++i) {
+    keys.push_back(probe);
+    probe = (probe + 2654435761) % (2 * n);
+  }
+  std::vector<exec::JoinHashTable::Match> matches;
+  for (auto _ : state) {
+    matches.clear();
+    table.ProbeBatch(keys, nullptr, keys.size(), &matches);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_HashTableProbeBatch)->Arg(1 << 14)->Arg(1 << 18);
 
 tpch::TpchDatabase& SharedDb() {
   static tpch::TpchDatabase db = [] {
@@ -122,6 +166,229 @@ void BM_ReferenceJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceJoin);
 
+// ---------------------------------------------------------------------------
+// Before/after: low-selectivity filter→join, row-at-a-time vs vectorized.
+// ---------------------------------------------------------------------------
+
+using storage::Block;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+/// The seed engine's pipeline, reproduced operation-for-operation: the
+/// filter materializes both predicate operand columns and copies each
+/// surviving row; the probe walks the chain per row and appends matches
+/// row-at-a-time. Kept as the "before" side of the comparison.
+Table RowAtATimeFilterJoin(const tpch::TpchDatabase& db,
+                           std::int64_t shipdate_cutoff) {
+  // Build phase (seed HashJoinOp::Open).
+  exec::ScanOp build_scan(db.orders, nullptr);
+  Table build_table(db.orders->schema());
+  exec::JoinHashTable ht;
+  const int bkey = db.orders->schema().IndexOf("o_orderkey").value();
+  EEDC_CHECK(build_scan.Open().ok());
+  while (true) {
+    auto block = build_scan.Next();
+    EEDC_CHECK(block.ok());
+    if (!block.value().has_value()) break;
+    // The seed scan copied each range into a dense block; reproduce that
+    // copy by compacting the borrowed scan view.
+    block.value()->Compact();
+    const Block& b = *block.value();
+    const auto keys = b.column(static_cast<std::size_t>(bkey)).int64s();
+    const std::size_t base = build_table.num_rows();
+    for (std::size_t c = 0; c < b.schema().num_fields(); ++c) {
+      build_table.mutable_column(c).AppendRange(b.column(c), 0, b.size());
+    }
+    build_table.FinishBulkLoad();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ht.Insert(keys[i], static_cast<std::uint32_t>(base + i));
+    }
+  }
+  EEDC_CHECK(build_scan.Close().ok());
+
+  // Probe phase: filter then per-row probe.
+  std::vector<storage::Field> out_fields;
+  for (const auto& f : db.lineitem->schema().fields()) {
+    out_fields.push_back(f);
+  }
+  for (const auto& f : db.orders->schema().fields()) {
+    out_fields.push_back(f);
+  }
+  Table result((storage::Schema(out_fields)));
+  const std::size_t probe_width = db.lineitem->schema().num_fields();
+  const int pkey = db.lineitem->schema().IndexOf("l_orderkey").value();
+  const int pdate = db.lineitem->schema().IndexOf("l_shipdate").value();
+  exec::ScanOp probe_scan(db.lineitem, nullptr);
+  EEDC_CHECK(probe_scan.Open().ok());
+  while (true) {
+    auto block = probe_scan.Next();
+    EEDC_CHECK(block.ok());
+    if (!block.value().has_value()) break;
+    block.value()->Compact();  // seed scans emitted dense copies
+    const Block& in = *block.value();
+    const std::size_t n = in.size();
+    // Seed expression evaluation: materialize the column reference, the
+    // constant, and the 0/1 result as fresh columns every block.
+    Column lc(DataType::kInt64);
+    for (std::size_t i = 0; i < n; ++i) {
+      lc.AppendFrom(in.column(static_cast<std::size_t>(pdate)), i);
+    }
+    Column rc(DataType::kInt64);
+    for (std::size_t i = 0; i < n; ++i) rc.AppendInt64(shipdate_cutoff);
+    Column sel(DataType::kInt64);
+    for (std::size_t i = 0; i < n; ++i) {
+      sel.AppendInt64(lc.Int64At(i) < rc.Int64At(i) ? 1 : 0);
+    }
+    // Seed FilterOp: copy survivors one row at a time.
+    Block filtered(in.schema());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sel.Int64At(i) != 0) filtered.AppendRowFromBlock(in, i);
+    }
+    // Seed HashJoinOp::Next: per-row chain walk, per-match row append.
+    const auto keys =
+        filtered.column(static_cast<std::size_t>(pkey)).int64s();
+    Block out(result.schema());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      ht.ForEachMatch(keys[i], [&](std::uint32_t build_row) {
+        for (std::size_t c = 0; c < probe_width; ++c) {
+          out.mutable_column(c).AppendFrom(filtered.column(c), i);
+        }
+        for (std::size_t c = 0; c < build_table.num_columns(); ++c) {
+          out.mutable_column(probe_width + c)
+              .AppendFrom(build_table.column(c), build_row);
+        }
+      });
+    }
+    out.FinishBulkLoad();
+    // Seed root materialization.
+    for (std::size_t c = 0; c < out.schema().num_fields(); ++c) {
+      result.mutable_column(c).AppendRange(out.column(c), 0, out.size());
+    }
+    result.FinishBulkLoad();
+  }
+  EEDC_CHECK(probe_scan.Close().ok());
+  return result;
+}
+
+/// The current engine: ScanOp→FilterOp (selection vector)→HashJoinOp
+/// (batched probe), drained through the root materialization boundary.
+Table VectorizedFilterJoin(const tpch::TpchDatabase& db,
+                           std::int64_t shipdate_cutoff) {
+  auto join = exec::HashJoinOp::Create(
+      std::make_unique<exec::ScanOp>(db.orders, nullptr),
+      std::make_unique<exec::FilterOp>(
+          std::make_unique<exec::ScanOp>(db.lineitem, nullptr),
+          exec::Lt(exec::Col("l_shipdate"), exec::I64(shipdate_cutoff)),
+          nullptr),
+      "o_orderkey", "l_orderkey", exec::HashJoinOp::Options{}, nullptr);
+  EEDC_CHECK(join.ok());
+  exec::Operator& op = **join;
+  EEDC_CHECK(op.Open().ok());
+  Table result(op.schema());
+  while (true) {
+    auto block = op.Next();
+    EEDC_CHECK(block.ok());
+    if (!block.value().has_value()) break;
+    block.value()->AppendLiveRowsTo(&result);
+  }
+  EEDC_CHECK(op.Close().ok());
+  return result;
+}
+
+template <typename Fn>
+double BestRowsPerSec(Fn&& run, std::size_t rows, int iterations) {
+  double best = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    const auto start = std::chrono::steady_clock::now();
+    Table result = run();
+    const auto end = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(result);
+    const double secs =
+        std::chrono::duration<double>(end - start).count();
+    if (secs > 0.0) {
+      best = std::max(best, static_cast<double>(rows) / secs);
+    }
+  }
+  return best;
+}
+
+/// Returns false when the vectorized result diverges from the
+/// row-at-a-time path, so the process (and any CI step running it) fails
+/// on a correctness regression. The speedup claim is reported but not
+/// gating: shared CI runners are too noisy for a hard perf threshold.
+bool RunPipelineComparison() {
+  const auto& db = SharedDb();
+  const double selectivity = 0.05;
+  const std::int64_t cutoff =
+      tpch::ThresholdForSelectivity(*db.lineitem, "l_shipdate", selectivity)
+          .value();
+  const std::size_t rows = db.lineitem->num_rows();
+
+  bench::PrintHeader("micro_engine",
+                     "zero-copy vectorized filter->join vs the seed "
+                     "row-at-a-time pipeline");
+  bench::PrintNote(eedc::StrFormat(
+      "lineitem rows=%zu, filter selectivity=%.2f (low), join vs full "
+      "orders",
+      rows, selectivity));
+
+  // Correctness gate first: results must be bit-identical.
+  const Table before = RowAtATimeFilterJoin(db, cutoff);
+  const Table after = VectorizedFilterJoin(db, cutoff);
+  std::string diff;
+  const bool identical = exec::TablesEqualUnordered(before, after,
+                                                    /*eps=*/0.0, &diff);
+  bench::PrintClaim("vectorized results are bit-identical to the "
+                    "row-at-a-time path",
+                    "identical", identical ? "identical" : diff,
+                    identical);
+
+  constexpr int kIterations = 7;
+  const double before_rps = BestRowsPerSec(
+      [&] { return RowAtATimeFilterJoin(db, cutoff); }, rows, kIterations);
+  const double after_rps = BestRowsPerSec(
+      [&] { return VectorizedFilterJoin(db, cutoff); }, rows, kIterations);
+  const double speedup = before_rps > 0.0 ? after_rps / before_rps : 0.0;
+  bench::PrintClaim(
+      "selection vectors + batched probes speed up the pipeline >= 1.5x",
+      ">= 1.50x",
+      eedc::StrFormat("%.2fx (%.3g -> %.3g rows/sec)", speedup, before_rps,
+                      after_rps),
+      speedup >= 1.5);
+
+  bench::BenchJson json("micro_engine");
+  json.Add("lineitem_rows", static_cast<double>(rows));
+  json.Add("filter_selectivity", selectivity);
+  json.Add("join_output_rows", static_cast<double>(after.num_rows()));
+  json.Add("rows_per_sec_row_at_a_time", before_rps);
+  json.Add("rows_per_sec_vectorized", after_rps);
+  json.Add("speedup", speedup);
+  json.Add("results_identical", identical ? 1.0 : 0.0);
+  json.WriteFile();
+  return identical;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // When stdout carries a machine-readable report (--benchmark_format=json
+  // or csv), keep it parseable by moving the comparison prose to stderr.
+  bool machine_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--benchmark_format=") &&
+        arg != "--benchmark_format=console") {
+      machine_stdout = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::streambuf* saved = nullptr;
+  if (machine_stdout) saved = std::cout.rdbuf(std::cerr.rdbuf());
+  const bool ok = RunPipelineComparison();
+  if (saved != nullptr) std::cout.rdbuf(saved);
+  return ok ? 0 : 1;
+}

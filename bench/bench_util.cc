@@ -1,8 +1,10 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
+#include "common/str_util.h"
 #include "common/table_printer.h"
 
 namespace eedc::bench {
@@ -43,6 +45,35 @@ void PrintClaim(const std::string& claim, const std::string& paper,
 
 void PrintNote(const std::string& note) {
   std::cout << "note: " << note << "\n";
+}
+
+BenchJson::BenchJson(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchJson::Add(const std::string& metric, double value) {
+  metrics_.emplace_back(metric, value);
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+  for (const auto& [metric, value] : metrics_) {
+    out += ",\n  \"" + metric + "\": " + StrFormat("%.17g", value);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  const std::string file =
+      path.empty() ? "BENCH_" + name_ + ".json" : path;
+  std::ofstream os(file);
+  if (!os) {
+    PrintNote("failed to open " + file + " for writing");
+    return false;
+  }
+  os << ToJson();
+  PrintNote("wrote " + file);
+  return os.good();
 }
 
 }  // namespace eedc::bench

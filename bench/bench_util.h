@@ -7,6 +7,7 @@
 #define EEDC_BENCH_BENCH_UTIL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/edp.h"
@@ -28,6 +29,26 @@ void PrintClaim(const std::string& claim, const std::string& paper,
 
 /// Prints a free-form note.
 void PrintNote(const std::string& note);
+
+/// Accumulates named metrics and writes them as a flat JSON object, one
+/// file per bench binary (BENCH_<name>.json). CI archives these so the
+/// perf trajectory is tracked across PRs instead of asserted in prose.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  void Add(const std::string& metric, double value);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into the current working directory (or to
+  /// `path` if given). Returns false and prints a note on I/O failure.
+  bool WriteFile(const std::string& path = "") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace eedc::bench
 

@@ -1,5 +1,7 @@
 #include "exec/exchange_op.h"
 
+#include <algorithm>
+
 #include "storage/partitioner.h"
 
 namespace eedc::exec {
@@ -91,9 +93,10 @@ void ExchangeOp::RouteBlock(const Block& block) {
       const auto keys =
           block.column(static_cast<std::size_t>(key_idx_)).int64s();
       const int num_dests = static_cast<int>(destinations_.size());
-      for (std::size_t i = 0; i < keys.size(); ++i) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        const std::int64_t key = keys[block.RowIndex(i)];
         const int dest = destinations_[static_cast<std::size_t>(
-            storage::PartitionOf(keys[i], num_dests))];
+            storage::PartitionOf(key, num_dests))];
         Block& staged = pending_[static_cast<std::size_t>(dest)];
         staged.AppendRowFromBlock(block, i);
         if (staged.full()) FlushPending(dest);
@@ -101,27 +104,45 @@ void ExchangeOp::RouteBlock(const Block& block) {
       break;
     }
     case ExchangeMode::kBroadcast: {
-      for (int dest : destinations_) {
-        Block copy(child_->schema(), block.size());
-        for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
-          copy.mutable_column(c).AppendRange(block.column(c), 0,
-                                             block.size());
+      // Ship is a materialization boundary: gather the live rows once,
+      // then every destination gets a contiguous copy of the dense block
+      // (the last one takes it by move).
+      Block dense(child_->schema(), std::max<std::size_t>(block.size(), 1));
+      for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
+        if (block.has_selection()) {
+          dense.mutable_column(c).AppendGather(block.column(c),
+                                               block.selection());
+        } else {
+          dense.mutable_column(c).AppendRange(block.column(c), 0,
+                                              block.size());
         }
-        copy.FinishBulkLoad();
+      }
+      dense.FinishBulkLoad();
+      const auto ship = [this](int dest, Block&& b) {
         if (metrics_ != nullptr) {
           auto& stats =
               metrics_->exchange(static_cast<std::size_t>(group_->id()));
-          const double bytes = copy.LogicalBytes();
+          const double bytes = b.LogicalBytes();
           if (dest == node_id_) {
             stats.sent_local_bytes += bytes;
           } else {
             stats.sent_remote_bytes += bytes;
           }
-          stats.rows_routed += static_cast<double>(copy.size());
+          stats.rows_routed += static_cast<double>(b.size());
           metrics_->cpu_bytes += bytes;
         }
-        group_->channel(dest).Send(std::move(copy));
+        group_->channel(dest).Send(std::move(b));
+      };
+      for (std::size_t d = 0; d + 1 < destinations_.size(); ++d) {
+        Block copy(child_->schema(), std::max<std::size_t>(dense.size(), 1));
+        for (std::size_t c = 0; c < dense.schema().num_fields(); ++c) {
+          copy.mutable_column(c).AppendRange(dense.column(c), 0,
+                                             dense.size());
+        }
+        copy.FinishBulkLoad();
+        ship(destinations_[d], std::move(copy));
       }
+      ship(destinations_.back(), std::move(dense));
       break;
     }
     case ExchangeMode::kGather: {

@@ -191,12 +191,9 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
           break;
         }
         if (!block_or.value().has_value()) break;
-        const Block& block = *block_or.value();
-        for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
-          result->mutable_column(c).AppendRange(block.column(c), 0,
-                                                block.size());
-        }
-        result->FinishBulkLoad();
+        // Root output is a materialization boundary: compact any selection
+        // while appending to the node's result table.
+        block_or.value()->AppendLiveRowsTo(result.get());
       }
       Status close_st = root.Close();
       if (st.ok()) st = close_st;

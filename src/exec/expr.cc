@@ -1,6 +1,7 @@
 #include "exec/expr.h"
 
 #include <functional>
+#include <optional>
 
 #include "common/str_util.h"
 
@@ -10,16 +11,77 @@ using storage::Column;
 using storage::DataType;
 using storage::Schema;
 using storage::Table;
+using storage::Value;
 
 StatusOr<Column> Expr::EvalToColumn(const Table& input) const {
   EEDC_ASSIGN_OR_RETURN(DataType t, ResultType(input.schema()));
   Column out(t);
   out.Reserve(input.num_rows());
-  EEDC_RETURN_IF_ERROR(Eval(input, &out));
+  EEDC_RETURN_IF_ERROR(Eval(input, nullptr, input.num_rows(), &out));
   return out;
 }
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Operand: a child expression's values bound for one batch without
+// materializing when avoidable. Direct column references read the input
+// column in place (physical indexing through the selection), constants
+// fold to a scalar, and only genuinely computed children evaluate into a
+// dense scratch column.
+// ---------------------------------------------------------------------------
+
+class Operand {
+ public:
+  Status Bind(const Expr& expr, const Table& input, const std::uint32_t* sel,
+              std::size_t n) {
+    if (const Value* v = expr.ConstValue()) {
+      type_ = storage::TypeOf(*v);
+      scalar_ = v;
+      return Status::OK();
+    }
+    if (const Column* c = expr.DirectColumn(input)) {
+      type_ = c->type();
+      col_ = c;
+      sel_ = sel;
+      return Status::OK();
+    }
+    EEDC_ASSIGN_OR_RETURN(DataType t, expr.ResultType(input.schema()));
+    type_ = t;
+    scratch_.emplace(t);
+    scratch_->Reserve(n);
+    EEDC_RETURN_IF_ERROR(expr.Eval(input, sel, n, &*scratch_));
+    col_ = &*scratch_;  // dense: logical indexing
+    sel_ = nullptr;
+    return Status::OK();
+  }
+
+  DataType type() const { return type_; }
+
+  std::int64_t I64(std::size_t i) const {
+    return scalar_ ? std::get<std::int64_t>(*scalar_)
+                   : col_->Int64At(Index(i));
+  }
+  double F64(std::size_t i) const {
+    return scalar_ ? std::get<double>(*scalar_) : col_->DoubleAt(Index(i));
+  }
+  double AsDouble(std::size_t i) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(I64(i)) : F64(i);
+  }
+  const std::string& Str(std::size_t i) const {
+    return scalar_ ? std::get<std::string>(*scalar_)
+                   : col_->StringAt(Index(i));
+  }
+
+ private:
+  std::size_t Index(std::size_t i) const { return sel_ ? sel_[i] : i; }
+
+  DataType type_ = DataType::kInt64;
+  const Value* scalar_ = nullptr;       // set when the child is a constant
+  const Column* col_ = nullptr;         // direct input column or scratch
+  const std::uint32_t* sel_ = nullptr;  // non-null only for direct columns
+  std::optional<Column> scratch_;
+};
 
 // ---------------------------------------------------------------------------
 // Column reference.
@@ -34,12 +96,20 @@ class ColumnRefExpr final : public Expr {
     return schema.field(static_cast<std::size_t>(idx)).type;
   }
 
-  Status Eval(const Table& input, Column* out) const override {
+  Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
+              Column* out) const override {
     EEDC_ASSIGN_OR_RETURN(const Column* col, input.ColumnByName(name_));
-    for (std::size_t i = 0; i < input.num_rows(); ++i) {
-      out->AppendFrom(*col, i);
+    if (sel == nullptr) {
+      out->AppendRange(*col, 0, n);
+    } else {
+      out->AppendGather(*col, std::span<const std::uint32_t>(sel, n));
     }
     return Status::OK();
+  }
+
+  const Column* DirectColumn(const Table& input) const override {
+    auto col = input.ColumnByName(name_);
+    return col.ok() ? *col : nullptr;
   }
 
   std::string ToString() const override { return name_; }
@@ -54,18 +124,19 @@ class ColumnRefExpr final : public Expr {
 
 class ConstExpr final : public Expr {
  public:
-  explicit ConstExpr(storage::Value v) : value_(std::move(v)) {}
+  explicit ConstExpr(Value v) : value_(std::move(v)) {}
 
   StatusOr<DataType> ResultType(const Schema&) const override {
     return storage::TypeOf(value_);
   }
 
-  Status Eval(const Table& input, Column* out) const override {
-    for (std::size_t i = 0; i < input.num_rows(); ++i) {
-      out->AppendValue(value_);
-    }
+  Status Eval(const Table&, const std::uint32_t*, std::size_t n,
+              Column* out) const override {
+    for (std::size_t i = 0; i < n; ++i) out->AppendValue(value_);
     return Status::OK();
   }
+
+  const Value* ConstValue() const override { return &value_; }
 
   std::string ToString() const override {
     switch (value_.index()) {
@@ -81,7 +152,7 @@ class ConstExpr final : public Expr {
   }
 
  private:
-  storage::Value value_;
+  Value value_;
 };
 
 // ---------------------------------------------------------------------------
@@ -122,29 +193,25 @@ class ArithExpr final : public Expr {
     return DataType::kDouble;
   }
 
-  Status Eval(const Table& input, Column* out) const override {
-    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
-    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
+  Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
+              Column* out) const override {
     EEDC_ASSIGN_OR_RETURN(DataType rt, ResultType(input.schema()));
-    const std::size_t n = input.num_rows();
-    auto as_double = [](const Column& c, std::size_t i) {
-      return c.type() == DataType::kInt64
-                 ? static_cast<double>(c.Int64At(i))
-                 : c.DoubleAt(i);
-    };
+    Operand a, b;
+    EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
+    EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
     if (rt == DataType::kInt64) {
       for (std::size_t i = 0; i < n; ++i) {
-        const std::int64_t a = lc.Int64At(i), b = rc.Int64At(i);
+        const std::int64_t x = a.I64(i), y = b.I64(i);
         std::int64_t v = 0;
         switch (op_) {
           case ArithOp::kAdd:
-            v = a + b;
+            v = x + y;
             break;
           case ArithOp::kSub:
-            v = a - b;
+            v = x - y;
             break;
           case ArithOp::kMul:
-            v = a * b;
+            v = x * y;
             break;
           case ArithOp::kDiv:
             break;  // unreachable: int division promotes to double
@@ -153,20 +220,20 @@ class ArithExpr final : public Expr {
       }
     } else {
       for (std::size_t i = 0; i < n; ++i) {
-        const double a = as_double(lc, i), b = as_double(rc, i);
+        const double x = a.AsDouble(i), y = b.AsDouble(i);
         double v = 0;
         switch (op_) {
           case ArithOp::kAdd:
-            v = a + b;
+            v = x + y;
             break;
           case ArithOp::kSub:
-            v = a - b;
+            v = x - y;
             break;
           case ArithOp::kMul:
-            v = a * b;
+            v = x * y;
             break;
           case ArithOp::kDiv:
-            v = a / b;
+            v = x / y;
             break;
         }
         out->AppendDouble(v);
@@ -246,31 +313,25 @@ class CompareExpr final : public Expr {
     return DataType::kInt64;
   }
 
-  Status Eval(const Table& input, Column* out) const override {
+  Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
+              Column* out) const override {
     EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
-    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
-    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
-    const std::size_t n = input.num_rows();
-    if (lc.type() == DataType::kString) {
+    Operand a, b;
+    EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
+    EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
+    if (a.type() == DataType::kString) {
       for (std::size_t i = 0; i < n; ++i) {
-        out->AppendInt64(
-            ApplyCmp(op_, lc.StringAt(i), rc.StringAt(i)) ? 1 : 0);
+        out->AppendInt64(ApplyCmp(op_, a.Str(i), b.Str(i)) ? 1 : 0);
       }
-    } else if (lc.type() == DataType::kInt64 &&
-               rc.type() == DataType::kInt64) {
+    } else if (a.type() == DataType::kInt64 &&
+               b.type() == DataType::kInt64) {
       for (std::size_t i = 0; i < n; ++i) {
-        out->AppendInt64(ApplyCmp(op_, lc.Int64At(i), rc.Int64At(i)) ? 1
-                                                                     : 0);
+        out->AppendInt64(ApplyCmp(op_, a.I64(i), b.I64(i)) ? 1 : 0);
       }
     } else {
-      auto as_double = [](const Column& c, std::size_t i) {
-        return c.type() == DataType::kInt64
-                   ? static_cast<double>(c.Int64At(i))
-                   : c.DoubleAt(i);
-      };
       for (std::size_t i = 0; i < n; ++i) {
         out->AppendInt64(
-            ApplyCmp(op_, as_double(lc, i), as_double(rc, i)) ? 1 : 0);
+            ApplyCmp(op_, a.AsDouble(i), b.AsDouble(i)) ? 1 : 0);
       }
     }
     return Status::OK();
@@ -312,20 +373,22 @@ class BoolExpr final : public Expr {
     return DataType::kInt64;
   }
 
-  Status Eval(const Table& input, Column* out) const override {
-    EEDC_ASSIGN_OR_RETURN(Column lc, lhs_->EvalToColumn(input));
-    const std::size_t n = input.num_rows();
+  Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
+              Column* out) const override {
+    Operand a;
+    EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
     if (op_ == BoolOp::kNot) {
       for (std::size_t i = 0; i < n; ++i) {
-        out->AppendInt64(lc.Int64At(i) != 0 ? 0 : 1);
+        out->AppendInt64(a.I64(i) != 0 ? 0 : 1);
       }
       return Status::OK();
     }
-    EEDC_ASSIGN_OR_RETURN(Column rc, rhs_->EvalToColumn(input));
+    Operand b;
+    EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
     for (std::size_t i = 0; i < n; ++i) {
-      const bool a = lc.Int64At(i) != 0;
-      const bool b = rc.Int64At(i) != 0;
-      out->AppendInt64((op_ == BoolOp::kAnd ? (a && b) : (a || b)) ? 1 : 0);
+      const bool x = a.I64(i) != 0;
+      const bool y = b.I64(i) != 0;
+      out->AppendInt64((op_ == BoolOp::kAnd ? (x && y) : (x || y)) ? 1 : 0);
     }
     return Status::OK();
   }

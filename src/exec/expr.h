@@ -7,6 +7,7 @@
 #ifndef EEDC_EXEC_EXPR_H_
 #define EEDC_EXEC_EXPR_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,10 +28,30 @@ class Expr {
   virtual StatusOr<storage::DataType> ResultType(
       const storage::Schema& schema) const = 0;
 
-  /// Evaluates over every row of `input`, appending `input.num_rows()`
-  /// values to `out` (whose type must equal ResultType).
-  virtual Status Eval(const storage::Table& input,
-                      storage::Column* out) const = 0;
+  /// Vectorized evaluation over a selection: appends one value to `out`
+  /// (whose type must equal ResultType) per selected row, densely — output
+  /// position j corresponds to physical row sel[j]. `sel` lists `n`
+  /// physical row indices into `input`; nullptr means rows [0, n).
+  virtual Status Eval(const storage::Table& input, const std::uint32_t* sel,
+                      std::size_t n, storage::Column* out) const = 0;
+
+  /// Convenience: evaluates over every row of `input`.
+  Status Eval(const storage::Table& input, storage::Column* out) const {
+    return Eval(input, nullptr, input.num_rows(), out);
+  }
+
+  /// Zero-copy fast path: the input column this expression directly
+  /// references, or nullptr if it is not a plain column reference. Values
+  /// of a direct column are indexed by *physical* row.
+  virtual const storage::Column* DirectColumn(
+      const storage::Table& input) const {
+    (void)input;
+    return nullptr;
+  }
+
+  /// Constant-folding fast path: this expression's value if it is a
+  /// constant, nullptr otherwise.
+  virtual const storage::Value* ConstValue() const { return nullptr; }
 
   virtual std::string ToString() const = 0;
 

@@ -1,5 +1,8 @@
 #include "exec/filter_op.h"
 
+#include <utility>
+#include <vector>
+
 namespace eedc::exec {
 
 using storage::Block;
@@ -15,7 +18,15 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate,
   EEDC_CHECK(predicate_ != nullptr);
 }
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::Open() {
+  EEDC_ASSIGN_OR_RETURN(DataType t,
+                        predicate_->ResultType(child_->schema()));
+  if (t != DataType::kInt64) {
+    return Status::InvalidArgument("filter predicate must yield int64");
+  }
+  pred_scratch_.emplace(t);
+  return child_->Open();
+}
 
 StatusOr<std::optional<Block>> FilterOp::Next() {
   // Pull until a block yields at least one passing row (or EOS); always
@@ -23,22 +34,34 @@ StatusOr<std::optional<Block>> FilterOp::Next() {
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, child_->Next());
     if (!in.has_value()) return std::optional<Block>();
-    EEDC_ASSIGN_OR_RETURN(Column sel,
-                          predicate_->EvalToColumn(in->AsTable()));
-    if (sel.type() != DataType::kInt64) {
-      return Status::InvalidArgument("filter predicate must yield int64");
-    }
-    Block out(in->schema());
-    for (std::size_t i = 0; i < in->size(); ++i) {
-      if (sel.Int64At(i) != 0) out.AppendRowFromBlock(*in, i);
+    const std::size_t n = in->size();
+    Column& pred = *pred_scratch_;
+    pred.Clear();
+    pred.Reserve(n);
+    EEDC_RETURN_IF_ERROR(
+        predicate_->Eval(in->AsTable(), in->selection_data(), n, &pred));
+    // Narrow the selection to passing rows; no row data is copied.
+    std::vector<std::uint32_t> selection;
+    selection.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred.Int64At(i) != 0) {
+        selection.push_back(static_cast<std::uint32_t>(in->RowIndex(i)));
+      }
     }
     if (metrics_ != nullptr) {
-      metrics_->filter_rows_in += static_cast<double>(in->size());
-      metrics_->filter_rows_out += static_cast<double>(out.size());
-      metrics_->filter_bytes_out += out.LogicalBytes();
+      metrics_->filter_rows_in += static_cast<double>(n);
+      metrics_->filter_rows_out += static_cast<double>(selection.size());
+      metrics_->filter_bytes_out +=
+          in->schema().TupleWidth() * static_cast<double>(selection.size());
       metrics_->cpu_bytes += in->LogicalBytes();
     }
-    if (!out.empty()) return std::optional<Block>(std::move(out));
+    if (selection.empty()) continue;
+    if (selection.size() != n) {
+      in->SetSelection(std::move(selection));
+    }
+    // else: every live row passed — the block goes through unchanged
+    // (dense stays dense, an existing selection stays as-is).
+    return std::optional<Block>(std::move(*in));
   }
 }
 

@@ -1,6 +1,13 @@
 // Select (filter): passes rows whose predicate evaluates to nonzero.
+//
+// Zero-copy: instead of materializing survivors, Next() returns the child's
+// block with a (possibly narrowed) selection vector installed. The
+// predicate is evaluated only over the rows still live in the input block,
+// into a scratch column retained across calls.
 #ifndef EEDC_EXEC_FILTER_OP_H_
 #define EEDC_EXEC_FILTER_OP_H_
+
+#include <optional>
 
 #include "exec/expr.h"
 #include "exec/operator.h"
@@ -22,6 +29,9 @@ class FilterOp final : public Operator {
   OperatorPtr child_;
   ExprPtr predicate_;
   NodeMetrics* metrics_;
+  /// Reused predicate-result buffer (created at Open once the predicate
+  /// type-checks against the child schema).
+  std::optional<storage::Column> pred_scratch_;
 };
 
 }  // namespace eedc::exec

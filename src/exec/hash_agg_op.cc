@@ -60,22 +60,33 @@ Status HashAggOp::Open() {
     EEDC_ASSIGN_OR_RETURN(int idx, in.IndexOf(g));
     group_idx.push_back(idx);
   }
+  // Argument scratch columns, reused across blocks (COUNT gets an int64
+  // placeholder that is never filled).
+  std::vector<Column> args;
+  args.reserve(aggs_.size());
+  for (const auto& a : aggs_) {
+    if (a.arg == nullptr) {
+      args.emplace_back(DataType::kInt64);
+    } else {
+      EEDC_ASSIGN_OR_RETURN(DataType t, a.arg->ResultType(in));
+      args.emplace_back(t);
+    }
+  }
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, child_->Next());
     if (!block.has_value()) break;
     const std::size_t n = block->size();
-    // Evaluate aggregate arguments once per block.
-    std::vector<Column> args;
-    args.reserve(aggs_.size());
-    for (const auto& a : aggs_) {
-      if (a.arg == nullptr) {
-        args.emplace_back(DataType::kInt64);  // placeholder for COUNT
-      } else {
-        EEDC_ASSIGN_OR_RETURN(Column c, a.arg->EvalToColumn(block->AsTable()));
-        args.push_back(std::move(c));
-      }
+    // Evaluate aggregate arguments once per block, densely over the live
+    // rows (args are indexed by logical row; group columns by physical).
+    for (std::size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].arg == nullptr) continue;
+      args[a].Clear();
+      args[a].Reserve(n);
+      EEDC_RETURN_IF_ERROR(aggs_[a].arg->Eval(
+          block->AsTable(), block->selection_data(), n, &args[a]));
     }
     for (std::size_t row = 0; row < n; ++row) {
+      const std::size_t phys = block->RowIndex(row);
       // Serialize the group key.
       std::string key;
       for (int gi : group_idx) {
@@ -83,13 +94,13 @@ Status HashAggOp::Open() {
         switch (c.type()) {
           case DataType::kInt64:
             key += StrFormat("i%lld|",
-                             static_cast<long long>(c.Int64At(row)));
+                             static_cast<long long>(c.Int64At(phys)));
             break;
           case DataType::kDouble:
-            key += StrFormat("d%.17g|", c.DoubleAt(row));
+            key += StrFormat("d%.17g|", c.DoubleAt(phys));
             break;
           case DataType::kString:
-            key += "s" + c.StringAt(row) + "|";
+            key += "s" + c.StringAt(phys) + "|";
             break;
         }
       }
@@ -98,7 +109,7 @@ Status HashAggOp::Open() {
         GroupState gs;
         for (int gi : group_idx) {
           gs.keys.push_back(
-              block->column(static_cast<std::size_t>(gi)).ValueAt(row));
+              block->column(static_cast<std::size_t>(gi)).ValueAt(phys));
         }
         gs.accum.assign(aggs_.size(), 0.0);
         gs.initialized.assign(aggs_.size(), false);

@@ -5,6 +5,7 @@
 namespace eedc::exec {
 
 using storage::Block;
+using storage::Column;
 using storage::DataType;
 using storage::Field;
 using storage::Schema;
@@ -62,16 +63,15 @@ Status HashJoinOp::Open() {
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, build_child_->Next());
     if (!block.has_value()) break;
-    const auto keys =
-        block->column(static_cast<std::size_t>(build_key_idx_)).int64s();
+    // Build is a materialization boundary: compact selected rows into the
+    // build table while appending.
     const std::size_t base = build_table_.num_rows();
-    for (std::size_t c = 0; c < block->schema().num_fields(); ++c) {
-      build_table_.mutable_column(c).AppendRange(block->column(c), 0,
-                                                 block->size());
-    }
-    build_table_.FinishBulkLoad();
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      hash_table_.Insert(keys[i], static_cast<std::uint32_t>(base + i));
+    block->AppendLiveRowsTo(&build_table_);
+    const auto keys =
+        build_table_.column(static_cast<std::size_t>(build_key_idx_))
+            .int64s();
+    for (std::size_t i = base; i < keys.size(); ++i) {
+      hash_table_.Insert(keys[i], static_cast<std::uint32_t>(i));
     }
     if (options_.memory_budget_bytes > 0.0) {
       const double used =
@@ -100,26 +100,39 @@ StatusOr<std::optional<Block>> HashJoinOp::Next() {
     if (!in.has_value()) return std::optional<Block>();
     const auto keys =
         in->column(static_cast<std::size_t>(probe_key_idx_)).int64s();
-    Block out(schema_);
-    const std::size_t probe_width = in->schema().num_fields();
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      hash_table_.ForEachMatch(keys[i], [&](std::uint32_t build_row) {
-        for (std::size_t c = 0; c < probe_width; ++c) {
-          out.mutable_column(c).AppendFrom(in->column(c), i);
-        }
-        for (std::size_t c = 0; c < build_table_.num_columns(); ++c) {
-          out.mutable_column(probe_width + c)
-              .AppendFrom(build_table_.column(c), build_row);
-        }
-      });
-    }
-    out.FinishBulkLoad();
+    matches_.clear();
+    hash_table_.ProbeBatch(keys, in->selection_data(), in->size(),
+                           &matches_);
     if (metrics_ != nullptr) {
       metrics_->probe_rows += static_cast<double>(in->size());
-      metrics_->join_output_rows += static_cast<double>(out.size());
-      metrics_->cpu_bytes += in->LogicalBytes() + out.LogicalBytes();
+      metrics_->join_output_rows += static_cast<double>(matches_.size());
+      metrics_->cpu_bytes +=
+          in->LogicalBytes() +
+          schema_.TupleWidth() * static_cast<double>(matches_.size());
     }
-    if (!out.empty()) return std::optional<Block>(std::move(out));
+    if (matches_.empty()) continue;
+    // Gather matches column-at-a-time: far better locality than the
+    // row-at-a-time append the per-match callback forced.
+    Block out(schema_, matches_.size());
+    const std::size_t probe_width = in->schema().num_fields();
+    for (std::size_t c = 0; c < probe_width; ++c) {
+      Column& dst = out.mutable_column(c);
+      const Column& src = in->column(c);
+      for (const auto& [probe_row, build_row] : matches_) {
+        (void)build_row;
+        dst.AppendFrom(src, probe_row);
+      }
+    }
+    for (std::size_t c = 0; c < build_table_.num_columns(); ++c) {
+      Column& dst = out.mutable_column(probe_width + c);
+      const Column& src = build_table_.column(c);
+      for (const auto& [probe_row, build_row] : matches_) {
+        (void)probe_row;
+        dst.AppendFrom(src, build_row);
+      }
+    }
+    out.FinishBulkLoad();
+    return std::optional<Block>(std::move(out));
   }
 }
 

@@ -10,6 +10,7 @@
 #define EEDC_EXEC_HASH_JOIN_OP_H_
 
 #include <string>
+#include <vector>
 
 #include "exec/hash_table.h"
 #include "exec/operator.h"
@@ -52,6 +53,8 @@ class HashJoinOp final : public Operator {
   JoinHashTable hash_table_;
   int build_key_idx_ = -1;
   int probe_key_idx_ = -1;
+  /// Probe-hit scratch reused across Next() calls.
+  std::vector<JoinHashTable::Match> matches_;
 };
 
 }  // namespace eedc::exec

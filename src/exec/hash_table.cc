@@ -30,6 +30,33 @@ void JoinHashTable::Insert(std::int64_t key, std::uint32_t row) {
   buckets_[b] = static_cast<std::uint32_t>(entries_.size() - 1);
 }
 
+void JoinHashTable::ProbeBatch(std::span<const std::int64_t> keys,
+                               const std::uint32_t* sel, std::size_t n,
+                               std::vector<Match>* out) const {
+  if (buckets_.empty() || n == 0) return;
+  constexpr std::size_t kPrefetchDistance = 16;
+  const auto row_of = [sel](std::size_t i) {
+    return sel != nullptr ? sel[i] : static_cast<std::uint32_t>(i);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kPrefetchDistance < n) {
+      const std::uint64_t ahead =
+          storage::HashKey(keys[row_of(i + kPrefetchDistance)]);
+      __builtin_prefetch(&buckets_[ahead & mask_], /*rw=*/0, /*locality=*/1);
+    }
+#endif
+    const std::uint32_t row = row_of(i);
+    const std::int64_t key = keys[row];
+    std::uint32_t e = buckets_[storage::HashKey(key) & mask_];
+    while (e != kNil) {
+      const Entry& entry = entries_[e];
+      if (entry.key == key) out->emplace_back(row, entry.row);
+      e = entry.next;
+    }
+  }
+}
+
 void JoinHashTable::Rehash(std::size_t new_bucket_count) {
   buckets_.assign(new_bucket_count, kNil);
   mask_ = new_bucket_count - 1;

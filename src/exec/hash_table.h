@@ -9,6 +9,8 @@
 #define EEDC_EXEC_HASH_TABLE_H_
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "storage/partitioner.h"
@@ -38,12 +40,31 @@ class JoinHashTable {
     }
   }
 
-  /// True if at least one entry matches `key`.
+  /// True if at least one entry matches `key`; stops at the first match
+  /// instead of walking the whole chain.
   bool Contains(std::int64_t key) const {
-    bool found = false;
-    ForEachMatch(key, [&found](std::uint32_t) { found = true; });
-    return found;
+    if (buckets_.empty()) return false;
+    const std::uint64_t h = storage::HashKey(key);
+    std::uint32_t e = buckets_[h & mask_];
+    while (e != kNil) {
+      const Entry& entry = entries_[e];
+      if (entry.key == key) return true;
+      e = entry.next;
+    }
+    return false;
   }
+
+  /// A probe hit: (physical probe-side row, build-side row).
+  using Match = std::pair<std::uint32_t, std::uint32_t>;
+
+  /// Batched probe over a key column: appends a Match per hit to `out`,
+  /// in probe-row order. `sel` lists `n` physical indices into `keys`
+  /// (nullptr = rows [0, n)). The directory lookup for row i+k is
+  /// prefetched while row i's chain is walked, hiding the dependent cache
+  /// miss that dominates large-table probes.
+  void ProbeBatch(std::span<const std::int64_t> keys,
+                  const std::uint32_t* sel, std::size_t n,
+                  std::vector<Match>* out) const;
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

@@ -1,5 +1,7 @@
 #include "exec/project_op.h"
 
+#include <algorithm>
+
 namespace eedc::exec {
 
 using storage::Block;
@@ -43,17 +45,23 @@ Status ProjectOp::Open() { return child_->Open(); }
 StatusOr<std::optional<Block>> ProjectOp::Next() {
   EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, child_->Next());
   if (!in.has_value()) return std::optional<Block>();
-  Block out(schema_);
+  const std::size_t n = in->size();
+  Block out(schema_, std::max<std::size_t>(n, 1));
   std::size_t out_col = 0;
   for (const auto& name : columns_) {
     EEDC_ASSIGN_OR_RETURN(const Column* src,
                           in->AsTable().ColumnByName(name));
-    out.mutable_column(out_col++).AppendRange(*src, 0, in->size());
+    Column& dst = out.mutable_column(out_col++);
+    if (in->has_selection()) {
+      dst.AppendGather(*src, in->selection());
+    } else {
+      dst.AppendRange(*src, 0, n);
+    }
   }
   for (const auto& [alias, expr] : computed_) {
     (void)alias;
-    EEDC_RETURN_IF_ERROR(
-        expr->Eval(in->AsTable(), &out.mutable_column(out_col++)));
+    EEDC_RETURN_IF_ERROR(expr->Eval(in->AsTable(), in->selection_data(), n,
+                                    &out.mutable_column(out_col++)));
   }
   out.FinishBulkLoad();
   if (metrics_ != nullptr) metrics_->cpu_bytes += in->LogicalBytes();

@@ -20,11 +20,9 @@ StatusOr<std::optional<Block>> ScanOp::Next() {
   if (cursor_ >= table_->num_rows()) return std::optional<Block>();
   const std::size_t count =
       std::min(Block::kDefaultCapacity, table_->num_rows() - cursor_);
-  Block block(table_->schema());
-  for (std::size_t c = 0; c < table_->num_columns(); ++c) {
-    block.mutable_column(c).AppendRange(table_->column(c), cursor_, count);
-  }
-  block.FinishBulkLoad();
+  // Zero-copy: the block borrows the table's columns; only the range
+  // selection is materialized.
+  Block block = Block::Borrow(table_, cursor_, count);
   cursor_ += count;
   if (metrics_ != nullptr) {
     metrics_->scan_rows += static_cast<double>(count);

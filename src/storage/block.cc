@@ -1,5 +1,58 @@
 #include "storage/block.h"
 
-// Block is header-only today; this translation unit pins the vtable-free
-// class into the storage library and hosts future out-of-line helpers.
-namespace eedc::storage {}  // namespace eedc::storage
+#include <numeric>
+
+namespace eedc::storage {
+
+Block Block::Borrow(std::shared_ptr<const Table> table, std::size_t start,
+                    std::size_t count) {
+  EEDC_DCHECK(table != nullptr);
+  EEDC_DCHECK(start + count <= table->num_rows());
+  const bool whole_table = start == 0 && count == table->num_rows();
+  Block block(BorrowTag{}, std::move(table), count);
+  if (!whole_table) {
+    // A sub-range needs an explicit selection; a whole-table borrow stays
+    // dense so unfiltered consumers skip the per-row indirection.
+    std::vector<std::uint32_t> range(count);
+    std::iota(range.begin(), range.end(),
+              static_cast<std::uint32_t>(start));
+    block.selection_ = std::move(range);
+    block.has_selection_ = true;
+  }
+  return block;
+}
+
+void Block::SetSelection(std::vector<std::uint32_t> selection) {
+#ifndef NDEBUG
+  for (const std::uint32_t r : selection) {
+    EEDC_DCHECK(r < physical_size());
+  }
+#endif
+  selection_ = std::move(selection);
+  has_selection_ = true;
+}
+
+void Block::Compact() {
+  if (!has_selection_ && borrowed_ == nullptr) return;
+  Table dense(schema());
+  dense.Reserve(size());
+  AppendLiveRowsTo(&dense);
+  data_ = std::move(dense);
+  borrowed_.reset();
+  has_selection_ = false;
+  selection_.clear();
+}
+
+void Block::AppendLiveRowsTo(Table* dst) const {
+  const Table& src = table();
+  for (std::size_t c = 0; c < src.num_columns(); ++c) {
+    if (has_selection_) {
+      dst->mutable_column(c).AppendGather(src.column(c), selection_);
+    } else {
+      dst->mutable_column(c).AppendRange(src.column(c), 0, src.num_rows());
+    }
+  }
+  dst->FinishBulkLoad();
+}
+
+}  // namespace eedc::storage

@@ -1,10 +1,22 @@
 // Block: the unit of data flow in P-store's block-iterator execution model
 // (Section 4.2: "P-store is built on top of a block-iterator tuple-scan
 // module"). A block is a bounded columnar batch sharing the Table layout.
+//
+// Zero-copy execution: a block may carry a *selection vector* — a sorted
+// list of physical row indices that are still live. Operators that only
+// narrow a batch (FilterOp) set the selection instead of copying survivors;
+// downstream operators iterate logical rows [0, size()) and map them to
+// physical rows via RowIndex(). A block may also *borrow* its storage from
+// a shared table (ScanOp emits table ranges without copying). Compaction
+// (gathering live rows into dense owned columns) happens lazily, only at
+// materialization boundaries: exchange ship, hash-join build, root output.
 #ifndef EEDC_STORAGE_BLOCK_H_
 #define EEDC_STORAGE_BLOCK_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "storage/table.h"
 
@@ -21,37 +33,127 @@ class Block {
     data_.Reserve(capacity_);
   }
 
-  const Schema& schema() const { return data_.schema(); }
-  std::size_t size() const { return data_.num_rows(); }
+  /// Zero-copy scan batch: a read-only view of `table` rows
+  /// [start, start+count), expressed as a borrowed block whose selection
+  /// is that range. Mutating appends are invalid on borrowed blocks;
+  /// Compact() turns one into an owned dense block.
+  static Block Borrow(std::shared_ptr<const Table> table, std::size_t start,
+                      std::size_t count);
+
+  const Schema& schema() const { return table().schema(); }
+  /// Live (logical) row count: selection size when a selection is active,
+  /// physical row count otherwise.
+  std::size_t size() const {
+    return has_selection_ ? selection_.size() : table().num_rows();
+  }
   bool empty() const { return size() == 0; }
   bool full() const { return size() >= capacity_; }
   std::size_t capacity() const { return capacity_; }
 
-  const Column& column(std::size_t i) const { return data_.column(i); }
-  Column& mutable_column(std::size_t i) { return data_.mutable_column(i); }
+  /// Rows physically stored, ignoring any selection.
+  std::size_t physical_size() const { return table().num_rows(); }
 
+  // -- Selection vector -----------------------------------------------------
+
+  bool has_selection() const { return has_selection_; }
+
+  /// The live physical row indices. Valid only when has_selection().
+  std::span<const std::uint32_t> selection() const {
+    EEDC_DCHECK(has_selection_);
+    return selection_;
+  }
+
+  /// Raw pointer form for vectorized kernels: nullptr means "all physical
+  /// rows live" (iterate [0, size())).
+  const std::uint32_t* selection_data() const {
+    return has_selection_ ? selection_.data() : nullptr;
+  }
+
+  /// Physical row index of logical row `i`.
+  std::size_t RowIndex(std::size_t i) const {
+    return has_selection_ ? selection_[i] : i;
+  }
+
+  /// Installs a selection vector (sorted physical row indices; an empty
+  /// vector means no rows are live). Composes: if a selection is already
+  /// active, the caller must pass physical indices, not logical ones.
+  void SetSelection(std::vector<std::uint32_t> selection);
+
+  /// Drops the selection, making all physical rows live again. Invalid on
+  /// borrowed blocks (the selection delimits the borrowed range).
+  void ClearSelection() {
+    EEDC_DCHECK(borrowed_ == nullptr);
+    has_selection_ = false;
+    selection_.clear();
+  }
+
+  /// Gathers live rows into dense owned columns, dropping the selection
+  /// (and releasing borrowed storage). No-op for dense owned blocks.
+  void Compact();
+
+  // -- Columnar access ------------------------------------------------------
+
+  const Column& column(std::size_t i) const { return table().column(i); }
+  Column& mutable_column(std::size_t i) {
+    EEDC_DCHECK(borrowed_ == nullptr);
+    return data_.mutable_column(i);
+  }
+
+  // Appends mutate the physical rows, so they require a dense owned block.
   void AppendRow(const std::vector<Value>& values) {
+    EEDC_DCHECK(!has_selection_ && borrowed_ == nullptr);
     data_.AppendRow(values);
   }
   void AppendRowFrom(const Table& table, std::size_t i) {
+    EEDC_DCHECK(!has_selection_ && borrowed_ == nullptr);
     data_.AppendRowFrom(table, i);
   }
+  /// Appends *logical* row `i` of `other` (mapped through its selection).
   void AppendRowFromBlock(const Block& other, std::size_t i) {
-    data_.AppendRowFrom(other.data_, i);
+    EEDC_DCHECK(!has_selection_ && borrowed_ == nullptr);
+    data_.AppendRowFrom(other.table(), other.RowIndex(i));
   }
 
-  const Table& AsTable() const { return data_; }
+  /// Appends all live rows to `dst` (gathering through the selection when
+  /// one is active) and refreshes dst's row count. This is the compaction
+  /// path for materialization boundaries that accumulate into a table.
+  void AppendLiveRowsTo(Table* dst) const;
+
+  /// The underlying dense storage, *ignoring* any selection: physical row
+  /// indices apply. Callers must consult selection()/RowIndex() themselves.
+  const Table& AsTable() const { return table(); }
 
   /// Call after writing columns directly via mutable_column(): verifies the
   /// columns are rectangular and records the row count.
-  void FinishBulkLoad() { data_.FinishBulkLoad(); }
+  void FinishBulkLoad() {
+    EEDC_DCHECK(borrowed_ == nullptr);
+    data_.FinishBulkLoad();
+  }
 
-  /// Logical bytes of this batch (schema tuple width x rows).
-  double LogicalBytes() const { return data_.LogicalBytes(); }
+  /// Logical bytes of this batch (schema tuple width x live rows).
+  double LogicalBytes() const {
+    return schema().TupleWidth() * static_cast<double>(size());
+  }
 
  private:
-  Table data_;
+  struct BorrowTag {};
+  /// Borrowing constructor: leaves the owned shell unreserved — a
+  /// borrowed block never writes it, so per-column reservations would be
+  /// dead allocations on the zero-copy scan hot path.
+  Block(BorrowTag, std::shared_ptr<const Table> table, std::size_t capacity)
+      : data_(table->schema()),
+        borrowed_(std::move(table)),
+        capacity_(capacity) {}
+
+  const Table& table() const {
+    return borrowed_ != nullptr ? *borrowed_ : data_;
+  }
+
+  Table data_;  // owned storage; empty shell while borrowing
+  std::shared_ptr<const Table> borrowed_;
   std::size_t capacity_;
+  bool has_selection_ = false;
+  std::vector<std::uint32_t> selection_;
 };
 
 using BlockPtr = std::shared_ptr<Block>;

@@ -107,6 +107,25 @@ void Column::AppendRange(const Column& other, std::size_t start,
   }
 }
 
+void Column::AppendGather(const Column& other,
+                          std::span<const std::uint32_t> rows) {
+  EEDC_DCHECK(type_ == other.type_);
+  switch (type_) {
+    case DataType::kInt64:
+      i64_.reserve(i64_.size() + rows.size());
+      for (const std::uint32_t r : rows) i64_.push_back(other.i64_[r]);
+      break;
+    case DataType::kDouble:
+      f64_.reserve(f64_.size() + rows.size());
+      for (const std::uint32_t r : rows) f64_.push_back(other.f64_[r]);
+      break;
+    case DataType::kString:
+      str_.reserve(str_.size() + rows.size());
+      for (const std::uint32_t r : rows) str_.push_back(other.str_[r]);
+      break;
+  }
+}
+
 double Column::ApproxBytes() const {
   double bytes = FixedWidthBytes(type_) * static_cast<double>(size());
   if (type_ == DataType::kString) {

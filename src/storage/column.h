@@ -77,6 +77,11 @@ class Column {
   /// Appends rows [start, start+count) of `other` (same type).
   void AppendRange(const Column& other, std::size_t start, std::size_t count);
 
+  /// Appends other[rows[0]], other[rows[1]], ... (same type). This is the
+  /// column-at-a-time gather used to compact selection vectors at
+  /// materialization boundaries.
+  void AppendGather(const Column& other, std::span<const std::uint32_t> rows);
+
   /// In-memory payload bytes (fixed width per row; strings add length).
   double ApproxBytes() const;
 

@@ -107,10 +107,8 @@ std::vector<Table> RunExchange(ExchangeMode mode,
         auto block = (*op)->Next();
         ASSERT_TRUE(block.ok());
         if (!block.value().has_value()) break;
-        for (std::size_t i = 0; i < block.value()->size(); ++i) {
-          results[static_cast<std::size_t>(node)].AppendRowFrom(
-              block.value()->AsTable(), i);
-        }
+        block.value()->AppendLiveRowsTo(
+            &results[static_cast<std::size_t>(node)]);
       }
       ASSERT_TRUE((*op)->Close().ok());
     });
@@ -238,10 +236,8 @@ TEST(ExchangeOpTest, DestinationSubsetReceivesEverything) {
         auto block = (*op)->Next();
         ASSERT_TRUE(block.ok());
         if (!block.value().has_value()) break;
-        for (std::size_t i = 0; i < block.value()->size(); ++i) {
-          results[static_cast<std::size_t>(node)].AppendRowFrom(
-              block.value()->AsTable(), i);
-        }
+        block.value()->AppendLiveRowsTo(
+            &results[static_cast<std::size_t>(node)]);
       }
       ASSERT_TRUE((*op)->Close().ok());
     });

@@ -83,6 +83,74 @@ TEST(JoinHashTableTest, ReserveAvoidsMisbehavior) {
   EXPECT_GT(ht.ApproxBytes(), 1000.0 * sizeof(std::uint64_t));
 }
 
+TEST(JoinHashTableTest, ProbeBatchMatchesForEachMatch) {
+  JoinHashTable ht;
+  ht.Insert(5, 0);
+  ht.Insert(5, 1);
+  ht.Insert(9, 2);
+  const std::vector<std::int64_t> keys = {5, 7, 9, 5};
+  std::vector<JoinHashTable::Match> matches;
+  ht.ProbeBatch(keys, nullptr, keys.size(), &matches);
+  // Matches come back in probe-row order.
+  ASSERT_EQ(matches.size(), 5u);
+  EXPECT_EQ(matches[0].first, 0u);
+  EXPECT_EQ(matches[1].first, 0u);
+  EXPECT_EQ(matches[2].first, 2u);
+  EXPECT_EQ(matches[2].second, 2u);
+  EXPECT_EQ(matches[3].first, 3u);
+  std::multiset<std::uint32_t> rows_for_5;
+  for (const auto& [p, b] : matches) {
+    if (p == 0) rows_for_5.insert(b);
+  }
+  EXPECT_EQ(rows_for_5, (std::multiset<std::uint32_t>{0, 1}));
+}
+
+TEST(JoinHashTableTest, ProbeBatchHonorsSelectionVector) {
+  JoinHashTable ht;
+  ht.Insert(1, 10);
+  ht.Insert(3, 30);
+  const std::vector<std::int64_t> keys = {1, 2, 3, 4};
+  const std::vector<std::uint32_t> sel = {2, 3};  // probe rows 2 and 3 only
+  std::vector<JoinHashTable::Match> matches;
+  ht.ProbeBatch(keys, sel.data(), sel.size(), &matches);
+  // Emitted probe rows are physical indices, not positions in `sel`.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first, 2u);
+  EXPECT_EQ(matches[0].second, 30u);
+}
+
+TEST(JoinHashTableTest, ProbeBatchOnEmptyTableAndEmptyBatch) {
+  JoinHashTable ht;
+  const std::vector<std::int64_t> keys = {1, 2};
+  std::vector<JoinHashTable::Match> matches;
+  ht.ProbeBatch(keys, nullptr, keys.size(), &matches);
+  EXPECT_TRUE(matches.empty());
+  ht.Insert(1, 0);
+  ht.ProbeBatch(keys, nullptr, 0, &matches);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(JoinHashTableTest, ProbeBatchLargeBatchExercisesPrefetchPath) {
+  JoinHashTable ht;
+  constexpr std::int64_t kN = 50000;
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ht.Insert(i, static_cast<std::uint32_t>(i));
+  }
+  std::vector<std::int64_t> keys;
+  keys.reserve(kN);
+  for (std::int64_t i = 0; i < kN; ++i) keys.push_back((i * 7) % (2 * kN));
+  std::vector<JoinHashTable::Match> matches;
+  ht.ProbeBatch(keys, nullptr, keys.size(), &matches);
+  std::size_t want = 0;
+  for (const std::int64_t k : keys) {
+    if (k < kN) ++want;
+  }
+  EXPECT_EQ(matches.size(), want);
+  for (const auto& [p, b] : matches) {
+    EXPECT_EQ(keys[p], static_cast<std::int64_t>(b));
+  }
+}
+
 TEST(JoinHashTableTest, MatchesStdMultimapOnRandomWorkload) {
   JoinHashTable ht;
   std::unordered_multimap<std::int64_t, std::uint32_t> truth;

@@ -46,9 +46,7 @@ Table Drain(Operator& op) {
     auto block = op.Next();
     EXPECT_TRUE(block.ok()) << block.status();
     if (!block.value().has_value()) break;
-    for (std::size_t i = 0; i < block.value()->size(); ++i) {
-      out.AppendRowFrom(block.value()->AsTable(), i);
-    }
+    block.value()->AppendLiveRowsTo(&out);
   }
   EXPECT_TRUE(op.Close().ok());
   return out;

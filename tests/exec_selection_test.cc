@@ -1,0 +1,299 @@
+// Selection-vector equivalence: the zero-copy vectorized engine must
+// produce results identical to (a) the same operator tree with selections
+// eagerly compacted away after every block, and (b) the naive row-wise
+// reference implementations — across randomized workloads and the edge
+// cases (all-pass, none-pass, repeated narrowing).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/filter_op.h"
+#include "exec/hash_agg_op.h"
+#include "exec/hash_join_op.h"
+#include "exec/project_op.h"
+#include "exec/reference.h"
+#include "exec/scan_op.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::Block;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+
+/// Test-only wrapper that eagerly compacts every block, erasing selection
+/// vectors from the stream. Running the identical tree with and without
+/// these wrappers isolates the selection-vector plumbing.
+class CompactEachBlockOp final : public Operator {
+ public:
+  explicit CompactEachBlockOp(OperatorPtr child)
+      : child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<std::optional<Block>> Next() override {
+    EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, child_->Next());
+    if (block.has_value()) block->Compact();
+    return block;
+  }
+  Status Close() override { return child_->Close(); }
+  const Schema& schema() const override { return child_->schema(); }
+
+ private:
+  OperatorPtr child_;
+};
+
+TablePtr RandomFact(std::uint64_t seed, int n, std::int64_t key_range) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>(
+      Schema({Field{"f_key", DataType::kInt64, 8},
+              Field{"f_val", DataType::kDouble, 8},
+              Field{"f_sel", DataType::kInt64, 8}}));
+  for (int i = 0; i < n; ++i) {
+    t->AppendRow({rng.UniformInt(0, key_range - 1),
+                  rng.UniformDouble(0.0, 100.0), rng.UniformInt(0, 999)});
+  }
+  return t;
+}
+
+TablePtr RandomDim(std::uint64_t seed, std::int64_t key_range) {
+  Rng rng(seed);
+  auto t = std::make_shared<Table>(
+      Schema({Field{"d_key", DataType::kInt64, 8},
+              Field{"d_tag", DataType::kString, 4}}));
+  for (std::int64_t k = 0; k < key_range; ++k) {
+    // Duplicate some dimension keys so probes can fan out.
+    const int copies = rng.Bernoulli(0.2) ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      t->AppendRow({k, std::string(rng.Bernoulli(0.5) ? "A" : "B")});
+    }
+  }
+  return t;
+}
+
+Table Drain(Operator& op) {
+  EXPECT_TRUE(op.Open().ok());
+  Table out(op.schema());
+  while (true) {
+    auto block = op.Next();
+    EXPECT_TRUE(block.ok()) << block.status();
+    if (!block.value().has_value()) break;
+    block.value()->AppendLiveRowsTo(&out);
+  }
+  EXPECT_TRUE(op.Close().ok());
+  return out;
+}
+
+/// Builds filter(fact) ⋈ dim → aggregate; `compact` inserts the
+/// selection-erasing wrapper after every narrowing operator.
+OperatorPtr BuildPipeline(TablePtr fact, TablePtr dim, ExprPtr pred,
+                          bool compact) {
+  OperatorPtr filtered = std::make_unique<FilterOp>(
+      std::make_unique<ScanOp>(std::move(fact), nullptr), std::move(pred),
+      nullptr);
+  if (compact) {
+    filtered = std::make_unique<CompactEachBlockOp>(std::move(filtered));
+  }
+  auto join = HashJoinOp::Create(
+      std::make_unique<ScanOp>(std::move(dim), nullptr), std::move(filtered),
+      "d_key", "f_key", HashJoinOp::Options{}, nullptr);
+  EXPECT_TRUE(join.ok()) << join.status();
+  auto agg = HashAggOp::Create(
+      std::move(*join), {"d_tag"},
+      {AggSpec::Sum(Col("f_val"), "sum_val"), AggSpec::Count("n"),
+       AggSpec::Min(Col("f_val"), "min_val"),
+       AggSpec::Max(Col("f_val"), "max_val")},
+      nullptr);
+  EXPECT_TRUE(agg.ok()) << agg.status();
+  return std::move(*agg);
+}
+
+class SelectionEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SelectionEquivalence, FilterJoinAggMatchesCompactedPipeline) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xABCDEF);
+  const std::int64_t key_range = rng.UniformInt(10, 500);
+  const int rows = static_cast<int>(rng.UniformInt(100, 12000));
+  // Selectivity spans none-pass to all-pass across seeds.
+  const std::int64_t cutoff = rng.UniformInt(0, 1000);
+  TablePtr fact = RandomFact(seed, rows, key_range);
+  TablePtr dim = RandomDim(seed + 1, key_range);
+  ExprPtr pred = Lt(Col("f_sel"), I64(cutoff));
+
+  auto with_sel = BuildPipeline(fact, dim, pred, /*compact=*/false);
+  auto without_sel = BuildPipeline(fact, dim, pred, /*compact=*/true);
+  const Table got = Drain(*with_sel);
+  const Table want = Drain(*without_sel);
+  std::string diff;
+  EXPECT_TRUE(TablesEqualUnordered(got, want, 0.0, &diff)) << diff;
+
+  // Cross-check the joined row count against the naive reference.
+  const Table ffact = ReferenceFilter(
+      *fact, [&](const Table& t, std::size_t row) {
+        return t.ColumnByName("f_sel").value()->Int64At(row) < cutoff;
+      });
+  auto ref = ReferenceHashJoin(*dim, ffact, "d_key", "f_key");
+  ASSERT_TRUE(ref.ok());
+  double total_n = 0.0;
+  for (std::size_t i = 0; i < got.num_rows(); ++i) {
+    total_n += static_cast<double>(got.column(2).Int64At(i));
+  }
+  EXPECT_DOUBLE_EQ(total_n, static_cast<double>(ref->num_rows()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SelectionEquivalence,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+/// Emits one pre-built dense block, then EOS.
+class OneBlockSourceOp final : public Operator {
+ public:
+  explicit OneBlockSourceOp(Block block) : block_(std::move(block)) {}
+
+  Status Open() override {
+    emitted_ = false;
+    return Status::OK();
+  }
+  StatusOr<std::optional<Block>> Next() override {
+    if (emitted_) return std::optional<Block>();
+    emitted_ = true;
+    return std::optional<Block>(block_);
+  }
+  Status Close() override { return Status::OK(); }
+  const Schema& schema() const override { return block_.schema(); }
+
+ private:
+  Block block_;
+  bool emitted_ = false;
+};
+
+Block DenseBlockOf(const Table& t) {
+  Block b(t.schema(), t.num_rows());
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    b.mutable_column(c).AppendRange(t.column(c), 0, t.num_rows());
+  }
+  b.FinishBulkLoad();
+  return b;
+}
+
+TEST(SelectionEdgeCases, AllPassFilterStaysDense) {
+  TablePtr fact = RandomFact(5, 1000, 50);
+  FilterOp filter(std::make_unique<OneBlockSourceOp>(DenseBlockOf(*fact)),
+                  True(), nullptr);
+  ASSERT_TRUE(filter.Open().ok());
+  auto block = filter.Next();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(block.value().has_value());
+  // Everything passed: the filter must not install a selection at all.
+  EXPECT_FALSE(block.value()->has_selection());
+  EXPECT_EQ(block.value()->size(), block.value()->physical_size());
+  ASSERT_TRUE(filter.Close().ok());
+}
+
+TEST(SelectionEdgeCases, ScanBlocksBorrowTheTableRange) {
+  TablePtr fact = RandomFact(11, 10000, 50);  // > 2 blocks
+  ScanOp scan(fact, nullptr);
+  ASSERT_TRUE(scan.Open().ok());
+  auto block = scan.Next();
+  ASSERT_TRUE(block.ok());
+  ASSERT_TRUE(block.value().has_value());
+  // Zero-copy scan: the block views the table's own columns, narrowed to
+  // the first range by a selection.
+  EXPECT_EQ(&block.value()->AsTable(), fact.get());
+  EXPECT_TRUE(block.value()->has_selection());
+  EXPECT_EQ(block.value()->size(), storage::Block::kDefaultCapacity);
+  EXPECT_EQ(block.value()->RowIndex(0), 0u);
+  auto second = scan.Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(second.value()->RowIndex(0), storage::Block::kDefaultCapacity);
+  ASSERT_TRUE(scan.Close().ok());
+}
+
+TEST(SelectionEdgeCases, NonePassFilterYieldsEndOfStream) {
+  TablePtr fact = RandomFact(6, 1000, 50);
+  auto scan = std::make_unique<ScanOp>(fact, nullptr);
+  FilterOp filter(std::move(scan), Lt(Col("f_sel"), I64(-1)), nullptr);
+  EXPECT_EQ(Drain(filter).num_rows(), 0u);
+}
+
+TEST(SelectionEdgeCases, StackedFiltersComposeSelections) {
+  // filter ∘ filter: the second filter sees a selected block and must
+  // narrow the existing selection, not restart from physical rows.
+  TablePtr fact = RandomFact(7, 5000, 50);
+  auto inner = std::make_unique<FilterOp>(
+      std::make_unique<ScanOp>(fact, nullptr),
+      Lt(Col("f_sel"), I64(500)), nullptr);
+  FilterOp outer(std::move(inner), Ge(Col("f_sel"), I64(250)), nullptr);
+  const Table got = Drain(outer);
+  const Table want = ReferenceFilter(
+      *fact, [](const Table& t, std::size_t row) {
+        const std::int64_t s =
+            t.ColumnByName("f_sel").value()->Int64At(row);
+        return s >= 250 && s < 500;
+      });
+  std::string diff;
+  EXPECT_TRUE(TablesEqualUnordered(got, want, 0.0, &diff)) << diff;
+}
+
+TEST(SelectionEdgeCases, ProjectGathersSelectedRows) {
+  TablePtr fact = RandomFact(8, 3000, 50);
+  auto filtered = std::make_unique<FilterOp>(
+      std::make_unique<ScanOp>(fact, nullptr),
+      Lt(Col("f_sel"), I64(100)), nullptr);
+  auto project = ProjectOp::Create(
+      std::move(filtered), {"f_key"},
+      {{"val2", Mul(Col("f_val"), F64(2.0))}}, nullptr);
+  ASSERT_TRUE(project.ok());
+  const Table got = Drain(**project);
+  const Table want_rows = ReferenceFilter(
+      *fact, [](const Table& t, std::size_t row) {
+        return t.ColumnByName("f_sel").value()->Int64At(row) < 100;
+      });
+  ASSERT_EQ(got.num_rows(), want_rows.num_rows());
+  for (std::size_t i = 0; i < got.num_rows(); ++i) {
+    EXPECT_EQ(got.column(0).Int64At(i),
+              want_rows.column(0).Int64At(i));
+    EXPECT_DOUBLE_EQ(got.column(1).DoubleAt(i),
+                     want_rows.column(1).DoubleAt(i) * 2.0);
+  }
+}
+
+TEST(SelectionEdgeCases, DistributedShuffleJoinWithSelections) {
+  // Selections must survive the full distributed path: filter under a
+  // shuffle on both sides, multi-node join, root gather.
+  TablePtr fact = RandomFact(9, 8000, 200);
+  TablePtr dim = RandomDim(10, 200);
+  ClusterData data(3);
+  data.LoadRoundRobin("fact", *fact);
+  data.LoadRoundRobin("dim", *dim);
+  Executor executor(&data);
+  PlanPtr plan = HashJoinPlan(
+      ShufflePlan(ScanPlan("dim"), "d_key"),
+      ShufflePlan(FilterPlan(ScanPlan("fact"),
+                             Lt(Col("f_sel"), I64(120))),
+                  "f_key"),
+      "d_key", "f_key");
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const Table ffact = ReferenceFilter(
+      *fact, [](const Table& t, std::size_t row) {
+        return t.ColumnByName("f_sel").value()->Int64At(row) < 120;
+      });
+  auto want = ReferenceHashJoin(*dim, ffact, "d_key", "f_key");
+  ASSERT_TRUE(want.ok());
+  std::string diff;
+  EXPECT_TRUE(TablesEqualUnordered(result->table, *want, 0.0, &diff))
+      << diff;
+}
+
+}  // namespace
+}  // namespace eedc::exec

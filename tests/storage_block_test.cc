@@ -1,0 +1,177 @@
+// Selection-vector semantics of storage::Block: logical vs physical
+// indexing, lazy compaction, and the append paths that must compact.
+#include "storage/block.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eedc::storage {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({Field{"k", DataType::kInt64, 8},
+                 Field{"v", DataType::kDouble, 8}});
+}
+
+Block MakeBlock(int n) {
+  Block b(TwoColSchema());
+  for (int i = 0; i < n; ++i) {
+    b.AppendRow({static_cast<std::int64_t>(i), i * 0.5});
+  }
+  return b;
+}
+
+TEST(BlockSelectionTest, DenseBlockHasNoSelection) {
+  Block b = MakeBlock(4);
+  EXPECT_FALSE(b.has_selection());
+  EXPECT_EQ(b.selection_data(), nullptr);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.physical_size(), 4u);
+  EXPECT_EQ(b.RowIndex(2), 2u);
+}
+
+TEST(BlockSelectionTest, SelectionNarrowsLogicalView) {
+  Block b = MakeBlock(6);
+  b.SetSelection({1, 3, 5});
+  EXPECT_TRUE(b.has_selection());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.physical_size(), 6u);
+  EXPECT_EQ(b.RowIndex(0), 1u);
+  EXPECT_EQ(b.RowIndex(2), 5u);
+  // Logical bytes follow the live row count, not physical storage.
+  EXPECT_DOUBLE_EQ(b.LogicalBytes(), 3 * 16.0);
+  // Physical columns are untouched.
+  EXPECT_EQ(b.column(0).Int64At(0), 0);
+}
+
+TEST(BlockSelectionTest, EmptySelectionMeansNoLiveRows) {
+  Block b = MakeBlock(3);
+  b.SetSelection({});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_DOUBLE_EQ(b.LogicalBytes(), 0.0);
+}
+
+TEST(BlockSelectionTest, ClearSelectionRestoresAllRows) {
+  Block b = MakeBlock(5);
+  b.SetSelection({0, 4});
+  b.ClearSelection();
+  EXPECT_FALSE(b.has_selection());
+  EXPECT_EQ(b.size(), 5u);
+}
+
+TEST(BlockSelectionTest, CompactGathersLiveRowsAndDropsSelection) {
+  Block b = MakeBlock(6);
+  b.SetSelection({0, 2, 5});
+  b.Compact();
+  EXPECT_FALSE(b.has_selection());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.physical_size(), 3u);
+  EXPECT_EQ(b.column(0).Int64At(0), 0);
+  EXPECT_EQ(b.column(0).Int64At(1), 2);
+  EXPECT_EQ(b.column(0).Int64At(2), 5);
+  EXPECT_DOUBLE_EQ(b.column(1).DoubleAt(2), 2.5);
+}
+
+TEST(BlockSelectionTest, CompactOnDenseBlockIsANoOp) {
+  Block b = MakeBlock(3);
+  b.Compact();
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.column(0).Int64At(2), 2);
+}
+
+TEST(BlockSelectionTest, RepeatedSelectAndCompact) {
+  // Narrow, compact, narrow again: indices are physical at each stage.
+  Block b = MakeBlock(8);
+  b.SetSelection({1, 3, 5, 7});  // odds
+  b.Compact();                   // now rows 1,3,5,7 at positions 0..3
+  b.SetSelection({2, 3});        // physical positions of 5 and 7
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.column(0).Int64At(b.RowIndex(0)), 5);
+  EXPECT_EQ(b.column(0).Int64At(b.RowIndex(1)), 7);
+  b.Compact();
+  ASSERT_EQ(b.physical_size(), 2u);
+  EXPECT_EQ(b.column(0).Int64At(1), 7);
+}
+
+TEST(BlockSelectionTest, AppendLiveRowsToGathersThroughSelection) {
+  Block b = MakeBlock(5);
+  b.SetSelection({1, 4});
+  Table out(b.schema());
+  b.AppendLiveRowsTo(&out);
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column(0).Int64At(0), 1);
+  EXPECT_EQ(out.column(0).Int64At(1), 4);
+  // Appending a dense block afterwards keeps accumulating.
+  Block d = MakeBlock(2);
+  d.AppendLiveRowsTo(&out);
+  EXPECT_EQ(out.num_rows(), 4u);
+}
+
+TEST(BlockSelectionTest, AppendRowFromBlockUsesLogicalIndex) {
+  Block src = MakeBlock(6);
+  src.SetSelection({2, 5});
+  Block dst(TwoColSchema());
+  dst.AppendRowFromBlock(src, 1);  // logical row 1 == physical row 5
+  ASSERT_EQ(dst.size(), 1u);
+  EXPECT_EQ(dst.column(0).Int64At(0), 5);
+}
+
+TEST(BlockBorrowTest, BorrowViewsTableRangeWithoutCopy) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 10; ++i) {
+    t->AppendRow({static_cast<std::int64_t>(i), i * 1.0});
+  }
+  Block b = Block::Borrow(t, 4, 3);
+  EXPECT_TRUE(b.has_selection());
+  EXPECT_EQ(&b.AsTable(), t.get());  // no copy: same storage
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.physical_size(), 10u);
+  EXPECT_EQ(b.RowIndex(0), 4u);
+  EXPECT_EQ(b.column(0).Int64At(b.RowIndex(2)), 6);
+}
+
+TEST(BlockBorrowTest, NarrowedBorrowCompactsIntoOwnedStorage) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 8; ++i) {
+    t->AppendRow({static_cast<std::int64_t>(i), i * 1.0});
+  }
+  Block b = Block::Borrow(t, 0, 8);
+  b.SetSelection({1, 6});  // e.g. a filter narrowed the borrowed range
+  b.Compact();
+  EXPECT_FALSE(b.has_selection());
+  EXPECT_NE(&b.AsTable(), t.get());  // owned now
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.column(0).Int64At(0), 1);
+  EXPECT_EQ(b.column(0).Int64At(1), 6);
+}
+
+TEST(BlockBorrowTest, AppendLiveRowsToReadsBorrowedStorage) {
+  auto t = std::make_shared<Table>(TwoColSchema());
+  for (int i = 0; i < 5; ++i) {
+    t->AppendRow({static_cast<std::int64_t>(i), i * 1.0});
+  }
+  Block b = Block::Borrow(t, 2, 3);
+  Table out(t->schema());
+  b.AppendLiveRowsTo(&out);
+  ASSERT_EQ(out.num_rows(), 3u);
+  EXPECT_EQ(out.column(0).Int64At(0), 2);
+  EXPECT_EQ(out.column(0).Int64At(2), 4);
+}
+
+TEST(ColumnGatherTest, AppendGatherCopiesIndexedRows) {
+  Column src(DataType::kString);
+  src.AppendString("a");
+  src.AppendString("b");
+  src.AppendString("c");
+  Column dst(DataType::kString);
+  const std::vector<std::uint32_t> rows = {2, 0};
+  dst.AppendGather(src, rows);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.StringAt(0), "c");
+  EXPECT_EQ(dst.StringAt(1), "a");
+}
+
+}  // namespace
+}  // namespace eedc::storage
