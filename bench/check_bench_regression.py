@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Gates CI on the engine's rows/sec trajectory.
+
+Compares a freshly produced BENCH_micro_engine.json against the checked-in
+baseline (bench/BASELINE_micro_engine.json): every metric listed in the
+baseline must be present and must not regress more than the tolerance
+(default 25%) below its baseline value. Baseline values are deliberately
+conservative floors — roughly a third of what a 1-core container measures —
+so only real regressions (a serialized pipeline, a lost fast path) trip the
+gate, not shared-runner noise. Re-baseline by running bench_micro_engine on
+a quiet machine and copying ~0.3x of the measured rows/sec.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for metric, floor in baseline.items():
+        if metric == "bench":
+            continue
+        if metric not in current:
+            failures.append(f"{metric}: missing from {args.current}")
+            continue
+        allowed = floor * (1.0 - args.tolerance)
+        value = current[metric]
+        status = "OK " if value >= allowed else "FAIL"
+        print(f"[{status}] {metric}: {value:.3g} "
+              f"(baseline {floor:.3g}, floor {allowed:.3g})")
+        if value < allowed:
+            failures.append(
+                f"{metric}: {value:.3g} < {allowed:.3g} "
+                f"(baseline {floor:.3g} - {args.tolerance:.0%})")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

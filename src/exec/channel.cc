@@ -31,11 +31,14 @@ std::optional<storage::Block> BlockChannel::Receive() {
   return block;
 }
 
-ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id)
+ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id,
+                             int senders_per_node)
     : id_(exchange_id) {
+  EEDC_CHECK(senders_per_node >= 1);
   channels_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
-    channels_.push_back(std::make_unique<BlockChannel>(num_nodes));
+    channels_.push_back(
+        std::make_unique<BlockChannel>(num_nodes * senders_per_node));
   }
 }
 

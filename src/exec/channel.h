@@ -1,9 +1,11 @@
 // Inter-node block channels backing the exchange operator.
 //
-// A BlockChannel is an unbounded MPSC queue: every node is a sender, the
-// owning node is the receiver. Unbounded capacity makes the exchange
-// drain-then-receive protocol deadlock-free (see exchange_op.h); timing is
-// the simulator's concern, not the real channel's.
+// A BlockChannel is an unbounded MPMC queue: every worker pipeline on
+// every node is a sender, and the owning node's W workers compete to
+// receive (morsel parallelism on the receive side falls out for free).
+// Unbounded capacity makes the exchange drain-then-receive protocol
+// deadlock-free (see exchange_op.h); timing is the simulator's concern,
+// not the real channel's.
 #ifndef EEDC_EXEC_CHANNEL_H_
 #define EEDC_EXEC_CHANNEL_H_
 
@@ -38,11 +40,12 @@ class BlockChannel {
   int senders_remaining_;
 };
 
-/// The channels of one exchange instance: channel i is received by node i
-/// and written by every node.
+/// The channels of one exchange: channel i is received by node i's workers
+/// and written by every worker of every node (num_nodes x senders_per_node
+/// senders in total).
 class ExchangeGroup {
  public:
-  ExchangeGroup(int num_nodes, int exchange_id);
+  ExchangeGroup(int num_nodes, int exchange_id, int senders_per_node = 1);
 
   BlockChannel& channel(int dest) { return *channels_[dest]; }
   int num_nodes() const { return static_cast<int>(channels_.size()); }

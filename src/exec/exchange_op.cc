@@ -69,6 +69,21 @@ ExchangeOp::ExchangeOp(OperatorPtr child, ExchangeMode mode,
       metrics_(metrics),
       destinations_(std::move(destinations)) {}
 
+void ExchangeOp::AppendRunToPending(int dest, const Block& block,
+                                    std::size_t phys, std::size_t count) {
+  // Chunk the run at the staging block's remaining capacity so blocks
+  // crossing a channel never exceed their declared capacity.
+  std::size_t appended = 0;
+  while (appended < count) {
+    Block& staged = pending_[static_cast<std::size_t>(dest)];
+    const std::size_t room = staged.capacity() - staged.size();
+    const std::size_t take = std::min(count - appended, room);
+    staged.AppendPhysicalRange(block, phys + appended, take);
+    appended += take;
+    if (staged.full()) FlushPending(dest);
+  }
+}
+
 void ExchangeOp::FlushPending(int dest) {
   Block& staged = pending_[static_cast<std::size_t>(dest)];
   if (staged.empty()) return;
@@ -93,13 +108,31 @@ void ExchangeOp::RouteBlock(const Block& block) {
       const auto keys =
           block.column(static_cast<std::size_t>(key_idx_)).int64s();
       const int num_dests = static_cast<int>(destinations_.size());
-      for (std::size_t i = 0; i < block.size(); ++i) {
-        const std::int64_t key = keys[block.RowIndex(i)];
+      const std::uint32_t* sel = block.selection_data();
+      const std::size_t n = block.size();
+      // Route maximal runs of physically-consecutive rows that share a
+      // destination with one column-wise range append instead of
+      // row-at-a-time copies. Dense low-cardinality streams (and gather
+      // below) collapse to a handful of bulk appends per block.
+      std::size_t i = 0;
+      while (i < n) {
+        const std::size_t phys = sel != nullptr ? sel[i] : i;
         const int dest = destinations_[static_cast<std::size_t>(
-            storage::PartitionOf(key, num_dests))];
-        Block& staged = pending_[static_cast<std::size_t>(dest)];
-        staged.AppendRowFromBlock(block, i);
-        if (staged.full()) FlushPending(dest);
+            storage::PartitionOf(keys[phys], num_dests))];
+        std::size_t j = i + 1;
+        std::size_t run_end = phys + 1;
+        while (j < n) {
+          const std::size_t p = sel != nullptr ? sel[j] : j;
+          if (p != run_end ||
+              destinations_[static_cast<std::size_t>(storage::PartitionOf(
+                  keys[p], num_dests))] != dest) {
+            break;
+          }
+          ++run_end;
+          ++j;
+        }
+        AppendRunToPending(dest, block, phys, j - i);
+        i = j;
       }
       break;
     }
@@ -147,10 +180,20 @@ void ExchangeOp::RouteBlock(const Block& block) {
     }
     case ExchangeMode::kGather: {
       const int dest = destinations_.front();
-      Block& staged = pending_[static_cast<std::size_t>(dest)];
-      for (std::size_t i = 0; i < block.size(); ++i) {
-        staged.AppendRowFromBlock(block, i);
-        if (staged.full()) FlushPending(dest);
+      const std::uint32_t* sel = block.selection_data();
+      const std::size_t n = block.size();
+      // Single destination: runs are bounded only by selection gaps, so a
+      // dense block ships as one range append.
+      std::size_t i = 0;
+      while (i < n) {
+        const std::size_t phys = sel != nullptr ? sel[i] : i;
+        std::size_t j = i + 1;
+        while (j < n &&
+               (sel != nullptr ? sel[j] : j) == phys + (j - i)) {
+          ++j;
+        }
+        AppendRunToPending(dest, block, phys, j - i);
+        i = j;
       }
       break;
     }

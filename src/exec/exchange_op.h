@@ -61,6 +61,11 @@ class ExchangeOp final : public Operator {
 
   void FlushPending(int dest);
   void RouteBlock(const storage::Block& block);
+  /// Appends a run of `count` consecutive physical rows of `block`
+  /// starting at `phys` to dest's staging block, chunking at capacity and
+  /// flushing full chunks.
+  void AppendRunToPending(int dest, const storage::Block& block,
+                          std::size_t phys, std::size_t count);
 
   OperatorPtr child_;
   ExchangeMode mode_;

@@ -2,12 +2,13 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "exec/filter_op.h"
 #include "exec/hash_join_op.h"
+#include "exec/morsel.h"
 #include "exec/project_op.h"
 #include "exec/scan_op.h"
 #include "storage/partitioner.h"
@@ -48,16 +49,57 @@ void ClusterData::LoadRoundRobin(const std::string& name,
 
 namespace {
 
-/// Per-node plan instantiation state.
+/// Pre-pass over a node's plan: creates the cross-worker shared state (one
+/// dispenser per scan, one merge per pipeline breaker) in the exact order
+/// BuildOps consumes it. The two traversals must stay mirror images.
+Status CollectPipelineShared(const PlanNode& plan,
+                             const storage::TableStore& store,
+                             int num_workers, std::size_t morsel_rows,
+                             PipelineShared* out) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan: {
+      EEDC_ASSIGN_OR_RETURN(TablePtr table, store.Get(plan.table_name));
+      out->scans.push_back(std::make_unique<MorselDispenser>(
+          table->num_rows(), morsel_rows));
+      return Status::OK();
+    }
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+    case PlanNode::Kind::kExchange:
+      return CollectPipelineShared(*plan.children.at(0), store, num_workers,
+                                   morsel_rows, out);
+    case PlanNode::Kind::kHashJoin:
+      EEDC_RETURN_IF_ERROR(CollectPipelineShared(
+          *plan.children.at(0), store, num_workers, morsel_rows, out));
+      EEDC_RETURN_IF_ERROR(CollectPipelineShared(
+          *plan.children.at(1), store, num_workers, morsel_rows, out));
+      out->joins.push_back(std::make_unique<JoinBuildShared>(num_workers));
+      return Status::OK();
+    case PlanNode::Kind::kHashAgg:
+      EEDC_RETURN_IF_ERROR(CollectPipelineShared(
+          *plan.children.at(0), store, num_workers, morsel_rows, out));
+      out->aggs.push_back(std::make_unique<AggMergeShared>(num_workers));
+      return Status::OK();
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+/// Per-pipeline-instance plan instantiation state (one worker of one node).
 struct NodeBuildContext {
   const ClusterData* data = nullptr;
   int node_id = 0;
+  int worker_id = 0;
   NodeMetrics* metrics = nullptr;
   std::vector<std::unique_ptr<ExchangeGroup>>* groups = nullptr;
+  /// Cross-worker shared state for this node; ids below index into it.
+  PipelineShared* shared = nullptr;
   int next_exchange = 0;
+  int next_scan = 0;
+  int next_join = 0;
+  int next_agg = 0;
   double memory_budget_bytes = 0.0;
-  /// Exchange instances created for this node, used to unblock peers if
-  /// this node aborts before opening every exchange.
+  /// Exchange instances created for this pipeline, used to unblock peers
+  /// if this worker aborts before opening every exchange.
   std::vector<ExchangeOp*>* exchange_ops = nullptr;
 };
 
@@ -67,7 +109,12 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
       EEDC_ASSIGN_OR_RETURN(
           TablePtr table,
           ctx->data->store(ctx->node_id).Get(plan.table_name));
-      return OperatorPtr(new ScanOp(std::move(table), ctx->metrics));
+      MorselDispenser* dispenser =
+          ctx->shared->scans
+              .at(static_cast<std::size_t>(ctx->next_scan++))
+              .get();
+      return OperatorPtr(
+          new ScanOp(std::move(table), ctx->metrics, dispenser));
     }
     case PlanNode::Kind::kFilter: {
       EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
@@ -88,6 +135,11 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
                             BuildOps(*plan.children.at(1), ctx));
       HashJoinOp::Options options;
       options.memory_budget_bytes = ctx->memory_budget_bytes;
+      options.build_shared =
+          ctx->shared->joins
+              .at(static_cast<std::size_t>(ctx->next_join++))
+              .get();
+      options.worker_id = ctx->worker_id;
       return HashJoinOp::Create(std::move(build), std::move(probe),
                                 plan.build_key, plan.probe_key, options,
                                 ctx->metrics);
@@ -95,8 +147,12 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
     case PlanNode::Kind::kHashAgg: {
       EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
                             BuildOps(*plan.children.at(0), ctx));
+      AggMergeShared* shared =
+          ctx->shared->aggs
+              .at(static_cast<std::size_t>(ctx->next_agg++))
+              .get();
       return HashAggOp::Create(std::move(child), plan.group_by, plan.aggs,
-                               ctx->metrics);
+                               ctx->metrics, shared, ctx->worker_id);
     }
     case PlanNode::Kind::kExchange: {
       EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
@@ -120,6 +176,12 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
   return Status::Internal("unknown plan node kind");
 }
 
+int ResolveWorkers(int workers_per_node) {
+  if (workers_per_node > 0) return workers_per_node;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 }  // namespace
 
 Executor::Executor(const ClusterData* data, Options options)
@@ -135,52 +197,81 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     const NodePlanFn& plan_for_node) {
   const int n = data_->num_nodes();
   if (n <= 0) return Status::InvalidArgument("cluster has no nodes");
+  const int num_workers = ResolveWorkers(options_.workers_per_node);
+  const std::size_t total =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(num_workers);
 
-  // Channel groups are shared across nodes, created from node 0's plan.
+  // Channel groups are shared across nodes, created from node 0's plan;
+  // every worker pipeline is a sender.
   PlanPtr plan0 = plan_for_node(0);
   const int num_exchanges = CountExchanges(*plan0);
   std::vector<std::unique_ptr<ExchangeGroup>> groups;
   groups.reserve(static_cast<std::size_t>(num_exchanges));
   for (int i = 0; i < num_exchanges; ++i) {
-    groups.push_back(std::make_unique<ExchangeGroup>(n, i));
+    groups.push_back(std::make_unique<ExchangeGroup>(n, i, num_workers));
   }
 
   ExecMetrics metrics;
   metrics.nodes.resize(static_cast<std::size_t>(n));
+  std::vector<NodeMetrics> worker_metrics(total);
 
-  // Instantiate all node operator trees up front so that schema/placement
-  // errors surface before any thread starts (no partial execution).
-  std::vector<OperatorPtr> roots(static_cast<std::size_t>(n));
-  std::vector<std::vector<ExchangeOp*>> node_exchanges(
+  // Instantiate every pipeline instance up front so that schema/placement
+  // errors surface before any thread starts (no partial execution). Index
+  // node * num_workers + worker throughout.
+  std::vector<OperatorPtr> roots(total);
+  std::vector<std::vector<ExchangeOp*>> worker_exchanges(total);
+  std::vector<std::unique_ptr<PipelineShared>> shared(
       static_cast<std::size_t>(n));
   for (int node = 0; node < n; ++node) {
-    NodeBuildContext ctx;
-    ctx.data = data_;
-    ctx.node_id = node;
-    ctx.metrics = &metrics.nodes[static_cast<std::size_t>(node)];
-    ctx.groups = &groups;
-    ctx.exchange_ops = &node_exchanges[static_cast<std::size_t>(node)];
-    if (static_cast<std::size_t>(node) <
-        options_.node_memory_budget_bytes.size()) {
-      ctx.memory_budget_bytes =
-          options_.node_memory_budget_bytes[static_cast<std::size_t>(node)];
-    }
     PlanPtr plan = node == 0 ? plan0 : plan_for_node(node);
-    EEDC_ASSIGN_OR_RETURN(roots[static_cast<std::size_t>(node)],
-                          BuildOps(*plan, &ctx));
-    if (ctx.next_exchange != num_exchanges) {
-      return Status::InvalidArgument(
-          "per-node plans disagree on exchange count");
+    shared[static_cast<std::size_t>(node)] =
+        std::make_unique<PipelineShared>();
+    EEDC_RETURN_IF_ERROR(CollectPipelineShared(
+        *plan, data_->store(node), num_workers, options_.morsel_rows,
+        shared[static_cast<std::size_t>(node)].get()));
+    for (int worker = 0; worker < num_workers; ++worker) {
+      const std::size_t idx =
+          static_cast<std::size_t>(node * num_workers + worker);
+      NodeBuildContext ctx;
+      ctx.data = data_;
+      ctx.node_id = node;
+      ctx.worker_id = worker;
+      ctx.metrics = &worker_metrics[idx];
+      ctx.groups = &groups;
+      ctx.shared = shared[static_cast<std::size_t>(node)].get();
+      ctx.exchange_ops = &worker_exchanges[idx];
+      if (static_cast<std::size_t>(node) <
+          options_.node_memory_budget_bytes.size()) {
+        ctx.memory_budget_bytes =
+            options_
+                .node_memory_budget_bytes[static_cast<std::size_t>(node)];
+      }
+      EEDC_ASSIGN_OR_RETURN(roots[idx], BuildOps(*plan, &ctx));
+      if (ctx.next_exchange != num_exchanges) {
+        return Status::InvalidArgument(
+            "per-node plans disagree on exchange count");
+      }
+      // The positional-id handshake with CollectPipelineShared must
+      // consume the shared state exactly; a mismatch means the two plan
+      // traversals diverged and ids are paired with the wrong operators.
+      if (ctx.next_scan != static_cast<int>(ctx.shared->scans.size()) ||
+          ctx.next_join != static_cast<int>(ctx.shared->joins.size()) ||
+          ctx.next_agg != static_cast<int>(ctx.shared->aggs.size())) {
+        return Status::Internal(
+            "pipeline-shared collection and operator build traversed the "
+            "plan differently");
+      }
     }
   }
 
-  // Results and statuses, one slot per node.
-  std::vector<Status> statuses(static_cast<std::size_t>(n));
-  std::vector<std::unique_ptr<Table>> partials(static_cast<std::size_t>(n));
+  // Results and statuses, one slot per pipeline instance.
+  std::vector<Status> statuses(total);
+  std::vector<std::unique_ptr<Table>> partials(total);
 
-  auto run_node = [&](int node) {
+  auto run_pipeline = [&](std::size_t idx) {
+    const int node = static_cast<int>(idx) / num_workers;
     const auto start = std::chrono::steady_clock::now();
-    Operator& root = *roots[static_cast<std::size_t>(node)];
+    Operator& root = *roots[idx];
     auto result = std::make_unique<Table>(root.schema());
     Status st = root.Open();
     if (st.ok()) {
@@ -192,44 +283,49 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         }
         if (!block_or.value().has_value()) break;
         // Root output is a materialization boundary: compact any selection
-        // while appending to the node's result table.
+        // while appending to the worker's partial result table.
         block_or.value()->AppendLiveRowsTo(result.get());
       }
       Status close_st = root.Close();
       if (st.ok()) st = close_st;
     }
     if (!st.ok()) {
-      // Unblock peers: every exchange this node never finished sending on
-      // must still release its SenderDone tokens.
-      for (ExchangeOp* ex : node_exchanges[static_cast<std::size_t>(node)]) {
+      // Unblock peers: every exchange this pipeline never finished sending
+      // on must release its SenderDone tokens, and every merge barrier on
+      // this node must stop waiting for an arrival that won't come.
+      for (ExchangeOp* ex : worker_exchanges[idx]) {
         ex->AbortSend();
       }
+      shared[static_cast<std::size_t>(node)]->Abort(st);
     }
     const auto end = std::chrono::steady_clock::now();
-    metrics.nodes[static_cast<std::size_t>(node)].wall =
+    worker_metrics[idx].wall =
         Duration::Seconds(std::chrono::duration<double>(end - start)
                               .count());
-    statuses[static_cast<std::size_t>(node)] = st;
-    partials[static_cast<std::size_t>(node)] = std::move(result);
+    statuses[idx] = st;
+    partials[idx] = std::move(result);
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int node = 0; node < n; ++node) {
-    threads.emplace_back(run_node, node);
-  }
-  for (auto& t : threads) t.join();
-
-  for (int node = 0; node < n; ++node) {
-    if (!statuses[static_cast<std::size_t>(node)].ok()) {
-      return statuses[static_cast<std::size_t>(node)];
-    }
+  {
+    WorkCrew crew(total, run_pipeline);
+    crew.Join();
   }
 
-  // Concatenate per-node outputs in node order.
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    if (!statuses[idx].ok()) return statuses[idx];
+  }
+
+  // Fold worker pipelines into per-node metrics: counters sum, wall is the
+  // per-node max (workers run concurrently).
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    metrics.nodes[idx / static_cast<std::size_t>(num_workers)].MergeFrom(
+        worker_metrics[idx]);
+  }
+
+  // Concatenate worker outputs deterministically in (node, worker) order.
   QueryResult out{Table(roots[0]->schema()), std::move(metrics)};
-  for (int node = 0; node < n; ++node) {
-    const Table& part = *partials[static_cast<std::size_t>(node)];
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    const Table& part = *partials[idx];
     for (std::size_t c = 0; c < part.num_columns(); ++c) {
       out.table.mutable_column(c).AppendRange(part.column(c), 0,
                                               part.num_rows());

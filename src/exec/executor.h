@@ -1,10 +1,14 @@
 // The distributed P-store executor.
 //
-// Executes a logical plan SPMD across N simulated nodes: each node runs an
-// identical operator tree over its local partitions in its own thread;
-// exchange operators communicate through in-memory channel groups. The
-// result is the concatenation of every node's root output plus per-node
-// execution metrics.
+// Executes a logical plan SPMD across N simulated nodes, each node running
+// W parallel morsel-driven pipelines: the per-node plan is cloned into W
+// per-worker operator trees whose scans pull borrowed block ranges from
+// shared atomic morsel dispensers, whose pipeline breakers (hash-join
+// build, hash aggregation) merge per-worker partials at barriers, and
+// whose exchange instances are multi-producer senders into shared channel
+// groups. Worker outputs are concatenated deterministically in
+// (node, worker) order at the root; results are the same multiset of rows
+// at every W. See exec/morsel.h.
 //
 // Heterogeneous execution (Section 5.2.2): a per-node memory budget can be
 // set, and plans may diverge per node through NodePlanFn — e.g. Wimpy nodes
@@ -60,13 +64,21 @@ class Executor {
     /// Per-node hash-join memory budget in bytes; index i applies to node
     /// i. Empty = unlimited everywhere.
     std::vector<double> node_memory_budget_bytes;
+    /// Morsel-parallel pipelines per node. 1 (the default) degenerates to
+    /// the classic one-thread-per-node execution; <= 0 uses the hardware
+    /// concurrency of the host.
+    int workers_per_node = 1;
+    /// Rows per morsel; 0 uses MorselDispenser::kDefaultMorselRows. Small
+    /// values force fine interleaving (useful for tests).
+    std::size_t morsel_rows = 0;
   };
 
   /// Produces the (possibly node-specific) plan for a node. The default
   /// executes the same plan everywhere.
   using NodePlanFn = std::function<PlanPtr(int node_id)>;
 
-  explicit Executor(const ClusterData* data, Options options = Options());
+  explicit Executor(const ClusterData* data) : Executor(data, Options{}) {}
+  Executor(const ClusterData* data, Options options);
 
   /// Runs the same plan on every node.
   StatusOr<QueryResult> Execute(PlanPtr plan);

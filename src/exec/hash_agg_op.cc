@@ -16,7 +16,9 @@ using storage::Value;
 StatusOr<OperatorPtr> HashAggOp::Create(OperatorPtr child,
                                         std::vector<std::string> group_by,
                                         std::vector<AggSpec> aggs,
-                                        NodeMetrics* metrics) {
+                                        NodeMetrics* metrics,
+                                        AggMergeShared* shared,
+                                        int worker_id) {
   const Schema& in = child->schema();
   std::vector<Field> fields;
   for (const auto& g : group_by) {
@@ -40,19 +42,22 @@ StatusOr<OperatorPtr> HashAggOp::Create(OperatorPtr child,
   Schema schema{std::move(fields)};
   return OperatorPtr(new HashAggOp(std::move(child), std::move(group_by),
                                    std::move(aggs), std::move(schema),
-                                   metrics));
+                                   metrics, shared, worker_id));
 }
 
 HashAggOp::HashAggOp(OperatorPtr child, std::vector<std::string> group_by,
                      std::vector<AggSpec> aggs, Schema schema,
-                     NodeMetrics* metrics)
+                     NodeMetrics* metrics, AggMergeShared* shared,
+                     int worker_id)
     : child_(std::move(child)),
       group_by_(std::move(group_by)),
       aggs_(std::move(aggs)),
       schema_(std::move(schema)),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      shared_(shared),
+      worker_id_(worker_id) {}
 
-Status HashAggOp::Open() {
+Status HashAggOp::Drain() {
   EEDC_RETURN_IF_ERROR(child_->Open());
   const Schema& in = child_->schema();
   std::vector<int> group_idx;
@@ -104,18 +109,19 @@ Status HashAggOp::Open() {
             break;
         }
       }
-      auto [it, inserted] = group_index_.emplace(key, groups_.size());
+      auto [it, inserted] = local_.index.emplace(key, local_.groups.size());
       if (inserted) {
-        GroupState gs;
+        AggGroup gs;
+        gs.key = key;
         for (int gi : group_idx) {
           gs.keys.push_back(
               block->column(static_cast<std::size_t>(gi)).ValueAt(phys));
         }
         gs.accum.assign(aggs_.size(), 0.0);
         gs.initialized.assign(aggs_.size(), false);
-        groups_.push_back(std::move(gs));
+        local_.groups.push_back(std::move(gs));
       }
-      GroupState& gs = groups_[it->second];
+      AggGroup& gs = local_.groups[it->second];
       for (std::size_t a = 0; a < aggs_.size(); ++a) {
         double v = 0.0;
         if (aggs_[a].kind != AggSpec::Kind::kCount) {
@@ -146,26 +152,91 @@ Status HashAggOp::Open() {
       metrics_->cpu_bytes += block->LogicalBytes();
     }
   }
-  if (metrics_ != nullptr) {
-    metrics_->agg_groups += static_cast<double>(groups_.size());
+  if (metrics_ != nullptr && shared_ == nullptr) {
+    // In shared mode the merged count is recorded by the barrier leader.
+    metrics_->agg_groups += static_cast<double>(local_.groups.size());
   }
-  emitted_ = false;
   return child_->Close();
+}
+
+void HashAggOp::CombineGroup(AggGroup* dst, const AggGroup& src) const {
+  for (std::size_t a = 0; a < aggs_.size(); ++a) {
+    if (!src.initialized[a]) continue;
+    const double v = src.accum[a];
+    switch (aggs_[a].kind) {
+      case AggSpec::Kind::kSum:
+      case AggSpec::Kind::kCount:
+        dst->accum[a] += v;
+        break;
+      case AggSpec::Kind::kMin:
+        dst->accum[a] =
+            dst->initialized[a] ? std::min(dst->accum[a], v) : v;
+        break;
+      case AggSpec::Kind::kMax:
+        dst->accum[a] =
+            dst->initialized[a] ? std::max(dst->accum[a], v) : v;
+        break;
+    }
+    dst->initialized[a] = true;
+  }
+}
+
+void HashAggOp::MergePartials() {
+  AggPartial& merged = shared_->merged;
+  for (AggPartial& partial : shared_->partials) {
+    for (AggGroup& g : partial.groups) {
+      auto [it, inserted] = merged.index.emplace(g.key, merged.groups.size());
+      if (inserted) {
+        merged.groups.push_back(std::move(g));
+        continue;
+      }
+      CombineGroup(&merged.groups[it->second], g);
+    }
+    partial = AggPartial{};  // release; the merged copy supersedes it
+  }
+  if (metrics_ != nullptr) {
+    metrics_->agg_groups += static_cast<double>(merged.groups.size());
+  }
+}
+
+Status HashAggOp::Open() {
+  Status st = Drain();
+  if (shared_ == nullptr) {
+    emitted_ = false;
+    return st;
+  }
+  if (st.ok()) {
+    shared_->partials[static_cast<std::size_t>(worker_id_)] =
+        std::move(local_);
+    local_ = AggPartial{};
+  }
+  // Rendezvous with the peer pipeline instances — arrive even on failure
+  // so peers unblock with the error instead of waiting forever.
+  EEDC_RETURN_IF_ERROR(shared_->barrier.ArriveAndMerge(
+      std::move(st), [this] {
+        MergePartials();
+        return Status::OK();
+      }));
+  emitted_ = false;
+  return Status::OK();
 }
 
 StatusOr<std::optional<Block>> HashAggOp::Next() {
   if (emitted_) return std::optional<Block>();
   emitted_ = true;
+  // In shared mode the merged result is emitted once, by worker 0.
+  if (shared_ != nullptr && worker_id_ != 0) return std::optional<Block>();
+  AggPartial& src = shared_ != nullptr ? shared_->merged : local_;
   // For a global aggregate (no GROUP BY) with no input rows, SQL semantics
   // still produce one row (SUM = 0 here, COUNT = 0).
-  if (groups_.empty() && group_by_.empty()) {
-    GroupState gs;
+  if (src.groups.empty() && group_by_.empty()) {
+    AggGroup gs;
     gs.accum.assign(aggs_.size(), 0.0);
     gs.initialized.assign(aggs_.size(), false);
-    groups_.push_back(std::move(gs));
+    src.groups.push_back(std::move(gs));
   }
-  Block out(schema_, std::max<std::size_t>(groups_.size(), 1));
-  for (const auto& gs : groups_) {
+  Block out(schema_, std::max<std::size_t>(src.groups.size(), 1));
+  for (const auto& gs : src.groups) {
     std::size_t c = 0;
     for (const auto& key : gs.keys) {
       out.mutable_column(c++).AppendValue(key);

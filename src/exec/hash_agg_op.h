@@ -4,14 +4,20 @@
 // downstream as SUM/COUNT, which also makes two-phase (partial-then-final)
 // distributed aggregation exact: partials emit SUM and COUNT columns, the
 // final phase SUMs them.
+//
+// Morsel parallelism: with `shared` set at Create, this instance is one of
+// W per-worker pipeline clones. Each aggregates its own (morsel-fed) input
+// into a private AggPartial; the instances rendezvous at the shared
+// MergeBarrier, whose last arriver folds the partials (in worker order)
+// into AggMergeShared::merged. Only worker 0 emits the merged groups.
 #ifndef EEDC_EXEC_HASH_AGG_OP_H_
 #define EEDC_EXEC_HASH_AGG_OP_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "exec/expr.h"
+#include "exec/morsel.h"
 #include "exec/operator.h"
 
 namespace eedc::exec {
@@ -40,10 +46,15 @@ struct AggSpec {
 
 class HashAggOp final : public Operator {
  public:
+  /// `shared` (null = single-pipeline aggregation) is the cross-worker
+  /// merge state owned by the executor's PipelineShared; `worker_id` is
+  /// this pipeline instance's index in the crew.
   static StatusOr<OperatorPtr> Create(OperatorPtr child,
                                       std::vector<std::string> group_by,
                                       std::vector<AggSpec> aggs,
-                                      NodeMetrics* metrics);
+                                      NodeMetrics* metrics,
+                                      AggMergeShared* shared = nullptr,
+                                      int worker_id = 0);
 
   Status Open() override;
   StatusOr<std::optional<storage::Block>> Next() override;
@@ -53,22 +64,25 @@ class HashAggOp final : public Operator {
  private:
   HashAggOp(OperatorPtr child, std::vector<std::string> group_by,
             std::vector<AggSpec> aggs, storage::Schema schema,
-            NodeMetrics* metrics);
+            NodeMetrics* metrics, AggMergeShared* shared, int worker_id);
 
-  struct GroupState {
-    std::vector<storage::Value> keys;
-    std::vector<double> accum;       // one slot per agg (count uses it too)
-    std::vector<bool> initialized;   // for min/max
-  };
+  /// Opens, drains and closes the child, accumulating into local_.
+  Status Drain();
+  /// Barrier leader: folds every worker's partial into shared_->merged,
+  /// in worker order.
+  void MergePartials();
+  /// Folds one group's accumulators into the matching `dst` slot.
+  void CombineGroup(AggGroup* dst, const AggGroup& src) const;
 
   OperatorPtr child_;
   std::vector<std::string> group_by_;
   std::vector<AggSpec> aggs_;
   storage::Schema schema_;
   NodeMetrics* metrics_;
+  AggMergeShared* shared_;
+  int worker_id_;
 
-  std::unordered_map<std::string, std::size_t> group_index_;
-  std::vector<GroupState> groups_;
+  AggPartial local_;
   bool emitted_ = false;
 };
 

@@ -57,7 +57,7 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
       metrics_(metrics),
       build_table_(build_child_->schema()) {}
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::DrainBuildSide() {
   EEDC_RETURN_IF_ERROR(build_child_->Open());
   // Drain the build side, inserting into the hash table as blocks arrive.
   while (true) {
@@ -74,6 +74,9 @@ Status HashJoinOp::Open() {
       hash_table_.Insert(keys[i], static_cast<std::uint32_t>(i));
     }
     if (options_.memory_budget_bytes > 0.0) {
+      // In shared mode this checks one worker's partial only — a valid
+      // early failure (a partial already over budget implies the merged
+      // table is too); the merge re-checks the full size.
       const double used =
           hash_table_.ApproxBytes() + build_table_.ApproxBytes();
       if (used > options_.memory_budget_bytes) {
@@ -87,22 +90,91 @@ Status HashJoinOp::Open() {
   EEDC_RETURN_IF_ERROR(build_child_->Close());
   if (metrics_ != nullptr) {
     metrics_->build_rows += static_cast<double>(build_table_.num_rows());
-    metrics_->hash_table_bytes +=
-        hash_table_.ApproxBytes() + build_table_.ApproxBytes();
     metrics_->cpu_bytes += build_table_.LogicalBytes();
+    if (options_.build_shared == nullptr) {
+      metrics_->hash_table_bytes +=
+          hash_table_.ApproxBytes() + build_table_.ApproxBytes();
+    }
   }
+  return Status::OK();
+}
+
+Status HashJoinOp::MergePartials(JoinBuildShared* shared) {
+  std::size_t total_rows = 0, total_entries = 0;
+  for (std::size_t w = 0; w < shared->partial_tables.size(); ++w) {
+    total_rows += shared->partial_tables[w]->num_rows();
+    total_entries += shared->partial_hash_tables[w].size();
+  }
+  Table merged(build_child_->schema());
+  merged.Reserve(total_rows);
+  JoinHashTable ht;
+  ht.Reserve(total_entries);
+  for (std::size_t w = 0; w < shared->partial_tables.size(); ++w) {
+    Table& part = *shared->partial_tables[w];
+    const auto offset = static_cast<std::uint32_t>(merged.num_rows());
+    for (std::size_t c = 0; c < part.num_columns(); ++c) {
+      merged.mutable_column(c).AppendRange(part.column(c), 0,
+                                           part.num_rows());
+    }
+    merged.FinishBulkLoad();
+    ht.MergeFrom(shared->partial_hash_tables[w], offset);
+    // Release the partial eagerly; the merged copy supersedes it.
+    shared->partial_tables[w].reset();
+    shared->partial_hash_tables[w] = JoinHashTable();
+  }
+  if (options_.memory_budget_bytes > 0.0) {
+    const double used = ht.ApproxBytes() + merged.ApproxBytes();
+    if (used > options_.memory_budget_bytes) {
+      return Status::ResourceExhausted(StrFormat(
+          "hash table (%.0f B) exceeds node memory budget (%.0f B); "
+          "2-pass joins are unsupported (H predicate violated)",
+          used, options_.memory_budget_bytes));
+    }
+  }
+  if (metrics_ != nullptr) {
+    // Counted once per node, by the barrier leader.
+    metrics_->hash_table_bytes += ht.ApproxBytes() + merged.ApproxBytes();
+  }
+  shared->build_table.emplace(std::move(merged));
+  shared->hash_table = std::move(ht);
+  return Status::OK();
+}
+
+Status HashJoinOp::Open() {
+  Status st = DrainBuildSide();
+  JoinBuildShared* shared = options_.build_shared;
+  if (shared == nullptr) {
+    EEDC_RETURN_IF_ERROR(st);
+    probe_build_table_ = &build_table_;
+    probe_hash_table_ = &hash_table_;
+    return probe_child_->Open();
+  }
+  const auto w = static_cast<std::size_t>(options_.worker_id);
+  if (st.ok()) {
+    shared->partial_tables[w].emplace(std::move(build_table_));
+    shared->partial_hash_tables[w] = std::move(hash_table_);
+  }
+  // Rendezvous with the peer pipeline instances — arriving with a failed
+  // status (instead of returning early) is what keeps peers from parking
+  // forever on a build that will never complete.
+  EEDC_RETURN_IF_ERROR(shared->barrier.ArriveAndMerge(
+      std::move(st), [this, shared] { return MergePartials(shared); }));
+  probe_build_table_ = &*shared->build_table;
+  probe_hash_table_ = &shared->hash_table;
   return probe_child_->Open();
 }
 
 StatusOr<std::optional<Block>> HashJoinOp::Next() {
+  const Table& build_table = *probe_build_table_;
+  const JoinHashTable& hash_table = *probe_hash_table_;
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, probe_child_->Next());
     if (!in.has_value()) return std::optional<Block>();
     const auto keys =
         in->column(static_cast<std::size_t>(probe_key_idx_)).int64s();
     matches_.clear();
-    hash_table_.ProbeBatch(keys, in->selection_data(), in->size(),
-                           &matches_);
+    hash_table.ProbeBatch(keys, in->selection_data(), in->size(),
+                          &matches_);
     if (metrics_ != nullptr) {
       metrics_->probe_rows += static_cast<double>(in->size());
       metrics_->join_output_rows += static_cast<double>(matches_.size());
@@ -123,9 +195,9 @@ StatusOr<std::optional<Block>> HashJoinOp::Next() {
         dst.AppendFrom(src, probe_row);
       }
     }
-    for (std::size_t c = 0; c < build_table_.num_columns(); ++c) {
+    for (std::size_t c = 0; c < build_table.num_columns(); ++c) {
       Column& dst = out.mutable_column(probe_width + c);
-      const Column& src = build_table_.column(c);
+      const Column& src = build_table.column(c);
       for (const auto& [probe_row, build_row] : matches_) {
         (void)probe_row;
         dst.AppendFrom(src, build_row);

@@ -6,6 +6,13 @@
 // be disjoint. An optional memory budget enforces the paper's H predicate —
 // a node that cannot hold its hash table fails with ResourceExhausted, which
 // is what forces heterogeneous (scan/filter-only) plans on Wimpy nodes.
+//
+// Morsel parallelism: with Options::build_shared set, this instance is one
+// of W per-worker pipeline clones. Each drains its own (morsel-fed) build
+// child into a private partial table + hash table; the instances rendezvous
+// at the shared MergeBarrier, whose last arriver splices the partials in
+// worker order into the one build table/hash table every instance probes
+// (probes are read-only and thread-safe).
 #ifndef EEDC_EXEC_HASH_JOIN_OP_H_
 #define EEDC_EXEC_HASH_JOIN_OP_H_
 
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "exec/hash_table.h"
+#include "exec/morsel.h"
 #include "exec/operator.h"
 
 namespace eedc::exec {
@@ -23,6 +31,12 @@ class HashJoinOp final : public Operator {
     /// Maximum hash-table + build-side bytes this node may use;
     /// <= 0 means unlimited. Models Table 3's H predicate.
     double memory_budget_bytes = 0.0;
+    /// Cross-worker build-merge state (null = single-pipeline build, the
+    /// default). Owned by the executor's PipelineShared.
+    JoinBuildShared* build_shared = nullptr;
+    /// This pipeline instance's worker index (< the crew size
+    /// build_shared was created with).
+    int worker_id = 0;
   };
 
   static StatusOr<OperatorPtr> Create(OperatorPtr build, OperatorPtr probe,
@@ -41,6 +55,12 @@ class HashJoinOp final : public Operator {
              std::string probe_key, storage::Schema schema, Options options,
              NodeMetrics* metrics);
 
+  /// Drains the build child into this instance's build_table_/hash_table_.
+  Status DrainBuildSide();
+  /// Barrier leader: splices every worker's partials into the shared
+  /// build table + hash table, in worker order.
+  Status MergePartials(JoinBuildShared* shared);
+
   OperatorPtr build_child_;
   OperatorPtr probe_child_;
   std::string build_key_;
@@ -51,6 +71,9 @@ class HashJoinOp final : public Operator {
 
   storage::Table build_table_;
   JoinHashTable hash_table_;
+  /// What Next() probes: the local build state, or the shared merged one.
+  const storage::Table* probe_build_table_ = nullptr;
+  const JoinHashTable* probe_hash_table_ = nullptr;
   int build_key_idx_ = -1;
   int probe_key_idx_ = -1;
   /// Probe-hit scratch reused across Next() calls.

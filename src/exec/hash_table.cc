@@ -30,6 +30,13 @@ void JoinHashTable::Insert(std::int64_t key, std::uint32_t row) {
   buckets_[b] = static_cast<std::uint32_t>(entries_.size() - 1);
 }
 
+void JoinHashTable::MergeFrom(const JoinHashTable& other,
+                              std::uint32_t row_offset) {
+  for (const Entry& e : other.entries_) {
+    Insert(e.key, e.row + row_offset);
+  }
+}
+
 void JoinHashTable::ProbeBatch(std::span<const std::int64_t> keys,
                                const std::uint32_t* sel, std::size_t n,
                                std::vector<Match>* out) const {

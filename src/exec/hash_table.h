@@ -66,6 +66,12 @@ class JoinHashTable {
                   const std::uint32_t* sel, std::size_t n,
                   std::vector<Match>* out) const;
 
+  /// Re-inserts every entry of `other` (in its insertion order) with
+  /// `row_offset` added to the row: the build-side merge step of
+  /// morsel-parallel joins, where per-worker partial tables are
+  /// concatenated and their hash tables spliced on top.
+  void MergeFrom(const JoinHashTable& other, std::uint32_t row_offset);
+
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 

@@ -48,6 +48,31 @@ struct NodeMetrics {
     return exchanges[id];
   }
 
+  /// Accumulates one worker pipeline's counters into this node-level
+  /// record: counters sum; wall takes the max (workers run concurrently).
+  void MergeFrom(const NodeMetrics& w) {
+    scan_rows += w.scan_rows;
+    scan_bytes += w.scan_bytes;
+    filter_rows_in += w.filter_rows_in;
+    filter_rows_out += w.filter_rows_out;
+    filter_bytes_out += w.filter_bytes_out;
+    build_rows += w.build_rows;
+    hash_table_bytes += w.hash_table_bytes;
+    probe_rows += w.probe_rows;
+    join_output_rows += w.join_output_rows;
+    agg_rows_in += w.agg_rows_in;
+    agg_groups += w.agg_groups;
+    cpu_bytes += w.cpu_bytes;
+    if (w.wall > wall) wall = w.wall;
+    for (std::size_t i = 0; i < w.exchanges.size(); ++i) {
+      ExchangeStats& e = exchange(i);
+      e.sent_remote_bytes += w.exchanges[i].sent_remote_bytes;
+      e.sent_local_bytes += w.exchanges[i].sent_local_bytes;
+      e.received_bytes += w.exchanges[i].received_bytes;
+      e.rows_routed += w.exchanges[i].rows_routed;
+    }
+  }
+
   double total_sent_remote_bytes() const {
     double t = 0.0;
     for (const auto& e : exchanges) t += e.sent_remote_bytes;

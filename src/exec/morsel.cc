@@ -1,0 +1,41 @@
+#include "exec/morsel.h"
+
+namespace eedc::exec {
+
+Status MergeBarrier::ArriveAndMerge(Status status,
+                                    const std::function<Status()>& merge) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (done_) {
+    // Aborted (or a straggler arriving after completion): the stored
+    // status stands; an individual failure still wins over a stored OK.
+    return !status.ok() && status_.ok() ? status : status_;
+  }
+  if (!status.ok() && status_.ok()) status_ = std::move(status);
+  if (--remaining_ == 0) {
+    if (status_.ok() && merge) {
+      Status merge_status = merge();
+      if (!merge_status.ok()) status_ = std::move(merge_status);
+    }
+    done_ = true;
+    cv_.notify_all();
+    return status_;
+  }
+  cv_.wait(lock, [this] { return done_; });
+  return status_;
+}
+
+void MergeBarrier::Abort(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
+    if (status_.ok()) {
+      status_ = !status.ok()
+                    ? status
+                    : Status::Internal("pipeline aborted by a peer worker");
+    }
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace eedc::exec

@@ -1,0 +1,170 @@
+// Morsel-driven intra-node parallelism (Leis et al., "Morsel-Driven
+// Parallelism", adapted to P-store's block-iterator engine).
+//
+// Each simulated node executes its operator tree as W parallel *pipeline
+// instances* — identical per-worker clones of the plan. Workers never share
+// operator state directly; they meet only at three kinds of shared objects,
+// all owned by a per-node PipelineShared:
+//
+//   - MorselDispenser — one per scan in the plan. An atomic cursor that
+//     hands out fixed-size row ranges ("morsels") of the node-local table;
+//     `Block::Borrow` makes each morsel a zero-copy scan batch.
+//   - JoinBuildShared — one per hash join. Workers drain disjoint morsel
+//     streams into per-worker partial build tables + hash tables, then meet
+//     at a MergeBarrier whose last arriver splices the partials (in worker
+//     order) into the one table every worker probes.
+//   - AggMergeShared — one per hash aggregation. Per-worker partial group
+//     states are merged at the barrier; only worker 0 emits the result.
+//
+// Determinism: morsel *assignment* is racy, but every merge walks partials
+// in worker order and each partial preserves its own processing order, so
+// the result is the same multiset of rows at every worker count.
+#ifndef EEDC_EXEC_MORSEL_H_
+#define EEDC_EXEC_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "exec/hash_table.h"
+#include "storage/block.h"
+#include "storage/table.h"
+
+namespace eedc::exec {
+
+/// Hands out disjoint row ranges of one table to competing workers. The
+/// fetch-add cursor is the only synchronization on the scan hot path.
+class MorselDispenser {
+ public:
+  /// One morsel per scan block keeps granularity fine enough to balance
+  /// skewed pipelines without extra per-block atomics.
+  static constexpr std::size_t kDefaultMorselRows =
+      storage::Block::kDefaultCapacity;
+
+  /// `morsel_rows` == 0 selects kDefaultMorselRows.
+  explicit MorselDispenser(std::size_t total_rows,
+                           std::size_t morsel_rows = kDefaultMorselRows)
+      : total_rows_(total_rows),
+        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+
+  /// Claims the next morsel as [*start, *start + *count). Returns false
+  /// when the table is exhausted.
+  bool Next(std::size_t* start, std::size_t* count) {
+    const std::size_t s =
+        cursor_.fetch_add(morsel_rows_, std::memory_order_relaxed);
+    if (s >= total_rows_) return false;
+    *start = s;
+    *count = std::min(morsel_rows_, total_rows_ - s);
+    return true;
+  }
+
+  std::size_t total_rows() const { return total_rows_; }
+  std::size_t morsel_rows() const { return morsel_rows_; }
+
+ private:
+  std::atomic<std::size_t> cursor_{0};
+  std::size_t total_rows_;
+  std::size_t morsel_rows_;
+};
+
+/// A single-use barrier where W pipeline instances rendezvous at a merge
+/// point. Every worker arrives with its phase status; the last arriver runs
+/// `merge` (iff every status was OK) and everyone returns the combined
+/// status. Abort() releases waiters early when a worker dies before
+/// reaching the barrier, so an error on one pipeline cannot strand its
+/// peers.
+class MergeBarrier {
+ public:
+  explicit MergeBarrier(int num_workers) : remaining_(num_workers) {}
+
+  MergeBarrier(const MergeBarrier&) = delete;
+  MergeBarrier& operator=(const MergeBarrier&) = delete;
+
+  /// Blocks until all workers arrive or the barrier is aborted. `merge`
+  /// runs exactly once, on the last arriver, with every peer parked —
+  /// single-threaded by construction. May be null.
+  Status ArriveAndMerge(Status status, const std::function<Status()>& merge);
+
+  /// Marks the barrier failed and wakes all waiters; later arrivals return
+  /// the abort status immediately. No-op once the barrier completed.
+  void Abort(const Status& status);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+  bool done_ = false;
+  Status status_ = Status::OK();
+};
+
+/// Per-worker partial state of one hash join's build side, merged at the
+/// barrier into the table + hash table shared by every probe pipeline.
+struct JoinBuildShared {
+  explicit JoinBuildShared(int num_workers)
+      : barrier(num_workers),
+        partial_tables(static_cast<std::size_t>(num_workers)),
+        partial_hash_tables(static_cast<std::size_t>(num_workers)) {}
+
+  MergeBarrier barrier;
+  std::vector<std::optional<storage::Table>> partial_tables;
+  std::vector<JoinHashTable> partial_hash_tables;
+  /// Merged build side; written by the barrier leader, read-only afterward.
+  std::optional<storage::Table> build_table;
+  JoinHashTable hash_table;
+};
+
+/// One aggregation group: its (serialized) key, key values, and one
+/// accumulator slot per AggSpec.
+struct AggGroup {
+  std::string key;
+  std::vector<storage::Value> keys;
+  std::vector<double> accum;
+  std::vector<bool> initialized;
+};
+
+/// The hash-aggregation state of one pipeline instance (or of the merged
+/// result): groups in insertion order plus the key -> index map.
+struct AggPartial {
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<AggGroup> groups;
+};
+
+/// Per-worker partial aggregation states, merged at the barrier; worker 0
+/// emits `merged`.
+struct AggMergeShared {
+  explicit AggMergeShared(int num_workers)
+      : barrier(num_workers),
+        partials(static_cast<std::size_t>(num_workers)) {}
+
+  MergeBarrier barrier;
+  std::vector<AggPartial> partials;
+  AggPartial merged;
+};
+
+/// All cross-worker state of one node's W pipeline instances for one
+/// execution: dispensers/merges indexed by the plan-traversal position of
+/// their operator (the executor assigns ids in build order).
+struct PipelineShared {
+  std::vector<std::unique_ptr<MorselDispenser>> scans;
+  std::vector<std::unique_ptr<JoinBuildShared>> joins;
+  std::vector<std::unique_ptr<AggMergeShared>> aggs;
+
+  /// Releases every barrier with `status`: called by a worker that fails
+  /// outside any merge phase, so peers parked at a barrier unblock with the
+  /// failure instead of waiting for an arrival that will never come.
+  void Abort(const Status& status) {
+    for (auto& j : joins) j->barrier.Abort(status);
+    for (auto& a : aggs) a->barrier.Abort(status);
+  }
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_MORSEL_H_

@@ -6,20 +6,32 @@ namespace eedc::exec {
 
 using storage::Block;
 
-ScanOp::ScanOp(storage::TablePtr table, NodeMetrics* metrics)
-    : table_(std::move(table)), metrics_(metrics) {
+ScanOp::ScanOp(storage::TablePtr table, NodeMetrics* metrics,
+               MorselDispenser* dispenser)
+    : table_(std::move(table)), metrics_(metrics), dispenser_(dispenser) {
   EEDC_CHECK(table_ != nullptr) << "ScanOp requires a table";
 }
 
 Status ScanOp::Open() {
   cursor_ = 0;
+  morsel_end_ = 0;
   return Status::OK();
 }
 
 StatusOr<std::optional<Block>> ScanOp::Next() {
-  if (cursor_ >= table_->num_rows()) return std::optional<Block>();
-  const std::size_t count =
-      std::min(Block::kDefaultCapacity, table_->num_rows() - cursor_);
+  std::size_t count = 0;
+  if (dispenser_ != nullptr) {
+    if (cursor_ >= morsel_end_) {
+      std::size_t start = 0, len = 0;
+      if (!dispenser_->Next(&start, &len)) return std::optional<Block>();
+      cursor_ = start;
+      morsel_end_ = start + len;
+    }
+    count = std::min(Block::kDefaultCapacity, morsel_end_ - cursor_);
+  } else {
+    if (cursor_ >= table_->num_rows()) return std::optional<Block>();
+    count = std::min(Block::kDefaultCapacity, table_->num_rows() - cursor_);
+  }
   // Zero-copy: the block borrows the table's columns; only the range
   // selection is materialized.
   Block block = Block::Borrow(table_, cursor_, count);

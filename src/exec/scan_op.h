@@ -1,7 +1,12 @@
 // Table scan: emits a local table as a stream of blocks.
+//
+// With a MorselDispenser attached, competing pipeline instances claim
+// disjoint morsels (row ranges) of the shared table instead of iterating
+// it privately; every emitted block is still a zero-copy borrowed range.
 #ifndef EEDC_EXEC_SCAN_OP_H_
 #define EEDC_EXEC_SCAN_OP_H_
 
+#include "exec/morsel.h"
 #include "exec/operator.h"
 #include "storage/table.h"
 
@@ -10,7 +15,11 @@ namespace eedc::exec {
 class ScanOp final : public Operator {
  public:
   /// `table` is this node's local partition; `metrics` may be null.
-  ScanOp(storage::TablePtr table, NodeMetrics* metrics);
+  /// `dispenser` (may be null = scan the whole table privately) is shared
+  /// by this scan's instances across the node's workers and must outlive
+  /// the operator.
+  ScanOp(storage::TablePtr table, NodeMetrics* metrics,
+         MorselDispenser* dispenser = nullptr);
 
   Status Open() override;
   StatusOr<std::optional<storage::Block>> Next() override;
@@ -22,7 +31,10 @@ class ScanOp final : public Operator {
  private:
   storage::TablePtr table_;
   NodeMetrics* metrics_;
+  MorselDispenser* dispenser_;
   std::size_t cursor_ = 0;
+  /// End of the currently claimed morsel (dispenser mode only).
+  std::size_t morsel_end_ = 0;
 };
 
 }  // namespace eedc::exec

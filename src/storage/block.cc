@@ -43,6 +43,17 @@ void Block::Compact() {
   selection_.clear();
 }
 
+void Block::AppendPhysicalRange(const Block& src, std::size_t start,
+                                std::size_t count) {
+  EEDC_DCHECK(!has_selection_ && borrowed_ == nullptr);
+  const Table& t = src.table();
+  EEDC_DCHECK(start + count <= t.num_rows());
+  for (std::size_t c = 0; c < t.num_columns(); ++c) {
+    data_.mutable_column(c).AppendRange(t.column(c), start, count);
+  }
+  data_.FinishBulkLoad();
+}
+
 void Block::AppendLiveRowsTo(Table* dst) const {
   const Table& src = table();
   for (std::size_t c = 0; c < src.num_columns(); ++c) {

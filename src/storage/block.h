@@ -119,6 +119,13 @@ class Block {
   /// path for materialization boundaries that accumulate into a table.
   void AppendLiveRowsTo(Table* dst) const;
 
+  /// Bulk-appends physical rows [start, start+count) of `src`'s storage —
+  /// ignoring src's selection; callers pass runs of consecutive *live*
+  /// physical rows — to this dense owned block. One column-wise range copy
+  /// instead of count row-at-a-time appends.
+  void AppendPhysicalRange(const Block& src, std::size_t start,
+                           std::size_t count);
+
   /// The underlying dense storage, *ignoring* any selection: physical row
   /// indices apply. Callers must consult selection()/RowIndex() themselves.
   const Table& AsTable() const { return table(); }

@@ -71,6 +71,16 @@ class Column {
     return str_;
   }
 
+  /// Appends `n` zero-initialized int64 slots and returns a pointer to
+  /// them: the raw-write path for dense kernels (predicate compares) that
+  /// overwrite a whole batch in one contiguous, vectorizable loop.
+  std::int64_t* AppendRawInt64(std::size_t n) {
+    EEDC_DCHECK(type_ == DataType::kInt64);
+    const std::size_t old = i64_.size();
+    i64_.resize(old + n);
+    return i64_.data() + old;
+  }
+
   /// Appends row `i` of `other` (same type) to this column.
   void AppendFrom(const Column& other, std::size_t i);
 

@@ -73,5 +73,59 @@ TEST(ThreadPoolTest, ParallelismActuallyHappens) {
   EXPECT_GT(peak.load(), 1);
 }
 
+TEST(ThreadPoolTest, ConcurrentSubmittersStressCleanShutdown) {
+  // Many producer threads hammering Submit while workers drain; the pool
+  // must count every task and shut down cleanly right after the last one.
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 500;
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&pool, &counter] {
+        for (int i = 0; i < kTasksEach; ++i) {
+          pool.Submit([&counter] { ++counter; });
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+  }  // destructor joins workers with an empty queue
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(WorkCrewTest, EveryMemberRunsOnItsOwnThread) {
+  // Members rendezvous before exiting: this only terminates if all of
+  // them run concurrently, i.e. each got a dedicated thread.
+  constexpr std::size_t kMembers = 8;
+  std::atomic<std::size_t> arrived{0};
+  std::vector<int> hits(kMembers, 0);
+  WorkCrew crew(kMembers, [&](std::size_t i) {
+    hits[i] = 1;
+    ++arrived;
+    while (arrived.load() < kMembers) std::this_thread::yield();
+  });
+  crew.Join();
+  for (std::size_t i = 0; i < kMembers; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(WorkCrewTest, JoinIsIdempotentAndDestructorJoins) {
+  std::atomic<int> done{0};
+  {
+    WorkCrew crew(3, [&done](std::size_t) { ++done; });
+    crew.Join();
+    crew.Join();  // second join is a no-op
+    EXPECT_EQ(done.load(), 3);
+    EXPECT_EQ(crew.size(), 3u);
+  }
+  {
+    WorkCrew crew(2, [&done](std::size_t) { ++done; });
+    // No explicit Join: the destructor must wait for both members.
+  }
+  EXPECT_EQ(done.load(), 5);
+}
+
 }  // namespace
 }  // namespace eedc

@@ -1,0 +1,360 @@
+#include "exec/morsel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/reference.h"
+#include "tpch/dbgen.h"
+#include "tpch/selectivity.h"
+
+namespace eedc::exec {
+namespace {
+
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+// ---------------------------------------------------------------------------
+// MorselDispenser
+// ---------------------------------------------------------------------------
+
+TEST(MorselDispenserTest, HandsOutDisjointExhaustiveRanges) {
+  MorselDispenser dispenser(10000, 4096);
+  std::size_t start = 0, count = 0;
+  ASSERT_TRUE(dispenser.Next(&start, &count));
+  EXPECT_EQ(start, 0u);
+  EXPECT_EQ(count, 4096u);
+  ASSERT_TRUE(dispenser.Next(&start, &count));
+  EXPECT_EQ(start, 4096u);
+  EXPECT_EQ(count, 4096u);
+  ASSERT_TRUE(dispenser.Next(&start, &count));
+  EXPECT_EQ(start, 8192u);
+  EXPECT_EQ(count, 10000u - 8192u);  // last morsel is the remainder
+  EXPECT_FALSE(dispenser.Next(&start, &count));
+  EXPECT_FALSE(dispenser.Next(&start, &count));  // stays exhausted
+}
+
+TEST(MorselDispenserTest, ZeroMorselRowsSelectsDefault) {
+  MorselDispenser dispenser(1, 0);
+  EXPECT_EQ(dispenser.morsel_rows(), MorselDispenser::kDefaultMorselRows);
+}
+
+TEST(MorselDispenserTest, EmptyTableDispensesNothing) {
+  MorselDispenser dispenser(0);
+  std::size_t start = 0, count = 0;
+  EXPECT_FALSE(dispenser.Next(&start, &count));
+}
+
+TEST(MorselDispenserTest, ConcurrentDrainCoversEveryRowExactlyOnce) {
+  constexpr std::size_t kRows = 100000;
+  constexpr std::size_t kMorsel = 97;  // odd size, many morsels
+  MorselDispenser dispenser(kRows, kMorsel);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> claimed(
+      kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dispenser, &claimed, t] {
+      std::size_t start = 0, count = 0;
+      while (dispenser.Next(&start, &count)) {
+        claimed[static_cast<std::size_t>(t)].emplace_back(start, count);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<std::pair<std::size_t, std::size_t>> all;
+  for (const auto& c : claimed) all.insert(all.end(), c.begin(), c.end());
+  std::sort(all.begin(), all.end());
+  std::size_t expected_start = 0;
+  for (const auto& [start, count] : all) {
+    EXPECT_EQ(start, expected_start);  // no gap, no overlap
+    expected_start = start + count;
+  }
+  EXPECT_EQ(expected_start, kRows);
+}
+
+// ---------------------------------------------------------------------------
+// MergeBarrier
+// ---------------------------------------------------------------------------
+
+TEST(MergeBarrierTest, RunsMergeExactlyOnceAfterAllArrive) {
+  constexpr int kWorkers = 8;
+  MergeBarrier barrier(kWorkers);
+  std::atomic<int> merges{0};
+  std::atomic<int> oks{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      Status st = barrier.ArriveAndMerge(Status::OK(), [&merges] {
+        ++merges;
+        return Status::OK();
+      });
+      if (st.ok()) ++oks;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(merges.load(), 1);
+  EXPECT_EQ(oks.load(), kWorkers);
+}
+
+TEST(MergeBarrierTest, WorkerFailureSkipsMergeAndPropagates) {
+  constexpr int kWorkers = 4;
+  MergeBarrier barrier(kWorkers);
+  std::atomic<int> merges{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      Status mine = w == 2 ? Status::Internal("worker 2 died")
+                           : Status::OK();
+      Status st = barrier.ArriveAndMerge(std::move(mine), [&merges] {
+        ++merges;
+        return Status::OK();
+      });
+      if (!st.ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(merges.load(), 0);  // merge must not run on a failed phase
+  EXPECT_EQ(failures.load(), kWorkers);
+}
+
+TEST(MergeBarrierTest, MergeErrorReachesEveryWorker) {
+  constexpr int kWorkers = 3;
+  MergeBarrier barrier(kWorkers);
+  std::atomic<int> resource_errors{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      Status st = barrier.ArriveAndMerge(Status::OK(), [] {
+        return Status::ResourceExhausted("merge too big");
+      });
+      if (st.code() == StatusCode::kResourceExhausted) ++resource_errors;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(resource_errors.load(), kWorkers);
+}
+
+TEST(MergeBarrierTest, AbortUnblocksWaitersAndLaterArrivals) {
+  MergeBarrier barrier(3);  // only 2 workers will ever arrive
+  std::atomic<int> errors{0};
+  std::thread waiter([&] {
+    Status st = barrier.ArriveAndMerge(Status::OK(), nullptr);
+    if (!st.ok()) ++errors;
+  });
+  // Give the waiter a chance to park, then abort on its behalf.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  barrier.Abort(Status::Internal("peer died before arriving"));
+  waiter.join();
+  // An arrival after the abort returns the failure immediately.
+  Status late = barrier.ArriveAndMerge(Status::OK(), nullptr);
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(errors.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-worker determinism of full query plans.
+// ---------------------------------------------------------------------------
+
+/// A small synthetic fact/dim pair with exactly representable values so
+/// SUM results are order-independent and comparisons can use eps = 0.
+struct TestData {
+  TablePtr fact;
+  TablePtr dim;
+};
+
+TestData MakeTestData(std::size_t fact_rows, std::size_t dim_rows) {
+  Table fact(Schema{{Field{"f_key", DataType::kInt64, 0.0},
+                     Field{"f_val", DataType::kInt64, 0.0},
+                     Field{"f_tag", DataType::kString, 0.0}}});
+  const char* tags[] = {"red", "green", "blue"};
+  for (std::size_t i = 0; i < fact_rows; ++i) {
+    fact.AppendRow({static_cast<std::int64_t>(i % dim_rows),
+                    static_cast<std::int64_t>(i % 1000),
+                    std::string(tags[i % 3])});
+  }
+  Table dim(Schema{{Field{"d_key", DataType::kInt64, 0.0},
+                    Field{"d_weight", DataType::kInt64, 0.0}}});
+  for (std::size_t i = 0; i < dim_rows; ++i) {
+    dim.AppendRow({static_cast<std::int64_t>(i),
+                   static_cast<std::int64_t>((i * 7) % 100)});
+  }
+  return TestData{std::make_shared<Table>(std::move(fact)),
+                  std::make_shared<Table>(std::move(dim))};
+}
+
+/// filter(fact) -> join dim -> group-by-tag aggregation, on `nodes` nodes
+/// (distributed via dual shuffle when nodes > 1) with `workers` pipelines
+/// per node and deliberately tiny morsels.
+StatusOr<QueryResult> RunFilterJoinAgg(const TestData& data, int nodes,
+                                       int workers) {
+  ClusterData cluster(nodes);
+  cluster.LoadRoundRobin("fact", *data.fact);
+  cluster.LoadRoundRobin("dim", *data.dim);
+  PlanPtr fact_side =
+      FilterPlan(ScanPlan("fact"), Lt(Col("f_val"), I64(700)));
+  PlanPtr dim_side = ScanPlan("dim");
+  if (nodes > 1) {
+    fact_side = ShufflePlan(std::move(fact_side), "f_key");
+    dim_side = ShufflePlan(std::move(dim_side), "d_key");
+  }
+  PlanPtr join = HashJoinPlan(std::move(dim_side), std::move(fact_side),
+                              "d_key", "f_key");
+  PlanPtr agg = HashAggPlan(
+      std::move(join), {"f_tag"},
+      {AggSpec::Sum(Mul(Col("f_val"), Col("d_weight")), "weighted"),
+       AggSpec::Count("rows"), AggSpec::Min(Col("f_val"), "min_val"),
+       AggSpec::Max(Col("f_val"), "max_val")});
+  if (nodes > 1) agg = GatherPlan(std::move(agg));
+  // The gathered partials land on node 0; re-aggregate them there.
+  if (nodes > 1) {
+    agg = HashAggPlan(std::move(agg), {"f_tag"},
+                      {AggSpec::Sum(Col("weighted"), "weighted"),
+                       AggSpec::Sum(Col("rows"), "rows"),
+                       AggSpec::Min(Col("min_val"), "min_val"),
+                       AggSpec::Max(Col("max_val"), "max_val")});
+  }
+  Executor::Options options;
+  options.workers_per_node = workers;
+  options.morsel_rows = 64;  // force heavy interleaving
+  Executor executor(&cluster, options);
+  return executor.Execute(agg);
+}
+
+TEST(MorselDeterminismTest, FilterJoinAggIdenticalAcrossWorkerCounts) {
+  const TestData data = MakeTestData(20000, 512);
+  auto w1 = RunFilterJoinAgg(data, 1, 1);
+  ASSERT_TRUE(w1.ok()) << w1.status();
+  for (int workers : {2, 8}) {
+    auto w = RunFilterJoinAgg(data, 1, workers);
+    ASSERT_TRUE(w.ok()) << w.status();
+    std::string diff;
+    EXPECT_TRUE(TablesEqualUnordered(w1->table, w->table, 0.0, &diff))
+        << "workers=" << workers << ": " << diff;
+  }
+}
+
+TEST(MorselDeterminismTest, DistributedPlanIdenticalAcrossWorkerCounts) {
+  const TestData data = MakeTestData(20000, 512);
+  auto w1 = RunFilterJoinAgg(data, 3, 1);
+  ASSERT_TRUE(w1.ok()) << w1.status();
+  for (int workers : {2, 8}) {
+    auto w = RunFilterJoinAgg(data, 3, workers);
+    ASSERT_TRUE(w.ok()) << w.status();
+    std::string diff;
+    EXPECT_TRUE(TablesEqualUnordered(w1->table, w->table, 0.0, &diff))
+        << "workers=" << workers << ": " << diff;
+  }
+}
+
+TEST(MorselDeterminismTest, WorkerMetricsFoldToSameNodeTotals) {
+  const TestData data = MakeTestData(20000, 512);
+  auto w1 = RunFilterJoinAgg(data, 2, 1);
+  auto w4 = RunFilterJoinAgg(data, 2, 4);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w4.ok());
+  // Scanned/filtered/built/probed totals are partition properties, not
+  // scheduling properties: they must not depend on W.
+  for (std::size_t node = 0; node < 2; ++node) {
+    const NodeMetrics& a = w1->metrics.nodes[node];
+    const NodeMetrics& b = w4->metrics.nodes[node];
+    EXPECT_DOUBLE_EQ(a.scan_rows, b.scan_rows);
+    EXPECT_DOUBLE_EQ(a.filter_rows_in, b.filter_rows_in);
+    EXPECT_DOUBLE_EQ(a.filter_rows_out, b.filter_rows_out);
+    EXPECT_DOUBLE_EQ(a.build_rows, b.build_rows);
+    EXPECT_DOUBLE_EQ(a.probe_rows, b.probe_rows);
+    EXPECT_DOUBLE_EQ(a.join_output_rows, b.join_output_rows);
+    EXPECT_DOUBLE_EQ(a.agg_rows_in, b.agg_rows_in);
+  }
+}
+
+TEST(MorselDeterminismTest, TpchDualShuffleWithWorkersMatchesReference) {
+  tpch::DbgenOptions opts;
+  opts.scale_factor = 0.002;
+  opts.seed = 42;
+  const tpch::TpchDatabase db = tpch::GenerateDatabase(opts);
+  const std::int64_t sd =
+      tpch::ThresholdForSelectivity(*db.lineitem, "l_shipdate", 0.4)
+          .value();
+
+  ClusterData data(3);
+  ASSERT_TRUE(
+      data.LoadHashPartitioned("lineitem", *db.lineitem, "l_shipdate")
+          .ok());
+  ASSERT_TRUE(
+      data.LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+  PlanPtr plan = HashJoinPlan(
+      ShufflePlan(ScanPlan("orders"), "o_orderkey"),
+      ShufflePlan(FilterPlan(ScanPlan("lineitem"),
+                             Lt(Col("l_shipdate"), I64(sd))),
+                  "l_orderkey"),
+      "o_orderkey", "l_orderkey");
+
+  Executor::Options options;
+  options.workers_per_node = 4;
+  options.morsel_rows = 256;
+  Executor executor(&data, options);
+  auto result = executor.Execute(plan);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const Table lineitem = ReferenceFilter(
+      *db.lineitem, [&](const Table& t, std::size_t row) {
+        return t.ColumnByName("l_shipdate").value()->Int64At(row) < sd;
+      });
+  auto want =
+      ReferenceHashJoin(*db.orders, lineitem, "o_orderkey", "l_orderkey");
+  ASSERT_TRUE(want.ok());
+  std::string diff;
+  EXPECT_TRUE(TablesEqualUnordered(result->table, *want, 1e-9, &diff))
+      << diff;
+}
+
+TEST(MorselDeterminismTest, EmptyGlobalAggregateEmitsOneRowAtAnyW) {
+  Table fact(Schema{{Field{"f_key", DataType::kInt64, 0.0},
+                     Field{"f_val", DataType::kInt64, 0.0}}});
+  ClusterData cluster(1);
+  cluster.LoadReplicated("fact", std::make_shared<Table>(std::move(fact)));
+  PlanPtr agg =
+      HashAggPlan(ScanPlan("fact"), {},
+                  {AggSpec::Sum(Col("f_val"), "s"), AggSpec::Count("c")});
+  for (int workers : {1, 4}) {
+    Executor::Options options;
+    options.workers_per_node = workers;
+    Executor executor(&cluster, options);
+    auto result = executor.Execute(agg);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result->table.num_rows(), 1u) << "workers=" << workers;
+    EXPECT_DOUBLE_EQ(result->table.column(0).DoubleAt(0), 0.0);
+    EXPECT_EQ(result->table.column(1).Int64At(0), 0);
+  }
+}
+
+TEST(MorselDeterminismTest, MemoryBudgetFailureDoesNotDeadlockWorkers) {
+  const TestData data = MakeTestData(20000, 4096);
+  ClusterData cluster(2);
+  cluster.LoadRoundRobin("fact", *data.fact);
+  cluster.LoadRoundRobin("dim", *data.dim);
+  PlanPtr plan = HashJoinPlan(
+      ShufflePlan(ScanPlan("dim"), "d_key"),
+      ShufflePlan(ScanPlan("fact"), "f_key"), "d_key", "f_key");
+  Executor::Options options;
+  options.workers_per_node = 4;
+  options.morsel_rows = 64;
+  options.node_memory_budget_bytes = {0.0, 256.0};  // node 1 cannot build
+  Executor executor(&cluster, options);
+  auto result = executor.Execute(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace eedc::exec
