@@ -1,29 +1,47 @@
 #!/usr/bin/env python3
-"""Gates CI on the engine's rows/sec trajectory.
+"""Gates CI on a bench's metric trajectory.
 
-Compares a freshly produced BENCH_micro_engine.json against the checked-in
-baseline (bench/BASELINE_micro_engine.json): every metric listed in the
-baseline must be present and must not regress more than the tolerance
-(default 25%) below its baseline value. Baseline values are deliberately
-conservative floors — roughly a third of what a 1-core container measures —
-so only real regressions (a serialized pipeline, a lost fast path) trip the
-gate, not shared-runner noise. Re-baseline by running bench_micro_engine on
-a quiet machine and copying ~0.3x of the measured rows/sec.
+Compares a freshly produced BENCH_<name>.json against its checked-in
+baseline (bench/BASELINE_<name>.json). The baseline carries a small
+"config" block so each bench picks its own gate instead of hard-coded
+constants:
+
+    {
+      "bench": "micro_engine",
+      "config": {
+        "tolerance": 0.25,        # allowed fractional regression
+        "metrics": ["a", "b"]     # keys to gate (default: all floors)
+      },
+      "a": 1000.0,                # floor values
+      "b": 1.0
+    }
+
+Every gated metric must be present in the current JSON and must not fall
+more than `tolerance` below its baseline floor. Baseline floors are
+deliberately conservative (roughly a third of a quiet-machine run) so
+only real regressions trip the gate, not shared-runner noise. Re-baseline
+by running the bench on a quiet machine and copying ~0.3x of the
+measured values.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
+(--tolerance overrides the baseline's config block when given.)
 """
 
 import argparse
 import json
 import sys
 
+DEFAULT_TOLERANCE = 0.25
+RESERVED_KEYS = ("bench", "config")
+
 
 def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("current")
     parser.add_argument("baseline")
-    parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional regression (overrides the "
+                             "baseline's config block)")
     args = parser.parse_args()
 
     with open(args.current) as f:
@@ -31,14 +49,27 @@ def main() -> int:
     with open(args.baseline) as f:
         baseline = json.load(f)
 
+    config = baseline.get("config", {})
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = config.get("tolerance", DEFAULT_TOLERANCE)
+    metrics = config.get(
+        "metrics",
+        [k for k in baseline if k not in RESERVED_KEYS])
+
     failures = []
-    for metric, floor in baseline.items():
-        if metric == "bench":
+    for metric in metrics:
+        if metric in RESERVED_KEYS:
             continue
+        if metric not in baseline:
+            failures.append(f"{metric}: listed in config but has no "
+                            f"baseline floor in {args.baseline}")
+            continue
+        floor = baseline[metric]
         if metric not in current:
             failures.append(f"{metric}: missing from {args.current}")
             continue
-        allowed = floor * (1.0 - args.tolerance)
+        allowed = floor * (1.0 - tolerance)
         value = current[metric]
         status = "OK " if value >= allowed else "FAIL"
         print(f"[{status}] {metric}: {value:.3g} "
@@ -46,7 +77,7 @@ def main() -> int:
         if value < allowed:
             failures.append(
                 f"{metric}: {value:.3g} < {allowed:.3g} "
-                f"(baseline {floor:.3g} - {args.tolerance:.0%})")
+                f"(baseline {floor:.3g} - {tolerance:.0%})")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

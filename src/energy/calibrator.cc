@@ -1,0 +1,137 @@
+#include "energy/calibrator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "energy/meter.h"
+#include "exec/executor.h"
+#include "power/catalog.h"
+#include "tpch/dates.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/selectivity.h"
+
+namespace eedc::energy {
+
+namespace {
+
+/// Runs `plan` `repetitions` times and keeps the fastest run (by wall):
+/// warm-up effects only ever slow a run down, so best-of approximates the
+/// engine's steady-state rate.
+StatusOr<FragmentMeasurement> MeasureFragment(
+    const std::string& name, exec::Executor& executor, EnergyMeter* meter,
+    exec::PlanPtr plan, double input_rows, int nodes,
+    int workers_per_node, int repetitions) {
+  FragmentMeasurement best;
+  best.name = name;
+  best.input_rows = input_rows;
+  for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+    meter->Reset();
+    EEDC_ASSIGN_OR_RETURN(exec::QueryResult result, executor.Execute(plan));
+    QueryEnergyReport energy = meter->Finish();
+    const double wall = result.metrics.wall.seconds();
+    if (wall <= 0.0) continue;
+    if (best.wall.seconds() > 0.0 && wall >= best.wall.seconds()) continue;
+    best.wall = result.metrics.wall;
+    best.rows_per_sec = input_rows / wall;
+    best.engine_mbps_per_node =
+        MBFromBytes(static_cast<std::uint64_t>(
+            result.metrics.TotalCpuBytes())) /
+        (nodes * wall);
+    best.busy_fraction = std::min(
+        1.0, result.metrics.TotalBusy().seconds() /
+                 (static_cast<double>(nodes) * workers_per_node * wall));
+    best.energy = energy.total;
+  }
+  if (best.wall.seconds() <= 0.0) {
+    return Status::Internal("calibration fragment measured zero wall time");
+  }
+  return best;
+}
+
+}  // namespace
+
+void CalibrationResult::ApplyTo(model::ModelParams* params) const {
+  if (engine_cpu_mbps <= 0.0) return;
+  const double c_ratio = params->cb > 0.0 ? params->cw / params->cb : 1.0;
+  params->cb = engine_cpu_mbps;
+  params->cw = engine_cpu_mbps * std::min(1.0, c_ratio);
+  if (busy_fraction > 0.0) {
+    const double g_ratio = params->gb > 0.0 ? params->gw / params->gb : 1.0;
+    params->gb = std::min(1.0, busy_fraction);
+    params->gw = std::min(1.0, busy_fraction * g_ratio);
+  }
+}
+
+StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& opts) {
+  if (opts.nodes <= 0 || opts.workers_per_node <= 0) {
+    return Status::InvalidArgument(
+        "calibration needs >= 1 node and >= 1 worker");
+  }
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = opts.scale_factor;
+  dbgen.seed = opts.seed;
+  const tpch::TpchDatabase db = tpch::GenerateDatabase(dbgen);
+
+  exec::ClusterData data(opts.nodes);
+  EEDC_RETURN_IF_ERROR(
+      data.LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey"));
+  EEDC_RETURN_IF_ERROR(
+      data.LoadHashPartitioned("orders", *db.orders, "o_custkey"));
+
+  std::shared_ptr<const power::PowerModel> model = opts.power_model;
+  if (model == nullptr) model = power::ClusterVPowerModel();
+  EnergyMeter meter(opts.nodes, model, opts.workers_per_node);
+
+  exec::Executor::Options exec_opts;
+  exec_opts.workers_per_node = opts.workers_per_node;
+  exec_opts.activity_listener = &meter;
+  exec::Executor executor(&data, exec_opts);
+
+  CalibrationResult result;
+
+  // Fragment 1: Q1's fully-local scan/aggregate — the pure CPU-bandwidth
+  // fragment (no shuffle, every lineitem byte flows through the tree).
+  {
+    EEDC_ASSIGN_OR_RETURN(
+        FragmentMeasurement m,
+        MeasureFragment(
+            "q1_scan_agg", executor, &meter,
+            tpch::Q1Plan(tpch::DayNumber(1998, 9, 2)),
+            static_cast<double>(db.lineitem->num_rows()), opts.nodes,
+            opts.workers_per_node, opts.repetitions));
+    result.fragments.push_back(std::move(m));
+  }
+
+  // Fragment 2: Q3's partition-incompatible join — the shuffle + hash
+  // build/probe fragment.
+  {
+    tpch::Q3Options q3;
+    EEDC_ASSIGN_OR_RETURN(
+        q3.custkey_threshold,
+        tpch::ThresholdForSelectivity(*db.orders, "o_custkey", 0.5));
+    EEDC_ASSIGN_OR_RETURN(
+        q3.shipdate_threshold,
+        tpch::ThresholdForSelectivity(*db.lineitem, "l_shipdate", 0.5));
+    EEDC_ASSIGN_OR_RETURN(
+        FragmentMeasurement m,
+        MeasureFragment(
+            "q3_join", executor, &meter, tpch::Q3Plan(q3),
+            static_cast<double>(db.lineitem->num_rows() +
+                                db.orders->num_rows()),
+            opts.nodes, opts.workers_per_node, opts.repetitions));
+    result.fragments.push_back(std::move(m));
+  }
+
+  double busy_sum = 0.0;
+  for (const FragmentMeasurement& m : result.fragments) {
+    result.engine_cpu_mbps =
+        std::max(result.engine_cpu_mbps, m.engine_mbps_per_node);
+    busy_sum += m.busy_fraction;
+  }
+  result.busy_fraction =
+      busy_sum / static_cast<double>(result.fragments.size());
+  return result;
+}
+
+}  // namespace eedc::energy

@@ -1,0 +1,77 @@
+// Engine -> analytic-model calibration.
+//
+// The design-point explorer (core/explorer.h) scores cluster
+// configurations with the Section 5.3 analytic model, whose CPU terms
+// (Table 3's CB/CW bandwidths and GB/GW engine-utilization constants) the
+// paper obtained by measuring its real P-store deployment. The repo's
+// analytic side has so far used the paper's published constants, which say
+// nothing about *this* engine. The Calibrator closes that gap: it runs
+// representative TPC-H fragments (the fully-local Q1 scan/aggregate and
+// the shuffle-heavy Q3 join) on the real executor, meters them with the
+// EnergyMeter, converts the executor's logical cpu_bytes and busy time
+// into a measured per-node engine bandwidth and utilization, and rewrites
+// a ModelParams with those measured values — so explorer scores track the
+// engine that actually runs.
+#ifndef EEDC_ENERGY_CALIBRATOR_H_
+#define EEDC_ENERGY_CALIBRATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "model/params.h"
+#include "power/power_model.h"
+
+namespace eedc::energy {
+
+struct CalibrationOptions {
+  /// TPC-H scale factor for the calibration database (kept small: the
+  /// rates of interest are per-byte, not per-table).
+  double scale_factor = 0.002;
+  std::uint64_t seed = 19920101;
+  int nodes = 2;
+  int workers_per_node = 1;
+  /// Best-of repetitions per fragment (absorbs warm-up noise).
+  int repetitions = 3;
+  /// Power model used to meter the calibration runs (default: the paper's
+  /// cluster-V node model).
+  std::shared_ptr<const power::PowerModel> power_model;
+};
+
+/// One measured query fragment.
+struct FragmentMeasurement {
+  std::string name;
+  double input_rows = 0.0;
+  double rows_per_sec = 0.0;          // input rows / wall
+  double engine_mbps_per_node = 0.0;  // cpu_bytes / (nodes * wall)
+  double busy_fraction = 0.0;         // busy / (nodes * W * wall)
+  Duration wall = Duration::Zero();
+  Energy energy = Energy::Zero();     // metered joules across the cluster
+};
+
+struct CalibrationResult {
+  std::vector<FragmentMeasurement> fragments;
+  /// Peak measured per-node engine bandwidth across fragments: the
+  /// calibrated stand-in for Table 3's C.
+  double engine_cpu_mbps = 0.0;
+  /// Mean measured executor utilization: the calibrated stand-in for
+  /// Table 3's G.
+  double busy_fraction = 0.0;
+
+  /// Rewrites the params' CPU terms with the measured engine values:
+  /// CB becomes the measured bandwidth and CW keeps the spec's CW/CB
+  /// ratio (the calibration host stands in for a Beefy node; Wimpy rates
+  /// scale with the catalog's relative speed). GB/GW likewise.
+  void ApplyTo(model::ModelParams* params) const;
+};
+
+/// Generates the calibration database, runs the fragments on the real
+/// executor, and measures rates and joules.
+StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& opts);
+
+}  // namespace eedc::energy
+
+#endif  // EEDC_ENERGY_CALIBRATOR_H_

@@ -1,0 +1,128 @@
+#include "energy/meter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eedc::energy {
+
+UtilizationTrace BuildUtilizationTrace(std::span<const WorkerSpan> spans,
+                                       int workers_per_node,
+                                       Duration horizon) {
+  EEDC_CHECK(workers_per_node > 0);
+  // Sweep the span boundaries: +1 at begin, -1 at end, sorted by time.
+  std::vector<std::pair<double, int>> events;
+  events.reserve(spans.size() * 2);
+  for (const WorkerSpan& s : spans) {
+    const double b = std::clamp(s.begin.seconds(), 0.0, horizon.seconds());
+    const double e = std::clamp(s.end.seconds(), 0.0, horizon.seconds());
+    if (e <= b) continue;
+    events.emplace_back(b, +1);
+    events.emplace_back(e, -1);
+  }
+  std::sort(events.begin(), events.end());
+
+  UtilizationTrace trace;
+  double t = 0.0;
+  int active = 0;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const double at = events[i].first;
+    if (at > t) {
+      trace.push_back(UtilizationStep{
+          Duration::Seconds(t), Duration::Seconds(at),
+          std::min(1.0, static_cast<double>(active) / workers_per_node)});
+      t = at;
+    }
+    // Apply every event at this instant before emitting the next step.
+    while (i < events.size() && events[i].first == at) {
+      active += events[i].second;
+      ++i;
+    }
+  }
+  if (t < horizon.seconds()) {
+    trace.push_back(UtilizationStep{
+        Duration::Seconds(t), horizon,
+        std::min(1.0, static_cast<double>(active) / workers_per_node)});
+  }
+  return trace;
+}
+
+EnergySplit IntegrateTrace(const UtilizationTrace& trace,
+                           const power::PowerModel& model) {
+  EnergySplit split;
+  for (const UtilizationStep& step : trace) {
+    const Duration dt = step.end - step.begin;
+    if (dt.seconds() <= 0.0) continue;
+    if (step.utilization > 0.0) {
+      split.busy += model.WattsAt(step.utilization) * dt;
+    } else {
+      split.idle += model.IdleWatts() * dt;
+    }
+  }
+  return split;
+}
+
+EnergyMeter::EnergyMeter(
+    std::vector<std::shared_ptr<const power::PowerModel>> node_models,
+    int workers_per_node)
+    : node_models_(std::move(node_models)),
+      workers_per_node_(workers_per_node) {
+  EEDC_CHECK(!node_models_.empty());
+  EEDC_CHECK(workers_per_node_ > 0);
+  for (const auto& m : node_models_) EEDC_CHECK(m != nullptr);
+}
+
+EnergyMeter::EnergyMeter(int num_nodes,
+                         std::shared_ptr<const power::PowerModel> model,
+                         int workers_per_node)
+    : EnergyMeter(
+          std::vector<std::shared_ptr<const power::PowerModel>>(
+              static_cast<std::size_t>(num_nodes), std::move(model)),
+          workers_per_node) {}
+
+void EnergyMeter::OnWorkerSpan(int node, int worker, Duration begin,
+                               Duration end) {
+  EEDC_CHECK(node >= 0 &&
+             node < static_cast<int>(node_models_.size()));
+  spans_.push_back(WorkerSpan{node, worker, begin, end});
+}
+
+QueryEnergyReport EnergyMeter::Finish() {
+  QueryEnergyReport report;
+  for (const WorkerSpan& s : spans_) {
+    if (s.end > report.wall) report.wall = s.end;
+  }
+  report.nodes.reserve(node_models_.size());
+  for (int node = 0; node < static_cast<int>(node_models_.size());
+       ++node) {
+    std::vector<WorkerSpan> node_spans;
+    Duration busy = Duration::Zero();
+    for (const WorkerSpan& s : spans_) {
+      if (s.node != node) continue;
+      node_spans.push_back(s);
+      busy += s.end - s.begin;
+    }
+    NodeEnergyReport nr;
+    nr.node = node;
+    nr.busy = busy;
+    nr.wall = report.wall;
+    if (report.wall.seconds() > 0.0) {
+      nr.avg_utilization = std::min(
+          1.0, busy.seconds() /
+                   (workers_per_node_ * report.wall.seconds()));
+    }
+    nr.joules = IntegrateTrace(
+        BuildUtilizationTrace(node_spans, workers_per_node_, report.wall),
+        *node_models_[static_cast<std::size_t>(node)]);
+    report.total += nr.joules.total();
+    report.busy += nr.joules.busy;
+    report.idle += nr.joules.idle;
+    report.nodes.push_back(std::move(nr));
+  }
+  spans_.clear();
+  return report;
+}
+
+}  // namespace eedc::energy

@@ -1,0 +1,124 @@
+// Energy-accounting runtime: executor activity -> utilization -> joules.
+//
+// The paper's thesis is that energy must be a first-class output of query
+// execution, and that a node's wall power is a (non-linear, non-
+// proportional) function of its CPU utilization. The EnergyMeter closes
+// that loop for the real engine: it listens to the executor's per-worker
+// busy spans (exec::WorkerActivityListener), folds overlapping spans into
+// a piecewise-constant node utilization curve — utilization at an instant
+// is busy workers / workers-per-node — and integrates the node's
+// power::PowerModel over that curve into per-node and per-query joules.
+//
+// The integration primitives (BuildUtilizationTrace / IntegrateTrace) are
+// exposed as free functions so tests can feed hand-built synthetic traces
+// and compare against hand-computed joules.
+#ifndef EEDC_ENERGY_METER_H_
+#define EEDC_ENERGY_METER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "exec/metrics.h"
+#include "power/power_model.h"
+
+namespace eedc::energy {
+
+/// One worker pipeline's busy interval on a node, offsets from query start.
+struct WorkerSpan {
+  int node = 0;
+  int worker = 0;
+  Duration begin = Duration::Zero();
+  Duration end = Duration::Zero();
+};
+
+/// One step of a piecewise-constant utilization curve over [begin, end).
+struct UtilizationStep {
+  Duration begin = Duration::Zero();
+  Duration end = Duration::Zero();
+  double utilization = 0.0;  // fraction in [0, 1]
+};
+using UtilizationTrace = std::vector<UtilizationStep>;
+
+/// Folds one node's (possibly overlapping) worker spans into its
+/// utilization step function over [0, horizon): at any instant,
+/// utilization = (number of busy workers) / workers_per_node, capped at 1.
+/// Steps tile the horizon exactly; zero-utilization gaps are explicit.
+UtilizationTrace BuildUtilizationTrace(std::span<const WorkerSpan> spans,
+                                       int workers_per_node,
+                                       Duration horizon);
+
+/// Joules split by what the node was doing: busy steps (utilization > 0)
+/// versus idle steps (utilization == 0, drawing the model's idle watts —
+/// real hardware is not energy proportional).
+struct EnergySplit {
+  Energy busy = Energy::Zero();
+  Energy idle = Energy::Zero();
+  Energy total() const { return busy + idle; }
+};
+
+/// Integrates f(u(t)) dt over the trace with the rectangle rule (the
+/// steps are exact, so the integral is exact up to floating point).
+EnergySplit IntegrateTrace(const UtilizationTrace& trace,
+                           const power::PowerModel& model);
+
+/// Per-node energy accounting for one metered query.
+struct NodeEnergyReport {
+  int node = 0;
+  Duration busy = Duration::Zero();  // sum of worker span lengths
+  Duration wall = Duration::Zero();  // query horizon on this node
+  double avg_utilization = 0.0;      // busy / (W * wall)
+  EnergySplit joules;
+};
+
+/// Whole-query energy accounting.
+struct QueryEnergyReport {
+  std::vector<NodeEnergyReport> nodes;
+  Duration wall = Duration::Zero();  // max span end across nodes
+  Energy total = Energy::Zero();
+  Energy busy = Energy::Zero();
+  Energy idle = Energy::Zero();
+
+  /// The paper's trade-off metric for this query.
+  double edp() const { return EnergyDelayProduct(total, wall); }
+};
+
+/// Samples executor activity and integrates a utilization->watts curve
+/// into joules. Attach via Executor::Options::activity_listener, run one
+/// query, then call Finish() to obtain the report (which also resets the
+/// meter for the next query).
+class EnergyMeter : public exec::WorkerActivityListener {
+ public:
+  /// One power model per node (index = node id).
+  explicit EnergyMeter(
+      std::vector<std::shared_ptr<const power::PowerModel>> node_models,
+      int workers_per_node = 1);
+  /// Homogeneous cluster convenience: the same model on every node.
+  EnergyMeter(int num_nodes,
+              std::shared_ptr<const power::PowerModel> model,
+              int workers_per_node = 1);
+
+  void OnWorkerSpan(int node, int worker, Duration begin,
+                    Duration end) override;
+
+  /// Spans observed since the last Finish()/Reset().
+  const std::vector<WorkerSpan>& spans() const { return spans_; }
+
+  /// Integrates the collected spans into a per-node/per-query report and
+  /// resets the meter. Every node is accounted over the same horizon (the
+  /// query wall clock), so nodes that finished early accrue idle joules
+  /// for their tail — exactly the paper's underutilized-cluster waste.
+  QueryEnergyReport Finish();
+
+  void Reset() { spans_.clear(); }
+
+ private:
+  std::vector<std::shared_ptr<const power::PowerModel>> node_models_;
+  int workers_per_node_;
+  std::vector<WorkerSpan> spans_;
+};
+
+}  // namespace eedc::energy
+
+#endif  // EEDC_ENERGY_METER_H_

@@ -268,6 +268,15 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   std::vector<Status> statuses(total);
   std::vector<std::unique_ptr<Table>> partials(total);
 
+  // Per-worker busy spans as offsets from the common query start, for the
+  // activity listener (emitted after the join, in index order).
+  struct WorkerSpan {
+    Duration begin = Duration::Zero();
+    Duration end = Duration::Zero();
+  };
+  std::vector<WorkerSpan> spans(total);
+  const auto query_start = std::chrono::steady_clock::now();
+
   auto run_pipeline = [&](std::size_t idx) {
     const int node = static_cast<int>(idx) / num_workers;
     const auto start = std::chrono::steady_clock::now();
@@ -302,6 +311,11 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     worker_metrics[idx].wall =
         Duration::Seconds(std::chrono::duration<double>(end - start)
                               .count());
+    worker_metrics[idx].busy = worker_metrics[idx].wall;
+    spans[idx].begin = Duration::Seconds(
+        std::chrono::duration<double>(start - query_start).count());
+    spans[idx].end = Duration::Seconds(
+        std::chrono::duration<double>(end - query_start).count());
     statuses[idx] = st;
     partials[idx] = std::move(result);
   };
@@ -313,6 +327,15 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
 
   for (std::size_t idx = 0; idx < total; ++idx) {
     if (!statuses[idx].ok()) return statuses[idx];
+  }
+
+  if (options_.activity_listener != nullptr) {
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      options_.activity_listener->OnWorkerSpan(
+          static_cast<int>(idx) / num_workers,
+          static_cast<int>(idx) % num_workers, spans[idx].begin,
+          spans[idx].end);
+    }
   }
 
   // Fold worker pipelines into per-node metrics: counters sum, wall is the

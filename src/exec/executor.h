@@ -71,6 +71,9 @@ class Executor {
     /// Rows per morsel; 0 uses MorselDispenser::kDefaultMorselRows. Small
     /// values force fine interleaving (useful for tests).
     std::size_t morsel_rows = 0;
+    /// Observes per-worker busy spans after each successful run (see
+    /// WorkerActivityListener). Not owned; may be null.
+    WorkerActivityListener* activity_listener = nullptr;
   };
 
   /// Produces the (possibly node-specific) plan for a node. The default

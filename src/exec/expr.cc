@@ -63,7 +63,9 @@ class Operand {
   // scratch with Sel() == nullptr).
   bool IsScalar() const { return scalar_ != nullptr; }
   std::int64_t ScalarI64() const { return std::get<std::int64_t>(*scalar_); }
+  double ScalarF64() const { return std::get<double>(*scalar_); }
   const std::int64_t* I64Data() const { return col_->int64s().data(); }
+  const double* F64Data() const { return col_->doubles().data(); }
   const std::uint32_t* Sel() const { return sel_; }
 
   std::int64_t I64(std::size_t i) const {
@@ -388,6 +390,91 @@ void EvalI64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dense double compare kernels: the int64 kernels above, with double
+// operands. Double predicates (price/discount filters, computed revenue
+// thresholds) take the same branch-free contiguous loops; the 0/1 result
+// is still an int64 column.
+// ---------------------------------------------------------------------------
+
+/// out[i] = cmp(col[sel ? sel[i] : i], c) over n rows.
+template <typename Cmp>
+void CmpF64ColConst(const double* EEDC_RESTRICT col,
+                    const std::uint32_t* EEDC_RESTRICT sel, double c,
+                    std::size_t n, std::int64_t* EEDC_RESTRICT out) {
+  const Cmp cmp{};
+  if (sel == nullptr) {
+    EEDC_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int64_t>(cmp(col[i], c));
+    }
+  } else {
+    EEDC_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int64_t>(cmp(col[sel[i]], c));
+    }
+  }
+}
+
+/// out[i] = cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
+template <typename Cmp>
+void CmpF64ColCol(const double* EEDC_RESTRICT a,
+                  const std::uint32_t* EEDC_RESTRICT sa,
+                  const double* EEDC_RESTRICT b,
+                  const std::uint32_t* EEDC_RESTRICT sb, std::size_t n,
+                  std::int64_t* EEDC_RESTRICT out) {
+  const Cmp cmp{};
+  if (sa == nullptr && sb == nullptr) {
+    EEDC_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int64_t>(cmp(a[i], b[i]));
+    }
+  } else {
+    EEDC_SIMD_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int64_t>(
+          cmp(a[sa != nullptr ? sa[i] : i], b[sb != nullptr ? sb[i] : i]));
+    }
+  }
+}
+
+template <typename Cmp>
+void CmpF64Dispatch(const Operand& a, const Operand& b, std::size_t n,
+                    std::int64_t* out) {
+  if (a.IsScalar() && b.IsScalar()) {
+    const auto v =
+        static_cast<std::int64_t>(Cmp{}(a.ScalarF64(), b.ScalarF64()));
+    for (std::size_t i = 0; i < n; ++i) out[i] = v;
+  } else if (b.IsScalar()) {
+    CmpF64ColConst<Cmp>(a.F64Data(), a.Sel(), b.ScalarF64(), n, out);
+  } else if (a.IsScalar()) {
+    struct ReverseCmp {
+      bool operator()(double x, double y) const { return Cmp{}(y, x); }
+    };
+    CmpF64ColConst<ReverseCmp>(b.F64Data(), b.Sel(), a.ScalarF64(), n, out);
+  } else {
+    CmpF64ColCol<Cmp>(a.F64Data(), a.Sel(), b.F64Data(), b.Sel(), n, out);
+  }
+}
+
+void EvalF64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
+                std::int64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpF64Dispatch<std::equal_to<double>>(a, b, n, out);
+    case CmpOp::kNe:
+      return CmpF64Dispatch<std::not_equal_to<double>>(a, b, n, out);
+    case CmpOp::kLt:
+      return CmpF64Dispatch<std::less<double>>(a, b, n, out);
+    case CmpOp::kLe:
+      return CmpF64Dispatch<std::less_equal<double>>(a, b, n, out);
+    case CmpOp::kGt:
+      return CmpF64Dispatch<std::greater<double>>(a, b, n, out);
+    case CmpOp::kGe:
+      return CmpF64Dispatch<std::greater_equal<double>>(a, b, n, out);
+  }
+}
+
 template <typename T>
 bool ApplyCmp(CmpOp op, const T& a, const T& b) {
   switch (op) {
@@ -437,6 +524,9 @@ class CompareExpr final : public Expr {
     } else if (a.type() == DataType::kInt64 &&
                b.type() == DataType::kInt64) {
       EvalI64Cmp(op_, a, b, n, out->AppendRawInt64(n));
+    } else if (a.type() == DataType::kDouble &&
+               b.type() == DataType::kDouble) {
+      EvalF64Cmp(op_, a, b, n, out->AppendRawInt64(n));
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         out->AppendInt64(

@@ -22,6 +22,21 @@ struct ExchangeStats {
   double rows_routed = 0.0;
 };
 
+/// Observes per-worker pipeline activity. The executor reports one span
+/// per worker pipeline instance — the half-open interval during which that
+/// worker was executing its operator tree, as offsets from the query's
+/// execution start. Spans are emitted after the run completes, from the
+/// calling thread, in (node, worker) order, so implementations need no
+/// locking. This is the bridge into the energy-accounting runtime
+/// (energy::EnergyMeter): overlapping spans become a node utilization
+/// curve which a power model integrates into joules.
+class WorkerActivityListener {
+ public:
+  virtual ~WorkerActivityListener() = default;
+  virtual void OnWorkerSpan(int node, int worker, Duration begin,
+                            Duration end) = 0;
+};
+
 /// Counters for one node's operator tree.
 struct NodeMetrics {
   double scan_rows = 0.0;
@@ -39,6 +54,10 @@ struct NodeMetrics {
   /// processing work (the model's U / C ratio).
   double cpu_bytes = 0.0;
   Duration wall = Duration::Zero();
+  /// Sum of worker-pipeline execution time on this node. With W workers,
+  /// busy / (W * wall) is the node's average executor utilization — the
+  /// `c` fed to power::PowerModel::WattsAt by the energy runtime.
+  Duration busy = Duration::Zero();
 
   /// Indexed by exchange id assigned during plan instantiation.
   std::vector<ExchangeStats> exchanges;
@@ -63,6 +82,7 @@ struct NodeMetrics {
     agg_rows_in += w.agg_rows_in;
     agg_groups += w.agg_groups;
     cpu_bytes += w.cpu_bytes;
+    busy += w.busy;
     if (w.wall > wall) wall = w.wall;
     for (std::size_t i = 0; i < w.exchanges.size(); ++i) {
       ExchangeStats& e = exchange(i);
@@ -103,6 +123,16 @@ struct ExecMetrics {
   double TotalJoinOutputRows() const {
     double t = 0.0;
     for (const auto& n : nodes) t += n.join_output_rows;
+    return t;
+  }
+  double TotalCpuBytes() const {
+    double t = 0.0;
+    for (const auto& n : nodes) t += n.cpu_bytes;
+    return t;
+  }
+  Duration TotalBusy() const {
+    Duration t = Duration::Zero();
+    for (const auto& n : nodes) t += n.busy;
     return t;
   }
 };

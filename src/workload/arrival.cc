@@ -1,0 +1,83 @@
+#include "workload/arrival.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eedc::workload {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kQ1:
+      return "Q1";
+    case QueryKind::kQ3:
+      return "Q3";
+    case QueryKind::kQ12:
+      return "Q12";
+    case QueryKind::kQ21:
+      return "Q21";
+  }
+  return "?";
+}
+
+WorkloadMix DefaultMix() {
+  return {{QueryKind::kQ1, 0.4},
+          {QueryKind::kQ3, 0.3},
+          {QueryKind::kQ12, 0.2},
+          {QueryKind::kQ21, 0.1}};
+}
+
+QueryKind SampleFromMix(const WorkloadMix& mix, Rng& rng) {
+  EEDC_CHECK(!mix.empty());
+  double total = 0.0;
+  for (const MixEntry& e : mix) total += e.weight;
+  EEDC_CHECK(total > 0.0);
+  double u = rng.NextDouble() * total;
+  for (const MixEntry& e : mix) {
+    u -= e.weight;
+    if (u < 0.0) return e.kind;
+  }
+  return mix.back().kind;
+}
+
+namespace {
+
+/// Appends a Poisson stream over [from, from + window) to `out`.
+void AppendPoissonWindow(const WorkloadMix& mix, double rate_qps,
+                         Duration from, Duration window, Rng& rng,
+                         std::vector<QueryArrival>* out) {
+  EEDC_CHECK(rate_qps > 0.0);
+  double t = from.seconds();
+  const double end = from.seconds() + window.seconds();
+  while (true) {
+    t += rng.Exponential(1.0 / rate_qps);
+    if (t >= end) break;
+    out->push_back(
+        QueryArrival{Duration::Seconds(t), SampleFromMix(mix, rng)});
+  }
+}
+
+}  // namespace
+
+std::vector<QueryArrival> PoissonArrivals(const WorkloadMix& mix,
+                                          const PoissonOptions& options) {
+  Rng rng(options.seed);
+  std::vector<QueryArrival> arrivals;
+  AppendPoissonWindow(mix, options.rate_qps, Duration::Zero(),
+                      options.horizon, rng, &arrivals);
+  return arrivals;
+}
+
+std::vector<QueryArrival> BurstyArrivals(const WorkloadMix& mix,
+                                         const BurstyOptions& options) {
+  Rng rng(options.seed);
+  std::vector<QueryArrival> arrivals;
+  Duration cycle_start = Duration::Zero();
+  for (int c = 0; c < options.cycles; ++c) {
+    AppendPoissonWindow(mix, options.on_rate_qps, cycle_start, options.on,
+                        rng, &arrivals);
+    cycle_start += options.on + options.off;
+  }
+  return arrivals;
+}
+
+}  // namespace eedc::workload

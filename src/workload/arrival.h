@@ -1,0 +1,73 @@
+// Arrival processes for concurrent TPC-H query streams.
+//
+// The paper evaluates cluster designs on single queries; its future-work
+// section (and this repo's north star) calls for realistic concurrent
+// workloads. These generators produce deterministic, seeded arrival
+// traces over a weighted mix of the repo's TPC-H queries:
+//   - Poisson: open system, exponential inter-arrivals at a fixed rate —
+//     the classic "millions of independent users" model.
+//   - Bursty: on/off cycles of Poisson traffic — the trace that separates
+//     power policies, because only off periods let nodes power down.
+// Closed-loop (think-time) arrivals depend on completion feedback and are
+// generated inside the driver (driver.h) instead.
+#ifndef EEDC_WORKLOAD_ARRIVAL_H_
+#define EEDC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace eedc::workload {
+
+/// The query kinds the driver can schedule (tpch/queries.h plans).
+enum class QueryKind { kQ1, kQ3, kQ12, kQ21 };
+inline constexpr int kNumQueryKinds = 4;
+
+const char* QueryKindName(QueryKind kind);
+
+/// A weighted query mix. Weights need not sum to 1 (they are normalized).
+struct MixEntry {
+  QueryKind kind = QueryKind::kQ1;
+  double weight = 1.0;
+};
+using WorkloadMix = std::vector<MixEntry>;
+
+/// The default mix: scan-heavy with a tail of join queries.
+WorkloadMix DefaultMix();
+
+/// Samples one kind with probability proportional to its weight.
+QueryKind SampleFromMix(const WorkloadMix& mix, Rng& rng);
+
+/// One query arrival.
+struct QueryArrival {
+  Duration at = Duration::Zero();
+  QueryKind kind = QueryKind::kQ1;
+};
+
+struct PoissonOptions {
+  double rate_qps = 1.0;  ///< mean arrivals per second (> 0)
+  Duration horizon = Duration::Seconds(60.0);
+  std::uint64_t seed = 1;
+};
+
+/// Open Poisson stream over [0, horizon), sorted by arrival time.
+std::vector<QueryArrival> PoissonArrivals(const WorkloadMix& mix,
+                                          const PoissonOptions& options);
+
+struct BurstyOptions {
+  double on_rate_qps = 4.0;          ///< Poisson rate during a burst
+  Duration on = Duration::Seconds(5.0);   ///< burst length
+  Duration off = Duration::Seconds(20.0);  ///< silence between bursts
+  int cycles = 4;
+  std::uint64_t seed = 1;
+};
+
+/// On/off bursts: `cycles` repetitions of [on-rate Poisson, silence].
+std::vector<QueryArrival> BurstyArrivals(const WorkloadMix& mix,
+                                         const BurstyOptions& options);
+
+}  // namespace eedc::workload
+
+#endif  // EEDC_WORKLOAD_ARRIVAL_H_

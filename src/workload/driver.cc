@@ -1,0 +1,251 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "power/catalog.h"
+
+namespace eedc::workload {
+
+QueryProfiles QueryProfiles::Uniform(Duration service, Duration deadline) {
+  QueryProfiles p;
+  for (QueryProfile& q : p.by_kind) {
+    q.service = service;
+    q.deadline = deadline;
+  }
+  return p;
+}
+
+namespace {
+
+/// One served query on a node's timeline.
+struct BusyInterval {
+  Duration start = Duration::Zero();
+  Duration end = Duration::Zero();
+  double frequency = 1.0;
+  bool woke = false;  // a wake period of WakeLatency() precedes `start`
+};
+
+/// Virtual-time dispatch state for one node.
+struct NodeState {
+  Duration avail = Duration::Zero();  // when the queue drains
+  std::vector<BusyInterval> intervals;
+  std::deque<Duration> pending;  // completion times of queued queries
+
+  int QueueDepthAt(Duration t) {
+    while (!pending.empty() && pending.front() <= t) pending.pop_front();
+    return static_cast<int>(pending.size());
+  }
+};
+
+/// Greedy earliest-finish dispatcher shared by the open and closed-loop
+/// runs. Queries must be offered in nondecreasing arrival order.
+class Simulator {
+ public:
+  Simulator(int nodes, const PowerPolicy& policy)
+      : policy_(policy), nodes_(static_cast<std::size_t>(nodes)) {}
+
+  QueryOutcome Dispatch(Duration at, QueryKind kind,
+                        const QueryProfile& profile) {
+    const bool can_sleep = policy_.SleepAfter().is_finite();
+    // Earliest estimated *finish* per node: the start (waking a sleeping
+    // node pays the policy's wake latency, so an awake-but-backlogged
+    // node can still win — that consolidation is what lets cold nodes
+    // stay asleep) plus the service time at the DVFS step the node's
+    // backlog dictates.
+    int best = 0;
+    Duration best_start = Duration::Zero();
+    Duration best_completion = Duration::Infinite();
+    bool best_wake = false;
+    double best_freq = 1.0;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      NodeState& node = nodes_[static_cast<std::size_t>(n)];
+      Duration start;
+      bool wake = false;
+      if (node.avail > at) {
+        start = node.avail;  // busy: queue behind it, already awake
+      } else if (can_sleep && at - node.avail >= policy_.SleepAfter()) {
+        start = at + policy_.WakeLatency();
+        wake = true;
+      } else {
+        start = at;
+      }
+      const double freq = policy_.FrequencyFor(node.QueueDepthAt(at) + 1);
+      EEDC_DCHECK(freq > 0.0 && freq <= 1.0);
+      const Duration completion = start + profile.service / freq;
+      if (completion < best_completion ||
+          (completion == best_completion && best_wake && !wake)) {
+        best = n;
+        best_start = start;
+        best_completion = completion;
+        best_wake = wake;
+        best_freq = freq;
+      }
+    }
+
+    NodeState& node = nodes_[static_cast<std::size_t>(best)];
+    const double freq = best_freq;
+    const Duration completion = best_completion;
+    node.intervals.push_back(
+        BusyInterval{best_start, completion, freq, best_wake});
+    node.avail = completion;
+    node.pending.push_back(completion);
+
+    QueryOutcome outcome;
+    outcome.kind = kind;
+    outcome.node = best;
+    outcome.frequency = freq;
+    outcome.arrival = at;
+    outcome.start = best_start;
+    outcome.completion = completion;
+    outcome.violated = completion - at > profile.deadline;
+    return outcome;
+  }
+
+  /// Walks each node's timeline over [0, horizon] and integrates the
+  /// power model: busy intervals at WattsAt(freq), wake periods at peak,
+  /// gaps split into idle grace and sleep per the policy.
+  void AccountEnergy(const power::PowerModel& model, Duration horizon,
+                     PolicyReport* report) const {
+    const bool can_sleep = policy_.SleepAfter().is_finite();
+    for (const NodeState& node : nodes_) {
+      Duration t = Duration::Zero();
+      for (const BusyInterval& b : node.intervals) {
+        Duration gap_end = b.start;
+        if (b.woke) {
+          gap_end = b.start - policy_.WakeLatency();
+          report->wake_energy +=
+              model.PeakWatts() * policy_.WakeLatency();
+        }
+        AccountGap(model, can_sleep, b.woke, gap_end - t, report);
+        report->busy_energy +=
+            model.WattsAt(b.frequency) * (b.end - b.start);
+        t = b.end;
+      }
+      if (horizon > t) {
+        // Trailing gap: the node sleeps after the grace period if the
+        // policy allows (no wake — nothing arrives again).
+        AccountGap(model, can_sleep, /*slept=*/can_sleep, horizon - t,
+                   report);
+      }
+    }
+  }
+
+ private:
+  void AccountGap(const power::PowerModel& model, bool can_sleep,
+                  bool slept, Duration gap, PolicyReport* report) const {
+    if (gap.seconds() <= 0.0) return;
+    // `>=` matches Dispatch's sleep test: at exact equality the node is
+    // considered asleep (zero-length sleep segment) so a charged wake
+    // always pairs with a sleep state.
+    if (can_sleep && slept && gap >= policy_.SleepAfter()) {
+      report->idle_energy += model.IdleWatts() * policy_.SleepAfter();
+      report->sleep_energy +=
+          policy_.SleepWatts() * (gap - policy_.SleepAfter());
+    } else {
+      report->idle_energy += model.IdleWatts() * gap;
+    }
+  }
+
+  const PowerPolicy& policy_;
+  std::vector<NodeState> nodes_;
+};
+
+PolicyReport BuildReport(const std::string& policy_name,
+                         const std::vector<QueryOutcome>& outcomes,
+                         const Simulator& sim,
+                         const power::PowerModel& model) {
+  PolicyReport report;
+  report.policy = policy_name;
+  report.queries = static_cast<int>(outcomes.size());
+  Duration response_sum = Duration::Zero();
+  int violations = 0;
+  for (const QueryOutcome& o : outcomes) {
+    if (o.completion > report.makespan) report.makespan = o.completion;
+    response_sum += o.response();
+    if (o.response() > report.max_response) {
+      report.max_response = o.response();
+    }
+    if (o.violated) ++violations;
+  }
+  if (report.queries > 0) {
+    report.mean_response = response_sum / report.queries;
+    report.sla_violation_rate =
+        static_cast<double>(violations) / report.queries;
+  }
+  if (report.makespan.seconds() > 0.0) {
+    report.throughput_qps = report.queries / report.makespan.seconds();
+  }
+  sim.AccountEnergy(model, report.makespan, &report);
+  return report;
+}
+
+}  // namespace
+
+WorkloadDriver::WorkloadDriver(DriverOptions options)
+    : options_(std::move(options)) {
+  EEDC_CHECK(options_.nodes > 0);
+  if (options_.node_model == nullptr) {
+    options_.node_model = power::ClusterVPowerModel();
+  }
+}
+
+StatusOr<PolicyReport> WorkloadDriver::Run(
+    const std::vector<QueryArrival>& trace, const QueryProfiles& profiles,
+    const PowerPolicy& policy) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].at < trace[i - 1].at) {
+      return Status::InvalidArgument(
+          "arrival trace must be sorted by time");
+    }
+  }
+  Simulator sim(options_.nodes, policy);
+  outcomes_.clear();
+  outcomes_.reserve(trace.size());
+  for (const QueryArrival& a : trace) {
+    outcomes_.push_back(sim.Dispatch(a.at, a.kind, profiles.For(a.kind)));
+  }
+  return BuildReport(policy.name(), outcomes_, sim, *options_.node_model);
+}
+
+StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
+    const ClosedLoopOptions& loop, const QueryProfiles& profiles,
+    const PowerPolicy& policy) {
+  if (loop.clients <= 0 || loop.queries <= 0) {
+    return Status::InvalidArgument(
+        "closed loop needs >= 1 client and >= 1 query");
+  }
+  Rng rng(loop.seed);
+  // Min-heap of (next submit time, client). Each dispatch completes in
+  // virtual time immediately, so the client's next submit is known at
+  // dispatch; popped submit times are nondecreasing, which is what the
+  // simulator's bookkeeping requires.
+  using Submit = std::pair<double, int>;
+  std::priority_queue<Submit, std::vector<Submit>, std::greater<>> heap;
+  for (int c = 0; c < loop.clients; ++c) {
+    heap.emplace(rng.Exponential(loop.think_mean.seconds()), c);
+  }
+  Simulator sim(options_.nodes, policy);
+  outcomes_.clear();
+  outcomes_.reserve(static_cast<std::size_t>(loop.queries));
+  int submitted = 0;
+  while (submitted < loop.queries && !heap.empty()) {
+    const auto [at, client] = heap.top();
+    heap.pop();
+    const QueryKind kind = SampleFromMix(loop.mix, rng);
+    const QueryOutcome outcome =
+        sim.Dispatch(Duration::Seconds(at), kind, profiles.For(kind));
+    outcomes_.push_back(outcome);
+    ++submitted;
+    heap.emplace(outcome.completion.seconds() +
+                     rng.Exponential(loop.think_mean.seconds()),
+                 client);
+  }
+  return BuildReport(policy.name(), outcomes_, sim, *options_.node_model);
+}
+
+}  // namespace eedc::workload

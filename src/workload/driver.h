@@ -1,0 +1,139 @@
+// Energy-aware workload driver.
+//
+// Replays an arrival trace (arrival.h) of concurrent TPC-H queries
+// against a virtual cluster in virtual time, dispatching each query to
+// the node that can finish it earliest — including the wake-up cost of
+// sleeping nodes — under a pluggable power policy (power_policy.h). Per
+// query it tracks response time against a deadline; per node it keeps the
+// exact busy/idle/sleep/wake timeline and integrates the node's power
+// model over it, so every policy comparison reports throughput, SLA
+// violation rate, energy-per-query, and EDP from the same trace.
+//
+// Service demands come from QueryProfiles — either measured on the real
+// engine (profiles.h runs each query kind through the executor with the
+// EnergyMeter attached) or fixed synthetic values for deterministic tests
+// and CI gates.
+#ifndef EEDC_WORKLOAD_DRIVER_H_
+#define EEDC_WORKLOAD_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "power/power_model.h"
+#include "workload/arrival.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+
+/// Per-kind workload parameters.
+struct QueryProfile {
+  /// Service demand at full frequency on one node.
+  Duration service = Duration::Seconds(0.1);
+  /// Relative deadline (SLA): completion - arrival must not exceed it.
+  Duration deadline = Duration::Seconds(1.0);
+  /// Metered engine joules for one run (reporting only; the driver's own
+  /// accounting integrates the node power model over the timeline).
+  Energy engine_joules = Energy::Zero();
+};
+
+struct QueryProfiles {
+  std::array<QueryProfile, kNumQueryKinds> by_kind;
+
+  QueryProfile& For(QueryKind kind) {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+  const QueryProfile& For(QueryKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+
+  /// Uniform synthetic profile (deterministic tests / CI).
+  static QueryProfiles Uniform(Duration service, Duration deadline);
+};
+
+/// What happened to one query.
+struct QueryOutcome {
+  QueryKind kind = QueryKind::kQ1;
+  int node = 0;
+  double frequency = 1.0;  // DVFS step it was served at
+  Duration arrival = Duration::Zero();
+  Duration start = Duration::Zero();
+  Duration completion = Duration::Zero();
+  bool violated = false;
+
+  Duration response() const { return completion - arrival; }
+};
+
+/// Per-policy workload result.
+struct PolicyReport {
+  std::string policy;
+  int queries = 0;
+  Duration makespan = Duration::Zero();
+  double throughput_qps = 0.0;
+  double sla_violation_rate = 0.0;
+  Duration mean_response = Duration::Zero();
+  Duration max_response = Duration::Zero();
+
+  /// Cluster energy split by node activity over [0, makespan].
+  Energy busy_energy = Energy::Zero();   // serving, at WattsAt(freq)
+  Energy idle_energy = Energy::Zero();   // awake but idle, at IdleWatts
+  Energy sleep_energy = Energy::Zero();  // powered down, at SleepWatts
+  Energy wake_energy = Energy::Zero();   // spin-up, at PeakWatts
+
+  Energy total_energy() const {
+    return busy_energy + idle_energy + sleep_energy + wake_energy;
+  }
+  Energy energy_per_query() const {
+    return queries > 0 ? total_energy() * (1.0 / queries) : Energy::Zero();
+  }
+  /// The paper's metric, at workload granularity: cluster joules times
+  /// mean response time.
+  double edp() const {
+    return EnergyDelayProduct(total_energy(), mean_response);
+  }
+};
+
+struct DriverOptions {
+  int nodes = 4;
+  /// Utilization->watts curve shared by every node (default: the paper's
+  /// cluster-V model).
+  std::shared_ptr<const power::PowerModel> node_model;
+};
+
+struct ClosedLoopOptions {
+  int clients = 8;
+  Duration think_mean = Duration::Seconds(1.0);
+  int queries = 200;  ///< total across all clients
+  std::uint64_t seed = 1;
+  WorkloadMix mix = DefaultMix();
+};
+
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(DriverOptions options);
+
+  /// Replays an open-system trace (must be sorted by arrival time).
+  StatusOr<PolicyReport> Run(const std::vector<QueryArrival>& trace,
+                             const QueryProfiles& profiles,
+                             const PowerPolicy& policy);
+
+  /// Closed-loop: `clients` users cycling think -> submit -> wait.
+  StatusOr<PolicyReport> RunClosedLoop(const ClosedLoopOptions& loop,
+                                       const QueryProfiles& profiles,
+                                       const PowerPolicy& policy);
+
+  /// Per-query outcomes of the most recent run.
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  DriverOptions options_;
+  std::vector<QueryOutcome> outcomes_;
+};
+
+}  // namespace eedc::workload
+
+#endif  // EEDC_WORKLOAD_DRIVER_H_

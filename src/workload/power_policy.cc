@@ -1,0 +1,24 @@
+#include "workload/power_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eedc::workload {
+
+DvfsScalePolicy::DvfsScalePolicy(Options options)
+    : options_(std::move(options)) {
+  EEDC_CHECK(!options_.steps.empty());
+  for (std::size_t i = 0; i < options_.steps.size(); ++i) {
+    EEDC_CHECK(options_.steps[i] > 0.0 && options_.steps[i] <= 1.0);
+    if (i > 0) EEDC_CHECK(options_.steps[i] >= options_.steps[i - 1]);
+  }
+}
+
+double DvfsScalePolicy::FrequencyFor(int queued) const {
+  const int idx = std::clamp(queued, 1,
+                             static_cast<int>(options_.steps.size()));
+  return options_.steps[static_cast<std::size_t>(idx - 1)];
+}
+
+}  // namespace eedc::workload

@@ -1,0 +1,99 @@
+// Pluggable node power-management policies for the workload driver.
+//
+// The paper shows hardware is not energy proportional: an idle server
+// still draws most of its peak power (the power-law curve is steep at low
+// utilization). Cluster-level remedies therefore manage *node states*,
+// not just utilization. The driver consults a policy for three decisions:
+//   - when an idle node may power down (and what sleeping costs),
+//   - what waking back up costs in latency and watts,
+//   - what relative CPU frequency to serve at given the backlog (DVFS).
+// The three shipped policies bracket the design space: AllOn (the paper's
+// measured clusters), PowerDownWhenIdle (node consolidation / "power down
+// underutilized nodes"), and DvfsScale (frequency scaling with load).
+#ifndef EEDC_WORKLOAD_POWER_POLICY_H_
+#define EEDC_WORKLOAD_POWER_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace eedc::workload {
+
+class PowerPolicy {
+ public:
+  virtual ~PowerPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Idle grace period after which a node powers down. Infinite = the
+  /// node never sleeps (stays at the power model's idle watts).
+  virtual Duration SleepAfter() const { return Duration::Infinite(); }
+
+  /// Latency between a query being dispatched to a sleeping node and the
+  /// node being able to serve it (during which it draws peak watts —
+  /// spin-up is not free).
+  virtual Duration WakeLatency() const { return Duration::Zero(); }
+
+  /// Wall power while powered down.
+  virtual Power SleepWatts() const { return Power::Watts(0.0); }
+
+  /// Relative CPU frequency (service-rate multiplier in (0, 1]) for a
+  /// node whose queue holds `queued` outstanding queries including the
+  /// one being placed. Service time scales as 1/f; busy power is the
+  /// node model evaluated at utilization f.
+  virtual double FrequencyFor(int queued) const { return 1.0; }
+};
+
+/// Every node stays awake at full frequency — the measured baseline.
+class AllOnPolicy final : public PowerPolicy {
+ public:
+  std::string name() const override { return "all-on"; }
+};
+
+/// Nodes power down after an idle grace period and pay a wake-up latency
+/// (at peak watts) when traffic returns.
+class PowerDownWhenIdlePolicy final : public PowerPolicy {
+ public:
+  struct Options {
+    Duration sleep_after = Duration::Seconds(1.0);
+    Duration wake_latency = Duration::Seconds(0.5);
+    Power sleep_watts = Power::Watts(10.0);
+  };
+
+  PowerDownWhenIdlePolicy() : PowerDownWhenIdlePolicy(Options{}) {}
+  explicit PowerDownWhenIdlePolicy(Options options) : options_(options) {}
+
+  std::string name() const override { return "power-down-when-idle"; }
+  Duration SleepAfter() const override { return options_.sleep_after; }
+  Duration WakeLatency() const override { return options_.wake_latency; }
+  Power SleepWatts() const override { return options_.sleep_watts; }
+
+ private:
+  Options options_;
+};
+
+/// Nodes step their frequency with instantaneous load: shallow queues run
+/// slow (and cheap on the concave power curve), deep queues run at full
+/// speed.
+class DvfsScalePolicy final : public PowerPolicy {
+ public:
+  struct Options {
+    /// steps[min(queued, n) - 1] is the frequency at `queued` outstanding
+    /// queries; must be ascending, in (0, 1], and end at the full step.
+    std::vector<double> steps = {0.5, 0.75, 1.0};
+  };
+
+  DvfsScalePolicy() : DvfsScalePolicy(Options{}) {}
+  explicit DvfsScalePolicy(Options options);
+
+  std::string name() const override { return "dvfs-scale"; }
+  double FrequencyFor(int queued) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace eedc::workload
+
+#endif  // EEDC_WORKLOAD_POWER_POLICY_H_

@@ -1,0 +1,65 @@
+#include "energy/calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include "model/params.h"
+
+namespace eedc::energy {
+namespace {
+
+CalibrationOptions SmallOptions() {
+  CalibrationOptions opts;
+  opts.scale_factor = 0.001;
+  opts.nodes = 2;
+  opts.workers_per_node = 1;
+  opts.repetitions = 1;
+  return opts;
+}
+
+TEST(CalibratorTest, MeasuresBothFragments) {
+  auto result = RunCalibration(SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->fragments.size(), 2u);
+  for (const FragmentMeasurement& m : result->fragments) {
+    EXPECT_GT(m.rows_per_sec, 0.0) << m.name;
+    EXPECT_GT(m.engine_mbps_per_node, 0.0) << m.name;
+    EXPECT_GT(m.busy_fraction, 0.0) << m.name;
+    EXPECT_LE(m.busy_fraction, 1.0) << m.name;
+    EXPECT_GT(m.energy.joules(), 0.0) << m.name;
+    EXPECT_GT(m.wall.seconds(), 0.0) << m.name;
+  }
+  EXPECT_GT(result->engine_cpu_mbps, 0.0);
+  EXPECT_GT(result->busy_fraction, 0.0);
+}
+
+TEST(CalibratorTest, ApplyToRewritesCpuTermsAndKeepsParamsValid) {
+  auto result = RunCalibration(SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  model::ModelParams params = model::ModelParams::Section54Defaults(4, 4);
+  const double default_cb = params.cb;
+  const double cw_over_cb = params.cw / params.cb;
+  result->ApplyTo(&params);
+
+  EXPECT_DOUBLE_EQ(params.cb, result->engine_cpu_mbps);
+  EXPECT_NE(params.cb, default_cb);
+  // The Wimpy class keeps its relative speed to Beefy.
+  EXPECT_NEAR(params.cw / params.cb, cw_over_cb, 1e-12);
+  EXPECT_GT(params.gb, 0.0);
+  EXPECT_LE(params.gb, 1.0);
+  EXPECT_GT(params.gw, 0.0);
+  EXPECT_LE(params.gw, 1.0);
+
+  params.build_mb = 100.0;
+  params.probe_mb = 1000.0;
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(CalibratorTest, RejectsDegenerateOptions) {
+  CalibrationOptions opts = SmallOptions();
+  opts.nodes = 0;
+  EXPECT_FALSE(RunCalibration(opts).ok());
+}
+
+}  // namespace
+}  // namespace eedc::energy

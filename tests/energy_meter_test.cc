@@ -1,0 +1,129 @@
+#include "energy/meter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "exec/plan.h"
+#include "tpch/dbgen.h"
+#include "tpch/dates.h"
+#include "tpch/queries.h"
+
+namespace eedc::energy {
+namespace {
+
+using power::ConstantPowerModel;
+using power::LinearPowerModel;
+
+TEST(BuildUtilizationTraceTest, OverlappingSpansTileTheHorizon) {
+  // worker 0 busy [0, 10), worker 1 busy [2, 6), W = 2, horizon 12.
+  const WorkerSpan spans[] = {
+      {0, 0, Duration::Zero(), Duration::Seconds(10.0)},
+      {0, 1, Duration::Seconds(2.0), Duration::Seconds(6.0)},
+  };
+  const UtilizationTrace trace =
+      BuildUtilizationTrace(spans, 2, Duration::Seconds(12.0));
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace[0].begin.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(trace[0].end.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(trace[0].utilization, 0.5);
+  EXPECT_DOUBLE_EQ(trace[1].end.seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(trace[1].utilization, 1.0);
+  EXPECT_DOUBLE_EQ(trace[2].end.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(trace[2].utilization, 0.5);
+  EXPECT_DOUBLE_EQ(trace[3].end.seconds(), 12.0);
+  EXPECT_DOUBLE_EQ(trace[3].utilization, 0.0);
+}
+
+TEST(BuildUtilizationTraceTest, EmptySpansAreAllIdle) {
+  const UtilizationTrace trace =
+      BuildUtilizationTrace({}, 4, Duration::Seconds(3.0));
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].utilization, 0.0);
+  EXPECT_DOUBLE_EQ(trace[0].end.seconds(), 3.0);
+}
+
+TEST(IntegrateTraceTest, MatchesHandComputedJoules) {
+  // The acceptance-criterion trace: spans as above under a linear
+  // 100 W idle / 200 W peak model.
+  //   [0,2)  u=0.5 -> 150 W * 2 s  = 300 J  (busy)
+  //   [2,6)  u=1.0 -> 200 W * 4 s  = 800 J  (busy)
+  //   [6,10) u=0.5 -> 150 W * 4 s  = 600 J  (busy)
+  //   [10,12) idle -> 101 W * 2 s  = 202 J  (idle; clamp floor is 1%)
+  const WorkerSpan spans[] = {
+      {0, 0, Duration::Zero(), Duration::Seconds(10.0)},
+      {0, 1, Duration::Seconds(2.0), Duration::Seconds(6.0)},
+  };
+  const LinearPowerModel model(Power::Watts(100.0), Power::Watts(200.0));
+  const EnergySplit split = IntegrateTrace(
+      BuildUtilizationTrace(spans, 2, Duration::Seconds(12.0)), model);
+  const double want_busy = 300.0 + 800.0 + 600.0;
+  const double want_idle = 202.0;
+  // The acceptance bar is 1%; the integral over exact steps should in
+  // fact be exact to floating point.
+  EXPECT_NEAR(split.busy.joules(), want_busy, want_busy * 0.01);
+  EXPECT_NEAR(split.idle.joules(), want_idle, want_idle * 0.01);
+  EXPECT_NEAR(split.total().joules(), want_busy + want_idle, 1e-9);
+}
+
+TEST(EnergyMeterTest, PerNodeReportAccountsEarlyFinishersAsIdle) {
+  // Node 0 busy the whole horizon, node 1 done halfway: node 1 accrues
+  // idle joules for its tail — the underutilized-node waste.
+  auto model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  EnergyMeter meter(2, model, 1);
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(8.0));
+  meter.OnWorkerSpan(1, 0, Duration::Zero(), Duration::Seconds(4.0));
+  const QueryEnergyReport report = meter.Finish();
+  EXPECT_DOUBLE_EQ(report.wall.seconds(), 8.0);
+  ASSERT_EQ(report.nodes.size(), 2u);
+  EXPECT_NEAR(report.nodes[0].joules.busy.joules(), 800.0, 1e-9);
+  EXPECT_NEAR(report.nodes[0].joules.idle.joules(), 0.0, 1e-9);
+  EXPECT_NEAR(report.nodes[1].joules.busy.joules(), 400.0, 1e-9);
+  EXPECT_NEAR(report.nodes[1].joules.idle.joules(), 400.0, 1e-9);
+  EXPECT_NEAR(report.total.joules(), 1600.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.nodes[0].avg_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(report.nodes[1].avg_utilization, 0.5);
+  EXPECT_GT(report.edp(), 0.0);
+  // Finish() resets: a second report is empty.
+  EXPECT_EQ(meter.Finish().total.joules(), 0.0);
+}
+
+TEST(EnergyMeterTest, MetersARealExecutorRun) {
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = 0.001;
+  const tpch::TpchDatabase db = tpch::GenerateDatabase(dbgen);
+  exec::ClusterData data(2);
+  ASSERT_TRUE(
+      data.LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey")
+          .ok());
+
+  auto model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  EnergyMeter meter(2, model, 2);
+
+  exec::Executor::Options options;
+  options.workers_per_node = 2;
+  options.activity_listener = &meter;
+  exec::Executor executor(&data, options);
+  auto result =
+      executor.Execute(tpch::Q1Plan(tpch::DayNumber(1998, 9, 2)));
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // 2 nodes x 2 workers emitted one span each.
+  EXPECT_EQ(meter.spans().size(), 4u);
+  const QueryEnergyReport report = meter.Finish();
+  EXPECT_GT(report.wall.seconds(), 0.0);
+  EXPECT_GT(report.total.joules(), 0.0);
+  EXPECT_GT(report.busy.joules(), 0.0);
+  // Executor metrics agree: per-node busy is the sum of worker walls and
+  // can exceed the node wall only through concurrency, never 2x wall.
+  for (const auto& node : result->metrics.nodes) {
+    EXPECT_GT(node.busy.seconds(), 0.0);
+    EXPECT_LE(node.busy.seconds(), 2.0 * node.wall.seconds() + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace eedc::energy

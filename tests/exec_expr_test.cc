@@ -95,6 +95,41 @@ TEST(ExprTest, AllComparisonOps) {
   EXPECT_EQ(Ge(Col("k"), I64(3))->EvalToColumn(t)->Int64At(2), 1);
 }
 
+TEST(ExprTest, DenseDoubleComparisons) {
+  // Double-vs-constant and double-vs-double comparisons run the dense
+  // branch-free kernels; verify every operator against scalar semantics.
+  const Table t = SampleTable();
+  EXPECT_EQ(Eq(Col("price"), F64(200.0))->EvalToColumn(t)->Int64At(1), 1);
+  EXPECT_EQ(Ne(Col("price"), F64(200.0))->EvalToColumn(t)->Int64At(1), 0);
+  EXPECT_EQ(Lt(Col("price"), F64(60.0))->EvalToColumn(t)->Int64At(2), 1);
+  EXPECT_EQ(Le(Col("price"), F64(100.0))->EvalToColumn(t)->Int64At(0), 1);
+  EXPECT_EQ(Gt(Col("price"), F64(150.0))->EvalToColumn(t)->Int64At(1), 1);
+  EXPECT_EQ(Ge(Col("price"), F64(100.0))->EvalToColumn(t)->Int64At(2), 0);
+  // Constant-vs-column flips through the reversed kernel.
+  EXPECT_EQ(Lt(F64(60.0), Col("price"))->EvalToColumn(t)->Int64At(0), 1);
+  EXPECT_EQ(Lt(F64(60.0), Col("price"))->EvalToColumn(t)->Int64At(2), 0);
+  // Column-vs-column.
+  auto col = Gt(Col("price"), Col("disc"))->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(col->Int64At(i), 1);
+  }
+}
+
+TEST(ExprTest, DoubleComparisonThroughSelection) {
+  // A selection vector routes the kernels through the gather path; rows
+  // are picked out of order and duplicated.
+  const Table t = SampleTable();
+  const std::uint32_t sel[] = {2, 0, 0};
+  storage::Column out(DataType::kInt64);
+  auto st =
+      Gt(Col("price"), F64(60.0))->Eval(t, sel, 3, &out);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(out.Int64At(0), 0);  // row 2: 50
+  EXPECT_EQ(out.Int64At(1), 1);  // row 0: 100
+  EXPECT_EQ(out.Int64At(2), 1);  // row 0 again
+}
+
 TEST(ExprTest, StringComparison) {
   const Table t = SampleTable();
   auto col = Eq(Col("mode"), Str("AIR"))->EvalToColumn(t);

@@ -104,6 +104,41 @@ TEST(FitValidationTest, RejectsDegenerateInput) {
   EXPECT_FALSE(FitPowerLaw(bad_watts).ok());
 }
 
+TEST(FitQualityTest, NoisyPowerLawStillFitsWell) {
+  // The paper's measurement setup carries +/-1.5% meter error; the fit
+  // must stay close to truth under noise of that order.
+  PowerLawModel truth(130.03, 0.2369);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto samples = SampleModel(truth, 0.02, seed);
+    auto best = FitBestPowerModel(samples);
+    ASSERT_TRUE(best.ok());
+    EXPECT_GT(best->r_squared, 0.95) << "seed " << seed;
+    // Predicted watts stay within a few percent of truth across the
+    // whole utilization range.
+    for (double c = 0.05; c <= 1.0; c += 0.05) {
+      const double want = truth.WattsAt(c).watts();
+      EXPECT_NEAR(best->model->WattsAt(c).watts(), want, want * 0.05)
+          << "seed " << seed << " c " << c;
+    }
+  }
+}
+
+TEST(FitQualityTest, NoiseDegradesRSquaredMonotonically) {
+  PowerLawModel truth(130.03, 0.2369);
+  const auto r2_at = [&](double noise) {
+    auto fit = FitPowerLaw(SampleModel(truth, noise, 3));
+    EXPECT_TRUE(fit.ok());
+    return fit->r_squared;
+  };
+  const double clean = r2_at(0.0);
+  const double small = r2_at(0.02);
+  const double large = r2_at(0.10);
+  EXPECT_NEAR(clean, 1.0, 1e-9);
+  EXPECT_GT(small, large);
+  // Even 10% noise keeps the concave shape identifiable.
+  EXPECT_GT(large, 0.5);
+}
+
 TEST(ModelRSquaredTest, EvaluatesArbitraryModel) {
   PowerLawModel truth(100.0, 0.25);
   auto samples = SampleModel(truth, 0.0, 9);

@@ -1,0 +1,87 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace eedc::workload {
+namespace {
+
+TEST(PoissonArrivalsTest, DeterministicPerSeedAndSorted) {
+  PoissonOptions opts;
+  opts.rate_qps = 10.0;
+  opts.horizon = Duration::Seconds(50.0);
+  opts.seed = 123;
+  const auto a = PoissonArrivals(DefaultMix(), opts);
+  const auto b = PoissonArrivals(DefaultMix(), opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at.seconds(), b[i].at.seconds());
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    if (i > 0) EXPECT_GE(a[i].at.seconds(), a[i - 1].at.seconds());
+    EXPECT_LT(a[i].at.seconds(), opts.horizon.seconds());
+    EXPECT_GE(a[i].at.seconds(), 0.0);
+  }
+  opts.seed = 124;
+  const auto c = PoissonArrivals(DefaultMix(), opts);
+  const bool same_as_other_seed = a.size() == c.size() && !a.empty() &&
+                                  a[0].at.seconds() == c[0].at.seconds();
+  EXPECT_FALSE(same_as_other_seed);
+}
+
+TEST(PoissonArrivalsTest, RateMatchesExpectation) {
+  PoissonOptions opts;
+  opts.rate_qps = 20.0;
+  opts.horizon = Duration::Seconds(100.0);
+  const auto arrivals = PoissonArrivals(DefaultMix(), opts);
+  // 2000 expected, stddev ~45: +/- 15% is > 6 sigma.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 2000.0, 300.0);
+}
+
+TEST(PoissonArrivalsTest, MixProportionsRoughlyHold) {
+  PoissonOptions opts;
+  opts.rate_qps = 50.0;
+  opts.horizon = Duration::Seconds(100.0);
+  const auto arrivals = PoissonArrivals(DefaultMix(), opts);
+  std::array<int, kNumQueryKinds> counts{};
+  for (const QueryArrival& a : arrivals) {
+    ++counts[static_cast<std::size_t>(a.kind)];
+  }
+  const double n = static_cast<double>(arrivals.size());
+  EXPECT_NEAR(counts[0] / n, 0.4, 0.05);  // Q1
+  EXPECT_NEAR(counts[1] / n, 0.3, 0.05);  // Q3
+  EXPECT_NEAR(counts[2] / n, 0.2, 0.05);  // Q12
+  EXPECT_NEAR(counts[3] / n, 0.1, 0.05);  // Q21
+}
+
+TEST(BurstyArrivalsTest, NoArrivalsDuringOffWindows) {
+  BurstyOptions opts;
+  opts.on_rate_qps = 10.0;
+  opts.on = Duration::Seconds(2.0);
+  opts.off = Duration::Seconds(8.0);
+  opts.cycles = 3;
+  const auto arrivals = BurstyArrivals(DefaultMix(), opts);
+  EXPECT_GT(arrivals.size(), 0u);
+  for (const QueryArrival& a : arrivals) {
+    const double cycle = 10.0;
+    const double phase =
+        a.at.seconds() - cycle * std::floor(a.at.seconds() / cycle);
+    EXPECT_LT(phase, 2.0) << "arrival inside an off window at "
+                          << a.at.seconds();
+  }
+  // Sorted overall (cycles are appended in order).
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].at.seconds(), arrivals[i - 1].at.seconds());
+  }
+}
+
+TEST(QueryKindNameTest, AllKindsNamed) {
+  EXPECT_STREQ(QueryKindName(QueryKind::kQ1), "Q1");
+  EXPECT_STREQ(QueryKindName(QueryKind::kQ3), "Q3");
+  EXPECT_STREQ(QueryKindName(QueryKind::kQ12), "Q12");
+  EXPECT_STREQ(QueryKindName(QueryKind::kQ21), "Q21");
+}
+
+}  // namespace
+}  // namespace eedc::workload

@@ -1,0 +1,218 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/arrival.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+namespace {
+
+using power::ConstantPowerModel;
+using power::LinearPowerModel;
+
+DriverOptions OneConstantNode() {
+  DriverOptions opts;
+  opts.nodes = 1;
+  opts.node_model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  return opts;
+}
+
+std::vector<QueryArrival> TwoSpacedQueries() {
+  return {{Duration::Zero(), QueryKind::kQ1},
+          {Duration::Seconds(10.0), QueryKind::kQ1}};
+}
+
+QueryProfiles TwoSecondService(Duration deadline) {
+  return QueryProfiles::Uniform(Duration::Seconds(2.0), deadline);
+}
+
+TEST(WorkloadDriverTest, SingleQueryRunsImmediately) {
+  WorkloadDriver driver(OneConstantNode());
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ3}};
+  auto report = driver.Run(
+      trace, TwoSecondService(Duration::Seconds(5.0)), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->queries, 1);
+  ASSERT_EQ(driver.outcomes().size(), 1u);
+  const QueryOutcome& o = driver.outcomes()[0];
+  EXPECT_DOUBLE_EQ(o.start.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(o.response().seconds(), 2.0);
+  EXPECT_FALSE(o.violated);
+  EXPECT_DOUBLE_EQ(report->sla_violation_rate, 0.0);
+}
+
+TEST(WorkloadDriverTest, AllOnEnergyMatchesHandComputation) {
+  // 100 W constant node, queries at t=0 and t=10, 2 s service each:
+  // busy 4 s -> 400 J; awake-idle gap [2, 10] -> 800 J; makespan 12 s.
+  WorkloadDriver driver(OneConstantNode());
+  auto report =
+      driver.Run(TwoSpacedQueries(),
+                 TwoSecondService(Duration::Seconds(5.0)), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 12.0);
+  const double want_busy = 400.0, want_idle = 800.0;
+  // Acceptance bar is 1%; the virtual-time integral should be exact.
+  EXPECT_NEAR(report->busy_energy.joules(), want_busy, want_busy * 0.01);
+  EXPECT_NEAR(report->idle_energy.joules(), want_idle, want_idle * 0.01);
+  EXPECT_NEAR(report->total_energy().joules(), 1200.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report->sleep_energy.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(report->wake_energy.joules(), 0.0);
+  EXPECT_NEAR(report->energy_per_query().joules(), 600.0, 1e-9);
+  EXPECT_GT(report->edp(), 0.0);
+}
+
+TEST(WorkloadDriverTest, PowerDownEnergyMatchesHandComputation) {
+  // Same trace under power-down (grace 1 s, wake 0.5 s, 0 W sleep):
+  // the second query finds the node asleep (idle 8 s >= 1 s), so it
+  // starts at 10.5 and completes at 12.5. Per the timeline:
+  //   busy: 4 s * 100 W                        = 400 J
+  //   idle: 1 s grace * 100 W (constant model) = 100 J
+  //   sleep: 7 s * 0 W                         = 0 J
+  //   wake: 0.5 s * 100 W peak                 = 50 J
+  PowerDownWhenIdlePolicy::Options popts;
+  popts.sleep_after = Duration::Seconds(1.0);
+  popts.wake_latency = Duration::Seconds(0.5);
+  popts.sleep_watts = Power::Watts(0.0);
+  PowerDownWhenIdlePolicy policy(popts);
+
+  WorkloadDriver driver(OneConstantNode());
+  auto report = driver.Run(TwoSpacedQueries(),
+                           TwoSecondService(Duration::Seconds(5.0)),
+                           policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 12.5);
+  EXPECT_NEAR(report->busy_energy.joules(), 400.0, 400.0 * 0.01);
+  EXPECT_NEAR(report->idle_energy.joules(), 100.0, 100.0 * 0.01);
+  EXPECT_NEAR(report->sleep_energy.joules(), 0.0, 1e-9);
+  EXPECT_NEAR(report->wake_energy.joules(), 50.0, 50.0 * 0.01);
+  EXPECT_NEAR(report->total_energy().joules(), 550.0, 1e-9);
+  // The wake latency is visible in the second query's response time.
+  EXPECT_DOUBLE_EQ(driver.outcomes()[1].response().seconds(), 2.5);
+}
+
+TEST(WorkloadDriverTest, DeadlinesFlagViolations) {
+  PowerDownWhenIdlePolicy policy;  // 0.5 s wake pushes response to 2.5 s
+  WorkloadDriver driver(OneConstantNode());
+  auto report = driver.Run(TwoSpacedQueries(),
+                           TwoSecondService(Duration::Seconds(2.4)),
+                           policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(driver.outcomes()[0].violated);
+  EXPECT_TRUE(driver.outcomes()[1].violated);
+  EXPECT_DOUBLE_EQ(report->sla_violation_rate, 0.5);
+}
+
+TEST(WorkloadDriverTest, PowerDownBeatsAllOnOnBurstyTraceStrictly) {
+  // The ISSUE acceptance criterion, on the non-proportional linear
+  // model: bursts of load separated by long silences.
+  DriverOptions opts;
+  opts.nodes = 4;
+  opts.node_model = std::make_shared<LinearPowerModel>(
+      Power::Watts(100.0), Power::Watts(200.0));
+
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 6.0;
+  bursty.on = Duration::Seconds(3.0);
+  bursty.off = Duration::Seconds(15.0);
+  bursty.cycles = 3;
+  const auto trace = BurstyArrivals(DefaultMix(), bursty);
+  ASSERT_GT(trace.size(), 0u);
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.2), Duration::Seconds(2.0));
+
+  WorkloadDriver driver(opts);
+  auto all_on = driver.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(all_on.ok());
+  auto power_down =
+      driver.Run(trace, profiles, PowerDownWhenIdlePolicy());
+  ASSERT_TRUE(power_down.ok());
+
+  // Strictly lower awake-idle joules, and still lower once sleeping and
+  // waking are charged.
+  EXPECT_LT(power_down->idle_energy.joules(),
+            all_on->idle_energy.joules());
+  EXPECT_LT(power_down->idle_energy.joules() +
+                power_down->sleep_energy.joules() +
+                power_down->wake_energy.joules(),
+            all_on->idle_energy.joules());
+  // Both served every query.
+  EXPECT_EQ(all_on->queries, static_cast<int>(trace.size()));
+  EXPECT_EQ(power_down->queries, static_cast<int>(trace.size()));
+}
+
+TEST(WorkloadDriverTest, DvfsServesLightLoadAtLowFrequency) {
+  DvfsScalePolicy policy;  // steps 0.5 / 0.75 / 1.0
+  WorkloadDriver driver(OneConstantNode());
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1}};
+  auto report = driver.Run(
+      trace, TwoSecondService(Duration::Seconds(10.0)), policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const QueryOutcome& o = driver.outcomes()[0];
+  EXPECT_DOUBLE_EQ(o.frequency, 0.5);
+  EXPECT_DOUBLE_EQ(o.response().seconds(), 4.0);  // 2 s / 0.5
+}
+
+TEST(WorkloadDriverTest, DvfsRampsUpUnderBacklog) {
+  DvfsScalePolicy policy;
+  WorkloadDriver driver(OneConstantNode());
+  // Three simultaneous arrivals pile onto the single node.
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1}};
+  auto report = driver.Run(
+      trace, TwoSecondService(Duration::Seconds(60.0)), policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(driver.outcomes()[0].frequency, 0.5);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[1].frequency, 0.75);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[2].frequency, 1.0);
+}
+
+TEST(WorkloadDriverTest, ClosedLoopIsDeterministicAndBounded) {
+  DriverOptions opts;
+  opts.nodes = 2;
+  opts.node_model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(50.0));
+  ClosedLoopOptions loop;
+  loop.clients = 3;
+  loop.think_mean = Duration::Seconds(0.5);
+  loop.queries = 50;
+  loop.seed = 9;
+
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.1), Duration::Seconds(2.0));
+  WorkloadDriver driver(opts);
+  auto a = driver.RunClosedLoop(loop, profiles, AllOnPolicy());
+  ASSERT_TRUE(a.ok()) << a.status();
+  EXPECT_EQ(a->queries, 50);
+  EXPECT_GT(a->throughput_qps, 0.0);
+  // Every response at least the service demand.
+  for (const QueryOutcome& o : driver.outcomes()) {
+    EXPECT_GE(o.response().seconds(), 0.1 - 1e-12);
+  }
+  auto b = driver.RunClosedLoop(loop, profiles, AllOnPolicy());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->total_energy().joules(),
+                   b->total_energy().joules());
+  EXPECT_DOUBLE_EQ(a->makespan.seconds(), b->makespan.seconds());
+}
+
+TEST(WorkloadDriverTest, RejectsUnsortedTrace) {
+  WorkloadDriver driver(OneConstantNode());
+  const std::vector<QueryArrival> trace = {
+      {Duration::Seconds(5.0), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1}};
+  EXPECT_FALSE(driver
+                   .Run(trace, TwoSecondService(Duration::Seconds(5.0)),
+                        AllOnPolicy())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace eedc::workload
