@@ -1,0 +1,205 @@
+// Mixed-cluster design bench: the heterogeneous subsystem's CI gate.
+//
+// Two deterministic virtual-time experiments:
+//   1. DESIGN EXPLORER — replays one bursty, low-utilization TPC-H
+//      arrival trace through every beefy/wimpy fleet of up to five nodes
+//      (cluster::ExploreDesigns) under power-down + energy-feasible
+//      dispatch, and emits the energy-vs-SLA Pareto frontier. The gated
+//      claim is the paper's: a mixed design beats the best homogeneous
+//      design on energy per query at an equal-or-better SLA violation
+//      rate.
+//   2. ADMISSION SWEEP — replays an overload burst across a descending
+//      ladder of shedding slacks and gates the monotone energy/SLA
+//      trade-off: shedding more over-deadline work never increases the
+//      serving energy per admitted query.
+//
+// Everything is virtual time over seeded traces, so every gated metric
+// is bit-deterministic across hosts; CI gates them via
+// bench/BASELINE_cluster.json. The frontier is written to
+// BENCH_cluster.json.
+#include <cstdio>
+#include <limits>
+
+#include "bench_util.h"
+#include "cluster/design_explorer.h"
+#include "common/str_util.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/power_policy.h"
+
+namespace {
+
+using namespace eedc;           // NOLINT
+using namespace eedc::cluster;  // NOLINT
+
+using workload::BurstyArrivals;
+using workload::BurstyOptions;
+using workload::DefaultMix;
+using workload::PowerDownWhenIdlePolicy;
+using workload::QueryKind;
+using workload::QueryProfiles;
+
+/// The shared scenario of cluster_explorer_test: heavy Q21 work only
+/// meets its deadline on beefy nodes, the scan-heavy rest is cheaper on
+/// wimpies, and long silences between bursts reward cheap sleepers.
+QueryProfiles ScenarioProfiles() {
+  QueryProfiles profiles;
+  profiles.For(QueryKind::kQ1) = {Duration::Seconds(0.2),
+                                  Duration::Seconds(4.0), Energy::Zero()};
+  profiles.For(QueryKind::kQ3) = {Duration::Seconds(0.8),
+                                  Duration::Seconds(4.0), Energy::Zero()};
+  profiles.For(QueryKind::kQ12) = {Duration::Seconds(0.3),
+                                   Duration::Seconds(4.0), Energy::Zero()};
+  profiles.For(QueryKind::kQ21) = {Duration::Seconds(1.5),
+                                   Duration::Seconds(4.5), Energy::Zero()};
+  return profiles;
+}
+
+bool RunExplorerGate(bench::BenchJson* json) {
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 2.0;
+  bursty.on = Duration::Seconds(6.0);
+  bursty.off = Duration::Seconds(30.0);
+  bursty.cycles = 3;
+  bursty.seed = 7;
+  const auto trace = BurstyArrivals(DefaultMix(), bursty);
+
+  DesignExplorerOptions options;  // PaperDefault beefy/wimpy classes
+  options.max_nodes = 5;
+  options.sla_target = 0.1;
+  const PowerDownWhenIdlePolicy policy;
+  options.power_policy = &policy;
+
+  auto result = ExploreDesigns(options, trace, ScenarioProfiles());
+  if (!result.ok()) {
+    bench::PrintNote("explorer failed: " + result.status().ToString());
+    return false;
+  }
+
+  bench::PrintNote(StrFormat(
+      "evaluated %zu beefy/wimpy fleets over %zu arrivals",
+      result->outcomes.size(), trace.size()));
+  bench::PrintNote("energy-vs-SLA Pareto frontier:");
+  for (std::size_t i : result->frontier) {
+    const DesignOutcome& o = result->outcomes[i];
+    bench::PrintNote(StrFormat(
+        "  %-6s %7.1f J/query, SLA violations %5.1f%%, EDP %.3g Js%s",
+        o.label.c_str(), o.energy_per_query_j(),
+        100.0 * o.sla_violation_rate(), o.edp_js(),
+        o.meets_sla ? "" : "  [over SLA target]"));
+  }
+
+  if (result->best_homogeneous < 0 || result->best_heterogeneous < 0) {
+    bench::PrintNote("no SLA-meeting design on one side of the mix");
+    return false;
+  }
+  const DesignOutcome& homog =
+      result->outcomes[static_cast<std::size_t>(result->best_homogeneous)];
+  const DesignOutcome& heter = result->outcomes[static_cast<std::size_t>(
+      result->best_heterogeneous)];
+  const bool wins = result->HeterogeneousWins();
+  bench::PrintClaim(
+      "a mixed beefy+wimpy design beats the best homogeneous design on "
+      "energy per query at an equal-or-better SLA violation rate",
+      "heterogeneous designs dominate (Fig. 10/12(c))",
+      StrFormat("%s %.1f J/q (SLA %.1f%%) vs %s %.1f J/q (SLA %.1f%%)",
+                heter.label.c_str(), heter.energy_per_query_j(),
+                100.0 * heter.sla_violation_rate(), homog.label.c_str(),
+                homog.energy_per_query_j(),
+                100.0 * homog.sla_violation_rate()),
+      wins);
+
+  json->Add("designs_evaluated",
+            static_cast<double>(result->outcomes.size()));
+  json->Add("frontier_points",
+            static_cast<double>(result->frontier.size()));
+  json->Add("heterogeneous_wins", wins ? 1.0 : 0.0);
+  json->Add("best_homog_energy_per_query_j", homog.energy_per_query_j());
+  json->Add("best_het_energy_per_query_j", heter.energy_per_query_j());
+  json->Add("het_energy_savings_ratio",
+            heter.energy_per_query_j() > 0.0
+                ? homog.energy_per_query_j() / heter.energy_per_query_j()
+                : 0.0);
+  json->Add("best_het_sla_compliance",
+            1.0 - heter.sla_violation_rate());
+  json->Add("best_homog_sla_compliance",
+            1.0 - homog.sla_violation_rate());
+  json->Add("best_het_edp_js", heter.edp_js());
+  return wins;
+}
+
+bool RunAdmissionGate(bench::BenchJson* json) {
+  // Overload bursts on a small homogeneous fleet: plenty of would-be
+  // deadline violators for the admission hook to shed.
+  workload::DriverOptions options;
+  options.nodes = 2;
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  options.node_model = (*registry.Find("beefy"))->power_model;
+
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 6.0;
+  bursty.on = Duration::Seconds(4.0);
+  bursty.off = Duration::Seconds(10.0);
+  bursty.cycles = 3;
+  bursty.seed = 11;
+  const auto trace = BurstyArrivals(DefaultMix(), bursty);
+  QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.5), Duration::Seconds(1.5));
+  profiles.For(QueryKind::kQ21).service = Duration::Seconds(1.0);
+
+  const std::vector<double> slacks = {
+      std::numeric_limits<double>::infinity(), 3.0, 2.0, 1.5, 1.2, 1.0};
+  auto curve = SweepAdmissionSlack(options, trace, profiles,
+                                   workload::AllOnPolicy(), slacks);
+  if (!curve.ok()) {
+    bench::PrintNote("admission sweep failed: " +
+                     curve.status().ToString());
+    return false;
+  }
+  bench::PrintNote("admission energy/SLA trade-off curve:");
+  for (const AdmissionTradeoffPoint& p : *curve) {
+    bench::PrintNote(StrFormat(
+        "  %-26s shed %5.1f%%, SLA violations %5.1f%%, serving "
+        "%6.1f J/admitted (total %6.1f J/q)",
+        p.admission.c_str(), 100.0 * p.shed_rate,
+        100.0 * p.sla_violation_rate, p.serving_energy_per_query_j,
+        p.energy_per_query_j));
+  }
+  const bool monotone = TradeoffIsMonotone(*curve);
+  bench::PrintClaim(
+      "shedding more over-deadline work never increases serving energy "
+      "per admitted query (monotone energy/SLA trade-off)",
+      "monotone",
+      StrFormat("serving J/admitted %.1f -> %.1f as shed rate "
+                "%.1f%% -> %.1f%%",
+                curve->front().serving_energy_per_query_j,
+                curve->back().serving_energy_per_query_j,
+                100.0 * curve->front().shed_rate,
+                100.0 * curve->back().shed_rate),
+      monotone);
+
+  json->Add("admission_monotone", monotone ? 1.0 : 0.0);
+  json->Add("admission_points", static_cast<double>(curve->size()));
+  json->Add("admission_full_shed_rate", curve->back().shed_rate);
+  json->Add("admission_full_sla_compliance",
+            1.0 - curve->back().sla_violation_rate);
+  json->Add("admission_serving_j_reduction",
+            curve->back().serving_energy_per_query_j > 0.0
+                ? curve->front().serving_energy_per_query_j /
+                      curve->back().serving_energy_per_query_j
+                : 0.0);
+  return monotone;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Cluster design",
+                     "Mixed beefy/wimpy fleets vs homogeneous designs "
+                     "under replayed concurrent TPC-H streams");
+  bench::BenchJson json("cluster");
+  const bool explorer_ok = RunExplorerGate(&json);
+  const bool admission_ok = RunAdmissionGate(&json);
+  json.WriteFile();
+  return explorer_ok && admission_ok ? 0 : 1;
+}

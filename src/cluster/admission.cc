@@ -1,0 +1,31 @@
+#include "cluster/admission.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace eedc::cluster {
+
+const char* AdmissionDecisionName(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kShed:
+      return "shed";
+    case AdmissionDecision::kDefer:
+      return "defer";
+  }
+  return "?";
+}
+
+std::string ShedOverDeadlinePolicy::name() const {
+  if (std::isinf(slack_)) return "shed-over-deadline(inf)";
+  return StrFormat("shed-over-deadline(%.2f)", slack_);
+}
+
+std::string DeferOverDeadlinePolicy::name() const {
+  if (std::isinf(slack_)) return "defer-over-deadline(inf)";
+  return StrFormat("defer-over-deadline(%.2f)", slack_);
+}
+
+}  // namespace eedc::cluster

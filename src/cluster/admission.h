@@ -1,0 +1,105 @@
+// Energy-aware admission control for the workload driver.
+//
+// The paper's clusters are sized for peak load and therefore waste energy
+// at low utilization; the dual problem is overload, where serving every
+// query blows deadlines AND burns energy on work that arrives too late to
+// matter. An AdmissionPolicy is consulted before each dispatch with the
+// best completion the cluster can offer; it may admit the query, shed it
+// (never served), or defer it (served after the interactive trace drains,
+// excluded from the SLA but still billed for energy). Sweeping the
+// shedding slack traces the energy/SLA trade-off curve the driver
+// reports: shedding more over-deadline work never increases the serving
+// energy per admitted query, because shed queries are exactly the ones a
+// backlogged (high-frequency, possibly woken) node would have served.
+#ifndef EEDC_CLUSTER_ADMISSION_H_
+#define EEDC_CLUSTER_ADMISSION_H_
+
+#include <string>
+
+#include "common/units.h"
+#include "workload/arrival.h"
+
+namespace eedc::cluster {
+
+enum class AdmissionDecision { kAdmit, kShed, kDefer };
+
+const char* AdmissionDecisionName(AdmissionDecision decision);
+
+/// What the dispatcher knows when a query arrives: in virtual time the
+/// predicted completion is exact, so the policy's over-deadline test is a
+/// fact, not a forecast.
+struct AdmissionContext {
+  workload::QueryKind kind = workload::QueryKind::kQ1;
+  Duration arrival = Duration::Zero();
+  /// The query's relative SLA deadline.
+  Duration deadline = Duration::Zero();
+  /// Best completion any node can offer under the active dispatch rule.
+  Duration predicted_completion = Duration::Zero();
+
+  Duration predicted_response() const {
+    return predicted_completion - arrival;
+  }
+  bool predicted_violation() const {
+    return predicted_response() > deadline;
+  }
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual AdmissionDecision Admit(const AdmissionContext& ctx) const = 0;
+};
+
+/// Serves everything — the legacy driver behavior.
+class AdmitAllPolicy final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "admit-all"; }
+  AdmissionDecision Admit(const AdmissionContext&) const override {
+    return AdmissionDecision::kAdmit;
+  }
+};
+
+/// Sheds queries whose best response exceeds `slack` times the deadline.
+/// slack = 1 sheds exactly the would-be violators (zero admitted
+/// violations in virtual time); larger slack admits bounded lateness;
+/// infinite slack degenerates to AdmitAll.
+class ShedOverDeadlinePolicy final : public AdmissionPolicy {
+ public:
+  explicit ShedOverDeadlinePolicy(double slack = 1.0) : slack_(slack) {}
+
+  std::string name() const override;
+  AdmissionDecision Admit(const AdmissionContext& ctx) const override {
+    return ctx.predicted_response() > ctx.deadline * slack_
+               ? AdmissionDecision::kShed
+               : AdmissionDecision::kAdmit;
+  }
+  double slack() const { return slack_; }
+
+ private:
+  double slack_;
+};
+
+/// Like ShedOverDeadline, but over-deadline work is deferred to the
+/// post-trace drain phase instead of dropped: throughput is preserved,
+/// the interactive SLA is protected, and the energy of the late work is
+/// still accounted.
+class DeferOverDeadlinePolicy final : public AdmissionPolicy {
+ public:
+  explicit DeferOverDeadlinePolicy(double slack = 1.0) : slack_(slack) {}
+
+  std::string name() const override;
+  AdmissionDecision Admit(const AdmissionContext& ctx) const override {
+    return ctx.predicted_response() > ctx.deadline * slack_
+               ? AdmissionDecision::kDefer
+               : AdmissionDecision::kAdmit;
+  }
+  double slack() const { return slack_; }
+
+ private:
+  double slack_;
+};
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_ADMISSION_H_

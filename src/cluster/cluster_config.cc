@@ -1,0 +1,98 @@
+#include "cluster/cluster_config.h"
+
+#include "common/str_util.h"
+
+namespace eedc::cluster {
+
+ClusterConfig& ClusterConfig::Add(NodeClassSpec spec, int count) {
+  if (count > 0) {
+    groups_.push_back(ClassGroup{std::move(spec), count});
+  }
+  return *this;
+}
+
+ClusterConfig ClusterConfig::Homogeneous(NodeClassSpec spec, int count) {
+  ClusterConfig config;
+  config.Add(std::move(spec), count);
+  return config;
+}
+
+ClusterConfig ClusterConfig::BeefyWimpy(const NodeClassSpec& beefy, int nb,
+                                        const NodeClassSpec& wimpy,
+                                        int nw) {
+  ClusterConfig config;
+  config.Add(beefy, nb);
+  config.Add(wimpy, nw);
+  return config;
+}
+
+StatusOr<ClusterConfig> ClusterConfig::FromRegistry(
+    const NodeClassRegistry& registry,
+    const std::vector<std::pair<std::string, int>>& counts) {
+  ClusterConfig config;
+  for (const auto& [name, count] : counts) {
+    if (count < 0) {
+      return Status::InvalidArgument("negative node count for class '" +
+                                     name + "'");
+    }
+    EEDC_ASSIGN_OR_RETURN(const NodeClassSpec* spec, registry.Find(name));
+    config.Add(*spec, count);
+  }
+  return config;
+}
+
+int ClusterConfig::total_nodes() const {
+  int total = 0;
+  for (const ClassGroup& g : groups_) total += g.count;
+  return total;
+}
+
+bool ClusterConfig::heterogeneous() const {
+  return groups_.size() > 1;
+}
+
+int ClusterConfig::CountOf(hw::NodeClass cls) const {
+  int total = 0;
+  for (const ClassGroup& g : groups_) {
+    if (g.spec.hw_class == cls) total += g.count;
+  }
+  return total;
+}
+
+Power ClusterConfig::PeakWatts() const {
+  Power total = Power::Zero();
+  for (const ClassGroup& g : groups_) {
+    total += g.spec.PeakWatts() * static_cast<double>(g.count);
+  }
+  return total;
+}
+
+std::string ClusterConfig::Label() const {
+  std::string label;
+  for (const ClassGroup& g : groups_) {
+    if (!label.empty()) label += ",";
+    label += StrFormat("%d%c", g.count, g.spec.label);
+  }
+  return label.empty() ? "empty" : label;
+}
+
+std::vector<const NodeClassSpec*> ClusterConfig::PerNode() const {
+  std::vector<const NodeClassSpec*> nodes;
+  nodes.reserve(static_cast<std::size_t>(total_nodes()));
+  for (const ClassGroup& g : groups_) {
+    for (int i = 0; i < g.count; ++i) nodes.push_back(&g.spec);
+  }
+  return nodes;
+}
+
+Status ClusterConfig::Validate() const {
+  if (total_nodes() <= 0) {
+    return Status::InvalidArgument("cluster config provisions no nodes");
+  }
+  for (const ClassGroup& g : groups_) {
+    EEDC_RETURN_IF_ERROR(g.spec.Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace eedc::cluster

@@ -1,0 +1,72 @@
+// A mixed fleet: how many nodes of which class.
+//
+// The paper labels designs "xB,yW" (x beefy plus y wimpy nodes); a
+// ClusterConfig generalizes that to any number of registered classes
+// while keeping the same label convention. The workload driver
+// materializes one node instance per provisioned node, in group order,
+// so a given config always yields the same node indexing — which is what
+// makes mixed-cluster replays deterministic.
+#ifndef EEDC_CLUSTER_CLUSTER_CONFIG_H_
+#define EEDC_CLUSTER_CLUSTER_CONFIG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/node_class.h"
+#include "common/statusor.h"
+
+namespace eedc::cluster {
+
+class ClusterConfig {
+ public:
+  struct ClassGroup {
+    NodeClassSpec spec;
+    int count = 0;
+  };
+
+  ClusterConfig() = default;
+
+  /// Appends `count` nodes of `spec` (count 0 groups are dropped).
+  ClusterConfig& Add(NodeClassSpec spec, int count);
+
+  static ClusterConfig Homogeneous(NodeClassSpec spec, int count);
+  /// The paper's "xB,yW" shape from the given class pair.
+  static ClusterConfig BeefyWimpy(const NodeClassSpec& beefy, int nb,
+                                  const NodeClassSpec& wimpy, int nw);
+  /// Looks the named classes up in `registry` (copies the specs).
+  static StatusOr<ClusterConfig> FromRegistry(
+      const NodeClassRegistry& registry,
+      const std::vector<std::pair<std::string, int>>& counts);
+
+  bool empty() const { return groups_.empty(); }
+  int total_nodes() const;
+  /// More than one distinct class provisioned.
+  bool heterogeneous() const;
+  int CountOf(hw::NodeClass cls) const;
+  int num_beefy() const { return CountOf(hw::NodeClass::kBeefy); }
+  int num_wimpy() const { return CountOf(hw::NodeClass::kWimpy); }
+
+  /// Sum of per-node peak watts across the fleet (the watts-budget
+  /// predicate of the design explorer).
+  Power PeakWatts() const;
+
+  /// "2B,6W"-style label in group order, using each class's label letter.
+  std::string Label() const;
+
+  /// One entry per provisioned node, in group order; pointers are into
+  /// this config's groups and stay valid while it is alive.
+  std::vector<const NodeClassSpec*> PerNode() const;
+
+  const std::vector<ClassGroup>& groups() const { return groups_; }
+
+  /// Every group spec validates and at least one node is provisioned.
+  Status Validate() const;
+
+ private:
+  std::vector<ClassGroup> groups_;
+};
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_CLUSTER_CONFIG_H_

@@ -1,0 +1,184 @@
+#include "cluster/design_explorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eedc::cluster {
+
+DesignExplorerOptions::DesignExplorerOptions() {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  beefy = **registry.Find("beefy");
+  wimpy = **registry.Find("wimpy");
+}
+
+bool DesignExplorationResult::HeterogeneousWins() const {
+  if (best_homogeneous < 0 || best_heterogeneous < 0) return false;
+  const DesignOutcome& homog =
+      outcomes[static_cast<std::size_t>(best_homogeneous)];
+  const DesignOutcome& heter =
+      outcomes[static_cast<std::size_t>(best_heterogeneous)];
+  return heter.energy_per_query_j() < homog.energy_per_query_j() &&
+         heter.sla_violation_rate() <= homog.sla_violation_rate();
+}
+
+namespace {
+
+/// a dominates b on (energy, sla violation), both minimized.
+bool Dominates(const DesignOutcome& a, const DesignOutcome& b) {
+  const bool no_worse = a.energy_per_query_j() <= b.energy_per_query_j() &&
+                        a.sla_violation_rate() <= b.sla_violation_rate();
+  const bool better = a.energy_per_query_j() < b.energy_per_query_j() ||
+                      a.sla_violation_rate() < b.sla_violation_rate();
+  return no_worse && better;
+}
+
+/// Lower energy wins among SLA-meeting designs; ties break toward the
+/// lower violation rate, then the smaller fleet.
+bool BetterDesign(const DesignOutcome& a, const DesignOutcome& b) {
+  if (a.energy_per_query_j() != b.energy_per_query_j()) {
+    return a.energy_per_query_j() < b.energy_per_query_j();
+  }
+  if (a.sla_violation_rate() != b.sla_violation_rate()) {
+    return a.sla_violation_rate() < b.sla_violation_rate();
+  }
+  return a.num_beefy + a.num_wimpy < b.num_beefy + b.num_wimpy;
+}
+
+}  // namespace
+
+StatusOr<DesignExplorationResult> ExploreDesigns(
+    const DesignExplorerOptions& options,
+    const std::vector<workload::QueryArrival>& trace,
+    const workload::QueryProfiles& profiles) {
+  if (options.power_policy == nullptr) {
+    return Status::InvalidArgument("design explorer needs a power policy");
+  }
+  if (options.max_nodes <= 0) {
+    return Status::InvalidArgument("design explorer needs max_nodes >= 1");
+  }
+  EEDC_RETURN_IF_ERROR(options.beefy.Validate());
+  EEDC_RETURN_IF_ERROR(options.wimpy.Validate());
+
+  DesignExplorationResult result;
+  for (int nb = 0; nb <= options.max_nodes; ++nb) {
+    for (int nw = 0; nw + nb <= options.max_nodes; ++nw) {
+      if (nb + nw == 0) continue;
+      ClusterConfig fleet =
+          ClusterConfig::BeefyWimpy(options.beefy, nb, options.wimpy, nw);
+      if (options.peak_watts_budget > 0.0 &&
+          fleet.PeakWatts().watts() > options.peak_watts_budget) {
+        continue;
+      }
+      DesignOutcome outcome;
+      outcome.label = fleet.Label();
+      outcome.num_beefy = nb;
+      outcome.num_wimpy = nw;
+      outcome.fleet_peak_watts = fleet.PeakWatts().watts();
+
+      workload::DriverOptions driver_options;
+      driver_options.fleet = std::move(fleet);
+      driver_options.dispatch = options.dispatch;
+      driver_options.admission = options.admission;
+      workload::WorkloadDriver driver(std::move(driver_options));
+      EEDC_ASSIGN_OR_RETURN(
+          outcome.report,
+          driver.Run(trace, profiles, *options.power_policy));
+      outcome.meets_sla =
+          outcome.report.sla_violation_rate <= options.sla_target;
+      result.outcomes.push_back(std::move(outcome));
+    }
+  }
+  if (result.outcomes.empty()) {
+    return Status::InvalidArgument(
+        "no design fits the peak-watts budget");
+  }
+
+  // Pareto frontier on (energy per query, SLA violation rate).
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < result.outcomes.size(); ++j) {
+      if (i != j && Dominates(result.outcomes[j], result.outcomes[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    result.outcomes[i].on_frontier = !dominated;
+    if (!dominated) result.frontier.push_back(i);
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [&](std::size_t a, std::size_t b) {
+              const DesignOutcome& da = result.outcomes[a];
+              const DesignOutcome& db = result.outcomes[b];
+              if (da.energy_per_query_j() != db.energy_per_query_j()) {
+                return da.energy_per_query_j() < db.energy_per_query_j();
+              }
+              return da.sla_violation_rate() < db.sla_violation_rate();
+            });
+
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const DesignOutcome& o = result.outcomes[i];
+    if (!o.meets_sla) continue;
+    if (o.heterogeneous()) {
+      if (result.best_heterogeneous < 0 ||
+          BetterDesign(o, result.outcomes[static_cast<std::size_t>(
+                              result.best_heterogeneous)])) {
+        result.best_heterogeneous = static_cast<int>(i);
+      }
+    } else {
+      if (result.best_homogeneous < 0 ||
+          BetterDesign(o, result.outcomes[static_cast<std::size_t>(
+                              result.best_homogeneous)])) {
+        result.best_homogeneous = static_cast<int>(i);
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<std::vector<AdmissionTradeoffPoint>> SweepAdmissionSlack(
+    const workload::DriverOptions& base,
+    const std::vector<workload::QueryArrival>& trace,
+    const workload::QueryProfiles& profiles,
+    const workload::PowerPolicy& policy,
+    const std::vector<double>& slacks) {
+  std::vector<AdmissionTradeoffPoint> curve;
+  curve.reserve(slacks.size());
+  for (double slack : slacks) {
+    workload::DriverOptions options = base;
+    const ShedOverDeadlinePolicy admission(slack);
+    options.admission = std::isinf(slack) ? nullptr : &admission;
+    workload::WorkloadDriver driver(std::move(options));
+    EEDC_ASSIGN_OR_RETURN(const workload::PolicyReport report,
+                          driver.Run(trace, profiles, policy));
+    AdmissionTradeoffPoint point;
+    point.slack = slack;
+    point.admission = report.admission;
+    point.shed_rate = report.shed_rate();
+    point.sla_violation_rate = report.sla_violation_rate;
+    point.serving_energy_per_query_j =
+        report.serving_energy_per_query().joules();
+    point.energy_per_query_j = report.energy_per_query().joules();
+    curve.push_back(std::move(point));
+  }
+  return curve;
+}
+
+bool TradeoffIsMonotone(const std::vector<AdmissionTradeoffPoint>& curve,
+                        double tolerance) {
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].shed_rate + tolerance < curve[i - 1].shed_rate) {
+      return false;
+    }
+    if (curve[i].serving_energy_per_query_j >
+        curve[i - 1].serving_energy_per_query_j + tolerance) {
+      return false;
+    }
+    if (curve[i].sla_violation_rate >
+        curve[i - 1].sla_violation_rate + tolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace eedc::cluster

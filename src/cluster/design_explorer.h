@@ -1,0 +1,121 @@
+// Mixed-cluster design exploration against replayed workload traces.
+//
+// The paper's Figure 10 sweeps beefy/wimpy mixes through the *analytic*
+// model (core/explorer.h). This explorer asks the same question of the
+// *workload driver*: every candidate fleet under a budget (node count
+// and/or peak-watts cap) replays the same arrival trace with the same
+// power/admission policies, and the outcomes form an energy-vs-SLA
+// Pareto frontier with the best homogeneous and best heterogeneous
+// designs called out side by side. Everything runs in virtual time, so
+// the frontier is bit-deterministic and CI-gateable.
+//
+// It also hosts the admission trade-off sweep: running one fleet across
+// a descending ladder of shedding slacks traces the energy/SLA curve the
+// admission-control hook promises (more shedding never increases the
+// serving energy per admitted query).
+#ifndef EEDC_CLUSTER_DESIGN_EXPLORER_H_
+#define EEDC_CLUSTER_DESIGN_EXPLORER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/admission.h"
+#include "cluster/cluster_config.h"
+#include "cluster/dispatch.h"
+#include "common/statusor.h"
+#include "workload/driver.h"
+
+namespace eedc::cluster {
+
+struct DesignExplorerOptions {
+  /// The two classes the fleet is provisioned from (defaults: the
+  /// PaperDefault registry's beefy/wimpy pair).
+  NodeClassSpec beefy;
+  NodeClassSpec wimpy;
+  /// Node-count budget: every mix nb + nw in [1, max_nodes] is evaluated.
+  int max_nodes = 8;
+  /// Peak-watts budget; fleets whose summed peak watts exceed it are
+  /// skipped. <= 0 disables the cap.
+  double peak_watts_budget = 0.0;
+  DispatchRule dispatch = DispatchRule::kEnergyFeasibleFinish;
+  /// SLA bar for "meets SLA" and the best-design selection.
+  double sla_target = 0.05;
+  /// Power policy shared by every candidate run; not owned; required.
+  const workload::PowerPolicy* power_policy = nullptr;
+  /// Optional admission hook shared by every candidate run; not owned.
+  const AdmissionPolicy* admission = nullptr;
+
+  DesignExplorerOptions();
+};
+
+/// One evaluated fleet.
+struct DesignOutcome {
+  std::string label;  // "2B,6W"
+  int num_beefy = 0;
+  int num_wimpy = 0;
+  double fleet_peak_watts = 0.0;
+  workload::PolicyReport report;
+  bool meets_sla = false;
+  bool on_frontier = false;
+
+  bool heterogeneous() const { return num_beefy > 0 && num_wimpy > 0; }
+  double energy_per_query_j() const {
+    return report.energy_per_query().joules();
+  }
+  double sla_violation_rate() const { return report.sla_violation_rate; }
+  double edp_js() const { return report.edp(); }
+};
+
+struct DesignExplorationResult {
+  /// Every evaluated design, in (nb, nw) enumeration order.
+  std::vector<DesignOutcome> outcomes;
+  /// Indices of the energy-vs-SLA-violation Pareto frontier (both
+  /// minimized), sorted by ascending energy per query.
+  std::vector<std::size_t> frontier;
+  /// Cheapest design meeting the SLA target among homogeneous / mixed
+  /// fleets; -1 when none qualifies.
+  int best_homogeneous = -1;
+  int best_heterogeneous = -1;
+
+  /// The paper's qualitative claim on this trace: a mixed fleet beats
+  /// the best homogeneous design on energy per query at an equal-or-
+  /// better SLA violation rate.
+  bool HeterogeneousWins() const;
+};
+
+/// Replays `trace` through every candidate fleet.
+StatusOr<DesignExplorationResult> ExploreDesigns(
+    const DesignExplorerOptions& options,
+    const std::vector<workload::QueryArrival>& trace,
+    const workload::QueryProfiles& profiles);
+
+/// One point of the admission energy/SLA trade-off curve.
+struct AdmissionTradeoffPoint {
+  double slack = 0.0;  // shedding slack (infinity = admit everything)
+  std::string admission;
+  double shed_rate = 0.0;
+  double sla_violation_rate = 0.0;
+  double serving_energy_per_query_j = 0.0;
+  double energy_per_query_j = 0.0;
+};
+
+/// Runs `base` (its fleet/dispatch options) across ShedOverDeadline
+/// policies at each slack, most lenient first. Pass slacks in descending
+/// order so shedding increases along the curve.
+StatusOr<std::vector<AdmissionTradeoffPoint>> SweepAdmissionSlack(
+    const workload::DriverOptions& base,
+    const std::vector<workload::QueryArrival>& trace,
+    const workload::QueryProfiles& profiles,
+    const workload::PowerPolicy& policy,
+    const std::vector<double>& slacks);
+
+/// True when the curve is monotone: along increasing shedding, the
+/// serving energy per admitted query and the admitted SLA violation rate
+/// never increase (the acceptance property of the admission hook).
+bool TradeoffIsMonotone(const std::vector<AdmissionTradeoffPoint>& curve,
+                        double tolerance = 1e-9);
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_DESIGN_EXPLORER_H_

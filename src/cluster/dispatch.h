@@ -1,0 +1,37 @@
+// Class-aware dispatch rules for the workload driver.
+#ifndef EEDC_CLUSTER_DISPATCH_H_
+#define EEDC_CLUSTER_DISPATCH_H_
+
+namespace eedc::cluster {
+
+/// How the driver picks a node for an arriving query.
+enum class DispatchRule {
+  /// The node with the earliest estimated finish (including wake-up
+  /// latency). The classic homogeneous rule: with one node class this is
+  /// exactly the legacy driver's behavior. On a mixed fleet it sends
+  /// everything to the fastest class and leaves wimpies idle.
+  kEarliestFinish,
+  /// Earliest-energy-feasible-finish: among the nodes that can still meet
+  /// the query's deadline, the one whose marginal serving energy (busy
+  /// joules at the dispatch frequency plus wake-up joules) is smallest —
+  /// ties broken by earlier finish, then by not waking a node. Short or
+  /// interactive work therefore lands on wimpy nodes (cheap and fast
+  /// enough) while heavy scans fall through to beefy nodes (the only
+  /// class that keeps them inside the deadline). When no node is
+  /// feasible, falls back to earliest finish.
+  kEnergyFeasibleFinish,
+};
+
+inline const char* DispatchRuleName(DispatchRule rule) {
+  switch (rule) {
+    case DispatchRule::kEarliestFinish:
+      return "earliest-finish";
+    case DispatchRule::kEnergyFeasibleFinish:
+      return "energy-feasible-finish";
+  }
+  return "?";
+}
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_DISPATCH_H_

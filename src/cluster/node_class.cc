@@ -1,0 +1,144 @@
+#include "cluster/node_class.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "energy/calibrator.h"
+#include "hw/catalog.h"
+
+namespace eedc::cluster {
+
+KindRates UniformKindRates(double rate) {
+  KindRates rates;
+  rates.fill(rate);
+  return rates;
+}
+
+double NodeClassSpec::SnapFrequency(double f) const {
+  if (dvfs_steps.empty()) return f;
+  for (double step : dvfs_steps) {
+    if (step >= f) return step;
+  }
+  return dvfs_steps.back();
+}
+
+NodeClassSpec NodeClassSpec::FromNodeSpec(std::string name, char label,
+                                          const hw::NodeSpec& spec,
+                                          double reference_cpu_bw_mbps) {
+  NodeClassSpec cls;
+  cls.name = std::move(name);
+  cls.label = label;
+  cls.hw_class = spec.node_class();
+  cls.power_model = spec.shared_power_model();
+  if (reference_cpu_bw_mbps > 0.0 && spec.cpu_bw_mbps() > 0.0) {
+    cls.service_rates =
+        UniformKindRates(spec.cpu_bw_mbps() / reference_cpu_bw_mbps);
+  }
+  return cls;
+}
+
+Status NodeClassSpec::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("node class needs a name");
+  }
+  if (power_model == nullptr) {
+    return Status::InvalidArgument("node class '" + name +
+                                   "' has no power model");
+  }
+  for (double r : service_rates) {
+    if (r <= 0.0) {
+      return Status::InvalidArgument("node class '" + name +
+                                     "' has a non-positive service rate");
+    }
+  }
+  double prev = 0.0;
+  for (double step : dvfs_steps) {
+    if (step <= prev || step > 1.0) {
+      return Status::InvalidArgument(
+          "node class '" + name +
+          "' DVFS steps must be strictly ascending in (0, 1]");
+    }
+    prev = step;
+  }
+  if (!dvfs_steps.empty() && dvfs_steps.back() != 1.0) {
+    return Status::InvalidArgument("node class '" + name +
+                                   "' DVFS steps must end at 1.0");
+  }
+  if (wake_latency < Duration::Zero()) {
+    return Status::InvalidArgument("node class '" + name +
+                                   "' has a negative wake latency");
+  }
+  return Status::OK();
+}
+
+KindRates MeasuredKindRates(const energy::CalibrationResult& calibration,
+                            double cpu_ratio) {
+  KindRates rates = UniformKindRates(cpu_ratio);
+  if (cpu_ratio <= 0.0) return rates;
+  for (int k = 0; k < workload::kNumQueryKinds; ++k) {
+    const workload::QueryKind kind = static_cast<workload::QueryKind>(k);
+    const energy::FragmentMeasurement* m =
+        calibration.ForKind(workload::QueryKindName(kind));
+    if (m == nullptr) continue;
+    // The CPU-bound portion of the demand slows by 1/cpu_ratio; the rest
+    // runs at par: time' = bf/ratio + (1 - bf), rate = 1/time'.
+    const double bf = std::clamp(m->busy_fraction, 0.0, 1.0);
+    rates[static_cast<std::size_t>(k)] =
+        1.0 / (bf / cpu_ratio + (1.0 - bf));
+  }
+  return rates;
+}
+
+Status NodeClassRegistry::Register(NodeClassSpec spec) {
+  EEDC_RETURN_IF_ERROR(spec.Validate());
+  for (const auto& existing : specs_) {
+    if (existing->name == spec.name) {
+      return Status::InvalidArgument("node class '" + spec.name +
+                                     "' registered twice");
+    }
+  }
+  specs_.push_back(std::make_unique<NodeClassSpec>(std::move(spec)));
+  return Status::OK();
+}
+
+StatusOr<const NodeClassSpec*> NodeClassRegistry::Find(
+    const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec->name == name) return spec.get();
+  }
+  return Status::NotFound("unknown node class '" + name + "'");
+}
+
+std::vector<std::string> NodeClassRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec->name);
+  return out;
+}
+
+NodeClassRegistry NodeClassRegistry::PaperDefault() {
+  const hw::NodeSpec beefy_hw = hw::ValidationBeefyNode();
+  const hw::NodeSpec wimpy_hw = hw::ValidationWimpyNode();
+
+  NodeClassSpec beefy = NodeClassSpec::FromNodeSpec(
+      "beefy", 'B', beefy_hw, beefy_hw.cpu_bw_mbps());
+  beefy.dvfs_steps = {0.5, 0.75, 1.0};
+  // Rack-server resume from a low-power state: seconds, not instant
+  // (estimate consistent with the power policies' defaults).
+  beefy.wake_latency = Duration::Seconds(0.5);
+  beefy.sleep_watts = Power::Watts(10.0);
+
+  NodeClassSpec wimpy = NodeClassSpec::FromNodeSpec(
+      "wimpy", 'W', wimpy_hw, beefy_hw.cpu_bw_mbps());
+  wimpy.dvfs_steps = {0.5, 0.75, 1.0};
+  // Laptop-class suspend/resume: faster and cheaper than the server.
+  wimpy.wake_latency = Duration::Seconds(0.2);
+  wimpy.sleep_watts = Power::Watts(2.0);
+
+  NodeClassRegistry registry;
+  EEDC_CHECK(registry.Register(std::move(beefy)).ok());
+  EEDC_CHECK(registry.Register(std::move(wimpy)).ok());
+  return registry;
+}
+
+}  // namespace eedc::cluster

@@ -1,0 +1,116 @@
+// Node classes: the heterogeneous-cluster vocabulary of the paper made
+// first-class.
+//
+// The paper's design-space argument (Section 5.4, Figure 10) is that a
+// cluster is not a number of interchangeable nodes but a *mix of node
+// classes* — "beefy" Xeon servers next to "wimpy" mobile-CPU nodes — and
+// that choosing where work runs across classes dominates homogeneous
+// designs on energy and EDP. A NodeClassSpec carries everything the
+// workload driver needs to schedule onto a class and bill it honestly:
+// the utilization->watts power model, the available DVFS steps, the
+// hardware wake/sleep cost, and per-query-kind service-rate multipliers
+// (a wimpy node runs a CPU-bound aggregate at CW/CB of the beefy rate,
+// but an I/O-bound scan much closer to par).
+//
+// Specs are seeded from hw/catalog's published beefy/wimpy machines and
+// can be re-anchored with engine measurements (energy/calibrator.h) via
+// MeasuredKindRates.
+#ifndef EEDC_CLUSTER_NODE_CLASS_H_
+#define EEDC_CLUSTER_NODE_CLASS_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "hw/node_spec.h"
+#include "power/power_model.h"
+#include "workload/arrival.h"
+
+namespace eedc::energy {
+struct CalibrationResult;
+}  // namespace eedc::energy
+
+namespace eedc::cluster {
+
+/// Per-query-kind service-rate multipliers relative to the reference
+/// (beefy) class. Service time of kind k on a class = demand / rates[k].
+using KindRates = std::array<double, workload::kNumQueryKinds>;
+
+/// All kinds at the same rate (1.0 = the reference class itself).
+KindRates UniformKindRates(double rate);
+
+/// One class of node the fleet can be provisioned from.
+struct NodeClassSpec {
+  std::string name = "node";
+  /// Single letter used in "2B,6W"-style fleet labels.
+  char label = 'N';
+  hw::NodeClass hw_class = hw::NodeClass::kBeefy;
+  /// Utilization->watts curve for one node of this class.
+  std::shared_ptr<const power::PowerModel> power_model;
+  /// Available DVFS steps, strictly ascending in (0, 1] and ending at
+  /// 1.0. Empty = continuous (a policy's requested frequency is used
+  /// as-is). A requested frequency snaps UP to the next available step so
+  /// a class never serves slower than the policy asked for.
+  std::vector<double> dvfs_steps;
+  /// Hardware spin-up latency when waking from a powered-down state.
+  /// Zero defers to the power policy's WakeLatency().
+  Duration wake_latency = Duration::Zero();
+  /// Wall power while powered down. Negative defers to the power
+  /// policy's SleepWatts().
+  Power sleep_watts = Power::Watts(-1.0);
+  /// Per-kind service-rate multipliers (see KindRates).
+  KindRates service_rates = UniformKindRates(1.0);
+
+  double ServiceRateFor(workload::QueryKind kind) const {
+    return service_rates[static_cast<std::size_t>(kind)];
+  }
+  /// Smallest available DVFS step >= f (f itself when steps are empty).
+  double SnapFrequency(double f) const;
+
+  Power IdleWatts() const { return power_model->IdleWatts(); }
+  Power PeakWatts() const { return power_model->PeakWatts(); }
+
+  /// Class from a catalog machine: power model from the spec, uniform
+  /// service rates = spec CPU bandwidth / reference CPU bandwidth.
+  static NodeClassSpec FromNodeSpec(std::string name, char label,
+                                    const hw::NodeSpec& spec,
+                                    double reference_cpu_bw_mbps);
+
+  /// Field validation (used by the registry and the driver).
+  Status Validate() const;
+};
+
+/// Per-kind rates for a class whose CPU runs at `cpu_ratio` of the
+/// reference class, anchored on measured per-fragment executor busy
+/// fractions: only the CPU-bound portion of a kind's demand slows by
+/// 1/cpu_ratio, the rest (I/O, network, stalls) runs at par. Kinds the
+/// calibration did not measure fall back to the plain cpu_ratio.
+KindRates MeasuredKindRates(const energy::CalibrationResult& calibration,
+                            double cpu_ratio);
+
+/// Named registry of node classes a fleet can be described against.
+class NodeClassRegistry {
+ public:
+  /// Validates and stores a class; rejects duplicate names.
+  Status Register(NodeClassSpec spec);
+
+  StatusOr<const NodeClassSpec*> Find(const std::string& name) const;
+  std::vector<std::string> names() const;
+  int size() const { return static_cast<int>(specs_.size()); }
+
+  /// "beefy" (SE326M1R2 L5630) and "wimpy" (Laptop B i7-620m): the
+  /// Section 5.2 prototype pair, with wimpy service rates at the Table-3
+  /// CW/CB ratio and estimated wake/sleep costs (a laptop-class node
+  /// resumes faster and sleeps cheaper than a rack server).
+  static NodeClassRegistry PaperDefault();
+
+ private:
+  std::vector<std::unique_ptr<NodeClassSpec>> specs_;
+};
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_NODE_CLASS_H_

@@ -19,11 +19,12 @@ namespace {
 /// warm-up effects only ever slow a run down, so best-of approximates the
 /// engine's steady-state rate.
 StatusOr<FragmentMeasurement> MeasureFragment(
-    const std::string& name, exec::Executor& executor, EnergyMeter* meter,
-    exec::PlanPtr plan, double input_rows, int nodes,
-    int workers_per_node, int repetitions) {
+    const std::string& name, const std::string& kind,
+    exec::Executor& executor, EnergyMeter* meter, exec::PlanPtr plan,
+    double input_rows, int nodes, int workers_per_node, int repetitions) {
   FragmentMeasurement best;
   best.name = name;
+  best.kind = kind;
   best.input_rows = input_rows;
   for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
     meter->Reset();
@@ -51,6 +52,14 @@ StatusOr<FragmentMeasurement> MeasureFragment(
 
 }  // namespace
 
+const FragmentMeasurement* CalibrationResult::ForKind(
+    const std::string& kind) const {
+  for (const FragmentMeasurement& m : fragments) {
+    if (m.kind == kind) return &m;
+  }
+  return nullptr;
+}
+
 void CalibrationResult::ApplyTo(model::ModelParams* params) const {
   if (engine_cpu_mbps <= 0.0) return;
   const double c_ratio = params->cb > 0.0 ? params->cw / params->cb : 1.0;
@@ -73,11 +82,16 @@ StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& opts) {
   dbgen.seed = opts.seed;
   const tpch::TpchDatabase db = tpch::GenerateDatabase(dbgen);
 
+  // The Section 3.1 Vertica layout serves all four kinds: LINEITEM local
+  // on the join key, ORDERS partition-incompatible (repartitions),
+  // SUPPLIER/NATION replicated.
   exec::ClusterData data(opts.nodes);
   EEDC_RETURN_IF_ERROR(
       data.LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey"));
   EEDC_RETURN_IF_ERROR(
       data.LoadHashPartitioned("orders", *db.orders, "o_custkey"));
+  data.LoadReplicated("supplier", db.supplier);
+  data.LoadReplicated("nation", db.nation);
 
   std::shared_ptr<const power::PowerModel> model = opts.power_model;
   if (model == nullptr) model = power::ClusterVPowerModel();
@@ -89,17 +103,19 @@ StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& opts) {
   exec::Executor executor(&data, exec_opts);
 
   CalibrationResult result;
+  const double lineitem_rows =
+      static_cast<double>(db.lineitem->num_rows());
+  const double orders_rows = static_cast<double>(db.orders->num_rows());
 
   // Fragment 1: Q1's fully-local scan/aggregate — the pure CPU-bandwidth
   // fragment (no shuffle, every lineitem byte flows through the tree).
   {
     EEDC_ASSIGN_OR_RETURN(
         FragmentMeasurement m,
-        MeasureFragment(
-            "q1_scan_agg", executor, &meter,
-            tpch::Q1Plan(tpch::DayNumber(1998, 9, 2)),
-            static_cast<double>(db.lineitem->num_rows()), opts.nodes,
-            opts.workers_per_node, opts.repetitions));
+        MeasureFragment("q1_scan_agg", "Q1", executor, &meter,
+                        tpch::Q1Plan(tpch::DayNumber(1998, 9, 2)),
+                        lineitem_rows, opts.nodes, opts.workers_per_node,
+                        opts.repetitions));
     result.fragments.push_back(std::move(m));
   }
 
@@ -115,11 +131,39 @@ StatusOr<CalibrationResult> RunCalibration(const CalibrationOptions& opts) {
         tpch::ThresholdForSelectivity(*db.lineitem, "l_shipdate", 0.5));
     EEDC_ASSIGN_OR_RETURN(
         FragmentMeasurement m,
-        MeasureFragment(
-            "q3_join", executor, &meter, tpch::Q3Plan(q3),
-            static_cast<double>(db.lineitem->num_rows() +
-                                db.orders->num_rows()),
-            opts.nodes, opts.workers_per_node, opts.repetitions));
+        MeasureFragment("q3_join", "Q3", executor, &meter,
+                        tpch::Q3Plan(q3), lineitem_rows + orders_rows,
+                        opts.nodes, opts.workers_per_node,
+                        opts.repetitions));
+    result.fragments.push_back(std::move(m));
+  }
+
+  // Fragment 3: Q12's selective shipmode/receiptdate join — a filtered
+  // repartition join between the per-kind extremes of Q1 and Q3.
+  {
+    tpch::Q12Options q12;
+    q12.receipt_lo = tpch::DayNumber(1994, 1, 1);
+    q12.receipt_hi = tpch::DayNumber(1995, 1, 1);
+    EEDC_ASSIGN_OR_RETURN(
+        FragmentMeasurement m,
+        MeasureFragment("q12_shipmode", "Q12", executor, &meter,
+                        tpch::Q12Plan(q12), lineitem_rows + orders_rows,
+                        opts.nodes, opts.workers_per_node,
+                        opts.repetitions));
+    result.fragments.push_back(std::move(m));
+  }
+
+  // Fragment 4: Q21's supplier-wait join — the deepest tree the driver
+  // schedules (replicated dimensions plus the repartitioned fact join).
+  {
+    tpch::Q21Options q21;
+    q21.orderdate_cutoff = tpch::DayNumber(1996, 1, 1);
+    EEDC_ASSIGN_OR_RETURN(
+        FragmentMeasurement m,
+        MeasureFragment("q21_suppwait", "Q21", executor, &meter,
+                        tpch::Q21Plan(q21), lineitem_rows + orders_rows,
+                        opts.nodes, opts.workers_per_node,
+                        opts.repetitions));
     result.fragments.push_back(std::move(m));
   }
 

@@ -6,8 +6,9 @@
 // paper obtained by measuring its real P-store deployment. The repo's
 // analytic side has so far used the paper's published constants, which say
 // nothing about *this* engine. The Calibrator closes that gap: it runs
-// representative TPC-H fragments (the fully-local Q1 scan/aggregate and
-// the shuffle-heavy Q3 join) on the real executor, meters them with the
+// one fragment per scheduled query kind (the fully-local Q1
+// scan/aggregate, the shuffle-heavy Q3 join, Q12's shipmode join and
+// Q21's supplier-wait join) on the real executor, meters them with the
 // EnergyMeter, converts the executor's logical cpu_bytes and busy time
 // into a measured per-node engine bandwidth and utilization, and rewrites
 // a ModelParams with those measured values — so explorer scores track the
@@ -44,6 +45,9 @@ struct CalibrationOptions {
 /// One measured query fragment.
 struct FragmentMeasurement {
   std::string name;
+  /// Canonical query-kind tag ("Q1", "Q3", "Q12", "Q21") for per-kind
+  /// consumers (workload profiles, class-rate anchors).
+  std::string kind;
   double input_rows = 0.0;
   double rows_per_sec = 0.0;          // input rows / wall
   double engine_mbps_per_node = 0.0;  // cpu_bytes / (nodes * wall)
@@ -54,6 +58,9 @@ struct FragmentMeasurement {
 
 struct CalibrationResult {
   std::vector<FragmentMeasurement> fragments;
+  /// Fragment measured for the given kind tag ("Q1", "Q3", "Q12",
+  /// "Q21"); nullptr when that kind was not calibrated.
+  const FragmentMeasurement* ForKind(const std::string& kind) const;
   /// Peak measured per-node engine bandwidth across fragments: the
   /// calibrated stand-in for Table 3's C.
   double engine_cpu_mbps = 0.0;

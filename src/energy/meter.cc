@@ -49,6 +49,40 @@ UtilizationTrace BuildUtilizationTrace(std::span<const WorkerSpan> spans,
   return trace;
 }
 
+std::vector<WorkerSpan> SubtractWaits(std::span<const WorkerSpan> spans,
+                                      std::span<const WorkerSpan> waits) {
+  std::vector<WorkerSpan> out;
+  out.reserve(spans.size());
+  for (const WorkerSpan& s : spans) {
+    // Clip this worker's waits to the span, then walk the gaps.
+    std::vector<std::pair<double, double>> cuts;
+    for (const WorkerSpan& w : waits) {
+      if (w.node != s.node || w.worker != s.worker) continue;
+      const double b = std::max(w.begin.seconds(), s.begin.seconds());
+      const double e = std::min(w.end.seconds(), s.end.seconds());
+      if (e > b) cuts.emplace_back(b, e);
+    }
+    if (cuts.empty()) {
+      out.push_back(s);
+      continue;
+    }
+    std::sort(cuts.begin(), cuts.end());
+    double t = s.begin.seconds();
+    for (const auto& [b, e] : cuts) {
+      if (b > t) {
+        out.push_back(WorkerSpan{s.node, s.worker, Duration::Seconds(t),
+                                 Duration::Seconds(b)});
+      }
+      t = std::max(t, e);
+    }
+    if (s.end.seconds() > t) {
+      out.push_back(
+          WorkerSpan{s.node, s.worker, Duration::Seconds(t), s.end});
+    }
+  }
+  return out;
+}
+
 EnergySplit IntegrateTrace(const UtilizationTrace& trace,
                            const power::PowerModel& model) {
   EnergySplit split;
@@ -89,6 +123,13 @@ void EnergyMeter::OnWorkerSpan(int node, int worker, Duration begin,
   spans_.push_back(WorkerSpan{node, worker, begin, end});
 }
 
+void EnergyMeter::OnWorkerWait(int node, int worker, Duration begin,
+                               Duration end) {
+  EEDC_CHECK(node >= 0 &&
+             node < static_cast<int>(node_models_.size()));
+  waits_.push_back(WorkerSpan{node, worker, begin, end});
+}
+
 QueryEnergyReport EnergyMeter::Finish() {
   QueryEnergyReport report;
   for (const WorkerSpan& s : spans_) {
@@ -98,15 +139,27 @@ QueryEnergyReport EnergyMeter::Finish() {
   for (int node = 0; node < static_cast<int>(node_models_.size());
        ++node) {
     std::vector<WorkerSpan> node_spans;
-    Duration busy = Duration::Zero();
+    std::vector<WorkerSpan> node_waits;
+    Duration raw = Duration::Zero();
     for (const WorkerSpan& s : spans_) {
       if (s.node != node) continue;
       node_spans.push_back(s);
-      busy += s.end - s.begin;
+      raw += s.end - s.begin;
     }
+    for (const WorkerSpan& w : waits_) {
+      if (w.node == node) node_waits.push_back(w);
+    }
+    // Exchange waits are not compute: carve them out before building the
+    // utilization curve so stalls are priced at the remaining workers'
+    // utilization (idle watts when the whole node blocks).
+    const std::vector<WorkerSpan> busy_spans =
+        SubtractWaits(node_spans, node_waits);
+    Duration busy = Duration::Zero();
+    for (const WorkerSpan& s : busy_spans) busy += s.end - s.begin;
     NodeEnergyReport nr;
     nr.node = node;
     nr.busy = busy;
+    nr.waiting = raw - busy;
     nr.wall = report.wall;
     if (report.wall.seconds() > 0.0) {
       nr.avg_utilization = std::min(
@@ -114,7 +167,7 @@ QueryEnergyReport EnergyMeter::Finish() {
                    (workers_per_node_ * report.wall.seconds()));
     }
     nr.joules = IntegrateTrace(
-        BuildUtilizationTrace(node_spans, workers_per_node_, report.wall),
+        BuildUtilizationTrace(busy_spans, workers_per_node_, report.wall),
         *node_models_[static_cast<std::size_t>(node)]);
     report.total += nr.joules.total();
     report.busy += nr.joules.busy;
@@ -122,6 +175,7 @@ QueryEnergyReport EnergyMeter::Finish() {
     report.nodes.push_back(std::move(nr));
   }
   spans_.clear();
+  waits_.clear();
   return report;
 }
 

@@ -8,6 +8,10 @@
 // a piecewise-constant node utilization curve — utilization at an instant
 // is busy workers / workers-per-node — and integrates the node's
 // power::PowerModel over that curve into per-node and per-query joules.
+// Exchange-wait intervals reported through OnWorkerWait are carved out of
+// the busy spans first, so a worker stalled on the network does not count
+// toward utilization and its stall is priced at idle watts when the whole
+// node is waiting.
 //
 // The integration primitives (BuildUtilizationTrace / IntegrateTrace) are
 // exposed as free functions so tests can feed hand-built synthetic traces
@@ -49,6 +53,15 @@ UtilizationTrace BuildUtilizationTrace(std::span<const WorkerSpan> spans,
                                        int workers_per_node,
                                        Duration horizon);
 
+/// Splits each busy span around the wait intervals of the same
+/// (node, worker), returning the sub-spans during which the worker was
+/// actually computing. A worker fully covered by waits contributes
+/// nothing. Wait time therefore drops out of the utilization curve and
+/// is priced at whatever the remaining workers justify — idle watts when
+/// the whole node is stalled on the network.
+std::vector<WorkerSpan> SubtractWaits(std::span<const WorkerSpan> spans,
+                                      std::span<const WorkerSpan> waits);
+
 /// Joules split by what the node was doing: busy steps (utilization > 0)
 /// versus idle steps (utilization == 0, drawing the model's idle watts —
 /// real hardware is not energy proportional).
@@ -66,7 +79,10 @@ EnergySplit IntegrateTrace(const UtilizationTrace& trace,
 /// Per-node energy accounting for one metered query.
 struct NodeEnergyReport {
   int node = 0;
-  Duration busy = Duration::Zero();  // sum of worker span lengths
+  Duration busy = Duration::Zero();  // worker span lengths minus waits
+  /// Time workers of this node spent blocked in exchange receives
+  /// (priced at the utilization the remaining workers justify).
+  Duration waiting = Duration::Zero();
   Duration wall = Duration::Zero();  // query horizon on this node
   double avg_utilization = 0.0;      // busy / (W * wall)
   EnergySplit joules;
@@ -101,9 +117,13 @@ class EnergyMeter : public exec::WorkerActivityListener {
 
   void OnWorkerSpan(int node, int worker, Duration begin,
                     Duration end) override;
+  void OnWorkerWait(int node, int worker, Duration begin,
+                    Duration end) override;
 
   /// Spans observed since the last Finish()/Reset().
   const std::vector<WorkerSpan>& spans() const { return spans_; }
+  /// Exchange-wait intervals observed since the last Finish()/Reset().
+  const std::vector<WorkerSpan>& waits() const { return waits_; }
 
   /// Integrates the collected spans into a per-node/per-query report and
   /// resets the meter. Every node is accounted over the same horizon (the
@@ -111,12 +131,16 @@ class EnergyMeter : public exec::WorkerActivityListener {
   /// for their tail — exactly the paper's underutilized-cluster waste.
   QueryEnergyReport Finish();
 
-  void Reset() { spans_.clear(); }
+  void Reset() {
+    spans_.clear();
+    waits_.clear();
+  }
 
  private:
   std::vector<std::shared_ptr<const power::PowerModel>> node_models_;
   int workers_per_node_;
   std::vector<WorkerSpan> spans_;
+  std::vector<WorkerSpan> waits_;
 };
 
 }  // namespace eedc::energy

@@ -1,6 +1,9 @@
 #include "exec/channel.h"
 
+#include <chrono>
+
 #include "common/check.h"
+#include "common/units.h"
 
 namespace eedc::exec {
 
@@ -21,10 +24,24 @@ void BlockChannel::SenderDone() {
   cv_.notify_all();
 }
 
-std::optional<storage::Block> BlockChannel::Receive() {
+std::optional<storage::Block> BlockChannel::Receive(Duration* blocked) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock,
-           [this] { return !queue_.empty() || senders_remaining_ == 0; });
+  const auto ready = [this] {
+    return !queue_.empty() || senders_remaining_ == 0;
+  };
+  if (blocked != nullptr) {
+    *blocked = Duration::Zero();
+    if (!ready()) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      cv_.wait(lock, ready);
+      *blocked = Duration::Seconds(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wait_start)
+              .count());
+    }
+  } else {
+    cv_.wait(lock, ready);
+  }
   if (queue_.empty()) return std::nullopt;
   storage::Block block = std::move(queue_.front());
   queue_.pop_front();

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/units.h"
 #include "storage/block.h"
 
 namespace eedc::exec {
@@ -30,8 +31,11 @@ class BlockChannel {
   void SenderDone();
 
   /// Blocks until a block is available or all senders are done.
-  /// Returns nullopt when the channel is closed and drained.
-  std::optional<storage::Block> Receive();
+  /// Returns nullopt when the channel is closed and drained. When
+  /// `blocked` is non-null it receives the time spent waiting on the
+  /// condition (zero when data was already queued) so callers can
+  /// account receive stalls separately from compute.
+  std::optional<storage::Block> Receive(Duration* blocked = nullptr);
 
  private:
   std::mutex mu_;

@@ -1,6 +1,7 @@
 #include "exec/exchange_op.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "storage/partitioner.h"
 
@@ -229,7 +230,25 @@ void ExchangeOp::AbortSend() {
 
 StatusOr<std::optional<Block>> ExchangeOp::Next() {
   while (true) {
-    std::optional<Block> block = group_->channel(node_id_).Receive();
+    std::optional<Block> block;
+    if (metrics_ != nullptr) {
+      const auto entered = std::chrono::steady_clock::now();
+      Duration blocked;
+      block = group_->channel(node_id_).Receive(&blocked);
+      if (blocked > Duration::Zero()) {
+        // A blocked receive is a network/straggler stall, not compute:
+        // record the interval so the executor can report it to the
+        // activity listener (priced at idle watts by the energy meter).
+        metrics_->exchange_wait += blocked;
+        const double begin =
+            std::chrono::duration<double>(entered.time_since_epoch())
+                .count();
+        metrics_->exchange_wait_spans.emplace_back(
+            begin, begin + blocked.seconds());
+      }
+    } else {
+      block = group_->channel(node_id_).Receive();
+    }
     if (!block.has_value()) return std::optional<Block>();
     if (metrics_ != nullptr) {
       auto& stats =

@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -311,7 +312,11 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     worker_metrics[idx].wall =
         Duration::Seconds(std::chrono::duration<double>(end - start)
                               .count());
-    worker_metrics[idx].busy = worker_metrics[idx].wall;
+    // Busy excludes exchange-receive stalls: the worker held no work
+    // while blocked, so utilization (and busy watts) must not cover it.
+    Duration wait = worker_metrics[idx].exchange_wait;
+    if (wait > worker_metrics[idx].wall) wait = worker_metrics[idx].wall;
+    worker_metrics[idx].busy = worker_metrics[idx].wall - wait;
     spans[idx].begin = Duration::Seconds(
         std::chrono::duration<double>(start - query_start).count());
     spans[idx].end = Duration::Seconds(
@@ -330,11 +335,30 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   }
 
   if (options_.activity_listener != nullptr) {
+    const double query_start_s =
+        std::chrono::duration<double>(query_start.time_since_epoch())
+            .count();
     for (std::size_t idx = 0; idx < total; ++idx) {
       options_.activity_listener->OnWorkerSpan(
           static_cast<int>(idx) / num_workers,
           static_cast<int>(idx) % num_workers, spans[idx].begin,
           spans[idx].end);
+    }
+    // Wait intervals after all spans, rebased onto the query start and
+    // clamped inside their worker's span.
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      for (const auto& [abs_begin, abs_end] :
+           worker_metrics[idx].exchange_wait_spans) {
+        const Duration begin = std::max(
+            Duration::Seconds(abs_begin - query_start_s), spans[idx].begin);
+        const Duration end = std::min(
+            Duration::Seconds(abs_end - query_start_s), spans[idx].end);
+        if (end > begin) {
+          options_.activity_listener->OnWorkerWait(
+              static_cast<int>(idx) / num_workers,
+              static_cast<int>(idx) % num_workers, begin, end);
+        }
+      }
     }
   }
 

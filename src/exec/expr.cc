@@ -306,8 +306,23 @@ const char* CmpOpName(CmpOp op) {
 #define EEDC_RESTRICT
 #endif
 
-/// out[i] = cmp(col[sel ? sel[i] : i], c) over n rows.
-template <typename Cmp>
+/// Writes a 0/1 flag per PredicateCombine: plain store, or fused AND
+/// into the accumulator (out must already hold 0/1 values). `kAnd` is a
+/// compile-time mode so the stores stay branch-free inside SIMD loops —
+/// this is what lets an AND chain evaluate without materializing each
+/// side into its own dense column first.
+template <bool kAnd>
+inline void StoreFlag(std::int64_t* EEDC_RESTRICT out, std::size_t i,
+                      std::int64_t v) {
+  if constexpr (kAnd) {
+    out[i] &= v;
+  } else {
+    out[i] = v;
+  }
+}
+
+/// out[i] <combine>= cmp(col[sel ? sel[i] : i], c) over n rows.
+template <typename Cmp, bool kAnd>
 void CmpI64ColConst(const std::int64_t* EEDC_RESTRICT col,
                     const std::uint32_t* EEDC_RESTRICT sel, std::int64_t c,
                     std::size_t n, std::int64_t* EEDC_RESTRICT out) {
@@ -315,18 +330,19 @@ void CmpI64ColConst(const std::int64_t* EEDC_RESTRICT col,
   if (sel == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(col[i], c));
+      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(col[sel[i]], c));
+      StoreFlag<kAnd>(out, i,
+                      static_cast<std::int64_t>(cmp(col[sel[i]], c)));
     }
   }
 }
 
-/// out[i] = cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
-template <typename Cmp>
+/// out[i] <combine>= cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
+template <typename Cmp, bool kAnd>
 void CmpI64ColCol(const std::int64_t* EEDC_RESTRICT a,
                   const std::uint32_t* EEDC_RESTRICT sa,
                   const std::int64_t* EEDC_RESTRICT b,
@@ -336,28 +352,30 @@ void CmpI64ColCol(const std::int64_t* EEDC_RESTRICT a,
   if (sa == nullptr && sb == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(a[i], b[i]));
+      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(
-          cmp(a[sa != nullptr ? sa[i] : i], b[sb != nullptr ? sb[i] : i]));
+      StoreFlag<kAnd>(out, i,
+                      static_cast<std::int64_t>(cmp(
+                          a[sa != nullptr ? sa[i] : i],
+                          b[sb != nullptr ? sb[i] : i])));
     }
   }
 }
 
 /// Binds the operand shapes (scalar/column, selection) once and runs the
 /// matching dense kernel. `Cmp` is a transparent functor (std::less etc.).
-template <typename Cmp>
+template <typename Cmp, bool kAnd>
 void CmpI64Dispatch(const Operand& a, const Operand& b, std::size_t n,
                     std::int64_t* out) {
   if (a.IsScalar() && b.IsScalar()) {
     const auto v =
         static_cast<std::int64_t>(Cmp{}(a.ScalarI64(), b.ScalarI64()));
-    for (std::size_t i = 0; i < n; ++i) out[i] = v;
+    for (std::size_t i = 0; i < n; ++i) StoreFlag<kAnd>(out, i, v);
   } else if (b.IsScalar()) {
-    CmpI64ColConst<Cmp>(a.I64Data(), a.Sel(), b.ScalarI64(), n, out);
+    CmpI64ColConst<Cmp, kAnd>(a.I64Data(), a.Sel(), b.ScalarI64(), n, out);
   } else if (a.IsScalar()) {
     // Flip col-vs-const so the column span stays the contiguous operand;
     // ReverseCmp swaps the argument order back.
@@ -366,27 +384,45 @@ void CmpI64Dispatch(const Operand& a, const Operand& b, std::size_t n,
         return Cmp{}(y, x);
       }
     };
-    CmpI64ColConst<ReverseCmp>(b.I64Data(), b.Sel(), a.ScalarI64(), n, out);
+    CmpI64ColConst<ReverseCmp, kAnd>(b.I64Data(), b.Sel(), a.ScalarI64(),
+                                     n, out);
   } else {
-    CmpI64ColCol<Cmp>(a.I64Data(), a.Sel(), b.I64Data(), b.Sel(), n, out);
+    CmpI64ColCol<Cmp, kAnd>(a.I64Data(), a.Sel(), b.I64Data(), b.Sel(), n,
+                            out);
+  }
+}
+
+template <bool kAnd>
+void EvalI64CmpMode(CmpOp op, const Operand& a, const Operand& b,
+                    std::size_t n, std::int64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpI64Dispatch<std::equal_to<std::int64_t>, kAnd>(a, b, n,
+                                                               out);
+    case CmpOp::kNe:
+      return CmpI64Dispatch<std::not_equal_to<std::int64_t>, kAnd>(a, b, n,
+                                                                   out);
+    case CmpOp::kLt:
+      return CmpI64Dispatch<std::less<std::int64_t>, kAnd>(a, b, n, out);
+    case CmpOp::kLe:
+      return CmpI64Dispatch<std::less_equal<std::int64_t>, kAnd>(a, b, n,
+                                                                 out);
+    case CmpOp::kGt:
+      return CmpI64Dispatch<std::greater<std::int64_t>, kAnd>(a, b, n,
+                                                              out);
+    case CmpOp::kGe:
+      return CmpI64Dispatch<std::greater_equal<std::int64_t>, kAnd>(a, b, n,
+                                                                    out);
   }
 }
 
 void EvalI64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
-                std::int64_t* out) {
-  switch (op) {
-    case CmpOp::kEq:
-      return CmpI64Dispatch<std::equal_to<std::int64_t>>(a, b, n, out);
-    case CmpOp::kNe:
-      return CmpI64Dispatch<std::not_equal_to<std::int64_t>>(a, b, n, out);
-    case CmpOp::kLt:
-      return CmpI64Dispatch<std::less<std::int64_t>>(a, b, n, out);
-    case CmpOp::kLe:
-      return CmpI64Dispatch<std::less_equal<std::int64_t>>(a, b, n, out);
-    case CmpOp::kGt:
-      return CmpI64Dispatch<std::greater<std::int64_t>>(a, b, n, out);
-    case CmpOp::kGe:
-      return CmpI64Dispatch<std::greater_equal<std::int64_t>>(a, b, n, out);
+                std::int64_t* out,
+                PredicateCombine combine = PredicateCombine::kAssign) {
+  if (combine == PredicateCombine::kAnd) {
+    EvalI64CmpMode<true>(op, a, b, n, out);
+  } else {
+    EvalI64CmpMode<false>(op, a, b, n, out);
   }
 }
 
@@ -397,8 +433,8 @@ void EvalI64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
 // is still an int64 column.
 // ---------------------------------------------------------------------------
 
-/// out[i] = cmp(col[sel ? sel[i] : i], c) over n rows.
-template <typename Cmp>
+/// out[i] <combine>= cmp(col[sel ? sel[i] : i], c) over n rows.
+template <typename Cmp, bool kAnd>
 void CmpF64ColConst(const double* EEDC_RESTRICT col,
                     const std::uint32_t* EEDC_RESTRICT sel, double c,
                     std::size_t n, std::int64_t* EEDC_RESTRICT out) {
@@ -406,18 +442,19 @@ void CmpF64ColConst(const double* EEDC_RESTRICT col,
   if (sel == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(col[i], c));
+      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(col[sel[i]], c));
+      StoreFlag<kAnd>(out, i,
+                      static_cast<std::int64_t>(cmp(col[sel[i]], c)));
     }
   }
 }
 
-/// out[i] = cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
-template <typename Cmp>
+/// out[i] <combine>= cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
+template <typename Cmp, bool kAnd>
 void CmpF64ColCol(const double* EEDC_RESTRICT a,
                   const std::uint32_t* EEDC_RESTRICT sa,
                   const double* EEDC_RESTRICT b,
@@ -427,51 +464,66 @@ void CmpF64ColCol(const double* EEDC_RESTRICT a,
   if (sa == nullptr && sb == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(cmp(a[i], b[i]));
+      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(
-          cmp(a[sa != nullptr ? sa[i] : i], b[sb != nullptr ? sb[i] : i]));
+      StoreFlag<kAnd>(out, i,
+                      static_cast<std::int64_t>(cmp(
+                          a[sa != nullptr ? sa[i] : i],
+                          b[sb != nullptr ? sb[i] : i])));
     }
   }
 }
 
-template <typename Cmp>
+template <typename Cmp, bool kAnd>
 void CmpF64Dispatch(const Operand& a, const Operand& b, std::size_t n,
                     std::int64_t* out) {
   if (a.IsScalar() && b.IsScalar()) {
     const auto v =
         static_cast<std::int64_t>(Cmp{}(a.ScalarF64(), b.ScalarF64()));
-    for (std::size_t i = 0; i < n; ++i) out[i] = v;
+    for (std::size_t i = 0; i < n; ++i) StoreFlag<kAnd>(out, i, v);
   } else if (b.IsScalar()) {
-    CmpF64ColConst<Cmp>(a.F64Data(), a.Sel(), b.ScalarF64(), n, out);
+    CmpF64ColConst<Cmp, kAnd>(a.F64Data(), a.Sel(), b.ScalarF64(), n, out);
   } else if (a.IsScalar()) {
     struct ReverseCmp {
       bool operator()(double x, double y) const { return Cmp{}(y, x); }
     };
-    CmpF64ColConst<ReverseCmp>(b.F64Data(), b.Sel(), a.ScalarF64(), n, out);
+    CmpF64ColConst<ReverseCmp, kAnd>(b.F64Data(), b.Sel(), a.ScalarF64(),
+                                     n, out);
   } else {
-    CmpF64ColCol<Cmp>(a.F64Data(), a.Sel(), b.F64Data(), b.Sel(), n, out);
+    CmpF64ColCol<Cmp, kAnd>(a.F64Data(), a.Sel(), b.F64Data(), b.Sel(), n,
+                            out);
+  }
+}
+
+template <bool kAnd>
+void EvalF64CmpMode(CmpOp op, const Operand& a, const Operand& b,
+                    std::size_t n, std::int64_t* out) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CmpF64Dispatch<std::equal_to<double>, kAnd>(a, b, n, out);
+    case CmpOp::kNe:
+      return CmpF64Dispatch<std::not_equal_to<double>, kAnd>(a, b, n, out);
+    case CmpOp::kLt:
+      return CmpF64Dispatch<std::less<double>, kAnd>(a, b, n, out);
+    case CmpOp::kLe:
+      return CmpF64Dispatch<std::less_equal<double>, kAnd>(a, b, n, out);
+    case CmpOp::kGt:
+      return CmpF64Dispatch<std::greater<double>, kAnd>(a, b, n, out);
+    case CmpOp::kGe:
+      return CmpF64Dispatch<std::greater_equal<double>, kAnd>(a, b, n, out);
   }
 }
 
 void EvalF64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
-                std::int64_t* out) {
-  switch (op) {
-    case CmpOp::kEq:
-      return CmpF64Dispatch<std::equal_to<double>>(a, b, n, out);
-    case CmpOp::kNe:
-      return CmpF64Dispatch<std::not_equal_to<double>>(a, b, n, out);
-    case CmpOp::kLt:
-      return CmpF64Dispatch<std::less<double>>(a, b, n, out);
-    case CmpOp::kLe:
-      return CmpF64Dispatch<std::less_equal<double>>(a, b, n, out);
-    case CmpOp::kGt:
-      return CmpF64Dispatch<std::greater<double>>(a, b, n, out);
-    case CmpOp::kGe:
-      return CmpF64Dispatch<std::greater_equal<double>>(a, b, n, out);
+                std::int64_t* out,
+                PredicateCombine combine = PredicateCombine::kAssign) {
+  if (combine == PredicateCombine::kAnd) {
+    EvalF64CmpMode<true>(op, a, b, n, out);
+  } else {
+    EvalF64CmpMode<false>(op, a, b, n, out);
   }
 }
 
@@ -514,6 +566,19 @@ class CompareExpr final : public Expr {
   Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
               Column* out) const override {
     EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
+    EEDC_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(input.schema()));
+    EEDC_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(input.schema()));
+    if (lt == rt &&
+        (lt == DataType::kInt64 || lt == DataType::kDouble)) {
+      // Same dense kernels as the fused-predicate path, in assign mode.
+      EEDC_ASSIGN_OR_RETURN(
+          bool fused,
+          TryEvalPredicateInto(input, sel, n, PredicateCombine::kAssign,
+                               out->AppendRawInt64(n)));
+      EEDC_DCHECK(fused);
+      (void)fused;
+      return Status::OK();
+    }
     Operand a, b;
     EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
     EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
@@ -521,12 +586,6 @@ class CompareExpr final : public Expr {
       for (std::size_t i = 0; i < n; ++i) {
         out->AppendInt64(ApplyCmp(op_, a.Str(i), b.Str(i)) ? 1 : 0);
       }
-    } else if (a.type() == DataType::kInt64 &&
-               b.type() == DataType::kInt64) {
-      EvalI64Cmp(op_, a, b, n, out->AppendRawInt64(n));
-    } else if (a.type() == DataType::kDouble &&
-               b.type() == DataType::kDouble) {
-      EvalF64Cmp(op_, a, b, n, out->AppendRawInt64(n));
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         out->AppendInt64(
@@ -534,6 +593,30 @@ class CompareExpr final : public Expr {
       }
     }
     return Status::OK();
+  }
+
+  StatusOr<bool> TryEvalPredicateInto(const Table& input,
+                                      const std::uint32_t* sel,
+                                      std::size_t n,
+                                      PredicateCombine combine,
+                                      std::int64_t* out) const override {
+    EEDC_ASSIGN_OR_RETURN(DataType lt, lhs_->ResultType(input.schema()));
+    EEDC_ASSIGN_OR_RETURN(DataType rt, rhs_->ResultType(input.schema()));
+    const bool both_i64 =
+        lt == DataType::kInt64 && rt == DataType::kInt64;
+    const bool both_f64 =
+        lt == DataType::kDouble && rt == DataType::kDouble;
+    // Strings and mixed-type promotions keep the row-wise Eval path.
+    if (!both_i64 && !both_f64) return false;
+    Operand a, b;
+    EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
+    EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
+    if (both_i64) {
+      EvalI64Cmp(op_, a, b, n, out, combine);
+    } else {
+      EvalF64Cmp(op_, a, b, n, out, combine);
+    }
+    return true;
   }
 
   std::string ToString() const override {
@@ -552,6 +635,31 @@ class CompareExpr final : public Expr {
 // ---------------------------------------------------------------------------
 
 enum class BoolOp { kAnd, kOr, kNot };
+
+/// Evaluates `expr` as a predicate into out[0..n): fused kernel when the
+/// expression offers one, otherwise a dense scratch evaluation whose 0/1
+/// normalization (v != 0) matches the row-wise boolean path.
+Status EvalPredicateInto(const Expr& expr, const Table& input,
+                         const std::uint32_t* sel, std::size_t n,
+                         PredicateCombine combine, std::int64_t* out) {
+  EEDC_ASSIGN_OR_RETURN(
+      bool fused, expr.TryEvalPredicateInto(input, sel, n, combine, out));
+  if (fused) return Status::OK();
+  Column scratch(DataType::kInt64);
+  scratch.Reserve(n);
+  EEDC_RETURN_IF_ERROR(expr.Eval(input, sel, n, &scratch));
+  const std::int64_t* v = scratch.int64s().data();
+  if (combine == PredicateCombine::kAnd) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] &= static_cast<std::int64_t>(v[i] != 0);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<std::int64_t>(v[i] != 0);
+    }
+  }
+  return Status::OK();
+}
 
 class BoolExpr final : public Expr {
  public:
@@ -574,6 +682,19 @@ class BoolExpr final : public Expr {
 
   Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
               Column* out) const override {
+    if (op_ == BoolOp::kAnd) {
+      // Conjunction fast path: the whole AND chain fuses into one output
+      // buffer (comparison kernels write/AND their flags in place) with
+      // no dense 0/1 column per side.
+      EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
+      EEDC_ASSIGN_OR_RETURN(
+          bool fused,
+          TryEvalPredicateInto(input, sel, n, PredicateCombine::kAssign,
+                               out->AppendRawInt64(n)));
+      EEDC_DCHECK(fused);
+      (void)fused;
+      return Status::OK();
+    }
     Operand a;
     EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
     if (op_ == BoolOp::kNot) {
@@ -587,9 +708,25 @@ class BoolExpr final : public Expr {
     for (std::size_t i = 0; i < n; ++i) {
       const bool x = a.I64(i) != 0;
       const bool y = b.I64(i) != 0;
-      out->AppendInt64((op_ == BoolOp::kAnd ? (x && y) : (x || y)) ? 1 : 0);
+      out->AppendInt64((x || y) ? 1 : 0);
     }
     return Status::OK();
+  }
+
+  StatusOr<bool> TryEvalPredicateInto(const Table& input,
+                                      const std::uint32_t* sel,
+                                      std::size_t n,
+                                      PredicateCombine combine,
+                                      std::int64_t* out) const override {
+    if (op_ != BoolOp::kAnd) return false;
+    EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
+    // AND is associative over 0/1 flags, so a nested (a AND b) AND c
+    // chain keeps accumulating into the same buffer.
+    EEDC_RETURN_IF_ERROR(
+        EvalPredicateInto(*lhs_, input, sel, n, combine, out));
+    EEDC_RETURN_IF_ERROR(EvalPredicateInto(*rhs_, input, sel, n,
+                                           PredicateCombine::kAnd, out));
+    return true;
   }
 
   std::string ToString() const override {

@@ -20,6 +20,13 @@ namespace eedc::exec {
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+/// How a fused predicate kernel writes its 0/1 truth values into a
+/// caller-provided buffer.
+enum class PredicateCombine {
+  kAssign,  // out[i] = truth(i)
+  kAnd,     // out[i] &= truth(i) (out must already hold 0/1 values)
+};
+
 class Expr {
  public:
   virtual ~Expr() = default;
@@ -52,6 +59,26 @@ class Expr {
   /// Constant-folding fast path: this expression's value if it is a
   /// constant, nullptr otherwise.
   virtual const storage::Value* ConstValue() const { return nullptr; }
+
+  /// Fused-predicate fast path: writes this expression's 0/1 truth
+  /// values for the selected rows directly into out[0..n) (combining per
+  /// `combine`) without materializing a dense intermediate column.
+  /// Returns false when this expression has no fused kernel for the
+  /// operand shapes at hand — the caller then falls back to Eval().
+  /// Implemented by numeric comparisons and by AND chains over them,
+  /// which is exactly the conjunctive-predicate hot path.
+  virtual StatusOr<bool> TryEvalPredicateInto(const storage::Table& input,
+                                              const std::uint32_t* sel,
+                                              std::size_t n,
+                                              PredicateCombine combine,
+                                              std::int64_t* out) const {
+    (void)input;
+    (void)sel;
+    (void)n;
+    (void)combine;
+    (void)out;
+    return false;
+  }
 
   virtual std::string ToString() const = 0;
 

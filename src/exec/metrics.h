@@ -7,6 +7,7 @@
 #ifndef EEDC_EXEC_METRICS_H_
 #define EEDC_EXEC_METRICS_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -35,6 +36,18 @@ class WorkerActivityListener {
   virtual ~WorkerActivityListener() = default;
   virtual void OnWorkerSpan(int node, int worker, Duration begin,
                             Duration end) = 0;
+  /// A sub-interval of the worker's span spent blocked in an exchange
+  /// Receive() waiting on peers' data — the CPU is stalled, so energy
+  /// accounting should price it at idle watts, not busy watts. Wait
+  /// intervals never overlap for one worker and lie inside its span.
+  /// Emitted after the spans, same thread, (node, worker) order.
+  virtual void OnWorkerWait(int node, int worker, Duration begin,
+                            Duration end) {
+    (void)node;
+    (void)worker;
+    (void)begin;
+    (void)end;
+  }
 };
 
 /// Counters for one node's operator tree.
@@ -54,10 +67,19 @@ struct NodeMetrics {
   /// processing work (the model's U / C ratio).
   double cpu_bytes = 0.0;
   Duration wall = Duration::Zero();
-  /// Sum of worker-pipeline execution time on this node. With W workers,
-  /// busy / (W * wall) is the node's average executor utilization — the
-  /// `c` fed to power::PowerModel::WattsAt by the energy runtime.
+  /// Sum of worker-pipeline execution time on this node, excluding time
+  /// blocked in exchange receives. With W workers, busy / (W * wall) is
+  /// the node's average executor utilization — the `c` fed to
+  /// power::PowerModel::WattsAt by the energy runtime.
   Duration busy = Duration::Zero();
+  /// Time blocked in exchange Receive() waiting for peers (a network /
+  /// straggler stall, not compute).
+  Duration exchange_wait = Duration::Zero();
+  /// Blocked receive intervals in absolute steady-clock seconds; the
+  /// executor rebases them onto the query start before reporting them to
+  /// the activity listener. Transient: consumed per worker, not folded
+  /// into node-level metrics.
+  std::vector<std::pair<double, double>> exchange_wait_spans;
 
   /// Indexed by exchange id assigned during plan instantiation.
   std::vector<ExchangeStats> exchanges;
@@ -83,6 +105,7 @@ struct NodeMetrics {
     agg_groups += w.agg_groups;
     cpu_bytes += w.cpu_bytes;
     busy += w.busy;
+    exchange_wait += w.exchange_wait;
     if (w.wall > wall) wall = w.wall;
     for (std::size_t i = 0; i < w.exchanges.size(); ++i) {
       ExchangeStats& e = exchange(i);

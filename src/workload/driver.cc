@@ -22,16 +22,21 @@ QueryProfiles QueryProfiles::Uniform(Duration service, Duration deadline) {
 
 namespace {
 
+using cluster::AdmissionDecision;
+using cluster::DispatchRule;
+using cluster::NodeClassSpec;
+
 /// One served query on a node's timeline.
 struct BusyInterval {
   Duration start = Duration::Zero();
   Duration end = Duration::Zero();
   double frequency = 1.0;
-  bool woke = false;  // a wake period of WakeLatency() precedes `start`
+  bool woke = false;  // a wake period precedes `start`
 };
 
-/// Virtual-time dispatch state for one node.
+/// Virtual-time dispatch state for one node instance.
 struct NodeState {
+  const NodeClassSpec* cls = nullptr;
   Duration avail = Duration::Zero();  // when the queue drains
   std::vector<BusyInterval> intervals;
   std::deque<Duration> pending;  // completion times of queued queries
@@ -42,86 +47,151 @@ struct NodeState {
   }
 };
 
-/// Greedy earliest-finish dispatcher shared by the open and closed-loop
-/// runs. Queries must be offered in nondecreasing arrival order.
+/// Greedy dispatcher shared by the open and closed-loop runs. Queries
+/// must be offered in nondecreasing arrival order. With a single class
+/// whose spec defers everything to the power policy, kEarliestFinish is
+/// bit-identical to the legacy homogeneous driver.
 class Simulator {
  public:
-  Simulator(int nodes, const PowerPolicy& policy)
-      : policy_(policy), nodes_(static_cast<std::size_t>(nodes)) {}
+  Simulator(const std::vector<const NodeClassSpec*>& classes,
+            const PowerPolicy& policy, DispatchRule rule)
+      : policy_(policy), rule_(rule) {
+    nodes_.reserve(classes.size());
+    for (const NodeClassSpec* cls : classes) {
+      NodeState node;
+      node.cls = cls;
+      nodes_.push_back(std::move(node));
+    }
+  }
 
-  QueryOutcome Dispatch(Duration at, QueryKind kind,
-                        const QueryProfile& profile) {
+  /// A scored placement option for one query on one node.
+  struct Candidate {
+    int node = 0;
+    Duration start = Duration::Zero();
+    Duration completion = Duration::Infinite();
+    bool wake = false;
+    double freq = 1.0;
+    /// Marginal serving joules: busy watts over the service time, plus
+    /// the wake-up spin at peak watts when the node must be woken.
+    Energy marginal = Energy::Zero();
+    bool feasible = false;  // completion - arrival <= deadline
+  };
+
+  /// Scores every node for a query arriving at `at` and picks the winner
+  /// under the dispatch rule, without committing it to the timeline.
+  Candidate Pick(Duration at, QueryKind kind, const QueryProfile& profile) {
     const bool can_sleep = policy_.SleepAfter().is_finite();
-    // Earliest estimated *finish* per node: the start (waking a sleeping
-    // node pays the policy's wake latency, so an awake-but-backlogged
-    // node can still win — that consolidation is what lets cold nodes
-    // stay asleep) plus the service time at the DVFS step the node's
-    // backlog dictates.
-    int best = 0;
-    Duration best_start = Duration::Zero();
-    Duration best_completion = Duration::Infinite();
-    bool best_wake = false;
-    double best_freq = 1.0;
+    std::vector<Candidate> candidates;
+    candidates.reserve(nodes_.size());
+    bool any_feasible = false;
     for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
       NodeState& node = nodes_[static_cast<std::size_t>(n)];
-      Duration start;
-      bool wake = false;
+      const NodeClassSpec& cls = *node.cls;
+      const Duration wake_latency = WakeLatencyFor(cls);
+      Candidate c;
+      c.node = n;
       if (node.avail > at) {
-        start = node.avail;  // busy: queue behind it, already awake
+        c.start = node.avail;  // busy: queue behind it, already awake
       } else if (can_sleep && at - node.avail >= policy_.SleepAfter()) {
-        start = at + policy_.WakeLatency();
-        wake = true;
+        c.start = at + wake_latency;
+        c.wake = true;
       } else {
-        start = at;
+        c.start = at;
       }
-      const double freq = policy_.FrequencyFor(node.QueueDepthAt(at) + 1);
-      EEDC_DCHECK(freq > 0.0 && freq <= 1.0);
-      const Duration completion = start + profile.service / freq;
-      if (completion < best_completion ||
-          (completion == best_completion && best_wake && !wake)) {
-        best = n;
-        best_start = start;
-        best_completion = completion;
-        best_wake = wake;
-        best_freq = freq;
-      }
+      c.freq = cls.SnapFrequency(policy_.FrequencyFor(
+          node.QueueDepthAt(at) + 1));
+      EEDC_DCHECK(c.freq > 0.0 && c.freq <= 1.0);
+      const Duration service =
+          profile.service / (c.freq * cls.ServiceRateFor(kind));
+      c.completion = c.start + service;
+      c.feasible = c.completion - at <= profile.deadline;
+      any_feasible = any_feasible || c.feasible;
+      c.marginal = cls.power_model->WattsAt(c.freq) * service;
+      if (c.wake) c.marginal += cls.PeakWatts() * wake_latency;
+      candidates.push_back(c);
     }
 
-    NodeState& node = nodes_[static_cast<std::size_t>(best)];
-    const double freq = best_freq;
-    const Duration completion = best_completion;
+    // Earliest finish, with the legacy tie-break (prefer not waking a
+    // node over waking one that finishes at the same instant).
+    auto earlier = [](const Candidate& c, const Candidate& best) {
+      return c.completion < best.completion ||
+             (c.completion == best.completion && best.wake && !c.wake);
+    };
+
+    Candidate best = candidates.front();
+    if (rule_ == DispatchRule::kEnergyFeasibleFinish && any_feasible) {
+      // Cheapest serving energy among deadline-feasible nodes; ties go to
+      // the earlier finish, then to not waking.
+      bool have = false;
+      for (const Candidate& c : candidates) {
+        if (!c.feasible) continue;
+        if (!have || c.marginal < best.marginal ||
+            (c.marginal == best.marginal && earlier(c, best))) {
+          best = c;
+          have = true;
+        }
+      }
+    } else {
+      for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (earlier(candidates[i], best)) best = candidates[i];
+      }
+    }
+    return best;
+  }
+
+  /// Commits a picked candidate to its node's timeline. `arrival` is the
+  /// query's original arrival (deferred queries dispatch later but keep
+  /// their arrival for reporting).
+  QueryOutcome Commit(const Candidate& c, Duration arrival, QueryKind kind,
+                      const QueryProfile& profile) {
+    NodeState& node = nodes_[static_cast<std::size_t>(c.node)];
     node.intervals.push_back(
-        BusyInterval{best_start, completion, freq, best_wake});
-    node.avail = completion;
-    node.pending.push_back(completion);
+        BusyInterval{c.start, c.completion, c.freq, c.wake});
+    node.avail = c.completion;
+    node.pending.push_back(c.completion);
 
     QueryOutcome outcome;
     outcome.kind = kind;
-    outcome.node = best;
-    outcome.frequency = freq;
-    outcome.arrival = at;
-    outcome.start = best_start;
-    outcome.completion = completion;
-    outcome.violated = completion - at > profile.deadline;
+    outcome.node = c.node;
+    outcome.node_class = node.cls;
+    outcome.frequency = c.freq;
+    outcome.arrival = arrival;
+    outcome.start = c.start;
+    outcome.completion = c.completion;
+    outcome.violated = c.completion - arrival > profile.deadline;
     return outcome;
   }
 
-  /// Walks each node's timeline over [0, horizon] and integrates the
-  /// power model: busy intervals at WattsAt(freq), wake periods at peak,
-  /// gaps split into idle grace and sleep per the policy.
-  void AccountEnergy(const power::PowerModel& model, Duration horizon,
-                     PolicyReport* report) const {
+  /// Earliest instant >= `after` at which every node has drained its
+  /// backlog — where the deferred-work drain phase begins.
+  Duration DrainTime(Duration after) const {
+    Duration t = after;
+    for (const NodeState& node : nodes_) {
+      if (node.avail > t) t = node.avail;
+    }
+    return t;
+  }
+
+  /// Walks each node's timeline over [0, horizon] and integrates its
+  /// class's power model: busy intervals at WattsAt(freq), wake periods
+  /// at the class peak, gaps split into idle grace and sleep per the
+  /// policy (with class sleep watts).
+  void AccountEnergy(Duration horizon, PolicyReport* report) const {
     const bool can_sleep = policy_.SleepAfter().is_finite();
     for (const NodeState& node : nodes_) {
+      const NodeClassSpec& cls = *node.cls;
+      const power::PowerModel& model = *cls.power_model;
+      const Duration wake_latency = WakeLatencyFor(cls);
+      const Power sleep_watts = SleepWattsFor(cls);
       Duration t = Duration::Zero();
       for (const BusyInterval& b : node.intervals) {
         Duration gap_end = b.start;
         if (b.woke) {
-          gap_end = b.start - policy_.WakeLatency();
-          report->wake_energy +=
-              model.PeakWatts() * policy_.WakeLatency();
+          gap_end = b.start - wake_latency;
+          report->wake_energy += model.PeakWatts() * wake_latency;
         }
-        AccountGap(model, can_sleep, b.woke, gap_end - t, report);
+        AccountGap(model, sleep_watts, can_sleep, b.woke, gap_end - t,
+                   report);
         report->busy_energy +=
             model.WattsAt(b.frequency) * (b.end - b.start);
         t = b.end;
@@ -129,58 +199,114 @@ class Simulator {
       if (horizon > t) {
         // Trailing gap: the node sleeps after the grace period if the
         // policy allows (no wake — nothing arrives again).
-        AccountGap(model, can_sleep, /*slept=*/can_sleep, horizon - t,
-                   report);
+        AccountGap(model, sleep_watts, can_sleep, /*slept=*/can_sleep,
+                   horizon - t, report);
       }
     }
   }
 
  private:
-  void AccountGap(const power::PowerModel& model, bool can_sleep,
-                  bool slept, Duration gap, PolicyReport* report) const {
+  Duration WakeLatencyFor(const NodeClassSpec& cls) const {
+    return cls.wake_latency > Duration::Zero() ? cls.wake_latency
+                                               : policy_.WakeLatency();
+  }
+  Power SleepWattsFor(const NodeClassSpec& cls) const {
+    return cls.sleep_watts.watts() >= 0.0 ? cls.sleep_watts
+                                          : policy_.SleepWatts();
+  }
+
+  void AccountGap(const power::PowerModel& model, Power sleep_watts,
+                  bool can_sleep, bool slept, Duration gap,
+                  PolicyReport* report) const {
     if (gap.seconds() <= 0.0) return;
-    // `>=` matches Dispatch's sleep test: at exact equality the node is
+    // `>=` matches Pick's sleep test: at exact equality the node is
     // considered asleep (zero-length sleep segment) so a charged wake
     // always pairs with a sleep state.
     if (can_sleep && slept && gap >= policy_.SleepAfter()) {
       report->idle_energy += model.IdleWatts() * policy_.SleepAfter();
-      report->sleep_energy +=
-          policy_.SleepWatts() * (gap - policy_.SleepAfter());
+      report->sleep_energy += sleep_watts * (gap - policy_.SleepAfter());
     } else {
       report->idle_energy += model.IdleWatts() * gap;
     }
   }
 
   const PowerPolicy& policy_;
+  DispatchRule rule_;
   std::vector<NodeState> nodes_;
 };
 
+QueryOutcome ShedOutcome(Duration at, QueryKind kind) {
+  QueryOutcome outcome;
+  outcome.kind = kind;
+  outcome.node = -1;
+  outcome.node_class = nullptr;
+  outcome.decision = AdmissionDecision::kShed;
+  outcome.arrival = at;
+  outcome.start = at;
+  outcome.completion = at;
+  return outcome;
+}
+
+/// One query held back by the admission policy for the drain phase.
+struct DeferredQuery {
+  Duration arrival = Duration::Zero();
+  QueryKind kind = QueryKind::kQ1;
+};
+
+/// Serves the deferred backlog FIFO once the interactive trace is done
+/// and the cluster has drained: the backlog fills the off-peak tail.
+void DrainDeferred(Simulator& sim, const std::vector<DeferredQuery>& backlog,
+                   Duration last_arrival, const QueryProfiles& profiles,
+                   std::vector<QueryOutcome>* outcomes) {
+  const Duration drain_at = sim.DrainTime(last_arrival);
+  for (const DeferredQuery& d : backlog) {
+    const QueryProfile& profile = profiles.For(d.kind);
+    const Simulator::Candidate c = sim.Pick(drain_at, d.kind, profile);
+    QueryOutcome outcome = sim.Commit(c, d.arrival, d.kind, profile);
+    outcome.decision = AdmissionDecision::kDefer;
+    outcome.deferred = true;
+    outcomes->push_back(outcome);
+  }
+}
+
 PolicyReport BuildReport(const std::string& policy_name,
+                         const std::string& admission_name,
+                         const std::string& fleet_label,
                          const std::vector<QueryOutcome>& outcomes,
-                         const Simulator& sim,
-                         const power::PowerModel& model) {
+                         const Simulator& sim) {
   PolicyReport report;
   report.policy = policy_name;
-  report.queries = static_cast<int>(outcomes.size());
+  report.admission = admission_name;
+  report.fleet = fleet_label;
   Duration response_sum = Duration::Zero();
   int violations = 0;
   for (const QueryOutcome& o : outcomes) {
+    if (!o.served()) {
+      ++report.shed;
+      continue;
+    }
+    ++report.queries;
     if (o.completion > report.makespan) report.makespan = o.completion;
+    if (o.deferred) {
+      ++report.deferred;
+      continue;
+    }
     response_sum += o.response();
     if (o.response() > report.max_response) {
       report.max_response = o.response();
     }
     if (o.violated) ++violations;
   }
-  if (report.queries > 0) {
-    report.mean_response = response_sum / report.queries;
+  const int interactive = report.queries - report.deferred;
+  if (interactive > 0) {
+    report.mean_response = response_sum / interactive;
     report.sla_violation_rate =
-        static_cast<double>(violations) / report.queries;
+        static_cast<double>(violations) / interactive;
   }
   if (report.makespan.seconds() > 0.0) {
     report.throughput_qps = report.queries / report.makespan.seconds();
   }
-  sim.AccountEnergy(model, report.makespan, &report);
+  sim.AccountEnergy(report.makespan, &report);
   return report;
 }
 
@@ -188,9 +314,22 @@ PolicyReport BuildReport(const std::string& policy_name,
 
 WorkloadDriver::WorkloadDriver(DriverOptions options)
     : options_(std::move(options)) {
-  EEDC_CHECK(options_.nodes > 0);
-  if (options_.node_model == nullptr) {
-    options_.node_model = power::ClusterVPowerModel();
+  if (!options_.fleet.empty()) {
+    const Status st = options_.fleet.Validate();
+    EEDC_CHECK(st.ok()) << st.ToString();
+    fleet_nodes_ = options_.fleet.PerNode();
+  } else {
+    EEDC_CHECK(options_.nodes > 0);
+    if (options_.node_model == nullptr) {
+      options_.node_model = power::ClusterVPowerModel();
+    }
+    // Homogeneous as a special case: one synthesized class whose unset
+    // wake/sleep/DVFS fields defer every decision to the power policy.
+    legacy_class_.name = "node";
+    legacy_class_.label = 'N';
+    legacy_class_.power_model = options_.node_model;
+    fleet_nodes_.assign(static_cast<std::size_t>(options_.nodes),
+                        &legacy_class_);
   }
 }
 
@@ -203,13 +342,43 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
           "arrival trace must be sorted by time");
     }
   }
-  Simulator sim(options_.nodes, policy);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch);
   outcomes_.clear();
   outcomes_.reserve(trace.size());
+  std::vector<DeferredQuery> backlog;
   for (const QueryArrival& a : trace) {
-    outcomes_.push_back(sim.Dispatch(a.at, a.kind, profiles.For(a.kind)));
+    const QueryProfile& profile = profiles.For(a.kind);
+    const Simulator::Candidate c = sim.Pick(a.at, a.kind, profile);
+    AdmissionDecision decision = AdmissionDecision::kAdmit;
+    if (options_.admission != nullptr) {
+      cluster::AdmissionContext ctx;
+      ctx.kind = a.kind;
+      ctx.arrival = a.at;
+      ctx.deadline = profile.deadline;
+      ctx.predicted_completion = c.completion;
+      decision = options_.admission->Admit(ctx);
+    }
+    switch (decision) {
+      case AdmissionDecision::kAdmit:
+        outcomes_.push_back(sim.Commit(c, a.at, a.kind, profile));
+        break;
+      case AdmissionDecision::kShed:
+        outcomes_.push_back(ShedOutcome(a.at, a.kind));
+        break;
+      case AdmissionDecision::kDefer:
+        backlog.push_back(DeferredQuery{a.at, a.kind});
+        break;
+    }
   }
-  return BuildReport(policy.name(), outcomes_, sim, *options_.node_model);
+  if (!backlog.empty()) {
+    DrainDeferred(sim, backlog, trace.back().at, profiles, &outcomes_);
+  }
+  return BuildReport(
+      policy.name(),
+      options_.admission != nullptr ? options_.admission->name()
+                                    : "admit-all",
+      options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
+      outcomes_, sim);
 }
 
 StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
@@ -229,23 +398,60 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
   for (int c = 0; c < loop.clients; ++c) {
     heap.emplace(rng.Exponential(loop.think_mean.seconds()), c);
   }
-  Simulator sim(options_.nodes, policy);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch);
   outcomes_.clear();
   outcomes_.reserve(static_cast<std::size_t>(loop.queries));
+  std::vector<DeferredQuery> backlog;
   int submitted = 0;
+  Duration last_at = Duration::Zero();
   while (submitted < loop.queries && !heap.empty()) {
-    const auto [at, client] = heap.top();
+    const auto [at_s, client] = heap.top();
     heap.pop();
+    const Duration at = Duration::Seconds(at_s);
+    last_at = at;
     const QueryKind kind = SampleFromMix(loop.mix, rng);
-    const QueryOutcome outcome =
-        sim.Dispatch(Duration::Seconds(at), kind, profiles.For(kind));
-    outcomes_.push_back(outcome);
+    const QueryProfile& profile = profiles.For(kind);
+    const Simulator::Candidate c = sim.Pick(at, kind, profile);
+    AdmissionDecision decision = AdmissionDecision::kAdmit;
+    if (options_.admission != nullptr) {
+      cluster::AdmissionContext ctx;
+      ctx.kind = kind;
+      ctx.arrival = at;
+      ctx.deadline = profile.deadline;
+      ctx.predicted_completion = c.completion;
+      decision = options_.admission->Admit(ctx);
+    }
+    // A shed or deferred submission releases the client at once; an
+    // admitted one holds it until completion.
+    Duration resume = at;
+    switch (decision) {
+      case AdmissionDecision::kAdmit: {
+        const QueryOutcome outcome = sim.Commit(c, at, kind, profile);
+        resume = outcome.completion;
+        outcomes_.push_back(outcome);
+        break;
+      }
+      case AdmissionDecision::kShed:
+        outcomes_.push_back(ShedOutcome(at, kind));
+        break;
+      case AdmissionDecision::kDefer:
+        backlog.push_back(DeferredQuery{at, kind});
+        break;
+    }
     ++submitted;
-    heap.emplace(outcome.completion.seconds() +
-                     rng.Exponential(loop.think_mean.seconds()),
-                 client);
+    heap.emplace(
+        resume.seconds() + rng.Exponential(loop.think_mean.seconds()),
+        client);
   }
-  return BuildReport(policy.name(), outcomes_, sim, *options_.node_model);
+  if (!backlog.empty()) {
+    DrainDeferred(sim, backlog, last_at, profiles, &outcomes_);
+  }
+  return BuildReport(
+      policy.name(),
+      options_.admission != nullptr ? options_.admission->name()
+                                    : "admit-all",
+      options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
+      outcomes_, sim);
 }
 
 }  // namespace eedc::workload

@@ -1,18 +1,27 @@
-// Energy-aware workload driver.
+// Energy-aware workload driver over a (possibly heterogeneous) cluster.
 //
 // Replays an arrival trace (arrival.h) of concurrent TPC-H queries
-// against a virtual cluster in virtual time, dispatching each query to
-// the node that can finish it earliest — including the wake-up cost of
-// sleeping nodes — under a pluggable power policy (power_policy.h). Per
-// query it tracks response time against a deadline; per node it keeps the
-// exact busy/idle/sleep/wake timeline and integrates the node's power
-// model over it, so every policy comparison reports throughput, SLA
-// violation rate, energy-per-query, and EDP from the same trace.
+// against a virtual cluster in virtual time. Every node is an instance of
+// a cluster::NodeClassSpec — the homogeneous cluster of the legacy
+// options is just a fleet with a single synthesized class — carrying its
+// own power model, DVFS steps, wake/sleep cost, and per-query-kind
+// service-rate multipliers. Dispatch follows a cluster::DispatchRule:
+// earliest finish (the legacy rule) or earliest-energy-feasible-finish,
+// which lands short/interactive work on wimpy nodes and heavy scans on
+// beefy ones. An optional cluster::AdmissionPolicy may shed or defer
+// over-deadline work before it is dispatched; deferred work drains after
+// the trace, billed for energy but excluded from the SLA.
+//
+// Per query the driver tracks response time against a deadline; per node
+// it keeps the exact busy/idle/sleep/wake timeline and integrates the
+// node's class power model over it, so every policy comparison reports
+// throughput, SLA violation rate, energy-per-query, and EDP from the
+// same trace.
 //
 // Service demands come from QueryProfiles — either measured on the real
 // engine (profiles.h runs each query kind through the executor with the
 // EnergyMeter attached) or fixed synthetic values for deterministic tests
-// and CI gates.
+// and CI gates. A class's per-kind rate divides the profile demand.
 #ifndef EEDC_WORKLOAD_DRIVER_H_
 #define EEDC_WORKLOAD_DRIVER_H_
 
@@ -22,6 +31,9 @@
 #include <string>
 #include <vector>
 
+#include "cluster/admission.h"
+#include "cluster/cluster_config.h"
+#include "cluster/dispatch.h"
 #include "common/statusor.h"
 #include "common/units.h"
 #include "power/power_model.h"
@@ -32,7 +44,7 @@ namespace eedc::workload {
 
 /// Per-kind workload parameters.
 struct QueryProfile {
-  /// Service demand at full frequency on one node.
+  /// Service demand at full frequency on one reference-class node.
   Duration service = Duration::Seconds(0.1);
   /// Relative deadline (SLA): completion - arrival must not exceed it.
   Duration deadline = Duration::Seconds(1.0);
@@ -55,27 +67,46 @@ struct QueryProfiles {
   static QueryProfiles Uniform(Duration service, Duration deadline);
 };
 
-/// What happened to one query.
+/// What happened to one offered query.
 struct QueryOutcome {
   QueryKind kind = QueryKind::kQ1;
-  int node = 0;
+  int node = 0;  // -1 when shed
+  /// Class of the serving node; points into the driver's fleet and stays
+  /// valid while the driver is alive. Null when shed.
+  const cluster::NodeClassSpec* node_class = nullptr;
   double frequency = 1.0;  // DVFS step it was served at
+  cluster::AdmissionDecision decision = cluster::AdmissionDecision::kAdmit;
+  /// True when the query was served in the post-trace drain phase
+  /// (admission decision kDefer): billed for energy, excluded from SLA
+  /// and response statistics.
+  bool deferred = false;
   Duration arrival = Duration::Zero();
   Duration start = Duration::Zero();
   Duration completion = Duration::Zero();
   bool violated = false;
 
+  bool served() const {
+    return decision != cluster::AdmissionDecision::kShed;
+  }
   Duration response() const { return completion - arrival; }
 };
 
 /// Per-policy workload result.
 struct PolicyReport {
   std::string policy;
+  std::string admission = "admit-all";
+  std::string fleet;  // "2B,6W"-style label
+  /// Queries served on the cluster (including deferred ones).
   int queries = 0;
+  /// Queries the admission policy dropped (never served, no energy).
+  int shed = 0;
+  /// Subset of `queries` served in the post-trace drain phase.
+  int deferred = 0;
   Duration makespan = Duration::Zero();
   double throughput_qps = 0.0;
+  /// Violation rate among interactive (non-deferred) served queries.
   double sla_violation_rate = 0.0;
-  Duration mean_response = Duration::Zero();
+  Duration mean_response = Duration::Zero();  // interactive served only
   Duration max_response = Duration::Zero();
 
   /// Cluster energy split by node activity over [0, makespan].
@@ -84,11 +115,24 @@ struct PolicyReport {
   Energy sleep_energy = Energy::Zero();  // powered down, at SleepWatts
   Energy wake_energy = Energy::Zero();   // spin-up, at PeakWatts
 
+  int offered() const { return queries + shed; }
+  double shed_rate() const {
+    return offered() > 0 ? static_cast<double>(shed) / offered() : 0.0;
+  }
+
   Energy total_energy() const {
     return busy_energy + idle_energy + sleep_energy + wake_energy;
   }
   Energy energy_per_query() const {
     return queries > 0 ? total_energy() * (1.0 / queries) : Energy::Zero();
+  }
+  /// Joules actually spent serving admitted work (busy + wake): the
+  /// numerator of the admission trade-off curve, which excludes the
+  /// provisioning cost of keeping nodes awake.
+  Energy serving_energy() const { return busy_energy + wake_energy; }
+  Energy serving_energy_per_query() const {
+    return queries > 0 ? serving_energy() * (1.0 / queries)
+                       : Energy::Zero();
   }
   /// The paper's metric, at workload granularity: cluster joules times
   /// mean response time.
@@ -98,10 +142,22 @@ struct PolicyReport {
 };
 
 struct DriverOptions {
+  /// Legacy homogeneous cluster: `nodes` identical nodes sharing one
+  /// utilization->watts curve (default: the paper's cluster-V model).
+  /// Used only when `fleet` is empty.
   int nodes = 4;
-  /// Utilization->watts curve shared by every node (default: the paper's
-  /// cluster-V model).
   std::shared_ptr<const power::PowerModel> node_model;
+
+  /// Mixed fleet. When non-empty it overrides nodes/node_model: each node
+  /// carries its class's power model, service rates, DVFS steps and
+  /// wake/sleep costs. A single-class fleet with neutral rates reproduces
+  /// the homogeneous driver exactly.
+  cluster::ClusterConfig fleet;
+
+  cluster::DispatchRule dispatch = cluster::DispatchRule::kEarliestFinish;
+
+  /// Admission-control hook; not owned; nullptr admits everything.
+  const cluster::AdmissionPolicy* admission = nullptr;
 };
 
 struct ClosedLoopOptions {
@@ -116,21 +172,38 @@ class WorkloadDriver {
  public:
   explicit WorkloadDriver(DriverOptions options);
 
+  // fleet_nodes_ points into options_.fleet / legacy_class_, so a
+  // copied or moved driver would dispatch against the source's freed
+  // class specs.
+  WorkloadDriver(const WorkloadDriver&) = delete;
+  WorkloadDriver& operator=(const WorkloadDriver&) = delete;
+
   /// Replays an open-system trace (must be sorted by arrival time).
   StatusOr<PolicyReport> Run(const std::vector<QueryArrival>& trace,
                              const QueryProfiles& profiles,
                              const PowerPolicy& policy);
 
-  /// Closed-loop: `clients` users cycling think -> submit -> wait.
+  /// Closed-loop: `clients` users cycling think -> submit -> wait. A shed
+  /// or deferred submission releases its client immediately (the user
+  /// gives up / is told to come back later).
   StatusOr<PolicyReport> RunClosedLoop(const ClosedLoopOptions& loop,
                                        const QueryProfiles& profiles,
                                        const PowerPolicy& policy);
 
-  /// Per-query outcomes of the most recent run.
+  /// Per-query outcomes of the most recent run, in offer order (shed
+  /// queries included, drain-phase completions last).
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+
+  /// The materialized fleet, one class per node.
+  const std::vector<const cluster::NodeClassSpec*>& fleet_nodes() const {
+    return fleet_nodes_;
+  }
 
  private:
   DriverOptions options_;
+  /// Synthesized single class backing the legacy homogeneous options.
+  cluster::NodeClassSpec legacy_class_;
+  std::vector<const cluster::NodeClassSpec*> fleet_nodes_;
   std::vector<QueryOutcome> outcomes_;
 };
 

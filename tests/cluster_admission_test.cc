@@ -1,0 +1,181 @@
+// Admission control: shed/defer decisions, drain-phase accounting, and
+// the monotone energy/SLA trade-off (ISSUE acceptance criterion).
+#include "cluster/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/design_explorer.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/power_policy.h"
+
+namespace eedc::cluster {
+namespace {
+
+using power::ConstantPowerModel;
+using workload::AllOnPolicy;
+using workload::DriverOptions;
+using workload::PolicyReport;
+using workload::QueryArrival;
+using workload::QueryKind;
+using workload::QueryProfiles;
+using workload::WorkloadDriver;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+AdmissionContext Context(double response_s, double deadline_s) {
+  AdmissionContext ctx;
+  ctx.arrival = Duration::Seconds(1.0);
+  ctx.deadline = Duration::Seconds(deadline_s);
+  ctx.predicted_completion = Duration::Seconds(1.0 + response_s);
+  return ctx;
+}
+
+TEST(AdmissionPolicyTest, DecisionsFollowTheSlackThreshold) {
+  EXPECT_EQ(AdmitAllPolicy().Admit(Context(99.0, 1.0)),
+            AdmissionDecision::kAdmit);
+
+  const ShedOverDeadlinePolicy shed(1.5);
+  EXPECT_EQ(shed.Admit(Context(1.0, 1.0)), AdmissionDecision::kAdmit);
+  EXPECT_EQ(shed.Admit(Context(1.5, 1.0)), AdmissionDecision::kAdmit);
+  EXPECT_EQ(shed.Admit(Context(1.6, 1.0)), AdmissionDecision::kShed);
+
+  const DeferOverDeadlinePolicy defer(1.0);
+  EXPECT_EQ(defer.Admit(Context(0.9, 1.0)), AdmissionDecision::kAdmit);
+  EXPECT_EQ(defer.Admit(Context(1.1, 1.0)), AdmissionDecision::kDefer);
+
+  EXPECT_EQ(std::string(AdmissionDecisionName(AdmissionDecision::kShed)),
+            "shed");
+}
+
+DriverOptions TwoConstantNodes() {
+  DriverOptions options;
+  options.nodes = 2;
+  options.node_model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  return options;
+}
+
+/// An overloaded burst: 8 simultaneous arrivals on 2 nodes, 1 s service,
+/// 2.5 s deadline — the 3rd query per node onward violates.
+std::vector<QueryArrival> OverloadBurst() {
+  std::vector<QueryArrival> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back({Duration::Zero(), QueryKind::kQ1});
+  }
+  return trace;
+}
+
+TEST(AdmissionDriverTest, SheddingAtDeadlineEliminatesViolations) {
+  DriverOptions options = TwoConstantNodes();
+  const ShedOverDeadlinePolicy admission(1.0);
+  options.admission = &admission;
+  WorkloadDriver driver(options);
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(1.0), Duration::Seconds(2.5));
+  auto report = driver.Run(OverloadBurst(), profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Each node serves its first two queries (completions 1 s and 2 s);
+  // everything that would finish past 2.5 s is shed before dispatch.
+  EXPECT_EQ(report->queries, 4);
+  EXPECT_EQ(report->shed, 4);
+  EXPECT_EQ(report->offered(), 8);
+  EXPECT_DOUBLE_EQ(report->shed_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(report->sla_violation_rate, 0.0);
+  // Shed outcomes carry the decision and never touch a node.
+  int shed_seen = 0;
+  for (const auto& o : driver.outcomes()) {
+    if (!o.served()) {
+      ++shed_seen;
+      EXPECT_EQ(o.node, -1);
+      EXPECT_EQ(o.node_class, nullptr);
+    }
+  }
+  EXPECT_EQ(shed_seen, 4);
+}
+
+TEST(AdmissionDriverTest, DeferredWorkDrainsAfterTheTraceOffSla) {
+  DriverOptions options = TwoConstantNodes();
+  options.nodes = 1;
+  const DeferOverDeadlinePolicy admission(1.0);
+  options.admission = &admission;
+  WorkloadDriver driver(options);
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(1.0), Duration::Seconds(1.5));
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ3},
+      {Duration::Zero(), QueryKind::kQ12}};
+  auto report = driver.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  // First query admitted (completes at 1 s); the other two would finish
+  // at 2 s and 3 s > 1.5 s, so they drain after the cluster empties.
+  EXPECT_EQ(report->queries, 3);
+  EXPECT_EQ(report->deferred, 2);
+  EXPECT_EQ(report->shed, 0);
+  // SLA only covers the interactive query.
+  EXPECT_DOUBLE_EQ(report->sla_violation_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report->mean_response.seconds(), 1.0);
+  // Deferred completions extend the makespan (and are billed): the
+  // drain starts at avail = 1 s, FIFO in offer order.
+  ASSERT_EQ(driver.outcomes().size(), 3u);
+  const auto& d1 = driver.outcomes()[1];
+  const auto& d2 = driver.outcomes()[2];
+  EXPECT_TRUE(d1.deferred);
+  EXPECT_EQ(d1.kind, QueryKind::kQ3);
+  EXPECT_DOUBLE_EQ(d1.start.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(d2.completion.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(report->makespan.seconds(), 3.0);
+  // All three queries' joules are on the timeline: 3 s busy at 100 W.
+  EXPECT_NEAR(report->busy_energy.joules(), 300.0, 1e-9);
+}
+
+TEST(AdmissionDriverTest, TradeoffCurveIsMonotoneOnDeterministicTrace) {
+  // The ISSUE acceptance criterion: shedding more over-deadline work
+  // never increases the serving energy per admitted query, and the
+  // admitted SLA violation rate only falls.
+  DriverOptions options = TwoConstantNodes();
+  workload::BurstyOptions bursty;
+  bursty.on_rate_qps = 6.0;
+  bursty.on = Duration::Seconds(4.0);
+  bursty.off = Duration::Seconds(10.0);
+  bursty.cycles = 3;
+  bursty.seed = 11;
+  const auto trace = workload::BurstyArrivals(workload::DefaultMix(),
+                                              bursty);
+  QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.5), Duration::Seconds(1.5));
+  profiles.For(QueryKind::kQ21).service = Duration::Seconds(1.0);
+
+  const std::vector<double> slacks = {kInf, 3.0, 2.0, 1.5, 1.2, 1.0};
+  auto curve = SweepAdmissionSlack(options, trace, profiles,
+                                   AllOnPolicy(), slacks);
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  ASSERT_EQ(curve->size(), slacks.size());
+  // The lenient end admits everything; the strict end sheds some work
+  // and serves the rest inside the deadline.
+  EXPECT_DOUBLE_EQ(curve->front().shed_rate, 0.0);
+  EXPECT_GT(curve->front().sla_violation_rate, 0.0);
+  EXPECT_GT(curve->back().shed_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve->back().sla_violation_rate, 0.0);
+  EXPECT_TRUE(TradeoffIsMonotone(*curve))
+      << "shedding more must never raise serving energy per admitted "
+         "query or the admitted violation rate";
+  // And the sweep is replay-deterministic.
+  auto again = SweepAdmissionSlack(options, trace, profiles,
+                                   AllOnPolicy(), slacks);
+  ASSERT_TRUE(again.ok());
+  for (std::size_t i = 0; i < curve->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*curve)[i].serving_energy_per_query_j,
+                     (*again)[i].serving_energy_per_query_j);
+    EXPECT_DOUBLE_EQ((*curve)[i].sla_violation_rate,
+                     (*again)[i].sla_violation_rate);
+  }
+}
+
+}  // namespace
+}  // namespace eedc::cluster

@@ -1,0 +1,173 @@
+#include "cluster/node_class.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster_config.h"
+#include "energy/calibrator.h"
+#include "hw/catalog.h"
+#include "power/power_model.h"
+
+namespace eedc::cluster {
+namespace {
+
+using power::ConstantPowerModel;
+using workload::QueryKind;
+
+NodeClassSpec TestClass(const char* name, char label, double watts,
+                        double rate) {
+  NodeClassSpec cls;
+  cls.name = name;
+  cls.label = label;
+  cls.power_model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(watts));
+  cls.service_rates = UniformKindRates(rate);
+  return cls;
+}
+
+TEST(NodeClassSpecTest, ValidatesFields) {
+  NodeClassSpec cls = TestClass("ok", 'O', 100.0, 1.0);
+  EXPECT_TRUE(cls.Validate().ok());
+
+  NodeClassSpec no_model = cls;
+  no_model.power_model = nullptr;
+  EXPECT_FALSE(no_model.Validate().ok());
+
+  NodeClassSpec bad_rate = cls;
+  bad_rate.service_rates[0] = 0.0;
+  EXPECT_FALSE(bad_rate.Validate().ok());
+
+  NodeClassSpec bad_steps = cls;
+  bad_steps.dvfs_steps = {0.75, 0.5, 1.0};  // not ascending
+  EXPECT_FALSE(bad_steps.Validate().ok());
+
+  NodeClassSpec short_steps = cls;
+  short_steps.dvfs_steps = {0.5, 0.75};  // does not end at 1.0
+  EXPECT_FALSE(short_steps.Validate().ok());
+
+  NodeClassSpec good_steps = cls;
+  good_steps.dvfs_steps = {0.5, 0.75, 1.0};
+  EXPECT_TRUE(good_steps.Validate().ok());
+}
+
+TEST(NodeClassSpecTest, SnapFrequencyRoundsUpToAvailableStep) {
+  NodeClassSpec cls = TestClass("stepped", 'S', 100.0, 1.0);
+  cls.dvfs_steps = {0.5, 0.75, 1.0};
+  EXPECT_DOUBLE_EQ(cls.SnapFrequency(0.3), 0.5);
+  EXPECT_DOUBLE_EQ(cls.SnapFrequency(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(cls.SnapFrequency(0.6), 0.75);
+  EXPECT_DOUBLE_EQ(cls.SnapFrequency(1.0), 1.0);
+
+  NodeClassSpec continuous = TestClass("cont", 'C', 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(continuous.SnapFrequency(0.6), 0.6);
+}
+
+TEST(NodeClassSpecTest, FromNodeSpecScalesRatesByCpuBandwidth) {
+  const hw::NodeSpec beefy = hw::ValidationBeefyNode();
+  const hw::NodeSpec wimpy = hw::ValidationWimpyNode();
+  const NodeClassSpec cls = NodeClassSpec::FromNodeSpec(
+      "wimpy", 'W', wimpy, beefy.cpu_bw_mbps());
+  EXPECT_EQ(cls.hw_class, hw::NodeClass::kWimpy);
+  for (int k = 0; k < workload::kNumQueryKinds; ++k) {
+    EXPECT_DOUBLE_EQ(cls.service_rates[static_cast<std::size_t>(k)],
+                     wimpy.cpu_bw_mbps() / beefy.cpu_bw_mbps());
+  }
+  EXPECT_DOUBLE_EQ(cls.IdleWatts().watts(),
+                   wimpy.IdleWatts().watts());
+}
+
+TEST(NodeClassRegistryTest, PaperDefaultRegistersBeefyAndWimpy) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  ASSERT_EQ(registry.size(), 2);
+  auto beefy = registry.Find("beefy");
+  ASSERT_TRUE(beefy.ok());
+  auto wimpy = registry.Find("wimpy");
+  ASSERT_TRUE(wimpy.ok());
+  EXPECT_FALSE(registry.Find("atom").ok());
+
+  // Wimpy runs at the Table-3 CW/CB ratio and is strictly cheaper at
+  // idle and peak.
+  EXPECT_LT((*wimpy)->ServiceRateFor(QueryKind::kQ1), 1.0);
+  EXPECT_DOUBLE_EQ((*beefy)->ServiceRateFor(QueryKind::kQ1), 1.0);
+  EXPECT_LT((*wimpy)->IdleWatts().watts(), (*beefy)->IdleWatts().watts());
+  EXPECT_LT((*wimpy)->PeakWatts().watts(), (*beefy)->PeakWatts().watts());
+  // Laptop-class nodes resume faster and sleep cheaper.
+  EXPECT_LT((*wimpy)->wake_latency.seconds(),
+            (*beefy)->wake_latency.seconds());
+  EXPECT_LT((*wimpy)->sleep_watts.watts(), (*beefy)->sleep_watts.watts());
+}
+
+TEST(NodeClassRegistryTest, RejectsDuplicatesAndInvalidSpecs) {
+  NodeClassRegistry registry;
+  EXPECT_TRUE(registry.Register(TestClass("a", 'A', 10.0, 1.0)).ok());
+  EXPECT_FALSE(registry.Register(TestClass("a", 'A', 20.0, 1.0)).ok());
+  EXPECT_FALSE(registry.Register(TestClass("b", 'B', 10.0, -1.0)).ok());
+}
+
+TEST(MeasuredKindRatesTest, CpuBoundFractionScalesTheSlowdown) {
+  energy::CalibrationResult calibration;
+  energy::FragmentMeasurement q1;
+  q1.name = "q1_scan_agg";
+  q1.kind = "Q1";
+  q1.busy_fraction = 1.0;  // fully CPU bound
+  energy::FragmentMeasurement q3;
+  q3.name = "q3_join";
+  q3.kind = "Q3";
+  q3.busy_fraction = 0.5;  // half the time is shuffle/stall
+  calibration.fragments = {q1, q3};
+
+  const KindRates rates = MeasuredKindRates(calibration, 0.25);
+  // Fully CPU bound: the full 4x slowdown.
+  EXPECT_NEAR(rates[static_cast<std::size_t>(QueryKind::kQ1)], 0.25,
+              1e-12);
+  // Half CPU bound: time' = 0.5/0.25 + 0.5 = 2.5 -> rate 0.4.
+  EXPECT_NEAR(rates[static_cast<std::size_t>(QueryKind::kQ3)], 0.4,
+              1e-12);
+  // Unmeasured kinds fall back to the plain ratio.
+  EXPECT_NEAR(rates[static_cast<std::size_t>(QueryKind::kQ12)], 0.25,
+              1e-12);
+}
+
+TEST(ClusterConfigTest, LabelCountsAndPerNodeOrder) {
+  const NodeClassSpec beefy = TestClass("beefy", 'B', 200.0, 1.0);
+  const NodeClassSpec wimpy = TestClass("wimpy", 'W', 30.0, 0.25);
+  ClusterConfig config = ClusterConfig::BeefyWimpy(beefy, 2, wimpy, 6);
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_EQ(config.Label(), "2B,6W");
+  EXPECT_EQ(config.total_nodes(), 8);
+  EXPECT_TRUE(config.heterogeneous());
+  EXPECT_EQ(config.num_beefy(), 8);  // both TestClasses default kBeefy
+  EXPECT_DOUBLE_EQ(config.PeakWatts().watts(), 2 * 200.0 + 6 * 30.0);
+
+  const auto nodes = config.PerNode();
+  ASSERT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes[0]->name, "beefy");
+  EXPECT_EQ(nodes[1]->name, "beefy");
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(nodes[i]->name, "wimpy");
+
+  const ClusterConfig homog =
+      ClusterConfig::Homogeneous(TestClass("node", 'N', 100.0, 1.0), 3);
+  EXPECT_FALSE(homog.heterogeneous());
+  EXPECT_EQ(homog.Label(), "3N");
+
+  ClusterConfig empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(ClusterConfigTest, FromRegistryResolvesNames) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto config =
+      ClusterConfig::FromRegistry(registry, {{"beefy", 1}, {"wimpy", 3}});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->Label(), "1B,3W");
+  EXPECT_EQ(config->num_wimpy(), 3);
+  EXPECT_FALSE(
+      ClusterConfig::FromRegistry(registry, {{"atom", 1}}).ok());
+  EXPECT_FALSE(
+      ClusterConfig::FromRegistry(registry, {{"beefy", -1}}).ok());
+}
+
+}  // namespace
+}  // namespace eedc::cluster

@@ -16,10 +16,10 @@ CalibrationOptions SmallOptions() {
   return opts;
 }
 
-TEST(CalibratorTest, MeasuresBothFragments) {
+TEST(CalibratorTest, MeasuresOneFragmentPerQueryKind) {
   auto result = RunCalibration(SmallOptions());
   ASSERT_TRUE(result.ok()) << result.status();
-  ASSERT_EQ(result->fragments.size(), 2u);
+  ASSERT_EQ(result->fragments.size(), 4u);
   for (const FragmentMeasurement& m : result->fragments) {
     EXPECT_GT(m.rows_per_sec, 0.0) << m.name;
     EXPECT_GT(m.engine_mbps_per_node, 0.0) << m.name;
@@ -30,6 +30,13 @@ TEST(CalibratorTest, MeasuresBothFragments) {
   }
   EXPECT_GT(result->engine_cpu_mbps, 0.0);
   EXPECT_GT(result->busy_fraction, 0.0);
+
+  for (const char* kind : {"Q1", "Q3", "Q12", "Q21"}) {
+    const FragmentMeasurement* m = result->ForKind(kind);
+    ASSERT_NE(m, nullptr) << kind;
+    EXPECT_EQ(m->kind, kind);
+  }
+  EXPECT_EQ(result->ForKind("Q99"), nullptr);
 }
 
 TEST(CalibratorTest, ApplyToRewritesCpuTermsAndKeepsParamsValid) {

@@ -90,6 +90,78 @@ TEST(EnergyMeterTest, PerNodeReportAccountsEarlyFinishersAsIdle) {
   EXPECT_EQ(meter.Finish().total.joules(), 0.0);
 }
 
+TEST(SubtractWaitsTest, CarvesWaitIntervalsOutOfSpans) {
+  const WorkerSpan spans[] = {
+      {0, 0, Duration::Zero(), Duration::Seconds(10.0)},
+      {0, 1, Duration::Zero(), Duration::Seconds(6.0)},
+  };
+  const WorkerSpan waits[] = {
+      // Two waits inside worker 0's span.
+      {0, 0, Duration::Seconds(2.0), Duration::Seconds(3.0)},
+      {0, 0, Duration::Seconds(5.0), Duration::Seconds(7.0)},
+      // Worker 1's wait overhangs its span end: clipped to [5, 6).
+      {0, 1, Duration::Seconds(5.0), Duration::Seconds(9.0)},
+      // Different worker id: must not affect worker 0.
+      {0, 2, Duration::Zero(), Duration::Seconds(10.0)},
+  };
+  const std::vector<WorkerSpan> busy = SubtractWaits(spans, waits);
+  ASSERT_EQ(busy.size(), 4u);
+  EXPECT_DOUBLE_EQ(busy[0].begin.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(busy[0].end.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(busy[1].begin.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(busy[1].end.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(busy[2].begin.seconds(), 7.0);
+  EXPECT_DOUBLE_EQ(busy[2].end.seconds(), 10.0);
+  EXPECT_EQ(busy[3].worker, 1);
+  EXPECT_DOUBLE_EQ(busy[3].begin.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(busy[3].end.seconds(), 5.0);
+}
+
+TEST(EnergyMeterTest, ExchangeWaitsArePricedAtIdleWatts) {
+  // One worker busy [0, 10) but blocked on an exchange for [4, 8): with
+  // a linear 100/200 W model the stall must be billed at the 101 W idle
+  // floor, not the 200 W busy rate.
+  auto model = std::make_shared<LinearPowerModel>(Power::Watts(100.0),
+                                                  Power::Watts(200.0));
+  EnergyMeter meter(1, model, 1);
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(10.0));
+  meter.OnWorkerWait(0, 0, Duration::Seconds(4.0), Duration::Seconds(8.0));
+  const QueryEnergyReport report = meter.Finish();
+  ASSERT_EQ(report.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.nodes[0].busy.seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(report.nodes[0].waiting.seconds(), 4.0);
+  // 6 s busy at 200 W + 4 s stalled at the 1%-floor idle watts (101 W).
+  EXPECT_NEAR(report.busy.joules(), 1200.0, 1e-9);
+  EXPECT_NEAR(report.idle.joules(), 404.0, 1e-9);
+  EXPECT_NEAR(report.total.joules(), 1604.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.nodes[0].avg_utilization, 0.6);
+
+  // Without the wait the same span bills the full 2000 J busy.
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(10.0));
+  const QueryEnergyReport no_wait = meter.Finish();
+  EXPECT_NEAR(no_wait.busy.joules(), 2000.0, 1e-9);
+  EXPECT_GT(no_wait.total.joules(), report.total.joules());
+}
+
+TEST(EnergyMeterTest, NodeWideStallDropsToIdleOnlyWhenAllWorkersWait) {
+  // Two workers; only one stalls over [2, 4): utilization falls to 0.5
+  // there (the other worker still runs), so the node is not idle.
+  auto model = std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  EnergyMeter meter(1, model, 2);
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(4.0));
+  meter.OnWorkerSpan(0, 1, Duration::Zero(), Duration::Seconds(4.0));
+  meter.OnWorkerWait(0, 0, Duration::Seconds(2.0), Duration::Seconds(4.0));
+  const QueryEnergyReport report = meter.Finish();
+  // Constant model: every busy step is 100 W; only a full-node stall
+  // would flip a step to idle. Busy time [0,4) for both minus one
+  // worker's 2 s wait = 6 s of worker-busy over a 4 s wall.
+  EXPECT_DOUBLE_EQ(report.nodes[0].busy.seconds(), 6.0);
+  EXPECT_DOUBLE_EQ(report.nodes[0].waiting.seconds(), 2.0);
+  EXPECT_NEAR(report.busy.joules(), 400.0, 1e-9);
+  EXPECT_NEAR(report.idle.joules(), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.nodes[0].avg_utilization, 0.75);
+}
+
 TEST(EnergyMeterTest, MetersARealExecutorRun) {
   tpch::DbgenOptions dbgen;
   dbgen.scale_factor = 0.001;

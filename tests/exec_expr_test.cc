@@ -159,6 +159,62 @@ TEST(ExprTest, BooleanConnectives) {
   EXPECT_EQ(Not(either)->EvalToColumn(t)->Int64At(1), 1);
 }
 
+TEST(ExprTest, FusedAndChainMatchesRowWiseEvaluation) {
+  // A Q12-shaped conjunction chain over int64 and double predicates:
+  // the fused kernels must agree with per-predicate evaluation row by
+  // row, dense and through a selection vector.
+  Table t(Schema({Field{"k", DataType::kInt64},
+                  Field{"d", DataType::kInt64},
+                  Field{"price", DataType::kDouble}}));
+  for (int i = 0; i < 257; ++i) {
+    t.AppendRow({std::int64_t{i % 17}, std::int64_t{i % 5},
+                 static_cast<double>((i * 37) % 100)});
+  }
+  auto chain = And(And(Ge(Col("k"), I64(3)), Lt(Col("k"), I64(12))),
+                   And(Ne(Col("d"), I64(2)), Gt(Col("price"), F64(25.0))));
+
+  auto fused = chain->EvalToColumn(t);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ(fused->size(), t.num_rows());
+  for (std::size_t i = 0; i < t.num_rows(); ++i) {
+    const std::int64_t k = t.column(0).Int64At(i);
+    const std::int64_t d = t.column(1).Int64At(i);
+    const double price = t.column(2).DoubleAt(i);
+    const std::int64_t want =
+        (k >= 3 && k < 12 && d != 2 && price > 25.0) ? 1 : 0;
+    ASSERT_EQ(fused->Int64At(i), want) << "row " << i;
+  }
+
+  // Through a selection: out-of-order with duplicates.
+  const std::uint32_t sel[] = {200, 3, 3, 77, 0};
+  storage::Column out(DataType::kInt64);
+  ASSERT_TRUE(chain->Eval(t, sel, 5, &out).ok());
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(out.Int64At(j), fused->Int64At(sel[j])) << "slot " << j;
+  }
+}
+
+TEST(ExprTest, FusedAndFallsBackForUnfusableChildren) {
+  // OR children and raw int64 columns have no fused kernel; the AND
+  // chain must still produce normalized 0/1 results through the
+  // fallback, including non-0/1 truthy values.
+  Table t(Schema({Field{"flags", DataType::kInt64},
+                  Field{"k", DataType::kInt64}}));
+  t.AppendRow({std::int64_t{5}, std::int64_t{1}});   // truthy flag
+  t.AppendRow({std::int64_t{0}, std::int64_t{2}});
+  t.AppendRow({std::int64_t{-3}, std::int64_t{3}});  // truthy flag
+  auto pred = And(Col("flags"),
+                  Or(Eq(Col("k"), I64(1)), Eq(Col("k"), I64(3))));
+  auto col = pred->EvalToColumn(t);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->Int64At(0), 1);
+  EXPECT_EQ(col->Int64At(1), 0);
+  EXPECT_EQ(col->Int64At(2), 1);
+
+  // Type errors still surface through the fused path.
+  EXPECT_FALSE(And(Col("flags"), Str("AIR"))->EvalToColumn(t).ok());
+}
+
 TEST(ExprTest, TrueMatchesEverything) {
   const Table t = SampleTable();
   auto col = True()->EvalToColumn(t);

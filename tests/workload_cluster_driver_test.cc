@@ -1,0 +1,259 @@
+// Mixed-cluster driver behavior: class-aware dispatch, homogeneous
+// equivalence, and replay determinism — the ISSUE's test satellite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/dispatch.h"
+#include "cluster/node_class.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::DispatchRule;
+using cluster::NodeClassSpec;
+using cluster::UniformKindRates;
+using power::ConstantPowerModel;
+using power::LinearPowerModel;
+
+NodeClassSpec MakeClass(const char* name, char label, double watts,
+                        double rate) {
+  NodeClassSpec cls;
+  cls.name = name;
+  cls.label = label;
+  cls.power_model =
+      std::make_shared<ConstantPowerModel>(Power::Watts(watts));
+  cls.service_rates = UniformKindRates(rate);
+  return cls;
+}
+
+/// Field-by-field exact comparison: virtual-time replays must be
+/// bit-deterministic.
+void ExpectReportsIdentical(const PolicyReport& a, const PolicyReport& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.admission, b.admission);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.deferred, b.deferred);
+  EXPECT_DOUBLE_EQ(a.makespan.seconds(), b.makespan.seconds());
+  EXPECT_DOUBLE_EQ(a.throughput_qps, b.throughput_qps);
+  EXPECT_DOUBLE_EQ(a.sla_violation_rate, b.sla_violation_rate);
+  EXPECT_DOUBLE_EQ(a.mean_response.seconds(), b.mean_response.seconds());
+  EXPECT_DOUBLE_EQ(a.max_response.seconds(), b.max_response.seconds());
+  EXPECT_DOUBLE_EQ(a.busy_energy.joules(), b.busy_energy.joules());
+  EXPECT_DOUBLE_EQ(a.idle_energy.joules(), b.idle_energy.joules());
+  EXPECT_DOUBLE_EQ(a.sleep_energy.joules(), b.sleep_energy.joules());
+  EXPECT_DOUBLE_EQ(a.wake_energy.joules(), b.wake_energy.joules());
+}
+
+TEST(ClusterDriverTest, BeefyOnlyFleetReproducesHomogeneousDriverExactly) {
+  // The ISSUE acceptance requirement: the heterogeneous path with a
+  // single neutral class must be the homogeneous driver, not merely
+  // close to it — same outcomes, same joules, under every policy.
+  auto model = std::make_shared<LinearPowerModel>(Power::Watts(100.0),
+                                                  Power::Watts(200.0));
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 6.0;
+  bursty.on = Duration::Seconds(3.0);
+  bursty.off = Duration::Seconds(15.0);
+  bursty.cycles = 3;
+  const auto trace = BurstyArrivals(DefaultMix(), bursty);
+  QueryProfiles profiles = QueryProfiles::Uniform(Duration::Seconds(0.2),
+                                                  Duration::Seconds(2.0));
+  // Distinct per-kind demands so kind-dependent scheduling is exercised.
+  profiles.For(QueryKind::kQ21).service = Duration::Seconds(0.6);
+  profiles.For(QueryKind::kQ3).service = Duration::Seconds(0.4);
+
+  DriverOptions legacy;
+  legacy.nodes = 3;
+  legacy.node_model = model;
+  WorkloadDriver legacy_driver(legacy);
+
+  NodeClassSpec beefy;  // neutral class: rates 1.0, policy-owned costs
+  beefy.name = "beefy";
+  beefy.label = 'B';
+  beefy.power_model = model;
+  DriverOptions fleet;
+  fleet.fleet = ClusterConfig::Homogeneous(beefy, 3);
+  fleet.dispatch = DispatchRule::kEarliestFinish;
+  WorkloadDriver fleet_driver(fleet);
+
+  const AllOnPolicy all_on;
+  const PowerDownWhenIdlePolicy power_down;
+  const DvfsScalePolicy dvfs;
+  for (const PowerPolicy* policy :
+       {static_cast<const PowerPolicy*>(&all_on),
+        static_cast<const PowerPolicy*>(&power_down),
+        static_cast<const PowerPolicy*>(&dvfs)}) {
+    auto a = legacy_driver.Run(trace, profiles, *policy);
+    auto b = fleet_driver.Run(trace, profiles, *policy);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    ExpectReportsIdentical(*a, *b);
+    ASSERT_EQ(legacy_driver.outcomes().size(),
+              fleet_driver.outcomes().size());
+    for (std::size_t i = 0; i < legacy_driver.outcomes().size(); ++i) {
+      const QueryOutcome& x = legacy_driver.outcomes()[i];
+      const QueryOutcome& y = fleet_driver.outcomes()[i];
+      EXPECT_EQ(x.node, y.node);
+      EXPECT_DOUBLE_EQ(x.start.seconds(), y.start.seconds());
+      EXPECT_DOUBLE_EQ(x.completion.seconds(), y.completion.seconds());
+      EXPECT_DOUBLE_EQ(x.frequency, y.frequency);
+      EXPECT_EQ(x.violated, y.violated);
+    }
+  }
+}
+
+TEST(ClusterDriverTest, MixedReplayIsDeterministic) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      MakeClass("beefy", 'B', 200.0, 1.0), 2,
+      MakeClass("wimpy", 'W', 30.0, 0.25), 4);
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 5.0;
+  bursty.cycles = 3;
+  const auto trace = BurstyArrivals(DefaultMix(), bursty);
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.2), Duration::Seconds(2.0));
+  const PowerDownWhenIdlePolicy policy;
+
+  DriverOptions options;
+  options.fleet = fleet;
+  options.dispatch = DispatchRule::kEnergyFeasibleFinish;
+  WorkloadDriver driver_a(options);
+  WorkloadDriver driver_b(options);
+  auto a = driver_a.Run(trace, profiles, policy);
+  auto b = driver_b.Run(trace, profiles, policy);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->fleet, "2B,4W");
+  ExpectReportsIdentical(*a, *b);
+  ASSERT_EQ(driver_a.outcomes().size(), driver_b.outcomes().size());
+  for (std::size_t i = 0; i < driver_a.outcomes().size(); ++i) {
+    EXPECT_EQ(driver_a.outcomes()[i].node, driver_b.outcomes()[i].node);
+    EXPECT_DOUBLE_EQ(driver_a.outcomes()[i].completion.seconds(),
+                     driver_b.outcomes()[i].completion.seconds());
+  }
+}
+
+TEST(ClusterDriverTest, EnergyFeasibleDispatchSplitsWorkByClass) {
+  // One beefy (200 W, full speed) + one wimpy (30 W, quarter speed):
+  // a short query is feasible on the wimpy and much cheaper there; a
+  // heavy query only meets its deadline on the beefy node.
+  DriverOptions options;
+  options.fleet = ClusterConfig::BeefyWimpy(
+      MakeClass("beefy", 'B', 200.0, 1.0), 1,
+      MakeClass("wimpy", 'W', 30.0, 0.25), 1);
+  options.dispatch = DispatchRule::kEnergyFeasibleFinish;
+  WorkloadDriver driver(options);
+
+  QueryProfiles profiles;
+  profiles.For(QueryKind::kQ1) = {Duration::Seconds(0.1),
+                                  Duration::Seconds(1.0), Energy::Zero()};
+  profiles.For(QueryKind::kQ21) = {Duration::Seconds(1.0),
+                                   Duration::Seconds(2.0), Energy::Zero()};
+
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Seconds(10.0), QueryKind::kQ21}};
+  auto report = driver.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const QueryOutcome& short_q = driver.outcomes()[0];
+  const QueryOutcome& heavy_q = driver.outcomes()[1];
+  ASSERT_NE(short_q.node_class, nullptr);
+  ASSERT_NE(heavy_q.node_class, nullptr);
+  // Short work lands on the wimpy: 0.1 / 0.25 = 0.4 s <= 1 s deadline
+  // at 30 W (12 J) beats the beefy's 0.1 s at 200 W (20 J).
+  EXPECT_EQ(short_q.node_class->name, "wimpy");
+  EXPECT_DOUBLE_EQ(short_q.response().seconds(), 0.4);
+  // Heavy work falls through to the beefy: 1 / 0.25 = 4 s > 2 s
+  // deadline on the wimpy.
+  EXPECT_EQ(heavy_q.node_class->name, "beefy");
+  EXPECT_DOUBLE_EQ(heavy_q.response().seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(report->sla_violation_rate, 0.0);
+
+  // Earliest-finish sends both to the faster beefy node.
+  options.dispatch = DispatchRule::kEarliestFinish;
+  WorkloadDriver earliest(options);
+  ASSERT_TRUE(earliest.Run(trace, profiles, AllOnPolicy()).ok());
+  EXPECT_EQ(earliest.outcomes()[0].node_class->name, "beefy");
+  EXPECT_EQ(earliest.outcomes()[1].node_class->name, "beefy");
+}
+
+TEST(ClusterDriverTest, ClassDvfsStepsSnapPolicyFrequencyUp) {
+  // The policy asks for 0.5 but the class only offers {0.8, 1.0}: the
+  // dispatch must snap up to 0.8, never below what the policy wanted.
+  NodeClassSpec stepped = MakeClass("stepped", 'S', 100.0, 1.0);
+  stepped.dvfs_steps = {0.8, 1.0};
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(stepped, 1);
+  WorkloadDriver driver(options);
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1}};
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(2.0), Duration::Seconds(60.0));
+  auto report = driver.Run(trace, profiles, DvfsScalePolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(driver.outcomes()[0].frequency, 0.8);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[0].response().seconds(), 2.0 / 0.8);
+}
+
+TEST(ClusterDriverTest, ClassWakeCostsOverridePolicyDefaults) {
+  // Class wake latency (2 s) overrides the policy's 0.5 s; class sleep
+  // watts (5 W) override the policy's 0 W.
+  NodeClassSpec cls = MakeClass("slowwake", 'S', 100.0, 1.0);
+  cls.wake_latency = Duration::Seconds(2.0);
+  cls.sleep_watts = Power::Watts(5.0);
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(cls, 1);
+  WorkloadDriver driver(options);
+
+  PowerDownWhenIdlePolicy::Options popts;
+  popts.sleep_after = Duration::Seconds(1.0);
+  popts.wake_latency = Duration::Seconds(0.5);
+  popts.sleep_watts = Power::Watts(0.0);
+  const PowerDownWhenIdlePolicy policy(popts);
+
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Seconds(10.0), QueryKind::kQ1}};
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(2.0), Duration::Seconds(10.0));
+  auto report = driver.Run(trace, profiles, policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Second query wakes the slept node: starts at 10 + 2 s class wake.
+  EXPECT_DOUBLE_EQ(driver.outcomes()[1].start.seconds(), 12.0);
+  // Wake energy at class peak over the class latency: 100 W * 2 s.
+  EXPECT_NEAR(report->wake_energy.joules(), 200.0, 1e-9);
+  // The [2, 10) gap splits into the 1 s grace at idle watts and 7 s of
+  // sleep at the class's 5 W: 35 J sleeping.
+  EXPECT_NEAR(report->idle_energy.joules(), 100.0, 1e-9);
+  EXPECT_NEAR(report->sleep_energy.joules(), 35.0, 1e-9);
+}
+
+TEST(ClusterDriverTest, RejectsInvalidFleetOptions) {
+  DriverOptions options;
+  options.fleet = ClusterConfig::BeefyWimpy(
+      MakeClass("beefy", 'B', 200.0, 1.0), 1,
+      MakeClass("wimpy", 'W', 30.0, 0.25), 1);
+  options.dispatch = DispatchRule::kEnergyFeasibleFinish;
+  WorkloadDriver driver(options);
+  const std::vector<QueryArrival> unsorted = {
+      {Duration::Seconds(5.0), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1}};
+  EXPECT_FALSE(driver
+                   .Run(unsorted,
+                        QueryProfiles::Uniform(Duration::Seconds(0.1),
+                                               Duration::Seconds(1.0)),
+                        AllOnPolicy())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace eedc::workload
