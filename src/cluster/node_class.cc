@@ -30,6 +30,7 @@ NodeClassSpec NodeClassSpec::FromNodeSpec(std::string name, char label,
   cls.label = label;
   cls.hw_class = spec.node_class();
   cls.power_model = spec.shared_power_model();
+  cls.engine_workers = std::max(0, spec.cores());
   if (reference_cpu_bw_mbps > 0.0 && spec.cpu_bw_mbps() > 0.0) {
     cls.service_rates =
         UniformKindRates(spec.cpu_bw_mbps() / reference_cpu_bw_mbps);
@@ -67,6 +68,10 @@ Status NodeClassSpec::Validate() const {
   if (wake_latency < Duration::Zero()) {
     return Status::InvalidArgument("node class '" + name +
                                    "' has a negative wake latency");
+  }
+  if (engine_workers < 0) {
+    return Status::InvalidArgument("node class '" + name +
+                                   "' has a negative engine worker count");
   }
   return Status::OK();
 }

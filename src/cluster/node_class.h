@@ -63,6 +63,11 @@ struct NodeClassSpec {
   Power sleep_watts = Power::Watts(-1.0);
   /// Per-kind service-rate multipliers (see KindRates).
   KindRates service_rates = UniformKindRates(1.0);
+  /// Morsel pipelines one node of this class runs in the real executor
+  /// (exec::Executor::Options::node_classes): class-scaled parallelism,
+  /// seeded from the catalog machine's core count. 0 defers to the
+  /// executor's uniform workers_per_node.
+  int engine_workers = 0;
 
   double ServiceRateFor(workload::QueryKind kind) const {
     return service_rates[static_cast<std::size_t>(kind)];

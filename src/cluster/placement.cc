@@ -1,0 +1,255 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eedc::cluster {
+
+namespace {
+
+using exec::PlanNode;
+using exec::PlanPtr;
+
+using TableSet = std::unordered_set<std::string>;
+
+bool SubtreeHasExchange(const PlanNode& node) {
+  if (node.kind == PlanNode::Kind::kExchange) return true;
+  for (const PlanPtr& child : node.children) {
+    if (SubtreeHasExchange(*child)) return true;
+  }
+  return false;
+}
+
+/// Every scan in the subtree reads a replicated table (vacuously true
+/// for scanless subtrees).
+bool ScansAllReplicated(const PlanNode& node, const TableSet& replicated) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    return replicated.count(node.table_name) > 0;
+  }
+  for (const PlanPtr& child : node.children) {
+    if (!ScansAllReplicated(*child, replicated)) return false;
+  }
+  return true;
+}
+
+/// Shallow clone with new children; all scalar fields (keys, predicates,
+/// destinations, agg specs) are copied. Returned mutable so callers can
+/// patch destinations before publishing as a PlanPtr.
+std::shared_ptr<PlanNode> CloneWith(const PlanNode& node,
+                                    std::vector<PlanPtr> children) {
+  auto copy = std::make_shared<PlanNode>(node);
+  copy->children = std::move(children);
+  return copy;
+}
+
+/// True when the subtree provably emits no rows on a node outside the
+/// joiner set, given the routing below: exchange outputs only appear on
+/// their destinations, row-preserving operators propagate emptiness, and
+/// a join with one empty input is empty. A grouped aggregation over an
+/// empty input emits nothing; a global one emits its single row
+/// everywhere and is therefore never considered empty.
+bool EmptyOffJoiners(const PlanNode& node,
+                     const std::unordered_set<int>& joiner_set) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return false;
+    case PlanNode::Kind::kExchange: {
+      if (node.destinations.empty()) return false;  // defaults to all nodes
+      for (int d : node.destinations) {
+        if (joiner_set.count(d) == 0) return false;
+      }
+      return true;
+    }
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      return EmptyOffJoiners(*node.children.at(0), joiner_set);
+    case PlanNode::Kind::kHashJoin:
+      return EmptyOffJoiners(*node.children.at(0), joiner_set) ||
+             EmptyOffJoiners(*node.children.at(1), joiner_set);
+    case PlanNode::Kind::kHashAgg:
+      return !node.group_by.empty() &&
+             EmptyOffJoiners(*node.children.at(0), joiner_set);
+  }
+  return false;
+}
+
+/// Fleet-wide routing pass (one rewritten logical plan shared by every
+/// node, so exchange counts and modes stay positionally identical).
+struct Router {
+  const std::vector<int>& joiners;
+  const TableSet& replicated;
+
+  PlanPtr Route(const PlanPtr& plan) const {
+    const PlanNode& node = *plan;
+    switch (node.kind) {
+      case PlanNode::Kind::kHashJoin: {
+        // Both join inputs must land on the joiner partitions: exchanges
+        // are restricted, partition-local sides ship via a new shuffle on
+        // the join key, replicated sides stay local.
+        PlanPtr build =
+            RouteJoinInput(node.children.at(0), node.build_key);
+        PlanPtr probe =
+            RouteJoinInput(node.children.at(1), node.probe_key);
+        return CloneWith(node, {std::move(build), std::move(probe)});
+      }
+      case PlanNode::Kind::kExchange: {
+        PlanPtr child = Route(node.children.at(0));
+        std::shared_ptr<PlanNode> routed =
+            CloneWith(node, {std::move(child)});
+        if (node.mode == exec::ExchangeMode::kGather &&
+            node.destinations.empty()) {
+          // Merges (final aggregations) are hosted by a beefy node.
+          routed->destinations = {joiners.front()};
+        }
+        return routed;
+      }
+      default: {
+        std::vector<PlanPtr> children;
+        children.reserve(node.children.size());
+        for (const PlanPtr& child : node.children) {
+          children.push_back(Route(child));
+        }
+        return CloneWith(node, std::move(children));
+      }
+    }
+  }
+
+  PlanPtr RouteJoinInput(const PlanPtr& child, const std::string& key) const {
+    const PlanNode& node = *child;
+    if ((node.kind == PlanNode::Kind::kFilter ||
+         node.kind == PlanNode::Kind::kProject) &&
+        SubtreeHasExchange(node)) {
+      // Row-wise unary operators between the exchange and the join run
+      // identically on any destination set: push the joiner restriction
+      // through them so a Filter/Project atop a shuffle still keeps
+      // build state off the wimpies.
+      PlanPtr inner = RouteJoinInput(node.children.at(0), key);
+      return CloneWith(node, {std::move(inner)});
+    }
+    if (node.kind == PlanNode::Kind::kExchange &&
+        node.mode != exec::ExchangeMode::kGather) {
+      // Bias the routing so this side lands on the beefy partitions.
+      // Author-specified destinations are respected.
+      PlanPtr inner = Route(node.children.at(0));
+      std::shared_ptr<PlanNode> routed =
+          CloneWith(node, {std::move(inner)});
+      if (node.destinations.empty()) {
+        routed->destinations = joiners;
+      }
+      return routed;
+    }
+    if (!SubtreeHasExchange(node)) {
+      if (ScansAllReplicated(node, replicated)) {
+        return Route(child);  // every joiner already holds the full input
+      }
+      // Partition-local side: wimpy partitions scan/filter locally and
+      // ship to the joiners instead of joining in place.
+      return exec::ShufflePlan(Route(child), key, joiners);
+    }
+    // Nested joins/exchanges below: their own routing already lands the
+    // output on the joiner set.
+    return Route(child);
+  }
+};
+
+/// Non-joiner (scan/filter/ship-only) variant of a routed plan: local
+/// replicated build sides whose probe is empty off the joiner set are
+/// capped with a constant-false filter, so the node never constructs a
+/// hash table it could not probe.
+PlanPtr PruneForNonJoiner(const PlanPtr& plan, const TableSet& replicated,
+                          const std::unordered_set<int>& joiner_set) {
+  const PlanNode& node = *plan;
+  std::vector<PlanPtr> children;
+  children.reserve(node.children.size());
+  for (const PlanPtr& child : node.children) {
+    children.push_back(PruneForNonJoiner(child, replicated, joiner_set));
+  }
+  if (node.kind == PlanNode::Kind::kHashJoin) {
+    const PlanNode& build = *node.children.at(0);
+    const PlanNode& probe = *node.children.at(1);
+    if (!SubtreeHasExchange(build) &&
+        ScansAllReplicated(build, replicated) &&
+        EmptyOffJoiners(probe, joiner_set)) {
+      children[0] = exec::FilterPlan(children[0], exec::I64(0));
+    }
+  }
+  return CloneWith(node, std::move(children));
+}
+
+}  // namespace
+
+bool EnginePlacement::IsJoiner(int node) const {
+  return std::find(joiners.begin(), joiners.end(), node) != joiners.end();
+}
+
+exec::Executor::Options EnginePlacement::MakeExecutorOptions() const {
+  exec::Executor::Options options;
+  options.node_classes = node_classes;
+  options.node_workers = node_workers;
+  options.morsel_rows = morsel_rows;
+  return options;
+}
+
+PlacementPolicy::PlacementPolicy(PlacementOptions options)
+    : options_(std::move(options)) {}
+
+StatusOr<EnginePlacement> PlacementPolicy::Place(
+    exec::PlanPtr plan, const ClusterConfig& fleet) const {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("placement needs a plan");
+  }
+  EEDC_RETURN_IF_ERROR(fleet.Validate());
+
+  EnginePlacement placement;
+  placement.node_classes = fleet.PerNode();
+  const int n = static_cast<int>(placement.node_classes.size());
+  placement.node_workers.reserve(static_cast<std::size_t>(n));
+  for (const NodeClassSpec* cls : placement.node_classes) {
+    // Verbatim: 0 keeps the class's documented "defer to the executor's
+    // uniform workers_per_node" semantics.
+    placement.node_workers.push_back(cls->engine_workers);
+  }
+
+  // Joiners: the beefy nodes of a mixed fleet; everyone otherwise.
+  for (int i = 0; i < n; ++i) {
+    if (placement.node_classes[static_cast<std::size_t>(i)]->hw_class ==
+        hw::NodeClass::kBeefy) {
+      placement.joiners.push_back(i);
+    }
+  }
+  if (!fleet.heterogeneous() || placement.joiners.empty() ||
+      static_cast<int>(placement.joiners.size()) == n) {
+    // Homogeneous: the plan runs untouched on every node (bit-identical
+    // to the classless path by construction).
+    placement.joiners.clear();
+    for (int i = 0; i < n; ++i) placement.joiners.push_back(i);
+    placement.plan_for_node = [plan](int) { return plan; };
+    placement.morsel_rows = options_.morsel_rows;
+    return placement;
+  }
+
+  TableSet replicated(options_.replicated_tables.begin(),
+                      options_.replicated_tables.end());
+  const Router router{placement.joiners, replicated};
+  PlanPtr routed = router.Route(plan);
+  const std::unordered_set<int> joiner_set(placement.joiners.begin(),
+                                           placement.joiners.end());
+  PlanPtr pruned = PruneForNonJoiner(routed, replicated, joiner_set);
+
+  std::vector<bool> is_joiner(static_cast<std::size_t>(n), false);
+  for (int j : placement.joiners) {
+    is_joiner[static_cast<std::size_t>(j)] = true;
+  }
+  placement.plan_for_node = [routed, pruned,
+                             is_joiner = std::move(is_joiner)](int node) {
+    return is_joiner[static_cast<std::size_t>(node)] ? routed : pruned;
+  };
+  placement.morsel_rows = options_.morsel_rows;
+  return placement;
+}
+
+}  // namespace eedc::cluster

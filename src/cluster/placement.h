@@ -1,0 +1,92 @@
+// Class-aware engine placement: from a logical plan and a mixed fleet to
+// the per-node plan trees the real executor runs.
+//
+// The paper's Figure 9 setup (Section 5.2.2) is the motivating shape:
+// wimpy nodes cannot hold the hash tables after caching the working set,
+// so they only scan, filter, and ship their partitions while the beefy
+// nodes build hash tables and merge aggregates. A PlacementPolicy makes
+// that automatic for any plan: given a ClusterConfig it
+//
+//   - scales each node's morsel-pipeline count by its class core count
+//     (NodeClassSpec::engine_workers -> Executor::Options::node_classes);
+//   - routes every hash-join input to the *joiner* set (the beefy nodes):
+//     exchanges already feeding a join get their destinations restricted,
+//     and partition-local join inputs are wrapped in a shuffle on the
+//     join key so wimpy partitions ship to the beefies instead of joining
+//     in place;
+//   - rewrites gathers to land on the first joiner, so final aggregation
+//     merges are hosted by a beefy node;
+//   - gives non-joiner nodes scan/filter/ship-only plan trees: a
+//     replicated local build side whose probe is provably empty off the
+//     joiner set is pruned to an empty build (the wimpy never constructs
+//     the hash table it would never probe).
+//
+// A homogeneous (single-class or all-beefy) fleet short-circuits: the
+// plan is returned untouched and execution is bit-identical to the
+// legacy path, which tests/cluster_placement_test.cc asserts.
+#ifndef EEDC_CLUSTER_PLACEMENT_H_
+#define EEDC_CLUSTER_PLACEMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "common/statusor.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+
+namespace eedc::cluster {
+
+struct PlacementOptions {
+  /// Tables replicated on every node (ClusterData::LoadReplicated).
+  /// Join inputs scanning only these stay local — and are pruned to an
+  /// empty build on non-joiner nodes; partitioned inputs are shuffled to
+  /// the joiners instead.
+  std::vector<std::string> replicated_tables;
+  /// Rows per morsel, forwarded to the executor options (0 = default).
+  std::size_t morsel_rows = 0;
+};
+
+/// The engine-side placement of one logical plan on a fleet. Class
+/// pointers point into the ClusterConfig handed to Place(), which must
+/// outlive the placement (and any executor options derived from it).
+struct EnginePlacement {
+  /// Node id -> class, in fleet group order.
+  std::vector<const NodeClassSpec*> node_classes;
+  /// Class-scaled pipeline counts (engine_workers verbatim; a 0 entry
+  /// defers to the executor's uniform workers_per_node).
+  std::vector<int> node_workers;
+  /// Nodes hosting hash-join builds and aggregation merges. Every node
+  /// on a homogeneous fleet; the beefy nodes on a mixed one.
+  std::vector<int> joiners;
+  /// Per-node plan trees: joiners run the routed plan, non-joiners the
+  /// scan/filter/ship-only variant.
+  exec::Executor::NodePlanFn plan_for_node;
+  /// Rows per morsel carried over from the policy options.
+  std::size_t morsel_rows = 0;
+
+  bool IsJoiner(int node) const;
+
+  /// Executor options pre-filled with the class-aware defaults (per-node
+  /// classes and worker counts, morsel size).
+  exec::Executor::Options MakeExecutorOptions() const;
+};
+
+class PlacementPolicy {
+ public:
+  PlacementPolicy() = default;
+  explicit PlacementPolicy(PlacementOptions options);
+
+  /// Maps `plan` onto `fleet`. The fleet must stay alive while the
+  /// returned placement (or an executor running it) is in use.
+  StatusOr<EnginePlacement> Place(exec::PlanPtr plan,
+                                  const ClusterConfig& fleet) const;
+
+ private:
+  PlacementOptions options_;
+};
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_PLACEMENT_H_

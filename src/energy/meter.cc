@@ -101,10 +101,23 @@ EnergySplit IntegrateTrace(const UtilizationTrace& trace,
 EnergyMeter::EnergyMeter(
     std::vector<std::shared_ptr<const power::PowerModel>> node_models,
     int workers_per_node)
+    : EnergyMeter(std::move(node_models),
+                  std::vector<int>()) {
+  EEDC_CHECK(workers_per_node > 0);
+  workers_per_node_.assign(node_models_.size(), workers_per_node);
+}
+
+EnergyMeter::EnergyMeter(
+    std::vector<std::shared_ptr<const power::PowerModel>> node_models,
+    std::vector<int> workers_per_node)
     : node_models_(std::move(node_models)),
-      workers_per_node_(workers_per_node) {
+      workers_per_node_(std::move(workers_per_node)) {
   EEDC_CHECK(!node_models_.empty());
-  EEDC_CHECK(workers_per_node_ > 0);
+  if (workers_per_node_.empty()) {
+    workers_per_node_.assign(node_models_.size(), 1);
+  }
+  EEDC_CHECK(workers_per_node_.size() == node_models_.size());
+  for (int w : workers_per_node_) EEDC_CHECK(w > 0);
   for (const auto& m : node_models_) EEDC_CHECK(m != nullptr);
 }
 
@@ -156,6 +169,8 @@ QueryEnergyReport EnergyMeter::Finish() {
         SubtractWaits(node_spans, node_waits);
     Duration busy = Duration::Zero();
     for (const WorkerSpan& s : busy_spans) busy += s.end - s.begin;
+    const int node_workers =
+        workers_per_node_[static_cast<std::size_t>(node)];
     NodeEnergyReport nr;
     nr.node = node;
     nr.busy = busy;
@@ -164,10 +179,10 @@ QueryEnergyReport EnergyMeter::Finish() {
     if (report.wall.seconds() > 0.0) {
       nr.avg_utilization = std::min(
           1.0, busy.seconds() /
-                   (workers_per_node_ * report.wall.seconds()));
+                   (node_workers * report.wall.seconds()));
     }
     nr.joules = IntegrateTrace(
-        BuildUtilizationTrace(busy_spans, workers_per_node_, report.wall),
+        BuildUtilizationTrace(busy_spans, node_workers, report.wall),
         *node_models_[static_cast<std::size_t>(node)]);
     report.total += nr.joules.total();
     report.busy += nr.joules.busy;

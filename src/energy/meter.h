@@ -110,6 +110,12 @@ class EnergyMeter : public exec::WorkerActivityListener {
   explicit EnergyMeter(
       std::vector<std::shared_ptr<const power::PowerModel>> node_models,
       int workers_per_node = 1);
+  /// Class-scaled fleets: one model and one pipeline count per node
+  /// (node i's utilization divides by workers_per_node[i]), matching
+  /// exec::Executor::Options::node_classes execution.
+  EnergyMeter(
+      std::vector<std::shared_ptr<const power::PowerModel>> node_models,
+      std::vector<int> workers_per_node);
   /// Homogeneous cluster convenience: the same model on every node.
   EnergyMeter(int num_nodes,
               std::shared_ptr<const power::PowerModel> model,
@@ -138,7 +144,7 @@ class EnergyMeter : public exec::WorkerActivityListener {
 
  private:
   std::vector<std::shared_ptr<const power::PowerModel>> node_models_;
-  int workers_per_node_;
+  std::vector<int> workers_per_node_;  // one pipeline count per node
   std::vector<WorkerSpan> spans_;
   std::vector<WorkerSpan> waits_;
 };

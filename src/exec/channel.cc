@@ -50,12 +50,22 @@ std::optional<storage::Block> BlockChannel::Receive(Duration* blocked) {
 
 ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id,
                              int senders_per_node)
+    : ExchangeGroup(num_nodes, exchange_id,
+                    std::vector<int>(static_cast<std::size_t>(num_nodes),
+                                     senders_per_node)) {}
+
+ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id,
+                             const std::vector<int>& senders_per_node)
     : id_(exchange_id) {
-  EEDC_CHECK(senders_per_node >= 1);
+  EEDC_CHECK(static_cast<int>(senders_per_node.size()) == num_nodes);
+  int total_senders = 0;
+  for (int w : senders_per_node) {
+    EEDC_CHECK(w >= 1);
+    total_senders += w;
+  }
   channels_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
-    channels_.push_back(
-        std::make_unique<BlockChannel>(num_nodes * senders_per_node));
+    channels_.push_back(std::make_unique<BlockChannel>(total_senders));
   }
 }
 

@@ -46,10 +46,15 @@ class BlockChannel {
 
 /// The channels of one exchange: channel i is received by node i's workers
 /// and written by every worker of every node (num_nodes x senders_per_node
-/// senders in total).
+/// senders in total; on a class-scaled fleet the per-node counts differ
+/// and the total is their sum).
 class ExchangeGroup {
  public:
   ExchangeGroup(int num_nodes, int exchange_id, int senders_per_node = 1);
+  /// Heterogeneous worker counts: senders_per_node[i] pipelines send from
+  /// node i (size must equal num_nodes).
+  ExchangeGroup(int num_nodes, int exchange_id,
+                const std::vector<int>& senders_per_node);
 
   BlockChannel& channel(int dest) { return *channels_[dest]; }
   int num_nodes() const { return static_cast<int>(channels_.size()); }

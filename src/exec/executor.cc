@@ -5,6 +5,7 @@
 #include <memory>
 #include <thread>
 
+#include "cluster/node_class.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "exec/filter_op.h"
@@ -183,6 +184,37 @@ int ResolveWorkers(int workers_per_node) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// Per-node pipeline counts: an explicit node_workers entry wins, then the
+/// node's class engine_workers (class-scaled parallelism), then the
+/// uniform workers_per_node fallback.
+StatusOr<std::vector<int>> ResolveNodeWorkers(
+    const Executor::Options& options, int n) {
+  if (!options.node_classes.empty() &&
+      static_cast<int>(options.node_classes.size()) != n) {
+    return Status::InvalidArgument(
+        "node_classes must name a class per node");
+  }
+  if (!options.node_workers.empty() &&
+      static_cast<int>(options.node_workers.size()) != n) {
+    return Status::InvalidArgument(
+        "node_workers must give a count per node");
+  }
+  const int fallback = ResolveWorkers(options.workers_per_node);
+  std::vector<int> workers(static_cast<std::size_t>(n), fallback);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    if (!options.node_classes.empty() &&
+        options.node_classes[s] != nullptr &&
+        options.node_classes[s]->engine_workers > 0) {
+      workers[s] = options.node_classes[s]->engine_workers;
+    }
+    if (!options.node_workers.empty() && options.node_workers[s] > 0) {
+      workers[s] = options.node_workers[s];
+    }
+  }
+  return workers;
+}
+
 }  // namespace
 
 Executor::Executor(const ClusterData* data, Options options)
@@ -198,9 +230,24 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     const NodePlanFn& plan_for_node) {
   const int n = data_->num_nodes();
   if (n <= 0) return Status::InvalidArgument("cluster has no nodes");
-  const int num_workers = ResolveWorkers(options_.workers_per_node);
-  const std::size_t total =
-      static_cast<std::size_t>(n) * static_cast<std::size_t>(num_workers);
+  // Class-scaled parallelism: each node runs its own pipeline count.
+  // Index pipelines as offset[node] + worker throughout.
+  EEDC_ASSIGN_OR_RETURN(std::vector<int> node_workers,
+                        ResolveNodeWorkers(options_, n));
+  std::vector<std::size_t> offset(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> idx_node;
+  std::vector<int> idx_worker;
+  for (int node = 0; node < n; ++node) {
+    const int w = node_workers[static_cast<std::size_t>(node)];
+    offset[static_cast<std::size_t>(node) + 1] =
+        offset[static_cast<std::size_t>(node)] +
+        static_cast<std::size_t>(w);
+    for (int worker = 0; worker < w; ++worker) {
+      idx_node.push_back(node);
+      idx_worker.push_back(worker);
+    }
+  }
+  const std::size_t total = offset[static_cast<std::size_t>(n)];
 
   // Channel groups are shared across nodes, created from node 0's plan;
   // every worker pipeline is a sender.
@@ -209,7 +256,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   std::vector<std::unique_ptr<ExchangeGroup>> groups;
   groups.reserve(static_cast<std::size_t>(num_exchanges));
   for (int i = 0; i < num_exchanges; ++i) {
-    groups.push_back(std::make_unique<ExchangeGroup>(n, i, num_workers));
+    groups.push_back(std::make_unique<ExchangeGroup>(n, i, node_workers));
   }
 
   ExecMetrics metrics;
@@ -225,6 +272,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
       static_cast<std::size_t>(n));
   for (int node = 0; node < n; ++node) {
     PlanPtr plan = node == 0 ? plan0 : plan_for_node(node);
+    const int num_workers = node_workers[static_cast<std::size_t>(node)];
     shared[static_cast<std::size_t>(node)] =
         std::make_unique<PipelineShared>();
     EEDC_RETURN_IF_ERROR(CollectPipelineShared(
@@ -232,7 +280,8 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         shared[static_cast<std::size_t>(node)].get()));
     for (int worker = 0; worker < num_workers; ++worker) {
       const std::size_t idx =
-          static_cast<std::size_t>(node * num_workers + worker);
+          offset[static_cast<std::size_t>(node)] +
+          static_cast<std::size_t>(worker);
       NodeBuildContext ctx;
       ctx.data = data_;
       ctx.node_id = node;
@@ -279,7 +328,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   const auto query_start = std::chrono::steady_clock::now();
 
   auto run_pipeline = [&](std::size_t idx) {
-    const int node = static_cast<int>(idx) / num_workers;
+    const int node = idx_node[idx];
     const auto start = std::chrono::steady_clock::now();
     Operator& root = *roots[idx];
     auto result = std::make_unique<Table>(root.schema());
@@ -340,8 +389,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
             .count();
     for (std::size_t idx = 0; idx < total; ++idx) {
       options_.activity_listener->OnWorkerSpan(
-          static_cast<int>(idx) / num_workers,
-          static_cast<int>(idx) % num_workers, spans[idx].begin,
+          idx_node[idx], idx_worker[idx], spans[idx].begin,
           spans[idx].end);
     }
     // Wait intervals after all spans, rebased onto the query start and
@@ -355,8 +403,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
             Duration::Seconds(abs_end - query_start_s), spans[idx].end);
         if (end > begin) {
           options_.activity_listener->OnWorkerWait(
-              static_cast<int>(idx) / num_workers,
-              static_cast<int>(idx) % num_workers, begin, end);
+              idx_node[idx], idx_worker[idx], begin, end);
         }
       }
     }
@@ -365,7 +412,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   // Fold worker pipelines into per-node metrics: counters sum, wall is the
   // per-node max (workers run concurrently).
   for (std::size_t idx = 0; idx < total; ++idx) {
-    metrics.nodes[idx / static_cast<std::size_t>(num_workers)].MergeFrom(
+    metrics.nodes[static_cast<std::size_t>(idx_node[idx])].MergeFrom(
         worker_metrics[idx]);
   }
 

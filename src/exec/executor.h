@@ -11,8 +11,12 @@
 // at every W. See exec/morsel.h.
 //
 // Heterogeneous execution (Section 5.2.2): a per-node memory budget can be
-// set, and plans may diverge per node through NodePlanFn — e.g. Wimpy nodes
-// run scan/filter/ship-only trees while Beefy nodes build hash tables.
+// set, plans may diverge per node through NodePlanFn — e.g. Wimpy nodes
+// run scan/filter/ship-only trees while Beefy nodes build hash tables —
+// and each node may carry a cluster::NodeClassSpec whose engine_workers
+// scales that node's pipeline count by its class core count (see
+// Options::node_classes; cluster/placement.h derives all of this from a
+// ClusterConfig automatically).
 #ifndef EEDC_EXEC_EXECUTOR_H_
 #define EEDC_EXEC_EXECUTOR_H_
 
@@ -24,6 +28,10 @@
 #include "exec/metrics.h"
 #include "exec/plan.h"
 #include "storage/table_store.h"
+
+namespace eedc::cluster {
+struct NodeClassSpec;
+}  // namespace eedc::cluster
 
 namespace eedc::exec {
 
@@ -68,6 +76,17 @@ class Executor {
     /// the classic one-thread-per-node execution; <= 0 uses the hardware
     /// concurrency of the host.
     int workers_per_node = 1;
+    /// Heterogeneous fleets: the node class behind each node (index i =
+    /// node i; empty = classless). A node whose class sets engine_workers
+    /// defaults its pipeline count to it — beefy nodes run more morsel
+    /// pipelines than wimpies, scaled by class core count. Pointers are
+    /// not owned and must outlive the executor (they usually point into a
+    /// cluster::ClusterConfig).
+    std::vector<const cluster::NodeClassSpec*> node_classes;
+    /// Explicit per-node pipeline counts; a positive entry overrides both
+    /// the node's class default and workers_per_node for that node. Empty
+    /// or non-positive entries defer.
+    std::vector<int> node_workers;
     /// Rows per morsel; 0 uses MorselDispenser::kDefaultMorselRows. Small
     /// values force fine interleaving (useful for tests).
     std::size_t morsel_rows = 0;

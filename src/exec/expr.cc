@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "common/str_util.h"
 
@@ -12,6 +13,24 @@ using storage::DataType;
 using storage::Schema;
 using storage::Table;
 using storage::Value;
+
+PredicateCombine NegatedCombine(PredicateCombine combine) {
+  switch (combine) {
+    case PredicateCombine::kAssign:
+      return PredicateCombine::kAssignNot;
+    case PredicateCombine::kAnd:
+      return PredicateCombine::kAndNot;
+    case PredicateCombine::kOr:
+      return PredicateCombine::kOrNot;
+    case PredicateCombine::kAssignNot:
+      return PredicateCombine::kAssign;
+    case PredicateCombine::kAndNot:
+      return PredicateCombine::kAnd;
+    case PredicateCombine::kOrNot:
+      return PredicateCombine::kOr;
+  }
+  return combine;
+}
 
 StatusOr<Column> Expr::EvalToColumn(const Table& input) const {
   EEDC_ASSIGN_OR_RETURN(DataType t, ResultType(input.schema()));
@@ -306,23 +325,35 @@ const char* CmpOpName(CmpOp op) {
 #define EEDC_RESTRICT
 #endif
 
-/// Writes a 0/1 flag per PredicateCombine: plain store, or fused AND
-/// into the accumulator (out must already hold 0/1 values). `kAnd` is a
-/// compile-time mode so the stores stay branch-free inside SIMD loops —
-/// this is what lets an AND chain evaluate without materializing each
-/// side into its own dense column first.
-template <bool kAnd>
+/// Writes a 0/1 flag per PredicateCombine: plain store, or fused
+/// AND/OR into the accumulator (out must already hold 0/1 values), each
+/// optionally negating the flag first. The mode is a compile-time
+/// parameter so the stores stay branch-free inside SIMD loops — this is
+/// what lets AND/OR/NOT chains evaluate without materializing each side
+/// into its own dense column first. Negation flips the stored flag
+/// (v ^ 1) rather than the comparison operator, so NaN-laden double
+/// comparisons negate exactly like the row-wise boolean path.
+template <PredicateCombine kMode>
 inline void StoreFlag(std::int64_t* EEDC_RESTRICT out, std::size_t i,
                       std::int64_t v) {
-  if constexpr (kAnd) {
+  if constexpr (kMode == PredicateCombine::kAssignNot ||
+                kMode == PredicateCombine::kAndNot ||
+                kMode == PredicateCombine::kOrNot) {
+    v ^= 1;
+  }
+  if constexpr (kMode == PredicateCombine::kAssign ||
+                kMode == PredicateCombine::kAssignNot) {
+    out[i] = v;
+  } else if constexpr (kMode == PredicateCombine::kAnd ||
+                       kMode == PredicateCombine::kAndNot) {
     out[i] &= v;
   } else {
-    out[i] = v;
+    out[i] |= v;
   }
 }
 
 /// out[i] <combine>= cmp(col[sel ? sel[i] : i], c) over n rows.
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpI64ColConst(const std::int64_t* EEDC_RESTRICT col,
                     const std::uint32_t* EEDC_RESTRICT sel, std::int64_t c,
                     std::size_t n, std::int64_t* EEDC_RESTRICT out) {
@@ -330,19 +361,19 @@ void CmpI64ColConst(const std::int64_t* EEDC_RESTRICT col,
   if (sel == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
+      StoreFlag<kMode>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i,
+      StoreFlag<kMode>(out, i,
                       static_cast<std::int64_t>(cmp(col[sel[i]], c)));
     }
   }
 }
 
 /// out[i] <combine>= cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpI64ColCol(const std::int64_t* EEDC_RESTRICT a,
                   const std::uint32_t* EEDC_RESTRICT sa,
                   const std::int64_t* EEDC_RESTRICT b,
@@ -352,12 +383,12 @@ void CmpI64ColCol(const std::int64_t* EEDC_RESTRICT a,
   if (sa == nullptr && sb == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
+      StoreFlag<kMode>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i,
+      StoreFlag<kMode>(out, i,
                       static_cast<std::int64_t>(cmp(
                           a[sa != nullptr ? sa[i] : i],
                           b[sb != nullptr ? sb[i] : i])));
@@ -367,15 +398,15 @@ void CmpI64ColCol(const std::int64_t* EEDC_RESTRICT a,
 
 /// Binds the operand shapes (scalar/column, selection) once and runs the
 /// matching dense kernel. `Cmp` is a transparent functor (std::less etc.).
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpI64Dispatch(const Operand& a, const Operand& b, std::size_t n,
                     std::int64_t* out) {
   if (a.IsScalar() && b.IsScalar()) {
     const auto v =
         static_cast<std::int64_t>(Cmp{}(a.ScalarI64(), b.ScalarI64()));
-    for (std::size_t i = 0; i < n; ++i) StoreFlag<kAnd>(out, i, v);
+    for (std::size_t i = 0; i < n; ++i) StoreFlag<kMode>(out, i, v);
   } else if (b.IsScalar()) {
-    CmpI64ColConst<Cmp, kAnd>(a.I64Data(), a.Sel(), b.ScalarI64(), n, out);
+    CmpI64ColConst<Cmp, kMode>(a.I64Data(), a.Sel(), b.ScalarI64(), n, out);
   } else if (a.IsScalar()) {
     // Flip col-vs-const so the column span stays the contiguous operand;
     // ReverseCmp swaps the argument order back.
@@ -384,34 +415,34 @@ void CmpI64Dispatch(const Operand& a, const Operand& b, std::size_t n,
         return Cmp{}(y, x);
       }
     };
-    CmpI64ColConst<ReverseCmp, kAnd>(b.I64Data(), b.Sel(), a.ScalarI64(),
+    CmpI64ColConst<ReverseCmp, kMode>(b.I64Data(), b.Sel(), a.ScalarI64(),
                                      n, out);
   } else {
-    CmpI64ColCol<Cmp, kAnd>(a.I64Data(), a.Sel(), b.I64Data(), b.Sel(), n,
+    CmpI64ColCol<Cmp, kMode>(a.I64Data(), a.Sel(), b.I64Data(), b.Sel(), n,
                             out);
   }
 }
 
-template <bool kAnd>
+template <PredicateCombine kMode>
 void EvalI64CmpMode(CmpOp op, const Operand& a, const Operand& b,
                     std::size_t n, std::int64_t* out) {
   switch (op) {
     case CmpOp::kEq:
-      return CmpI64Dispatch<std::equal_to<std::int64_t>, kAnd>(a, b, n,
+      return CmpI64Dispatch<std::equal_to<std::int64_t>, kMode>(a, b, n,
                                                                out);
     case CmpOp::kNe:
-      return CmpI64Dispatch<std::not_equal_to<std::int64_t>, kAnd>(a, b, n,
+      return CmpI64Dispatch<std::not_equal_to<std::int64_t>, kMode>(a, b, n,
                                                                    out);
     case CmpOp::kLt:
-      return CmpI64Dispatch<std::less<std::int64_t>, kAnd>(a, b, n, out);
+      return CmpI64Dispatch<std::less<std::int64_t>, kMode>(a, b, n, out);
     case CmpOp::kLe:
-      return CmpI64Dispatch<std::less_equal<std::int64_t>, kAnd>(a, b, n,
+      return CmpI64Dispatch<std::less_equal<std::int64_t>, kMode>(a, b, n,
                                                                  out);
     case CmpOp::kGt:
-      return CmpI64Dispatch<std::greater<std::int64_t>, kAnd>(a, b, n,
+      return CmpI64Dispatch<std::greater<std::int64_t>, kMode>(a, b, n,
                                                               out);
     case CmpOp::kGe:
-      return CmpI64Dispatch<std::greater_equal<std::int64_t>, kAnd>(a, b, n,
+      return CmpI64Dispatch<std::greater_equal<std::int64_t>, kMode>(a, b, n,
                                                                     out);
   }
 }
@@ -419,10 +450,19 @@ void EvalI64CmpMode(CmpOp op, const Operand& a, const Operand& b,
 void EvalI64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
                 std::int64_t* out,
                 PredicateCombine combine = PredicateCombine::kAssign) {
-  if (combine == PredicateCombine::kAnd) {
-    EvalI64CmpMode<true>(op, a, b, n, out);
-  } else {
-    EvalI64CmpMode<false>(op, a, b, n, out);
+  switch (combine) {
+    case PredicateCombine::kAssign:
+      return EvalI64CmpMode<PredicateCombine::kAssign>(op, a, b, n, out);
+    case PredicateCombine::kAnd:
+      return EvalI64CmpMode<PredicateCombine::kAnd>(op, a, b, n, out);
+    case PredicateCombine::kOr:
+      return EvalI64CmpMode<PredicateCombine::kOr>(op, a, b, n, out);
+    case PredicateCombine::kAssignNot:
+      return EvalI64CmpMode<PredicateCombine::kAssignNot>(op, a, b, n, out);
+    case PredicateCombine::kAndNot:
+      return EvalI64CmpMode<PredicateCombine::kAndNot>(op, a, b, n, out);
+    case PredicateCombine::kOrNot:
+      return EvalI64CmpMode<PredicateCombine::kOrNot>(op, a, b, n, out);
   }
 }
 
@@ -434,7 +474,7 @@ void EvalI64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
 // ---------------------------------------------------------------------------
 
 /// out[i] <combine>= cmp(col[sel ? sel[i] : i], c) over n rows.
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpF64ColConst(const double* EEDC_RESTRICT col,
                     const std::uint32_t* EEDC_RESTRICT sel, double c,
                     std::size_t n, std::int64_t* EEDC_RESTRICT out) {
@@ -442,19 +482,19 @@ void CmpF64ColConst(const double* EEDC_RESTRICT col,
   if (sel == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
+      StoreFlag<kMode>(out, i, static_cast<std::int64_t>(cmp(col[i], c)));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i,
+      StoreFlag<kMode>(out, i,
                       static_cast<std::int64_t>(cmp(col[sel[i]], c)));
     }
   }
 }
 
 /// out[i] <combine>= cmp(a[sa ? sa[i] : i], b[sb ? sb[i] : i]) over n rows.
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpF64ColCol(const double* EEDC_RESTRICT a,
                   const std::uint32_t* EEDC_RESTRICT sa,
                   const double* EEDC_RESTRICT b,
@@ -464,12 +504,12 @@ void CmpF64ColCol(const double* EEDC_RESTRICT a,
   if (sa == nullptr && sb == nullptr) {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
+      StoreFlag<kMode>(out, i, static_cast<std::int64_t>(cmp(a[i], b[i])));
     }
   } else {
     EEDC_SIMD_LOOP
     for (std::size_t i = 0; i < n; ++i) {
-      StoreFlag<kAnd>(out, i,
+      StoreFlag<kMode>(out, i,
                       static_cast<std::int64_t>(cmp(
                           a[sa != nullptr ? sa[i] : i],
                           b[sb != nullptr ? sb[i] : i])));
@@ -477,53 +517,62 @@ void CmpF64ColCol(const double* EEDC_RESTRICT a,
   }
 }
 
-template <typename Cmp, bool kAnd>
+template <typename Cmp, PredicateCombine kMode>
 void CmpF64Dispatch(const Operand& a, const Operand& b, std::size_t n,
                     std::int64_t* out) {
   if (a.IsScalar() && b.IsScalar()) {
     const auto v =
         static_cast<std::int64_t>(Cmp{}(a.ScalarF64(), b.ScalarF64()));
-    for (std::size_t i = 0; i < n; ++i) StoreFlag<kAnd>(out, i, v);
+    for (std::size_t i = 0; i < n; ++i) StoreFlag<kMode>(out, i, v);
   } else if (b.IsScalar()) {
-    CmpF64ColConst<Cmp, kAnd>(a.F64Data(), a.Sel(), b.ScalarF64(), n, out);
+    CmpF64ColConst<Cmp, kMode>(a.F64Data(), a.Sel(), b.ScalarF64(), n, out);
   } else if (a.IsScalar()) {
     struct ReverseCmp {
       bool operator()(double x, double y) const { return Cmp{}(y, x); }
     };
-    CmpF64ColConst<ReverseCmp, kAnd>(b.F64Data(), b.Sel(), a.ScalarF64(),
+    CmpF64ColConst<ReverseCmp, kMode>(b.F64Data(), b.Sel(), a.ScalarF64(),
                                      n, out);
   } else {
-    CmpF64ColCol<Cmp, kAnd>(a.F64Data(), a.Sel(), b.F64Data(), b.Sel(), n,
+    CmpF64ColCol<Cmp, kMode>(a.F64Data(), a.Sel(), b.F64Data(), b.Sel(), n,
                             out);
   }
 }
 
-template <bool kAnd>
+template <PredicateCombine kMode>
 void EvalF64CmpMode(CmpOp op, const Operand& a, const Operand& b,
                     std::size_t n, std::int64_t* out) {
   switch (op) {
     case CmpOp::kEq:
-      return CmpF64Dispatch<std::equal_to<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::equal_to<double>, kMode>(a, b, n, out);
     case CmpOp::kNe:
-      return CmpF64Dispatch<std::not_equal_to<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::not_equal_to<double>, kMode>(a, b, n, out);
     case CmpOp::kLt:
-      return CmpF64Dispatch<std::less<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::less<double>, kMode>(a, b, n, out);
     case CmpOp::kLe:
-      return CmpF64Dispatch<std::less_equal<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::less_equal<double>, kMode>(a, b, n, out);
     case CmpOp::kGt:
-      return CmpF64Dispatch<std::greater<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::greater<double>, kMode>(a, b, n, out);
     case CmpOp::kGe:
-      return CmpF64Dispatch<std::greater_equal<double>, kAnd>(a, b, n, out);
+      return CmpF64Dispatch<std::greater_equal<double>, kMode>(a, b, n, out);
   }
 }
 
 void EvalF64Cmp(CmpOp op, const Operand& a, const Operand& b, std::size_t n,
                 std::int64_t* out,
                 PredicateCombine combine = PredicateCombine::kAssign) {
-  if (combine == PredicateCombine::kAnd) {
-    EvalF64CmpMode<true>(op, a, b, n, out);
-  } else {
-    EvalF64CmpMode<false>(op, a, b, n, out);
+  switch (combine) {
+    case PredicateCombine::kAssign:
+      return EvalF64CmpMode<PredicateCombine::kAssign>(op, a, b, n, out);
+    case PredicateCombine::kAnd:
+      return EvalF64CmpMode<PredicateCombine::kAnd>(op, a, b, n, out);
+    case PredicateCombine::kOr:
+      return EvalF64CmpMode<PredicateCombine::kOr>(op, a, b, n, out);
+    case PredicateCombine::kAssignNot:
+      return EvalF64CmpMode<PredicateCombine::kAssignNot>(op, a, b, n, out);
+    case PredicateCombine::kAndNot:
+      return EvalF64CmpMode<PredicateCombine::kAndNot>(op, a, b, n, out);
+    case PredicateCombine::kOrNot:
+      return EvalF64CmpMode<PredicateCombine::kOrNot>(op, a, b, n, out);
   }
 }
 
@@ -636,6 +685,32 @@ class CompareExpr final : public Expr {
 
 enum class BoolOp { kAnd, kOr, kNot };
 
+/// Folds pre-normalized 0/1 flags into the accumulator per `combine`.
+void FoldFlags(PredicateCombine combine,
+               const std::int64_t* EEDC_RESTRICT flags, std::size_t n,
+               std::int64_t* EEDC_RESTRICT out) {
+  switch (combine) {
+    case PredicateCombine::kAssign:
+      for (std::size_t i = 0; i < n; ++i) out[i] = flags[i];
+      return;
+    case PredicateCombine::kAnd:
+      for (std::size_t i = 0; i < n; ++i) out[i] &= flags[i];
+      return;
+    case PredicateCombine::kOr:
+      for (std::size_t i = 0; i < n; ++i) out[i] |= flags[i];
+      return;
+    case PredicateCombine::kAssignNot:
+      for (std::size_t i = 0; i < n; ++i) out[i] = flags[i] ^ 1;
+      return;
+    case PredicateCombine::kAndNot:
+      for (std::size_t i = 0; i < n; ++i) out[i] &= flags[i] ^ 1;
+      return;
+    case PredicateCombine::kOrNot:
+      for (std::size_t i = 0; i < n; ++i) out[i] |= flags[i] ^ 1;
+      return;
+  }
+}
+
 /// Evaluates `expr` as a predicate into out[0..n): fused kernel when the
 /// expression offers one, otherwise a dense scratch evaluation whose 0/1
 /// normalization (v != 0) matches the row-wise boolean path.
@@ -649,14 +724,37 @@ Status EvalPredicateInto(const Expr& expr, const Table& input,
   scratch.Reserve(n);
   EEDC_RETURN_IF_ERROR(expr.Eval(input, sel, n, &scratch));
   const std::int64_t* v = scratch.int64s().data();
-  if (combine == PredicateCombine::kAnd) {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] &= static_cast<std::int64_t>(v[i] != 0);
-    }
-  } else {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = static_cast<std::int64_t>(v[i] != 0);
-    }
+  switch (combine) {
+    case PredicateCombine::kAssign:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::int64_t>(v[i] != 0);
+      }
+      return Status::OK();
+    case PredicateCombine::kAnd:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] &= static_cast<std::int64_t>(v[i] != 0);
+      }
+      return Status::OK();
+    case PredicateCombine::kOr:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] |= static_cast<std::int64_t>(v[i] != 0);
+      }
+      return Status::OK();
+    case PredicateCombine::kAssignNot:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::int64_t>(v[i] == 0);
+      }
+      return Status::OK();
+    case PredicateCombine::kAndNot:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] &= static_cast<std::int64_t>(v[i] == 0);
+      }
+      return Status::OK();
+    case PredicateCombine::kOrNot:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] |= static_cast<std::int64_t>(v[i] == 0);
+      }
+      return Status::OK();
   }
   return Status::OK();
 }
@@ -682,34 +780,16 @@ class BoolExpr final : public Expr {
 
   Status Eval(const Table& input, const std::uint32_t* sel, std::size_t n,
               Column* out) const override {
-    if (op_ == BoolOp::kAnd) {
-      // Conjunction fast path: the whole AND chain fuses into one output
-      // buffer (comparison kernels write/AND their flags in place) with
-      // no dense 0/1 column per side.
-      EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
-      EEDC_ASSIGN_OR_RETURN(
-          bool fused,
-          TryEvalPredicateInto(input, sel, n, PredicateCombine::kAssign,
-                               out->AppendRawInt64(n)));
-      EEDC_DCHECK(fused);
-      (void)fused;
-      return Status::OK();
-    }
-    Operand a;
-    EEDC_RETURN_IF_ERROR(a.Bind(*lhs_, input, sel, n));
-    if (op_ == BoolOp::kNot) {
-      for (std::size_t i = 0; i < n; ++i) {
-        out->AppendInt64(a.I64(i) != 0 ? 0 : 1);
-      }
-      return Status::OK();
-    }
-    Operand b;
-    EEDC_RETURN_IF_ERROR(b.Bind(*rhs_, input, sel, n));
-    for (std::size_t i = 0; i < n; ++i) {
-      const bool x = a.I64(i) != 0;
-      const bool y = b.I64(i) != 0;
-      out->AppendInt64((x || y) ? 1 : 0);
-    }
+    // Every connective fuses: AND/OR chains accumulate into the output
+    // buffer in place and NOT becomes a negated combine mode, with no
+    // dense 0/1 column per side.
+    EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
+    EEDC_ASSIGN_OR_RETURN(
+        bool fused,
+        TryEvalPredicateInto(input, sel, n, PredicateCombine::kAssign,
+                             out->AppendRawInt64(n)));
+    EEDC_DCHECK(fused);
+    (void)fused;
     return Status::OK();
   }
 
@@ -718,14 +798,66 @@ class BoolExpr final : public Expr {
                                       std::size_t n,
                                       PredicateCombine combine,
                                       std::int64_t* out) const override {
-    if (op_ != BoolOp::kAnd) return false;
     EEDC_RETURN_IF_ERROR(ResultType(input.schema()).status());
-    // AND is associative over 0/1 flags, so a nested (a AND b) AND c
-    // chain keeps accumulating into the same buffer.
-    EEDC_RETURN_IF_ERROR(
-        EvalPredicateInto(*lhs_, input, sel, n, combine, out));
-    EEDC_RETURN_IF_ERROR(EvalPredicateInto(*rhs_, input, sel, n,
-                                           PredicateCombine::kAnd, out));
+    if (op_ == BoolOp::kNot) {
+      // NOT never touches the buffer itself: it pushes down as the
+      // negated combine, which the child's kernels (or the normalizing
+      // fallback) apply at the store.
+      EEDC_RETURN_IF_ERROR(EvalPredicateInto(
+          *lhs_, input, sel, n, NegatedCombine(combine), out));
+      return true;
+    }
+    if (op_ == BoolOp::kAnd) {
+      // AND is associative over 0/1 flags, so a nested (a AND b) AND c
+      // chain keeps accumulating into the same buffer; a negated AND
+      // streams through De Morgan as an OR of negations.
+      if (combine == PredicateCombine::kAssign ||
+          combine == PredicateCombine::kAnd) {
+        EEDC_RETURN_IF_ERROR(
+            EvalPredicateInto(*lhs_, input, sel, n, combine, out));
+        EEDC_RETURN_IF_ERROR(EvalPredicateInto(
+            *rhs_, input, sel, n, PredicateCombine::kAnd, out));
+        return true;
+      }
+      if (combine == PredicateCombine::kAssignNot ||
+          combine == PredicateCombine::kOrNot) {
+        EEDC_RETURN_IF_ERROR(
+            EvalPredicateInto(*lhs_, input, sel, n, combine, out));
+        EEDC_RETURN_IF_ERROR(EvalPredicateInto(
+            *rhs_, input, sel, n, PredicateCombine::kOrNot, out));
+        return true;
+      }
+    } else {
+      // kOr mirrors kAnd: positive chains accumulate with |=, a negated
+      // OR streams as an AND of negations.
+      if (combine == PredicateCombine::kAssign ||
+          combine == PredicateCombine::kOr) {
+        EEDC_RETURN_IF_ERROR(
+            EvalPredicateInto(*lhs_, input, sel, n, combine, out));
+        EEDC_RETURN_IF_ERROR(EvalPredicateInto(
+            *rhs_, input, sel, n, PredicateCombine::kOr, out));
+        return true;
+      }
+      if (combine == PredicateCombine::kAssignNot ||
+          combine == PredicateCombine::kAndNot) {
+        EEDC_RETURN_IF_ERROR(
+            EvalPredicateInto(*lhs_, input, sel, n, combine, out));
+        EEDC_RETURN_IF_ERROR(EvalPredicateInto(
+            *rhs_, input, sel, n, PredicateCombine::kAndNot, out));
+        return true;
+      }
+    }
+    // Mixed-accumulator shapes (an AND chain OR-ed into the output and
+    // the like): evaluate this subtree into one scratch flag buffer,
+    // then fold it in. Still no per-side dense columns.
+    std::vector<std::int64_t> flags(n);
+    EEDC_ASSIGN_OR_RETURN(
+        bool fused, TryEvalPredicateInto(input, sel, n,
+                                         PredicateCombine::kAssign,
+                                         flags.data()));
+    EEDC_DCHECK(fused);  // every connective streams under kAssign
+    (void)fused;
+    FoldFlags(combine, flags.data(), n, out);
     return true;
   }
 

@@ -21,11 +21,21 @@ class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
 /// How a fused predicate kernel writes its 0/1 truth values into a
-/// caller-provided buffer.
+/// caller-provided buffer. The negated modes fold a NOT into the store
+/// (the kernel flips its 0/1 flag before combining), which is what lets
+/// NOT chains and De Morgan rewrites of AND/OR stream into one buffer.
+/// For the accumulating modes `out` must already hold 0/1 values.
 enum class PredicateCombine {
-  kAssign,  // out[i] = truth(i)
-  kAnd,     // out[i] &= truth(i) (out must already hold 0/1 values)
+  kAssign,     // out[i] = truth(i)
+  kAnd,        // out[i] &= truth(i)
+  kOr,         // out[i] |= truth(i)
+  kAssignNot,  // out[i] = !truth(i)
+  kAndNot,     // out[i] &= !truth(i)
+  kOrNot,      // out[i] |= !truth(i)
 };
+
+/// The same combine with the truth value negated.
+PredicateCombine NegatedCombine(PredicateCombine combine);
 
 class Expr {
  public:
@@ -65,8 +75,11 @@ class Expr {
   /// `combine`) without materializing a dense intermediate column.
   /// Returns false when this expression has no fused kernel for the
   /// operand shapes at hand — the caller then falls back to Eval().
-  /// Implemented by numeric comparisons and by AND chains over them,
-  /// which is exactly the conjunctive-predicate hot path.
+  /// Implemented by numeric comparisons and by the boolean connectives
+  /// over them: AND/OR chains accumulate into the same buffer and NOT
+  /// pushes down as a negated combine mode (De Morgan for negated
+  /// AND/OR), so arbitrary predicate trees over numeric comparisons
+  /// evaluate without a dense 0/1 column per side.
   virtual StatusOr<bool> TryEvalPredicateInto(const storage::Table& input,
                                               const std::uint32_t* sel,
                                               std::size_t n,

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "power/catalog.h"
+#include "workload/engine.h"
 
 namespace eedc::workload {
 
@@ -310,6 +311,27 @@ PolicyReport BuildReport(const std::string& policy_name,
   return report;
 }
 
+/// Engine-measured mode: run each served kind for real (memoized inside
+/// the fleet), stamp the measured wall/joules onto the outcomes, and
+/// fold the metered joules into the report, total and per class.
+Status AnnotateEngineMeasurements(EngineFleet* engine,
+                                  std::vector<QueryOutcome>* outcomes,
+                                  PolicyReport* report) {
+  if (engine == nullptr) return Status::OK();
+  for (QueryOutcome& o : *outcomes) {
+    if (!o.served()) continue;
+    EEDC_ASSIGN_OR_RETURN(const EngineMeasurement* m,
+                          engine->Measure(o.kind));
+    o.engine_wall = m->wall;
+    o.engine_joules = m->joules;
+    report->engine_energy += m->joules;
+    for (const auto& [cls, joules] : m->joules_by_class) {
+      AddEnergyByClass(&report->engine_energy_by_class, cls, joules);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 WorkloadDriver::WorkloadDriver(DriverOptions options)
@@ -373,12 +395,15 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
   if (!backlog.empty()) {
     DrainDeferred(sim, backlog, trace.back().at, profiles, &outcomes_);
   }
-  return BuildReport(
+  PolicyReport report = BuildReport(
       policy.name(),
       options_.admission != nullptr ? options_.admission->name()
                                     : "admit-all",
       options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
       outcomes_, sim);
+  EEDC_RETURN_IF_ERROR(
+      AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
+  return report;
 }
 
 StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
@@ -446,12 +471,15 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
   if (!backlog.empty()) {
     DrainDeferred(sim, backlog, last_at, profiles, &outcomes_);
   }
-  return BuildReport(
+  PolicyReport report = BuildReport(
       policy.name(),
       options_.admission != nullptr ? options_.admission->name()
                                     : "admit-all",
       options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
       outcomes_, sim);
+  EEDC_RETURN_IF_ERROR(
+      AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
+  return report;
 }
 
 }  // namespace eedc::workload

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/admission.h"
@@ -41,6 +42,8 @@
 #include "workload/power_policy.h"
 
 namespace eedc::workload {
+
+class EngineFleet;
 
 /// Per-kind workload parameters.
 struct QueryProfile {
@@ -84,6 +87,11 @@ struct QueryOutcome {
   Duration start = Duration::Zero();
   Duration completion = Duration::Zero();
   bool violated = false;
+  /// Engine-measured mode (DriverOptions::engine): the real executor's
+  /// wall time and metered joules for this query's kind on the mixed
+  /// fleet. Zero when the driver ran purely analytically.
+  Duration engine_wall = Duration::Zero();
+  Energy engine_joules = Energy::Zero();
 
   bool served() const {
     return decision != cluster::AdmissionDecision::kShed;
@@ -114,6 +122,13 @@ struct PolicyReport {
   Energy idle_energy = Energy::Zero();   // awake but idle, at IdleWatts
   Energy sleep_energy = Energy::Zero();  // powered down, at SleepWatts
   Energy wake_energy = Energy::Zero();   // spin-up, at PeakWatts
+
+  /// Engine-measured mode only: metered joules of the real executions
+  /// summed over served queries, total and split by node class. The
+  /// virtual-time split above remains the report's authoritative
+  /// accounting; these close the loop against the engine that ran.
+  Energy engine_energy = Energy::Zero();
+  std::vector<std::pair<std::string, Energy>> engine_energy_by_class;
 
   int offered() const { return queries + shed; }
   double shed_rate() const {
@@ -158,6 +173,14 @@ struct DriverOptions {
 
   /// Admission-control hook; not owned; nullptr admits everything.
   const cluster::AdmissionPolicy* admission = nullptr;
+
+  /// Engine-measured mode: every served kind is executed for real on
+  /// this mixed-fleet engine (class-scaled workers, scan/ship-only wimpy
+  /// trees; memoized per kind) and the metered joules flow back into the
+  /// outcomes and the report's engine_energy[_by_class]. Pair it with
+  /// EngineFleet::MeasuredProfiles() to also replace the analytic
+  /// service demands. Not owned; nullptr keeps the driver analytic.
+  EngineFleet* engine = nullptr;
 };
 
 struct ClosedLoopOptions {

@@ -1,0 +1,141 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "workload/profiles.h"
+
+namespace eedc::workload {
+
+void AddEnergyByClass(
+    std::vector<std::pair<std::string, Energy>>* by_class,
+    const std::string& class_name, Energy joules) {
+  auto it = std::find_if(by_class->begin(), by_class->end(),
+                         [&class_name](const auto& entry) {
+                           return entry.first == class_name;
+                         });
+  if (it == by_class->end()) {
+    by_class->emplace_back(class_name, joules);
+  } else {
+    it->second += joules;
+  }
+}
+
+EngineFleet::EngineFleet(cluster::ClusterConfig fleet,
+                         EngineFleetOptions options)
+    : fleet_(std::move(fleet)), options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<EngineFleet>> EngineFleet::Create(
+    const cluster::ClusterConfig& fleet, const EngineFleetOptions& options) {
+  EEDC_RETURN_IF_ERROR(fleet.Validate());
+  if (options.repetitions <= 0) {
+    return Status::InvalidArgument("engine fleet needs >= 1 repetition");
+  }
+  // Not make_unique: the constructor is private.
+  std::unique_ptr<EngineFleet> engine(new EngineFleet(fleet, options));
+  EEDC_RETURN_IF_ERROR(engine->Init());
+  return engine;
+}
+
+Status EngineFleet::Init() {
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = options_.scale_factor;
+  dbgen.seed = options_.seed;
+  db_ = tpch::GenerateDatabase(dbgen);
+
+  // The Section 3.1 Vertica layout, stretched over the mixed fleet:
+  // every node — wimpy or beefy — holds its share of the partitioned
+  // facts (wimpies scan and ship them), dimensions are replicated.
+  const int n = fleet_.total_nodes();
+  data_ = std::make_unique<exec::ClusterData>(n);
+  EEDC_RETURN_IF_ERROR(
+      data_->LoadHashPartitioned("lineitem", *db_.lineitem, "l_orderkey"));
+  EEDC_RETURN_IF_ERROR(
+      data_->LoadHashPartitioned("orders", *db_.orders, "o_custkey"));
+  data_->LoadReplicated("supplier", db_.supplier);
+  data_->LoadReplicated("nation", db_.nation);
+
+  cluster::PlacementOptions placement_options;
+  placement_options.replicated_tables = {"supplier", "nation"};
+  placement_options.morsel_rows = options_.morsel_rows;
+  const cluster::PlacementPolicy policy(placement_options);
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    EEDC_ASSIGN_OR_RETURN(exec::PlanPtr plan, PlanForKind(kind, db_));
+    EEDC_ASSIGN_OR_RETURN(placements_[static_cast<std::size_t>(k)],
+                          policy.Place(std::move(plan), fleet_));
+  }
+
+  // Class-aware metering: each node integrates its own class's
+  // utilization->watts curve over its class-scaled worker count. A 0
+  // (deferring) count resolves to 1 — the executor options below leave
+  // workers_per_node at its default of 1.
+  const cluster::EnginePlacement& p0 = placements_[0];
+  std::vector<std::shared_ptr<const power::PowerModel>> models;
+  models.reserve(p0.node_classes.size());
+  for (const cluster::NodeClassSpec* cls : p0.node_classes) {
+    models.push_back(cls->power_model);
+  }
+  std::vector<int> meter_workers = p0.node_workers;
+  for (int& w : meter_workers) w = std::max(1, w);
+  meter_ = std::make_unique<energy::EnergyMeter>(std::move(models),
+                                                 std::move(meter_workers));
+
+  exec::Executor::Options exec_options = p0.MakeExecutorOptions();
+  exec_options.activity_listener = meter_.get();
+  executor_ =
+      std::make_unique<exec::Executor>(data_.get(), std::move(exec_options));
+  return Status::OK();
+}
+
+StatusOr<const EngineMeasurement*> EngineFleet::Measure(QueryKind kind) {
+  std::optional<EngineMeasurement>& slot =
+      cache_[static_cast<std::size_t>(kind)];
+  if (slot.has_value()) return &*slot;
+
+  const cluster::EnginePlacement& placement =
+      placements_[static_cast<std::size_t>(kind)];
+  EngineMeasurement best;
+  best.kind = kind;
+  for (int rep = 0; rep < options_.repetitions; ++rep) {
+    meter_->Reset();
+    EEDC_ASSIGN_OR_RETURN(
+        exec::QueryResult result,
+        executor_->ExecutePerNode(placement.plan_for_node));
+    const energy::QueryEnergyReport energy = meter_->Finish();
+    const Duration wall = result.metrics.wall;
+    if (wall.seconds() <= 0.0) continue;
+    if (best.wall.seconds() > 0.0 && wall >= best.wall) continue;
+    best.wall = wall;
+    best.joules = energy.total;
+    best.result_rows = result.table.num_rows();
+    best.joules_by_class.clear();
+    for (const energy::NodeEnergyReport& nr : energy.nodes) {
+      AddEnergyByClass(
+          &best.joules_by_class,
+          placement.node_classes[static_cast<std::size_t>(nr.node)]->name,
+          nr.joules.total());
+    }
+  }
+  if (best.wall.seconds() <= 0.0) {
+    return Status::Internal("engine run measured zero wall time");
+  }
+  slot = std::move(best);
+  return &*slot;
+}
+
+StatusOr<QueryProfiles> EngineFleet::MeasuredProfiles() {
+  QueryProfiles profiles;
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    EEDC_ASSIGN_OR_RETURN(const EngineMeasurement* m, Measure(kind));
+    QueryProfile& p = profiles.For(kind);
+    p.service = m->wall;
+    p.deadline = std::max(m->wall * options_.deadline_multiplier,
+                          Duration::Millis(10.0));
+    p.engine_joules = m->joules;
+  }
+  return profiles;
+}
+
+}  // namespace eedc::workload

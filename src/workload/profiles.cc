@@ -13,8 +13,6 @@
 
 namespace eedc::workload {
 
-namespace {
-
 StatusOr<exec::PlanPtr> PlanForKind(QueryKind kind,
                                     const tpch::TpchDatabase& db) {
   switch (kind) {
@@ -44,8 +42,6 @@ StatusOr<exec::PlanPtr> PlanForKind(QueryKind kind,
   }
   return Status::InvalidArgument("unknown query kind");
 }
-
-}  // namespace
 
 StatusOr<QueryProfiles> MeasureQueryProfiles(const ProfileOptions& opts) {
   if (opts.nodes <= 0 || opts.workers_per_node <= 0) {

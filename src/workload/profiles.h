@@ -21,7 +21,22 @@ namespace eedc::energy {
 struct CalibrationResult;
 }  // namespace eedc::energy
 
+namespace eedc::tpch {
+struct TpchDatabase;
+}  // namespace eedc::tpch
+
+namespace eedc::exec {
+struct PlanNode;
+}  // namespace eedc::exec
+
 namespace eedc::workload {
+
+/// The canonical engine plan for a scheduled query kind over a generated
+/// database (thresholds are derived from the data so selectivities match
+/// the paper's setup). Shared by profiling, calibration consumers, and
+/// the mixed-fleet engine runner (engine.h).
+StatusOr<std::shared_ptr<const exec::PlanNode>> PlanForKind(
+    QueryKind kind, const tpch::TpchDatabase& db);
 
 struct ProfileOptions {
   double scale_factor = 0.002;

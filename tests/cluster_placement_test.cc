@@ -1,0 +1,308 @@
+// Class-aware engine placement: the ISSUE's equivalence satellite.
+//
+//  - A beefy-only fleet under PlacementPolicy must be *bit-identical* to
+//    the legacy homogeneous executor path at W = 1/2/8 (same rows, same
+//    per-node operator counters) — placement is a no-op without wimpies.
+//  - A mixed fleet must agree row-for-row with single-node reference
+//    execution on every TPC-H fragment the calibrator covers
+//    (Q1/Q3/Q12/Q21), while wimpy nodes do scan/filter/ship work only.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "cluster/placement.h"
+#include "exec/executor.h"
+#include "exec/reference.h"
+#include "hw/catalog.h"
+#include "tpch/dbgen.h"
+#include "workload/profiles.h"
+
+namespace eedc::cluster {
+namespace {
+
+using exec::ClusterData;
+using exec::Executor;
+using exec::PlanPtr;
+using exec::QueryResult;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using workload::QueryKind;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+/// Exactly-representable synthetic data (integer-valued sums stay exact
+/// in double accumulators), so cross-run comparisons can use eps = 0.
+storage::TablePtr MakeFact(std::size_t rows) {
+  Table fact(Schema{{Field{"f_key", DataType::kInt64, 0.0},
+                     Field{"f_val", DataType::kInt64, 0.0}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    fact.AppendRow({static_cast<std::int64_t>(i % 511),
+                    static_cast<std::int64_t>((i * 13) % 1000)});
+  }
+  return std::make_shared<Table>(std::move(fact));
+}
+
+storage::TablePtr MakeDim(std::size_t rows) {
+  Table dim(Schema{{Field{"d_key", DataType::kInt64, 0.0},
+                    Field{"d_weight", DataType::kInt64, 0.0}}});
+  for (std::size_t i = 0; i < rows; ++i) {
+    dim.AppendRow({static_cast<std::int64_t>(i),
+                   static_cast<std::int64_t>((i * 7) % 100)});
+  }
+  return std::make_shared<Table>(std::move(dim));
+}
+
+PlanPtr DualShuffleJoinAggPlan() {
+  PlanPtr fact_side = exec::FilterPlan(
+      exec::ScanPlan("fact"), exec::Lt(exec::Col("f_val"), exec::I64(700)));
+  PlanPtr join = exec::HashJoinPlan(
+      exec::ShufflePlan(exec::ScanPlan("dim"), "d_key"),
+      exec::ShufflePlan(std::move(fact_side), "f_key"), "d_key", "f_key");
+  PlanPtr partial = exec::HashAggPlan(
+      std::move(join), {"d_key"},
+      {exec::AggSpec::Sum(exec::Mul(exec::Col("f_val"),
+                                    exec::Col("d_weight")),
+                          "weighted"),
+       exec::AggSpec::Count("rows")});
+  return exec::HashAggPlan(
+      exec::GatherPlan(std::move(partial)), {"d_key"},
+      {exec::AggSpec::Sum(exec::Col("weighted"), "weighted"),
+       exec::AggSpec::Sum(exec::Col("rows"), "rows")});
+}
+
+void ExpectCountersIdentical(const exec::ExecMetrics& a,
+                             const exec::ExecMetrics& b) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t node = 0; node < a.nodes.size(); ++node) {
+    const exec::NodeMetrics& x = a.nodes[node];
+    const exec::NodeMetrics& y = b.nodes[node];
+    EXPECT_DOUBLE_EQ(x.scan_rows, y.scan_rows) << "node " << node;
+    EXPECT_DOUBLE_EQ(x.filter_rows_in, y.filter_rows_in) << "node " << node;
+    EXPECT_DOUBLE_EQ(x.filter_rows_out, y.filter_rows_out)
+        << "node " << node;
+    EXPECT_DOUBLE_EQ(x.build_rows, y.build_rows) << "node " << node;
+    EXPECT_DOUBLE_EQ(x.probe_rows, y.probe_rows) << "node " << node;
+    EXPECT_DOUBLE_EQ(x.join_output_rows, y.join_output_rows)
+        << "node " << node;
+    EXPECT_DOUBLE_EQ(x.agg_rows_in, y.agg_rows_in) << "node " << node;
+    EXPECT_DOUBLE_EQ(x.cpu_bytes, y.cpu_bytes) << "node " << node;
+  }
+}
+
+TEST(PlacementTest, BeefyOnlyFleetBitIdenticalToLegacyPath) {
+  constexpr int kNodes = 3;
+  ClusterData data(kNodes);
+  data.LoadRoundRobin("fact", *MakeFact(20000));
+  data.LoadRoundRobin("dim", *MakeDim(511));
+  const PlanPtr plan = DualShuffleJoinAggPlan();
+
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    // Legacy homogeneous path: uniform workers, no classes.
+    Executor::Options legacy_options;
+    legacy_options.workers_per_node = workers;
+    legacy_options.morsel_rows = 64;
+    Executor legacy(&data, legacy_options);
+    auto want = legacy.Execute(plan);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    // The same fleet expressed as three beefy-class nodes through the
+    // placement policy.
+    const ClusterConfig fleet =
+        ClusterConfig::Homogeneous(PaperClass("beefy", workers), kNodes);
+    PlacementOptions placement_options;
+    placement_options.morsel_rows = 64;
+    const PlacementPolicy policy(placement_options);
+    auto placement = policy.Place(plan, fleet);
+    ASSERT_TRUE(placement.ok()) << placement.status();
+    EXPECT_EQ(placement->joiners.size(), static_cast<std::size_t>(kNodes));
+    EXPECT_EQ(placement->node_workers,
+              std::vector<int>(kNodes, workers));
+    // Homogeneous fleets run the original plan object untouched.
+    EXPECT_EQ(placement->plan_for_node(0).get(), plan.get());
+    EXPECT_EQ(placement->plan_for_node(kNodes - 1).get(), plan.get());
+
+    Executor placed(&data, placement->MakeExecutorOptions());
+    auto got = placed.ExecutePerNode(placement->plan_for_node);
+    ASSERT_TRUE(got.ok()) << got.status();
+
+    std::string diff;
+    EXPECT_TRUE(
+        exec::TablesEqualUnordered(want->table, got->table, 0.0, &diff))
+        << diff;
+    ExpectCountersIdentical(want->metrics, got->metrics);
+  }
+}
+
+TEST(PlacementTest, MixedFleetRoutingIsStructurallyJoinerBiased) {
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = 0.002;
+  const tpch::TpchDatabase db = tpch::GenerateDatabase(dbgen);
+
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 4), 1, PaperClass("wimpy", 2), 2);
+  PlacementOptions options;
+  options.replicated_tables = {"supplier", "nation"};
+  const PlacementPolicy policy(options);
+
+  auto q12 = workload::PlanForKind(QueryKind::kQ12, db);
+  ASSERT_TRUE(q12.ok());
+  auto placement = policy.Place(*q12, fleet);
+  ASSERT_TRUE(placement.ok()) << placement.status();
+
+  EXPECT_EQ(placement->joiners, std::vector<int>({0}));
+  EXPECT_EQ(placement->node_workers, std::vector<int>({4, 2, 2}));
+  EXPECT_TRUE(placement->IsJoiner(0));
+  EXPECT_FALSE(placement->IsJoiner(1));
+
+  // Q12's partition-local LINEITEM side must now ship to the joiner:
+  // one extra exchange, identically placed in every per-node plan (the
+  // executor requires positional agreement).
+  const PlanPtr routed = placement->plan_for_node(0);
+  const PlanPtr pruned = placement->plan_for_node(1);
+  EXPECT_NE(routed.get(), pruned.get());
+  EXPECT_EQ(exec::CountExchanges(**q12) + 1, exec::CountExchanges(*routed));
+  EXPECT_EQ(exec::CountExchanges(*routed), exec::CountExchanges(*pruned));
+
+  // Q21's replicated SUPPLIER build survives on the joiner but is pruned
+  // to a constant-false filter on the wimpy trees.
+  auto q21 = workload::PlanForKind(QueryKind::kQ21, db);
+  ASSERT_TRUE(q21.ok());
+  auto q21_placement = policy.Place(*q21, fleet);
+  ASSERT_TRUE(q21_placement.ok()) << q21_placement.status();
+  const std::string joiner_plan =
+      exec::PlanToString(*q21_placement->plan_for_node(0));
+  const std::string wimpy_plan =
+      exec::PlanToString(*q21_placement->plan_for_node(1));
+  EXPECT_EQ(joiner_plan.find("Filter(0)"), std::string::npos)
+      << joiner_plan;
+  EXPECT_NE(wimpy_plan.find("Filter(0)"), std::string::npos) << wimpy_plan;
+}
+
+TEST(PlacementTest, RoutingPushesJoinerRestrictionThroughUnaryOps) {
+  // A Filter between the shuffle and the join must not defeat the
+  // scan/ship-only guarantee: the joiner restriction pushes through
+  // row-wise unary operators, so wimpies still build nothing.
+  ClusterData data(3);
+  data.LoadRoundRobin("fact", *MakeFact(8000));
+  data.LoadRoundRobin("dim", *MakeDim(511));
+  const PlanPtr plan = exec::HashJoinPlan(
+      exec::FilterPlan(
+          exec::ShufflePlan(exec::ScanPlan("dim"), "d_key"),
+          exec::Lt(exec::Col("d_weight"), exec::I64(90))),
+      exec::ShufflePlan(exec::ScanPlan("fact"), "f_key"), "d_key",
+      "f_key");
+
+  // Classes that leave engine_workers at 0 keep the documented "defer
+  // to the executor's workers_per_node" semantics through placement.
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 0), 1, PaperClass("wimpy", 0), 2);
+  auto placement = PlacementPolicy().Place(plan, fleet);
+  ASSERT_TRUE(placement.ok()) << placement.status();
+  EXPECT_EQ(placement->node_workers, std::vector<int>({0, 0, 0}));
+
+  Executor reference(&data);
+  auto want = reference.Execute(plan);
+  ASSERT_TRUE(want.ok()) << want.status();
+
+  Executor placed(&data, placement->MakeExecutorOptions());
+  auto got = placed.ExecutePerNode(placement->plan_for_node);
+  ASSERT_TRUE(got.ok()) << got.status();
+
+  std::string diff;
+  EXPECT_TRUE(
+      exec::TablesEqualUnordered(want->table, got->table, 0.0, &diff))
+      << diff;
+  EXPECT_GT(got->metrics.nodes[0].build_rows, 0.0);
+  for (int node = 1; node <= 2; ++node) {
+    EXPECT_DOUBLE_EQ(
+        got->metrics.nodes[static_cast<std::size_t>(node)].build_rows, 0.0)
+        << "wimpy node " << node;
+  }
+}
+
+TEST(PlacementTest, MixedFleetMatchesSingleNodeReferenceOnTpchFragments) {
+  tpch::DbgenOptions dbgen;
+  dbgen.scale_factor = 0.002;
+  const tpch::TpchDatabase db = tpch::GenerateDatabase(dbgen);
+
+  const auto load = [&db](ClusterData* data) {
+    ASSERT_TRUE(
+        data->LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey")
+            .ok());
+    ASSERT_TRUE(
+        data->LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+    data->LoadReplicated("supplier", db.supplier);
+    data->LoadReplicated("nation", db.nation);
+  };
+
+  ClusterData reference_data(1);
+  load(&reference_data);
+  Executor reference(&reference_data);
+
+  ClusterData fleet_data(3);
+  load(&fleet_data);
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 4), 1, PaperClass("wimpy", 2), 2);
+  PlacementOptions options;
+  options.replicated_tables = {"supplier", "nation"};
+  const PlacementPolicy policy(options);
+
+  for (QueryKind kind : {QueryKind::kQ1, QueryKind::kQ3, QueryKind::kQ12,
+                         QueryKind::kQ21}) {
+    SCOPED_TRACE(workload::QueryKindName(kind));
+    auto plan = workload::PlanForKind(kind, db);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+
+    auto want = reference.Execute(*plan);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    auto placement = policy.Place(*plan, fleet);
+    ASSERT_TRUE(placement.ok()) << placement.status();
+    Executor placed(&fleet_data, placement->MakeExecutorOptions());
+    auto got = placed.ExecutePerNode(placement->plan_for_node);
+    ASSERT_TRUE(got.ok()) << got.status();
+
+    // Row-for-row agreement with the single-node reference (sorted
+    // multiset; 1e-9 absorbs double-sum reassociation across nodes).
+    std::string diff;
+    EXPECT_TRUE(
+        exec::TablesEqualUnordered(want->table, got->table, 1e-9, &diff))
+        << diff;
+
+    // Wimpy nodes never host join state: no build rows, no probes. They
+    // still scan and ship (Q1 aggregates locally, which is not join
+    // work).
+    for (int node = 1; node <= 2; ++node) {
+      const exec::NodeMetrics& nm =
+          got->metrics.nodes[static_cast<std::size_t>(node)];
+      EXPECT_DOUBLE_EQ(nm.build_rows, 0.0) << "wimpy node " << node;
+      EXPECT_DOUBLE_EQ(nm.probe_rows, 0.0) << "wimpy node " << node;
+      // An empty JoinHashTable still reports its minimum bucket
+      // directory; anything beyond that would mean real build state.
+      EXPECT_LE(nm.hash_table_bytes, 256.0) << "wimpy node " << node;
+    }
+    if (kind != QueryKind::kQ1) {
+      EXPECT_GT(got->metrics.nodes[0].build_rows, 0.0)
+          << "the beefy joiner should host the hash build";
+      // The wimpies did real scan/ship work for every join query.
+      EXPECT_GT(got->metrics.nodes[1].scan_rows, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eedc::cluster

@@ -1,0 +1,127 @@
+// Engine-measured workload mode: the real mixed-fleet executor feeds
+// metered joules back into the driver's outcomes and report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/engine.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+EngineFleetOptions FastOptions() {
+  EngineFleetOptions options;
+  options.scale_factor = 0.001;
+  options.repetitions = 1;
+  return options;
+}
+
+TEST(EngineFleetTest, MeasuresKindsWithClassSplitAndMemoizes) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 1);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  auto m = (*engine)->Measure(QueryKind::kQ3);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_GT((*m)->wall.seconds(), 0.0);
+  EXPECT_GT((*m)->joules.joules(), 0.0);
+  EXPECT_GT((*m)->result_rows, 0u);
+
+  // Joules split by class, covering both classes and summing to the
+  // total exactly.
+  ASSERT_EQ((*m)->joules_by_class.size(), 2u);
+  EXPECT_EQ((*m)->joules_by_class[0].first, "beefy");
+  EXPECT_EQ((*m)->joules_by_class[1].first, "wimpy");
+  const double split_sum = (*m)->joules_by_class[0].second.joules() +
+                           (*m)->joules_by_class[1].second.joules();
+  EXPECT_NEAR(split_sum, (*m)->joules.joules(), 1e-9);
+
+  // Memoized: the second call returns the cached measurement.
+  auto again = (*engine)->Measure(QueryKind::kQ3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*m, *again);
+
+  auto profiles = (*engine)->MeasuredProfiles();
+  ASSERT_TRUE(profiles.ok()) << profiles.status();
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryProfile& p = profiles->For(static_cast<QueryKind>(k));
+    EXPECT_GT(p.service.seconds(), 0.0);
+    EXPECT_GE(p.deadline.seconds(), 0.01);
+    EXPECT_GT(p.engine_joules.joules(), 0.0);
+  }
+}
+
+TEST(EngineFleetTest, DriverAnnotatesOutcomesWithMeteredJoules) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 1);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto profiles = (*engine)->MeasuredProfiles();
+  ASSERT_TRUE(profiles.ok()) << profiles.status();
+
+  DriverOptions options;
+  options.fleet = fleet;
+  options.dispatch = cluster::DispatchRule::kEnergyFeasibleFinish;
+  options.engine = engine->get();
+  WorkloadDriver driver(options);
+
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Seconds(1.0), QueryKind::kQ3},
+      {Duration::Seconds(2.0), QueryKind::kQ1},
+  };
+  auto report = driver.Run(trace, *profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  Energy outcome_sum = Energy::Zero();
+  for (const QueryOutcome& o : driver.outcomes()) {
+    ASSERT_TRUE(o.served());
+    EXPECT_GT(o.engine_wall.seconds(), 0.0);
+    EXPECT_GT(o.engine_joules.joules(), 0.0);
+    outcome_sum += o.engine_joules;
+  }
+  EXPECT_NEAR(report->engine_energy.joules(), outcome_sum.joules(), 1e-9);
+
+  Energy class_sum = Energy::Zero();
+  ASSERT_EQ(report->engine_energy_by_class.size(), 2u);
+  for (const auto& [cls, joules] : report->engine_energy_by_class) {
+    EXPECT_TRUE(cls == "beefy" || cls == "wimpy") << cls;
+    class_sum += joules;
+  }
+  EXPECT_NEAR(class_sum.joules(), report->engine_energy.joules(), 1e-9);
+
+  // Analytic mode untouched: without the engine hook the fields stay
+  // zero.
+  DriverOptions analytic = options;
+  analytic.engine = nullptr;
+  WorkloadDriver plain(analytic);
+  auto plain_report = plain.Run(trace, *profiles, AllOnPolicy());
+  ASSERT_TRUE(plain_report.ok());
+  EXPECT_DOUBLE_EQ(plain_report->engine_energy.joules(), 0.0);
+  for (const QueryOutcome& o : plain.outcomes()) {
+    EXPECT_DOUBLE_EQ(o.engine_joules.joules(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eedc::workload
