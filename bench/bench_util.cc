@@ -51,13 +51,24 @@ BenchJson::BenchJson(std::string bench_name)
     : name_(std::move(bench_name)) {}
 
 void BenchJson::Add(const std::string& metric, double value) {
-  metrics_.emplace_back(metric, value);
+  metrics_.emplace_back(metric, StrFormat("%.17g", value));
+}
+
+void BenchJson::AddString(const std::string& metric,
+                          const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  metrics_.emplace_back(metric, std::move(quoted));
 }
 
 std::string BenchJson::ToJson() const {
   std::string out = "{\n  \"bench\": \"" + name_ + "\"";
   for (const auto& [metric, value] : metrics_) {
-    out += ",\n  \"" + metric + "\": " + StrFormat("%.17g", value);
+    out += ",\n  \"" + metric + "\": " + value;
   }
   out += "\n}\n";
   return out;

@@ -39,6 +39,11 @@ class BenchJson {
 
   void Add(const std::string& metric, double value);
 
+  /// String-valued metadata (e.g. a fault plan's reproducibility
+  /// string): written as a JSON string, skipped by the numeric
+  /// regression gate, and kept in insertion order with the metrics.
+  void AddString(const std::string& metric, const std::string& value);
+
   std::string ToJson() const;
 
   /// Writes BENCH_<name>.json into the current working directory (or to
@@ -47,7 +52,8 @@ class BenchJson {
 
  private:
   std::string name_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  /// (metric, rendered JSON value) in insertion order.
+  std::vector<std::pair<std::string, std::string>> metrics_;
 };
 
 }  // namespace eedc::bench

@@ -10,18 +10,25 @@ constants:
       "bench": "micro_engine",
       "config": {
         "tolerance": 0.25,        # allowed fractional regression
-        "metrics": ["a", "b"]     # keys to gate (default: all floors)
+        "metrics": ["a", "b"],    # keys to gate (default: all floors)
+        "max_metrics": ["c"]      # keys gated as CEILINGS instead
       },
       "a": 1000.0,                # floor values
-      "b": 1.0
+      "b": 1.0,
+      "c": 0.3                    # ceiling value
     }
 
 Every gated metric must be present in the current JSON and must not fall
-more than `tolerance` below its baseline floor. Baseline floors are
-deliberately conservative (roughly a third of a quiet-machine run) so
-only real regressions trip the gate, not shared-runner noise. Re-baseline
-by running the bench on a quiet machine and copying ~0.3x of the
-measured values.
+more than `tolerance` below its baseline floor. Keys listed in
+`max_metrics` gate the other direction: the value must not rise more
+than `tolerance` above its baseline ceiling (used for overhead ratios,
+e.g. the fault-injection energy overhead, where bigger is worse). A
+zero ceiling means the value must stay exactly zero. String-valued
+entries (reproducibility metadata like a fault plan) are never gated.
+Baseline floors are deliberately conservative (roughly a third of a
+quiet-machine run) so only real regressions trip the gate, not
+shared-runner noise. Re-baseline by running the bench on a quiet
+machine and copying ~0.3x of the measured values.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [--tolerance F]
 (--tolerance overrides the baseline's config block when given.)
@@ -53,31 +60,49 @@ def main() -> int:
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = config.get("tolerance", DEFAULT_TOLERANCE)
+    max_metrics = config.get("max_metrics", [])
     metrics = config.get(
         "metrics",
-        [k for k in baseline if k not in RESERVED_KEYS])
+        [k for k in baseline
+         if k not in RESERVED_KEYS and k not in max_metrics])
 
     failures = []
-    for metric in metrics:
+    for metric, is_ceiling in ([(m, False) for m in metrics] +
+                               [(m, True) for m in max_metrics]):
         if metric in RESERVED_KEYS:
             continue
         if metric not in baseline:
             failures.append(f"{metric}: listed in config but has no "
-                            f"baseline floor in {args.baseline}")
+                            f"baseline value in {args.baseline}")
             continue
-        floor = baseline[metric]
+        bound = baseline[metric]
         if metric not in current:
             failures.append(f"{metric}: missing from {args.current}")
             continue
-        allowed = floor * (1.0 - tolerance)
         value = current[metric]
-        status = "OK " if value >= allowed else "FAIL"
-        print(f"[{status}] {metric}: {value:.3g} "
-              f"(baseline {floor:.3g}, floor {allowed:.3g})")
-        if value < allowed:
-            failures.append(
-                f"{metric}: {value:.3g} < {allowed:.3g} "
-                f"(baseline {floor:.3g} - {tolerance:.0%})")
+        if isinstance(bound, str) or isinstance(value, str):
+            failures.append(f"{metric}: gated metrics must be numeric")
+            continue
+        if is_ceiling:
+            allowed = bound * (1.0 + tolerance)
+            ok = value <= allowed
+            status = "OK " if ok else "FAIL"
+            print(f"[{status}] {metric}: {value:.3g} "
+                  f"(baseline {bound:.3g}, ceiling {allowed:.3g})")
+            if not ok:
+                failures.append(
+                    f"{metric}: {value:.3g} > {allowed:.3g} "
+                    f"(baseline {bound:.3g} + {tolerance:.0%})")
+        else:
+            allowed = bound * (1.0 - tolerance)
+            ok = value >= allowed
+            status = "OK " if ok else "FAIL"
+            print(f"[{status}] {metric}: {value:.3g} "
+                  f"(baseline {bound:.3g}, floor {allowed:.3g})")
+            if not ok:
+                failures.append(
+                    f"{metric}: {value:.3g} < {allowed:.3g} "
+                    f"(baseline {bound:.3g} - {tolerance:.0%})")
 
     if failures:
         print("\nbench regression gate FAILED:", file=sys.stderr)

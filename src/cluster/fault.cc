@@ -1,0 +1,307 @@
+#include "cluster/fault.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+namespace eedc::cluster {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kDelayedWake:
+      return "delayed-wake";
+    case FaultKind::kSlowNode:
+      return "slow";
+    case FaultKind::kExchangeStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Duration WindowEnd(const FaultEvent& e) {
+  if (!e.duration.is_finite()) return Duration::Infinite();
+  return e.at + e.duration;
+}
+
+bool EventOrder(const FaultEvent& a, const FaultEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.node != b.node) return a.node < b.node;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+std::string FormatSeconds(Duration d) {
+  if (!d.is_finite()) return "inf";
+  std::ostringstream os;
+  os << d.seconds();
+  return os.str();
+}
+
+/// True when the crash set leaves at least one node alive at every
+/// instant: checked at every crash start (the only times the down-set
+/// grows).
+bool FleetAlwaysAlive(const std::vector<FaultEvent>& events, int num_nodes) {
+  for (const FaultEvent& probe : events) {
+    if (probe.kind != FaultKind::kNodeCrash) continue;
+    int down = 0;
+    for (const FaultEvent& other : events) {
+      if (other.kind != FaultKind::kNodeCrash) continue;
+      if (other.at <= probe.at && probe.at < WindowEnd(other)) ++down;
+    }
+    if (down >= num_nodes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status FaultPlan::Validate(int num_nodes) const {
+  for (const FaultEvent& e : events) {
+    if (e.node < 0 || e.node >= num_nodes) {
+      return Status::InvalidArgument("fault event names node " +
+                                     std::to_string(e.node) + " of fleet of " +
+                                     std::to_string(num_nodes));
+    }
+    if (e.at < Duration::Zero()) {
+      return Status::InvalidArgument("fault event scheduled before t=0");
+    }
+    if (e.kind == FaultKind::kSlowNode &&
+        (e.severity <= 0.0 || e.severity >= 1.0)) {
+      return Status::InvalidArgument(
+          "slow-node severity must be a rate multiplier in (0, 1)");
+    }
+    if ((e.kind == FaultKind::kDelayedWake ||
+         e.kind == FaultKind::kExchangeStall) &&
+        !(e.extra > Duration::Zero())) {
+      return Status::InvalidArgument(
+          "delayed-wake/stall events need a positive extra latency");
+    }
+  }
+  if (!std::is_sorted(events.begin(), events.end(), EventOrder)) {
+    return Status::InvalidArgument("fault events must be sorted by time");
+  }
+  if (!FleetAlwaysAlive(events, num_nodes)) {
+    return Status::InvalidArgument(
+        "fault plan takes the whole fleet down at once");
+  }
+  return Status::OK();
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const FaultEvent& e : events) {
+    os << ";" << FaultKindToString(e.kind) << "@n" << e.node << ":t"
+       << FormatSeconds(e.at);
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        os << "+" << FormatSeconds(e.duration);
+        break;
+      case FaultKind::kSlowNode:
+        os << "x" << e.severity << "+" << FormatSeconds(e.duration);
+        break;
+      case FaultKind::kDelayedWake:
+      case FaultKind::kExchangeStall:
+        os << "e" << FormatSeconds(e.extra) << "+"
+           << FormatSeconds(e.duration);
+        break;
+    }
+  }
+  return os.str();
+}
+
+StatusOr<FaultPlan> FaultPlan::Generate(const ClusterConfig& fleet,
+                                        const FaultPlanOptions& options) {
+  EEDC_RETURN_IF_ERROR(fleet.Validate());
+  const int n = fleet.total_nodes();
+  if (!options.horizon.is_finite() || !(options.horizon > Duration::Zero())) {
+    return Status::InvalidArgument("fault horizon must be finite positive");
+  }
+  if (options.crashes > 0 && n < 2) {
+    return Status::InvalidArgument(
+        "crash injection needs at least two nodes (someone must survive)");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> pick_node(0, n - 1);
+  std::uniform_real_distribution<double> pick_time(
+      0.0, options.horizon.seconds());
+
+  FaultPlan plan;
+  plan.seed = options.seed;
+
+  for (int i = 0; i < options.crashes; ++i) {
+    // Re-draw any crash that would momentarily empty the fleet; with a
+    // bounded number of attempts so a pathological request fails loudly
+    // instead of looping.
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      FaultEvent e;
+      e.kind = FaultKind::kNodeCrash;
+      e.node = pick_node(rng);
+      e.at = Duration::Seconds(pick_time(rng));
+      e.duration = (options.final_crash_permanent && i == options.crashes - 1)
+                       ? Duration::Infinite()
+                       : options.crash_downtime;
+      std::vector<FaultEvent> trial = plan.events;
+      trial.push_back(e);
+      if (FleetAlwaysAlive(trial, n)) {
+        plan.events.push_back(e);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return Status::InvalidArgument(
+          "could not place crash events without emptying the fleet");
+    }
+  }
+  for (int i = 0; i < options.stragglers; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kSlowNode;
+    e.node = pick_node(rng);
+    e.at = Duration::Seconds(pick_time(rng));
+    e.duration = options.slow_window;
+    e.severity = options.slow_factor;
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < options.delayed_wakes; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kDelayedWake;
+    e.node = pick_node(rng);
+    e.at = Duration::Seconds(pick_time(rng));
+    e.duration = options.slow_window;
+    e.extra = options.wake_extra;
+    plan.events.push_back(e);
+  }
+  for (int i = 0; i < options.exchange_stalls; ++i) {
+    FaultEvent e;
+    e.kind = FaultKind::kExchangeStall;
+    e.node = pick_node(rng);
+    e.at = Duration::Seconds(pick_time(rng));
+    e.duration = options.stall_window;
+    e.extra = options.stall_extra;
+    plan.events.push_back(e);
+  }
+  std::sort(plan.events.begin(), plan.events.end(), EventOrder);
+  EEDC_RETURN_IF_ERROR(plan.Validate(n));
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int num_nodes)
+    : plan_(std::move(plan)),
+      num_nodes_(num_nodes),
+      nodes_(static_cast<std::size_t>(num_nodes)) {
+  for (const FaultEvent& e : plan_.events) {
+    Window w;
+    w.begin = e.at;
+    w.end = WindowEnd(e);
+    w.severity = e.severity;
+    w.extra = e.extra;
+    PerNode& node = nodes_[static_cast<std::size_t>(e.node)];
+    switch (e.kind) {
+      case FaultKind::kNodeCrash:
+        node.down.push_back(w);
+        break;
+      case FaultKind::kSlowNode:
+        node.slow.push_back(w);
+        break;
+      case FaultKind::kDelayedWake:
+        node.wake.push_back(w);
+        break;
+      case FaultKind::kExchangeStall:
+        node.stall.push_back(w);
+        break;
+    }
+  }
+  // Coalesce overlapping down intervals so UpAfter is a single scan.
+  for (PerNode& node : nodes_) {
+    auto& down = node.down;
+    if (down.size() < 2) continue;
+    std::vector<Window> merged;
+    for (const Window& w : down) {
+      if (!merged.empty() && w.begin <= merged.back().end) {
+        if (w.end > merged.back().end) merged.back().end = w.end;
+      } else {
+        merged.push_back(w);
+      }
+    }
+    down = std::move(merged);
+  }
+}
+
+StatusOr<FaultInjector> FaultInjector::Create(FaultPlan plan, int num_nodes) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("fault injector needs a non-empty fleet");
+  }
+  EEDC_RETURN_IF_ERROR(plan.Validate(num_nodes));
+  return FaultInjector(std::move(plan), num_nodes);
+}
+
+bool FaultInjector::DownAt(int node, Duration t) const {
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).down) {
+    if (w.begin <= t && t < w.end) return true;
+    if (w.begin > t) break;
+  }
+  return false;
+}
+
+Duration FaultInjector::UpAfter(int node, Duration t) const {
+  Duration up = t;
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).down) {
+    if (w.begin <= up && up < w.end) up = w.end;
+  }
+  return up;
+}
+
+std::optional<Duration> FaultInjector::NextCrashWithin(int node,
+                                                       Duration from,
+                                                       Duration until) const {
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).down) {
+    if (w.begin > from && w.begin <= until) return w.begin;
+    if (w.begin > until) break;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::PermanentlyDownAt(int node, Duration t) const {
+  const auto& down = nodes_.at(static_cast<std::size_t>(node)).down;
+  if (down.empty()) return false;
+  const Window& last = down.back();
+  return !last.end.is_finite() && last.begin <= t;
+}
+
+double FaultInjector::ServiceRateMultiplierAt(int node, Duration t) const {
+  double factor = 1.0;
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).slow) {
+    if (w.begin <= t && t < w.end) factor = std::min(factor, w.severity);
+  }
+  return factor;
+}
+
+Duration FaultInjector::ExtraWakeLatencyAt(int node, Duration t) const {
+  Duration extra = Duration::Zero();
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).wake) {
+    if (w.begin <= t && t < w.end && w.extra > extra) extra = w.extra;
+  }
+  return extra;
+}
+
+Duration FaultInjector::ExchangeStallAt(int node, Duration t) const {
+  Duration extra = Duration::Zero();
+  for (const Window& w : nodes_.at(static_cast<std::size_t>(node)).stall) {
+    if (w.begin <= t && t < w.end && w.extra > extra) extra = w.extra;
+  }
+  return extra;
+}
+
+std::vector<int> FaultInjector::AliveNodes(Duration t) const {
+  std::vector<int> alive;
+  for (int i = 0; i < num_nodes_; ++i) {
+    if (!DownAt(i, t)) alive.push_back(i);
+  }
+  return alive;
+}
+
+}  // namespace eedc::cluster

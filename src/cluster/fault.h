@@ -1,0 +1,151 @@
+// Deterministic fault injection for the fleet runtime.
+//
+// The paper's energy-proportional designs (and their shared-nothing
+// successors, e.g. Schall & Härder's dynamic physiological partitioning)
+// treat node departure and arrival as normal runtime events. A FaultPlan
+// is the seeded, reproducible schedule of such events against one
+// ClusterConfig: node crashes (with a downtime, possibly permanent),
+// delayed wakes (a sleeping node takes longer than its class wake
+// latency to come back), slow-node throttles (a straggler's service rate
+// drops for a window), and exchange-edge stalls (receives from a node
+// stall for a window).
+//
+// The same plan drives two runtimes: the workload driver consumes it in
+// virtual time through a FaultInjector (pure interval queries, no
+// randomness at query time), and EngineFleet maps crash events onto real
+// executions via deterministic CancelToken fuses (see exec/cancel.h).
+// Everything is derived from the plan's seed, so a bench baseline that
+// records {seed, plan} is reproducible bit-for-bit.
+#ifndef EEDC_CLUSTER_FAULT_H_
+#define EEDC_CLUSTER_FAULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "common/statusor.h"
+#include "common/units.h"
+
+namespace eedc::cluster {
+
+enum class FaultKind {
+  kNodeCrash,      // node dies at `at`, back after `duration` (Infinite =
+                   // permanent); in-flight work on it is lost
+  kDelayedWake,    // wakes started in [at, at+duration) take `extra` longer
+  kSlowNode,       // service rate multiplied by `severity` in [at, at+duration)
+  kExchangeStall,  // receives from this node stall `extra` in [at, at+duration)
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  int node = 0;
+  /// Offset from trace start (virtual time) or run start (real time).
+  Duration at = Duration::Zero();
+  /// Crash downtime, or the active window of the other kinds.
+  Duration duration = Duration::Infinite();
+  /// Slow-node service-rate multiplier, in (0, 1).
+  double severity = 1.0;
+  /// Delayed-wake extra latency / exchange-stall added wait.
+  Duration extra = Duration::Zero();
+};
+
+struct FaultPlanOptions {
+  std::uint64_t seed = 42;
+  /// Events are scheduled in [0, horizon).
+  Duration horizon = Duration::Seconds(60.0);
+  int crashes = 1;
+  Duration crash_downtime = Duration::Seconds(10.0);
+  /// When true the last scheduled crash never recovers.
+  bool final_crash_permanent = false;
+  int stragglers = 0;
+  double slow_factor = 0.5;
+  Duration slow_window = Duration::Seconds(10.0);
+  int delayed_wakes = 0;
+  Duration wake_extra = Duration::Seconds(2.0);
+  int exchange_stalls = 0;
+  Duration stall_extra = Duration::Seconds(1.0);
+  Duration stall_window = Duration::Seconds(5.0);
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Sorted by `at` (ties by node, then kind).
+  std::vector<FaultEvent> events;
+
+  /// Every event names a valid node, windows are sane, and at no instant
+  /// is the whole fleet down (the driver must always have somewhere to
+  /// retry).
+  Status Validate(int num_nodes) const;
+
+  /// Compact reproducibility string, e.g.
+  /// "seed=7;crash@n2:t12.5+10;slow@n1:t5.0x0.50+8". Recorded in bench
+  /// JSON so a regression is replayable from the baseline alone.
+  std::string Describe() const;
+
+  /// Draws a random plan against `fleet` from `options.seed` alone.
+  /// Deterministic: same fleet + options => same plan. Crashes never
+  /// leave the fleet empty (a crash that would is re-drawn).
+  static StatusOr<FaultPlan> Generate(const ClusterConfig& fleet,
+                                      const FaultPlanOptions& options);
+};
+
+/// Pure interval-query view of a validated plan. All queries are O(log n)
+/// or O(events-per-node) against precomputed per-node interval lists, and
+/// involve no randomness or mutable state — the driver can probe any
+/// (node, time) in any order.
+class FaultInjector {
+ public:
+  static StatusOr<FaultInjector> Create(FaultPlan plan, int num_nodes);
+
+  const FaultPlan& plan() const { return plan_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// Is `node` dead at time `t`?
+  bool DownAt(int node, Duration t) const;
+  /// Earliest time >= t at which `node` is up (t itself when alive;
+  /// Infinite when permanently down).
+  Duration UpAfter(int node, Duration t) const;
+  /// First crash instant in (from, until], if any — how the driver
+  /// detects that an in-flight query's node died under it.
+  std::optional<Duration> NextCrashWithin(int node, Duration from,
+                                          Duration until) const;
+  /// True once `node` has crashed for good (no later recovery).
+  bool PermanentlyDownAt(int node, Duration t) const;
+  /// Straggler throttle: multiplier on the node's service rate at `t`
+  /// (1.0 when healthy).
+  double ServiceRateMultiplierAt(int node, Duration t) const;
+  /// Extra wake latency for a wake initiated at `t`.
+  Duration ExtraWakeLatencyAt(int node, Duration t) const;
+  /// Added stall on exchange receives from `node` at `t`.
+  Duration ExchangeStallAt(int node, Duration t) const;
+  /// Nodes alive at `t`, ascending.
+  std::vector<int> AliveNodes(Duration t) const;
+
+ private:
+  struct Window {
+    Duration begin = Duration::Zero();
+    Duration end = Duration::Zero();
+    double severity = 1.0;
+    Duration extra = Duration::Zero();
+  };
+  struct PerNode {
+    std::vector<Window> down;   // crash intervals, disjoint, sorted
+    std::vector<Window> slow;   // straggler windows
+    std::vector<Window> wake;   // delayed-wake windows
+    std::vector<Window> stall;  // exchange-stall windows
+  };
+
+  FaultInjector(FaultPlan plan, int num_nodes);
+
+  FaultPlan plan_;
+  int num_nodes_;
+  std::vector<PerNode> nodes_;
+};
+
+}  // namespace eedc::cluster
+
+#endif  // EEDC_CLUSTER_FAULT_H_

@@ -221,6 +221,21 @@ StatusOr<EnginePlacement> PlacementPolicy::Place(
       placement.joiners.push_back(i);
     }
   }
+  if (placement.joiners.empty() && options_.promote_joiner_when_no_beefy &&
+      fleet.heterogeneous() && n > 1) {
+    // Degraded fleet that lost its beefies: promote the least-wimpy
+    // survivor to host joins rather than joining everywhere.
+    int promoted = 0;
+    for (int i = 1; i < n; ++i) {
+      if (placement.node_classes[static_cast<std::size_t>(i)]
+              ->engine_workers >
+          placement.node_classes[static_cast<std::size_t>(promoted)]
+              ->engine_workers) {
+        promoted = i;
+      }
+    }
+    placement.joiners.push_back(promoted);
+  }
   if (!fleet.heterogeneous() || placement.joiners.empty() ||
       static_cast<int>(placement.joiners.size()) == n) {
     // Homogeneous: the plan runs untouched on every node (bit-identical

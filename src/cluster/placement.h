@@ -46,6 +46,12 @@ struct PlacementOptions {
   std::vector<std::string> replicated_tables;
   /// Rows per morsel, forwarded to the executor options (0 = default).
   std::size_t morsel_rows = 0;
+  /// Degraded-mode placement (failover): when a mixed fleet has lost
+  /// every beefy node, promote the least-wimpy survivor (largest
+  /// engine_workers, ties to the lowest node id) to sole joiner instead
+  /// of falling back to join-everywhere. Off by default so healthy
+  /// placements are unchanged.
+  bool promote_joiner_when_no_beefy = false;
 };
 
 /// The engine-side placement of one logical plan on a fleet. Class

@@ -25,6 +25,9 @@ enum class StatusCode {
   kResourceExhausted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for a code, e.g. "InvalidArgument".
@@ -66,6 +69,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -86,6 +98,13 @@ class Status {
     return code() == StatusCode::kUnimplemented;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const {
+    return code() == StatusCode::kUnavailable;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -143,7 +143,7 @@ void EnergyMeter::OnWorkerWait(int node, int worker, Duration begin,
   waits_.push_back(WorkerSpan{node, worker, begin, end});
 }
 
-QueryEnergyReport EnergyMeter::Finish() {
+QueryEnergyReport EnergyMeter::Finish(AttemptKind kind) {
   QueryEnergyReport report;
   for (const WorkerSpan& s : spans_) {
     if (s.end > report.wall) report.wall = s.end;
@@ -191,6 +191,17 @@ QueryEnergyReport EnergyMeter::Finish() {
   }
   spans_.clear();
   waits_.clear();
+  switch (kind) {
+    case AttemptKind::kClean:
+      clean_joules_ += report.total;
+      break;
+    case AttemptKind::kWasted:
+      wasted_joules_ += report.total;
+      break;
+    case AttemptKind::kRetry:
+      retry_joules_ += report.total;
+      break;
+  }
   return report;
 }
 

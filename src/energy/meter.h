@@ -100,6 +100,12 @@ struct QueryEnergyReport {
   double edp() const { return EnergyDelayProduct(total, wall); }
 };
 
+/// How an execution attempt ended, for honest fault accounting: a clean
+/// run, an attempt whose results were discarded at cancellation (its
+/// joules are *wasted* — paid but serving nothing), or a successful
+/// re-attempt after a crash (its joules are the *retry* overhead).
+enum class AttemptKind { kClean, kWasted, kRetry };
+
 /// Samples executor activity and integrates a utilization->watts curve
 /// into joules. Attach via Executor::Options::activity_listener, run one
 /// query, then call Finish() to obtain the report (which also resets the
@@ -135,7 +141,22 @@ class EnergyMeter : public exec::WorkerActivityListener {
   /// resets the meter. Every node is accounted over the same horizon (the
   /// query wall clock), so nodes that finished early accrue idle joules
   /// for their tail — exactly the paper's underutilized-cluster waste.
-  QueryEnergyReport Finish();
+  /// `kind` routes the report's total into the meter's running clean/
+  /// wasted/retry attribution (see AttemptKind); the one-argument form
+  /// defaults to a clean attempt.
+  QueryEnergyReport Finish() { return Finish(AttemptKind::kClean); }
+  QueryEnergyReport Finish(AttemptKind kind);
+
+  /// Running attribution totals across Finish() calls. Wasted + retry is
+  /// the metered energy overhead the fault schedule imposed.
+  Energy clean_joules() const { return clean_joules_; }
+  Energy wasted_joules() const { return wasted_joules_; }
+  Energy retry_joules() const { return retry_joules_; }
+  void ResetTotals() {
+    clean_joules_ = Energy::Zero();
+    wasted_joules_ = Energy::Zero();
+    retry_joules_ = Energy::Zero();
+  }
 
   void Reset() {
     spans_.clear();
@@ -147,6 +168,9 @@ class EnergyMeter : public exec::WorkerActivityListener {
   std::vector<int> workers_per_node_;  // one pipeline count per node
   std::vector<WorkerSpan> spans_;
   std::vector<WorkerSpan> waits_;
+  Energy clean_joules_ = Energy::Zero();
+  Energy wasted_joules_ = Energy::Zero();
+  Energy retry_joules_ = Energy::Zero();
 };
 
 }  // namespace eedc::energy

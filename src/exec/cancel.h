@@ -1,0 +1,102 @@
+// Cooperative query cancellation for the distributed executor.
+//
+// A CancelToken is shared by everything participating in one query run:
+// the driver (or a fault injector) trips it, and worker pipelines observe
+// it at their natural yield points — morsel dispense (ScanOp::Next) and
+// exchange receive slices (ExchangeOp::Next) — so a cancelled query tears
+// down within one block of work per pipeline instead of running to
+// completion. Cancellation is an error path by design: the executor
+// surfaces the token's Status and discards every partial result, never a
+// truncated table.
+//
+// Besides the external Cancel(), a token can be armed as a deterministic
+// fuse (CancelAfter): it trips on the n-th Check() call across all
+// threads. Fault-injection harnesses use this to kill a node mid-scan at
+// a reproducible amount of progress, where a wall-clock timer would race
+// with the query's own completion.
+#ifndef EEDC_EXEC_CANCEL_H_
+#define EEDC_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/status.h"
+
+namespace eedc::exec {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trips the token. Idempotent: the first reason wins.
+  void Cancel(Status reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_.load(std::memory_order_relaxed)) return;
+      reason_ = std::move(reason);
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Arms a deterministic fuse: the token trips with `reason` on the
+  /// `checks`-th subsequent Check() call (counted across all threads).
+  /// checks <= 0 trips on the next Check().
+  void CancelAfter(std::int64_t checks, Status reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fuse_reason_ = std::move(reason);
+    fuse_.store(checks > 0 ? checks : 1, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The cancellation reason, or OK while the token is live.
+  Status status() const {
+    if (!cancelled()) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+  /// The cooperative checkpoint: returns OK while live, the reason once
+  /// tripped. Counts toward an armed fuse. Cheap on the hot path — one
+  /// relaxed load when the token is disarmed and live.
+  Status Check() {
+    if (cancelled()) return status();
+    if (fuse_.load(std::memory_order_relaxed) > 0 &&
+        fuse_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::unique_lock<std::mutex> lock(mu_);
+      Status reason = fuse_reason_;
+      lock.unlock();
+      Cancel(std::move(reason));
+      return status();
+    }
+    return Status::OK();
+  }
+
+  /// Re-arms the token for the next query (single-threaded use only —
+  /// never concurrent with Check()).
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_.store(false, std::memory_order_release);
+    fuse_.store(0, std::memory_order_release);
+    reason_ = Status::OK();
+    fuse_reason_ = Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// > 0: armed, trips when the countdown hits zero. <= 0: disarmed.
+  std::atomic<std::int64_t> fuse_{0};
+  mutable std::mutex mu_;
+  Status reason_;
+  Status fuse_reason_;
+};
+
+}  // namespace eedc::exec
+
+#endif  // EEDC_EXEC_CANCEL_H_

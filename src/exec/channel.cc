@@ -10,6 +10,7 @@ namespace eedc::exec {
 void BlockChannel::Send(storage::Block block) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
     queue_.push_back(std::move(block));
   }
   cv_.notify_one();
@@ -18,31 +19,64 @@ void BlockChannel::Send(storage::Block block) {
 void BlockChannel::SenderDone() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
     EEDC_CHECK(senders_remaining_ > 0) << "SenderDone called too many times";
     --senders_remaining_;
   }
   cv_.notify_all();
 }
 
+void BlockChannel::Close(Status reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    close_reason_ = std::move(reason);
+    queue_.clear();
+    senders_remaining_ = 0;
+  }
+  cv_.notify_all();
+}
+
+Status BlockChannel::close_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return close_reason_;
+}
+
 std::optional<storage::Block> BlockChannel::Receive(Duration* blocked) {
+  return ReceiveFor(Duration::Infinite(), blocked, nullptr);
+}
+
+std::optional<storage::Block> BlockChannel::ReceiveFor(Duration timeout,
+                                                       Duration* blocked,
+                                                       bool* timed_out) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (timed_out != nullptr) *timed_out = false;
+  if (blocked != nullptr) *blocked = Duration::Zero();
   const auto ready = [this] {
-    return !queue_.empty() || senders_remaining_ == 0;
+    return closed_ || !queue_.empty() || senders_remaining_ == 0;
   };
-  if (blocked != nullptr) {
-    *blocked = Duration::Zero();
-    if (!ready()) {
-      const auto wait_start = std::chrono::steady_clock::now();
+  if (!ready()) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    bool woke = true;
+    if (timeout.is_finite()) {
+      woke = cv_.wait_for(
+          lock, std::chrono::duration<double>(timeout.seconds()), ready);
+    } else {
       cv_.wait(lock, ready);
+    }
+    if (blocked != nullptr) {
       *blocked = Duration::Seconds(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         wait_start)
               .count());
     }
-  } else {
-    cv_.wait(lock, ready);
+    if (!woke) {
+      if (timed_out != nullptr) *timed_out = true;
+      return std::nullopt;
+    }
   }
-  if (queue_.empty()) return std::nullopt;
+  if (closed_ || queue_.empty()) return std::nullopt;
   storage::Block block = std::move(queue_.front());
   queue_.pop_front();
   return block;

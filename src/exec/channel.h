@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "storage/block.h"
 
@@ -24,24 +25,46 @@ class BlockChannel {
  public:
   explicit BlockChannel(int num_senders) : senders_remaining_(num_senders) {}
 
-  /// Thread-safe enqueue.
+  /// Thread-safe enqueue. Dropped silently after Close().
   void Send(storage::Block block);
 
   /// Each sender calls exactly once when it has nothing more to send.
   void SenderDone();
 
+  /// Poisons the channel: queued blocks are discarded, every blocked and
+  /// future Receive returns nullopt immediately (with zero blocked time),
+  /// and `reason` is retained for receivers that want to know why.
+  /// Idempotent; the first reason wins. This is the failure path — a
+  /// crashed sender can never hang its receivers.
+  void Close(Status reason);
+
+  /// The Close() reason, or OK when the channel was never poisoned.
+  Status close_reason() const;
+
   /// Blocks until a block is available or all senders are done.
-  /// Returns nullopt when the channel is closed and drained. When
-  /// `blocked` is non-null it receives the time spent waiting on the
-  /// condition (zero when data was already queued) so callers can
-  /// account receive stalls separately from compute.
+  /// Returns nullopt when the channel is closed and drained (or
+  /// poisoned). When `blocked` is non-null it receives the time spent
+  /// waiting on the condition (zero when data was already queued or the
+  /// channel was already closed) so callers can account receive stalls
+  /// separately from compute.
   std::optional<storage::Block> Receive(Duration* blocked = nullptr);
 
+  /// Receive with a bounded wait: returns nullopt with *timed_out=true
+  /// if no block arrives and the channel does not close within
+  /// `timeout`. An infinite timeout degenerates to Receive(). This is
+  /// the hang-safety net under exchange stalls — every receiver wait in
+  /// the engine is bounded through this entry point.
+  std::optional<storage::Block> ReceiveFor(Duration timeout,
+                                           Duration* blocked = nullptr,
+                                           bool* timed_out = nullptr);
+
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<storage::Block> queue_;
   int senders_remaining_;
+  bool closed_ = false;
+  Status close_reason_;
 };
 
 /// The channels of one exchange: channel i is received by node i's workers

@@ -210,6 +210,7 @@ Status ExchangeOp::Open() {
 
   // Send phase: drain the child completely.
   while (true) {
+    if (cancel_ != nullptr) EEDC_RETURN_IF_ERROR(cancel_->Check());
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, child_->Next());
     if (!block.has_value()) break;
     RouteBlock(*block);
@@ -229,27 +230,49 @@ void ExchangeOp::AbortSend() {
 }
 
 StatusOr<std::optional<Block>> ExchangeOp::Next() {
+  // With a cancel token the infinite wait is broken into short slices so
+  // cancellation is observed within one slice even while no sender makes
+  // progress; cumulative blocked time is capped at receive_timeout_.
+  const Duration slice = Duration::Millis(10.0);
+  Duration waited_total = Duration::Zero();
   while (true) {
-    std::optional<Block> block;
-    if (metrics_ != nullptr) {
-      const auto entered = std::chrono::steady_clock::now();
-      Duration blocked;
-      block = group_->channel(node_id_).Receive(&blocked);
-      if (blocked > Duration::Zero()) {
-        // A blocked receive is a network/straggler stall, not compute:
-        // record the interval so the executor can report it to the
-        // activity listener (priced at idle watts by the energy meter).
-        metrics_->exchange_wait += blocked;
-        const double begin =
-            std::chrono::duration<double>(entered.time_since_epoch())
-                .count();
-        metrics_->exchange_wait_spans.emplace_back(
-            begin, begin + blocked.seconds());
-      }
-    } else {
-      block = group_->channel(node_id_).Receive();
+    if (cancel_ != nullptr) EEDC_RETURN_IF_ERROR(cancel_->Check());
+    BlockChannel& channel = group_->channel(node_id_);
+    const bool bounded =
+        cancel_ != nullptr || receive_timeout_.is_finite();
+    const auto entered = std::chrono::steady_clock::now();
+    Duration blocked = Duration::Zero();
+    bool timed_out = false;
+    std::optional<Block> block =
+        bounded ? channel.ReceiveFor(slice, &blocked, &timed_out)
+                : channel.Receive(&blocked);
+    if (blocked > Duration::Zero() && metrics_ != nullptr) {
+      // A blocked receive is a network/straggler stall, not compute:
+      // record the interval so the executor can report it to the
+      // activity listener (priced at idle watts by the energy meter).
+      metrics_->exchange_wait += blocked;
+      const double begin =
+          std::chrono::duration<double>(entered.time_since_epoch()).count();
+      metrics_->exchange_wait_spans.emplace_back(begin,
+                                                 begin + blocked.seconds());
     }
-    if (!block.has_value()) return std::optional<Block>();
+    if (timed_out) {
+      waited_total += blocked;
+      if (receive_timeout_.is_finite() && waited_total >= receive_timeout_) {
+        return Status::DeadlineExceeded(
+            "exchange receive exceeded deadline on node " +
+            std::to_string(node_id_));
+      }
+      continue;  // re-check the cancel token, then wait another slice
+    }
+    if (!block.has_value()) {
+      // Closed and drained — or poisoned by an aborting peer, in which
+      // case we surface the peer's failure instead of a truncated stream.
+      Status reason = channel.close_reason();
+      if (!reason.ok()) return reason;
+      return std::optional<Block>();
+    }
+    waited_total = Duration::Zero();
     if (metrics_ != nullptr) {
       auto& stats =
           metrics_->exchange(static_cast<std::size_t>(group_->id()));
@@ -257,6 +280,12 @@ StatusOr<std::optional<Block>> ExchangeOp::Next() {
     }
     if (!block->empty()) return std::optional<Block>(std::move(*block));
   }
+}
+
+void ExchangeOp::ConfigureCancellation(CancelToken* cancel,
+                                       Duration receive_timeout) {
+  cancel_ = cancel;
+  receive_timeout_ = receive_timeout;
 }
 
 Status ExchangeOp::Close() { return Status::OK(); }

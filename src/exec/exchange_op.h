@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/cancel.h"
 #include "exec/channel.h"
 #include "exec/operator.h"
 
@@ -54,6 +55,13 @@ class ExchangeOp final : public Operator {
   /// are unblocked instead of deadlocking.
   void AbortSend();
 
+  /// Wires the failure model in: Open/Next observe `cancel` between
+  /// blocks, and every Next() receive is bounded — after `receive_timeout`
+  /// of cumulative blocking on one channel the operator gives up with
+  /// DeadlineExceeded instead of hanging on a dead sender. Either may be
+  /// null/infinite to disable. Called by the executor at build time.
+  void ConfigureCancellation(CancelToken* cancel, Duration receive_timeout);
+
  private:
   ExchangeOp(OperatorPtr child, ExchangeMode mode, std::string partition_key,
              int node_id, ExchangeGroup* group,
@@ -78,6 +86,9 @@ class ExchangeOp final : public Operator {
   bool send_complete_ = false;
   std::vector<int> destinations_;
   std::vector<storage::Block> pending_;  // per-destination staging blocks
+
+  CancelToken* cancel_ = nullptr;
+  Duration receive_timeout_ = Duration::Infinite();
 };
 
 }  // namespace eedc::exec

@@ -103,6 +103,9 @@ struct NodeBuildContext {
   /// Exchange instances created for this pipeline, used to unblock peers
   /// if this worker aborts before opening every exchange.
   std::vector<ExchangeOp*>* exchange_ops = nullptr;
+  /// Cancellation wiring, threaded into scans and exchanges (may be null).
+  CancelToken* cancel = nullptr;
+  Duration receive_timeout = Duration::Infinite();
 };
 
 StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
@@ -115,8 +118,8 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
           ctx->shared->scans
               .at(static_cast<std::size_t>(ctx->next_scan++))
               .get();
-      return OperatorPtr(
-          new ScanOp(std::move(table), ctx->metrics, dispenser));
+      return OperatorPtr(new ScanOp(std::move(table), ctx->metrics,
+                                    dispenser, ctx->cancel));
     }
     case PlanNode::Kind::kFilter: {
       EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
@@ -171,7 +174,9 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
                              (*ctx->groups)[static_cast<std::size_t>(id)]
                                  .get(),
                              plan.destinations, ctx->metrics));
-      ctx->exchange_ops->push_back(static_cast<ExchangeOp*>(op.get()));
+      auto* exchange = static_cast<ExchangeOp*>(op.get());
+      exchange->ConfigureCancellation(ctx->cancel, ctx->receive_timeout);
+      ctx->exchange_ops->push_back(exchange);
       return op;
     }
   }
@@ -290,6 +295,8 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
       ctx.groups = &groups;
       ctx.shared = shared[static_cast<std::size_t>(node)].get();
       ctx.exchange_ops = &worker_exchanges[idx];
+      ctx.cancel = options_.cancel;
+      ctx.receive_timeout = options_.receive_timeout;
       if (static_cast<std::size_t>(node) <
           options_.node_memory_budget_bytes.size()) {
         ctx.memory_budget_bytes =
@@ -335,6 +342,10 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     Status st = root.Open();
     if (st.ok()) {
       while (true) {
+        if (options_.cancel != nullptr) {
+          st = options_.cancel->Check();
+          if (!st.ok()) break;
+        }
         auto block_or = root.Next();
         if (!block_or.ok()) {
           st = block_or.status();
@@ -350,12 +361,20 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     }
     if (!st.ok()) {
       // Unblock peers: every exchange this pipeline never finished sending
-      // on must release its SenderDone tokens, and every merge barrier on
-      // this node must stop waiting for an arrival that won't come.
+      // on must release its SenderDone tokens, every merge barrier on
+      // this node must stop waiting for an arrival that won't come, and
+      // every channel is poisoned so no receiver on any node can block on
+      // data that will never arrive (they surface `st` instead of a
+      // truncated stream).
       for (ExchangeOp* ex : worker_exchanges[idx]) {
         ex->AbortSend();
       }
       shared[static_cast<std::size_t>(node)]->Abort(st);
+      for (auto& group : groups) {
+        for (int dest = 0; dest < group->num_nodes(); ++dest) {
+          group->channel(dest).Close(st);
+        }
+      }
     }
     const auto end = std::chrono::steady_clock::now();
     worker_metrics[idx].wall =
@@ -379,10 +398,9 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     crew.Join();
   }
 
-  for (std::size_t idx = 0; idx < total; ++idx) {
-    if (!statuses[idx].ok()) return statuses[idx];
-  }
-
+  // Activity spans are emitted before the status check on purpose: a
+  // cancelled query's partial work still happened and still burned
+  // joules — the energy meter must see it to bill it as wasted.
   if (options_.activity_listener != nullptr) {
     const double query_start_s =
         std::chrono::duration<double>(query_start.time_since_epoch())
@@ -407,6 +425,15 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         }
       }
     }
+  }
+
+  // A cancelled token is the root cause; any pipeline status is secondary
+  // noise (poisoned channels echo the same reason).
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return options_.cancel->status();
+  }
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
   }
 
   // Fold worker pipelines into per-node metrics: counters sum, wall is the

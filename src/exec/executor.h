@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "exec/cancel.h"
 #include "exec/metrics.h"
 #include "exec/plan.h"
 #include "storage/table_store.h"
@@ -93,6 +94,17 @@ class Executor {
     /// Observes per-worker busy spans after each successful run (see
     /// WorkerActivityListener). Not owned; may be null.
     WorkerActivityListener* activity_listener = nullptr;
+    /// Cooperative cancellation (see exec/cancel.h): checked at morsel
+    /// dispense and between exchange receive slices. When the token trips
+    /// mid-run the query tears down cleanly — exchanges poisoned, merge
+    /// barriers aborted — and Execute returns the token's Status, never a
+    /// partial result. Not owned; may be null (no cancellation).
+    CancelToken* cancel = nullptr;
+    /// Upper bound on cumulative blocked time of a single exchange
+    /// receive. A dead or stalled sender therefore cannot hang a
+    /// pipeline: the receive fails with DeadlineExceeded and the query
+    /// aborts. Infinite disables the bound.
+    Duration receive_timeout = Duration::Seconds(60.0);
   };
 
   /// Produces the (possibly node-specific) plan for a node. The default

@@ -7,8 +7,11 @@ namespace eedc::exec {
 using storage::Block;
 
 ScanOp::ScanOp(storage::TablePtr table, NodeMetrics* metrics,
-               MorselDispenser* dispenser)
-    : table_(std::move(table)), metrics_(metrics), dispenser_(dispenser) {
+               MorselDispenser* dispenser, CancelToken* cancel)
+    : table_(std::move(table)),
+      metrics_(metrics),
+      dispenser_(dispenser),
+      cancel_(cancel) {
   EEDC_CHECK(table_ != nullptr) << "ScanOp requires a table";
 }
 
@@ -19,6 +22,7 @@ Status ScanOp::Open() {
 }
 
 StatusOr<std::optional<Block>> ScanOp::Next() {
+  if (cancel_ != nullptr) EEDC_RETURN_IF_ERROR(cancel_->Check());
   std::size_t count = 0;
   if (dispenser_ != nullptr) {
     if (cursor_ >= morsel_end_) {

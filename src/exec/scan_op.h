@@ -6,6 +6,7 @@
 #ifndef EEDC_EXEC_SCAN_OP_H_
 #define EEDC_EXEC_SCAN_OP_H_
 
+#include "exec/cancel.h"
 #include "exec/morsel.h"
 #include "exec/operator.h"
 #include "storage/table.h"
@@ -17,9 +18,12 @@ class ScanOp final : public Operator {
   /// `table` is this node's local partition; `metrics` may be null.
   /// `dispenser` (may be null = scan the whole table privately) is shared
   /// by this scan's instances across the node's workers and must outlive
-  /// the operator.
+  /// the operator. `cancel` (may be null) is checked once per emitted
+  /// block — morsel-dispense granularity — so a cancelled query stops
+  /// scanning within one block.
   ScanOp(storage::TablePtr table, NodeMetrics* metrics,
-         MorselDispenser* dispenser = nullptr);
+         MorselDispenser* dispenser = nullptr,
+         CancelToken* cancel = nullptr);
 
   Status Open() override;
   StatusOr<std::optional<storage::Block>> Next() override;
@@ -32,6 +36,7 @@ class ScanOp final : public Operator {
   storage::TablePtr table_;
   NodeMetrics* metrics_;
   MorselDispenser* dispenser_;
+  CancelToken* cancel_;
   std::size_t cursor_ = 0;
   /// End of the currently claimed morsel (dispenser mode only).
   std::size_t morsel_end_ = 0;

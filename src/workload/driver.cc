@@ -27,12 +27,21 @@ using cluster::AdmissionDecision;
 using cluster::DispatchRule;
 using cluster::NodeClassSpec;
 
-/// One served query on a node's timeline.
+/// One served (or crash-truncated) query on a node's timeline.
 struct BusyInterval {
   Duration start = Duration::Zero();
-  Duration end = Duration::Zero();
+  Duration end = Duration::Zero();  // busy end; any stall tail follows
   double frequency = 1.0;
   bool woke = false;  // a wake period precedes `start`
+  /// Effective spin-up time when woke (class latency + any injected
+  /// delayed-wake extra), priced at peak watts.
+  Duration wake_latency = Duration::Zero();
+  /// Injected exchange-stall tail after the busy end, priced idle.
+  Duration stall = Duration::Zero();
+  /// A crash cut this attempt short: its busy+wake joules are wasted.
+  bool wasted = false;
+  /// Successful re-attempt after a crash: joules attributed to retry.
+  bool retry = false;
 };
 
 /// Virtual-time dispatch state for one node instance.
@@ -40,11 +49,14 @@ struct NodeState {
   const NodeClassSpec* cls = nullptr;
   Duration avail = Duration::Zero();  // when the queue drains
   std::vector<BusyInterval> intervals;
-  std::deque<Duration> pending;  // completion times of queued queries
+  /// Completion times of committed queries, kept sorted. Queue depth must
+  /// stay queryable at any time (inline retries probe out of order), so
+  /// the count is non-destructive.
+  std::vector<Duration> pending;
 
-  int QueueDepthAt(Duration t) {
-    while (!pending.empty() && pending.front() <= t) pending.pop_front();
-    return static_cast<int>(pending.size());
+  int QueueDepthAt(Duration t) const {
+    return static_cast<int>(
+        pending.end() - std::upper_bound(pending.begin(), pending.end(), t));
   }
 };
 
@@ -55,8 +67,9 @@ struct NodeState {
 class Simulator {
  public:
   Simulator(const std::vector<const NodeClassSpec*>& classes,
-            const PowerPolicy& policy, DispatchRule rule)
-      : policy_(policy), rule_(rule) {
+            const PowerPolicy& policy, DispatchRule rule,
+            const cluster::FaultInjector* faults = nullptr)
+      : policy_(policy), rule_(rule), faults_(faults) {
     nodes_.reserve(classes.size());
     for (const NodeClassSpec* cls : classes) {
       NodeState node;
@@ -72,10 +85,18 @@ class Simulator {
     Duration completion = Duration::Infinite();
     bool wake = false;
     double freq = 1.0;
+    /// Effective wake spin-up (class latency + injected extra).
+    Duration wake_latency = Duration::Zero();
+    /// Injected exchange-stall tail included in `completion`.
+    Duration stall = Duration::Zero();
+    /// Node is permanently down — never dispatchable.
+    bool dead = false;
     /// Marginal serving joules: busy watts over the service time, plus
     /// the wake-up spin at peak watts when the node must be woken.
     Energy marginal = Energy::Zero();
     bool feasible = false;  // completion - arrival <= deadline
+
+    Duration busy_end() const { return completion - stall; }
   };
 
   /// Scores every node for a query arriving at `at` and picks the winner
@@ -85,36 +106,61 @@ class Simulator {
     std::vector<Candidate> candidates;
     candidates.reserve(nodes_.size());
     bool any_feasible = false;
+    bool any_alive = false;
     for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
       NodeState& node = nodes_[static_cast<std::size_t>(n)];
       const NodeClassSpec& cls = *node.cls;
-      const Duration wake_latency = WakeLatencyFor(cls);
+      Duration wake_latency = WakeLatencyFor(cls);
       Candidate c;
       c.node = n;
-      if (node.avail > at) {
-        c.start = node.avail;  // busy: queue behind it, already awake
-      } else if (can_sleep && at - node.avail >= policy_.SleepAfter()) {
-        c.start = at + wake_latency;
-        c.wake = true;
-      } else {
-        c.start = at;
+      if (faults_ != nullptr && faults_->PermanentlyDownAt(n, at)) {
+        c.dead = true;
+        candidates.push_back(c);
+        continue;
       }
+      any_alive = true;
+      Duration base = at;
+      if (node.avail > at) {
+        base = node.avail;  // busy: queue behind it, already awake
+      } else if (can_sleep && at - node.avail >= policy_.SleepAfter()) {
+        c.wake = true;
+      }
+      if (faults_ != nullptr) {
+        // A downed node serves the query after its reboot; the reboot
+        // subsumes any wake the policy would have charged.
+        const Duration up = faults_->UpAfter(n, base);
+        if (up > base) {
+          base = up;
+          c.wake = false;
+        }
+        if (c.wake) wake_latency += faults_->ExtraWakeLatencyAt(n, at);
+      }
+      c.start = c.wake ? base + wake_latency : base;
+      c.wake_latency = c.wake ? wake_latency : Duration::Zero();
       c.freq = cls.SnapFrequency(policy_.FrequencyFor(
           node.QueueDepthAt(at) + 1));
       EEDC_DCHECK(c.freq > 0.0 && c.freq <= 1.0);
-      const Duration service =
-          profile.service / (c.freq * cls.ServiceRateFor(kind));
-      c.completion = c.start + service;
+      double rate = cls.ServiceRateFor(kind);
+      if (faults_ != nullptr) {
+        rate *= faults_->ServiceRateMultiplierAt(n, c.start);
+        c.stall = faults_->ExchangeStallAt(n, c.start);
+      }
+      const Duration service = profile.service / (c.freq * rate);
+      c.completion = c.start + service + c.stall;
       c.feasible = c.completion - at <= profile.deadline;
       any_feasible = any_feasible || c.feasible;
       c.marginal = cls.power_model->WattsAt(c.freq) * service;
       if (c.wake) c.marginal += cls.PeakWatts() * wake_latency;
       candidates.push_back(c);
     }
+    if (!any_alive) return candidates.front();  // caller fails the query
 
     // Earliest finish, with the legacy tie-break (prefer not waking a
-    // node over waking one that finishes at the same instant).
+    // node over waking one that finishes at the same instant). Dead
+    // nodes never win (their completion is infinite).
     auto earlier = [](const Candidate& c, const Candidate& best) {
+      if (best.dead) return !c.dead;
+      if (c.dead) return false;
       return c.completion < best.completion ||
              (c.completion == best.completion && best.wake && !c.wake);
     };
@@ -125,7 +171,7 @@ class Simulator {
       // the earlier finish, then to not waking.
       bool have = false;
       for (const Candidate& c : candidates) {
-        if (!c.feasible) continue;
+        if (!c.feasible || c.dead) continue;
         if (!have || c.marginal < best.marginal ||
             (c.marginal == best.marginal && earlier(c, best))) {
           best = c;
@@ -144,12 +190,17 @@ class Simulator {
   /// query's original arrival (deferred queries dispatch later but keep
   /// their arrival for reporting).
   QueryOutcome Commit(const Candidate& c, Duration arrival, QueryKind kind,
-                      const QueryProfile& profile) {
+                      const QueryProfile& profile, bool retry = false) {
     NodeState& node = nodes_[static_cast<std::size_t>(c.node)];
-    node.intervals.push_back(
-        BusyInterval{c.start, c.completion, c.freq, c.wake});
-    node.avail = c.completion;
-    node.pending.push_back(c.completion);
+    BusyInterval b{c.start, c.busy_end(), c.freq, c.wake};
+    b.wake_latency = c.wake_latency;
+    b.stall = c.stall;
+    b.retry = retry;
+    node.intervals.push_back(b);
+    if (c.completion > node.avail) node.avail = c.completion;
+    node.pending.insert(std::upper_bound(node.pending.begin(),
+                                         node.pending.end(), c.completion),
+                        c.completion);
 
     QueryOutcome outcome;
     outcome.kind = kind;
@@ -161,6 +212,94 @@ class Simulator {
     outcome.completion = c.completion;
     outcome.violated = c.completion - arrival > profile.deadline;
     return outcome;
+  }
+
+  /// Records the crash-truncated prefix of an attempt on the timeline —
+  /// busy from start to the crash, billed as wasted — and parks the node
+  /// until its reboot.
+  void CommitWasted(const Candidate& c, Duration crash_at) {
+    NodeState& node = nodes_[static_cast<std::size_t>(c.node)];
+    if (crash_at > c.start) {
+      BusyInterval b{c.start, crash_at, c.freq, c.wake};
+      b.wake_latency = c.wake_latency;
+      b.wasted = true;
+      node.intervals.push_back(b);
+    }
+    Duration up = crash_at;
+    if (faults_ != nullptr) up = faults_->UpAfter(c.node, crash_at);
+    if (up > node.avail) node.avail = up;
+  }
+
+  /// Dispatches one query with crash failover: pick, detect a crash in
+  /// the attempt's window, bill the truncated work as wasted, and retry
+  /// with exponential backoff until success or the budget runs out.
+  /// Fault-free this is exactly one Pick + Commit.
+  QueryOutcome Serve(Duration offer_at, Duration arrival, QueryKind kind,
+                     const QueryProfile& profile,
+                     const FailoverOptions& failover) {
+    int attempt = 1;
+    Duration offer = offer_at;
+    Duration backoff = failover.backoff;
+    while (true) {
+      const Candidate c = Pick(offer, kind, profile);
+      std::optional<Duration> crash;
+      if (faults_ != nullptr && !c.dead) {
+        // A crash between the offer and the busy end kills the attempt:
+        // before `start` the node died under the queued query, after it
+        // mid-run (truncated work is wasted either way it re-dispatches).
+        crash = faults_->NextCrashWithin(c.node, offer, c.busy_end());
+      }
+      if (!c.dead && !crash.has_value()) {
+        QueryOutcome outcome =
+            Commit(c, arrival, kind, profile, /*retry=*/attempt > 1);
+        outcome.attempts = attempt;
+        outcome.retried = attempt > 1;
+        return outcome;
+      }
+      if (crash.has_value()) CommitWasted(c, *crash);
+      if (c.dead || attempt >= failover.max_attempts) {
+        QueryOutcome outcome;
+        outcome.kind = kind;
+        outcome.node = c.dead ? -1 : c.node;
+        outcome.node_class =
+            c.dead ? nullptr
+                   : nodes_[static_cast<std::size_t>(c.node)].cls;
+        outcome.arrival = arrival;
+        outcome.start = c.start;
+        outcome.completion = crash.has_value() ? *crash : offer;
+        outcome.failed = true;
+        outcome.attempts = attempt;
+        outcome.retried = attempt > 1;
+        return outcome;
+      }
+      offer = *crash + backoff;
+      backoff = backoff * failover.multiplier;
+      ++attempt;
+    }
+  }
+
+  /// True while any node is crashed at `t` (degraded fleet).
+  bool DegradedAt(Duration t) const {
+    if (faults_ == nullptr) return false;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      if (faults_->DownAt(n, t)) return true;
+    }
+    return false;
+  }
+
+  /// Projected fleet draw if `candidate` starts now: peak watts of every
+  /// alive node that is (or would become) busy at `t`. The brown-out
+  /// predicate compares this against the power budget.
+  Power ProjectedDrawAt(Duration t, int candidate) const {
+    Power draw = Power::Zero();
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      if (faults_ != nullptr && faults_->DownAt(n, t)) continue;
+      const NodeState& node = nodes_[static_cast<std::size_t>(n)];
+      if (n == candidate || node.avail > t) {
+        draw += node.cls->PeakWatts();
+      }
+    }
+    return draw;
   }
 
   /// Earliest instant >= `after` at which every node has drained its
@@ -175,27 +314,46 @@ class Simulator {
 
   /// Walks each node's timeline over [0, horizon] and integrates its
   /// class's power model: busy intervals at WattsAt(freq), wake periods
-  /// at the class peak, gaps split into idle grace and sleep per the
-  /// policy (with class sleep watts).
+  /// at the class peak, stall tails at idle, gaps split into idle grace
+  /// and sleep per the policy (with class sleep watts). Crash-truncated
+  /// and retried intervals additionally report into wasted/retry energy
+  /// (subsets of busy+wake).
   void AccountEnergy(Duration horizon, PolicyReport* report) const {
     const bool can_sleep = policy_.SleepAfter().is_finite();
     for (const NodeState& node : nodes_) {
       const NodeClassSpec& cls = *node.cls;
       const power::PowerModel& model = *cls.power_model;
-      const Duration wake_latency = WakeLatencyFor(cls);
+      const Duration class_wake = WakeLatencyFor(cls);
       const Power sleep_watts = SleepWattsFor(cls);
+      // Inline retries may have appended out of start order; the walk
+      // needs a monotone timeline.
+      std::vector<BusyInterval> intervals = node.intervals;
+      std::sort(intervals.begin(), intervals.end(),
+                [](const BusyInterval& a, const BusyInterval& b) {
+                  return a.start < b.start;
+                });
       Duration t = Duration::Zero();
-      for (const BusyInterval& b : node.intervals) {
+      for (const BusyInterval& b : intervals) {
+        const Duration wake_latency =
+            b.wake_latency > Duration::Zero() ? b.wake_latency : class_wake;
         Duration gap_end = b.start;
+        Energy wake_e = Energy::Zero();
         if (b.woke) {
           gap_end = b.start - wake_latency;
-          report->wake_energy += model.PeakWatts() * wake_latency;
+          wake_e = model.PeakWatts() * wake_latency;
+          report->wake_energy += wake_e;
         }
         AccountGap(model, sleep_watts, can_sleep, b.woke, gap_end - t,
                    report);
-        report->busy_energy +=
-            model.WattsAt(b.frequency) * (b.end - b.start);
-        t = b.end;
+        const Energy busy_e = model.WattsAt(b.frequency) * (b.end - b.start);
+        report->busy_energy += busy_e;
+        if (b.wasted) report->wasted_energy += busy_e + wake_e;
+        if (b.retry) report->retry_energy += busy_e + wake_e;
+        if (b.stall > Duration::Zero()) {
+          // The stalled receiver holds no work: idle watts.
+          report->idle_energy += model.IdleWatts() * b.stall;
+        }
+        t = b.end + b.stall;
       }
       if (horizon > t) {
         // Trailing gap: the node sleeps after the grace period if the
@@ -233,6 +391,7 @@ class Simulator {
 
   const PowerPolicy& policy_;
   DispatchRule rule_;
+  const cluster::FaultInjector* faults_;
   std::vector<NodeState> nodes_;
 };
 
@@ -256,14 +415,17 @@ struct DeferredQuery {
 
 /// Serves the deferred backlog FIFO once the interactive trace is done
 /// and the cluster has drained: the backlog fills the off-peak tail.
+/// Drain dispatches go through the same failover path as interactive
+/// ones (crashes can extend into the tail).
 void DrainDeferred(Simulator& sim, const std::vector<DeferredQuery>& backlog,
                    Duration last_arrival, const QueryProfiles& profiles,
+                   const FailoverOptions& failover,
                    std::vector<QueryOutcome>* outcomes) {
   const Duration drain_at = sim.DrainTime(last_arrival);
   for (const DeferredQuery& d : backlog) {
     const QueryProfile& profile = profiles.For(d.kind);
-    const Simulator::Candidate c = sim.Pick(drain_at, d.kind, profile);
-    QueryOutcome outcome = sim.Commit(c, d.arrival, d.kind, profile);
+    QueryOutcome outcome =
+        sim.Serve(drain_at, d.arrival, d.kind, profile, failover);
     outcome.decision = AdmissionDecision::kDefer;
     outcome.deferred = true;
     outcomes->push_back(outcome);
@@ -282,6 +444,12 @@ PolicyReport BuildReport(const std::string& policy_name,
   Duration response_sum = Duration::Zero();
   int violations = 0;
   for (const QueryOutcome& o : outcomes) {
+    report.retries += o.attempts - 1;
+    if (o.failed) {
+      ++report.failed;
+      if (o.completion > report.makespan) report.makespan = o.completion;
+      continue;
+    }
     if (!o.served()) {
       ++report.shed;
       continue;
@@ -309,6 +477,23 @@ PolicyReport BuildReport(const std::string& policy_name,
   }
   sim.AccountEnergy(report.makespan, &report);
   return report;
+}
+
+/// Brown-out predicate: with a degraded fleet and a power budget, batch
+/// kinds whose dispatch would push the projected draw of the awake
+/// survivors past the budget are deferred to the drain phase instead of
+/// violating it.
+bool ShouldBrownoutDefer(const DriverOptions& options, const Simulator& sim,
+                         Duration at, QueryKind kind,
+                         const Simulator::Candidate& c) {
+  if (options.faults == nullptr || c.dead) return false;
+  if (!(options.power_budget > Power::Zero())) return false;
+  if (std::find(options.batch_kinds.begin(), options.batch_kinds.end(),
+                kind) == options.batch_kinds.end()) {
+    return false;
+  }
+  if (!sim.DegradedAt(at)) return false;
+  return sim.ProjectedDrawAt(at, c.node) > options.power_budget;
 }
 
 /// Engine-measured mode: run each served kind for real (memoized inside
@@ -364,10 +549,11 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
           "arrival trace must be sorted by time");
     }
   }
-  Simulator sim(fleet_nodes_, policy, options_.dispatch);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults);
   outcomes_.clear();
   outcomes_.reserve(trace.size());
   std::vector<DeferredQuery> backlog;
+  int brownout_deferred = 0;
   for (const QueryArrival& a : trace) {
     const QueryProfile& profile = profiles.For(a.kind);
     const Simulator::Candidate c = sim.Pick(a.at, a.kind, profile);
@@ -380,9 +566,15 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
       ctx.predicted_completion = c.completion;
       decision = options_.admission->Admit(ctx);
     }
+    if (decision == AdmissionDecision::kAdmit &&
+        ShouldBrownoutDefer(options_, sim, a.at, a.kind, c)) {
+      decision = AdmissionDecision::kDefer;
+      ++brownout_deferred;
+    }
     switch (decision) {
       case AdmissionDecision::kAdmit:
-        outcomes_.push_back(sim.Commit(c, a.at, a.kind, profile));
+        outcomes_.push_back(
+            sim.Serve(a.at, a.at, a.kind, profile, options_.failover));
         break;
       case AdmissionDecision::kShed:
         outcomes_.push_back(ShedOutcome(a.at, a.kind));
@@ -393,7 +585,8 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
     }
   }
   if (!backlog.empty()) {
-    DrainDeferred(sim, backlog, trace.back().at, profiles, &outcomes_);
+    DrainDeferred(sim, backlog, trace.back().at, profiles,
+                  options_.failover, &outcomes_);
   }
   PolicyReport report = BuildReport(
       policy.name(),
@@ -401,6 +594,7 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
                                     : "admit-all",
       options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
       outcomes_, sim);
+  report.brownout_deferred = brownout_deferred;
   EEDC_RETURN_IF_ERROR(
       AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
   return report;
@@ -423,10 +617,11 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
   for (int c = 0; c < loop.clients; ++c) {
     heap.emplace(rng.Exponential(loop.think_mean.seconds()), c);
   }
-  Simulator sim(fleet_nodes_, policy, options_.dispatch);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults);
   outcomes_.clear();
   outcomes_.reserve(static_cast<std::size_t>(loop.queries));
   std::vector<DeferredQuery> backlog;
+  int brownout_deferred = 0;
   int submitted = 0;
   Duration last_at = Duration::Zero();
   while (submitted < loop.queries && !heap.empty()) {
@@ -446,12 +641,20 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
       ctx.predicted_completion = c.completion;
       decision = options_.admission->Admit(ctx);
     }
+    if (decision == AdmissionDecision::kAdmit &&
+        ShouldBrownoutDefer(options_, sim, at, kind, c)) {
+      decision = AdmissionDecision::kDefer;
+      ++brownout_deferred;
+    }
     // A shed or deferred submission releases the client at once; an
-    // admitted one holds it until completion.
+    // admitted one holds it until completion — or until its final
+    // attempt dies, when the query fails permanently (the client must
+    // not be stranded on a query that will never finish).
     Duration resume = at;
     switch (decision) {
       case AdmissionDecision::kAdmit: {
-        const QueryOutcome outcome = sim.Commit(c, at, kind, profile);
+        const QueryOutcome outcome =
+            sim.Serve(at, at, kind, profile, options_.failover);
         resume = outcome.completion;
         outcomes_.push_back(outcome);
         break;
@@ -469,7 +672,8 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
         client);
   }
   if (!backlog.empty()) {
-    DrainDeferred(sim, backlog, last_at, profiles, &outcomes_);
+    DrainDeferred(sim, backlog, last_at, profiles, options_.failover,
+                  &outcomes_);
   }
   PolicyReport report = BuildReport(
       policy.name(),
@@ -477,6 +681,7 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
                                     : "admit-all",
       options_.fleet.empty() ? "homogeneous" : options_.fleet.Label(),
       outcomes_, sim);
+  report.brownout_deferred = brownout_deferred;
   EEDC_RETURN_IF_ERROR(
       AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
   return report;

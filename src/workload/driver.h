@@ -35,6 +35,7 @@
 #include "cluster/admission.h"
 #include "cluster/cluster_config.h"
 #include "cluster/dispatch.h"
+#include "cluster/fault.h"
 #include "common/statusor.h"
 #include "common/units.h"
 #include "power/power_model.h"
@@ -83,6 +84,15 @@ struct QueryOutcome {
   /// (admission decision kDefer): billed for energy, excluded from SLA
   /// and response statistics.
   bool deferred = false;
+  /// Failover bookkeeping (fault-injected runs). `attempts` counts
+  /// dispatches including the final one; `retried` means at least one
+  /// crashed attempt preceded success; `failed` means the retry budget
+  /// ran out — the query was admitted but never completed (its client is
+  /// still released in closed-loop mode, and `completion` holds the time
+  /// the final attempt died).
+  int attempts = 1;
+  bool retried = false;
+  bool failed = false;
   Duration arrival = Duration::Zero();
   Duration start = Duration::Zero();
   Duration completion = Duration::Zero();
@@ -94,7 +104,7 @@ struct QueryOutcome {
   Energy engine_joules = Energy::Zero();
 
   bool served() const {
-    return decision != cluster::AdmissionDecision::kShed;
+    return decision != cluster::AdmissionDecision::kShed && !failed;
   }
   Duration response() const { return completion - arrival; }
 };
@@ -110,6 +120,14 @@ struct PolicyReport {
   int shed = 0;
   /// Subset of `queries` served in the post-trace drain phase.
   int deferred = 0;
+  /// Admitted queries that exhausted their retry budget under node
+  /// failures (energy of their dead attempts is billed as wasted).
+  int failed = 0;
+  /// Extra dispatch attempts across all queries (failed and retried).
+  int retries = 0;
+  /// Batch queries pushed to the drain phase by brown-out mode (subset
+  /// of `deferred`).
+  int brownout_deferred = 0;
   Duration makespan = Duration::Zero();
   double throughput_qps = 0.0;
   /// Violation rate among interactive (non-deferred) served queries.
@@ -123,6 +141,13 @@ struct PolicyReport {
   Energy sleep_energy = Energy::Zero();  // powered down, at SleepWatts
   Energy wake_energy = Energy::Zero();   // spin-up, at PeakWatts
 
+  /// Failure-cost attribution, both subsets of busy+wake above: joules
+  /// burned by attempts a crash cut short (the work was discarded) and
+  /// joules of successful re-attempts after a crash. Their sum is the
+  /// energy overhead the fault schedule imposed on the workload.
+  Energy wasted_energy = Energy::Zero();
+  Energy retry_energy = Energy::Zero();
+
   /// Engine-measured mode only: metered joules of the real executions
   /// summed over served queries, total and split by node class. The
   /// virtual-time split above remains the report's authoritative
@@ -130,9 +155,18 @@ struct PolicyReport {
   Energy engine_energy = Energy::Zero();
   std::vector<std::pair<std::string, Energy>> engine_energy_by_class;
 
-  int offered() const { return queries + shed; }
+  int offered() const { return queries + shed + failed; }
   double shed_rate() const {
     return offered() > 0 ? static_cast<double>(shed) / offered() : 0.0;
+  }
+  /// Fraction of admitted queries that completed: the availability gate
+  /// of the crash/recover bench (1.0 on a fault-free run).
+  double availability() const {
+    const int admitted = queries + failed;
+    return admitted > 0 ? static_cast<double>(queries) / admitted : 1.0;
+  }
+  Energy fault_overhead_energy() const {
+    return wasted_energy + retry_energy;
   }
 
   Energy total_energy() const {
@@ -154,6 +188,15 @@ struct PolicyReport {
   double edp() const {
     return EnergyDelayProduct(total_energy(), mean_response);
   }
+};
+
+/// Retry budget and backoff for crash failover.
+struct FailoverOptions {
+  /// Total dispatch attempts per query (first try included).
+  int max_attempts = 3;
+  /// Delay before the first retry; grows by `multiplier` per attempt.
+  Duration backoff = Duration::Millis(50.0);
+  double multiplier = 2.0;
 };
 
 struct DriverOptions {
@@ -181,6 +224,24 @@ struct DriverOptions {
   /// EngineFleet::MeasuredProfiles() to also replace the analytic
   /// service demands. Not owned; nullptr keeps the driver analytic.
   EngineFleet* engine = nullptr;
+
+  /// Failure model (cluster/fault.h): crashes kill in-flight queries
+  /// (their timeline energy is billed as wasted) and the query retries
+  /// on a surviving node under `failover`; stragglers, delayed wakes and
+  /// exchange stalls stretch the timeline. Not owned; nullptr runs
+  /// fault-free. Retries are committed inline at crash + backoff even
+  /// when later trace arrivals dispatch first — an intentional
+  /// approximation that keeps the replay single-pass; queue-depth
+  /// queries tolerate the out-of-order commits.
+  const cluster::FaultInjector* faults = nullptr;
+  FailoverOptions failover;
+
+  /// Brown-out mode: while any node is down and the projected draw of
+  /// the awake survivors would exceed this budget, queries of
+  /// `batch_kinds` are deferred to the drain phase instead of violating
+  /// the budget. Non-positive = unlimited (never brown out).
+  Power power_budget = Power::Zero();
+  std::vector<QueryKind> batch_kinds = {QueryKind::kQ21};
 };
 
 struct ClosedLoopOptions {

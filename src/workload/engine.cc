@@ -1,8 +1,11 @@
 #include "workload/engine.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "exec/cancel.h"
+#include "exec/reference.h"
 #include "workload/profiles.h"
 
 namespace eedc::workload {
@@ -58,6 +61,8 @@ Status EngineFleet::Init() {
   cluster::PlacementOptions placement_options;
   placement_options.replicated_tables = {"supplier", "nation"};
   placement_options.morsel_rows = options_.morsel_rows;
+  placement_options.promote_joiner_when_no_beefy =
+      options_.promote_joiner_when_no_beefy;
   const cluster::PlacementPolicy policy(placement_options);
   for (int k = 0; k < kNumQueryKinds; ++k) {
     const QueryKind kind = static_cast<QueryKind>(k);
@@ -122,6 +127,123 @@ StatusOr<const EngineMeasurement*> EngineFleet::Measure(QueryKind kind) {
   }
   slot = std::move(best);
   return &*slot;
+}
+
+StatusOr<EngineRun> EngineFleet::RunOnce(QueryKind kind,
+                                         energy::AttemptKind attr) {
+  const cluster::EnginePlacement& placement =
+      placements_[static_cast<std::size_t>(kind)];
+  meter_->Reset();
+  EEDC_ASSIGN_OR_RETURN(exec::QueryResult result,
+                        executor_->ExecutePerNode(placement.plan_for_node));
+  const energy::QueryEnergyReport energy = meter_->Finish(attr);
+  EngineRun run;
+  run.wall = result.metrics.wall;
+  run.joules = energy.total;
+  run.table = std::make_shared<storage::Table>(std::move(result.table));
+  return run;
+}
+
+StatusOr<EngineFleet*> EngineFleet::Degraded(int crash_node) {
+  const int n = fleet_.total_nodes();
+  if (crash_node < 0 || crash_node >= n) {
+    return Status::InvalidArgument("crash node out of range");
+  }
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "crash/recover needs a surviving node (fleet has 1)");
+  }
+  if (degraded_.empty()) degraded_.resize(static_cast<std::size_t>(n));
+  std::unique_ptr<EngineFleet>& slot =
+      degraded_[static_cast<std::size_t>(crash_node)];
+  if (slot == nullptr) {
+    cluster::ClusterConfig survivors;
+    int base = 0;
+    for (const cluster::ClusterConfig::ClassGroup& group : fleet_.groups()) {
+      int count = group.count;
+      if (crash_node >= base && crash_node < base + group.count) --count;
+      if (count > 0) survivors.Add(group.spec, count);
+      base += group.count;
+    }
+    // Same dbgen seed over n-1 nodes: re-partitioning preserves the
+    // global row multiset, so the survivors compute identical results.
+    EngineFleetOptions degraded_options = options_;
+    degraded_options.promote_joiner_when_no_beefy = true;
+    EEDC_ASSIGN_OR_RETURN(slot, Create(survivors, degraded_options));
+  }
+  return slot.get();
+}
+
+StatusOr<FaultMeasurement> EngineFleet::MeasureWithCrash(
+    QueryKind kind, int crash_node, const EngineFaultOptions& fault) {
+  if (fault.max_attempts < 2) {
+    return Status::InvalidArgument("crash/recover needs >= 2 attempts");
+  }
+  EEDC_ASSIGN_OR_RETURN(EngineFleet* degraded, Degraded(crash_node));
+
+  FaultMeasurement m;
+  m.kind = kind;
+  m.crash_node = crash_node;
+
+  // Fault-free ground truth on the full, healthy fleet.
+  EEDC_ASSIGN_OR_RETURN(EngineRun reference, RunOnce(kind));
+
+  // Attempt 1 crashes: a deterministic fuse trips after a handful of
+  // cooperative cancellation checks, tearing the query down exactly as a
+  // dead node would — channels poisoned, barriers aborted, partial
+  // results dropped.
+  exec::CancelToken token;
+  token.CancelAfter(
+      fault.crash_after_checks,
+      Status::Unavailable("node " + std::to_string(crash_node) +
+                          " crashed mid-query"));
+  const cluster::EnginePlacement& placement =
+      placements_[static_cast<std::size_t>(kind)];
+  exec::Executor::Options crash_options = placement.MakeExecutorOptions();
+  crash_options.activity_listener = meter_.get();
+  crash_options.cancel = &token;
+  exec::Executor crash_executor(data_.get(), std::move(crash_options));
+  meter_->Reset();
+  StatusOr<exec::QueryResult> first =
+      crash_executor.ExecutePerNode(placement.plan_for_node);
+  const bool crashed = !first.ok();
+  const energy::QueryEnergyReport first_energy = meter_->Finish(
+      crashed ? energy::AttemptKind::kWasted : energy::AttemptKind::kClean);
+  m.attempts = 1;
+  if (!crashed) {
+    // The query outran the fuse: nothing to recover from.
+    m.completed = true;
+    m.wall = first->metrics.wall;
+    m.result = std::make_shared<storage::Table>(std::move(first->table));
+    m.result_rows = m.result->num_rows();
+    m.rows_match = exec::TablesEqualUnordered(*reference.table, *m.result,
+                                              1e-6, &m.mismatch);
+    return m;
+  }
+  m.wasted_joules = first_energy.total;
+
+  // Failover: re-run on the survivor sub-fleet until the retry budget
+  // runs out. A failed gate surfaces the last error loudly rather than
+  // reporting a half-measured episode.
+  Status last = first.status();
+  for (int attempt = 2; attempt <= fault.max_attempts; ++attempt) {
+    m.attempts = attempt;
+    StatusOr<EngineRun> retry =
+        degraded->RunOnce(kind, energy::AttemptKind::kRetry);
+    if (!retry.ok()) {
+      last = retry.status();
+      continue;
+    }
+    m.completed = true;
+    m.wall = retry->wall;
+    m.retry_joules = retry->joules;
+    m.result = retry->table;
+    m.result_rows = m.result->num_rows();
+    m.rows_match = exec::TablesEqualUnordered(*reference.table, *m.result,
+                                              1e-6, &m.mismatch);
+    return m;
+  }
+  return last;
 }
 
 StatusOr<QueryProfiles> EngineFleet::MeasuredProfiles() {

@@ -52,6 +52,9 @@ struct EngineFleetOptions {
   std::size_t morsel_rows = 0;
   /// SLA deadline = multiplier x measured service, floored at 10 ms.
   double deadline_multiplier = 5.0;
+  /// Forwarded to PlacementOptions: degraded survivor fleets set this so
+  /// a mixed fleet that lost its last beefy still hosts joins somewhere.
+  bool promote_joiner_when_no_beefy = false;
 };
 
 /// Adds `joules` to the class's entry in a (class name, energy) list,
@@ -71,6 +74,43 @@ struct EngineMeasurement {
   std::vector<std::pair<std::string, Energy>> joules_by_class;
   /// Result cardinality (deterministic; equal across fleet shapes).
   std::size_t result_rows = 0;
+};
+
+/// One unmemoized end-to-end execution, keeping the result table so
+/// callers can do row-level comparisons (the crash/recover gate).
+struct EngineRun {
+  Duration wall = Duration::Zero();
+  Energy joules = Energy::Zero();
+  std::shared_ptr<const storage::Table> table;
+};
+
+struct EngineFaultOptions {
+  /// Cooperative-cancellation checks the crashed attempt survives before
+  /// the fuse trips (small, so the query dies mid-scan/mid-exchange with
+  /// partial state in flight — the interesting teardown path).
+  std::int64_t crash_after_checks = 4;
+  /// Total attempts including the crashed one (>= 2: crash + retry).
+  int max_attempts = 3;
+};
+
+/// One engine-measured crash/recover episode.
+struct FaultMeasurement {
+  QueryKind kind = QueryKind::kQ1;
+  int crash_node = 0;
+  int attempts = 0;
+  bool completed = false;
+  /// Retry result is row-for-row identical (unordered) to the fault-free
+  /// run on the full fleet.
+  bool rows_match = false;
+  std::string mismatch;  // first diff when !rows_match
+  std::size_t result_rows = 0;
+  Duration wall = Duration::Zero();  // successful attempt only
+  /// Joules burned by the crashed attempt (paid, served nothing).
+  Energy wasted_joules = Energy::Zero();
+  /// Joules of the successful re-attempt on the survivor fleet.
+  Energy retry_joules = Energy::Zero();
+  /// Result table of the successful attempt, for row-level assertions.
+  std::shared_ptr<const storage::Table> result;
 };
 
 /// A mixed fleet wired up for real execution: generated database placed
@@ -96,6 +136,32 @@ class EngineFleet {
   /// energy. Runs every kind not yet measured.
   StatusOr<QueryProfiles> MeasuredProfiles();
 
+  /// Runs `kind` once without memoization, returning the result table;
+  /// the metered joules are attributed to `attr` in the fleet's meter.
+  StatusOr<EngineRun> RunOnce(
+      QueryKind kind,
+      energy::AttemptKind attr = energy::AttemptKind::kClean);
+
+  /// The crash/recover gate, end-to-end on the real engine: runs `kind`,
+  /// kills the query mid-flight via the cancellation fuse (standing in
+  /// for `crash_node` dying — channels poisoned, barriers aborted,
+  /// partial results dropped, never a truncated table), then fails over
+  /// to the survivor sub-fleet and compares the retry's rows against a
+  /// fault-free run on the full fleet. Energy is attributed honestly:
+  /// the dead attempt's joules are wasted, the re-run's are retry.
+  StatusOr<FaultMeasurement> MeasureWithCrash(
+      QueryKind kind, int crash_node, const EngineFaultOptions& fault = {});
+
+  /// Survivor sub-fleet with `crash_node` removed (lazily built and
+  /// memoized per crashed node). The same dbgen seed is re-partitioned
+  /// over the n-1 survivors, so the global row multiset — and therefore
+  /// every query result — is unchanged; placement may promote the
+  /// least-wimpy survivor to joiner when the last beefy died.
+  StatusOr<EngineFleet*> Degraded(int crash_node);
+
+  /// The fleet's meter, for running wasted/retry/clean joule totals.
+  const energy::EnergyMeter& meter() const { return *meter_; }
+
   const cluster::ClusterConfig& fleet() const { return fleet_; }
   const cluster::EnginePlacement& placement(QueryKind kind) const {
     return placements_[static_cast<std::size_t>(kind)];
@@ -114,6 +180,8 @@ class EngineFleet {
   std::unique_ptr<energy::EnergyMeter> meter_;
   std::unique_ptr<exec::Executor> executor_;
   std::array<std::optional<EngineMeasurement>, kNumQueryKinds> cache_;
+  /// Index = crashed node id; built on first failover to that node.
+  std::vector<std::unique_ptr<EngineFleet>> degraded_;
 };
 
 }  // namespace eedc::workload

@@ -1,0 +1,180 @@
+// Seeded fault plans: deterministic generation, validation invariants
+// (the fleet is never fully down), and the injector's interval queries.
+#include "cluster/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/node_class.h"
+
+namespace eedc::cluster {
+namespace {
+
+NodeClassSpec PaperClass(const char* name) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  return **found;
+}
+
+ClusterConfig FourNodeFleet() {
+  return ClusterConfig::BeefyWimpy(PaperClass("beefy"), 1,
+                                   PaperClass("wimpy"), 3);
+}
+
+TEST(FaultPlanTest, GenerateIsDeterministicPerSeed) {
+  const ClusterConfig fleet = FourNodeFleet();
+  FaultPlanOptions options;
+  options.seed = 7;
+  options.crashes = 2;
+  options.stragglers = 1;
+  options.delayed_wakes = 1;
+  options.exchange_stalls = 1;
+
+  auto a = FaultPlan::Generate(fleet, options);
+  auto b = FaultPlan::Generate(fleet, options);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(a->Describe(), b->Describe());
+  EXPECT_EQ(a->events.size(), 5u);
+
+  options.seed = 8;
+  auto c = FaultPlan::Generate(fleet, options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Describe(), c->Describe());
+}
+
+TEST(FaultPlanTest, GeneratedPlansValidate) {
+  const ClusterConfig fleet = FourNodeFleet();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlanOptions options;
+    options.seed = seed;
+    options.crashes = 3;
+    options.stragglers = 2;
+    options.final_crash_permanent = true;
+    auto plan = FaultPlan::Generate(fleet, options);
+    ASSERT_TRUE(plan.ok()) << "seed=" << seed << ": " << plan.status();
+    EXPECT_TRUE(plan->Validate(fleet.total_nodes()).ok())
+        << "seed=" << seed << ": " << plan->Describe();
+  }
+}
+
+TEST(FaultPlanTest, CrashesNeedASurvivor) {
+  const ClusterConfig solo =
+      ClusterConfig::Homogeneous(PaperClass("beefy"), 1);
+  FaultPlanOptions options;
+  options.crashes = 1;
+  EXPECT_FALSE(FaultPlan::Generate(solo, options).ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadEvents) {
+  FaultPlan plan;
+  plan.events.push_back(FaultEvent{FaultKind::kNodeCrash, 5,
+                                   Duration::Seconds(1.0),
+                                   Duration::Seconds(2.0)});
+  EXPECT_FALSE(plan.Validate(2).ok());  // node out of range
+
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{FaultKind::kSlowNode, 0,
+                                   Duration::Seconds(1.0),
+                                   Duration::Seconds(2.0),
+                                   /*severity=*/1.5});
+  EXPECT_FALSE(plan.Validate(2).ok());  // severity outside (0, 1)
+
+  // Overlapping crashes covering both nodes: the whole fleet is down.
+  plan.events.clear();
+  plan.events.push_back(FaultEvent{FaultKind::kNodeCrash, 0,
+                                   Duration::Seconds(1.0),
+                                   Duration::Seconds(10.0)});
+  plan.events.push_back(FaultEvent{FaultKind::kNodeCrash, 1,
+                                   Duration::Seconds(5.0),
+                                   Duration::Seconds(10.0)});
+  EXPECT_FALSE(plan.Validate(2).ok());
+
+  // Staggered so one node is always up: fine.
+  plan.events[1].at = Duration::Seconds(12.0);
+  EXPECT_TRUE(plan.Validate(2).ok());
+}
+
+TEST(FaultInjectorTest, IntervalQueries) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.events = {
+      FaultEvent{FaultKind::kNodeCrash, 1, Duration::Seconds(10.0),
+                 Duration::Seconds(5.0)},
+      FaultEvent{FaultKind::kSlowNode, 0, Duration::Seconds(20.0),
+                 Duration::Seconds(4.0), /*severity=*/0.5},
+      FaultEvent{FaultKind::kDelayedWake, 2, Duration::Seconds(30.0),
+                 Duration::Seconds(5.0), 1.0, Duration::Seconds(2.0)},
+      FaultEvent{FaultKind::kExchangeStall, 0, Duration::Seconds(40.0),
+                 Duration::Seconds(3.0), 1.0, Duration::Seconds(1.5)},
+  };
+  ASSERT_TRUE(plan.Validate(3).ok());
+  auto injector = FaultInjector::Create(plan, 3);
+  ASSERT_TRUE(injector.ok()) << injector.status();
+
+  // Crash interval [10, 15) on node 1.
+  EXPECT_FALSE(injector->DownAt(1, Duration::Seconds(9.9)));
+  EXPECT_TRUE(injector->DownAt(1, Duration::Seconds(10.0)));
+  EXPECT_TRUE(injector->DownAt(1, Duration::Seconds(14.9)));
+  EXPECT_FALSE(injector->DownAt(1, Duration::Seconds(15.0)));
+  EXPECT_DOUBLE_EQ(injector->UpAfter(1, Duration::Seconds(12.0)).seconds(),
+                   15.0);
+  EXPECT_DOUBLE_EQ(injector->UpAfter(1, Duration::Seconds(16.0)).seconds(),
+                   16.0);
+  EXPECT_FALSE(injector->PermanentlyDownAt(1, Duration::Seconds(12.0)));
+
+  // NextCrashWithin is half-open on the left: a crash exactly at `from`
+  // was already visible to the caller.
+  auto hit = injector->NextCrashWithin(1, Duration::Seconds(5.0),
+                                       Duration::Seconds(12.0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->seconds(), 10.0);
+  EXPECT_FALSE(injector
+                   ->NextCrashWithin(1, Duration::Seconds(10.0),
+                                     Duration::Seconds(12.0))
+                   .has_value());
+  EXPECT_FALSE(injector
+                   ->NextCrashWithin(0, Duration::Seconds(0.0),
+                                     Duration::Seconds(60.0))
+                   .has_value());
+
+  // Straggler window [20, 24) on node 0.
+  EXPECT_DOUBLE_EQ(
+      injector->ServiceRateMultiplierAt(0, Duration::Seconds(21.0)), 0.5);
+  EXPECT_DOUBLE_EQ(
+      injector->ServiceRateMultiplierAt(0, Duration::Seconds(25.0)), 1.0);
+
+  // Delayed wake [30, 35) on node 2; stall [40, 43) from node 0.
+  EXPECT_DOUBLE_EQ(
+      injector->ExtraWakeLatencyAt(2, Duration::Seconds(31.0)).seconds(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      injector->ExtraWakeLatencyAt(2, Duration::Seconds(36.0)).seconds(),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      injector->ExchangeStallAt(0, Duration::Seconds(41.0)).seconds(),
+      1.5);
+
+  // Alive set shrinks only during the crash.
+  EXPECT_EQ(injector->AliveNodes(Duration::Seconds(12.0)),
+            (std::vector<int>{0, 2}));
+  EXPECT_EQ(injector->AliveNodes(Duration::Seconds(0.0)),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(FaultInjectorTest, PermanentCrashNeverRecovers) {
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kNodeCrash, 0,
+                            Duration::Seconds(5.0), Duration::Infinite()}};
+  ASSERT_TRUE(plan.Validate(2).ok());
+  auto injector = FaultInjector::Create(plan, 2);
+  ASSERT_TRUE(injector.ok());
+  EXPECT_TRUE(injector->DownAt(0, Duration::Seconds(1e9)));
+  EXPECT_TRUE(injector->PermanentlyDownAt(0, Duration::Seconds(6.0)));
+  EXPECT_FALSE(injector->UpAfter(0, Duration::Seconds(6.0)).is_finite());
+  EXPECT_EQ(injector->AliveNodes(Duration::Seconds(6.0)),
+            (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace eedc::cluster

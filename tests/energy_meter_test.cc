@@ -197,5 +197,36 @@ TEST(EnergyMeterTest, MetersARealExecutorRun) {
   }
 }
 
+// Fault accounting: Finish(kind) routes each attempt's joules into the
+// meter's running clean/wasted/retry totals.
+TEST(EnergyMeterTest, AttemptKindAttributionAccumulates) {
+  auto model = std::make_shared<ConstantPowerModel>(Power::Watts(100.0));
+  EnergyMeter meter(1, model, 1);
+
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(2.0));
+  const QueryEnergyReport wasted = meter.Finish(AttemptKind::kWasted);
+  EXPECT_NEAR(meter.wasted_joules().joules(), wasted.total.joules(), 1e-9);
+  EXPECT_DOUBLE_EQ(meter.clean_joules().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.retry_joules().joules(), 0.0);
+
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(3.0));
+  const QueryEnergyReport retry = meter.Finish(AttemptKind::kRetry);
+  EXPECT_NEAR(meter.retry_joules().joules(), retry.total.joules(), 1e-9);
+
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(1.0));
+  const QueryEnergyReport clean = meter.Finish();  // defaults to clean
+  EXPECT_NEAR(meter.clean_joules().joules(), clean.total.joules(), 1e-9);
+  // Totals survive Finish's per-query reset and accumulate across runs.
+  meter.OnWorkerSpan(0, 0, Duration::Zero(), Duration::Seconds(2.0));
+  meter.Finish(AttemptKind::kWasted);
+  EXPECT_NEAR(meter.wasted_joules().joules(),
+              2.0 * wasted.total.joules(), 1e-9);
+
+  meter.ResetTotals();
+  EXPECT_DOUBLE_EQ(meter.wasted_joules().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.retry_joules().joules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.clean_joules().joules(), 0.0);
+}
+
 }  // namespace
 }  // namespace eedc::energy

@@ -80,6 +80,71 @@ TEST(BlockChannelTest, MultipleSendersAllMustFinish) {
   EXPECT_TRUE(done.load());
 }
 
+// Regression: a receive on a closed channel must return immediately with
+// no value and must NOT accrue blocked time — pre-fix, a poisoned
+// channel's receiver could keep charging its wait to exchange metrics.
+TEST(BlockChannelTest, ReceiveAfterCloseReturnsImmediately) {
+  BlockChannel ch(2);
+  Block b(KeyedSchema());
+  b.AppendRow({std::int64_t{1}, std::int64_t{1}});
+  ch.Send(std::move(b));
+  ch.Close(Status::Unavailable("node down"));
+  Duration blocked = Duration::Seconds(0.0);
+  auto got = ch.Receive(&blocked);
+  EXPECT_FALSE(got.has_value());  // queued block discarded by the poison
+  EXPECT_DOUBLE_EQ(blocked.seconds(), 0.0);
+  EXPECT_TRUE(ch.close_reason().IsUnavailable());
+}
+
+TEST(BlockChannelTest, CloseWakesBlockedReceiver) {
+  BlockChannel ch(1);
+  std::atomic<bool> got{true};
+  std::thread receiver([&ch, &got] { got = ch.Receive().has_value(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.Close(Status::Cancelled("query cancelled"));
+  receiver.join();
+  EXPECT_FALSE(got.load());
+  EXPECT_TRUE(ch.close_reason().IsCancelled());
+}
+
+TEST(BlockChannelTest, CloseKeepsFirstReasonAndToleratesLateSenders) {
+  BlockChannel ch(2);
+  ch.Close(Status::Unavailable("first"));
+  ch.Close(Status::Cancelled("second"));
+  EXPECT_TRUE(ch.close_reason().IsUnavailable());
+  // Late sends and SenderDone after poison are no-ops, not crashes
+  // (AbortSend teardown races with Close in the executor).
+  Block b(KeyedSchema());
+  b.AppendRow({std::int64_t{1}, std::int64_t{1}});
+  ch.Send(std::move(b));
+  ch.SenderDone();
+  ch.SenderDone();
+  ch.SenderDone();
+  EXPECT_FALSE(ch.Receive().has_value());
+}
+
+TEST(BlockChannelTest, ReceiveForTimesOutOnStalledSender) {
+  BlockChannel ch(1);  // sender never sends: a stalled peer
+  Duration blocked = Duration::Seconds(0.0);
+  bool timed_out = false;
+  auto got = ch.ReceiveFor(Duration::Millis(30.0), &blocked, &timed_out);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(blocked.seconds(), 0.02);
+}
+
+TEST(BlockChannelTest, ReceiveForDeliversBeforeDeadline) {
+  BlockChannel ch(1);
+  Block b(KeyedSchema());
+  b.AppendRow({std::int64_t{1}, std::int64_t{2}});
+  ch.Send(std::move(b));
+  bool timed_out = false;
+  auto got = ch.ReceiveFor(Duration::Seconds(5.0), nullptr, &timed_out);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(got->size(), 1u);
+}
+
 // Runs one exchange instance per node over the given local tables and
 // returns each node's received rows.
 std::vector<Table> RunExchange(ExchangeMode mode,

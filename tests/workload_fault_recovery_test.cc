@@ -1,0 +1,132 @@
+// S3: randomized crash schedules on the real engine. Every iteration
+// crashes a random node at a random fuse depth mid-query, fails over to
+// the survivor sub-fleet, and asserts the retried result is row-for-row
+// identical to a fault-free single-node reference. Seeds are logged so
+// any failure replays by pasting the seed into the trace message.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "exec/reference.h"
+#include "workload/engine.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+EngineFleetOptions FastOptions() {
+  EngineFleetOptions options;
+  options.scale_factor = 0.001;
+  options.repetitions = 1;
+  return options;
+}
+
+TEST(FaultRecoveryTest, RandomCrashSchedulesRecoverRowIdentical) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Fault-free single-node reference: the ground truth every retried
+  // result must reproduce exactly (unordered).
+  auto reference = EngineFleet::Create(
+      ClusterConfig::Homogeneous(PaperClass("beefy", 2), 1), FastOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    const std::uint64_t seed = 0xFA017ull + 104729ull * k;
+    SCOPED_TRACE("replay seed=" + std::to_string(seed) +
+                 " kind=" + std::to_string(k));
+    std::mt19937_64 rng(seed);
+
+    auto want = (*reference)->RunOnce(kind);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    EngineFaultOptions fault;
+    fault.crash_after_checks =
+        2 + static_cast<std::int64_t>(rng() % 8);  // die early, vary depth
+    const int crash_node = static_cast<int>(rng() % 3);
+
+    auto m = (*engine)->MeasureWithCrash(kind, crash_node, fault);
+    ASSERT_TRUE(m.ok()) << m.status();
+    EXPECT_TRUE(m->completed);
+    EXPECT_TRUE(m->rows_match) << m->mismatch;  // vs full-fleet fault-free
+    ASSERT_NE(m->result, nullptr);
+
+    // And row-for-row against the single-node reference.
+    std::string diff;
+    EXPECT_TRUE(
+        exec::TablesEqualUnordered(*want->table, *m->result, 1e-6, &diff))
+        << diff;
+
+    if (m->attempts > 1) {
+      // The crashed attempt burned wasted joules; the successful retry
+      // is billed separately.
+      EXPECT_GT(m->wasted_joules.joules(), 0.0);
+      EXPECT_GT(m->retry_joules.joules(), 0.0);
+    }
+  }
+
+  // Running totals on the meters reflect the attribution: the full
+  // fleet's meter accumulated the wasted attempts, the survivor fleets'
+  // meters the retries.
+  EXPECT_GT((*engine)->meter().wasted_joules().joules(), 0.0);
+}
+
+TEST(FaultRecoveryTest, DegradedFleetPlacementStillAnswersEveryKind) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Crash the beefy (node 0): survivors are all-wimpy; the degraded
+  // placement must still produce correct results for every kind.
+  auto degraded = (*engine)->Degraded(0);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ((*degraded)->fleet().total_nodes(), 2);
+  EXPECT_EQ((*degraded)->fleet().num_beefy(), 0);
+
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    auto full = (*engine)->RunOnce(kind);
+    auto survivors = (*degraded)->RunOnce(kind);
+    ASSERT_TRUE(full.ok()) << full.status();
+    ASSERT_TRUE(survivors.ok()) << survivors.status();
+    std::string diff;
+    EXPECT_TRUE(exec::TablesEqualUnordered(*full->table, *survivors->table,
+                                           1e-6, &diff))
+        << "kind=" << k << ": " << diff;
+  }
+
+  // Memoized: the same survivor fleet is reused.
+  auto again = (*engine)->Degraded(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *degraded);
+
+  // No survivor to fail over to on a 1-node fleet.
+  auto solo = EngineFleet::Create(
+      ClusterConfig::Homogeneous(PaperClass("beefy", 2), 1), FastOptions());
+  ASSERT_TRUE(solo.ok());
+  EXPECT_FALSE((*solo)->Degraded(0).ok());
+  EXPECT_FALSE((*engine)->Degraded(7).ok());  // out of range
+}
+
+}  // namespace
+}  // namespace eedc::workload

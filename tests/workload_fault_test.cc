@@ -1,0 +1,260 @@
+// Fault-injected virtual-time driver: crash failover with retry budget,
+// wasted/retry energy attribution, brown-out deferral, straggler
+// slowdowns, and closed-loop client release on permanent failure.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/fault.h"
+#include "cluster/node_class.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::FaultEvent;
+using cluster::FaultInjector;
+using cluster::FaultKind;
+using cluster::FaultPlan;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  return **found;
+}
+
+FaultInjector MakeInjector(FaultPlan plan, int num_nodes) {
+  auto injector = FaultInjector::Create(std::move(plan), num_nodes);
+  EEDC_CHECK(injector.ok());
+  return std::move(*injector);
+}
+
+QueryProfiles SlowProfiles() {
+  return QueryProfiles::Uniform(Duration::Seconds(1.0),
+                                Duration::Seconds(30.0));
+}
+
+TEST(FaultDriverTest, CrashMidQueryRetriesOnSurvivorAndBillsEnergy) {
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kNodeCrash, 0,
+                            Duration::Seconds(0.5),
+                            Duration::Seconds(5.0)}};
+  const FaultInjector injector = MakeInjector(plan, 2);
+
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(PaperClass("wimpy"), 2);
+  options.faults = &injector;
+  WorkloadDriver driver(options);
+
+  // One query, offered at t=0 with a 1 s demand: node 0 takes it, dies
+  // under it at 0.5, and the retry lands on node 1.
+  const std::vector<QueryArrival> trace = {{Duration::Zero(),
+                                            QueryKind::kQ1}};
+  auto report = driver.Run(trace, SlowProfiles(), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_EQ(driver.outcomes().size(), 1u);
+  const QueryOutcome& o = driver.outcomes()[0];
+  EXPECT_TRUE(o.served());
+  EXPECT_EQ(o.attempts, 2);
+  EXPECT_TRUE(o.retried);
+  EXPECT_FALSE(o.failed);
+  EXPECT_EQ(o.node, 1);  // survivor
+  EXPECT_GT(o.completion.seconds(), 1.0);  // crash + backoff + full re-run
+
+  EXPECT_EQ(report->queries, 1);
+  EXPECT_EQ(report->failed, 0);
+  EXPECT_EQ(report->retries, 1);
+  EXPECT_DOUBLE_EQ(report->availability(), 1.0);
+  // The truncated first attempt is wasted; the re-run is retry overhead.
+  EXPECT_GT(report->wasted_energy.joules(), 0.0);
+  EXPECT_GT(report->retry_energy.joules(), 0.0);
+  EXPECT_NEAR(report->fault_overhead_energy().joules(),
+              report->wasted_energy.joules() +
+                  report->retry_energy.joules(),
+              1e-9);
+  // Attribution is a subset of the serving energy, not an addition.
+  EXPECT_LE(report->fault_overhead_energy().joules(),
+            report->serving_energy().joules() + 1e-9);
+}
+
+TEST(FaultDriverTest, RetryBudgetExhaustionCountsAsFailed) {
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kNodeCrash, 0,
+                            Duration::Seconds(0.5),
+                            Duration::Seconds(5.0)}};
+  const FaultInjector injector = MakeInjector(plan, 2);
+
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(PaperClass("wimpy"), 2);
+  options.faults = &injector;
+  options.failover.max_attempts = 1;  // no second chances
+  WorkloadDriver driver(options);
+
+  const std::vector<QueryArrival> trace = {{Duration::Zero(),
+                                            QueryKind::kQ1}};
+  auto report = driver.Run(trace, SlowProfiles(), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_EQ(driver.outcomes().size(), 1u);
+  const QueryOutcome& o = driver.outcomes()[0];
+  EXPECT_TRUE(o.failed);
+  EXPECT_FALSE(o.served());
+  EXPECT_EQ(o.attempts, 1);
+  EXPECT_EQ(report->queries, 0);
+  EXPECT_EQ(report->failed, 1);
+  EXPECT_EQ(report->offered(), 1);
+  EXPECT_DOUBLE_EQ(report->availability(), 0.0);
+  EXPECT_GT(report->wasted_energy.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(report->retry_energy.joules(), 0.0);
+}
+
+TEST(FaultDriverTest, FaultFreeInjectorChangesNothing) {
+  DriverOptions plain_options;
+  plain_options.fleet = ClusterConfig::BeefyWimpy(PaperClass("beefy"), 1,
+                                                  PaperClass("wimpy"), 2);
+  WorkloadDriver plain(plain_options);
+
+  FaultPlan empty;
+  const FaultInjector injector = MakeInjector(empty, 3);
+  DriverOptions faulty_options = plain_options;
+  faulty_options.faults = &injector;
+  WorkloadDriver faulty(faulty_options);
+
+  PoissonOptions arrivals;
+  arrivals.rate_qps = 2.0;
+  arrivals.horizon = Duration::Seconds(30.0);
+  arrivals.seed = 5;
+  const auto trace = PoissonArrivals(DefaultMix(), arrivals);
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Millis(200.0), Duration::Seconds(5.0));
+  auto want = plain.Run(trace, profiles, AllOnPolicy());
+  auto got = faulty.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(want.ok()) << want.status();
+  ASSERT_TRUE(got.ok()) << got.status();
+
+  EXPECT_DOUBLE_EQ(got->total_energy().joules(),
+                   want->total_energy().joules());
+  EXPECT_DOUBLE_EQ(got->makespan.seconds(), want->makespan.seconds());
+  EXPECT_DOUBLE_EQ(got->mean_response.seconds(),
+                   want->mean_response.seconds());
+  EXPECT_EQ(got->retries, 0);
+  EXPECT_EQ(got->failed, 0);
+  EXPECT_DOUBLE_EQ(got->wasted_energy.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(got->retry_energy.joules(), 0.0);
+}
+
+TEST(FaultDriverTest, StragglerWindowStretchesResponse) {
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kSlowNode, 0, Duration::Zero(),
+                            Duration::Seconds(100.0), /*severity=*/0.25}};
+  const FaultInjector injector = MakeInjector(plan, 1);
+
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(PaperClass("wimpy"), 1);
+  WorkloadDriver healthy(options);
+  options.faults = &injector;
+  WorkloadDriver throttled(options);
+
+  const std::vector<QueryArrival> trace = {{Duration::Zero(),
+                                            QueryKind::kQ1}};
+  auto fast = healthy.Run(trace, SlowProfiles(), AllOnPolicy());
+  auto slow = throttled.Run(trace, SlowProfiles(), AllOnPolicy());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  // Service rate quartered -> response about 4x.
+  EXPECT_NEAR(slow->mean_response.seconds(),
+              4.0 * fast->mean_response.seconds(),
+              0.1 * slow->mean_response.seconds());
+}
+
+TEST(FaultDriverTest, BrownoutDefersBatchKindsWhileDegraded) {
+  // Wimpy node 1 is down [0.5, 30); with the budget below the fleet's
+  // draw, batch (Q21) work arriving during the outage is deferred.
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kNodeCrash, 1,
+                            Duration::Seconds(0.5),
+                            Duration::Seconds(30.0)}};
+  const FaultInjector injector = MakeInjector(plan, 2);
+
+  DriverOptions options;
+  options.fleet = ClusterConfig::BeefyWimpy(PaperClass("beefy"), 1,
+                                            PaperClass("wimpy"), 1);
+  options.faults = &injector;
+  options.power_budget = Power::Watts(1.0);  // any busy node exceeds it
+  options.batch_kinds = {QueryKind::kQ21};
+  WorkloadDriver driver(options);
+
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},        // healthy fleet: served
+      {Duration::Seconds(1.0), QueryKind::kQ21},  // degraded: deferred
+      {Duration::Seconds(1.2), QueryKind::kQ1},   // interactive: served
+  };
+  auto report = driver.Run(trace, SlowProfiles(), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_EQ(report->brownout_deferred, 1);
+  EXPECT_GE(report->deferred, 1);
+  EXPECT_EQ(report->queries, 3);  // drained work still completes
+  int deferred_q21 = 0;
+  for (const QueryOutcome& o : driver.outcomes()) {
+    if (o.kind == QueryKind::kQ21) {
+      EXPECT_TRUE(o.deferred);
+      ++deferred_q21;
+    }
+  }
+  EXPECT_EQ(deferred_q21, 1);
+
+  // Without the budget the same trace runs everything inline.
+  DriverOptions unlimited = options;
+  unlimited.power_budget = Power::Zero();
+  WorkloadDriver free_driver(unlimited);
+  auto free_report = free_driver.Run(trace, SlowProfiles(), AllOnPolicy());
+  ASSERT_TRUE(free_report.ok());
+  EXPECT_EQ(free_report->brownout_deferred, 0);
+  EXPECT_EQ(free_report->deferred, 0);
+}
+
+// S2: a permanently failed query must release its closed-loop client, or
+// the client would never submit again and the run would starve.
+TEST(FaultDriverTest, ClosedLoopReleasesClientsOfFailedQueries) {
+  FaultPlan plan;
+  plan.events = {FaultEvent{FaultKind::kNodeCrash, 0,
+                            Duration::Seconds(1.0),
+                            Duration::Seconds(2.0)}};
+  const FaultInjector injector = MakeInjector(plan, 2);
+
+  DriverOptions options;
+  options.fleet = ClusterConfig::Homogeneous(PaperClass("wimpy"), 2);
+  options.faults = &injector;
+  options.failover.max_attempts = 1;  // every crash is a permanent failure
+  WorkloadDriver driver(options);
+
+  ClosedLoopOptions loop;
+  loop.clients = 2;
+  loop.queries = 20;
+  loop.think_mean = Duration::Millis(1.0);
+  loop.seed = 11;
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(2.0), Duration::Seconds(60.0));
+  auto report = driver.RunClosedLoop(loop, profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Every offered query reached an outcome: failed submissions released
+  // their clients and the loop ran to its full quota.
+  EXPECT_EQ(static_cast<int>(driver.outcomes().size()), loop.queries);
+  EXPECT_EQ(report->offered(), loop.queries);
+  EXPECT_GE(report->failed, 1);  // the t=1 crash kills an in-flight query
+  EXPECT_EQ(report->queries + report->failed + report->shed, loop.queries);
+}
+
+}  // namespace
+}  // namespace eedc::workload
