@@ -267,4 +267,78 @@ StatusOr<EnginePlacement> PlacementPolicy::Place(
   return placement;
 }
 
+namespace {
+
+/// Cluster-wide output estimate of one plan subtree.
+struct SubtreeEstimate {
+  double rows = 0.0;
+  double bytes = 0.0;
+};
+
+/// Directory slot + chained entry per build row (JoinHashTable's Entry is
+/// 16 bytes; the directory holds ~4/3 slots of 4 bytes per entry at its
+/// 0.75 load factor).
+constexpr double kHashBytesPerBuildRow = 16.0 + 4.0 * 4.0 / 3.0;
+
+SubtreeEstimate EstimateSubtree(const exec::PlanNode& plan,
+                                const exec::ClusterData& data,
+                                double* build_bytes) {
+  switch (plan.kind) {
+    case exec::PlanNode::Kind::kScan: {
+      SubtreeEstimate est;
+      for (int node = 0; node < data.num_nodes(); ++node) {
+        auto table_or = data.store(node).Get(plan.table_name);
+        if (!table_or.ok()) continue;  // not placed on this node
+        est.rows += static_cast<double>(table_or.value()->num_rows());
+        est.bytes += table_or.value()->LogicalBytes();
+      }
+      return est;
+    }
+    case exec::PlanNode::Kind::kFilter:  // no selectivity model: bound high
+    case exec::PlanNode::Kind::kProject:
+      return EstimateSubtree(*plan.children.at(0), data, build_bytes);
+    case exec::PlanNode::Kind::kExchange: {
+      SubtreeEstimate est =
+          EstimateSubtree(*plan.children.at(0), data, build_bytes);
+      if (plan.mode == exec::ExchangeMode::kBroadcast) {
+        // Every destination materializes the full stream.
+        const double fanout =
+            plan.destinations.empty()
+                ? static_cast<double>(data.num_nodes())
+                : static_cast<double>(plan.destinations.size());
+        est.rows *= fanout;
+        est.bytes *= fanout;
+      }
+      return est;
+    }
+    case exec::PlanNode::Kind::kHashJoin: {
+      const SubtreeEstimate build =
+          EstimateSubtree(*plan.children.at(0), data, build_bytes);
+      const SubtreeEstimate probe =
+          EstimateSubtree(*plan.children.at(1), data, build_bytes);
+      *build_bytes += build.bytes + build.rows * kHashBytesPerBuildRow;
+      // Join output: roughly one match per probe row, carrying both sides'
+      // widths.
+      SubtreeEstimate est;
+      est.rows = probe.rows;
+      const double build_width =
+          build.rows > 0.0 ? build.bytes / build.rows : 0.0;
+      est.bytes = probe.bytes + probe.rows * build_width;
+      return est;
+    }
+    case exec::PlanNode::Kind::kHashAgg:
+      return EstimateSubtree(*plan.children.at(0), data, build_bytes);
+  }
+  return SubtreeEstimate{};
+}
+
+}  // namespace
+
+double EstimateBuildBytes(const exec::PlanNode& plan,
+                          const exec::ClusterData& data) {
+  double build_bytes = 0.0;
+  EstimateSubtree(plan, data, &build_bytes);
+  return build_bytes;
+}
+
 }  // namespace eedc::cluster

@@ -79,6 +79,16 @@ struct EnginePlacement {
   exec::Executor::Options MakeExecutorOptions() const;
 };
 
+/// Estimated cluster-wide hash-join build footprint of `plan` over the
+/// fleet's loaded data: for every join, the bytes of the build subtree's
+/// output (scan sizes from the actual stores, broadcasts multiplied by
+/// their fan-out) plus hash-entry overhead per build row. Filters are
+/// ignored (an upper bound — admission should be conservative). This is
+/// the price tag ExecutorRuntime resource groups charge a query against
+/// their memory budget before it runs.
+double EstimateBuildBytes(const exec::PlanNode& plan,
+                          const exec::ClusterData& data);
+
 class PlacementPolicy {
  public:
   PlacementPolicy() = default;

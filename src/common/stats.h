@@ -64,6 +64,12 @@ double Mean(std::span<const double> xs);
 double MaxRelativeError(std::span<const double> observed,
                         std::span<const double> predicted);
 
+/// The p-quantile (p in [0, 1]) of `xs` by linear interpolation between
+/// order statistics (the common "linear" / type-7 rule: rank
+/// p * (n - 1) into the sorted sample). 0 for empty input; p is clamped
+/// to [0, 1]. The input need not be sorted.
+double Percentile(std::span<const double> xs, double p);
+
 }  // namespace eedc
 
 #endif  // EEDC_COMMON_STATS_H_

@@ -1,0 +1,114 @@
+#include "energy/attribution.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "energy/meter.h"
+
+namespace eedc::energy {
+
+namespace {
+
+/// A sweep event: at `at`, query slot `slot` gains (+1) or loses (-1) an
+/// active worker on the node being swept.
+struct Event {
+  double at = 0.0;
+  int slot = 0;
+  int delta = 0;
+};
+
+}  // namespace
+
+ConcurrentEnergyReport AttributeConcurrent(
+    std::span<const exec::TaggedWorkerSpan> spans,
+    const std::vector<std::shared_ptr<const power::PowerModel>>&
+        node_models,
+    const std::vector<int>& workers_per_node) {
+  EEDC_CHECK(node_models.size() == workers_per_node.size());
+  ConcurrentEnergyReport report;
+
+  // Dense slot per query id, ascending so the report is id-sorted.
+  std::map<int, std::size_t> slot_of;
+  for (const exec::TaggedWorkerSpan& s : spans) {
+    slot_of.emplace(s.query, 0);
+    if (s.end > report.wall) report.wall = s.end;
+  }
+  report.queries.reserve(slot_of.size());
+  for (auto& [query, slot] : slot_of) {
+    slot = report.queries.size();
+    report.queries.push_back(QueryEnergyShare{query});
+  }
+  const std::size_t num_queries = report.queries.size();
+
+  for (int node = 0; node < static_cast<int>(node_models.size()); ++node) {
+    // Carve exchange waits out per query: worker ids collide across
+    // co-running queries, so the (worker -> wait) pairing is only
+    // meaningful within one query's spans.
+    std::vector<Event> events;
+    for (const auto& [query, slot] : slot_of) {
+      std::vector<WorkerSpan> busy;
+      std::vector<WorkerSpan> waits;
+      for (const exec::TaggedWorkerSpan& s : spans) {
+        if (s.node != node || s.query != query) continue;
+        (s.is_wait ? waits : busy)
+            .push_back(WorkerSpan{s.node, s.worker, s.begin, s.end});
+      }
+      for (const WorkerSpan& s : SubtractWaits(busy, waits)) {
+        if (s.end <= s.begin) continue;
+        events.push_back(
+            Event{s.begin.seconds(), static_cast<int>(slot), +1});
+        events.push_back(Event{s.end.seconds(), static_cast<int>(slot), -1});
+        report.queries[slot].busy += s.end - s.begin;
+      }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.at < b.at; });
+
+    const power::PowerModel& model = *node_models[static_cast<std::size_t>(
+        node)];
+    const int width = workers_per_node[static_cast<std::size_t>(node)];
+    std::vector<int> active(num_queries, 0);
+    int active_total = 0;
+    double t = 0.0;
+    std::size_t i = 0;
+    // Sweep [0, wall): each step prices the node at its *combined*
+    // utilization and splits the joules by active worker counts.
+    const auto emit = [&](double until) {
+      const double dt = until - t;
+      if (dt <= 0.0) return;
+      Energy step = Energy::Zero();
+      if (active_total > 0) {
+        const double u =
+            std::min(1.0, static_cast<double>(active_total) / width);
+        step = model.WattsAt(u) * Duration::Seconds(dt);
+        for (std::size_t q = 0; q < num_queries; ++q) {
+          if (active[q] == 0) continue;
+          report.queries[q].joules +=
+              step * (static_cast<double>(active[q]) /
+                      static_cast<double>(active_total));
+        }
+      } else {
+        step = model.IdleWatts() * Duration::Seconds(dt);
+        report.unattributed_idle += step;
+      }
+      report.total += step;
+      t = until;
+    };
+    while (i < events.size()) {
+      const double at = events[i].at;
+      emit(at);
+      while (i < events.size() && events[i].at == at) {
+        active[static_cast<std::size_t>(events[i].slot)] +=
+            events[i].delta;
+        active_total += events[i].delta;
+        ++i;
+      }
+    }
+    emit(report.wall.seconds());
+  }
+  return report;
+}
+
+}  // namespace eedc::energy

@@ -54,32 +54,46 @@ namespace {
 /// Pre-pass over a node's plan: creates the cross-worker shared state (one
 /// dispenser per scan, one merge per pipeline breaker) in the exact order
 /// BuildOps consumes it. The two traversals must stay mirror images.
+/// `feeds_filter` is true when the subtree hangs directly under a filter —
+/// its scans then pick the larger adaptive morsel size.
 Status CollectPipelineShared(const PlanNode& plan,
                              const storage::TableStore& store,
                              int num_workers, std::size_t morsel_rows,
+                             int query_tag, bool feeds_filter,
                              PipelineShared* out) {
   switch (plan.kind) {
     case PlanNode::Kind::kScan: {
       EEDC_ASSIGN_OR_RETURN(TablePtr table, store.Get(plan.table_name));
+      const std::size_t rows =
+          morsel_rows != 0
+              ? morsel_rows
+              : AdaptiveMorselRows(table->num_rows(), feeds_filter);
       out->scans.push_back(std::make_unique<MorselDispenser>(
-          table->num_rows(), morsel_rows));
+          table->num_rows(), rows, query_tag));
       return Status::OK();
     }
     case PlanNode::Kind::kFilter:
+      return CollectPipelineShared(*plan.children.at(0), store, num_workers,
+                                   morsel_rows, query_tag,
+                                   /*feeds_filter=*/true, out);
     case PlanNode::Kind::kProject:
     case PlanNode::Kind::kExchange:
       return CollectPipelineShared(*plan.children.at(0), store, num_workers,
-                                   morsel_rows, out);
+                                   morsel_rows, query_tag,
+                                   /*feeds_filter=*/false, out);
     case PlanNode::Kind::kHashJoin:
       EEDC_RETURN_IF_ERROR(CollectPipelineShared(
-          *plan.children.at(0), store, num_workers, morsel_rows, out));
+          *plan.children.at(0), store, num_workers, morsel_rows, query_tag,
+          /*feeds_filter=*/false, out));
       EEDC_RETURN_IF_ERROR(CollectPipelineShared(
-          *plan.children.at(1), store, num_workers, morsel_rows, out));
+          *plan.children.at(1), store, num_workers, morsel_rows, query_tag,
+          /*feeds_filter=*/false, out));
       out->joins.push_back(std::make_unique<JoinBuildShared>(num_workers));
       return Status::OK();
     case PlanNode::Kind::kHashAgg:
       EEDC_RETURN_IF_ERROR(CollectPipelineShared(
-          *plan.children.at(0), store, num_workers, morsel_rows, out));
+          *plan.children.at(0), store, num_workers, morsel_rows, query_tag,
+          /*feeds_filter=*/false, out));
       out->aggs.push_back(std::make_unique<AggMergeShared>(num_workers));
       return Status::OK();
   }
@@ -189,10 +203,12 @@ int ResolveWorkers(int workers_per_node) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+}  // namespace
+
 /// Per-node pipeline counts: an explicit node_workers entry wins, then the
 /// node's class engine_workers (class-scaled parallelism), then the
 /// uniform workers_per_node fallback.
-StatusOr<std::vector<int>> ResolveNodeWorkers(
+StatusOr<std::vector<int>> Executor::ResolveNodeWorkers(
     const Executor::Options& options, int n) {
   if (!options.node_classes.empty() &&
       static_cast<int>(options.node_classes.size()) != n) {
@@ -219,8 +235,6 @@ StatusOr<std::vector<int>> ResolveNodeWorkers(
   }
   return workers;
 }
-
-}  // namespace
 
 Executor::Executor(const ClusterData* data, Options options)
     : data_(data), options_(std::move(options)) {
@@ -282,6 +296,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         std::make_unique<PipelineShared>();
     EEDC_RETURN_IF_ERROR(CollectPipelineShared(
         *plan, data_->store(node), num_workers, options_.morsel_rows,
+        options_.query_tag, /*feeds_filter=*/false,
         shared[static_cast<std::size_t>(node)].get()));
     for (int worker = 0; worker < num_workers; ++worker) {
       const std::size_t idx =
@@ -332,7 +347,11 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     Duration end = Duration::Zero();
   };
   std::vector<WorkerSpan> spans(total);
-  const auto query_start = std::chrono::steady_clock::now();
+  // Span base time: the runtime-wide epoch when co-running under a
+  // multi-query runtime (spans from overlapping queries then share one
+  // timeline), otherwise this query's own start.
+  const auto query_start =
+      options_.span_epoch.value_or(std::chrono::steady_clock::now());
 
   auto run_pipeline = [&](std::size_t idx) {
     const int node = idx_node[idx];

@@ -20,7 +20,9 @@
 #ifndef EEDC_EXEC_EXECUTOR_H_
 #define EEDC_EXEC_EXECUTOR_H_
 
+#include <chrono>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,9 +90,20 @@ class Executor {
     /// the node's class default and workers_per_node for that node. Empty
     /// or non-positive entries defer.
     std::vector<int> node_workers;
-    /// Rows per morsel; 0 uses MorselDispenser::kDefaultMorselRows. Small
-    /// values force fine interleaving (useful for tests).
+    /// Rows per morsel; 0 selects the deterministic adaptive size per
+    /// scan (AdaptiveMorselRows — a function of table size and static
+    /// plan shape only). Explicit values force fixed granularity; small
+    /// ones force fine interleaving (useful for tests).
     std::size_t morsel_rows = 0;
+    /// Names this execution when many queries share one runtime: morsel
+    /// dispensers carry the tag so profilers/tests can attribute scan
+    /// traffic per query. -1 = untagged single-query execution.
+    int query_tag = -1;
+    /// Measures worker-activity spans relative to this instant instead of
+    /// the query's own start. A multi-query runtime sets one shared epoch
+    /// so overlapping executions land on one timeline exactly (no
+    /// per-query rebasing skew in concurrent energy attribution).
+    std::optional<std::chrono::steady_clock::time_point> span_epoch;
     /// Observes per-worker busy spans after each successful run (see
     /// WorkerActivityListener). Not owned; may be null.
     WorkerActivityListener* activity_listener = nullptr;
@@ -121,6 +134,13 @@ class Executor {
   /// exchanges with matching modes/keys in preorder position (they share
   /// channel groups positionally) and produce identical output schemas.
   StatusOr<QueryResult> ExecutePerNode(const NodePlanFn& plan_for_node);
+
+  /// Resolves the per-node pipeline counts `options` implies for an
+  /// n-node cluster (explicit node_workers beats class engine_workers
+  /// beats workers_per_node). Shared with ExecutorRuntime, which grants
+  /// resource-group fractions of these full widths.
+  static StatusOr<std::vector<int>> ResolveNodeWorkers(
+      const Options& options, int n);
 
  private:
   const ClusterData* data_;

@@ -59,7 +59,9 @@ HashJoinOp::HashJoinOp(OperatorPtr build, OperatorPtr probe,
 
 Status HashJoinOp::DrainBuildSide() {
   EEDC_RETURN_IF_ERROR(build_child_->Open());
-  // Drain the build side, inserting into the hash table as blocks arrive.
+  // Drain the build side. Single-pipeline mode inserts into the hash
+  // table as blocks arrive; the shared two-phase build only materializes
+  // the partial table here and hashes in parallel during phase 2.
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> block, build_child_->Next());
     if (!block.has_value()) break;
@@ -67,11 +69,13 @@ Status HashJoinOp::DrainBuildSide() {
     // build table while appending.
     const std::size_t base = build_table_.num_rows();
     block->AppendLiveRowsTo(&build_table_);
-    const auto keys =
-        build_table_.column(static_cast<std::size_t>(build_key_idx_))
-            .int64s();
-    for (std::size_t i = base; i < keys.size(); ++i) {
-      hash_table_.Insert(keys[i], static_cast<std::uint32_t>(i));
+    if (options_.build_shared == nullptr) {
+      const auto keys =
+          build_table_.column(static_cast<std::size_t>(build_key_idx_))
+              .int64s();
+      for (std::size_t i = base; i < keys.size(); ++i) {
+        hash_table_.Insert(keys[i], static_cast<std::uint32_t>(i));
+      }
     }
     if (options_.memory_budget_bytes > 0.0) {
       // In shared mode this checks one worker's partial only — a valid
@@ -99,44 +103,41 @@ Status HashJoinOp::DrainBuildSide() {
   return Status::OK();
 }
 
-Status HashJoinOp::MergePartials(JoinBuildShared* shared) {
-  std::size_t total_rows = 0, total_entries = 0;
+Status HashJoinOp::SpliceBuildTables(JoinBuildShared* shared) {
+  std::size_t total_rows = 0;
   for (std::size_t w = 0; w < shared->partial_tables.size(); ++w) {
     total_rows += shared->partial_tables[w]->num_rows();
-    total_entries += shared->partial_hash_tables[w].size();
   }
   Table merged(build_child_->schema());
   merged.Reserve(total_rows);
-  JoinHashTable ht;
-  ht.Reserve(total_entries);
   for (std::size_t w = 0; w < shared->partial_tables.size(); ++w) {
     Table& part = *shared->partial_tables[w];
-    const auto offset = static_cast<std::uint32_t>(merged.num_rows());
     for (std::size_t c = 0; c < part.num_columns(); ++c) {
       merged.mutable_column(c).AppendRange(part.column(c), 0,
                                            part.num_rows());
     }
     merged.FinishBulkLoad();
-    ht.MergeFrom(shared->partial_hash_tables[w], offset);
     // Release the partial eagerly; the merged copy supersedes it.
     shared->partial_tables[w].reset();
-    shared->partial_hash_tables[w] = JoinHashTable();
   }
-  if (options_.memory_budget_bytes > 0.0) {
-    const double used = ht.ApproxBytes() + merged.ApproxBytes();
-    if (used > options_.memory_budget_bytes) {
-      return Status::ResourceExhausted(StrFormat(
-          "hash table (%.0f B) exceeds node memory budget (%.0f B); "
-          "2-pass joins are unsupported (H predicate violated)",
-          used, options_.memory_budget_bytes));
-    }
+  shared->build_table.emplace(std::move(merged));
+  return Status::OK();
+}
+
+Status HashJoinOp::CheckMergedBudget(JoinBuildShared* shared) {
+  const double used = shared->hash_table.LogicalBytes() +
+                      shared->build_table->ApproxBytes();
+  if (options_.memory_budget_bytes > 0.0 &&
+      used > options_.memory_budget_bytes) {
+    return Status::ResourceExhausted(StrFormat(
+        "hash table (%.0f B) exceeds node memory budget (%.0f B); "
+        "2-pass joins are unsupported (H predicate violated)",
+        used, options_.memory_budget_bytes));
   }
   if (metrics_ != nullptr) {
     // Counted once per node, by the barrier leader.
-    metrics_->hash_table_bytes += ht.ApproxBytes() + merged.ApproxBytes();
+    metrics_->hash_table_bytes += used;
   }
-  shared->build_table.emplace(std::move(merged));
-  shared->hash_table = std::move(ht);
   return Status::OK();
 }
 
@@ -150,31 +151,44 @@ Status HashJoinOp::Open() {
     return probe_child_->Open();
   }
   const auto w = static_cast<std::size_t>(options_.worker_id);
+  const int num_workers = static_cast<int>(shared->partial_tables.size());
   if (st.ok()) {
     shared->partial_tables[w].emplace(std::move(build_table_));
-    shared->partial_hash_tables[w] = std::move(hash_table_);
   }
-  // Rendezvous with the peer pipeline instances — arriving with a failed
-  // status (instead of returning early) is what keeps peers from parking
-  // forever on a build that will never complete.
+  // Phase 1 rendezvous: the leader splices the partial tables only —
+  // arriving with a failed status (instead of returning early) is what
+  // keeps peers from parking forever on a build that will never complete.
   EEDC_RETURN_IF_ERROR(shared->barrier.ArriveAndMerge(
-      std::move(st), [this, shared] { return MergePartials(shared); }));
+      std::move(st), [this, shared] { return SpliceBuildTables(shared); }));
+  // Phase 2: all W workers hash their owned partitions of the merged key
+  // column concurrently (disjoint partition sets, no locking), then meet
+  // again so nobody probes a half-built table.
+  shared->hash_table.BuildOwnedPartitions(
+      shared->build_table->column(static_cast<std::size_t>(build_key_idx_))
+          .int64s(),
+      options_.worker_id, num_workers);
+  EEDC_RETURN_IF_ERROR(shared->insert_barrier.ArriveAndMerge(
+      Status::OK(), [this, shared] { return CheckMergedBudget(shared); }));
   probe_build_table_ = &*shared->build_table;
-  probe_hash_table_ = &shared->hash_table;
+  probe_part_table_ = &shared->hash_table;
   return probe_child_->Open();
 }
 
 StatusOr<std::optional<Block>> HashJoinOp::Next() {
   const Table& build_table = *probe_build_table_;
-  const JoinHashTable& hash_table = *probe_hash_table_;
   while (true) {
     EEDC_ASSIGN_OR_RETURN(std::optional<Block> in, probe_child_->Next());
     if (!in.has_value()) return std::optional<Block>();
     const auto keys =
         in->column(static_cast<std::size_t>(probe_key_idx_)).int64s();
     matches_.clear();
-    hash_table.ProbeBatch(keys, in->selection_data(), in->size(),
-                          &matches_);
+    if (probe_part_table_ != nullptr) {
+      probe_part_table_->ProbeBatch(keys, in->selection_data(), in->size(),
+                                    &matches_);
+    } else {
+      probe_hash_table_->ProbeBatch(keys, in->selection_data(), in->size(),
+                                    &matches_);
+    }
     if (metrics_ != nullptr) {
       metrics_->probe_rows += static_cast<double>(in->size());
       metrics_->join_output_rows += static_cast<double>(matches_.size());

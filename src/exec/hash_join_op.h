@@ -8,11 +8,16 @@
 // is what forces heterogeneous (scan/filter-only) plans on Wimpy nodes.
 //
 // Morsel parallelism: with Options::build_shared set, this instance is one
-// of W per-worker pipeline clones. Each drains its own (morsel-fed) build
-// child into a private partial table + hash table; the instances rendezvous
-// at the shared MergeBarrier, whose last arriver splices the partials in
-// worker order into the one build table/hash table every instance probes
-// (probes are read-only and thread-safe).
+// of W per-worker pipeline clones running a two-phase shared build. Each
+// drains its own (morsel-fed) build child into a private partial table;
+// at the first MergeBarrier the leader splices the partial tables in
+// worker order (cheap column appends), then between the barriers all W
+// workers insert their owned hash partitions of the merged key column in
+// parallel (PartitionedJoinHashTable), meeting at the second barrier where
+// the leader runs the final memory-budget check. Probe results are
+// bit-identical to the old serial single-table splice (same-key entries
+// keep their global order inside one partition); the serial section no
+// longer grows with the build size.
 #ifndef EEDC_EXEC_HASH_JOIN_OP_H_
 #define EEDC_EXEC_HASH_JOIN_OP_H_
 
@@ -55,11 +60,16 @@ class HashJoinOp final : public Operator {
              std::string probe_key, storage::Schema schema, Options options,
              NodeMetrics* metrics);
 
-  /// Drains the build child into this instance's build_table_/hash_table_.
+  /// Drains the build child into this instance's build_table_ (and, in
+  /// single-pipeline mode, hash_table_; the shared build defers hashing
+  /// to phase 2).
   Status DrainBuildSide();
-  /// Barrier leader: splices every worker's partials into the shared
-  /// build table + hash table, in worker order.
-  Status MergePartials(JoinBuildShared* shared);
+  /// Phase-1 barrier leader: splices every worker's partial *table* into
+  /// the shared build table, in worker order.
+  Status SpliceBuildTables(JoinBuildShared* shared);
+  /// Phase-2 barrier leader: final memory-budget check and hash-table
+  /// metrics over the merged, partitioned build state.
+  Status CheckMergedBudget(JoinBuildShared* shared);
 
   OperatorPtr build_child_;
   OperatorPtr probe_child_;
@@ -71,9 +81,11 @@ class HashJoinOp final : public Operator {
 
   storage::Table build_table_;
   JoinHashTable hash_table_;
-  /// What Next() probes: the local build state, or the shared merged one.
+  /// What Next() probes: the local build state, or the shared merged one
+  /// (exactly one of the two table pointers is set after Open()).
   const storage::Table* probe_build_table_ = nullptr;
   const JoinHashTable* probe_hash_table_ = nullptr;
+  const PartitionedJoinHashTable* probe_part_table_ = nullptr;
   int build_key_idx_ = -1;
   int probe_key_idx_ = -1;
   /// Probe-hit scratch reused across Next() calls.

@@ -74,4 +74,68 @@ void JoinHashTable::Rehash(std::size_t new_bucket_count) {
   }
 }
 
+void PartitionedJoinHashTable::BuildOwnedPartitions(
+    std::span<const std::int64_t> keys, int worker_id, int num_workers) {
+  // Uniform-hash expectation per partition; avoids the first few rehashes
+  // without a counting pre-pass.
+  const std::size_t expected = keys.size() / kPartitions + 8;
+  for (int p = worker_id; p < kPartitions; p += num_workers) {
+    parts_[static_cast<std::size_t>(p)].Reserve(expected);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t h = storage::HashKey(keys[i]);
+    const int p = PartitionOf(h);
+    if (p % num_workers != worker_id) continue;
+    parts_[static_cast<std::size_t>(p)].Insert(
+        keys[i], static_cast<std::uint32_t>(i));
+  }
+}
+
+double PartitionedJoinHashTable::LogicalBytes() const {
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  // Mirror the serial table's insert-driven growth: rehash whenever
+  // entries + 1 > buckets * 3/4.
+  std::size_t buckets = 16;
+  while (n > buckets * 3 / 4) buckets *= 2;
+  return static_cast<double>(buckets) * sizeof(std::uint32_t) +
+         static_cast<double>(n) * sizeof(JoinHashTable::Entry);
+}
+
+void PartitionedJoinHashTable::ProbeBatch(
+    std::span<const std::int64_t> keys, const std::uint32_t* sel,
+    std::size_t n, std::vector<JoinHashTable::Match>* out) const {
+  if (n == 0) return;
+  constexpr std::size_t kPrefetchDistance = 16;
+  const auto row_of = [sel](std::size_t i) {
+    return sel != nullptr ? sel[i] : static_cast<std::uint32_t>(i);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kPrefetchDistance < n) {
+      const std::uint64_t ahead =
+          storage::HashKey(keys[row_of(i + kPrefetchDistance)]);
+      const JoinHashTable& pt =
+          parts_[static_cast<std::size_t>(PartitionOf(ahead))];
+      if (!pt.buckets_.empty()) {
+        __builtin_prefetch(&pt.buckets_[ahead & pt.mask_], /*rw=*/0,
+                           /*locality=*/1);
+      }
+    }
+#endif
+    const std::uint32_t row = row_of(i);
+    const std::int64_t key = keys[row];
+    const std::uint64_t h = storage::HashKey(key);
+    const JoinHashTable& pt =
+        parts_[static_cast<std::size_t>(PartitionOf(h))];
+    if (pt.buckets_.empty()) continue;
+    std::uint32_t e = pt.buckets_[h & pt.mask_];
+    while (e != JoinHashTable::kNil) {
+      const JoinHashTable::Entry& entry = pt.entries_[e];
+      if (entry.key == key) out->emplace_back(row, entry.row);
+      e = entry.next;
+    }
+  }
+}
+
 }  // namespace eedc::exec

@@ -8,6 +8,7 @@
 #ifndef EEDC_EXEC_HASH_TABLE_H_
 #define EEDC_EXEC_HASH_TABLE_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -16,6 +17,8 @@
 #include "storage/partitioner.h"
 
 namespace eedc::exec {
+
+class PartitionedJoinHashTable;
 
 class JoinHashTable {
  public:
@@ -82,6 +85,8 @@ class JoinHashTable {
   }
 
  private:
+  friend class PartitionedJoinHashTable;
+
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
   struct Entry {
@@ -95,6 +100,63 @@ class JoinHashTable {
   std::vector<std::uint32_t> buckets_;  // chain heads
   std::vector<Entry> entries_;
   std::uint64_t mask_ = 0;
+};
+
+/// Hash-partitioned join table backing the two-phase parallel build. The
+/// key space splits into kPartitions by high hash bits (disjoint from the
+/// low bits JoinHashTable uses for its bucket index), each partition is an
+/// independent JoinHashTable, and W workers populate disjoint partition
+/// sets concurrently — the barrier leader's serial hash-table splice
+/// disappears. Every key lands in exactly one partition, and each
+/// partition's owner inserts rows in global build-table order, so chain
+/// walks return matches in exactly the order the serial merged table
+/// would: probe results are bit-identical to the single-table build.
+class PartitionedJoinHashTable {
+ public:
+  static constexpr int kPartitions = 64;
+
+  static int PartitionOf(std::uint64_t hash) {
+    return static_cast<int>((hash >> 32) &
+                            static_cast<std::uint64_t>(kPartitions - 1));
+  }
+
+  /// Phase 2 of the two-phase build: scans the full key column and
+  /// inserts every row whose partition is owned by `worker_id`
+  /// (ownership: partition p belongs to worker p % num_workers). Safe to
+  /// call concurrently from num_workers threads — each touches only its
+  /// own partitions.
+  void BuildOwnedPartitions(std::span<const std::int64_t> keys,
+                            int worker_id, int num_workers);
+
+  /// Batched probe mirroring JoinHashTable::ProbeBatch: appends a Match
+  /// per hit in probe-row order, prefetching the partition bucket slot of
+  /// row i+k while row i's chain is walked.
+  void ProbeBatch(std::span<const std::int64_t> keys,
+                  const std::uint32_t* sel, std::size_t n,
+                  std::vector<JoinHashTable::Match>* out) const;
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& p : parts_) n += p.size();
+    return n;
+  }
+  bool empty() const { return size() == 0; }
+
+  double ApproxBytes() const {
+    double b = 0.0;
+    for (const auto& p : parts_) b += p.ApproxBytes();
+    return b;
+  }
+
+  /// Footprint of the *equivalent single* JoinHashTable (one directory
+  /// grown to the total entry count, plus the entries). The H-predicate
+  /// budget and the hash_table_bytes metric use this so the decision to
+  /// admit a join stays a function of data size, not of the fixed
+  /// per-partition directory overhead the parallel layout adds.
+  double LogicalBytes() const;
+
+ private:
+  std::array<JoinHashTable, kPartitions> parts_;
 };
 
 }  // namespace eedc::exec

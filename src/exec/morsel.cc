@@ -2,6 +2,17 @@
 
 namespace eedc::exec {
 
+std::size_t AdaptiveMorselRows(std::size_t total_rows, bool feeds_filter) {
+  const std::size_t base = MorselDispenser::kDefaultMorselRows;
+  // Filter-fed scans keep few rows per dispensed morsel, so the atomic
+  // dispense amortizes over 4x the rows; plain scans stay at the block
+  // size. Shrink back toward base until at least kMinMorselsPerScan
+  // morsels remain for load balancing — small tables always use base.
+  std::size_t rows = feeds_filter ? base * 4 : base;
+  while (rows > base && total_rows / rows < kMinMorselsPerScan) rows /= 2;
+  return rows;
+}
+
 Status MergeBarrier::ArriveAndMerge(Status status,
                                     const std::function<Status()>& merge) {
   std::unique_lock<std::mutex> lock(mu_);

@@ -48,11 +48,15 @@ class MorselDispenser {
   static constexpr std::size_t kDefaultMorselRows =
       storage::Block::kDefaultCapacity;
 
-  /// `morsel_rows` == 0 selects kDefaultMorselRows.
+  /// `morsel_rows` == 0 selects kDefaultMorselRows. `query_tag` names the
+  /// query this dispenser belongs to when many queries share one runtime
+  /// (-1 = untagged single-query execution).
   explicit MorselDispenser(std::size_t total_rows,
-                           std::size_t morsel_rows = kDefaultMorselRows)
+                           std::size_t morsel_rows = kDefaultMorselRows,
+                           int query_tag = -1)
       : total_rows_(total_rows),
-        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows) {}
+        morsel_rows_(morsel_rows == 0 ? kDefaultMorselRows : morsel_rows),
+        query_tag_(query_tag) {}
 
   /// Claims the next morsel as [*start, *start + *count). Returns false
   /// when the table is exhausted.
@@ -67,12 +71,30 @@ class MorselDispenser {
 
   std::size_t total_rows() const { return total_rows_; }
   std::size_t morsel_rows() const { return morsel_rows_; }
+  /// The owning query under a multi-query runtime (-1 = untagged).
+  int query_tag() const { return query_tag_; }
 
  private:
   std::atomic<std::size_t> cursor_{0};
   std::size_t total_rows_;
   std::size_t morsel_rows_;
+  int query_tag_;
 };
+
+/// Deterministic adaptive morsel sizing (used when no explicit morsel size
+/// is configured). The dispense fetch-add is hot once many concurrent
+/// queries share a node's workers, and high-selectivity scans (a scan
+/// feeding a filter) do little work per dispensed row — both amortize
+/// better over larger morsels. The rule depends only on the table size and
+/// the static plan shape, never on worker count or runtime feedback, so
+/// results stay identical at every W and across co-running queries:
+/// grow the morsel (4x base for filter-fed scans) but never below
+/// kMinMorselsPerScan morsels of load-balancing granularity.
+std::size_t AdaptiveMorselRows(std::size_t total_rows, bool feeds_filter);
+
+/// Minimum number of morsels AdaptiveMorselRows keeps available for
+/// balancing before it stops growing the morsel size.
+inline constexpr std::size_t kMinMorselsPerScan = 64;
 
 /// A single-use barrier where W pipeline instances rendezvous at a merge
 /// point. Every worker arrives with its phase status; the last arriver runs
@@ -104,20 +126,27 @@ class MergeBarrier {
   Status status_ = Status::OK();
 };
 
-/// Per-worker partial state of one hash join's build side, merged at the
-/// barrier into the table + hash table shared by every probe pipeline.
+/// Per-worker partial state of one hash join's build side, merged in two
+/// phases: at `barrier` the leader splices the partial *tables* (cheap
+/// column appends) in worker order, then between the barriers every
+/// worker inserts its owned hash partitions in parallel, meeting at
+/// `insert_barrier` where the leader runs the final memory-budget check.
+/// The hash-table construction — the expensive part of the old serial
+/// splice — therefore scales with W instead of serializing on the leader.
 struct JoinBuildShared {
   explicit JoinBuildShared(int num_workers)
       : barrier(num_workers),
-        partial_tables(static_cast<std::size_t>(num_workers)),
-        partial_hash_tables(static_cast<std::size_t>(num_workers)) {}
+        insert_barrier(num_workers),
+        partial_tables(static_cast<std::size_t>(num_workers)) {}
 
   MergeBarrier barrier;
+  MergeBarrier insert_barrier;
   std::vector<std::optional<storage::Table>> partial_tables;
-  std::vector<JoinHashTable> partial_hash_tables;
   /// Merged build side; written by the barrier leader, read-only afterward.
   std::optional<storage::Table> build_table;
-  JoinHashTable hash_table;
+  /// Built concurrently between the barriers (disjoint partitions per
+  /// worker); read-only once insert_barrier completes.
+  PartitionedJoinHashTable hash_table;
 };
 
 /// One aggregation group: its (serialized) key, key values, and one
@@ -160,7 +189,10 @@ struct PipelineShared {
   /// outside any merge phase, so peers parked at a barrier unblock with the
   /// failure instead of waiting for an arrival that will never come.
   void Abort(const Status& status) {
-    for (auto& j : joins) j->barrier.Abort(status);
+    for (auto& j : joins) {
+      j->barrier.Abort(status);
+      j->insert_barrier.Abort(status);
+    }
     for (auto& a : aggs) a->barrier.Abort(status);
   }
 };

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "power/catalog.h"
 #include "workload/engine.h"
 
@@ -68,8 +69,12 @@ class Simulator {
  public:
   Simulator(const std::vector<const NodeClassSpec*>& classes,
             const PowerPolicy& policy, DispatchRule rule,
-            const cluster::FaultInjector* faults = nullptr)
-      : policy_(policy), rule_(rule), faults_(faults) {
+            const cluster::FaultInjector* faults = nullptr,
+            double contention_slowdown_per_peer = 0.0)
+      : policy_(policy),
+        rule_(rule),
+        faults_(faults),
+        contention_(contention_slowdown_per_peer) {
     nodes_.reserve(classes.size());
     for (const NodeClassSpec* cls : classes) {
       NodeState node;
@@ -145,7 +150,16 @@ class Simulator {
         rate *= faults_->ServiceRateMultiplierAt(n, c.start);
         c.stall = faults_->ExchangeStallAt(n, c.start);
       }
-      const Duration service = profile.service / (c.freq * rate);
+      Duration service = profile.service / (c.freq * rate);
+      if (contention_ > 0.0) {
+        // Engine-measured interference: peers already queued on this
+        // node slow the newcomer down (shared caches, memory bandwidth,
+        // runtime worker shares), so a contended node's completion AND
+        // marginal joules both grow — kEnergyFeasibleFinish stops
+        // seeing a deep queue as free.
+        service =
+            service * (1.0 + contention_ * node.QueueDepthAt(at));
+      }
       c.completion = c.start + service + c.stall;
       c.feasible = c.completion - at <= profile.deadline;
       any_feasible = any_feasible || c.feasible;
@@ -392,6 +406,8 @@ class Simulator {
   const PowerPolicy& policy_;
   DispatchRule rule_;
   const cluster::FaultInjector* faults_;
+  /// Per queued peer service stretch (DriverOptions knob).
+  double contention_;
   std::vector<NodeState> nodes_;
 };
 
@@ -443,6 +459,9 @@ PolicyReport BuildReport(const std::string& policy_name,
   report.fleet = fleet_label;
   Duration response_sum = Duration::Zero();
   int violations = 0;
+  // Queueing delays of interactive served queries, grouped by the
+  // serving node's class in first-seen (fleet group) order.
+  std::vector<std::pair<std::string, std::vector<double>>> delays_by_class;
   for (const QueryOutcome& o : outcomes) {
     report.retries += o.attempts - 1;
     if (o.failed) {
@@ -465,6 +484,25 @@ PolicyReport BuildReport(const std::string& policy_name,
       report.max_response = o.response();
     }
     if (o.violated) ++violations;
+    if (o.node_class != nullptr) {
+      auto it = std::find_if(
+          delays_by_class.begin(), delays_by_class.end(),
+          [&](const auto& e) { return e.first == o.node_class->name; });
+      if (it == delays_by_class.end()) {
+        delays_by_class.emplace_back(o.node_class->name,
+                                     std::vector<double>{});
+        it = std::prev(delays_by_class.end());
+      }
+      it->second.push_back((o.start - o.arrival).seconds());
+    }
+  }
+  for (const auto& [cls, delays] : delays_by_class) {
+    ClassQueueDelay d;
+    d.class_name = cls;
+    d.queries = static_cast<int>(delays.size());
+    d.p50 = Duration::Seconds(Percentile(delays, 0.50));
+    d.p95 = Duration::Seconds(Percentile(delays, 0.95));
+    report.queue_delay_by_class.push_back(std::move(d));
   }
   const int interactive = report.queries - report.deferred;
   if (interactive > 0) {
@@ -549,7 +587,8 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
           "arrival trace must be sorted by time");
     }
   }
-  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults,
+                options_.contention_slowdown_per_peer);
   outcomes_.clear();
   outcomes_.reserve(trace.size());
   std::vector<DeferredQuery> backlog;
@@ -617,7 +656,8 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
   for (int c = 0; c < loop.clients; ++c) {
     heap.emplace(rng.Exponential(loop.think_mean.seconds()), c);
   }
-  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults);
+  Simulator sim(fleet_nodes_, policy, options_.dispatch, options_.faults,
+                options_.contention_slowdown_per_peer);
   outcomes_.clear();
   outcomes_.reserve(static_cast<std::size_t>(loop.queries));
   std::vector<DeferredQuery> backlog;

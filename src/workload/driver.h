@@ -109,6 +109,17 @@ struct QueryOutcome {
   Duration response() const { return completion - arrival; }
 };
 
+/// Queueing-delay distribution of one node class within a report: how
+/// long queries dispatched to that class waited between arrival and
+/// service start (interactive served queries only — drain-phase waits
+/// are scheduling artifacts, not contention).
+struct ClassQueueDelay {
+  std::string class_name;
+  int queries = 0;
+  Duration p50 = Duration::Zero();
+  Duration p95 = Duration::Zero();
+};
+
 /// Per-policy workload result.
 struct PolicyReport {
   std::string policy;
@@ -154,6 +165,11 @@ struct PolicyReport {
   /// accounting; these close the loop against the engine that ran.
   Energy engine_energy = Energy::Zero();
   std::vector<std::pair<std::string, Energy>> engine_energy_by_class;
+
+  /// Queueing delay (start - arrival) percentiles of interactive served
+  /// queries, split by serving node class in fleet group order: where a
+  /// policy's contention actually queued. Empty when nothing was served.
+  std::vector<ClassQueueDelay> queue_delay_by_class;
 
   int offered() const { return queries + shed + failed; }
   double shed_rate() const {
@@ -213,6 +229,15 @@ struct DriverOptions {
   cluster::ClusterConfig fleet;
 
   cluster::DispatchRule dispatch = cluster::DispatchRule::kEarliestFinish;
+
+  /// Node-contention feedback from the real engine: every query already
+  /// queued on a candidate node at dispatch time stretches a newcomer's
+  /// service by this fraction (service *= 1 + slowdown * queue_depth).
+  /// Feed it from EngineFleet::MeasureConcurrent's measured interference
+  /// (e.g. interference - 1) so kEnergyFeasibleFinish prices the energy
+  /// of piling work onto a busy node, not just its queue length.
+  /// 0 keeps the classic contention-free M/G-style replay.
+  double contention_slowdown_per_peer = 0.0;
 
   /// Admission-control hook; not owned; nullptr admits everything.
   const cluster::AdmissionPolicy* admission = nullptr;

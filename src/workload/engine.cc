@@ -1,11 +1,15 @@
 #include "workload/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
+#include "common/stats.h"
+#include "energy/attribution.h"
 #include "exec/cancel.h"
 #include "exec/reference.h"
+#include "exec/runtime.h"
 #include "workload/profiles.h"
 
 namespace eedc::workload {
@@ -244,6 +248,139 @@ StatusOr<FaultMeasurement> EngineFleet::MeasureWithCrash(
     return m;
   }
   return last;
+}
+
+StatusOr<ConcurrentMeasurement> EngineFleet::MeasureConcurrent(
+    const std::vector<QueryKind>& kinds, int streams, int repetitions) {
+  if (kinds.empty()) {
+    return Status::InvalidArgument("concurrent mix needs >= 1 kind");
+  }
+  if (streams <= 0) {
+    return Status::InvalidArgument("concurrent mix needs >= 1 stream");
+  }
+  if (repetitions <= 0) repetitions = options_.repetitions;
+
+  // Serial ground truth per distinct kind: a reference result table for
+  // the row-identity checks, and the memoized best-of-reps wall that
+  // prices the back-to-back serial baseline.
+  std::array<std::shared_ptr<const storage::Table>, kNumQueryKinds>
+      reference;
+  std::array<Duration, kNumQueryKinds> serial_wall;
+  std::array<double, kNumQueryKinds> build_estimate{};
+  serial_wall.fill(Duration::Zero());
+  Duration serial_total = Duration::Zero();
+  for (const QueryKind kind : kinds) {
+    const auto k = static_cast<std::size_t>(kind);
+    if (reference[k] == nullptr) {
+      EEDC_ASSIGN_OR_RETURN(EngineRun run, RunOnce(kind));
+      reference[k] = run.table;
+      EEDC_ASSIGN_OR_RETURN(const EngineMeasurement* m, Measure(kind));
+      serial_wall[k] = m->wall;
+      // Admission prices the query at its placement-estimated build
+      // footprint (what a joiner node must hold in memory).
+      const cluster::EnginePlacement& placement = placements_[k];
+      const int joiner =
+          placement.joiners.empty() ? 0 : placement.joiners.front();
+      build_estimate[k] = cluster::EstimateBuildBytes(
+          *placement.plan_for_node(joiner), *data_);
+    }
+    serial_total += serial_wall[k];
+  }
+  // The co-run executes `streams` copies of the whole mix.
+  serial_total = serial_total * static_cast<double>(streams);
+
+  const cluster::EnginePlacement& p0 = placements_[0];
+  std::vector<std::shared_ptr<const power::PowerModel>> models;
+  models.reserve(p0.node_classes.size());
+  for (const cluster::NodeClassSpec* cls : p0.node_classes) {
+    models.push_back(cls->power_model);
+  }
+  const double share = 1.0 / static_cast<double>(kinds.size());
+
+  ConcurrentMeasurement best;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    exec::ExecutorRuntime runtime(data_.get(), p0.MakeExecutorOptions());
+    std::array<bool, kNumQueryKinds> grouped{};
+    for (const QueryKind kind : kinds) {
+      const auto k = static_cast<std::size_t>(kind);
+      if (grouped[k]) continue;
+      grouped[k] = true;
+      EEDC_RETURN_IF_ERROR(runtime.AddGroup(
+          exec::ResourceGroup{QueryKindName(kind), share, 0, 0.0}));
+    }
+
+    // Stream-major submission interleaves the kinds, so the runtime sees
+    // a genuinely mixed queue rather than per-kind batches.
+    struct Submission {
+      QueryKind kind;
+      int stream;
+      exec::ExecutorRuntime::TicketPtr ticket;
+    };
+    std::vector<Submission> subs;
+    subs.reserve(kinds.size() * static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s) {
+      for (const QueryKind kind : kinds) {
+        const auto k = static_cast<std::size_t>(kind);
+        exec::RuntimeQueryOptions qopts;
+        qopts.group = QueryKindName(kind);
+        qopts.estimated_build_bytes = build_estimate[k];
+        EEDC_ASSIGN_OR_RETURN(
+            exec::ExecutorRuntime::TicketPtr ticket,
+            runtime.Submit(placements_[k].plan_for_node, qopts));
+        subs.push_back(Submission{kind, s, std::move(ticket)});
+      }
+    }
+
+    ConcurrentMeasurement m;
+    std::vector<double> delays;
+    std::vector<double> stretch;
+    for (Submission& sub : subs) {
+      EEDC_ASSIGN_OR_RETURN(exec::QueryResult result, sub.ticket->Wait());
+      const auto k = static_cast<std::size_t>(sub.kind);
+      ConcurrentQueryResult qr;
+      qr.kind = sub.kind;
+      qr.stream = sub.stream;
+      qr.query_id = sub.ticket->query_id();
+      qr.result_rows = result.table.num_rows();
+      qr.rows_match = exec::TablesEqualUnordered(*reference[k],
+                                                 result.table, 1e-6,
+                                                 &qr.mismatch);
+      qr.queue_delay = sub.ticket->queue_delay();
+      qr.wall = result.metrics.wall;
+      m.all_rows_match = m.all_rows_match && qr.rows_match;
+      delays.push_back(qr.queue_delay.seconds());
+      if (serial_wall[k].seconds() > 0.0) {
+        stretch.push_back(qr.wall / serial_wall[k]);
+      }
+      m.queries.push_back(std::move(qr));
+    }
+
+    const std::vector<exec::TaggedWorkerSpan> spans = runtime.TaggedSpans();
+    const energy::ConcurrentEnergyReport report =
+        energy::AttributeConcurrent(spans, models, runtime.node_workers());
+    m.co_makespan = report.wall;
+    m.co_joules = report.total;
+    m.unattributed_idle = report.unattributed_idle;
+    m.attribution_error_joules = std::abs(
+        report.AttributedTotal().joules() - report.total.joules());
+    for (ConcurrentQueryResult& qr : m.queries) {
+      qr.joules = report.QueryJoules(qr.query_id);
+    }
+    m.serial_total = serial_total;
+    if (m.co_makespan.seconds() > 0.0) {
+      m.speedup = serial_total / m.co_makespan;
+    }
+    m.interference = Mean(stretch);
+    m.queue_delay_p50 = Duration::Seconds(Percentile(delays, 0.50));
+    m.queue_delay_p95 = Duration::Seconds(Percentile(delays, 0.95));
+
+    if (best.queries.empty() ||
+        (m.co_makespan.seconds() > 0.0 &&
+         m.co_makespan < best.co_makespan)) {
+      best = std::move(m);
+    }
+  }
+  return best;
 }
 
 StatusOr<QueryProfiles> EngineFleet::MeasuredProfiles() {

@@ -84,6 +84,49 @@ struct EngineRun {
   std::shared_ptr<const storage::Table> table;
 };
 
+/// One query's outcome inside a measured co-run.
+struct ConcurrentQueryResult {
+  QueryKind kind = QueryKind::kQ1;
+  /// Which of the mix's repeated streams of `kind` this execution was.
+  int stream = 0;
+  /// Runtime-unique tag (matches TaggedWorkerSpan::query).
+  int query_id = 0;
+  std::size_t result_rows = 0;
+  /// Row-identical (unordered, 1e-6) to the kind's serial reference.
+  bool rows_match = false;
+  std::string mismatch;  // first diff when !rows_match
+  /// Time queued before admission (resource-group gang admission).
+  Duration queue_delay = Duration::Zero();
+  /// The query's own wall clock under contention.
+  Duration wall = Duration::Zero();
+  /// Attributed share of the co-run's metered fleet joules.
+  Energy joules = Energy::Zero();
+};
+
+/// An engine-measured co-run of a query mix on one fleet.
+struct ConcurrentMeasurement {
+  std::vector<ConcurrentQueryResult> queries;
+  /// Shared-timeline makespan of the whole mix (first submit to last
+  /// worker span end).
+  Duration co_makespan = Duration::Zero();
+  /// Summed serial (best-of-reps) walls of the same mix back-to-back.
+  Duration serial_total = Duration::Zero();
+  /// serial_total / co_makespan: > 1 when co-running wins.
+  double speedup = 0.0;
+  /// Metered fleet joules over the co-run.
+  Energy co_joules = Energy::Zero();
+  /// Idle joules no query was responsible for.
+  Energy unattributed_idle = Energy::Zero();
+  /// |sum(per-query) + idle - total| — conservation of the attribution.
+  double attribution_error_joules = 0.0;
+  /// Mean (co-run wall / serial wall) across the mix's queries: the
+  /// node-contention stretch the driver prices as queueing delay.
+  double interference = 0.0;
+  Duration queue_delay_p50 = Duration::Zero();
+  Duration queue_delay_p95 = Duration::Zero();
+  bool all_rows_match = true;
+};
+
 struct EngineFaultOptions {
   /// Cooperative-cancellation checks the crashed attempt survives before
   /// the fuse trips (small, so the query dies mid-scan/mid-exchange with
@@ -135,6 +178,19 @@ class EngineFleet {
   /// = deadline_multiplier x service (>= 10 ms), engine_joules = metered
   /// energy. Runs every kind not yet measured.
   StatusOr<QueryProfiles> MeasuredProfiles();
+
+  /// Co-runs `streams` interleaved streams of every kind in `kinds` on
+  /// one persistent multi-query runtime (exec::ExecutorRuntime): each
+  /// kind gets a resource group granted 1/|kinds| of every node's
+  /// workers and its placement-estimated build bytes, queries are
+  /// admitted gang-style, and per-query joules are metered from the
+  /// overlapping tagged worker spans (energy::AttributeConcurrent).
+  /// Every result is row-compared against the kind's serial reference;
+  /// speedup is serial back-to-back total over co-run makespan, best of
+  /// `repetitions` co-runs (<= 0 uses the fleet's repetition option).
+  StatusOr<ConcurrentMeasurement> MeasureConcurrent(
+      const std::vector<QueryKind>& kinds, int streams,
+      int repetitions = 0);
 
   /// Runs `kind` once without memoization, returning the result table;
   /// the metered joules are attributed to `attr` in the fleet's meter.

@@ -234,6 +234,54 @@ TEST(PlacementTest, RoutingPushesJoinerRestrictionThroughUnaryOps) {
   }
 }
 
+TEST(EstimateBuildBytesTest, ChargesHashBuildsAndHonorsBroadcastFanout) {
+  ClusterData data(2);
+  ASSERT_TRUE(data.LoadHashPartitioned("fact", *MakeFact(4000), "f_key")
+                  .ok());
+  ASSERT_TRUE(
+      data.LoadHashPartitioned("dim", *MakeDim(500), "d_key").ok());
+
+  // No hash join, no build memory: scans, filters and aggregations are
+  // streaming.
+  PlanPtr agg_only = exec::HashAggPlan(
+      exec::FilterPlan(exec::ScanPlan("fact"),
+                       exec::Lt(exec::Col("f_val"), exec::I64(700))),
+      {"f_key"}, {exec::AggSpec::Count("rows")});
+  EXPECT_DOUBLE_EQ(EstimateBuildBytes(*agg_only, data), 0.0);
+
+  // A shuffled join charges the dim side's bytes plus the per-row hash
+  // overhead exactly once.
+  double dim_bytes = 0.0;
+  for (int node = 0; node < data.num_nodes(); ++node) {
+    dim_bytes += data.store(node).Get("dim").value()->LogicalBytes();
+  }
+  PlanPtr shuffled = exec::HashJoinPlan(
+      exec::ShufflePlan(exec::ScanPlan("dim"), "d_key"),
+      exec::ShufflePlan(exec::ScanPlan("fact"), "f_key"), "d_key",
+      "f_key");
+  const double shuffled_est = EstimateBuildBytes(*shuffled, data);
+  EXPECT_GT(shuffled_est, dim_bytes);
+
+  // Broadcasting the build side materializes it on every node: the
+  // estimate must scale with the fan-out.
+  PlanPtr broadcast = exec::HashJoinPlan(
+      exec::BroadcastPlan(exec::ScanPlan("dim")), exec::ScanPlan("fact"),
+      "d_key", "f_key");
+  const double broadcast_est = EstimateBuildBytes(*broadcast, data);
+  EXPECT_NEAR(broadcast_est, 2.0 * shuffled_est, 1e-9);
+
+  // A filter above the build side is ignored (upper bound, no
+  // selectivity model): same estimate as the unfiltered join.
+  PlanPtr filtered = exec::HashJoinPlan(
+      exec::ShufflePlan(
+          exec::FilterPlan(exec::ScanPlan("dim"),
+                           exec::Lt(exec::Col("d_weight"), exec::I64(5))),
+          "d_key"),
+      exec::ShufflePlan(exec::ScanPlan("fact"), "f_key"), "d_key",
+      "f_key");
+  EXPECT_DOUBLE_EQ(EstimateBuildBytes(*filtered, data), shuffled_est);
+}
+
 TEST(PlacementTest, MixedFleetMatchesSingleNodeReferenceOnTpchFragments) {
   tpch::DbgenOptions dbgen;
   dbgen.scale_factor = 0.002;

@@ -88,5 +88,27 @@ TEST(MaxRelativeErrorTest, PerfectPrediction) {
   EXPECT_DOUBLE_EQ(MaxRelativeError(obs, obs), 0.0);
 }
 
+TEST(PercentileTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 1.0), 7.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  // Unsorted on purpose: the input need not be sorted.
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 2.5);   // rank 1.5
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.95), 3.85);  // rank 2.85
+}
+
+TEST(PercentileTest, ClampsPOutsideUnitInterval) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 2.0), 3.0);
+}
+
 }  // namespace
 }  // namespace eedc

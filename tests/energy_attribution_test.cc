@@ -1,0 +1,129 @@
+#include "energy/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "power/power_model.h"
+
+namespace eedc::energy {
+namespace {
+
+using exec::TaggedWorkerSpan;
+using power::ConstantPowerModel;
+using power::LinearPowerModel;
+
+std::vector<std::shared_ptr<const power::PowerModel>> Linear100_200(
+    std::size_t nodes) {
+  std::vector<std::shared_ptr<const power::PowerModel>> models;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    models.push_back(std::make_shared<LinearPowerModel>(
+        Power::Watts(100.0), Power::Watts(200.0)));
+  }
+  return models;
+}
+
+TEST(AttributeConcurrentTest, EmptySpanLogIsAllZero) {
+  const auto report =
+      AttributeConcurrent({}, Linear100_200(2), {2, 2});
+  EXPECT_DOUBLE_EQ(report.total.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(report.unattributed_idle.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(report.wall.seconds(), 0.0);
+  EXPECT_TRUE(report.queries.empty());
+}
+
+TEST(AttributeConcurrentTest, SplitsOverlapByActiveWorkerCounts) {
+  // Node 0, width 2, linear 100->200 W. Query 7 holds worker 0 over
+  // [0, 10); query 3 holds worker 1 over [2, 6).
+  //   [0,2)  q7 alone, u=0.5 -> 150 W * 2 s = 300 J to q7
+  //   [2,6)  both,     u=1.0 -> 200 W * 4 s = 800 J, 400 J each
+  //   [6,10) q7 alone, u=0.5 -> 150 W * 4 s = 600 J to q7
+  const std::vector<TaggedWorkerSpan> spans = {
+      {7, 0, 0, Duration::Zero(), Duration::Seconds(10.0), false},
+      {3, 0, 1, Duration::Seconds(2.0), Duration::Seconds(6.0), false},
+  };
+  const auto report =
+      AttributeConcurrent(spans, Linear100_200(1), {2});
+
+  EXPECT_DOUBLE_EQ(report.wall.seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(report.total.joules(), 1700.0);
+  EXPECT_DOUBLE_EQ(report.unattributed_idle.joules(), 0.0);
+  ASSERT_EQ(report.queries.size(), 2u);
+  // Ascending by query id.
+  EXPECT_EQ(report.queries[0].query, 3);
+  EXPECT_EQ(report.queries[1].query, 7);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(3).joules(), 400.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(7).joules(), 1300.0);
+  EXPECT_DOUBLE_EQ(report.queries[0].busy.seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(report.queries[1].busy.seconds(), 10.0);
+  EXPECT_NEAR(report.AttributedTotal().joules(), report.total.joules(),
+              1e-9);
+}
+
+TEST(AttributeConcurrentTest, WaitsAreCarvedOutPerQuery) {
+  // As above, plus a wait [3, 4) inside query 3's busy span. During the
+  // wait only q7 computes: the step re-prices at u=0.5 and bills q7.
+  //   [0,2)  q7 alone          -> 300 J q7
+  //   [2,3)  both              -> 200 J, 100 J each
+  //   [3,4)  q7 alone (q3 waits) -> 150 J q7
+  //   [4,6)  both              -> 400 J, 200 J each
+  //   [6,10) q7 alone          -> 600 J q7
+  const std::vector<TaggedWorkerSpan> spans = {
+      {7, 0, 0, Duration::Zero(), Duration::Seconds(10.0), false},
+      {3, 0, 1, Duration::Seconds(2.0), Duration::Seconds(6.0), false},
+      {3, 0, 1, Duration::Seconds(3.0), Duration::Seconds(4.0), true},
+  };
+  const auto report =
+      AttributeConcurrent(spans, Linear100_200(1), {2});
+
+  EXPECT_DOUBLE_EQ(report.total.joules(), 1650.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(3).joules(), 300.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(7).joules(), 1350.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(3).joules() +
+                       report.QueryJoules(7).joules(),
+                   report.total.joules());
+  // q3's busy shrank by the 1 s wait.
+  EXPECT_DOUBLE_EQ(report.queries[0].busy.seconds(), 3.0);
+}
+
+TEST(AttributeConcurrentTest, SameWorkerIdAcrossQueriesStaysSeparate) {
+  // Both queries report "worker 0" (per-query executors number their own
+  // workers from zero); q1's wait must not swallow q2's busy time.
+  const std::vector<TaggedWorkerSpan> spans = {
+      {1, 0, 0, Duration::Zero(), Duration::Seconds(4.0), false},
+      {1, 0, 0, Duration::Zero(), Duration::Seconds(4.0), true},
+      {2, 0, 0, Duration::Zero(), Duration::Seconds(4.0), false},
+  };
+  const auto report = AttributeConcurrent(
+      spans,
+      {std::make_shared<ConstantPowerModel>(Power::Watts(50.0))}, {2});
+  // q1 is all wait: zero busy, zero joules. q2 computes the whole time.
+  EXPECT_DOUBLE_EQ(report.QueryJoules(1).joules(), 0.0);
+  EXPECT_DOUBLE_EQ(report.queries[0].busy.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(2).joules(), 200.0);
+  EXPECT_DOUBLE_EQ(report.total.joules(), 200.0);
+}
+
+TEST(AttributeConcurrentTest, IdleNodesAccrueUnattributedIdle) {
+  // Node 1 never runs anything: it idles for the whole shared wall at
+  // its own idle watts (constant 30 W * 5 s = 150 J). Node 0 is busy
+  // [0, 5) at constant 80 W = 400 J, all for query 0.
+  const std::vector<TaggedWorkerSpan> spans = {
+      {0, 0, 0, Duration::Zero(), Duration::Seconds(5.0), false},
+  };
+  const auto report = AttributeConcurrent(
+      spans,
+      {std::make_shared<ConstantPowerModel>(Power::Watts(80.0)),
+       std::make_shared<ConstantPowerModel>(Power::Watts(30.0))},
+      {1, 1});
+  EXPECT_DOUBLE_EQ(report.wall.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(report.QueryJoules(0).joules(), 400.0);
+  EXPECT_DOUBLE_EQ(report.unattributed_idle.joules(), 150.0);
+  EXPECT_DOUBLE_EQ(report.total.joules(), 550.0);
+  EXPECT_NEAR(report.AttributedTotal().joules(), report.total.joules(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace eedc::energy

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -149,6 +150,104 @@ TEST(JoinHashTableTest, ProbeBatchLargeBatchExercisesPrefetchPath) {
   for (const auto& [p, b] : matches) {
     EXPECT_EQ(keys[p], static_cast<std::int64_t>(b));
   }
+}
+
+/// A heavily duplicated key column (the partitioned build must preserve
+/// per-key match order across partitions and worker counts).
+std::vector<std::int64_t> DuplicateHeavyKeys(std::size_t n) {
+  Rng rng(7);
+  std::vector<std::int64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.UniformInt(-200, 200));
+  }
+  return keys;
+}
+
+TEST(PartitionedJoinHashTableTest, ProbeIsBitIdenticalToSerialTable) {
+  const std::vector<std::int64_t> build_keys = DuplicateHeavyKeys(5000);
+  JoinHashTable serial;
+  for (std::size_t i = 0; i < build_keys.size(); ++i) {
+    serial.Insert(build_keys[i], static_cast<std::uint32_t>(i));
+  }
+  const std::vector<std::int64_t> probe_keys = DuplicateHeavyKeys(3000);
+  std::vector<JoinHashTable::Match> want;
+  serial.ProbeBatch(probe_keys, nullptr, probe_keys.size(), &want);
+
+  for (const int workers : {1, 2, 8}) {
+    PartitionedJoinHashTable part;
+    for (int w = 0; w < workers; ++w) {
+      part.BuildOwnedPartitions(build_keys, w, workers);
+    }
+    EXPECT_EQ(part.size(), serial.size());
+    std::vector<JoinHashTable::Match> got;
+    part.ProbeBatch(probe_keys, nullptr, probe_keys.size(), &got);
+    // Bit-identical: same hits in the same order, W-independent.
+    EXPECT_EQ(got, want) << "workers=" << workers;
+  }
+}
+
+TEST(PartitionedJoinHashTableTest, ConcurrentBuildMatchesSerial) {
+  const std::vector<std::int64_t> build_keys = DuplicateHeavyKeys(20000);
+  JoinHashTable serial;
+  for (std::size_t i = 0; i < build_keys.size(); ++i) {
+    serial.Insert(build_keys[i], static_cast<std::uint32_t>(i));
+  }
+  constexpr int kWorkers = 8;
+  PartitionedJoinHashTable part;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&part, &build_keys, w] {
+      part.BuildOwnedPartitions(build_keys, w, kWorkers);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<std::int64_t> probe_keys = DuplicateHeavyKeys(4000);
+  std::vector<JoinHashTable::Match> want, got;
+  serial.ProbeBatch(probe_keys, nullptr, probe_keys.size(), &want);
+  part.ProbeBatch(probe_keys, nullptr, probe_keys.size(), &got);
+  EXPECT_EQ(got, want);
+}
+
+TEST(PartitionedJoinHashTableTest, ProbeHonorsSelectionVector) {
+  const std::vector<std::int64_t> build_keys = {1, 3, 1};
+  PartitionedJoinHashTable part;
+  part.BuildOwnedPartitions(build_keys, 0, 1);
+  const std::vector<std::int64_t> probe_keys = {1, 2, 3, 1};
+  const std::vector<std::uint32_t> sel = {2, 3};
+  std::vector<JoinHashTable::Match> got;
+  part.ProbeBatch(probe_keys, sel.data(), sel.size(), &got);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, 2u);   // probe row 2 hits key 3
+  EXPECT_EQ(got[0].second, 1u);
+  EXPECT_EQ(got[1].first, 3u);   // probe row 3 hits both key-1 rows
+  EXPECT_EQ(got[2].first, 3u);
+}
+
+TEST(PartitionedJoinHashTableTest, LogicalBytesModelsTheSerialFootprint) {
+  PartitionedJoinHashTable part;
+  EXPECT_DOUBLE_EQ(part.LogicalBytes(), 0.0);
+
+  // 64 partitions each pre-reserve a small directory, so the physical
+  // footprint has a fixed overhead the logical size must not charge: a
+  // tiny build must look tiny to the memory-budget predicate.
+  const std::vector<std::int64_t> tiny = {1, 2, 3};
+  part.BuildOwnedPartitions(tiny, 0, 1);
+  EXPECT_LT(part.LogicalBytes(), 200.0);
+  EXPECT_GT(part.ApproxBytes(), part.LogicalBytes());
+
+  // At scale the logical size tracks the insert-grown serial table:
+  // directory doubled while n > buckets * 3/4, 4 B per slot, 16 B per
+  // entry.
+  const std::vector<std::int64_t> keys = DuplicateHeavyKeys(10000);
+  PartitionedJoinHashTable big;
+  big.BuildOwnedPartitions(keys, 0, 1);
+  std::size_t buckets = 16;
+  while (keys.size() > buckets * 3 / 4) buckets *= 2;
+  const double want = static_cast<double>(buckets) * 4.0 +
+                      static_cast<double>(keys.size()) * 16.0;
+  EXPECT_DOUBLE_EQ(big.LogicalBytes(), want);
 }
 
 TEST(JoinHashTableTest, MatchesStdMultimapOnRandomWorkload) {

@@ -47,6 +47,43 @@ TEST(MorselDispenserTest, ZeroMorselRowsSelectsDefault) {
   EXPECT_EQ(dispenser.morsel_rows(), MorselDispenser::kDefaultMorselRows);
 }
 
+TEST(MorselDispenserTest, CarriesItsQueryTag) {
+  MorselDispenser untagged(100);
+  EXPECT_EQ(untagged.query_tag(), -1);
+  MorselDispenser tagged(100, 0, /*query_tag=*/42);
+  EXPECT_EQ(tagged.query_tag(), 42);
+}
+
+TEST(AdaptiveMorselRowsTest, PlainScansUseTheBlockSize) {
+  const std::size_t base = MorselDispenser::kDefaultMorselRows;
+  EXPECT_EQ(AdaptiveMorselRows(0, false), base);
+  EXPECT_EQ(AdaptiveMorselRows(100, false), base);
+  EXPECT_EQ(AdaptiveMorselRows(100'000'000, false), base);
+}
+
+TEST(AdaptiveMorselRowsTest, FilterFedScansCoarsenWhenTableIsLarge) {
+  const std::size_t base = MorselDispenser::kDefaultMorselRows;
+  // Plenty of morsels even at 4x: stay coarse.
+  EXPECT_EQ(AdaptiveMorselRows(4 * base * kMinMorselsPerScan, true),
+            4 * base);
+  // Halve until >= kMinMorselsPerScan morsels remain.
+  EXPECT_EQ(AdaptiveMorselRows(2 * base * kMinMorselsPerScan, true),
+            2 * base);
+  // Small tables fall all the way back to the block size.
+  EXPECT_EQ(AdaptiveMorselRows(base, true), base);
+  EXPECT_EQ(AdaptiveMorselRows(0, true), base);
+}
+
+TEST(AdaptiveMorselRowsTest, IsDeterministicInItsInputsOnly) {
+  for (const std::size_t rows :
+       std::vector<std::size_t>{0, 1000, 262144, 1048576}) {
+    EXPECT_EQ(AdaptiveMorselRows(rows, true),
+              AdaptiveMorselRows(rows, true));
+    EXPECT_EQ(AdaptiveMorselRows(rows, false),
+              AdaptiveMorselRows(rows, false));
+  }
+}
+
 TEST(MorselDispenserTest, EmptyTableDispensesNothing) {
   MorselDispenser dispenser(0);
   std::size_t start = 0, count = 0;

@@ -1,0 +1,116 @@
+// MeasureConcurrent: co-running query mixes on one persistent runtime,
+// with per-query energy attribution from overlapping tagged spans.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "workload/engine.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+EngineFleetOptions FastOptions() {
+  EngineFleetOptions options;
+  options.scale_factor = 0.001;
+  options.repetitions = 1;
+  return options;
+}
+
+TEST(MeasureConcurrentTest, RejectsEmptyMixAndNonPositiveStreams) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 1);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_FALSE((*engine)->MeasureConcurrent({}, 2).ok());
+  EXPECT_FALSE(
+      (*engine)->MeasureConcurrent({QueryKind::kQ1}, 0).ok());
+}
+
+// The issue's acceptance shape: >= 2 kinds x >= 2 streams co-run on a
+// mixed 1 beefy + 2 wimpy fleet, every result row-identical to its serial
+// reference, and the per-query joule attribution conserving the metered
+// fleet total to 1e-6.
+TEST(MeasureConcurrentTest, MixedFleetCoRunMatchesSerialReferences) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 4), 1, PaperClass("wimpy", 2), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  const std::vector<QueryKind> kinds = {QueryKind::kQ1, QueryKind::kQ21};
+  constexpr int kStreams = 2;
+  auto m = (*engine)->MeasureConcurrent(kinds, kStreams, 1);
+  ASSERT_TRUE(m.ok()) << m.status();
+
+  ASSERT_EQ(m->queries.size(), kinds.size() * kStreams);
+  EXPECT_TRUE(m->all_rows_match);
+  int q1 = 0;
+  int q21 = 0;
+  for (const ConcurrentQueryResult& q : m->queries) {
+    EXPECT_TRUE(q.rows_match)
+        << QueryKindName(q.kind) << " stream " << q.stream << ": "
+        << q.mismatch;
+    EXPECT_GT(q.result_rows, 0u);
+    EXPECT_GE(q.queue_delay.seconds(), 0.0);
+    EXPECT_GT(q.wall.seconds(), 0.0);
+    EXPECT_GE(q.joules.joules(), 0.0);
+    (q.kind == QueryKind::kQ1 ? q1 : q21) += 1;
+  }
+  EXPECT_EQ(q1, kStreams);
+  EXPECT_EQ(q21, kStreams);
+
+  // Shared-timeline accounting: the co-run makespan covers every query's
+  // own wall, and serial back-to-back is the sum of the mix's serial
+  // walls.
+  EXPECT_GT(m->co_makespan.seconds(), 0.0);
+  for (const ConcurrentQueryResult& q : m->queries) {
+    EXPECT_LE(q.wall.seconds(), m->co_makespan.seconds() + 1e-9);
+  }
+  EXPECT_GT(m->serial_total.seconds(), 0.0);
+  EXPECT_GT(m->speedup, 0.0);
+  EXPECT_GT(m->interference, 0.0);
+
+  // Conservation: per-query joules + unattributed idle == metered total.
+  double attributed = m->unattributed_idle.joules();
+  for (const ConcurrentQueryResult& q : m->queries) {
+    attributed += q.joules.joules();
+  }
+  EXPECT_GT(m->co_joules.joules(), 0.0);
+  EXPECT_NEAR(attributed, m->co_joules.joules(), 1e-6);
+  EXPECT_LE(m->attribution_error_joules, 1e-6);
+
+  // Queue-delay percentiles are populated and ordered.
+  EXPECT_GE(m->queue_delay_p95.seconds(), m->queue_delay_p50.seconds());
+}
+
+TEST(MeasureConcurrentTest, SingleKindSingleStreamDegeneratesCleanly) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 1);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  auto m = (*engine)->MeasureConcurrent({QueryKind::kQ3}, 1, 1);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_EQ(m->queries.size(), 1u);
+  EXPECT_TRUE(m->queries[0].rows_match) << m->queries[0].mismatch;
+  // One query alone: its attributed joules are the whole busy share.
+  EXPECT_NEAR(m->queries[0].joules.joules() + m->unattributed_idle.joules(),
+              m->co_joules.joules(), 1e-6);
+}
+
+}  // namespace
+}  // namespace eedc::workload

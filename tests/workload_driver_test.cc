@@ -203,6 +203,55 @@ TEST(WorkloadDriverTest, ClosedLoopIsDeterministicAndBounded) {
   EXPECT_DOUBLE_EQ(a->makespan.seconds(), b->makespan.seconds());
 }
 
+TEST(WorkloadDriverTest, ContentionKnobStretchesQueuedService) {
+  // Three simultaneous arrivals on one node, 2 s service each.
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1}};
+  const QueryProfiles profiles =
+      TwoSecondService(Duration::Seconds(100.0));
+
+  // Contention-free baseline: back-to-back at 2/4/6 s.
+  WorkloadDriver baseline(OneConstantNode());
+  auto base_report = baseline.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(base_report.ok()) << base_report.status();
+  EXPECT_DOUBLE_EQ(baseline.outcomes()[2].completion.seconds(), 6.0);
+
+  // 0.5 stretch per queued peer: the second query sees 1 peer
+  // (service 3 s), the third 2 peers (service 4 s).
+  DriverOptions contended = OneConstantNode();
+  contended.contention_slowdown_per_peer = 0.5;
+  WorkloadDriver driver(contended);
+  auto report = driver.Run(trace, profiles, AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(driver.outcomes().size(), 3u);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[0].completion.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[1].completion.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(driver.outcomes()[2].completion.seconds(), 9.0);
+  EXPECT_GT(report->mean_response.seconds(),
+            base_report->mean_response.seconds());
+}
+
+TEST(WorkloadDriverTest, ReportsQueueDelayPercentilesPerClass) {
+  const std::vector<QueryArrival> trace = {
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1},
+      {Duration::Zero(), QueryKind::kQ1}};
+  WorkloadDriver driver(OneConstantNode());
+  auto report = driver.Run(
+      trace, TwoSecondService(Duration::Seconds(100.0)), AllOnPolicy());
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Queue delays on the single legacy class: 0, 2 and 4 s. The linear
+  // percentile rule gives p50 = 2 and p95 = 2 + 0.9 * 2 = 3.8.
+  ASSERT_EQ(report->queue_delay_by_class.size(), 1u);
+  const ClassQueueDelay& d = report->queue_delay_by_class[0];
+  EXPECT_EQ(d.class_name, "node");
+  EXPECT_EQ(d.queries, 3);
+  EXPECT_DOUBLE_EQ(d.p50.seconds(), 2.0);
+  EXPECT_NEAR(d.p95.seconds(), 3.8, 1e-9);
+}
+
 TEST(WorkloadDriverTest, RejectsUnsortedTrace) {
   WorkloadDriver driver(OneConstantNode());
   const std::vector<QueryArrival> trace = {
