@@ -18,14 +18,19 @@
 // bench/BASELINE_cluster.json. The frontier is written to
 // BENCH_cluster.json.
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "cluster/design_explorer.h"
 #include "cluster/fault.h"
 #include "common/str_util.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
 #include "workload/arrival.h"
 #include "workload/driver.h"
 #include "workload/engine.h"
@@ -238,6 +243,9 @@ bool RunEngineGate(bench::BenchJson* json) {
   bool sla_ok = true, results_match = true;
   const QueryKind kinds[] = {QueryKind::kQ1, QueryKind::kQ3,
                              QueryKind::kQ12, QueryKind::kQ21};
+  // Per-operator profiles of every engine-measured run, written to
+  // PROFILE_cluster.json for the CI artifact next to the trace.
+  std::vector<std::pair<std::string, std::string>> profiles;
   bench::PrintNote("engine-measured per kind (1B,2W vs 3B):");
   for (QueryKind kind : kinds) {
     auto mm = (*mixed)->Measure(kind);
@@ -246,6 +254,11 @@ bool RunEngineGate(bench::BenchJson* json) {
       bench::PrintNote("engine run failed");
       return false;
     }
+    const char* kind_name = workload::QueryKindName(kind);
+    profiles.emplace_back(StrFormat("mixed_%s", kind_name),
+                          (*mm)->profile.ToJson());
+    profiles.emplace_back(StrFormat("beefy_%s", kind_name),
+                          (*hm)->profile.ToJson());
     mixed_joules += (*mm)->joules.joules();
     homog_joules += (*hm)->joules.joules();
     sla_ok = sla_ok && (*mm)->wall <= sla->For(kind).deadline;
@@ -258,6 +271,19 @@ bool RunEngineGate(bench::BenchJson* json) {
         (*mm)->wall.seconds() * 1e3, (*mm)->result_rows,
         (*hm)->joules.joules(), (*hm)->wall.seconds() * 1e3,
         (*hm)->result_rows));
+    if (kind == QueryKind::kQ21) {
+      bench::PrintNote("Q21 per-operator profile on the mixed fleet:");
+      std::fputs((*mm)->profile.RenderText().c_str(), stdout);
+    }
+  }
+  {
+    std::ofstream os("PROFILE_cluster.json");
+    os << "{\n  \"bench\": \"cluster_profiles\"";
+    for (const auto& [name, profile_json] : profiles) {
+      os << ",\n  \"" << name << "\": " << profile_json;
+    }
+    os << "\n}\n";
+    if (os.good()) bench::PrintNote("wrote PROFILE_cluster.json");
   }
   const bool wins = mixed_joules < homog_joules;
   bench::PrintClaim(
@@ -445,7 +471,8 @@ bool RunFaultGate(bench::BenchJson* json) {
 /// back-to-back on throughput. Speedup and interference are wall-clock
 /// (recorded, floor-gated with a wide margin); the row and attribution
 /// checks are exact.
-bool RunConcurrencyGate(bench::BenchJson* json) {
+bool RunConcurrencyGate(bench::BenchJson* json,
+                        const std::string& trace_out) {
   const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
   auto fleet_config =
       ClusterConfig::FromRegistry(registry, {{"beefy", 1}, {"wimpy", 2}});
@@ -531,6 +558,27 @@ bool RunConcurrencyGate(bench::BenchJson* json) {
   json->Add("concurrency_idle_joules", m->unattributed_idle.joules());
   json->Add("concurrency_queue_p95_ms",
             m->queue_delay_p95.seconds() * 1e3);
+
+  if (!trace_out.empty()) {
+    // One extra traced co-run purely for the CI artifact (tracing forces
+    // a single repetition, so the gated wall-clock metrics above come
+    // from the untraced repetitions).
+    obs::TraceRecorder recorder;
+    auto traced = (*engine)->MeasureConcurrent(kinds, kStreams, 1,
+                                               &recorder);
+    if (!traced.ok()) {
+      bench::PrintNote("traced co-run failed: " +
+                       traced.status().ToString());
+      return false;
+    }
+    const Status status = obs::WriteChromeTrace(recorder, trace_out);
+    if (!status.ok()) {
+      bench::PrintNote("trace export failed: " + status.ToString());
+      return false;
+    }
+    bench::PrintNote("wrote " + trace_out +
+                     " (load in chrome://tracing or ui.perfetto.dev)");
+  }
   return ok;
 }
 
@@ -539,10 +587,13 @@ bool RunConcurrencyGate(bench::BenchJson* json) {
 int main(int argc, char** argv) {
   // `--gates=engine,concurrency` runs a subset (sanitizer jobs split the
   // slow engine gates across runners); default is every gate.
-  std::string gates;
+  // `--trace_out=<path>` additionally exports a Chrome trace of one
+  // traced Q1+Q21 co-run from the concurrency gate.
+  std::string gates, trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--gates=", 0) == 0) gates = arg.substr(8) + ",";
+    if (arg.rfind("--trace_out=", 0) == 0) trace_out = arg.substr(12);
   }
   const auto enabled = [&gates](const char* name) {
     return gates.empty() ||
@@ -558,7 +609,9 @@ int main(int argc, char** argv) {
   if (enabled("admission")) ok = RunAdmissionGate(&json) && ok;
   if (enabled("engine")) ok = RunEngineGate(&json) && ok;
   if (enabled("fault")) ok = RunFaultGate(&json) && ok;
-  if (enabled("concurrency")) ok = RunConcurrencyGate(&json) && ok;
+  if (enabled("concurrency")) {
+    ok = RunConcurrencyGate(&json, trace_out) && ok;
+  }
   json.WriteFile();
   return ok ? 0 : 1;
 }

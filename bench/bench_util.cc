@@ -56,10 +56,39 @@ void BenchJson::Add(const std::string& metric, double value) {
 
 void BenchJson::AddString(const std::string& metric,
                           const std::string& value) {
+  // Full JSON string escaping: quotes, backslashes, and every control
+  // character (fault-plan Describe strings carry newlines).
   std::string quoted = "\"";
   for (char c : value) {
-    if (c == '"' || c == '\\') quoted += '\\';
-    quoted += c;
+    switch (c) {
+      case '"':
+        quoted += "\\\"";
+        break;
+      case '\\':
+        quoted += "\\\\";
+        break;
+      case '\b':
+        quoted += "\\b";
+        break;
+      case '\f':
+        quoted += "\\f";
+        break;
+      case '\n':
+        quoted += "\\n";
+        break;
+      case '\r':
+        quoted += "\\r";
+        break;
+      case '\t':
+        quoted += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          quoted += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          quoted += c;
+        }
+    }
   }
   quoted += '"';
   metrics_.emplace_back(metric, std::move(quoted));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace eedc {
 
@@ -93,7 +94,8 @@ double MaxRelativeError(std::span<const double> observed,
 }
 
 double Percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  // No order statistics exist: NaN, per the header contract.
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   p = std::clamp(p, 0.0, 1.0);

@@ -66,8 +66,10 @@ double MaxRelativeError(std::span<const double> observed,
 
 /// The p-quantile (p in [0, 1]) of `xs` by linear interpolation between
 /// order statistics (the common "linear" / type-7 rule: rank
-/// p * (n - 1) into the sorted sample). 0 for empty input; p is clamped
-/// to [0, 1]. The input need not be sorted.
+/// p * (n - 1) into the sorted sample). Empty input has no quantiles and
+/// returns quiet NaN — callers that want a default must supply it (the
+/// old behavior of returning 0 silently read as "zero latency"). p is
+/// clamped to [0, 1]. The input need not be sorted.
 double Percentile(std::span<const double> xs, double p);
 
 }  // namespace eedc

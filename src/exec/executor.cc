@@ -11,8 +11,10 @@
 #include "exec/filter_op.h"
 #include "exec/hash_join_op.h"
 #include "exec/morsel.h"
+#include "exec/profiled_op.h"
 #include "exec/project_op.h"
 #include "exec/scan_op.h"
+#include "obs/trace.h"
 #include "storage/partitioner.h"
 
 namespace eedc::exec {
@@ -120,9 +122,15 @@ struct NodeBuildContext {
   /// Cancellation wiring, threaded into scans and exchanges (may be null).
   CancelToken* cancel = nullptr;
   Duration receive_timeout = Duration::Infinite();
+  /// When set, every operator of this pipeline is wrapped in a ProfiledOp
+  /// attributing its time to stages (see exec/profiled_op.h).
+  obs::OpProfiler* profiler = nullptr;
 };
 
-StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
+StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx);
+
+StatusOr<OperatorPtr> BuildOpsUnwrapped(const PlanNode& plan,
+                                        NodeBuildContext* ctx) {
   switch (plan.kind) {
     case PlanNode::Kind::kScan: {
       EEDC_ASSIGN_OR_RETURN(
@@ -195,6 +203,50 @@ StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
     }
   }
   return Status::Internal("unknown plan node kind");
+}
+
+/// Builds the operator for `plan`, wrapping it in a stage-attributing
+/// ProfiledOp when the pipeline carries a profiler. A hash join builds in
+/// Open and probes in Next; an exchange sends in Open and receives in
+/// Next; every other operator lives in a single stage.
+StatusOr<OperatorPtr> BuildOps(const PlanNode& plan, NodeBuildContext* ctx) {
+  EEDC_ASSIGN_OR_RETURN(OperatorPtr op, BuildOpsUnwrapped(plan, ctx));
+  if (ctx->profiler == nullptr) return op;
+  obs::OpStage open_stage;
+  obs::OpStage next_stage;
+  std::string label;
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan:
+      open_stage = next_stage = obs::OpStage::kScan;
+      label = "scan " + plan.table_name;
+      break;
+    case PlanNode::Kind::kFilter:
+      open_stage = next_stage = obs::OpStage::kFilter;
+      label = "filter";
+      break;
+    case PlanNode::Kind::kProject:
+      open_stage = next_stage = obs::OpStage::kProject;
+      label = "project";
+      break;
+    case PlanNode::Kind::kHashJoin:
+      open_stage = obs::OpStage::kJoinBuild;
+      next_stage = obs::OpStage::kJoinProbe;
+      label = "hash_join";
+      break;
+    case PlanNode::Kind::kHashAgg:
+      open_stage = next_stage = obs::OpStage::kAgg;
+      label = "hash_agg";
+      break;
+    case PlanNode::Kind::kExchange:
+      open_stage = obs::OpStage::kExchangeSend;
+      next_stage = obs::OpStage::kExchangeReceive;
+      label = "exchange";
+      break;
+    default:
+      return Status::Internal("unknown plan node kind");
+  }
+  return OperatorPtr(new ProfiledOp(std::move(op), ctx->profiler, open_stage,
+                                    next_stage, std::move(label)));
 }
 
 int ResolveWorkers(int workers_per_node) {
@@ -282,6 +334,21 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   metrics.nodes.resize(static_cast<std::size_t>(n));
   std::vector<NodeMetrics> worker_metrics(total);
 
+  // Span base time: the runtime-wide epoch when co-running under a
+  // multi-query runtime (spans from overlapping queries then share one
+  // timeline), otherwise this query's own start. Resolved before
+  // instantiation so operator profilers stamp the same timeline.
+  const auto query_start =
+      options_.span_epoch.value_or(std::chrono::steady_clock::now());
+
+  // Per-pipeline operator profilers, created only when profiling or
+  // tracing asks for them: with both off the operator trees below carry
+  // no decorators and the hot path is identical to an unprofiled build.
+  const bool profiling =
+      options_.profile_operators || options_.trace != nullptr;
+  std::vector<obs::OpProfiler> profilers(profiling ? total : 0);
+  for (obs::OpProfiler& p : profilers) p.SetEpoch(query_start);
+
   // Instantiate every pipeline instance up front so that schema/placement
   // errors surface before any thread starts (no partial execution). Index
   // node * num_workers + worker throughout.
@@ -312,6 +379,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
       ctx.exchange_ops = &worker_exchanges[idx];
       ctx.cancel = options_.cancel;
       ctx.receive_timeout = options_.receive_timeout;
+      if (profiling) ctx.profiler = &profilers[idx];
       if (static_cast<std::size_t>(node) <
           options_.node_memory_budget_bytes.size()) {
         ctx.memory_budget_bytes =
@@ -347,11 +415,6 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     Duration end = Duration::Zero();
   };
   std::vector<WorkerSpan> spans(total);
-  // Span base time: the runtime-wide epoch when co-running under a
-  // multi-query runtime (spans from overlapping queries then share one
-  // timeline), otherwise this query's own start.
-  const auto query_start =
-      options_.span_epoch.value_or(std::chrono::steady_clock::now());
 
   auto run_pipeline = [&](std::size_t idx) {
     const int node = idx_node[idx];
@@ -404,6 +467,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     Duration wait = worker_metrics[idx].exchange_wait;
     if (wait > worker_metrics[idx].wall) wait = worker_metrics[idx].wall;
     worker_metrics[idx].busy = worker_metrics[idx].wall - wait;
+    if (profiling) worker_metrics[idx].op = profilers[idx].breakdown();
     spans[idx].begin = Duration::Seconds(
         std::chrono::duration<double>(start - query_start).count());
     spans[idx].end = Duration::Seconds(
@@ -444,6 +508,58 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         }
       }
     }
+  }
+
+  // Trace emission, also before the status check: a cancelled query's
+  // partial spans are exactly what a failover investigation wants to see.
+  if (options_.trace != nullptr) {
+    const double query_start_s =
+        std::chrono::duration<double>(query_start.time_since_epoch())
+            .count();
+    std::vector<obs::TraceSpan> trace_spans;
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      obs::TraceSpan pipe;
+      pipe.query = options_.query_tag;
+      pipe.node = idx_node[idx];
+      pipe.worker = idx_worker[idx];
+      pipe.name = "pipeline";
+      pipe.category = "pipeline";
+      pipe.begin_s = spans[idx].begin.seconds();
+      pipe.end_s = spans[idx].end.seconds();
+      trace_spans.push_back(std::move(pipe));
+      for (const obs::OpProfiler::Instance& inst :
+           profilers[idx].instances()) {
+        if (!inst.touched()) continue;
+        obs::TraceSpan op;
+        op.query = options_.query_tag;
+        op.node = idx_node[idx];
+        op.worker = idx_worker[idx];
+        op.name = inst.label;
+        op.category = obs::OpStageName(inst.stage);
+        op.begin_s = inst.first_s;
+        op.end_s = inst.last_s;
+        trace_spans.push_back(std::move(op));
+      }
+      for (const auto& [abs_begin, abs_end] :
+           worker_metrics[idx].exchange_wait_spans) {
+        const double b =
+            std::max(abs_begin - query_start_s, spans[idx].begin.seconds());
+        const double e =
+            std::min(abs_end - query_start_s, spans[idx].end.seconds());
+        if (e <= b) continue;
+        obs::TraceSpan wait;
+        wait.query = options_.query_tag;
+        wait.node = idx_node[idx];
+        wait.worker = idx_worker[idx];
+        wait.name = "exchange_wait";
+        wait.category = "wait";
+        wait.begin_s = b;
+        wait.end_s = e;
+        wait.is_wait = true;
+        trace_spans.push_back(std::move(wait));
+      }
+    }
+    options_.trace->AddSpans(std::move(trace_spans));
   }
 
   // A cancelled token is the root cause; any pipeline status is secondary

@@ -36,6 +36,10 @@ namespace eedc::cluster {
 struct NodeClassSpec;
 }  // namespace eedc::cluster
 
+namespace eedc::obs {
+class TraceRecorder;
+}  // namespace eedc::obs
+
 namespace eedc::exec {
 
 /// The data placement of a cluster: one TableStore per node.
@@ -113,6 +117,16 @@ class Executor {
     /// barriers aborted — and Execute returns the token's Status, never a
     /// partial result. Not owned; may be null (no cancellation).
     CancelToken* cancel = nullptr;
+    /// Collects the per-operator-stage time/row breakdown into
+    /// NodeMetrics::op (see obs/op_profile.h). Off by default: when both
+    /// this and `trace` are unset the operator tree is built without
+    /// decorators and the hot path is bit-identical to an unprofiled
+    /// build.
+    bool profile_operators = false;
+    /// Sink for operator spans and worker pipeline spans on the query's
+    /// span-epoch timeline (see obs/trace.h). Implies operator profiling.
+    /// Not owned; may be null.
+    obs::TraceRecorder* trace = nullptr;
     /// Upper bound on cumulative blocked time of a single exchange
     /// receive. A dead or stalled sender therefore cannot hang a
     /// pipeline: the receive fails with DeadlineExceeded and the query

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/op_profile.h"
 
 namespace eedc::exec {
 
@@ -81,6 +82,14 @@ struct NodeMetrics {
   /// into node-level metrics.
   std::vector<std::pair<double, double>> exchange_wait_spans;
 
+  /// Per-operator-stage time/row breakdown (filled when the executor runs
+  /// with profiling or tracing enabled; all-zero otherwise). Stage seconds
+  /// are operator *self* time and include blocked exchange-receive time
+  /// under kExchangeReceive, so at node level
+  /// op.total_seconds() ≈ busy + exchange_wait (minus root-side
+  /// materialization, which no operator owns).
+  obs::OpBreakdown op;
+
   /// Indexed by exchange id assigned during plan instantiation.
   std::vector<ExchangeStats> exchanges;
 
@@ -104,6 +113,7 @@ struct NodeMetrics {
     agg_rows_in += w.agg_rows_in;
     agg_groups += w.agg_groups;
     cpu_bytes += w.cpu_bytes;
+    op.MergeFrom(w.op);
     busy += w.busy;
     exchange_wait += w.exchange_wait;
     if (w.wall > wall) wall = w.wall;

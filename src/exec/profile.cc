@@ -1,0 +1,96 @@
+#include "exec/profile.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace eedc::exec {
+
+obs::OpBreakdown QueryProfileReport::TotalOp() const {
+  obs::OpBreakdown total;
+  for (const Node& n : nodes) total.MergeFrom(n.op);
+  return total;
+}
+
+std::string QueryProfileReport::RenderText() const {
+  TablePrinter table({"node", "stage", "seconds", "%busy", "rows"});
+  for (const Node& n : nodes) {
+    // Blocked receive time is attributed to exchange_receive, so stage
+    // percentages are relative to busy + wait (the pipeline's full wall).
+    const double denom = n.busy_s + n.exchange_wait_s;
+    for (int i = 0; i < obs::kNumOpStages; ++i) {
+      const obs::OpStageTotals& s = n.op.stage[static_cast<std::size_t>(i)];
+      if (s.seconds == 0.0 && s.rows == 0.0) continue;
+      table.BeginRow();
+      table.AddInt(n.node);
+      table.AddCell(obs::OpStageName(static_cast<obs::OpStage>(i)));
+      table.AddNumber(s.seconds, 6);
+      table.AddNumber(denom > 0.0 ? 100.0 * s.seconds / denom : 0.0, 1);
+      table.AddNumber(s.rows, 0);
+    }
+    table.BeginRow();
+    table.AddInt(n.node);
+    table.AddCell("(total)");
+    table.AddNumber(n.op.total_seconds(), 6);
+    table.AddNumber(denom > 0.0 ? 100.0 * n.op.total_seconds() / denom : 0.0,
+                    1);
+    table.AddCell(StrFormat("wall=%.6fs busy=%.6fs wait=%.6fs", n.wall_s,
+                            n.busy_s, n.exchange_wait_s));
+  }
+  std::ostringstream os;
+  os << StrFormat("query profile (wall %.6fs)\n", wall_s);
+  table.RenderText(os);
+  return os.str();
+}
+
+std::string QueryProfileReport::ToJson() const {
+  std::ostringstream os;
+  os << StrFormat("{\"wall_s\":%.17g,\"nodes\":[", wall_s);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (i > 0) os << ",";
+    os << StrFormat(
+        "{\"node\":%d,\"wall_s\":%.17g,\"busy_s\":%.17g,"
+        "\"exchange_wait_s\":%.17g,\"scan_rows\":%.17g,"
+        "\"join_output_rows\":%.17g,\"agg_groups\":%.17g,"
+        "\"sent_remote_bytes\":%.17g,\"stages\":{",
+        n.node, n.wall_s, n.busy_s, n.exchange_wait_s, n.scan_rows,
+        n.join_output_rows, n.agg_groups, n.sent_remote_bytes);
+    bool first = true;
+    for (int s = 0; s < obs::kNumOpStages; ++s) {
+      const obs::OpStageTotals& t = n.op.stage[static_cast<std::size_t>(s)];
+      if (t.seconds == 0.0 && t.rows == 0.0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << StrFormat("\"%s\":{\"seconds\":%.17g,\"rows\":%.17g}",
+                      obs::OpStageName(static_cast<obs::OpStage>(s)),
+                      t.seconds, t.rows);
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+QueryProfileReport BuildQueryProfile(const ExecMetrics& metrics) {
+  QueryProfileReport report;
+  report.wall_s = metrics.wall.seconds();
+  for (std::size_t i = 0; i < metrics.nodes.size(); ++i) {
+    const NodeMetrics& nm = metrics.nodes[i];
+    QueryProfileReport::Node n;
+    n.node = static_cast<int>(i);
+    n.wall_s = nm.wall.seconds();
+    n.busy_s = nm.busy.seconds();
+    n.exchange_wait_s = nm.exchange_wait.seconds();
+    n.op = nm.op;
+    n.scan_rows = nm.scan_rows;
+    n.join_output_rows = nm.join_output_rows;
+    n.agg_groups = nm.agg_groups;
+    n.sent_remote_bytes = nm.total_sent_remote_bytes();
+    report.nodes.push_back(std::move(n));
+  }
+  return report;
+}
+
+}  // namespace eedc::exec

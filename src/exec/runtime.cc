@@ -71,6 +71,12 @@ ExecutorRuntime::ExecutorRuntime(const ClusterData* data,
   groups_[""] = GroupState{ResourceGroup{"", 1.0, 0, 0.0}, 0.0};
 }
 
+void ExecutorRuntime::AttachTrace(obs::TraceRecorder* trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace != nullptr) trace->set_epoch(epoch_);
+  trace_ = trace;
+}
+
 ExecutorRuntime::~ExecutorRuntime() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -118,6 +124,11 @@ StatusOr<ExecutorRuntime::TicketPtr> ExecutorRuntime::Submit(
   const ResourceGroup& g = it->second.spec;
   if (g.memory_budget_bytes > 0.0 &&
       options.estimated_build_bytes > g.memory_budget_bytes) {
+    metrics_.AddCounter("queries_rejected");
+    if (trace_ != nullptr) {
+      trace_->AddInstant(obs::TraceInstant{-1, -1, "reject", trace_->Now(),
+                                           "group " + options.group});
+    }
     return Status::ResourceExhausted(StrFormat(
         "query estimated build (%.0f B) exceeds resource group '%s' "
         "memory budget (%.0f B); it could never be admitted",
@@ -146,10 +157,34 @@ StatusOr<ExecutorRuntime::TicketPtr> ExecutorRuntime::Submit(
                             return o->priority < ticket->priority;
                           });
   waiting_.insert(pos, ticket);
+  metrics_.AddCounter("queries_submitted");
+  if (trace_ != nullptr) {
+    trace_->AddInstant(obs::TraceInstant{ticket->id_, -1, "submit",
+                                         trace_->Now(),
+                                         "group " + options.group});
+  }
   TryAdmitLocked();
+  if (ticket->state == Ticket::State::kWaiting) {
+    // Not admitted on the spot: it queues until in-flight work releases
+    // workers or group memory.
+    metrics_.AddCounter("queries_deferred");
+    if (trace_ != nullptr) {
+      trace_->AddInstant(obs::TraceInstant{ticket->id_, -1, "defer",
+                                           trace_->Now(),
+                                           "group " + options.group});
+    }
+  }
+  UpdateGaugesLocked();
   cv_.notify_all();
   threads_.emplace_back([this, ticket] { RunQuery(ticket); });
   return ticket;
+}
+
+void ExecutorRuntime::UpdateGaugesLocked() {
+  metrics_.SetGauge("queue_depth", static_cast<double>(waiting_.size()));
+  double in_flight = 0.0;
+  for (const auto& [name, g] : groups_) in_flight += g.in_flight_bytes;
+  metrics_.SetGauge("in_flight_build_bytes", in_flight);
 }
 
 bool ExecutorRuntime::FitsLocked(const Ticket& t) const {
@@ -181,16 +216,26 @@ void ExecutorRuntime::TryAdmitLocked() {
     groups_.at(t.group).in_flight_bytes += t.estimated_build_bytes;
     t.state = Ticket::State::kRunning;
     t.start_time = std::chrono::steady_clock::now();
+    metrics_.AddCounter("queries_admitted");
+    if (trace_ != nullptr) {
+      // "gang-start": every node's granted worker count is reserved as
+      // one atomic admission decision.
+      trace_->AddInstant(obs::TraceInstant{t.id_, -1, "gang-start",
+                                           trace_->Now(),
+                                           "group " + t.group});
+    }
     it = waiting_.erase(it);
   }
 }
 
 void ExecutorRuntime::RunQuery(const TicketPtr& ticket) {
+  obs::TraceRecorder* trace = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] {
       return ticket->state != Ticket::State::kWaiting || shutdown_;
     });
+    trace = trace_;
     if (ticket->state == Ticket::State::kWaiting) {
       // Shut down before admission: withdraw from the queue and fail.
       waiting_.erase(std::remove(waiting_.begin(), waiting_.end(), ticket),
@@ -213,6 +258,7 @@ void ExecutorRuntime::RunQuery(const TicketPtr& ticket) {
   opts.query_tag = ticket->id_;
   opts.span_epoch = epoch_;
   opts.cancel = ticket->cancel;
+  opts.trace = trace;
   SpanCollector collector;
   opts.activity_listener = &collector;
   Executor executor(data_, opts);
@@ -226,7 +272,22 @@ void ExecutorRuntime::RunQuery(const TicketPtr& ticket) {
     groups_.at(ticket->group).in_flight_bytes -=
         ticket->estimated_build_bytes;
     ticket->state = Ticket::State::kDone;
+    const bool cancelled =
+        !result.ok() && result.status().code() == StatusCode::kCancelled;
+    metrics_.AddCounter(cancelled ? "queries_cancelled"
+                                  : "queries_finished");
+    metrics_.Observe(
+        "queue_delay_seconds",
+        std::chrono::duration<double>(ticket->start_time -
+                                      ticket->submit_time)
+            .count());
+    if (trace_ != nullptr) {
+      trace_->AddInstant(obs::TraceInstant{
+          ticket->id_, -1, cancelled ? "cancel" : "finish", trace_->Now(),
+          result.ok() ? "" : result.status().message()});
+    }
     TryAdmitLocked();
+    UpdateGaugesLocked();
   }
   cv_.notify_all();
 

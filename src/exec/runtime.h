@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace eedc::exec {
 
@@ -161,6 +163,18 @@ class ExecutorRuntime {
   /// Full per-node worker widths (the capacity grants are carved from).
   const std::vector<int>& node_workers() const { return full_workers_; }
 
+  /// Lifecycle metrics of this runtime: queries_{submitted,admitted,
+  /// deferred,rejected,finished,cancelled} counters, queue_depth /
+  /// in_flight_build_bytes gauges, and a queue_delay_seconds histogram.
+  /// Always collected (control-path events only — never per morsel).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attaches a trace recorder: lifecycle instants (submit / defer /
+  /// admit / finish / cancel) and per-query operator spans are recorded
+  /// on the runtime's shared epoch (the recorder is rebased onto it).
+  /// Call before submitting; not owned; null detaches.
+  void AttachTrace(obs::TraceRecorder* trace);
+
  private:
   struct GroupState {
     ResourceGroup spec;
@@ -173,6 +187,9 @@ class ExecutorRuntime {
   void TryAdmitLocked();
   bool FitsLocked(const Ticket& t) const;
   void RunQuery(const TicketPtr& ticket);
+  /// Refreshes the queue_depth / in_flight_build_bytes gauges; caller
+  /// holds mu_.
+  void UpdateGaugesLocked();
 
   const ClusterData* data_;
   Executor::Options base_options_;
@@ -181,6 +198,11 @@ class ExecutorRuntime {
   Status init_status_ = Status::OK();
   std::vector<int> full_workers_;
   std::chrono::steady_clock::time_point epoch_;
+
+  /// Lock order: mu_ before the registry/recorder internal mutexes
+  /// (both are leaf locks; they never call back into the runtime).
+  obs::MetricsRegistry metrics_;
+  obs::TraceRecorder* trace_ = nullptr;  // set before submissions
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

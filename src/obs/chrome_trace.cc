@@ -1,0 +1,158 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace eedc::obs {
+namespace {
+
+// Escapes a string for embedding in a JSON document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// pid/tid mapping: see chrome_trace.h. Node -1 (runtime-level) maps to
+// pid 0; per-query lifecycle lanes get tids far above any worker id.
+int PidOf(int node) { return node + 1; }
+int TidOfWorker(int worker) { return worker < 0 ? 0 : worker + 1; }
+int TidOfQuery(int query) { return 1000 + (query < 0 ? 0 : query); }
+
+double Micros(double seconds) { return seconds * 1e6; }
+
+void AppendMeta(std::ostringstream& os, bool& first, const char* what, int pid,
+                int tid, const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << StrFormat(
+      "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+      "\"args\":{\"name\":\"%s\"}}",
+      pid, tid, what, JsonEscape(name).c_str());
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& rec) {
+  const std::vector<TraceSpan> spans = rec.spans();
+  const std::vector<TraceInstant> instants = rec.instants();
+  const std::vector<TraceCounter> counters = rec.counters();
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Metadata: name every process (node) and thread (worker / query lane)
+  // we are about to reference so the viewer shows readable tracks.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> worker_tids;
+  std::set<std::pair<int, int>> query_tids;
+  for (const TraceSpan& s : spans) {
+    pids.insert(PidOf(s.node));
+    worker_tids.insert({PidOf(s.node), TidOfWorker(s.worker)});
+  }
+  for (const TraceInstant& i : instants) {
+    pids.insert(PidOf(i.node));
+    query_tids.insert({PidOf(i.node), TidOfQuery(i.query)});
+  }
+  for (const TraceCounter& c : counters) pids.insert(PidOf(c.node));
+  for (int pid : pids) {
+    AppendMeta(os, first, "process_name", pid, 0,
+               pid == 0 ? "runtime" : StrFormat("node %d", pid - 1));
+  }
+  for (const auto& [pid, tid] : worker_tids) {
+    AppendMeta(os, first, "thread_name", pid, tid,
+               tid == 0 ? "coordinator" : StrFormat("worker %d", tid - 1));
+  }
+  for (const auto& [pid, tid] : query_tids) {
+    AppendMeta(os, first, "thread_name", pid, tid,
+               StrFormat("query q%d", tid - 1000));
+  }
+
+  for (const TraceSpan& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << StrFormat(
+        "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+        "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+        "\"args\":{\"query\":%d,\"wait\":%s}}",
+        PidOf(s.node), TidOfWorker(s.worker), JsonEscape(s.name).c_str(),
+        JsonEscape(s.category.empty() ? std::string("span") : s.category)
+            .c_str(),
+        Micros(s.begin_s), Micros(std::max(0.0, s.seconds())), s.query,
+        s.is_wait ? "true" : "false");
+  }
+
+  for (const TraceInstant& i : instants) {
+    if (!first) os << ",\n";
+    first = false;
+    os << StrFormat(
+        "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"s\":\"t\","
+        "\"ts\":%.3f,\"args\":{\"query\":%d,\"detail\":\"%s\"}}",
+        PidOf(i.node), TidOfQuery(i.query), JsonEscape(i.name).c_str(),
+        Micros(i.ts_s), i.query, JsonEscape(i.detail).c_str());
+  }
+
+  for (const TraceCounter& c : counters) {
+    if (!first) os << ",\n";
+    first = false;
+    os << StrFormat(
+        "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"name\":\"%s\",\"ts\":%.3f,"
+        "\"args\":{\"value\":%.17g}}",
+        PidOf(c.node), JsonEscape(c.name).c_str(), Micros(c.ts_s), c.value);
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const TraceRecorder& rec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal(StrFormat("cannot open %s", path.c_str()));
+  }
+  out << ChromeTraceJson(rec);
+  out.close();
+  if (!out.good()) {
+    return Status::Internal(StrFormat("write failed for %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace eedc::obs

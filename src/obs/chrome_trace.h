@@ -1,0 +1,29 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto / chrome://tracing).
+//
+// Track layout:
+//   pid 0                = "runtime" (lifecycle instants, fleet counters)
+//   pid node+1           = "node <n>" (per-node tracks)
+//   tid worker+1         = "worker <w>" (operator + pipeline spans)
+//   tid 1000+query       = "query q<id>" (per-query lifecycle lanes)
+// Spans become complete ("X") events with microsecond ts/dur; instants
+// become "i" events; counters become "C" events that Perfetto renders as
+// counter tracks (joules per query, active workers per node).
+#ifndef EEDC_OBS_CHROME_TRACE_H_
+#define EEDC_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace eedc::obs {
+
+/// Renders the recorder's contents as a Chrome trace-event JSON document.
+std::string ChromeTraceJson(const TraceRecorder& rec);
+
+/// Writes ChromeTraceJson(rec) to `path`.
+Status WriteChromeTrace(const TraceRecorder& rec, const std::string& path);
+
+}  // namespace eedc::obs
+
+#endif  // EEDC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,126 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.h"
+#include "common/str_util.h"
+
+namespace eedc::obs {
+
+MetricsRegistry::Named* MetricsRegistry::Find(std::vector<Named>& v,
+                                              const std::string& name) {
+  for (Named& n : v) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Named* MetricsRegistry::Find(
+    const std::vector<Named>& v, const std::string& name) {
+  for (const Named& n : v) {
+    if (n.name == name) return &n;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Named* n = Find(counters_, name)) {
+    n->value += delta;
+  } else {
+    counters_.push_back({name, delta});
+  }
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Named* n = Find(gauges_, name)) {
+    n->value = value;
+  } else {
+    gauges_.push_back({name, value});
+  }
+}
+
+void MetricsRegistry::Observe(const std::string& name, double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Histogram& h : histograms_) {
+    if (h.name == name) {
+      h.samples.push_back(sample);
+      return;
+    }
+  }
+  histograms_.push_back({name, {sample}});
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Named* n = Find(counters_, name);
+  return n == nullptr ? 0.0 : n->value;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Named* n = Find(gauges_, name);
+  return n == nullptr ? 0.0 : n->value;
+}
+
+MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  for (const Histogram& h : histograms_) {
+    if (h.name != name || h.samples.empty()) continue;
+    snap.count = static_cast<int64_t>(h.samples.size());
+    snap.min = *std::min_element(h.samples.begin(), h.samples.end());
+    snap.max = *std::max_element(h.samples.begin(), h.samples.end());
+    for (double s : h.samples) snap.sum += s;
+    snap.p50 = Percentile(h.samples, 0.50);
+    snap.p95 = Percentile(h.samples, 0.95);
+    return snap;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << StrFormat("\"%s\":%.17g", counters_[i].name.c_str(),
+                    counters_[i].value);
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << StrFormat("\"%s\":%.17g", gauges_[i].name.c_str(),
+                    gauges_[i].value);
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (i > 0) os << ",";
+    const Histogram& h = histograms_[i];
+    double sum = 0.0;
+    for (double s : h.samples) sum += s;
+    const double mn =
+        h.samples.empty()
+            ? 0.0
+            : *std::min_element(h.samples.begin(), h.samples.end());
+    const double mx =
+        h.samples.empty()
+            ? 0.0
+            : *std::max_element(h.samples.begin(), h.samples.end());
+    const double p50 = h.samples.empty() ? 0.0 : Percentile(h.samples, 0.50);
+    const double p95 = h.samples.empty() ? 0.0 : Percentile(h.samples, 0.95);
+    os << StrFormat(
+        "\"%s\":{\"count\":%d,\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g,"
+        "\"p50\":%.17g,\"p95\":%.17g}",
+        h.name.c_str(), static_cast<int>(h.samples.size()), sum, mn, mx, p50,
+        p95);
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace eedc::obs

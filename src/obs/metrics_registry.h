@@ -1,0 +1,79 @@
+// Runtime metrics registry: counters, gauges, and histograms snapshotable
+// to JSON.
+//
+// Deliberately small: names are plain strings, values are doubles, and
+// everything sits behind one mutex. The registry is touched on control-path
+// events only (submit, admit, finish, policy decisions) — never inside a
+// morsel loop — so a mutex is more than fast enough and keeps snapshots
+// trivially consistent.
+//
+// Insertion order is preserved so JSON snapshots are deterministic and
+// diffable across runs.
+#ifndef EEDC_OBS_METRICS_REGISTRY_H_
+#define EEDC_OBS_METRICS_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eedc::obs {
+
+class MetricsRegistry {
+ public:
+  /// Adds `delta` (default 1) to the named monotonically-increasing counter.
+  void AddCounter(const std::string& name, double delta = 1.0);
+
+  /// Sets the named gauge to its current value.
+  void SetGauge(const std::string& name, double value);
+
+  /// Records one sample into the named histogram.
+  void Observe(const std::string& name, double sample);
+
+  /// Current counter value; 0 if never incremented.
+  double counter(const std::string& name) const;
+
+  /// Current gauge value; 0 if never set.
+  double gauge(const std::string& name) const;
+
+  struct HistogramSnapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+  };
+  /// Snapshot of the named histogram; zeroed if never observed.
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  /// Full snapshot as a JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  ///                          "p50":..,"p95":..},...}}
+  std::string SnapshotJson() const;
+
+ private:
+  struct Named {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> samples;
+  };
+
+  // Linear scans over small insertion-ordered vectors; metric cardinality
+  // is tens of names, not thousands.
+  static Named* Find(std::vector<Named>& v, const std::string& name);
+  static const Named* Find(const std::vector<Named>& v,
+                           const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<Named> counters_;
+  std::vector<Named> gauges_;
+  std::vector<Histogram> histograms_;
+};
+
+}  // namespace eedc::obs
+
+#endif  // EEDC_OBS_METRICS_REGISTRY_H_

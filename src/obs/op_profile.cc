@@ -1,0 +1,72 @@
+#include "obs/op_profile.h"
+
+namespace eedc::obs {
+
+const char* OpStageName(OpStage stage) {
+  switch (stage) {
+    case OpStage::kScan:
+      return "scan";
+    case OpStage::kFilter:
+      return "filter";
+    case OpStage::kProject:
+      return "project";
+    case OpStage::kJoinBuild:
+      return "join_build";
+    case OpStage::kJoinProbe:
+      return "join_probe";
+    case OpStage::kAgg:
+      return "agg";
+    case OpStage::kExchangeSend:
+      return "exchange_send";
+    case OpStage::kExchangeReceive:
+      return "exchange_receive";
+  }
+  return "unknown";
+}
+
+void OpBreakdown::MergeFrom(const OpBreakdown& o) {
+  for (int i = 0; i < kNumOpStages; ++i) {
+    stage[i].seconds += o.stage[i].seconds;
+    stage[i].rows += o.stage[i].rows;
+  }
+}
+
+double OpBreakdown::total_seconds() const {
+  double total = 0.0;
+  for (const OpStageTotals& s : stage) total += s.seconds;
+  return total;
+}
+
+int OpProfiler::RegisterInstance(OpStage stage, std::string label) {
+  Instance inst;
+  inst.stage = stage;
+  inst.label = std::move(label);
+  instances_.push_back(std::move(inst));
+  return static_cast<int>(instances_.size()) - 1;
+}
+
+int OpProfiler::Switch(int stage) {
+  const auto now = std::chrono::steady_clock::now();
+  if (current_ >= 0) {
+    breakdown_.stage[current_].seconds +=
+        std::chrono::duration<double>(now - last_).count();
+  }
+  last_ = now;
+  const int prev = current_;
+  current_ = stage;
+  return prev;
+}
+
+void OpProfiler::Touch(int instance) {
+  Instance& inst = instances_[static_cast<std::size_t>(instance)];
+  const double at = std::chrono::duration<double>(last_ - epoch_).count();
+  if (!inst.touched()) inst.first_s = at;
+  if (at > inst.last_s) inst.last_s = at;
+}
+
+void OpProfiler::AddRows(int instance, OpStage stage, double rows) {
+  instances_[static_cast<std::size_t>(instance)].rows += rows;
+  breakdown_.of(stage).rows += rows;
+}
+
+}  // namespace eedc::obs

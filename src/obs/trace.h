@@ -1,0 +1,129 @@
+// Trace recorder: one process-wide sink for spans, instants, and counter
+// samples on the shared span-epoch timeline.
+//
+// The hot execution path never touches this class. Worker pipelines record
+// into private OpProfiler state and the executor's existing span arrays;
+// only *after* a pipeline crew joins does the coordinating thread batch
+// the finished spans into the recorder (one mutex acquisition per query
+// per node-set, same post-run contract as WorkerActivityListener).
+// Runtime lifecycle events (submit / defer / admit / finish / cancel) are
+// rare and recorded as instants directly.
+//
+// All timestamps are double seconds since `epoch()`. ExecutorRuntime
+// shares its epoch with the recorder via set_epoch so operator spans,
+// lifecycle instants, and TaggedWorkerSpan energy spans land on one
+// timeline and reconcile exactly.
+#ifndef EEDC_OBS_TRACE_H_
+#define EEDC_OBS_TRACE_H_
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eedc::obs {
+
+/// A closed interval of work on one worker's track.
+struct TraceSpan {
+  int query = -1;   ///< query tag, or -1 for untagged standalone runs
+  int node = -1;    ///< node id, or -1 for runtime/driver-level tracks
+  int worker = -1;  ///< worker id within the node
+  std::string name;
+  std::string category;  ///< e.g. an OpStageName, "pipeline", "wait"
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  bool is_wait = false;  ///< true for blocked time (exchange waits, stalls)
+
+  double seconds() const { return end_s - begin_s; }
+};
+
+/// A point event (lifecycle transition, policy decision).
+struct TraceInstant {
+  int query = -1;
+  int node = -1;
+  std::string name;
+  double ts_s = 0.0;
+  std::string detail;  ///< free-form annotation shown in the trace viewer
+};
+
+/// One sample of a named counter track (joules, active workers, ...).
+struct TraceCounter {
+  std::string name;
+  int node = -1;  ///< -1: process-wide track
+  double ts_s = 0.0;
+  double value = 0.0;
+};
+
+/// Thread-safe trace sink. Cheap when unused: the executor takes a
+/// `TraceRecorder*` that defaults to nullptr, and every recording site is
+/// behind that pointer check.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Rebases the timeline. Call before recording; typically set by
+  /// ExecutorRuntime::AttachTrace to the runtime's span epoch.
+  void set_epoch(std::chrono::steady_clock::time_point epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = epoch;
+  }
+  std::chrono::steady_clock::time_point epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
+
+  /// Seconds since the epoch, for callers stamping instants live.
+  double Now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  void AddSpan(TraceSpan span) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(span));
+  }
+  /// Batch append — one lock for a whole pipeline's finished spans.
+  void AddSpans(std::vector<TraceSpan> spans) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (TraceSpan& s : spans) spans_.push_back(std::move(s));
+  }
+  void AddInstant(TraceInstant instant) {
+    std::lock_guard<std::mutex> lock(mu_);
+    instants_.push_back(std::move(instant));
+  }
+  void AddCounter(TraceCounter counter) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.push_back(std::move(counter));
+  }
+
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+  std::vector<TraceInstant> instants() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return instants_;
+  }
+  std::vector<TraceCounter> counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.empty() && instants_.empty() && counters_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  std::vector<TraceCounter> counters_;
+};
+
+}  // namespace eedc::obs
+
+#endif  // EEDC_OBS_TRACE_H_

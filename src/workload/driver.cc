@@ -378,6 +378,57 @@ class Simulator {
     }
   }
 
+  /// Records every node's dispatch timeline into a trace recorder, in
+  /// *virtual trace seconds*: a "wake" span per spin-up, a serve /
+  /// wasted-attempt / retry span per busy interval, and a "stall" wait
+  /// span per injected exchange-stall tail.
+  void EmitTrace(obs::TraceRecorder* trace) const {
+    std::vector<obs::TraceSpan> out;
+    for (int n = 0; n < static_cast<int>(nodes_.size()); ++n) {
+      const NodeState& node = nodes_[static_cast<std::size_t>(n)];
+      const Duration class_wake = WakeLatencyFor(*node.cls);
+      std::vector<BusyInterval> intervals = node.intervals;
+      std::sort(intervals.begin(), intervals.end(),
+                [](const BusyInterval& a, const BusyInterval& b) {
+                  return a.start < b.start;
+                });
+      for (const BusyInterval& b : intervals) {
+        if (b.woke) {
+          const Duration wake =
+              b.wake_latency > Duration::Zero() ? b.wake_latency : class_wake;
+          obs::TraceSpan w;
+          w.node = n;
+          w.worker = 0;
+          w.name = "wake";
+          w.category = "power";
+          w.begin_s = (b.start - wake).seconds();
+          w.end_s = b.start.seconds();
+          out.push_back(std::move(w));
+        }
+        obs::TraceSpan s;
+        s.node = n;
+        s.worker = 0;
+        s.name = b.wasted ? "wasted_attempt" : (b.retry ? "retry" : "serve");
+        s.category = "dispatch";
+        s.begin_s = b.start.seconds();
+        s.end_s = b.end.seconds();
+        out.push_back(std::move(s));
+        if (b.stall > Duration::Zero()) {
+          obs::TraceSpan st;
+          st.node = n;
+          st.worker = 0;
+          st.name = "stall";
+          st.category = "wait";
+          st.begin_s = b.end.seconds();
+          st.end_s = (b.end + b.stall).seconds();
+          st.is_wait = true;
+          out.push_back(std::move(st));
+        }
+      }
+    }
+    trace->AddSpans(std::move(out));
+  }
+
  private:
   Duration WakeLatencyFor(const NodeClassSpec& cls) const {
     return cls.wake_latency > Duration::Zero() ? cls.wake_latency
@@ -497,6 +548,7 @@ PolicyReport BuildReport(const std::string& policy_name,
     }
   }
   for (const auto& [cls, delays] : delays_by_class) {
+    if (delays.empty()) continue;  // Percentile of nothing is NaN
     ClassQueueDelay d;
     d.class_name = cls;
     d.queries = static_cast<int>(delays.size());
@@ -555,7 +607,54 @@ Status AnnotateEngineMeasurements(EngineFleet* engine,
   return Status::OK();
 }
 
+/// Per-outcome lifecycle instants: admission decisions and failover
+/// events of the replay, on the virtual timeline.
+void EmitOutcomeInstants(const std::vector<QueryOutcome>& outcomes,
+                         obs::TraceRecorder* trace) {
+  for (const QueryOutcome& o : outcomes) {
+    const char* name = nullptr;
+    if (o.decision == AdmissionDecision::kShed) {
+      name = "shed";
+    } else if (o.failed) {
+      name = "failed";
+    } else if (o.deferred) {
+      name = "defer-drain";
+    } else if (o.retried) {
+      name = "crash-retry";
+    }
+    if (name == nullptr) continue;
+    obs::TraceInstant i;
+    i.node = o.node;
+    i.name = name;
+    i.ts_s = o.arrival.seconds();
+    i.detail = QueryKindName(o.kind);
+    trace->AddInstant(std::move(i));
+  }
+}
+
 }  // namespace
+
+void FillPolicyMetrics(const PolicyReport& report, obs::MetricsRegistry* m) {
+  m->AddCounter("queries", report.queries);
+  m->AddCounter("shed", report.shed);
+  m->AddCounter("deferred", report.deferred);
+  m->AddCounter("failed", report.failed);
+  m->AddCounter("retries", report.retries);
+  m->AddCounter("brownout_deferred", report.brownout_deferred);
+  m->SetGauge("busy_energy_joules", report.busy_energy.joules());
+  m->SetGauge("idle_energy_joules", report.idle_energy.joules());
+  m->SetGauge("sleep_energy_joules", report.sleep_energy.joules());
+  m->SetGauge("wake_energy_joules", report.wake_energy.joules());
+  m->SetGauge("wasted_energy_joules", report.wasted_energy.joules());
+  m->SetGauge("retry_energy_joules", report.retry_energy.joules());
+  m->SetGauge("engine_energy_joules", report.engine_energy.joules());
+  for (const auto& [cls, joules] : report.engine_energy_by_class) {
+    m->SetGauge("engine_joules_" + cls, joules.joules());
+  }
+  m->SetGauge("makespan_s", report.makespan.seconds());
+  m->SetGauge("throughput_qps", report.throughput_qps);
+  m->SetGauge("sla_violation_rate", report.sla_violation_rate);
+}
 
 WorkloadDriver::WorkloadDriver(DriverOptions options)
     : options_(std::move(options)) {
@@ -636,6 +735,13 @@ StatusOr<PolicyReport> WorkloadDriver::Run(
   report.brownout_deferred = brownout_deferred;
   EEDC_RETURN_IF_ERROR(
       AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
+  if (options_.trace != nullptr) {
+    sim.EmitTrace(options_.trace);
+    EmitOutcomeInstants(outcomes_, options_.trace);
+  }
+  if (options_.metrics != nullptr) {
+    FillPolicyMetrics(report, options_.metrics);
+  }
   return report;
 }
 
@@ -724,6 +830,13 @@ StatusOr<PolicyReport> WorkloadDriver::RunClosedLoop(
   report.brownout_deferred = brownout_deferred;
   EEDC_RETURN_IF_ERROR(
       AnnotateEngineMeasurements(options_.engine, &outcomes_, &report));
+  if (options_.trace != nullptr) {
+    sim.EmitTrace(options_.trace);
+    EmitOutcomeInstants(outcomes_, options_.trace);
+  }
+  if (options_.metrics != nullptr) {
+    FillPolicyMetrics(report, options_.metrics);
+  }
   return report;
 }
 

@@ -38,6 +38,8 @@
 #include "cluster/fault.h"
 #include "common/statusor.h"
 #include "common/units.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "power/power_model.h"
 #include "workload/arrival.h"
 #include "workload/power_policy.h"
@@ -267,6 +269,15 @@ struct DriverOptions {
   /// the budget. Non-positive = unlimited (never brown out).
   Power power_budget = Power::Zero();
   std::vector<QueryKind> batch_kinds = {QueryKind::kQ21};
+
+  /// Observability of the virtual-time replay. After each run the driver
+  /// records every node's dispatch timeline into `trace` (wake / serve /
+  /// wasted / retry / stall spans; shed / defer / failed instants —
+  /// timestamps are *virtual trace seconds*, not wall clock) and fills
+  /// `metrics` with the same counts PolicyReport carries plus the energy
+  /// split as gauges (see FillPolicyMetrics). Not owned; null disables.
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ClosedLoopOptions {
@@ -276,6 +287,13 @@ struct ClosedLoopOptions {
   std::uint64_t seed = 1;
   WorkloadMix mix = DefaultMix();
 };
+
+/// Copies a report's counters and energy split into a metrics registry:
+/// counters queries/shed/deferred/failed/retries/brownout_deferred, gauges
+/// {busy,idle,sleep,wake,wasted,retry,engine}_energy_joules,
+/// engine_joules_<class>, makespan_s, throughput_qps and
+/// sla_violation_rate. The registry-vs-report equality is test-gated.
+void FillPolicyMetrics(const PolicyReport& report, obs::MetricsRegistry* m);
 
 class WorkloadDriver {
  public:

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
 #include <utility>
 
 #include "common/stats.h"
+#include "common/str_util.h"
 #include "energy/attribution.h"
 #include "exec/cancel.h"
 #include "exec/reference.h"
@@ -92,6 +94,10 @@ Status EngineFleet::Init() {
 
   exec::Executor::Options exec_options = p0.MakeExecutorOptions();
   exec_options.activity_listener = meter_.get();
+  // Per-operator profiling costs two clock reads per operator call —
+  // noise next to a morsel — and turns every Measure into an
+  // EXPLAIN ANALYZE (EngineMeasurement::profile).
+  exec_options.profile_operators = true;
   executor_ =
       std::make_unique<exec::Executor>(data_.get(), std::move(exec_options));
   return Status::OK();
@@ -118,6 +124,7 @@ StatusOr<const EngineMeasurement*> EngineFleet::Measure(QueryKind kind) {
     best.wall = wall;
     best.joules = energy.total;
     best.result_rows = result.table.num_rows();
+    best.profile = exec::BuildQueryProfile(result.metrics);
     best.joules_by_class.clear();
     for (const energy::NodeEnergyReport& nr : energy.nodes) {
       AddEnergyByClass(
@@ -251,7 +258,8 @@ StatusOr<FaultMeasurement> EngineFleet::MeasureWithCrash(
 }
 
 StatusOr<ConcurrentMeasurement> EngineFleet::MeasureConcurrent(
-    const std::vector<QueryKind>& kinds, int streams, int repetitions) {
+    const std::vector<QueryKind>& kinds, int streams, int repetitions,
+    obs::TraceRecorder* trace) {
   if (kinds.empty()) {
     return Status::InvalidArgument("concurrent mix needs >= 1 kind");
   }
@@ -259,6 +267,10 @@ StatusOr<ConcurrentMeasurement> EngineFleet::MeasureConcurrent(
     return Status::InvalidArgument("concurrent mix needs >= 1 stream");
   }
   if (repetitions <= 0) repetitions = options_.repetitions;
+  // A trace must describe the run whose attribution we return; with the
+  // best-of-N loop each rep has its own runtime and epoch, so tracing
+  // pins the measurement to a single co-run.
+  if (trace != nullptr) repetitions = 1;
 
   // Serial ground truth per distinct kind: a reference result table for
   // the row-identity checks, and the memoized best-of-reps wall that
@@ -300,6 +312,7 @@ StatusOr<ConcurrentMeasurement> EngineFleet::MeasureConcurrent(
   ConcurrentMeasurement best;
   for (int rep = 0; rep < repetitions; ++rep) {
     exec::ExecutorRuntime runtime(data_.get(), p0.MakeExecutorOptions());
+    if (trace != nullptr) runtime.AttachTrace(trace);
     std::array<bool, kNumQueryKinds> grouped{};
     for (const QueryKind kind : kinds) {
       const auto k = static_cast<std::size_t>(kind);
@@ -371,8 +384,56 @@ StatusOr<ConcurrentMeasurement> EngineFleet::MeasureConcurrent(
       m.speedup = serial_total / m.co_makespan;
     }
     m.interference = Mean(stretch);
-    m.queue_delay_p50 = Duration::Seconds(Percentile(delays, 0.50));
-    m.queue_delay_p95 = Duration::Seconds(Percentile(delays, 0.95));
+    // delays is non-empty (>= 1 kind x >= 1 stream), but Percentile of an
+    // empty vector is NaN by contract — keep the guard visible.
+    m.queue_delay_p50 = Duration::Seconds(
+        delays.empty() ? 0.0 : Percentile(delays, 0.50));
+    m.queue_delay_p95 = Duration::Seconds(
+        delays.empty() ? 0.0 : Percentile(delays, 0.95));
+    m.runtime_metrics_json = runtime.metrics().SnapshotJson();
+
+    if (trace != nullptr) {
+      // Per-node active-worker counter tracks: an event sweep over the
+      // run's non-wait worker spans.
+      struct Edge {
+        double ts;
+        int delta;
+      };
+      std::map<int, std::vector<Edge>> edges;
+      for (const exec::TaggedWorkerSpan& s : spans) {
+        if (s.is_wait) continue;
+        edges[s.node].push_back(Edge{s.begin.seconds(), 1});
+        edges[s.node].push_back(Edge{s.end.seconds(), -1});
+      }
+      for (auto& [node, ev] : edges) {
+        std::sort(ev.begin(), ev.end(), [](const Edge& a, const Edge& b) {
+          return a.ts < b.ts || (a.ts == b.ts && a.delta < b.delta);
+        });
+        int active = 0;
+        for (const Edge& e : ev) {
+          active += e.delta;
+          trace->AddCounter(obs::TraceCounter{
+              "active_workers", node, e.ts, static_cast<double>(active)});
+        }
+      }
+      // Per-query joule annotations: one counter track per query ramping
+      // from 0 at its first span to its attributed total at its last.
+      for (const ConcurrentQueryResult& qr : m.queries) {
+        double first = report.wall.seconds();
+        double last = 0.0;
+        for (const exec::TaggedWorkerSpan& s : spans) {
+          if (s.query != qr.query_id || s.is_wait) continue;
+          first = std::min(first, s.begin.seconds());
+          last = std::max(last, s.end.seconds());
+        }
+        if (last <= first) continue;
+        const std::string name =
+            StrFormat("joules q%d (%s)", qr.query_id, QueryKindName(qr.kind));
+        trace->AddCounter(obs::TraceCounter{name, -1, first, 0.0});
+        trace->AddCounter(
+            obs::TraceCounter{name, -1, last, qr.joules.joules()});
+      }
+    }
 
     if (best.queries.empty() ||
         (m.co_makespan.seconds() > 0.0 &&

@@ -36,6 +36,8 @@
 #include "common/units.h"
 #include "energy/meter.h"
 #include "exec/executor.h"
+#include "exec/profile.h"
+#include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "workload/driver.h"
 
@@ -74,6 +76,9 @@ struct EngineMeasurement {
   std::vector<std::pair<std::string, Energy>> joules_by_class;
   /// Result cardinality (deterministic; equal across fleet shapes).
   std::size_t result_rows = 0;
+  /// EXPLAIN ANALYZE-style per-node operator breakdown of the best run
+  /// (the fleet always executes with operator profiling on).
+  exec::QueryProfileReport profile;
 };
 
 /// One unmemoized end-to-end execution, keeping the result table so
@@ -125,6 +130,9 @@ struct ConcurrentMeasurement {
   Duration queue_delay_p50 = Duration::Zero();
   Duration queue_delay_p95 = Duration::Zero();
   bool all_rows_match = true;
+  /// JSON snapshot of the co-run runtime's lifecycle metrics registry
+  /// (queries_{submitted,admitted,...}, queue depth, delay histogram).
+  std::string runtime_metrics_json;
 };
 
 struct EngineFaultOptions {
@@ -188,9 +196,13 @@ class EngineFleet {
   /// Every result is row-compared against the kind's serial reference;
   /// speedup is serial back-to-back total over co-run makespan, best of
   /// `repetitions` co-runs (<= 0 uses the fleet's repetition option).
+  /// With `trace` set, the co-run records operator spans, lifecycle
+  /// instants, per-node active-worker counters and per-query joule
+  /// counters into it — and forces repetitions to 1, so the exported
+  /// trace and the returned attribution describe the same run.
   StatusOr<ConcurrentMeasurement> MeasureConcurrent(
-      const std::vector<QueryKind>& kinds, int streams,
-      int repetitions = 0);
+      const std::vector<QueryKind>& kinds, int streams, int repetitions = 0,
+      obs::TraceRecorder* trace = nullptr);
 
   /// Runs `kind` once without memoization, returning the result table;
   /// the metered joules are attributed to `attr` in the fleet's meter.

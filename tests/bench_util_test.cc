@@ -1,0 +1,56 @@
+// BenchJson emits the bench metric files CI's regression gate parses, so
+// its string escaping must produce valid JSON for any metadata value
+// (fault-plan Describe strings carry newlines and quotes).
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eedc::bench {
+namespace {
+
+TEST(BenchJsonTest, NumericMetricsRoundTripInInsertionOrder) {
+  BenchJson json("escaping");
+  json.Add("rows_per_sec", 1234.5);
+  json.Add("identical", 1.0);
+  const std::string out = json.ToJson();
+  EXPECT_NE(out.find("\"bench\": \"escaping\""), std::string::npos);
+  const auto first = out.find("rows_per_sec");
+  const auto second = out.find("identical");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_NE(out.find("1234.5"), std::string::npos);
+}
+
+TEST(BenchJsonTest, PlainStringsPassThroughQuoted) {
+  BenchJson json("escaping");
+  json.AddString("fleet", "2B,6W");
+  EXPECT_NE(json.ToJson().find("\"fleet\": \"2B,6W\""), std::string::npos);
+}
+
+TEST(BenchJsonTest, EscapesQuotesBackslashesAndControlCharacters) {
+  BenchJson json("escaping");
+  json.AddString("plan", "crash \"node 3\"\n\tpath=C:\\tmp\r");
+  const std::string out = json.ToJson();
+  EXPECT_NE(out.find("crash \\\"node 3\\\"\\n\\tpath=C:\\\\tmp\\r"),
+            std::string::npos);
+  // No raw control characters survive into the document.
+  EXPECT_EQ(out.find('\r'), std::string::npos);
+  for (char c : out) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+        << static_cast<int>(c);
+  }
+}
+
+TEST(BenchJsonTest, EscapesNonPrintableControlBytesAsUnicode) {
+  BenchJson json("escaping");
+  const std::string detail = {'a', '\x01', 'b', '\x1f', 'c'};
+  json.AddString("detail", detail);
+  const std::string out = json.ToJson();
+  EXPECT_NE(out.find("a\\u0001b\\u001fc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eedc::bench

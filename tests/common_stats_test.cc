@@ -88,8 +88,14 @@ TEST(MaxRelativeErrorTest, PerfectPrediction) {
   EXPECT_DOUBLE_EQ(MaxRelativeError(obs, obs), 0.0);
 }
 
-TEST(PercentileTest, EmptyAndSingleton) {
-  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{}, 0.5), 0.0);
+TEST(PercentileTest, EmptyInputHasNoQuantilesAndReturnsNaN) {
+  // The old 0.0 silently read as "zero latency"; NaN is unmissable.
+  EXPECT_TRUE(std::isnan(Percentile(std::vector<double>{}, 0.0)));
+  EXPECT_TRUE(std::isnan(Percentile(std::vector<double>{}, 0.5)));
+  EXPECT_TRUE(std::isnan(Percentile(std::vector<double>{}, 1.0)));
+}
+
+TEST(PercentileTest, SingleElementIsEveryQuantile) {
   EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 0.0), 7.0);
   EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 0.5), 7.0);
   EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 1.0), 7.0);

@@ -1,0 +1,194 @@
+// Tests of per-operator profiling in the executor: the NodeMetrics::op
+// breakdown, the EXPLAIN ANALYZE-style QueryProfileReport, and operator /
+// pipeline span emission into a TraceRecorder.
+#include "exec/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "exec/executor.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "tpch/dates.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "tpch/selectivity.h"
+
+namespace eedc::exec {
+namespace {
+
+using tpch::DbgenOptions;
+using tpch::TpchDatabase;
+
+DbgenOptions TestOpts() {
+  DbgenOptions opts;
+  opts.scale_factor = 0.002;
+  opts.seed = 42;
+  return opts;
+}
+
+/// The paper's Q3-style dual-shuffle join: both inputs repartition, so the
+/// plan exercises scan, filter, exchange send/receive, join build/probe.
+PlanPtr DualShufflePlan(const TpchDatabase& db) {
+  const std::int64_t ck =
+      tpch::ThresholdForSelectivity(*db.orders, "o_custkey", 0.5).value();
+  PlanPtr build = ShufflePlan(
+      FilterPlan(ScanPlan("orders"), Lt(Col("o_custkey"), I64(ck))),
+      "o_orderkey");
+  PlanPtr probe = ShufflePlan(ScanPlan("lineitem"), "l_orderkey");
+  return HashJoinPlan(std::move(build), std::move(probe), "o_orderkey",
+                      "l_orderkey");
+}
+
+void LoadJoinLayout(const TpchDatabase& db, ClusterData* data) {
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("lineitem", *db.lineitem, "l_shipdate")
+          .ok());
+  ASSERT_TRUE(
+      data->LoadHashPartitioned("orders", *db.orders, "o_custkey").ok());
+}
+
+TEST(OpBreakdownConservationTest, StageTotalsMatchBusyPlusWaitAtAnyWidth) {
+  const TpchDatabase db = tpch::GenerateDatabase(TestOpts());
+  for (int workers : {1, 2, 8}) {
+    SCOPED_TRACE(workers);
+    ClusterData data(2);
+    ASSERT_TRUE(
+        data.LoadHashPartitioned("lineitem", *db.lineitem, "l_orderkey")
+            .ok());
+    Executor::Options options;
+    options.profile_operators = true;
+    options.workers_per_node = workers;
+    Executor executor(&data, options);
+    auto result =
+        executor.Execute(tpch::Q1Plan(tpch::DayNumber(1998, 9, 2)));
+    ASSERT_TRUE(result.ok()) << result.status();
+
+    for (const NodeMetrics& n : result->metrics.nodes) {
+      const double attributed = n.op.total_seconds();
+      const double accounted =
+          n.busy.seconds() + n.exchange_wait.seconds();
+      ASSERT_GT(attributed, 0.0);
+      // Stage seconds are operator self time over [first Enter, last
+      // Restore] of each pipeline; blocked receives land under
+      // kExchangeReceive. The only unattributed slivers are the driver
+      // loop around the root operator, so the breakdown conserves
+      // busy + exchange_wait from below.
+      EXPECT_LE(attributed, accounted * 1.05 + 0.005);
+      EXPECT_GE(attributed, accounted * 0.5 - 0.002);
+      // Q1 is scan -> filter -> agg (+ gather): those stages did the work.
+      EXPECT_GT(n.op.of(obs::OpStage::kScan).rows, 0.0);
+      EXPECT_GT(n.op.of(obs::OpStage::kAgg).seconds +
+                    n.op.of(obs::OpStage::kScan).seconds,
+                0.0);
+    }
+  }
+}
+
+TEST(OpBreakdownConservationTest, DefaultRunCollectsNoBreakdown) {
+  const TpchDatabase db = tpch::GenerateDatabase(TestOpts());
+  ClusterData data(2);
+  LoadJoinLayout(db, &data);
+  Executor executor(&data);  // default Options: no profiling, no trace
+  auto result = executor.Execute(DualShufflePlan(db));
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const NodeMetrics& n : result->metrics.nodes) {
+    EXPECT_TRUE(n.op.empty());
+  }
+}
+
+TEST(QueryProfileTest, ReportsPerNodeStageRowsAndRenders) {
+  const TpchDatabase db = tpch::GenerateDatabase(TestOpts());
+  ClusterData data(2);
+  LoadJoinLayout(db, &data);
+  Executor::Options options;
+  options.profile_operators = true;
+  options.workers_per_node = 2;
+  Executor executor(&data, options);
+  auto result = executor.Execute(DualShufflePlan(db));
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const QueryProfileReport profile =
+      BuildQueryProfile(result->metrics);
+  ASSERT_FALSE(profile.empty());
+  ASSERT_EQ(profile.nodes.size(), 2u);
+  EXPECT_GT(profile.wall_s, 0.0);
+  for (const auto& n : profile.nodes) {
+    EXPECT_GT(n.busy_s, 0.0);
+    EXPECT_GT(n.scan_rows, 0.0);
+  }
+  const obs::OpBreakdown total = profile.TotalOp();
+  EXPECT_GT(total.of(obs::OpStage::kScan).seconds +
+                total.of(obs::OpStage::kJoinProbe).seconds,
+            0.0);
+
+  const std::string text = profile.RenderText();
+  EXPECT_NE(text.find("scan"), std::string::npos);
+  EXPECT_NE(text.find("join_probe"), std::string::npos);
+  EXPECT_NE(text.find("(total)"), std::string::npos);
+
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"wall_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan\""), std::string::npos);
+}
+
+TEST(ExecutorTraceTest, OperatorAndWaitSpansNestInsidePipelineSpans) {
+  const TpchDatabase db = tpch::GenerateDatabase(TestOpts());
+  ClusterData data(2);
+  LoadJoinLayout(db, &data);
+  obs::TraceRecorder recorder;
+  Executor::Options options;
+  options.trace = &recorder;
+  options.workers_per_node = 2;
+  Executor executor(&data, options);
+  auto result = executor.Execute(DualShufflePlan(db));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(recorder.empty());
+
+  // One pipeline span per (node, worker) track.
+  std::map<std::pair<int, int>, std::pair<double, double>> pipelines;
+  for (const obs::TraceSpan& s : recorder.spans()) {
+    if (s.category == "pipeline") {
+      pipelines[{s.node, s.worker}] = {s.begin_s, s.end_s};
+    }
+  }
+  EXPECT_EQ(pipelines.size(), 4u);  // 2 nodes x 2 workers
+
+  bool saw_op = false, saw_wait = false;
+  for (const obs::TraceSpan& s : recorder.spans()) {
+    if (s.category == "pipeline") continue;
+    auto it = pipelines.find({s.node, s.worker});
+    ASSERT_NE(it, pipelines.end())
+        << s.name << " on unknown track node=" << s.node
+        << " worker=" << s.worker;
+    // Every operator and wait span nests inside its pipeline span.
+    EXPECT_GE(s.begin_s, it->second.first - 1e-6) << s.name;
+    EXPECT_LE(s.end_s, it->second.second + 1e-6) << s.name;
+    if (s.is_wait) {
+      saw_wait = true;
+      EXPECT_EQ(s.category, "wait");
+    } else {
+      saw_op = true;
+    }
+  }
+  EXPECT_TRUE(saw_op);
+  // The dual shuffle blocks receivers on peer data, so wait spans exist.
+  EXPECT_TRUE(saw_wait);
+
+  // Trace implies profiling: the breakdown rode along.
+  for (const NodeMetrics& n : result->metrics.nodes) {
+    EXPECT_FALSE(n.op.empty());
+  }
+
+  // And the recorder exports as a Chrome trace document.
+  const std::string json = obs::ChromeTraceJson(recorder);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"pipeline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eedc::exec

@@ -1,0 +1,231 @@
+// Unit tests of the observability layer: stage-switch operator profiler,
+// trace recorder, Chrome trace exporter, and the metrics registry.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/op_profile.h"
+#include "obs/trace.h"
+
+namespace eedc::obs {
+namespace {
+
+/// Busy-waits so stage self times are real elapsed steady-clock time.
+void SpinFor(double seconds) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(OpStageTest, EveryStageHasAStableName) {
+  EXPECT_STREQ(OpStageName(OpStage::kScan), "scan");
+  EXPECT_STREQ(OpStageName(OpStage::kFilter), "filter");
+  EXPECT_STREQ(OpStageName(OpStage::kProject), "project");
+  EXPECT_STREQ(OpStageName(OpStage::kJoinBuild), "join_build");
+  EXPECT_STREQ(OpStageName(OpStage::kJoinProbe), "join_probe");
+  EXPECT_STREQ(OpStageName(OpStage::kAgg), "agg");
+  EXPECT_STREQ(OpStageName(OpStage::kExchangeSend), "exchange_send");
+  EXPECT_STREQ(OpStageName(OpStage::kExchangeReceive), "exchange_receive");
+}
+
+TEST(OpBreakdownTest, MergeSumsStagesAndTotals) {
+  OpBreakdown a;
+  a.of(OpStage::kScan) = {1.0, 100.0};
+  a.of(OpStage::kAgg) = {0.5, 4.0};
+  OpBreakdown b;
+  b.of(OpStage::kScan) = {2.0, 50.0};
+  b.of(OpStage::kFilter) = {0.25, 30.0};
+
+  EXPECT_TRUE(OpBreakdown{}.empty());
+  EXPECT_FALSE(a.empty());
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.of(OpStage::kScan).seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.of(OpStage::kScan).rows, 150.0);
+  EXPECT_DOUBLE_EQ(a.of(OpStage::kFilter).seconds, 0.25);
+  EXPECT_DOUBLE_EQ(a.of(OpStage::kAgg).seconds, 0.5);
+  EXPECT_DOUBLE_EQ(a.total_seconds(), 3.75);
+}
+
+TEST(OpProfilerTest, StageSwitchAttributesSelfTimeWithoutDoubleCounting) {
+  OpProfiler p;
+  const auto epoch = std::chrono::steady_clock::now();
+  p.SetEpoch(epoch);
+  const int probe = p.RegisterInstance(OpStage::kJoinProbe, "hash_join");
+  const int scan = p.RegisterInstance(OpStage::kScan, "scan lineitem");
+
+  // The pull-model call pattern: the probe's Next() spends part of its
+  // wall inside its scan child's Next().
+  const int outer = p.Enter(OpStage::kJoinProbe);
+  EXPECT_EQ(outer, OpProfiler::kNoStage);
+  p.Touch(probe);
+  SpinFor(0.002);
+  const int inner = p.Enter(OpStage::kScan);
+  p.Touch(scan);
+  SpinFor(0.002);
+  p.AddRows(scan, OpStage::kScan, 100.0);
+  p.Restore(inner);
+  p.Touch(scan);
+  SpinFor(0.002);
+  p.Restore(outer);
+  p.Touch(probe);
+
+  const OpBreakdown& b = p.breakdown();
+  // Self time: the scan window is credited to scan, not to the probe
+  // that called it; the probe gets the two windows around it.
+  EXPECT_GE(b.of(OpStage::kScan).seconds, 0.0015);
+  EXPECT_GE(b.of(OpStage::kJoinProbe).seconds, 0.0035);
+  EXPECT_DOUBLE_EQ(b.of(OpStage::kScan).rows, 100.0);
+  // No double counting: the stage totals sum to at most the wall between
+  // the first Enter and now.
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    epoch)
+          .count();
+  EXPECT_LE(b.total_seconds(), wall);
+  EXPECT_GE(b.total_seconds(), 0.0055);
+
+  // Instance envelopes nest: the child's [first, last] lies inside the
+  // parent's, so a flame-graph exporter can render them directly.
+  const auto& insts = p.instances();
+  ASSERT_EQ(insts.size(), 2u);
+  EXPECT_TRUE(insts[0].touched());
+  EXPECT_TRUE(insts[1].touched());
+  EXPECT_LE(insts[0].first_s, insts[1].first_s);
+  EXPECT_GE(insts[0].last_s, insts[1].last_s);
+  EXPECT_EQ(insts[1].label, "scan lineitem");
+  EXPECT_DOUBLE_EQ(insts[1].rows, 100.0);
+}
+
+TEST(OpProfilerTest, UntouchedInstancesStayUntouched) {
+  OpProfiler p;
+  p.SetEpoch(std::chrono::steady_clock::now());
+  (void)p.RegisterInstance(OpStage::kFilter, "filter");
+  ASSERT_EQ(p.instances().size(), 1u);
+  EXPECT_FALSE(p.instances()[0].touched());
+  EXPECT_TRUE(p.breakdown().empty());
+}
+
+TEST(TraceRecorderTest, CollectsSpansInstantsAndCounters) {
+  TraceRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  rec.set_epoch(std::chrono::steady_clock::now());
+  EXPECT_GE(rec.Now(), 0.0);
+
+  rec.AddSpan(TraceSpan{1, 0, 2, "scan", "scan", 0.1, 0.4, false});
+  rec.AddSpans({TraceSpan{1, 0, 2, "exchange_wait", "wait", 0.2, 0.3, true},
+                TraceSpan{2, 1, 0, "pipeline", "pipeline", 0.0, 1.0,
+                          false}});
+  rec.AddInstant(TraceInstant{1, -1, "submit", 0.05, "group Q1"});
+  rec.AddCounter(TraceCounter{"active_workers", 0, 0.1, 2.0});
+
+  EXPECT_FALSE(rec.empty());
+  ASSERT_EQ(rec.spans().size(), 3u);
+  EXPECT_DOUBLE_EQ(rec.spans()[0].seconds(), 0.3);
+  EXPECT_TRUE(rec.spans()[1].is_wait);
+  ASSERT_EQ(rec.instants().size(), 1u);
+  EXPECT_EQ(rec.instants()[0].name, "submit");
+  ASSERT_EQ(rec.counters().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.counters()[0].value, 2.0);
+}
+
+TEST(ChromeTraceTest, EmitsNamedTracksSpansInstantsAndCounters) {
+  TraceRecorder rec;
+  rec.AddSpan(TraceSpan{3, 0, 1, "scan lineitem", "scan", 0.001, 0.002,
+                        false});
+  rec.AddSpan(TraceSpan{3, 0, 1, "exchange_wait", "wait", 0.0015, 0.0018,
+                        true});
+  rec.AddInstant(TraceInstant{3, -1, "submit", 0.0005, "group \"Q1\"\n"});
+  rec.AddCounter(TraceCounter{"joules q3 (Q1)", -1, 0.002, 1.5});
+
+  const std::string json = ChromeTraceJson(rec);
+  // Document shell + required event phases.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Track metadata: node 0 is pid 1; worker 1 is tid 2; the runtime-level
+  // instant (node -1) names pid 0 "runtime" and query lane tid 1003.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node 0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"worker 1\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"runtime\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"query q3\"}"),
+            std::string::npos);
+  // Span: X phase, microsecond ts/dur, wait flag carried in args.
+  EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+                      "\"name\":\"scan lineitem\",\"cat\":\"scan\","
+                      "\"ts\":1000.000,\"dur\":1000.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wait\":true"), std::string::npos);
+  // Instant with escaped detail; counter with value series.
+  EXPECT_NE(json.find("{\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("group \\\"Q1\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("{\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":1.5}"), std::string::npos);
+  // Balanced shell: the document closes the event array and the object.
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST(ChromeTraceTest, WriteCreatesTheFile) {
+  TraceRecorder rec;
+  rec.AddSpan(TraceSpan{0, 0, 0, "pipeline", "pipeline", 0.0, 0.1, false});
+  const std::string path =
+      ::testing::TempDir() + "/obs_chrome_trace_test.json";
+  ASSERT_TRUE(WriteChromeTrace(rec, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, ChromeTraceJson(rec));
+}
+
+TEST(MetricsRegistryTest, CountersAccumulateGaugesOverwrite) {
+  MetricsRegistry m;
+  EXPECT_DOUBLE_EQ(m.counter("missing"), 0.0);
+  m.AddCounter("queries_submitted");
+  m.AddCounter("queries_submitted", 2.0);
+  EXPECT_DOUBLE_EQ(m.counter("queries_submitted"), 3.0);
+
+  EXPECT_DOUBLE_EQ(m.gauge("missing"), 0.0);
+  m.SetGauge("queue_depth", 4.0);
+  m.SetGauge("queue_depth", 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("queue_depth"), 1.0);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotsMatchPercentileContract) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.histogram("missing").count, 0);
+  for (double s : {4.0, 1.0, 3.0, 2.0}) m.Observe("queue_delay_seconds", s);
+  const auto h = m.histogram("queue_delay_seconds");
+  EXPECT_EQ(h.count, 4);
+  EXPECT_DOUBLE_EQ(h.sum, 10.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 4.0);
+  EXPECT_DOUBLE_EQ(h.p50, 2.5);   // rank 1.5 of the sorted sample
+  EXPECT_DOUBLE_EQ(h.p95, 3.85);  // rank 2.85
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonCarriesAllThreeSections) {
+  MetricsRegistry m;
+  m.AddCounter("queries_finished", 2.0);
+  m.SetGauge("in_flight_build_bytes", 1024.0);
+  m.Observe("queue_delay_seconds", 0.5);
+  const std::string json = m.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\":{\"queries_finished\":2"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"in_flight_build_bytes\":1024"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{\"queue_delay_seconds\":{"
+                      "\"count\":1,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p95\":0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eedc::obs

@@ -1,0 +1,205 @@
+// Workload-level observability: the concurrent co-run's trace reconciles
+// with the per-query energy attribution, and the virtual-time driver's
+// metrics registry snapshot matches its PolicyReport exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "common/str_util.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "workload/arrival.h"
+#include "workload/driver.h"
+#include "workload/engine.h"
+#include "workload/power_policy.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+EngineFleetOptions FastOptions() {
+  EngineFleetOptions options;
+  options.scale_factor = 0.001;
+  options.repetitions = 1;
+  return options;
+}
+
+// The ISSUE's reconciliation gate: a traced Q1+Q21 co-run's spans nest
+// per track, its per-query joule counter tracks end at exactly the totals
+// energy::AttributeConcurrent produced, and the runtime's lifecycle
+// instants and metrics snapshot ride along.
+TEST(ConcurrentTraceTest, TraceReconcilesWithEnergyAttribution) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 4), 1, PaperClass("wimpy", 2), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  obs::TraceRecorder recorder;
+  auto m = (*engine)->MeasureConcurrent(
+      {QueryKind::kQ1, QueryKind::kQ21}, 2, 1, &recorder);
+  ASSERT_TRUE(m.ok()) << m.status();
+  ASSERT_FALSE(recorder.empty());
+  EXPECT_TRUE(m->all_rows_match);
+
+  // Pipeline spans exist and every operator/wait span nests inside its
+  // own (query, node, worker) pipeline envelope on the shared timeline.
+  std::map<std::tuple<int, int, int>, std::pair<double, double>> pipelines;
+  for (const obs::TraceSpan& s : recorder.spans()) {
+    if (s.category == "pipeline") {
+      pipelines[{s.query, s.node, s.worker}] = {s.begin_s, s.end_s};
+    }
+  }
+  ASSERT_FALSE(pipelines.empty());
+  int nested = 0;
+  for (const obs::TraceSpan& s : recorder.spans()) {
+    if (s.category == "pipeline") continue;
+    auto it = pipelines.find({s.query, s.node, s.worker});
+    if (it == pipelines.end()) continue;
+    EXPECT_GE(s.begin_s, it->second.first - 1e-6) << s.name;
+    EXPECT_LE(s.end_s, it->second.second + 1e-6) << s.name;
+    ++nested;
+  }
+  EXPECT_GT(nested, 0);
+
+  // Per-query joule counter tracks ramp to exactly the attributed total
+  // of the matching ConcurrentQueryResult.
+  int joule_tracks = 0;
+  for (const ConcurrentQueryResult& q : m->queries) {
+    const std::string name = StrFormat("joules q%d (%s)", q.query_id,
+                                       QueryKindName(q.kind));
+    bool found = false;
+    double final_ts = -1.0;
+    double final_value = 0.0;
+    for (const obs::TraceCounter& c : recorder.counters()) {
+      if (c.name != name) continue;
+      found = true;
+      if (c.ts_s > final_ts) {
+        final_ts = c.ts_s;
+        final_value = c.value;
+      }
+    }
+    if (!found) continue;
+    ++joule_tracks;
+    EXPECT_NEAR(final_value, q.joules.joules(), 1e-9) << name;
+  }
+  EXPECT_GT(joule_tracks, 0);
+
+  // Per-node active-worker counters and runtime lifecycle instants.
+  bool saw_active = false;
+  for (const obs::TraceCounter& c : recorder.counters()) {
+    if (c.name == "active_workers") saw_active = true;
+  }
+  EXPECT_TRUE(saw_active);
+  bool saw_submit = false, saw_gang = false, saw_finish = false;
+  for (const obs::TraceInstant& i : recorder.instants()) {
+    if (i.name == "submit") saw_submit = true;
+    if (i.name == "gang-start") saw_gang = true;
+    if (i.name == "finish") saw_finish = true;
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_gang);
+  EXPECT_TRUE(saw_finish);
+
+  // The co-run runtime's registry snapshot rides along as JSON.
+  EXPECT_NE(m->runtime_metrics_json.find("queries_submitted"),
+            std::string::npos);
+  EXPECT_NE(m->runtime_metrics_json.find("queue_delay_seconds"),
+            std::string::npos);
+
+  // And the whole thing exports as one Perfetto-loadable document.
+  const std::string path =
+      ::testing::TempDir() + "/workload_concurrent_trace.json";
+  EXPECT_TRUE(obs::WriteChromeTrace(recorder, path).ok());
+}
+
+// The satellite gate: FillPolicyMetrics copies PolicyReport into the
+// registry, so the snapshot and the report must agree field-for-field.
+TEST(DriverMetricsTest, RegistrySnapshotMatchesPolicyReport) {
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  DriverOptions options;
+  options.nodes = 2;
+  options.trace = &trace;
+  options.metrics = &metrics;
+  WorkloadDriver driver(options);
+
+  BurstyOptions bursty;
+  bursty.on_rate_qps = 8.0;
+  bursty.on = Duration::Seconds(2.0);
+  bursty.off = Duration::Seconds(3.0);
+  bursty.cycles = 2;
+  const std::vector<QueryArrival> arrivals =
+      BurstyArrivals(DefaultMix(), bursty);
+  ASSERT_FALSE(arrivals.empty());
+  const QueryProfiles profiles = QueryProfiles::Uniform(
+      Duration::Seconds(0.05), Duration::Seconds(0.5));
+
+  AllOnPolicy policy;
+  auto report = driver.Run(arrivals, profiles, policy);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_GT(report->queries, 0);
+
+  // Counters match the report's integer outcomes.
+  EXPECT_DOUBLE_EQ(metrics.counter("queries"), report->queries);
+  EXPECT_DOUBLE_EQ(metrics.counter("shed"), report->shed);
+  EXPECT_DOUBLE_EQ(metrics.counter("deferred"), report->deferred);
+  EXPECT_DOUBLE_EQ(metrics.counter("failed"), report->failed);
+  EXPECT_DOUBLE_EQ(metrics.counter("retries"), report->retries);
+  EXPECT_DOUBLE_EQ(metrics.counter("brownout_deferred"),
+                   report->brownout_deferred);
+
+  // Gauges match the energy split and rate metrics.
+  EXPECT_DOUBLE_EQ(metrics.gauge("busy_energy_joules"),
+                   report->busy_energy.joules());
+  EXPECT_DOUBLE_EQ(metrics.gauge("idle_energy_joules"),
+                   report->idle_energy.joules());
+  EXPECT_DOUBLE_EQ(metrics.gauge("sleep_energy_joules"),
+                   report->sleep_energy.joules());
+  EXPECT_DOUBLE_EQ(metrics.gauge("wake_energy_joules"),
+                   report->wake_energy.joules());
+  EXPECT_DOUBLE_EQ(metrics.gauge("makespan_s"),
+                   report->makespan.seconds());
+  EXPECT_DOUBLE_EQ(metrics.gauge("throughput_qps"),
+                   report->throughput_qps);
+  EXPECT_DOUBLE_EQ(metrics.gauge("sla_violation_rate"),
+                   report->sla_violation_rate);
+  EXPECT_GT(metrics.gauge("busy_energy_joules"), 0.0);
+
+  // The snapshot serializes the same names.
+  const std::string json = metrics.SnapshotJson();
+  EXPECT_NE(json.find("\"queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_energy_joules\""), std::string::npos);
+
+  // The replay's dispatch timeline landed in the trace: all-on never
+  // wakes, so every busy interval is a "serve" span in virtual time.
+  bool saw_serve = false;
+  for (const obs::TraceSpan& s : trace.spans()) {
+    if (s.name == "serve") {
+      saw_serve = true;
+      EXPECT_EQ(s.category, "dispatch");
+      EXPECT_GE(s.end_s, s.begin_s);
+    }
+  }
+  EXPECT_TRUE(saw_serve);
+}
+
+}  // namespace
+}  // namespace eedc::workload
