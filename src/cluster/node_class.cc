@@ -35,6 +35,14 @@ NodeClassSpec NodeClassSpec::FromNodeSpec(std::string name, char label,
     cls.service_rates =
         UniformKindRates(spec.cpu_bw_mbps() / reference_cpu_bw_mbps);
   }
+  if (spec.net_bw_mbps() > 0.0) {
+    cls.nic_bandwidth_mbps = spec.net_bw_mbps();
+    // Host-side per-byte transfer energy and interface active power for a
+    // commodity GbE NIC of the paper's era (estimates; re-anchorable like
+    // the service rates).
+    cls.nic_joules_per_byte = 2.0e-8;
+    cls.nic_active_watts = Power::Watts(1.5);
+  }
   return cls;
 }
 
@@ -72,6 +80,11 @@ Status NodeClassSpec::Validate() const {
   if (engine_workers < 0) {
     return Status::InvalidArgument("node class '" + name +
                                    "' has a negative engine worker count");
+  }
+  if (nic_joules_per_byte < 0.0 || nic_bandwidth_mbps < 0.0 ||
+      nic_active_watts < Power::Zero()) {
+    return Status::InvalidArgument("node class '" + name +
+                                   "' has a negative NIC energy term");
   }
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 
 #include "common/statusor.h"
 #include "common/units.h"
+#include "energy/meter.h"
 #include "hw/node_spec.h"
 #include "power/power_model.h"
 #include "workload/arrival.h"
@@ -68,6 +69,14 @@ struct NodeClassSpec {
   /// seeded from the catalog machine's core count. 0 defers to the
   /// executor's uniform workers_per_node.
   int engine_workers = 0;
+  /// NIC pricing for interconnect traffic of one node of this class (see
+  /// energy::NicModel): shipping B bytes costs nic_joules_per_byte x B
+  /// plus nic_active_watts for the B / nic_bandwidth_mbps transfer time.
+  /// All-zero (the default) prices the network free, matching the
+  /// pre-interconnect accounting.
+  double nic_joules_per_byte = 0.0;
+  Power nic_active_watts = Power::Zero();
+  double nic_bandwidth_mbps = 0.0;
 
   double ServiceRateFor(workload::QueryKind kind) const {
     return service_rates[static_cast<std::size_t>(kind)];
@@ -77,6 +86,16 @@ struct NodeClassSpec {
 
   Power IdleWatts() const { return power_model->IdleWatts(); }
   Power PeakWatts() const { return power_model->PeakWatts(); }
+
+  /// The class's NIC fields as an energy::NicModel (for EnergyMeter).
+  energy::NicModel nic_model() const {
+    return energy::NicModel{nic_joules_per_byte, nic_active_watts,
+                            nic_bandwidth_mbps};
+  }
+  /// Joules one node of this class pays to move `bytes` over the NIC.
+  Energy NetworkEnergyFor(double bytes) const {
+    return nic_model().EnergyForBytes(bytes);
+  }
 
   /// Class from a catalog machine: power model from the spec, uniform
   /// service rates = spec CPU bandwidth / reference CPU bandwidth.

@@ -119,6 +119,7 @@ EnergyMeter::EnergyMeter(
   EEDC_CHECK(workers_per_node_.size() == node_models_.size());
   for (int w : workers_per_node_) EEDC_CHECK(w > 0);
   for (const auto& m : node_models_) EEDC_CHECK(m != nullptr);
+  net_bytes_.assign(node_models_.size(), 0.0);
 }
 
 EnergyMeter::EnergyMeter(int num_nodes,
@@ -141,6 +142,18 @@ void EnergyMeter::OnWorkerWait(int node, int worker, Duration begin,
   EEDC_CHECK(node >= 0 &&
              node < static_cast<int>(node_models_.size()));
   waits_.push_back(WorkerSpan{node, worker, begin, end});
+}
+
+void EnergyMeter::OnNodeNetworkBytes(int node, double tx_bytes,
+                                     double rx_bytes) {
+  EEDC_CHECK(node >= 0 &&
+             node < static_cast<int>(node_models_.size()));
+  net_bytes_[static_cast<std::size_t>(node)] += tx_bytes + rx_bytes;
+}
+
+void EnergyMeter::SetNicModels(std::vector<NicModel> nic_models) {
+  EEDC_CHECK(nic_models.size() == node_models_.size());
+  nic_models_ = std::move(nic_models);
 }
 
 QueryEnergyReport EnergyMeter::Finish(AttemptKind kind) {
@@ -184,13 +197,21 @@ QueryEnergyReport EnergyMeter::Finish(AttemptKind kind) {
     nr.joules = IntegrateTrace(
         BuildUtilizationTrace(busy_spans, node_workers, report.wall),
         *node_models_[static_cast<std::size_t>(node)]);
+    nr.network_bytes = net_bytes_[static_cast<std::size_t>(node)];
+    if (!nic_models_.empty()) {
+      nr.joules.network =
+          nic_models_[static_cast<std::size_t>(node)].EnergyForBytes(
+              nr.network_bytes);
+    }
     report.total += nr.joules.total();
     report.busy += nr.joules.busy;
     report.idle += nr.joules.idle;
+    report.network += nr.joules.network;
     report.nodes.push_back(std::move(nr));
   }
   spans_.clear();
   waits_.clear();
+  net_bytes_.assign(node_models_.size(), 0.0);
   switch (kind) {
     case AttemptKind::kClean:
       clean_joules_ += report.total;

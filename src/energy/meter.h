@@ -62,19 +62,43 @@ UtilizationTrace BuildUtilizationTrace(std::span<const WorkerSpan> spans,
 std::vector<WorkerSpan> SubtractWaits(std::span<const WorkerSpan> spans,
                                       std::span<const WorkerSpan> waits);
 
-/// Joules split by what the node was doing: busy steps (utilization > 0)
-/// versus idle steps (utilization == 0, drawing the model's idle watts —
-/// real hardware is not energy proportional).
+/// Joules split by what the node was doing: busy steps (utilization > 0),
+/// idle steps (utilization == 0, drawing the model's idle watts — real
+/// hardware is not energy proportional), and the NIC term for bytes the
+/// node moved across the interconnect (zero unless a NicModel is set and
+/// the transport exchange path reported traffic).
 struct EnergySplit {
   Energy busy = Energy::Zero();
   Energy idle = Energy::Zero();
-  Energy total() const { return busy + idle; }
+  Energy network = Energy::Zero();
+  Energy total() const { return busy + idle + network; }
 };
 
 /// Integrates f(u(t)) dt over the trace with the rectangle rule (the
 /// steps are exact, so the integral is exact up to floating point).
 EnergySplit IntegrateTrace(const UtilizationTrace& trace,
                            const power::PowerModel& model);
+
+/// Explicit NIC energy model, replacing the old idle-watt approximation
+/// of network cost: shipping `bytes` across the interconnect costs
+///   joules_per_byte x bytes               (per-byte transfer energy)
+/// + active_watts x bytes / bandwidth      (interface active while moving)
+/// A default-constructed (all-zero) model prices the network at zero,
+/// preserving pre-interconnect accounting exactly.
+struct NicModel {
+  double joules_per_byte = 0.0;
+  Power active_watts = Power::Zero();
+  double bandwidth_mbps = 0.0;  // MB/s; 0 disables the active-watts term
+
+  Energy EnergyForBytes(double bytes) const {
+    Energy e = Energy::Joules(joules_per_byte * bytes);
+    if (bandwidth_mbps > 0.0) {
+      e += active_watts *
+           Duration::Seconds(bytes / (bandwidth_mbps * kBytesPerMB));
+    }
+    return e;
+  }
+};
 
 /// Per-node energy accounting for one metered query.
 struct NodeEnergyReport {
@@ -85,6 +109,8 @@ struct NodeEnergyReport {
   Duration waiting = Duration::Zero();
   Duration wall = Duration::Zero();  // query horizon on this node
   double avg_utilization = 0.0;      // busy / (W * wall)
+  /// Interconnect bytes this node moved during the query (tx + rx).
+  double network_bytes = 0.0;
   EnergySplit joules;
 };
 
@@ -92,9 +118,10 @@ struct NodeEnergyReport {
 struct QueryEnergyReport {
   std::vector<NodeEnergyReport> nodes;
   Duration wall = Duration::Zero();  // max span end across nodes
-  Energy total = Energy::Zero();
+  Energy total = Energy::Zero();     // = busy + idle + network
   Energy busy = Energy::Zero();
   Energy idle = Energy::Zero();
+  Energy network = Energy::Zero();
 
   /// The paper's trade-off metric for this query.
   double edp() const { return EnergyDelayProduct(total, wall); }
@@ -131,6 +158,13 @@ class EnergyMeter : public exec::WorkerActivityListener {
                     Duration end) override;
   void OnWorkerWait(int node, int worker, Duration begin,
                     Duration end) override;
+  void OnNodeNetworkBytes(int node, double tx_bytes,
+                          double rx_bytes) override;
+
+  /// Prices interconnect traffic per node (index = node id; size must
+  /// match the node count). Without this the network term stays zero
+  /// even when traffic is reported.
+  void SetNicModels(std::vector<NicModel> nic_models);
 
   /// Spans observed since the last Finish()/Reset().
   const std::vector<WorkerSpan>& spans() const { return spans_; }
@@ -161,13 +195,16 @@ class EnergyMeter : public exec::WorkerActivityListener {
   void Reset() {
     spans_.clear();
     waits_.clear();
+    net_bytes_.assign(node_models_.size(), 0.0);
   }
 
  private:
   std::vector<std::shared_ptr<const power::PowerModel>> node_models_;
   std::vector<int> workers_per_node_;  // one pipeline count per node
+  std::vector<NicModel> nic_models_;   // empty = network term off
   std::vector<WorkerSpan> spans_;
   std::vector<WorkerSpan> waits_;
+  std::vector<double> net_bytes_;  // per-node tx + rx since last Finish
   Energy clean_joules_ = Energy::Zero();
   Energy wasted_joules_ = Energy::Zero();
   Energy retry_joules_ = Energy::Zero();

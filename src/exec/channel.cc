@@ -1,9 +1,11 @@
 #include "exec/channel.h"
 
 #include <chrono>
+#include <utility>
 
 #include "common/check.h"
 #include "common/units.h"
+#include "obs/metrics_registry.h"
 
 namespace eedc::exec {
 
@@ -11,9 +13,11 @@ void BlockChannel::Send(storage::Block block) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
+    queued_bytes_ += block.LogicalBytes();
     queue_.push_back(std::move(block));
   }
   cv_.notify_one();
+  PublishGauges();
 }
 
 void BlockChannel::SenderDone() {
@@ -33,9 +37,11 @@ void BlockChannel::Close(Status reason) {
     closed_ = true;
     close_reason_ = std::move(reason);
     queue_.clear();
+    queued_bytes_ = 0.0;
     senders_remaining_ = 0;
   }
   cv_.notify_all();
+  PublishGauges();
 }
 
 Status BlockChannel::close_reason() const {
@@ -79,7 +85,37 @@ std::optional<storage::Block> BlockChannel::ReceiveFor(Duration timeout,
   if (closed_ || queue_.empty()) return std::nullopt;
   storage::Block block = std::move(queue_.front());
   queue_.pop_front();
+  queued_bytes_ -= block.LogicalBytes();
+  if (queue_.empty()) queued_bytes_ = 0.0;  // clamp float drift at empty
+  lock.unlock();
+  PublishGauges();
   return block;
+}
+
+void BlockChannel::AttachMetrics(obs::MetricsRegistry* registry,
+                                 std::string prefix) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_ = registry;
+    depth_gauge_ = prefix + ".queue_depth";
+    bytes_gauge_ = prefix + ".bytes_queued";
+  }
+  PublishGauges();
+}
+
+void BlockChannel::PublishGauges() {
+  obs::MetricsRegistry* registry;
+  double depth;
+  double bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry = registry_;
+    depth = static_cast<double>(queue_.size());
+    bytes = queued_bytes_;
+  }
+  if (registry == nullptr) return;
+  registry->SetGauge(depth_gauge_, depth);
+  registry->SetGauge(bytes_gauge_, bytes);
 }
 
 ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id,
@@ -100,6 +136,13 @@ ExchangeGroup::ExchangeGroup(int num_nodes, int exchange_id,
   channels_.reserve(static_cast<std::size_t>(num_nodes));
   for (int i = 0; i < num_nodes; ++i) {
     channels_.push_back(std::make_unique<BlockChannel>(total_senders));
+  }
+}
+
+void ExchangeGroup::AttachMetrics(obs::MetricsRegistry* registry) {
+  for (std::size_t d = 0; d < channels_.size(); ++d) {
+    channels_[d]->AttachMetrics(registry, "chan.e" + std::to_string(id_) +
+                                              ".n" + std::to_string(d));
   }
 }
 

@@ -13,11 +13,16 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/units.h"
 #include "storage/block.h"
+
+namespace eedc::obs {
+class MetricsRegistry;
+}  // namespace eedc::obs
 
 namespace eedc::exec {
 
@@ -58,13 +63,28 @@ class BlockChannel {
                                            Duration* blocked = nullptr,
                                            bool* timed_out = nullptr);
 
+  /// Makes this channel's (otherwise invisible) queue growth observable:
+  /// <prefix>.queue_depth and <prefix>.bytes_queued gauges track the
+  /// number of blocks and their logical bytes currently enqueued,
+  /// updated on every Send/Receive/Close. `registry` is not owned and
+  /// must outlive the channel; null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry, std::string prefix);
+
  private:
+  /// Publishes the depth/bytes gauges. Caller must NOT hold mu_ (the
+  /// registry has its own lock; values are snapshotted under mu_ first).
+  void PublishGauges();
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<storage::Block> queue_;
+  double queued_bytes_ = 0.0;
   int senders_remaining_;
   bool closed_ = false;
   Status close_reason_;
+  obs::MetricsRegistry* registry_ = nullptr;  // not owned
+  std::string depth_gauge_;
+  std::string bytes_gauge_;
 };
 
 /// The channels of one exchange: channel i is received by node i's workers
@@ -82,6 +102,10 @@ class ExchangeGroup {
   BlockChannel& channel(int dest) { return *channels_[dest]; }
   int num_nodes() const { return static_cast<int>(channels_.size()); }
   int id() const { return id_; }
+
+  /// Attaches every channel to `registry` under
+  /// chan.e<exchange>.n<dest>.{queue_depth,bytes_queued}.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   std::vector<std::unique_ptr<BlockChannel>> channels_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "net/transport.h"
 #include "storage/partitioner.h"
 
 namespace eedc::exec {
@@ -31,11 +32,40 @@ StatusOr<OperatorPtr> ExchangeOp::Create(OperatorPtr child,
   if (group == nullptr) {
     return Status::InvalidArgument("exchange requires a channel group");
   }
+  return CreateImpl(std::move(child), mode, std::move(partition_key),
+                    node_id, group, nullptr, std::move(destinations),
+                    metrics);
+}
+
+StatusOr<OperatorPtr> ExchangeOp::Create(OperatorPtr child,
+                                         ExchangeMode mode,
+                                         std::string partition_key,
+                                         int node_id,
+                                         net::ExchangePort* port,
+                                         std::vector<int> destinations,
+                                         NodeMetrics* metrics) {
+  if (port == nullptr) {
+    return Status::InvalidArgument("exchange requires a transport port");
+  }
+  // Bind here, during single-threaded plan instantiation: both ends of
+  // every edge agree on the frame schema before any worker sends.
+  EEDC_RETURN_IF_ERROR(port->BindSchema(child->schema()));
+  return CreateImpl(std::move(child), mode, std::move(partition_key),
+                    node_id, nullptr, port, std::move(destinations),
+                    metrics);
+}
+
+StatusOr<OperatorPtr> ExchangeOp::CreateImpl(
+    OperatorPtr child, ExchangeMode mode, std::string partition_key,
+    int node_id, ExchangeGroup* group, net::ExchangePort* port,
+    std::vector<int> destinations, NodeMetrics* metrics) {
+  const int num_nodes =
+      group != nullptr ? group->num_nodes() : port->num_nodes();
   if (destinations.empty()) {
-    for (int i = 0; i < group->num_nodes(); ++i) destinations.push_back(i);
+    for (int i = 0; i < num_nodes; ++i) destinations.push_back(i);
   }
   for (int d : destinations) {
-    if (d < 0 || d >= group->num_nodes()) {
+    if (d < 0 || d >= num_nodes) {
       return Status::InvalidArgument("exchange destination out of range");
     }
   }
@@ -52,7 +82,7 @@ StatusOr<OperatorPtr> ExchangeOp::Create(OperatorPtr child,
     }
   }
   auto* op = new ExchangeOp(std::move(child), mode,
-                            std::move(partition_key), node_id, group,
+                            std::move(partition_key), node_id, group, port,
                             std::move(destinations), metrics);
   op->key_idx_ = key_idx;
   return OperatorPtr(op);
@@ -60,15 +90,56 @@ StatusOr<OperatorPtr> ExchangeOp::Create(OperatorPtr child,
 
 ExchangeOp::ExchangeOp(OperatorPtr child, ExchangeMode mode,
                        std::string partition_key, int node_id,
-                       ExchangeGroup* group, std::vector<int> destinations,
-                       NodeMetrics* metrics)
+                       ExchangeGroup* group, net::ExchangePort* port,
+                       std::vector<int> destinations, NodeMetrics* metrics)
     : child_(std::move(child)),
       mode_(mode),
       partition_key_(std::move(partition_key)),
       node_id_(node_id),
       group_(group),
+      port_(port),
       metrics_(metrics),
       destinations_(std::move(destinations)) {}
+
+int ExchangeOp::fabric_nodes() const {
+  return group_ != nullptr ? group_->num_nodes() : port_->num_nodes();
+}
+
+int ExchangeOp::exchange_id() const {
+  return group_ != nullptr ? group_->id() : port_->id();
+}
+
+void ExchangeOp::ShipBlock(int dest, Block&& block) {
+  if (block.empty()) return;
+  if (metrics_ != nullptr) {
+    auto& stats =
+        metrics_->exchange(static_cast<std::size_t>(exchange_id()));
+    const double bytes = block.LogicalBytes();
+    if (dest == node_id_) {
+      stats.sent_local_bytes += bytes;
+    } else {
+      stats.sent_remote_bytes += bytes;
+    }
+    stats.rows_routed += static_cast<double>(block.size());
+    metrics_->cpu_bytes += bytes;
+  }
+  if (group_ != nullptr) {
+    group_->channel(dest).Send(std::move(block));
+    return;
+  }
+  // Transport path: the send may block while the edge is out of credit
+  // (the receiver backpressuring us). That interval is a stall, not
+  // compute — account it like a blocked receive.
+  Duration wait = Duration::Zero();
+  const auto entered = std::chrono::steady_clock::now();
+  port_->Send(node_id_, dest, std::move(block), &wait);
+  if (wait > Duration::Zero() && metrics_ != nullptr) {
+    metrics_->credit_wait += wait;
+    const double begin =
+        std::chrono::duration<double>(entered.time_since_epoch()).count();
+    metrics_->credit_wait_spans.emplace_back(begin, begin + wait.seconds());
+  }
+}
 
 void ExchangeOp::AppendRunToPending(int dest, const Block& block,
                                     std::size_t phys, std::size_t count) {
@@ -88,18 +159,7 @@ void ExchangeOp::AppendRunToPending(int dest, const Block& block,
 void ExchangeOp::FlushPending(int dest) {
   Block& staged = pending_[static_cast<std::size_t>(dest)];
   if (staged.empty()) return;
-  if (metrics_ != nullptr) {
-    auto& stats = metrics_->exchange(static_cast<std::size_t>(group_->id()));
-    const double bytes = staged.LogicalBytes();
-    if (dest == node_id_) {
-      stats.sent_local_bytes += bytes;
-    } else {
-      stats.sent_remote_bytes += bytes;
-    }
-    stats.rows_routed += static_cast<double>(staged.size());
-    metrics_->cpu_bytes += bytes;
-  }
-  group_->channel(dest).Send(std::move(staged));
+  ShipBlock(dest, std::move(staged));
   staged = Block(child_->schema());
 }
 
@@ -153,19 +213,7 @@ void ExchangeOp::RouteBlock(const Block& block) {
       }
       dense.FinishBulkLoad();
       const auto ship = [this](int dest, Block&& b) {
-        if (metrics_ != nullptr) {
-          auto& stats =
-              metrics_->exchange(static_cast<std::size_t>(group_->id()));
-          const double bytes = b.LogicalBytes();
-          if (dest == node_id_) {
-            stats.sent_local_bytes += bytes;
-          } else {
-            stats.sent_remote_bytes += bytes;
-          }
-          stats.rows_routed += static_cast<double>(b.size());
-          metrics_->cpu_bytes += bytes;
-        }
-        group_->channel(dest).Send(std::move(b));
+        ShipBlock(dest, std::move(b));
       };
       for (std::size_t d = 0; d + 1 < destinations_.size(); ++d) {
         Block copy(child_->schema(), std::max<std::size_t>(dense.size(), 1));
@@ -203,7 +251,7 @@ void ExchangeOp::RouteBlock(const Block& block) {
 
 Status ExchangeOp::Open() {
   EEDC_RETURN_IF_ERROR(child_->Open());
-  const int n = group_->num_nodes();
+  const int n = fabric_nodes();
   pending_.clear();
   pending_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) pending_.emplace_back(child_->schema());
@@ -216,15 +264,23 @@ Status ExchangeOp::Open() {
     RouteBlock(*block);
   }
   for (int dest = 0; dest < n; ++dest) FlushPending(dest);
-  for (int dest = 0; dest < n; ++dest) group_->channel(dest).SenderDone();
+  if (group_ != nullptr) {
+    for (int dest = 0; dest < n; ++dest) group_->channel(dest).SenderDone();
+  } else {
+    port_->SenderDone(node_id_);
+  }
   send_complete_ = true;
   return child_->Close();
 }
 
 void ExchangeOp::AbortSend() {
   if (send_complete_) return;
-  for (int dest = 0; dest < group_->num_nodes(); ++dest) {
-    group_->channel(dest).SenderDone();
+  if (group_ != nullptr) {
+    for (int dest = 0; dest < group_->num_nodes(); ++dest) {
+      group_->channel(dest).SenderDone();
+    }
+  } else {
+    port_->AbortSend(node_id_);
   }
   send_complete_ = true;
 }
@@ -237,15 +293,26 @@ StatusOr<std::optional<Block>> ExchangeOp::Next() {
   Duration waited_total = Duration::Zero();
   while (true) {
     if (cancel_ != nullptr) EEDC_RETURN_IF_ERROR(cancel_->Check());
-    BlockChannel& channel = group_->channel(node_id_);
     const bool bounded =
         cancel_ != nullptr || receive_timeout_.is_finite();
     const auto entered = std::chrono::steady_clock::now();
     Duration blocked = Duration::Zero();
     bool timed_out = false;
-    std::optional<Block> block =
-        bounded ? channel.ReceiveFor(slice, &blocked, &timed_out)
-                : channel.Receive(&blocked);
+    std::optional<Block> block;
+    int source_node = node_id_;
+    if (group_ != nullptr) {
+      BlockChannel& channel = group_->channel(node_id_);
+      block = bounded ? channel.ReceiveFor(slice, &blocked, &timed_out)
+                      : channel.Receive(&blocked);
+    } else {
+      std::optional<net::ReceivedBlock> received = port_->Receive(
+          node_id_, bounded ? slice : Duration::Infinite(), &blocked,
+          &timed_out);
+      if (received.has_value()) {
+        source_node = received->source_node;
+        block.emplace(std::move(received->block));
+      }
+    }
     if (blocked > Duration::Zero() && metrics_ != nullptr) {
       // A blocked receive is a network/straggler stall, not compute:
       // record the interval so the executor can report it to the
@@ -268,15 +335,20 @@ StatusOr<std::optional<Block>> ExchangeOp::Next() {
     if (!block.has_value()) {
       // Closed and drained — or poisoned by an aborting peer, in which
       // case we surface the peer's failure instead of a truncated stream.
-      Status reason = channel.close_reason();
+      Status reason = group_ != nullptr
+                          ? group_->channel(node_id_).close_reason()
+                          : port_->close_reason();
       if (!reason.ok()) return reason;
       return std::optional<Block>();
     }
     waited_total = Duration::Zero();
     if (metrics_ != nullptr) {
       auto& stats =
-          metrics_->exchange(static_cast<std::size_t>(group_->id()));
+          metrics_->exchange(static_cast<std::size_t>(exchange_id()));
       stats.received_bytes += block->LogicalBytes();
+      if (source_node != node_id_) {
+        stats.received_remote_bytes += block->LogicalBytes();
+      }
     }
     if (!block->empty()) return std::optional<Block>(std::move(*block));
   }

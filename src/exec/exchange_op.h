@@ -14,6 +14,12 @@
 // node's channel. Channels are unbounded, so the drain-then-receive order
 // cannot deadlock. Byte accounting distinguishes remote traffic (crosses
 // the simulated network) from same-node loopback.
+//
+// Alternatively an exchange can ride a net::ExchangePort (the transport
+// fabric): remote blocks then serialize into wire frames with credit-based
+// backpressure, and the port's cooperative drain keeps drain-then-receive
+// deadlock-free despite the bounded buffers (see net/transport.h). Results
+// are identical; the operator only swaps the fabric calls.
 #ifndef EEDC_EXEC_EXCHANGE_OP_H_
 #define EEDC_EXEC_EXCHANGE_OP_H_
 
@@ -23,6 +29,10 @@
 #include "exec/cancel.h"
 #include "exec/channel.h"
 #include "exec/operator.h"
+
+namespace eedc::net {
+class ExchangePort;
+}  // namespace eedc::net
 
 namespace eedc::exec {
 
@@ -40,6 +50,17 @@ class ExchangeOp final : public Operator {
   static StatusOr<OperatorPtr> Create(OperatorPtr child, ExchangeMode mode,
                                       std::string partition_key, int node_id,
                                       ExchangeGroup* group,
+                                      std::vector<int> destinations,
+                                      NodeMetrics* metrics);
+
+  /// Transport-backed variant: blocks ship through `port` (serialized
+  /// frames with credit-based backpressure, net/transport.h) instead of
+  /// the unbounded channel group. Binds the child schema to the port.
+  /// Routing, staging and results are identical to the channel path;
+  /// credit-blocked sends are recorded as NodeMetrics::credit_wait.
+  static StatusOr<OperatorPtr> Create(OperatorPtr child, ExchangeMode mode,
+                                      std::string partition_key, int node_id,
+                                      net::ExchangePort* port,
                                       std::vector<int> destinations,
                                       NodeMetrics* metrics);
 
@@ -64,9 +85,23 @@ class ExchangeOp final : public Operator {
 
  private:
   ExchangeOp(OperatorPtr child, ExchangeMode mode, std::string partition_key,
-             int node_id, ExchangeGroup* group,
+             int node_id, ExchangeGroup* group, net::ExchangePort* port,
              std::vector<int> destinations, NodeMetrics* metrics);
 
+  static StatusOr<OperatorPtr> CreateImpl(OperatorPtr child,
+                                          ExchangeMode mode,
+                                          std::string partition_key,
+                                          int node_id, ExchangeGroup* group,
+                                          net::ExchangePort* port,
+                                          std::vector<int> destinations,
+                                          NodeMetrics* metrics);
+
+  int fabric_nodes() const;
+  int exchange_id() const;
+  /// Sends one staged block to `dest` through whichever fabric backs this
+  /// exchange, recording sent-byte/row metrics (and credit waits on the
+  /// transport path).
+  void ShipBlock(int dest, storage::Block&& block);
   void FlushPending(int dest);
   void RouteBlock(const storage::Block& block);
   /// Appends a run of `count` consecutive physical rows of `block`
@@ -79,7 +114,8 @@ class ExchangeOp final : public Operator {
   ExchangeMode mode_;
   std::string partition_key_;
   int node_id_;
-  ExchangeGroup* group_;
+  ExchangeGroup* group_;          // legacy unbounded fabric (may be null)
+  net::ExchangePort* port_;       // transport fabric (may be null)
   NodeMetrics* metrics_;
 
   int key_idx_ = -1;

@@ -14,6 +14,7 @@
 #include "exec/profiled_op.h"
 #include "exec/project_op.h"
 #include "exec/scan_op.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "storage/partitioner.h"
 
@@ -109,6 +110,8 @@ struct NodeBuildContext {
   int worker_id = 0;
   NodeMetrics* metrics = nullptr;
   std::vector<std::unique_ptr<ExchangeGroup>>* groups = nullptr;
+  /// Transport fabric; when non-null it replaces `groups` positionally.
+  std::vector<std::unique_ptr<net::ExchangePort>>* ports = nullptr;
   /// Cross-worker shared state for this node; ids below index into it.
   PipelineShared* shared = nullptr;
   int next_exchange = 0;
@@ -185,17 +188,25 @@ StatusOr<OperatorPtr> BuildOpsUnwrapped(const PlanNode& plan,
       EEDC_ASSIGN_OR_RETURN(OperatorPtr child,
                             BuildOps(*plan.children.at(0), ctx));
       const int id = ctx->next_exchange++;
-      if (id >= static_cast<int>(ctx->groups->size())) {
+      const int fabric_size = static_cast<int>(
+          ctx->ports != nullptr ? ctx->ports->size() : ctx->groups->size());
+      if (id >= fabric_size) {
         return Status::Internal(
             "per-node plans disagree on exchange count");
       }
-      EEDC_ASSIGN_OR_RETURN(
-          OperatorPtr op,
-          ExchangeOp::Create(std::move(child), plan.mode,
-                             plan.partition_key, ctx->node_id,
-                             (*ctx->groups)[static_cast<std::size_t>(id)]
-                                 .get(),
-                             plan.destinations, ctx->metrics));
+      StatusOr<OperatorPtr> op_or =
+          ctx->ports != nullptr
+              ? ExchangeOp::Create(
+                    std::move(child), plan.mode, plan.partition_key,
+                    ctx->node_id,
+                    (*ctx->ports)[static_cast<std::size_t>(id)].get(),
+                    plan.destinations, ctx->metrics)
+              : ExchangeOp::Create(
+                    std::move(child), plan.mode, plan.partition_key,
+                    ctx->node_id,
+                    (*ctx->groups)[static_cast<std::size_t>(id)].get(),
+                    plan.destinations, ctx->metrics);
+      EEDC_ASSIGN_OR_RETURN(OperatorPtr op, std::move(op_or));
       auto* exchange = static_cast<ExchangeOp*>(op.get());
       exchange->ConfigureCancellation(ctx->cancel, ctx->receive_timeout);
       ctx->exchange_ops->push_back(exchange);
@@ -320,14 +331,30 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   }
   const std::size_t total = offset[static_cast<std::size_t>(n)];
 
-  // Channel groups are shared across nodes, created from node 0's plan;
-  // every worker pipeline is a sender.
+  // The exchange fabric is shared across nodes, created from node 0's
+  // plan; every worker pipeline is a sender. A configured transport
+  // replaces the legacy unbounded channel groups with credit-bounded
+  // ports, positionally (exchange i -> port i).
   PlanPtr plan0 = plan_for_node(0);
   const int num_exchanges = CountExchanges(*plan0);
   std::vector<std::unique_ptr<ExchangeGroup>> groups;
-  groups.reserve(static_cast<std::size_t>(num_exchanges));
-  for (int i = 0; i < num_exchanges; ++i) {
-    groups.push_back(std::make_unique<ExchangeGroup>(n, i, node_workers));
+  std::vector<std::unique_ptr<net::ExchangePort>> ports;
+  if (options_.transport != nullptr) {
+    ports.reserve(static_cast<std::size_t>(num_exchanges));
+    for (int i = 0; i < num_exchanges; ++i) {
+      EEDC_ASSIGN_OR_RETURN(
+          std::unique_ptr<net::ExchangePort> port,
+          options_.transport->CreatePort(i, n, node_workers));
+      ports.push_back(std::move(port));
+    }
+  } else {
+    groups.reserve(static_cast<std::size_t>(num_exchanges));
+    for (int i = 0; i < num_exchanges; ++i) {
+      groups.push_back(std::make_unique<ExchangeGroup>(n, i, node_workers));
+      if (options_.channel_metrics != nullptr) {
+        groups.back()->AttachMetrics(options_.channel_metrics);
+      }
+    }
   }
 
   ExecMetrics metrics;
@@ -375,6 +402,7 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
       ctx.worker_id = worker;
       ctx.metrics = &worker_metrics[idx];
       ctx.groups = &groups;
+      if (options_.transport != nullptr) ctx.ports = &ports;
       ctx.shared = shared[static_cast<std::size_t>(node)].get();
       ctx.exchange_ops = &worker_exchanges[idx];
       ctx.cancel = options_.cancel;
@@ -457,14 +485,19 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
           group->channel(dest).Close(st);
         }
       }
+      // Poisoning a port also releases credit-blocked senders, not just
+      // receivers — the bounded path's extra hang risk.
+      for (auto& port : ports) port->Close(st);
     }
     const auto end = std::chrono::steady_clock::now();
     worker_metrics[idx].wall =
         Duration::Seconds(std::chrono::duration<double>(end - start)
                               .count());
-    // Busy excludes exchange-receive stalls: the worker held no work
-    // while blocked, so utilization (and busy watts) must not cover it.
-    Duration wait = worker_metrics[idx].exchange_wait;
+    // Busy excludes exchange-receive stalls and credit-blocked sends:
+    // the worker held no work while blocked, so utilization (and busy
+    // watts) must not cover either.
+    Duration wait =
+        worker_metrics[idx].exchange_wait + worker_metrics[idx].credit_wait;
     if (wait > worker_metrics[idx].wall) wait = worker_metrics[idx].wall;
     worker_metrics[idx].busy = worker_metrics[idx].wall - wait;
     if (profiling) worker_metrics[idx].op = profilers[idx].breakdown();
@@ -494,17 +527,42 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
           spans[idx].end);
     }
     // Wait intervals after all spans, rebased onto the query start and
-    // clamped inside their worker's span.
+    // clamped inside their worker's span. Credit-blocked sends stall the
+    // CPU exactly like blocked receives, so both kinds are reported.
     for (std::size_t idx = 0; idx < total; ++idx) {
-      for (const auto& [abs_begin, abs_end] :
-           worker_metrics[idx].exchange_wait_spans) {
-        const Duration begin = std::max(
-            Duration::Seconds(abs_begin - query_start_s), spans[idx].begin);
-        const Duration end = std::min(
-            Duration::Seconds(abs_end - query_start_s), spans[idx].end);
-        if (end > begin) {
-          options_.activity_listener->OnWorkerWait(
-              idx_node[idx], idx_worker[idx], begin, end);
+      for (const auto* wait_spans : {&worker_metrics[idx].exchange_wait_spans,
+                                     &worker_metrics[idx].credit_wait_spans}) {
+        for (const auto& [abs_begin, abs_end] : *wait_spans) {
+          const Duration begin = std::max(
+              Duration::Seconds(abs_begin - query_start_s),
+              spans[idx].begin);
+          const Duration end = std::min(
+              Duration::Seconds(abs_end - query_start_s), spans[idx].end);
+          if (end > begin) {
+            options_.activity_listener->OnWorkerWait(
+                idx_node[idx], idx_worker[idx], begin, end);
+          }
+        }
+      }
+    }
+    // Interconnect traffic last: per-node logical bytes shipped to and
+    // received from other nodes, for the NIC term of the energy split.
+    // Only the transport fabric attributes receive provenance.
+    if (options_.transport != nullptr) {
+      std::vector<double> tx(static_cast<std::size_t>(n), 0.0);
+      std::vector<double> rx(static_cast<std::size_t>(n), 0.0);
+      for (std::size_t idx = 0; idx < total; ++idx) {
+        const std::size_t node = static_cast<std::size_t>(idx_node[idx]);
+        for (const ExchangeStats& e : worker_metrics[idx].exchanges) {
+          tx[node] += e.sent_remote_bytes;
+          rx[node] += e.received_remote_bytes;
+        }
+      }
+      for (int node = 0; node < n; ++node) {
+        const std::size_t s = static_cast<std::size_t>(node);
+        if (tx[s] > 0.0 || rx[s] > 0.0) {
+          options_.activity_listener->OnNodeNetworkBytes(node, tx[s],
+                                                         rx[s]);
         }
       }
     }
@@ -540,24 +598,30 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
         op.end_s = inst.last_s;
         trace_spans.push_back(std::move(op));
       }
-      for (const auto& [abs_begin, abs_end] :
-           worker_metrics[idx].exchange_wait_spans) {
-        const double b =
-            std::max(abs_begin - query_start_s, spans[idx].begin.seconds());
-        const double e =
-            std::min(abs_end - query_start_s, spans[idx].end.seconds());
-        if (e <= b) continue;
-        obs::TraceSpan wait;
-        wait.query = options_.query_tag;
-        wait.node = idx_node[idx];
-        wait.worker = idx_worker[idx];
-        wait.name = "exchange_wait";
-        wait.category = "wait";
-        wait.begin_s = b;
-        wait.end_s = e;
-        wait.is_wait = true;
-        trace_spans.push_back(std::move(wait));
-      }
+      const auto add_wait_spans =
+          [&](const std::vector<std::pair<double, double>>& intervals,
+              const char* name) {
+            for (const auto& [abs_begin, abs_end] : intervals) {
+              const double b = std::max(abs_begin - query_start_s,
+                                        spans[idx].begin.seconds());
+              const double e = std::min(abs_end - query_start_s,
+                                        spans[idx].end.seconds());
+              if (e <= b) continue;
+              obs::TraceSpan wait;
+              wait.query = options_.query_tag;
+              wait.node = idx_node[idx];
+              wait.worker = idx_worker[idx];
+              wait.name = name;
+              wait.category = "wait";
+              wait.begin_s = b;
+              wait.end_s = e;
+              wait.is_wait = true;
+              trace_spans.push_back(std::move(wait));
+            }
+          };
+      add_wait_spans(worker_metrics[idx].exchange_wait_spans,
+                     "exchange_wait");
+      add_wait_spans(worker_metrics[idx].credit_wait_spans, "credit_wait");
     }
     options_.trace->AddSpans(std::move(trace_spans));
   }

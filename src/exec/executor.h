@@ -36,7 +36,12 @@ namespace eedc::cluster {
 struct NodeClassSpec;
 }  // namespace eedc::cluster
 
+namespace eedc::net {
+class Transport;
+}  // namespace eedc::net
+
 namespace eedc::obs {
+class MetricsRegistry;
 class TraceRecorder;
 }  // namespace eedc::obs
 
@@ -132,6 +137,17 @@ class Executor {
     /// pipeline: the receive fails with DeadlineExceeded and the query
     /// aborts. Infinite disables the bound.
     Duration receive_timeout = Duration::Seconds(60.0);
+    /// Interconnect backing the exchanges. Null (the default) keeps the
+    /// legacy unbounded BlockChannel fabric; set to a net::Transport to
+    /// ship remote blocks as serialized, credit-backpressured frames
+    /// (net/transport.h). Results are identical either way. Not owned;
+    /// must outlive every execution.
+    net::Transport* transport = nullptr;
+    /// When set, the legacy channel fabric exports per-channel
+    /// queue-depth / bytes-queued gauges here
+    /// (chan.e<exchange>.n<dest>.*). The transport fabric meters itself
+    /// through its own TransportOptions::metrics instead. Not owned.
+    obs::MetricsRegistry* channel_metrics = nullptr;
   };
 
   /// Produces the (possibly node-specific) plan for a node. The default

@@ -21,6 +21,11 @@ struct ExchangeStats {
   double sent_remote_bytes = 0.0;
   double sent_local_bytes = 0.0;
   double received_bytes = 0.0;
+  /// Subset of received_bytes that arrived from a different node (crossed
+  /// the interconnect). Only the transport path can attribute this — the
+  /// legacy BlockChannel erases provenance — so it is 0 under the legacy
+  /// exchange.
+  double received_remote_bytes = 0.0;
   double rows_routed = 0.0;
 };
 
@@ -49,6 +54,17 @@ class WorkerActivityListener {
     (void)begin;
     (void)end;
   }
+  /// Bytes this node moved across the interconnect during the query
+  /// (transmitted and received remote frame payload). Emitted once per
+  /// node after the spans and waits, same thread; only the transport
+  /// exchange path reports it. Energy accounting turns these into the
+  /// NIC term of the per-node energy split.
+  virtual void OnNodeNetworkBytes(int node, double tx_bytes,
+                                  double rx_bytes) {
+    (void)node;
+    (void)tx_bytes;
+    (void)rx_bytes;
+  }
 };
 
 /// Counters for one node's operator tree.
@@ -76,11 +92,18 @@ struct NodeMetrics {
   /// Time blocked in exchange Receive() waiting for peers (a network /
   /// straggler stall, not compute).
   Duration exchange_wait = Duration::Zero();
+  /// Time blocked in exchange Send() waiting for transport credit — the
+  /// receiver backpressuring this sender. Like exchange_wait this is a
+  /// stall, not compute; always zero on the legacy unbounded path.
+  Duration credit_wait = Duration::Zero();
   /// Blocked receive intervals in absolute steady-clock seconds; the
   /// executor rebases them onto the query start before reporting them to
   /// the activity listener. Transient: consumed per worker, not folded
   /// into node-level metrics.
   std::vector<std::pair<double, double>> exchange_wait_spans;
+  /// Credit-blocked send intervals, same convention as
+  /// exchange_wait_spans. Transient, transport path only.
+  std::vector<std::pair<double, double>> credit_wait_spans;
 
   /// Per-operator-stage time/row breakdown (filled when the executor runs
   /// with profiling or tracing enabled; all-zero otherwise). Stage seconds
@@ -116,12 +139,14 @@ struct NodeMetrics {
     op.MergeFrom(w.op);
     busy += w.busy;
     exchange_wait += w.exchange_wait;
+    credit_wait += w.credit_wait;
     if (w.wall > wall) wall = w.wall;
     for (std::size_t i = 0; i < w.exchanges.size(); ++i) {
       ExchangeStats& e = exchange(i);
       e.sent_remote_bytes += w.exchanges[i].sent_remote_bytes;
       e.sent_local_bytes += w.exchanges[i].sent_local_bytes;
       e.received_bytes += w.exchanges[i].received_bytes;
+      e.received_remote_bytes += w.exchanges[i].received_remote_bytes;
       e.rows_routed += w.exchanges[i].rows_routed;
     }
   }
@@ -134,6 +159,11 @@ struct NodeMetrics {
   double total_received_bytes() const {
     double t = 0.0;
     for (const auto& e : exchanges) t += e.received_bytes;
+    return t;
+  }
+  double total_received_remote_bytes() const {
+    double t = 0.0;
+    for (const auto& e : exchanges) t += e.received_remote_bytes;
     return t;
   }
 };

@@ -1,0 +1,604 @@
+#include "net/socket.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/wire.h"
+#include "obs/metrics_registry.h"
+
+namespace eedc::net {
+
+namespace {
+
+/// Upper bound on a frame payload read off the wire; anything larger is
+/// a corrupt stream, not a real block.
+constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024 * 1024;
+
+Duration SinceSteady(std::chrono::steady_clock::time_point start) {
+  return Duration::Seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+bool WriteFull(int fd, const char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool ReadFull(int fd, char* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, data + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // peer shut down
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Establishes one connected stream pair: TCP over loopback when
+/// `use_tcp`, AF_UNIX socketpair otherwise. Returns false on failure.
+bool MakeStreamPair(bool use_tcp, int fds[2]) {
+  if (use_tcp) {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    socklen_t len = sizeof(addr);
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+        ::listen(listener, 1) != 0 ||
+        ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) !=
+            0) {
+      ::close(listener);
+      return false;
+    }
+    const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (client < 0) {
+      ::close(listener);
+      return false;
+    }
+    if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(client);
+      ::close(listener);
+      return false;
+    }
+    const int server = ::accept(listener, nullptr, nullptr);
+    ::close(listener);
+    if (server < 0) {
+      ::close(client);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fds[0] = client;  // sender side
+    fds[1] = server;  // receiver side
+    return true;
+  }
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0;
+}
+
+class SocketPort final : public ExchangePort {
+ public:
+  SocketPort(int exchange_id, int num_nodes,
+             const std::vector<int>& senders_per_node, bool use_tcp,
+             TransportOptions options, Status* init)
+      : id_(exchange_id),
+        num_nodes_(num_nodes),
+        senders_per_node_(senders_per_node),
+        options_(options) {
+    int total_senders = 0;
+    for (int w : senders_per_node_) {
+      EEDC_CHECK(w >= 1);
+      total_senders += w;
+    }
+    inboxes_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int i = 0; i < num_nodes; ++i) {
+      auto inbox = std::make_unique<Inbox>();
+      inbox->senders_remaining = total_senders;
+      inboxes_.push_back(std::move(inbox));
+    }
+    edges_.resize(static_cast<std::size_t>(num_nodes) * num_nodes);
+    edge_names_.reserve(edges_.size());
+    for (int s = 0; s < num_nodes; ++s) {
+      for (int d = 0; d < num_nodes; ++d) {
+        const std::string prefix = "net.e" + std::to_string(id_) + ".s" +
+                                   std::to_string(s) + "d" +
+                                   std::to_string(d);
+        edge_names_.push_back(EdgeNames{prefix + ".tx_frames",
+                                        prefix + ".tx_bytes",
+                                        prefix + ".tx_rows",
+                                        prefix + ".credit_wait_s"});
+        if (s == d) continue;
+        auto edge = std::make_unique<Edge>();
+        int fds[2];
+        if (!MakeStreamPair(use_tcp, fds)) {
+          *init = Status::Unavailable(
+              "could not establish a socket pair for exchange edge");
+          return;
+        }
+        edge->send_fd = fds[0];
+        edge->recv_fd = fds[1];
+        edges_[EdgeIndex(s, d)] = std::move(edge);
+      }
+    }
+    *init = Status::OK();
+    // Reader threads start only after every edge is connected.
+    for (int s = 0; s < num_nodes; ++s) {
+      for (int d = 0; d < num_nodes; ++d) {
+        if (s == d) continue;
+        readers_.emplace_back(&SocketPort::ReadEdge, this, s, d);
+      }
+    }
+  }
+
+  ~SocketPort() override {
+    ShutdownSockets();
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+    for (auto& edge : edges_) {
+      if (edge == nullptr) continue;
+      if (edge->send_fd >= 0) ::close(edge->send_fd);
+      if (edge->recv_fd >= 0) ::close(edge->recv_fd);
+    }
+  }
+
+  Status BindSchema(const storage::Schema& schema) override {
+    std::lock_guard<std::mutex> lock(schema_mu_);
+    const std::uint64_t digest = SchemaDigest(schema);
+    if (schema_.has_value()) {
+      if (digest != schema_digest_) {
+        return Status::InvalidArgument(
+            "exchange " + std::to_string(id_) +
+            " was bound to two different schemas");
+      }
+      return Status::OK();
+    }
+    schema_.emplace(schema);
+    schema_digest_ = digest;
+    return Status::OK();
+  }
+
+  void Send(int source, int dest, storage::Block block,
+            Duration* credit_wait) override {
+    if (closed_.load(std::memory_order_acquire)) return;
+    if (block.empty()) return;
+    if (source == dest) {
+      Inbox& inbox = *inboxes_[static_cast<std::size_t>(dest)];
+      {
+        std::lock_guard<std::mutex> lock(inbox.mu);
+        inbox.spill.emplace_back(std::move(block), source);
+      }
+      inbox.cv.notify_all();
+      return;
+    }
+    block.Compact();
+    if (options_.coalesce_bytes == 0) {
+      Transmit(source, dest, block, credit_wait);
+      return;
+    }
+    Edge& edge = *edges_[EdgeIndex(source, dest)];
+    std::vector<storage::Block> ready;
+    {
+      std::lock_guard<std::mutex> lock(edge.staging_mu);
+      std::size_t offset = 0;
+      const std::size_t total = block.size();
+      while (offset < total) {
+        if (!edge.staging.has_value()) edge.staging.emplace(block.schema());
+        storage::Block& staged = *edge.staging;
+        const std::size_t room = staged.capacity() - staged.size();
+        if (room == 0) {
+          ready.push_back(std::move(staged));
+          edge.staging.reset();
+          continue;
+        }
+        const std::size_t take = std::min(room, total - offset);
+        staged.AppendPhysicalRange(block, offset, take);
+        offset += take;
+        if (staged.full() ||
+            static_cast<std::size_t>(staged.LogicalBytes()) >=
+                options_.coalesce_bytes) {
+          ready.push_back(std::move(staged));
+          edge.staging.reset();
+        }
+      }
+    }
+    for (storage::Block& b : ready) Transmit(source, dest, b, credit_wait);
+  }
+
+  void SenderDone(int source) override {
+    for (int dest = 0; dest < num_nodes_; ++dest) {
+      if (dest == source) continue;
+      std::optional<storage::Block> staged;
+      Edge& edge = *edges_[EdgeIndex(source, dest)];
+      {
+        std::lock_guard<std::mutex> lock(edge.staging_mu);
+        staged.swap(edge.staging);
+      }
+      if (staged.has_value() && !staged->empty()) {
+        Transmit(source, dest, *staged, nullptr);
+      }
+      // The EOF rides the same byte stream as the data, so the receiver
+      // retires this worker's token only after all its frames.
+      std::string eof;
+      EncodeControlFrame(kFrameEof, id_, source, dest, &eof);
+      std::lock_guard<std::mutex> lock(edge.send_mu);
+      if (!closed_.load(std::memory_order_acquire)) {
+        WriteFull(edge.send_fd, eof.data(), eof.size());
+      }
+    }
+    // Loopback sends were synchronous spill pushes; retire locally.
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(source)];
+    {
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      if (inbox.senders_remaining > 0) --inbox.senders_remaining;
+    }
+    inbox.cv.notify_all();
+  }
+
+  void AbortSend(int source) override {
+    // Never blocks: the aborting path retires tokens through shared
+    // memory (all inboxes live in this process) — any in-flight data is
+    // garbage anyway, and the executor poisons the port right after.
+    (void)source;
+    for (auto& inbox : inboxes_) {
+      {
+        std::lock_guard<std::mutex> lock(inbox->mu);
+        if (inbox->senders_remaining > 0) --inbox->senders_remaining;
+      }
+      inbox->cv.notify_all();
+    }
+  }
+
+  std::optional<ReceivedBlock> Receive(int node, Duration timeout,
+                                       Duration* blocked,
+                                       bool* timed_out) override {
+    if (timed_out != nullptr) *timed_out = false;
+    if (blocked != nullptr) *blocked = Duration::Zero();
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(node)];
+    std::unique_lock<std::mutex> lock(inbox.mu);
+    const auto ready = [this, &inbox] {
+      return closed_.load(std::memory_order_relaxed) ||
+             !inbox.spill.empty() || !inbox.wire.empty() ||
+             inbox.senders_remaining == 0;
+    };
+    if (!ready()) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      bool woke = true;
+      if (timeout.is_finite()) {
+        woke = inbox.cv.wait_for(
+            lock, std::chrono::duration<double>(timeout.seconds()), ready);
+      } else {
+        inbox.cv.wait(lock, ready);
+      }
+      if (blocked != nullptr) *blocked = SinceSteady(wait_start);
+      if (!woke) {
+        if (timed_out != nullptr) *timed_out = true;
+        return std::nullopt;
+      }
+    }
+    if (closed_.load(std::memory_order_relaxed)) return std::nullopt;
+    if (!inbox.spill.empty()) {
+      ReceivedBlock received = std::move(inbox.spill.front());
+      inbox.spill.pop_front();
+      return received;
+    }
+    if (!inbox.wire.empty()) {
+      WireFrame frame = std::move(inbox.wire.front());
+      inbox.wire.pop_front();
+      lock.unlock();
+      GrantCredit(frame.source, node);
+      StatusOr<ReceivedBlock> decoded = DecodeWire(frame);
+      if (!decoded.ok()) {
+        Close(decoded.status());
+        return std::nullopt;
+      }
+      return std::move(decoded).value();
+    }
+    return std::nullopt;
+  }
+
+  void Close(Status reason) override {
+    {
+      std::lock_guard<std::mutex> lock(close_mu_);
+      if (closed_.load(std::memory_order_relaxed)) return;
+      close_reason_ = std::move(reason);
+      closed_.store(true, std::memory_order_release);
+    }
+    ShutdownSockets();
+    for (auto& inbox : inboxes_) {
+      {
+        std::lock_guard<std::mutex> lock(inbox->mu);
+        inbox->wire.clear();
+        inbox->spill.clear();
+        inbox->senders_remaining = 0;
+      }
+      inbox->cv.notify_all();
+    }
+  }
+
+  Status close_reason() const override {
+    std::lock_guard<std::mutex> lock(close_mu_);
+    return close_reason_;
+  }
+
+  int id() const override { return id_; }
+  int num_nodes() const override { return num_nodes_; }
+
+ private:
+  struct WireFrame {
+    std::string bytes;
+    int source = 0;
+  };
+  struct Inbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WireFrame> wire;
+    std::deque<ReceivedBlock> spill;
+    int senders_remaining = 0;
+  };
+  struct Edge {
+    int send_fd = -1;  // sender writes frames, reads credit bytes
+    int recv_fd = -1;  // reader thread reads frames, consumer writes credits
+    std::mutex send_mu;     // serializes frame writes + unacked accounting
+    std::mutex ack_mu;      // serializes credit-byte writes
+    std::mutex staging_mu;  // coalescing staging block
+    int unacked = 0;
+    std::optional<storage::Block> staging;
+  };
+  struct EdgeNames {
+    std::string tx_frames;
+    std::string tx_bytes;
+    std::string tx_rows;
+    std::string credit_wait_s;
+  };
+
+  std::size_t EdgeIndex(int source, int dest) const {
+    return static_cast<std::size_t>(source) *
+               static_cast<std::size_t>(num_nodes_) +
+           static_cast<std::size_t>(dest);
+  }
+
+  /// Consumes any credit bytes the receiver has sent back, without
+  /// blocking. Caller holds edge.send_mu.
+  void PollAcks(Edge* edge) {
+    char buf[64];
+    for (;;) {
+      const ssize_t r =
+          ::recv(edge->send_fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (r <= 0) return;
+      edge->unacked = std::max(0, edge->unacked - static_cast<int>(r));
+    }
+  }
+
+  void Transmit(int source, int dest, const storage::Block& block,
+                Duration* credit_wait) {
+    std::string frame;
+    EncodeBlockFrame(block, id_, source, dest, &frame);
+    Edge& edge = *edges_[EdgeIndex(source, dest)];
+    const auto wait_start = std::chrono::steady_clock::now();
+    bool waited = false;
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return;
+      {
+        std::lock_guard<std::mutex> lock(edge.send_mu);
+        PollAcks(&edge);
+        if (edge.unacked < options_.credit_window_frames) {
+          if (!WriteFull(edge.send_fd, frame.data(), frame.size())) {
+            return;  // peer shut down; Close() is poisoning us
+          }
+          ++edge.unacked;
+          break;
+        }
+      }
+      waited = true;
+      // Out of credit: break any wait cycle by consuming our own node's
+      // inbound frames (granting their credits) before napping.
+      if (!DrainOneInbound(source)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    const EdgeNames& names = edge_names_[EdgeIndex(source, dest)];
+    if (options_.metrics != nullptr) {
+      options_.metrics->AddCounter(names.tx_frames);
+      options_.metrics->AddCounter(names.tx_bytes,
+                                   static_cast<double>(frame.size()));
+      options_.metrics->AddCounter(names.tx_rows,
+                                   static_cast<double>(block.size()));
+    }
+    if (waited) {
+      const Duration elapsed = SinceSteady(wait_start);
+      if (credit_wait != nullptr) *credit_wait += elapsed;
+      if (options_.metrics != nullptr) {
+        options_.metrics->AddCounter(names.credit_wait_s, elapsed.seconds());
+      }
+    }
+  }
+
+  bool DrainOneInbound(int node) {
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(node)];
+    WireFrame frame;
+    {
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      if (inbox.wire.empty()) return false;
+      frame = std::move(inbox.wire.front());
+      inbox.wire.pop_front();
+    }
+    GrantCredit(frame.source, node);
+    StatusOr<ReceivedBlock> decoded = DecodeWire(frame);
+    if (!decoded.ok()) {
+      Close(decoded.status());
+      return true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      if (closed_.load(std::memory_order_relaxed)) return true;
+      inbox.spill.push_back(std::move(decoded).value());
+    }
+    inbox.cv.notify_all();
+    return true;
+  }
+
+  /// One credit byte back to the sender of edge (source -> dest).
+  void GrantCredit(int source, int dest) {
+    Edge& edge = *edges_[EdgeIndex(source, dest)];
+    std::lock_guard<std::mutex> lock(edge.ack_mu);
+    if (closed_.load(std::memory_order_acquire)) return;
+    const char byte = 1;
+    WriteFull(edge.recv_fd, &byte, 1);
+  }
+
+  StatusOr<ReceivedBlock> DecodeWire(const WireFrame& frame) {
+    std::optional<storage::Schema> schema;
+    {
+      std::lock_guard<std::mutex> lock(schema_mu_);
+      schema = schema_;
+    }
+    if (!schema.has_value()) {
+      return Status::FailedPrecondition(
+          "exchange " + std::to_string(id_) +
+          " received a frame before BindSchema");
+    }
+    EEDC_ASSIGN_OR_RETURN(DecodedFrame decoded,
+                          DecodeFrame(*schema, frame.bytes));
+    return ReceivedBlock(std::move(decoded.block), frame.source);
+  }
+
+  /// Reader thread for edge (source -> dest): re-frames the byte stream
+  /// into dest's inbox. Exits after one EOF per sending worker of
+  /// `source`, or when the socket is shut down.
+  void ReadEdge(int source, int dest) {
+    Edge& edge = *edges_[EdgeIndex(source, dest)];
+    Inbox& inbox = *inboxes_[static_cast<std::size_t>(dest)];
+    int eofs = 0;
+    const int expected_eofs =
+        senders_per_node_[static_cast<std::size_t>(source)];
+    while (eofs < expected_eofs) {
+      std::string bytes(kFrameHeaderBytes, '\0');
+      if (!ReadFull(edge.recv_fd, bytes.data(), kFrameHeaderBytes)) return;
+      StatusOr<FrameHeader> header = ParseFrameHeader(bytes);
+      if (!header.ok()) {
+        Close(header.status());
+        return;
+      }
+      if (header.value().payload_bytes > kMaxPayloadBytes) {
+        Close(Status::InvalidArgument(
+            "frame payload length exceeds the sanity bound"));
+        return;
+      }
+      if (header.value().payload_bytes > 0) {
+        bytes.resize(kFrameHeaderBytes + header.value().payload_bytes);
+        if (!ReadFull(edge.recv_fd, bytes.data() + kFrameHeaderBytes,
+                      header.value().payload_bytes)) {
+          return;
+        }
+      }
+      if ((header.value().flags & kFrameEof) != 0) {
+        ++eofs;
+        {
+          std::lock_guard<std::mutex> lock(inbox.mu);
+          if (inbox.senders_remaining > 0) --inbox.senders_remaining;
+        }
+        inbox.cv.notify_all();
+        continue;
+      }
+      if ((header.value().flags & kFrameAbort) != 0) {
+        Close(Status::Cancelled("peer aborted the exchange"));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(inbox.mu);
+        if (closed_.load(std::memory_order_relaxed)) return;
+        inbox.wire.push_back(WireFrame{std::move(bytes), source});
+      }
+      inbox.cv.notify_all();
+    }
+  }
+
+  void ShutdownSockets() {
+    for (auto& edge : edges_) {
+      if (edge == nullptr) continue;
+      if (edge->send_fd >= 0) ::shutdown(edge->send_fd, SHUT_RDWR);
+      if (edge->recv_fd >= 0) ::shutdown(edge->recv_fd, SHUT_RDWR);
+    }
+  }
+
+  const int id_;
+  const int num_nodes_;
+  const std::vector<int> senders_per_node_;
+  const TransportOptions options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::unique_ptr<Edge>> edges_;  // null on the diagonal
+  std::vector<EdgeNames> edge_names_;
+  std::vector<std::thread> readers_;
+
+  mutable std::mutex schema_mu_;
+  std::optional<storage::Schema> schema_;
+  std::uint64_t schema_digest_ = 0;
+
+  std::atomic<bool> closed_{false};
+  mutable std::mutex close_mu_;
+  Status close_reason_;
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(TransportOptions options)
+    : options_(options) {
+  int fds[2];
+  use_tcp_ = MakeStreamPair(/*use_tcp=*/true, fds);
+  if (use_tcp_) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  name_ = use_tcp_ ? "tcp" : "unix";
+}
+
+StatusOr<std::unique_ptr<ExchangePort>> SocketTransport::CreatePort(
+    int exchange_id, int num_nodes,
+    const std::vector<int>& senders_per_node) {
+  if (num_nodes <= 0 ||
+      static_cast<int>(senders_per_node.size()) != num_nodes) {
+    return Status::InvalidArgument(
+        "CreatePort needs one sender count per node");
+  }
+  Status init = Status::OK();
+  auto port = std::make_unique<SocketPort>(exchange_id, num_nodes,
+                                           senders_per_node, use_tcp_,
+                                           options_, &init);
+  EEDC_RETURN_IF_ERROR(init);
+  return std::unique_ptr<ExchangePort>(std::move(port));
+}
+
+}  // namespace eedc::net

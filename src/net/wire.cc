@@ -1,0 +1,292 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "storage/types.h"
+
+namespace eedc::net {
+
+using storage::Block;
+using storage::Column;
+using storage::DataType;
+using storage::Schema;
+
+namespace {
+
+// All multi-byte values are little-endian on the wire. memcpy through a
+// fixed-width integer keeps the encode/decode pair alignment-safe and
+// byte-order-explicit (the engine targets little-endian hosts; a
+// big-endian port would swap here and nowhere else).
+
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+std::uint8_t TypeTag(DataType type) {
+  return static_cast<std::uint8_t>(type);
+}
+
+StatusOr<DataType> TypeFromTag(std::uint8_t tag) {
+  switch (tag) {
+    case static_cast<std::uint8_t>(DataType::kInt64):
+      return DataType::kInt64;
+    case static_cast<std::uint8_t>(DataType::kDouble):
+      return DataType::kDouble;
+    case static_cast<std::uint8_t>(DataType::kString):
+      return DataType::kString;
+  }
+  return Status::InvalidArgument("frame payload has an unknown type tag");
+}
+
+/// Bounded reader over the payload: every Take checks the remaining
+/// length, so a truncated or corrupt frame fails with a Status instead
+/// of reading out of bounds.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  StatusOr<const char*> Take(std::size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      return Status::InvalidArgument("frame payload truncated");
+    }
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t SchemaDigest(const Schema& schema) {
+  // FNV-1a, folded over each field's name bytes and type tag with a
+  // field separator so ("ab","c") and ("a","bc") differ.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (const storage::Field& f : schema.fields()) {
+    for (char c : f.name) mix(static_cast<std::uint8_t>(c));
+    mix(0xff);
+    mix(TypeTag(f.type));
+  }
+  return h;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, std::string* out) {
+  AppendRaw<std::uint32_t>(FrameHeader::kMagic, out);
+  AppendRaw<std::uint16_t>(header.version, out);
+  AppendRaw<std::uint16_t>(header.flags, out);
+  AppendRaw<std::uint32_t>(header.exchange_id, out);
+  AppendRaw<std::uint32_t>(header.source_node, out);
+  AppendRaw<std::uint32_t>(header.dest_node, out);
+  AppendRaw<std::uint64_t>(header.schema_digest, out);
+  AppendRaw<std::uint32_t>(header.row_count, out);
+  AppendRaw<std::uint32_t>(header.payload_bytes, out);
+  // Reserved word pads the header to kFrameHeaderBytes (room for future
+  // versions without re-framing; must be zero in version 1).
+  AppendRaw<std::uint32_t>(0, out);
+}
+
+StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header truncated");
+  }
+  const char* p = bytes.data();
+  if (ReadRaw<std::uint32_t>(p) != FrameHeader::kMagic) {
+    return Status::InvalidArgument("frame header has wrong magic");
+  }
+  FrameHeader h;
+  h.version = ReadRaw<std::uint16_t>(p + 4);
+  if (h.version != FrameHeader::kVersion) {
+    return Status::InvalidArgument(
+        "frame version " + std::to_string(h.version) +
+        " is not supported (expected " +
+        std::to_string(FrameHeader::kVersion) + ")");
+  }
+  h.flags = ReadRaw<std::uint16_t>(p + 6);
+  h.exchange_id = ReadRaw<std::uint32_t>(p + 8);
+  h.source_node = ReadRaw<std::uint32_t>(p + 12);
+  h.dest_node = ReadRaw<std::uint32_t>(p + 16);
+  h.schema_digest = ReadRaw<std::uint64_t>(p + 20);
+  h.row_count = ReadRaw<std::uint32_t>(p + 28);
+  h.payload_bytes = ReadRaw<std::uint32_t>(p + 32);
+  return h;
+}
+
+void EncodeBlockPayload(const Block& block, std::string* out) {
+  const Schema& schema = block.schema();
+  const std::size_t rows = block.size();
+  const std::uint32_t* sel = block.selection_data();
+  for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+    const Column& col = block.column(c);
+    AppendRaw<std::uint8_t>(TypeTag(col.type()), out);
+    AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(rows), out);
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const auto vals = col.int64s();
+        if (sel == nullptr) {
+          out->append(reinterpret_cast<const char*>(vals.data()),
+                      rows * sizeof(std::int64_t));
+        } else {
+          for (std::size_t i = 0; i < rows; ++i) {
+            AppendRaw<std::int64_t>(vals[sel[i]], out);
+          }
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        const auto vals = col.doubles();
+        if (sel == nullptr) {
+          out->append(reinterpret_cast<const char*>(vals.data()),
+                      rows * sizeof(double));
+        } else {
+          for (std::size_t i = 0; i < rows; ++i) {
+            AppendRaw<double>(vals[sel[i]], out);
+          }
+        }
+        break;
+      }
+      case DataType::kString: {
+        const auto vals = col.strings();
+        for (std::size_t i = 0; i < rows; ++i) {
+          const std::string& s = vals[sel == nullptr ? i : sel[i]];
+          AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(s.size()),
+                                   out);
+          out->append(s);
+        }
+        break;
+      }
+    }
+  }
+}
+
+StatusOr<Block> DecodeBlockPayload(const Schema& schema,
+                                   std::string_view payload,
+                                   std::uint32_t row_count) {
+  Block block(schema, std::max<std::size_t>(row_count, 1));
+  PayloadReader reader(payload);
+  for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+    EEDC_ASSIGN_OR_RETURN(const char* tag_ptr, reader.Take(5));
+    EEDC_ASSIGN_OR_RETURN(
+        DataType type,
+        TypeFromTag(ReadRaw<std::uint8_t>(tag_ptr)));
+    if (type != schema.field(c).type) {
+      return Status::InvalidArgument(
+          "frame column type does not match the bound schema");
+    }
+    const std::uint32_t rows = ReadRaw<std::uint32_t>(tag_ptr + 1);
+    if (rows != row_count) {
+      return Status::InvalidArgument(
+          "frame column row count disagrees with the header");
+    }
+    Column& col = block.mutable_column(c);
+    switch (type) {
+      case DataType::kInt64: {
+        EEDC_ASSIGN_OR_RETURN(const char* p,
+                              reader.Take(rows * sizeof(std::int64_t)));
+        std::int64_t* dst = col.AppendRawInt64(rows);
+        std::memcpy(dst, p, rows * sizeof(std::int64_t));
+        break;
+      }
+      case DataType::kDouble: {
+        EEDC_ASSIGN_OR_RETURN(const char* p,
+                              reader.Take(rows * sizeof(double)));
+        for (std::uint32_t i = 0; i < rows; ++i) {
+          col.AppendDouble(ReadRaw<double>(p + i * sizeof(double)));
+        }
+        break;
+      }
+      case DataType::kString: {
+        for (std::uint32_t i = 0; i < rows; ++i) {
+          EEDC_ASSIGN_OR_RETURN(const char* len_ptr, reader.Take(4));
+          const std::uint32_t len = ReadRaw<std::uint32_t>(len_ptr);
+          EEDC_ASSIGN_OR_RETURN(const char* s, reader.Take(len));
+          col.AppendString(std::string(s, len));
+        }
+        break;
+      }
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("frame payload has trailing bytes");
+  }
+  block.FinishBulkLoad();
+  return block;
+}
+
+FrameHeader EncodeBlockFrame(const Block& block, int exchange_id,
+                             int source_node, int dest_node,
+                             std::string* out) {
+  std::string payload;
+  payload.reserve(static_cast<std::size_t>(block.LogicalBytes()) +
+                  block.schema().num_fields() * 5);
+  EncodeBlockPayload(block, &payload);
+  FrameHeader header;
+  header.flags = kFrameData;
+  header.exchange_id = static_cast<std::uint32_t>(exchange_id);
+  header.source_node = static_cast<std::uint32_t>(source_node);
+  header.dest_node = static_cast<std::uint32_t>(dest_node);
+  header.schema_digest = SchemaDigest(block.schema());
+  header.row_count = static_cast<std::uint32_t>(block.size());
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  EncodeFrameHeader(header, out);
+  out->append(payload);
+  return header;
+}
+
+FrameHeader EncodeControlFrame(std::uint16_t flags, int exchange_id,
+                               int source_node, int dest_node,
+                               std::string* out) {
+  FrameHeader header;
+  header.flags = flags;
+  header.exchange_id = static_cast<std::uint32_t>(exchange_id);
+  header.source_node = static_cast<std::uint32_t>(source_node);
+  header.dest_node = static_cast<std::uint32_t>(dest_node);
+  EncodeFrameHeader(header, out);
+  return header;
+}
+
+StatusOr<DecodedFrame> DecodeFrame(const Schema& schema,
+                                   std::string_view frame) {
+  EEDC_ASSIGN_OR_RETURN(FrameHeader header, ParseFrameHeader(frame));
+  if (frame.size() != kFrameHeaderBytes + header.payload_bytes) {
+    return Status::InvalidArgument(
+        "frame length disagrees with the header's payload size");
+  }
+  DecodedFrame decoded(schema);
+  decoded.header = header;
+  if ((header.flags & (kFrameEof | kFrameAbort)) != 0) {
+    return decoded;  // control frames carry no payload
+  }
+  if (header.schema_digest != SchemaDigest(schema)) {
+    return Status::InvalidArgument(
+        "frame schema digest does not match the receiver's bound schema");
+  }
+  EEDC_ASSIGN_OR_RETURN(
+      decoded.block,
+      DecodeBlockPayload(schema, frame.substr(kFrameHeaderBytes),
+                         header.row_count));
+  return decoded;
+}
+
+}  // namespace eedc::net

@@ -1,0 +1,110 @@
+// Wire format of the interconnect: blocks serialized into sized,
+// versioned frames.
+//
+// A frame is a fixed 40-byte little-endian header followed by a columnar
+// payload. The header round-trips everything a receiver needs to route
+// and validate the frame without trusting the sender: magic + version
+// (reject foreign bytes), the exchange id and destination node (routing),
+// the source node (remote-vs-loopback byte accounting on the receive
+// side), a digest of the block schema (both ends must agree on the
+// column layout before any value is decoded), the row count, and the
+// payload length (framing over a byte stream).
+//
+// The payload is columnar, matching the engine's execution model: for
+// each column a one-byte type tag and a row count, then the values —
+// int64/double as raw 8-byte little-endian words, strings as a u32
+// length followed by the bytes. Blocks with selection vectors or
+// borrowed table ranges are gathered during encode, so the wire always
+// carries dense data and decode never needs the sender's storage.
+#ifndef EEDC_NET_WIRE_H_
+#define EEDC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "storage/block.h"
+#include "storage/schema.h"
+
+namespace eedc::net {
+
+/// Frame kinds, carried in FrameHeader::flags.
+enum FrameFlags : std::uint16_t {
+  kFrameData = 0,
+  /// One sender finished its send phase on this edge (no payload).
+  kFrameEof = 1 << 0,
+  /// The sending side aborted; receivers should poison (no payload).
+  kFrameAbort = 1 << 1,
+};
+
+struct FrameHeader {
+  static constexpr std::uint32_t kMagic = 0x45454443;  // "EEDC"
+  static constexpr std::uint16_t kVersion = 1;
+
+  std::uint16_t version = kVersion;
+  std::uint16_t flags = kFrameData;
+  std::uint32_t exchange_id = 0;
+  std::uint32_t source_node = 0;
+  std::uint32_t dest_node = 0;
+  std::uint64_t schema_digest = 0;
+  std::uint32_t row_count = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Serialized header size (magic + fields above, packed little-endian).
+inline constexpr std::size_t kFrameHeaderBytes = 40;
+
+/// FNV-1a over the schema's field names and type tags: both ends of an
+/// edge must derive the same digest from their bound schema or decoding
+/// is refused before any value is read.
+std::uint64_t SchemaDigest(const storage::Schema& schema);
+
+/// Appends the serialized header to `out`.
+void EncodeFrameHeader(const FrameHeader& header, std::string* out);
+
+/// Parses and validates a serialized header (magic and version checked).
+/// `bytes` must hold at least kFrameHeaderBytes.
+StatusOr<FrameHeader> ParseFrameHeader(std::string_view bytes);
+
+/// Appends the columnar payload of `block` to `out`, gathering through
+/// any selection vector / borrowed range so the wire bytes are dense.
+void EncodeBlockPayload(const storage::Block& block, std::string* out);
+
+/// Decodes a payload produced by EncodeBlockPayload back into a dense
+/// owned block of `schema`. Validates type tags, per-column row counts
+/// and that the payload is consumed exactly.
+StatusOr<storage::Block> DecodeBlockPayload(const storage::Schema& schema,
+                                            std::string_view payload,
+                                            std::uint32_t row_count);
+
+/// Serializes `block` into one data frame (header + payload) appended to
+/// `out`, returning the header that was written.
+FrameHeader EncodeBlockFrame(const storage::Block& block, int exchange_id,
+                             int source_node, int dest_node,
+                             std::string* out);
+
+/// Encodes a payload-free control frame (EOF / abort).
+FrameHeader EncodeControlFrame(std::uint16_t flags, int exchange_id,
+                               int source_node, int dest_node,
+                               std::string* out);
+
+/// A parsed frame: the header plus the decoded block for data frames
+/// (control frames leave `block` empty).
+struct DecodedFrame {
+  FrameHeader header;
+  storage::Block block;
+
+  explicit DecodedFrame(storage::Schema schema)
+      : block(std::move(schema)) {}
+};
+
+/// Parses one full frame against the receiver's bound `schema`,
+/// validating the schema digest and payload length. `frame` must hold
+/// exactly header + payload.
+StatusOr<DecodedFrame> DecodeFrame(const storage::Schema& schema,
+                                   std::string_view frame);
+
+}  // namespace eedc::net
+
+#endif  // EEDC_NET_WIRE_H_

@@ -165,6 +165,9 @@ class Simulator {
       any_feasible = any_feasible || c.feasible;
       c.marginal = cls.power_model->WattsAt(c.freq) * service;
       if (c.wake) c.marginal += cls.PeakWatts() * wake_latency;
+      if (profile.shipped_bytes > 0.0) {
+        c.marginal += cls.NetworkEnergyFor(profile.shipped_bytes);
+      }
       candidates.push_back(c);
     }
     if (!any_alive) return candidates.front();  // caller fails the query

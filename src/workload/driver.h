@@ -57,6 +57,12 @@ struct QueryProfile {
   /// Metered engine joules for one run (reporting only; the driver's own
   /// accounting integrates the node power model over the timeline).
   Energy engine_joules = Energy::Zero();
+  /// Interconnect bytes one run of this kind ships across node boundaries
+  /// (engine-measured remote exchange traffic). kEnergyFeasibleFinish adds
+  /// the serving class's NIC energy for these bytes to a candidate's
+  /// marginal joules, so shipping-heavy kinds are priced honestly. 0 (the
+  /// default) keeps the pre-interconnect scoring.
+  double shipped_bytes = 0.0;
 };
 
 struct QueryProfiles {

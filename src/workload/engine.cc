@@ -91,9 +91,19 @@ Status EngineFleet::Init() {
   for (int& w : meter_workers) w = std::max(1, w);
   meter_ = std::make_unique<energy::EnergyMeter>(std::move(models),
                                                  std::move(meter_workers));
+  // Each node's class NIC prices the interconnect traffic the transport
+  // reports, closing the meter's network term.
+  std::vector<energy::NicModel> nics;
+  nics.reserve(p0.node_classes.size());
+  for (const cluster::NodeClassSpec* cls : p0.node_classes) {
+    nics.push_back(cls->nic_model());
+  }
+  meter_->SetNicModels(std::move(nics));
+  transport_ = std::make_unique<net::InProcessTransport>();
 
   exec::Executor::Options exec_options = p0.MakeExecutorOptions();
   exec_options.activity_listener = meter_.get();
+  exec_options.transport = transport_.get();
   // Per-operator profiling costs two clock reads per operator call —
   // noise next to a morsel — and turns every Measure into an
   // EXPLAIN ANALYZE (EngineMeasurement::profile).
@@ -124,6 +134,7 @@ StatusOr<const EngineMeasurement*> EngineFleet::Measure(QueryKind kind) {
     best.wall = wall;
     best.joules = energy.total;
     best.result_rows = result.table.num_rows();
+    best.shipped_bytes = result.metrics.TotalRemoteBytes();
     best.profile = exec::BuildQueryProfile(result.metrics);
     best.joules_by_class.clear();
     for (const energy::NodeEnergyReport& nr : energy.nodes) {
@@ -212,6 +223,7 @@ StatusOr<FaultMeasurement> EngineFleet::MeasureWithCrash(
       placements_[static_cast<std::size_t>(kind)];
   exec::Executor::Options crash_options = placement.MakeExecutorOptions();
   crash_options.activity_listener = meter_.get();
+  crash_options.transport = transport_.get();
   crash_options.cancel = &token;
   exec::Executor crash_executor(data_.get(), std::move(crash_options));
   meter_->Reset();
@@ -454,6 +466,7 @@ StatusOr<QueryProfiles> EngineFleet::MeasuredProfiles() {
     p.deadline = std::max(m->wall * options_.deadline_multiplier,
                           Duration::Millis(10.0));
     p.engine_joules = m->joules;
+    p.shipped_bytes = m->shipped_bytes;
   }
   return profiles;
 }

@@ -37,6 +37,7 @@
 #include "energy/meter.h"
 #include "exec/executor.h"
 #include "exec/profile.h"
+#include "net/inproc.h"
 #include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "workload/driver.h"
@@ -76,6 +77,9 @@ struct EngineMeasurement {
   std::vector<std::pair<std::string, Energy>> joules_by_class;
   /// Result cardinality (deterministic; equal across fleet shapes).
   std::size_t result_rows = 0;
+  /// Remote exchange bytes the best run shipped across node boundaries
+  /// (serialized frame payloads on the interconnect; deterministic).
+  double shipped_bytes = 0.0;
   /// EXPLAIN ANALYZE-style per-node operator breakdown of the best run
   /// (the fleet always executes with operator profiling on).
   exec::QueryProfileReport profile;
@@ -245,6 +249,11 @@ class EngineFleet {
   tpch::TpchDatabase db_;
   std::unique_ptr<exec::ClusterData> data_;
   std::array<cluster::EnginePlacement, kNumQueryKinds> placements_;
+  /// Interconnect behind the single-query executors: remote blocks ship
+  /// as serialized credit-backpressured frames, and the metered traffic
+  /// feeds the meter's NIC term and the profiles' shipped_bytes.
+  /// (MeasureConcurrent's runtime keeps the legacy channel fabric.)
+  std::unique_ptr<net::InProcessTransport> transport_;
   std::unique_ptr<energy::EnergyMeter> meter_;
   std::unique_ptr<exec::Executor> executor_;
   std::array<std::optional<EngineMeasurement>, kNumQueryKinds> cache_;

@@ -1,0 +1,228 @@
+// Wire-format round-trip guarantees of the interconnect (net/wire.h):
+// randomized block fuzzing across all column types, selection vectors,
+// borrowed ranges and empty blocks — decoded columns must be
+// bit-identical to the encoder's logical view — plus the header and
+// digest validation paths a receiver relies on to reject foreign or
+// corrupt bytes.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/block.h"
+#include "storage/table.h"
+
+namespace eedc::net {
+namespace {
+
+using storage::Block;
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+
+Schema RandomSchema(Rng& rng) {
+  const int cols = static_cast<int>(rng.UniformInt(1, 5));
+  std::vector<Field> fields;
+  for (int c = 0; c < cols; ++c) {
+    const auto type =
+        static_cast<DataType>(rng.UniformInt(0, 2));  // int64/double/string
+    fields.push_back(Field{"c" + std::to_string(c), type, 0.0});
+  }
+  return Schema(std::move(fields));
+}
+
+Value RandomValue(Rng& rng, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      // Full 64-bit range, including sign-bit patterns.
+      return static_cast<std::int64_t>(rng.NextU64());
+    case DataType::kDouble:
+      return rng.UniformDouble(-1e12, 1e12);
+    case DataType::kString: {
+      // Varied lengths, including empty and embedded NUL bytes.
+      const int len = static_cast<int>(rng.UniformInt(0, 40));
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+      }
+      return s;
+    }
+  }
+  return std::int64_t{0};
+}
+
+std::shared_ptr<Table> RandomTable(Rng& rng, const Schema& schema,
+                                   std::size_t rows) {
+  auto table = std::make_shared<Table>(schema);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    for (const Field& f : schema.fields()) {
+      row.push_back(RandomValue(rng, f.type));
+    }
+    table->AppendRow(row);
+  }
+  return table;
+}
+
+/// Bit-identical comparison of the decoded block against the original's
+/// *logical* view (through its selection / borrowed range).
+void ExpectLogicallyIdentical(const Block& original, const Block& decoded) {
+  ASSERT_EQ(decoded.size(), original.size());
+  ASSERT_FALSE(decoded.has_selection());  // wire data is dense
+  const Schema& schema = original.schema();
+  for (std::size_t c = 0; c < schema.num_fields(); ++c) {
+    for (std::size_t r = 0; r < original.size(); ++r) {
+      const std::size_t phys = original.RowIndex(r);
+      switch (schema.field(c).type) {
+        case DataType::kInt64:
+          ASSERT_EQ(decoded.column(c).Int64At(r),
+                    original.column(c).Int64At(phys))
+              << "col " << c << " row " << r;
+          break;
+        case DataType::kDouble: {
+          // Bit identity, not epsilon: the wire must not perturb floats.
+          const double got = decoded.column(c).DoubleAt(r);
+          const double want = original.column(c).DoubleAt(phys);
+          std::uint64_t got_bits, want_bits;
+          static_assert(sizeof(got) == sizeof(got_bits));
+          std::memcpy(&got_bits, &got, sizeof(got));
+          std::memcpy(&want_bits, &want, sizeof(want));
+          ASSERT_EQ(got_bits, want_bits) << "col " << c << " row " << r;
+          break;
+        }
+        case DataType::kString:
+          ASSERT_EQ(decoded.column(c).StringAt(r),
+                    original.column(c).StringAt(phys))
+              << "col " << c << " row " << r;
+          break;
+      }
+    }
+  }
+}
+
+void RoundTrip(const Block& block, std::uint64_t seed) {
+  std::string bytes;
+  const FrameHeader header =
+      EncodeBlockFrame(block, /*exchange_id=*/7, /*source_node=*/1,
+                       /*dest_node=*/2, &bytes);
+  EXPECT_EQ(header.row_count, block.size());
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + header.payload_bytes);
+
+  auto decoded = DecodeFrame(block.schema(), bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status() << " (seed " << seed << ")";
+  EXPECT_EQ(decoded->header.exchange_id, 7u);
+  EXPECT_EQ(decoded->header.source_node, 1u);
+  EXPECT_EQ(decoded->header.dest_node, 2u);
+  EXPECT_EQ(decoded->header.schema_digest, SchemaDigest(block.schema()));
+  ExpectLogicallyIdentical(block, decoded->block);
+}
+
+TEST(WireFuzzTest, RandomizedBlocksRoundTripBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const Schema schema = RandomSchema(rng);
+    const std::size_t rows =
+        static_cast<std::size_t>(rng.UniformInt(0, 200));
+    auto table = RandomTable(rng, schema, rows);
+
+    // Dense owned block.
+    Block dense(schema, std::max<std::size_t>(rows, 1));
+    for (std::size_t r = 0; r < rows; ++r) {
+      dense.AppendRowFrom(*table, r);
+    }
+    RoundTrip(dense, seed);
+
+    // Selection vector: random sorted subset (possibly empty).
+    Block selected(schema, std::max<std::size_t>(rows, 1));
+    for (std::size_t r = 0; r < rows; ++r) {
+      selected.AppendRowFrom(*table, r);
+    }
+    std::vector<std::uint32_t> sel;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (rng.Bernoulli(0.4)) sel.push_back(static_cast<std::uint32_t>(r));
+    }
+    selected.SetSelection(std::move(sel));
+    RoundTrip(selected, seed);
+
+    // Borrowed table range (the scan's zero-copy batches).
+    if (rows > 0) {
+      const auto start = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(rows) - 1));
+      const auto count = static_cast<std::size_t>(rng.UniformInt(
+          1, static_cast<std::int64_t>(rows - start)));
+      RoundTrip(Block::Borrow(table, start, count), seed);
+    }
+  }
+}
+
+TEST(WireFuzzTest, EmptyBlockRoundTrips) {
+  const Schema schema{Field{"k", DataType::kInt64, 8},
+                      Field{"s", DataType::kString, 16}};
+  Block empty(schema);
+  RoundTrip(empty, 0);
+}
+
+TEST(WireHeaderTest, ControlFramesCarryNoPayload) {
+  std::string bytes;
+  const FrameHeader h =
+      EncodeControlFrame(kFrameEof, /*exchange_id=*/3, /*source_node=*/0,
+                         /*dest_node=*/1, &bytes);
+  EXPECT_EQ(h.payload_bytes, 0u);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes);
+  auto parsed = ParseFrameHeader(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->flags, kFrameEof);
+  EXPECT_EQ(parsed->exchange_id, 3u);
+}
+
+TEST(WireHeaderTest, RejectsForeignMagicAndVersion) {
+  const Schema schema{Field{"k", DataType::kInt64, 8}};
+  Block b(schema);
+  b.AppendRow({std::int64_t{42}});
+  std::string bytes;
+  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseFrameHeader(bad_magic).ok());
+
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0xEE);  // version word
+  EXPECT_FALSE(ParseFrameHeader(bad_version).ok());
+
+  EXPECT_FALSE(ParseFrameHeader(std::string(10, '\0')).ok());
+}
+
+TEST(WireDecodeTest, RejectsSchemaDigestMismatch) {
+  const Schema sender{Field{"k", DataType::kInt64, 8}};
+  const Schema receiver{Field{"k", DataType::kDouble, 8}};
+  Block b(sender);
+  b.AppendRow({std::int64_t{1}});
+  std::string bytes;
+  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+  EXPECT_FALSE(DecodeFrame(receiver, bytes).ok());
+}
+
+TEST(WireDecodeTest, RejectsTruncatedAndOversizedFrames) {
+  const Schema schema{Field{"k", DataType::kInt64, 8},
+                      Field{"s", DataType::kString, 16}};
+  Block b(schema);
+  b.AppendRow({std::int64_t{7}, std::string("hello")});
+  std::string bytes;
+  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+
+  EXPECT_FALSE(DecodeFrame(schema, bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(DecodeFrame(schema, bytes + "x").ok());
+}
+
+}  // namespace
+}  // namespace eedc::net
