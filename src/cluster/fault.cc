@@ -16,6 +16,8 @@ const char* FaultKindToString(FaultKind kind) {
       return "slow";
     case FaultKind::kExchangeStall:
       return "stall";
+    case FaultKind::kProcessKill:
+      return "pkill";
   }
   return "unknown";
 }
@@ -43,12 +45,16 @@ std::string FormatSeconds(Duration d) {
 /// True when the crash set leaves at least one node alive at every
 /// instant: checked at every crash start (the only times the down-set
 /// grows).
+bool TakesNodeDown(FaultKind kind) {
+  return kind == FaultKind::kNodeCrash || kind == FaultKind::kProcessKill;
+}
+
 bool FleetAlwaysAlive(const std::vector<FaultEvent>& events, int num_nodes) {
   for (const FaultEvent& probe : events) {
-    if (probe.kind != FaultKind::kNodeCrash) continue;
+    if (!TakesNodeDown(probe.kind)) continue;
     int down = 0;
     for (const FaultEvent& other : events) {
-      if (other.kind != FaultKind::kNodeCrash) continue;
+      if (!TakesNodeDown(other.kind)) continue;
       if (other.at <= probe.at && probe.at < WindowEnd(other)) ++down;
     }
     if (down >= num_nodes) return false;
@@ -79,6 +85,10 @@ Status FaultPlan::Validate(int num_nodes) const {
       return Status::InvalidArgument(
           "delayed-wake/stall events need a positive extra latency");
     }
+    if (e.kind == FaultKind::kProcessKill && e.duration.is_finite()) {
+      return Status::InvalidArgument(
+          "a SIGKILLed process never recovers; process kills are permanent");
+    }
   }
   if (!std::is_sorted(events.begin(), events.end(), EventOrder)) {
     return Status::InvalidArgument("fault events must be sorted by time");
@@ -100,6 +110,8 @@ std::string FaultPlan::Describe() const {
       case FaultKind::kNodeCrash:
         os << "+" << FormatSeconds(e.duration);
         break;
+      case FaultKind::kProcessKill:
+        break;  // always permanent; the instant says it all
       case FaultKind::kSlowNode:
         os << "x" << e.severity << "+" << FormatSeconds(e.duration);
         break;
@@ -120,7 +132,7 @@ StatusOr<FaultPlan> FaultPlan::Generate(const ClusterConfig& fleet,
   if (!options.horizon.is_finite() || !(options.horizon > Duration::Zero())) {
     return Status::InvalidArgument("fault horizon must be finite positive");
   }
-  if (options.crashes > 0 && n < 2) {
+  if ((options.crashes > 0 || options.process_kills > 0) && n < 2) {
     return Status::InvalidArgument(
         "crash injection needs at least two nodes (someone must survive)");
   }
@@ -155,6 +167,28 @@ StatusOr<FaultPlan> FaultPlan::Generate(const ClusterConfig& fleet,
     if (!placed) {
       return Status::InvalidArgument(
           "could not place crash events without emptying the fleet");
+    }
+  }
+  for (int i = 0; i < options.process_kills; ++i) {
+    // Like crashes, but permanent by definition: re-draw any kill that
+    // would leave the fleet with no live process.
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      FaultEvent e;
+      e.kind = FaultKind::kProcessKill;
+      e.node = pick_node(rng);
+      e.at = Duration::Seconds(pick_time(rng));
+      e.duration = Duration::Infinite();
+      std::vector<FaultEvent> trial = plan.events;
+      trial.push_back(e);
+      if (FleetAlwaysAlive(trial, n)) {
+        plan.events.push_back(e);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return Status::InvalidArgument(
+          "could not place process-kill events without emptying the fleet");
     }
   }
   for (int i = 0; i < options.stragglers; ++i) {
@@ -202,6 +236,7 @@ FaultInjector::FaultInjector(FaultPlan plan, int num_nodes)
     PerNode& node = nodes_[static_cast<std::size_t>(e.node)];
     switch (e.kind) {
       case FaultKind::kNodeCrash:
+      case FaultKind::kProcessKill:
         node.down.push_back(w);
         break;
       case FaultKind::kSlowNode:

@@ -36,6 +36,8 @@ enum class FaultKind {
   kDelayedWake,    // wakes started in [at, at+duration) take `extra` longer
   kSlowNode,       // service rate multiplied by `severity` in [at, at+duration)
   kExchangeStall,  // receives from this node stall `extra` in [at, at+duration)
+  kProcessKill,    // the node's OS process is SIGKILLed at `at`; always
+                   // permanent — a dead process does not come back
 };
 
 const char* FaultKindToString(FaultKind kind);
@@ -69,6 +71,10 @@ struct FaultPlanOptions {
   int exchange_stalls = 0;
   Duration stall_extra = Duration::Seconds(1.0);
   Duration stall_window = Duration::Seconds(5.0);
+  /// Permanent SIGKILLs of node processes (the multi-process fleet's
+  /// crash gate picks its victim from these — see EngineFleet::
+  /// MeasureProcessWithCrash). Never empties the fleet.
+  int process_kills = 0;
 };
 
 struct FaultPlan {

@@ -1,6 +1,7 @@
 #include "exec/channel.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -9,11 +10,21 @@
 
 namespace eedc::exec {
 
+namespace {
+
+/// Both sides of the gauge must round identically so enqueue and dequeue
+/// of one block contribute equal-and-opposite integer amounts.
+std::int64_t GaugeBytes(const storage::Block& block) {
+  return std::llround(block.LogicalBytes());
+}
+
+}  // namespace
+
 void BlockChannel::Send(storage::Block block) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
-    queued_bytes_ += block.LogicalBytes();
+    queued_bytes_ += GaugeBytes(block);
     queue_.push_back(std::move(block));
   }
   cv_.notify_one();
@@ -37,7 +48,7 @@ void BlockChannel::Close(Status reason) {
     closed_ = true;
     close_reason_ = std::move(reason);
     queue_.clear();
-    queued_bytes_ = 0.0;
+    queued_bytes_ = 0;
     senders_remaining_ = 0;
   }
   cv_.notify_all();
@@ -85,8 +96,9 @@ std::optional<storage::Block> BlockChannel::ReceiveFor(Duration timeout,
   if (closed_ || queue_.empty()) return std::nullopt;
   storage::Block block = std::move(queue_.front());
   queue_.pop_front();
-  queued_bytes_ -= block.LogicalBytes();
-  if (queue_.empty()) queued_bytes_ = 0.0;  // clamp float drift at empty
+  queued_bytes_ -= GaugeBytes(block);
+  EEDC_CHECK(!queue_.empty() || queued_bytes_ == 0)
+      << "bytes_queued gauge out of sync with an empty queue";
   lock.unlock();
   PublishGauges();
   return block;
@@ -111,7 +123,7 @@ void BlockChannel::PublishGauges() {
     std::lock_guard<std::mutex> lock(mu_);
     registry = registry_;
     depth = static_cast<double>(queue_.size());
-    bytes = queued_bytes_;
+    bytes = static_cast<double>(queued_bytes_);
   }
   if (registry == nullptr) return;
   registry->SetGauge(depth_gauge_, depth);

@@ -10,6 +10,7 @@
 #define EEDC_EXEC_CHANNEL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -78,7 +79,11 @@ class BlockChannel {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<storage::Block> queue_;
-  double queued_bytes_ = 0.0;
+  /// Integer bytes: the gauge is an exact running sum of per-block
+  /// rounded logical sizes, so enqueue/dequeue of the same block cancel
+  /// exactly and a drained channel reads exactly 0 (a double accumulator
+  /// drifts under repeated +=/-=).
+  std::int64_t queued_bytes_ = 0;
   int senders_remaining_;
   bool closed_ = false;
   Status close_reason_;

@@ -312,15 +312,35 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
     const NodePlanFn& plan_for_node) {
   const int n = data_->num_nodes();
   if (n <= 0) return Status::InvalidArgument("cluster has no nodes");
+  // Fragment mode (multi-process fleets): this process instantiates only
+  // `local_node`'s pipelines, but the exchange fabric still spans the
+  // full node count — the missing pipelines run in sibling processes and
+  // reach us through a cross-process transport.
+  const int local = options_.local_node;
+  if (local >= n) {
+    return Status::InvalidArgument("local_node is outside the cluster");
+  }
+  if (local >= 0 && options_.transport == nullptr) {
+    return Status::InvalidArgument(
+        "a node fragment needs a cross-process transport: without one the "
+        "other nodes' pipelines do not exist anywhere");
+  }
   // Class-scaled parallelism: each node runs its own pipeline count.
-  // Index pipelines as offset[node] + worker throughout.
+  // Index pipelines as offset[node] + worker throughout; in fragment
+  // mode non-local nodes contribute zero pipelines here while keeping
+  // their full width in the fabric's sender accounting.
   EEDC_ASSIGN_OR_RETURN(std::vector<int> node_workers,
                         ResolveNodeWorkers(options_, n));
+  const auto local_workers = [&node_workers, local](int node) {
+    return (local < 0 || node == local)
+               ? node_workers[static_cast<std::size_t>(node)]
+               : 0;
+  };
   std::vector<std::size_t> offset(static_cast<std::size_t>(n) + 1, 0);
   std::vector<int> idx_node;
   std::vector<int> idx_worker;
   for (int node = 0; node < n; ++node) {
-    const int w = node_workers[static_cast<std::size_t>(node)];
+    const int w = local_workers(node);
     offset[static_cast<std::size_t>(node) + 1] =
         offset[static_cast<std::size_t>(node)] +
         static_cast<std::size_t>(w);
@@ -331,11 +351,13 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   }
   const std::size_t total = offset[static_cast<std::size_t>(n)];
 
-  // The exchange fabric is shared across nodes, created from node 0's
-  // plan; every worker pipeline is a sender. A configured transport
-  // replaces the legacy unbounded channel groups with credit-bounded
-  // ports, positionally (exchange i -> port i).
-  PlanPtr plan0 = plan_for_node(0);
+  // The exchange fabric is shared across nodes, created from the first
+  // locally-instantiated node's plan; every worker pipeline of every
+  // node (local or not) is a sender. A configured transport replaces the
+  // legacy unbounded channel groups with credit-bounded ports,
+  // positionally (exchange i -> port i).
+  const int plan0_node = local >= 0 ? local : 0;
+  PlanPtr plan0 = plan_for_node(plan0_node);
   const int num_exchanges = CountExchanges(*plan0);
   std::vector<std::unique_ptr<ExchangeGroup>> groups;
   std::vector<std::unique_ptr<net::ExchangePort>> ports;
@@ -384,8 +406,9 @@ StatusOr<QueryResult> Executor::ExecutePerNode(
   std::vector<std::unique_ptr<PipelineShared>> shared(
       static_cast<std::size_t>(n));
   for (int node = 0; node < n; ++node) {
-    PlanPtr plan = node == 0 ? plan0 : plan_for_node(node);
-    const int num_workers = node_workers[static_cast<std::size_t>(node)];
+    const int num_workers = local_workers(node);
+    if (num_workers == 0) continue;  // a sibling process runs this node
+    PlanPtr plan = node == plan0_node ? plan0 : plan_for_node(node);
     shared[static_cast<std::size_t>(node)] =
         std::make_unique<PipelineShared>();
     EEDC_RETURN_IF_ERROR(CollectPipelineShared(

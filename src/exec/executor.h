@@ -148,6 +148,17 @@ class Executor {
     /// (chan.e<exchange>.n<dest>.*). The transport fabric meters itself
     /// through its own TransportOptions::metrics instead. Not owned.
     obs::MetricsRegistry* channel_metrics = nullptr;
+    /// -1 (the default) hosts every node's pipelines in this process.
+    /// >= 0 runs ONE node's fragment of the distributed plan: only that
+    /// node's worker pipelines are instantiated and only its partials
+    /// land in the result table, while exchange ports are still created
+    /// over the full node count — a `transport` whose ports span
+    /// processes (net::CreatePreconnectedPort) is then required, since
+    /// the other nodes' pipelines live elsewhere. A multi-process
+    /// coordinator concatenates the per-node fragment results in node
+    /// order, yielding the same row multiset as a single-process run
+    /// (row order is nondeterministic on both paths).
+    int local_node = -1;
   };
 
   /// Produces the (possibly node-specific) plan for a node. The default

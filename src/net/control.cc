@@ -1,0 +1,297 @@
+#include "net/control.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace eedc::net {
+
+namespace {
+
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Fixed control body: every field of ControlMessage except type/node
+/// (those ride in the header), then the detail string.
+constexpr std::size_t kControlFixedBytes =
+    4 /*epoch*/ + 4 /*kind*/ + 4 /*status_code*/ + 4 /*start_delay_ms*/ +
+    8 /*rows*/ + 8 /*wall*/ + 8 /*tx*/ + 8 /*rx*/ + 4 /*detail len*/;
+
+/// SCM_RIGHTS caps out around 253 fds per message on Linux; stay under.
+constexpr std::size_t kMaxFdsPerMessage = 200;
+
+Duration Remaining(std::chrono::steady_clock::time_point deadline) {
+  return Duration::Seconds(
+      std::chrono::duration<double>(deadline -
+                                    std::chrono::steady_clock::now())
+          .count());
+}
+
+/// Reads exactly `n` bytes with recvmsg under a deadline, harvesting any
+/// SCM_RIGHTS fds delivered along the way into `fds_out`.
+Status RecvExact(int fd, char* buf, std::size_t n,
+                 std::chrono::steady_clock::time_point deadline,
+                 std::vector<int>* fds_out) {
+  std::size_t done = 0;
+  while (done < n) {
+    const Duration left = Remaining(deadline);
+    if (left.seconds() <= 0) {
+      return Status::DeadlineExceeded("control channel receive timed out");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int timeout_ms = static_cast<int>(left.seconds() * 1000.0) + 1;
+    const int polled = ::poll(&pfd, 1, timeout_ms);
+    if (polled < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll on control channel failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (polled == 0) {
+      return Status::DeadlineExceeded("control channel receive timed out");
+    }
+    iovec iov{buf + done, n - done};
+    // Room for one full SCM_RIGHTS batch of fds per message.
+    alignas(cmsghdr) char cmsg_buf[CMSG_SPACE(sizeof(int) *
+                                              kMaxFdsPerMessage)];
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cmsg_buf;
+    msg.msg_controllen = sizeof(cmsg_buf);
+    const ssize_t r = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Status::Unavailable("control channel read failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      return Status::Unavailable("control channel peer closed the stream");
+    }
+    for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+         c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SCM_RIGHTS) {
+        continue;
+      }
+      const std::size_t count =
+          (c->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+      const int* received = reinterpret_cast<const int*>(CMSG_DATA(c));
+      for (std::size_t i = 0; i < count; ++i) {
+        if (fds_out != nullptr) {
+          fds_out->push_back(received[i]);
+        } else {
+          ::close(received[i]);  // unclaimed fd must not leak
+        }
+      }
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendControl(int fd, const ControlMessage& msg,
+                   const std::vector<int>& fds) {
+  if (fds.size() > kMaxFdsPerMessage) {
+    return Status::InvalidArgument(
+        "too many fds for one control message (" +
+        std::to_string(fds.size()) + " > " +
+        std::to_string(kMaxFdsPerMessage) + ")");
+  }
+  std::string payload;
+  payload.reserve(kControlFixedBytes + msg.detail.size());
+  AppendRaw<std::uint32_t>(msg.epoch, &payload);
+  AppendRaw<std::int32_t>(msg.kind, &payload);
+  AppendRaw<std::int32_t>(msg.status_code, &payload);
+  AppendRaw<std::int32_t>(msg.start_delay_ms, &payload);
+  AppendRaw<std::int64_t>(msg.rows, &payload);
+  AppendRaw<double>(msg.wall_seconds, &payload);
+  AppendRaw<double>(msg.tx_bytes, &payload);
+  AppendRaw<double>(msg.rx_bytes, &payload);
+  AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(msg.detail.size()),
+                           &payload);
+  payload += msg.detail;
+
+  FrameHeader header;
+  header.flags = kFrameControl;
+  header.exchange_id = static_cast<std::uint32_t>(msg.type);
+  header.source_node = static_cast<std::uint32_t>(msg.node);
+  header.dest_node = 0;
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  EncodeFrameHeader(header, &frame);
+  frame += payload;
+
+  // The fds ride as ancillary data on the first byte; the rest of the
+  // frame follows as plain stream bytes.
+  std::size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t w;
+    if (done == 0 && !fds.empty()) {
+      iovec iov{frame.data(), frame.size()};
+      alignas(cmsghdr) char cmsg_buf[CMSG_SPACE(sizeof(int) *
+                                                kMaxFdsPerMessage)];
+      std::memset(cmsg_buf, 0, sizeof(cmsg_buf));
+      msghdr out{};
+      out.msg_iov = &iov;
+      out.msg_iovlen = 1;
+      out.msg_control = cmsg_buf;
+      out.msg_controllen = CMSG_SPACE(sizeof(int) * fds.size());
+      cmsghdr* c = CMSG_FIRSTHDR(&out);
+      c->cmsg_level = SOL_SOCKET;
+      c->cmsg_type = SCM_RIGHTS;
+      c->cmsg_len = CMSG_LEN(sizeof(int) * fds.size());
+      std::memcpy(CMSG_DATA(c), fds.data(), sizeof(int) * fds.size());
+      w = ::sendmsg(fd, &out, MSG_NOSIGNAL);
+    } else {
+      w = ::send(fd, frame.data() + done, frame.size() - done,
+                 MSG_NOSIGNAL);
+    }
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("control channel write failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (w == 0) {
+      return Status::Unavailable("control channel peer closed the stream");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return Status::OK();
+}
+
+StatusOr<FrameHeader> ReceiveFrame(int fd, Duration timeout,
+                                   std::string* frame,
+                                   std::vector<int>* fds_out) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout.is_finite()
+                                            ? timeout.seconds()
+                                            : 3600.0));
+  frame->clear();
+  frame->resize(kFrameHeaderBytes);
+  EEDC_RETURN_IF_ERROR(
+      RecvExact(fd, frame->data(), kFrameHeaderBytes, deadline, fds_out));
+  EEDC_ASSIGN_OR_RETURN(FrameHeader header, ParseFrameHeader(*frame));
+  if (header.payload_bytes > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument(
+        "control frame payload length exceeds the sanity bound");
+  }
+  if (header.payload_bytes > 0) {
+    frame->resize(kFrameHeaderBytes + header.payload_bytes);
+    EEDC_RETURN_IF_ERROR(RecvExact(fd, frame->data() + kFrameHeaderBytes,
+                                   header.payload_bytes, deadline,
+                                   fds_out));
+  }
+  return header;
+}
+
+StatusOr<ControlMessage> ParseControl(const FrameHeader& header,
+                                      std::string_view frame) {
+  if ((header.flags & kFrameControl) == 0) {
+    return Status::InvalidArgument(
+        "expected a control frame on the control channel");
+  }
+  if (frame.size() != kFrameHeaderBytes + header.payload_bytes ||
+      header.payload_bytes < kControlFixedBytes) {
+    return Status::InvalidArgument("control frame body truncated");
+  }
+  const char* p = frame.data() + kFrameHeaderBytes;
+  ControlMessage msg;
+  msg.type = static_cast<ControlType>(header.exchange_id);
+  msg.node = static_cast<std::int32_t>(header.source_node);
+  msg.epoch = ReadRaw<std::uint32_t>(p);
+  msg.kind = ReadRaw<std::int32_t>(p + 4);
+  msg.status_code = ReadRaw<std::int32_t>(p + 8);
+  msg.start_delay_ms = ReadRaw<std::int32_t>(p + 12);
+  msg.rows = ReadRaw<std::int64_t>(p + 16);
+  msg.wall_seconds = ReadRaw<double>(p + 24);
+  msg.tx_bytes = ReadRaw<double>(p + 32);
+  msg.rx_bytes = ReadRaw<double>(p + 40);
+  const std::uint32_t detail_len = ReadRaw<std::uint32_t>(p + 48);
+  if (kControlFixedBytes + detail_len != header.payload_bytes) {
+    return Status::InvalidArgument("control frame detail length mismatch");
+  }
+  msg.detail.assign(p + kControlFixedBytes, detail_len);
+  return msg;
+}
+
+StatusOr<ControlMessage> ReceiveControl(int fd, Duration timeout,
+                                        std::vector<int>* fds_out) {
+  std::string frame;
+  EEDC_ASSIGN_OR_RETURN(FrameHeader header,
+                        ReceiveFrame(fd, timeout, &frame, fds_out));
+  return ParseControl(header, frame);
+}
+
+std::string EncodeSchema(const storage::Schema& schema) {
+  std::string out;
+  AppendRaw<std::uint32_t>(
+      static_cast<std::uint32_t>(schema.num_fields()), &out);
+  for (const storage::Field& f : schema.fields()) {
+    AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(f.name.size()),
+                             &out);
+    out += f.name;
+    AppendRaw<std::uint8_t>(static_cast<std::uint8_t>(f.type), &out);
+    AppendRaw<double>(f.logical_width, &out);
+  }
+  return out;
+}
+
+StatusOr<storage::Schema> DecodeSchema(std::string_view bytes) {
+  const auto fail = [] {
+    return Status::InvalidArgument("serialized schema truncated");
+  };
+  std::size_t pos = 0;
+  const auto take = [&bytes, &pos, &fail](std::size_t n)
+      -> StatusOr<const char*> {
+    if (bytes.size() - pos < n) return fail();
+    const char* p = bytes.data() + pos;
+    pos += n;
+    return p;
+  };
+  EEDC_ASSIGN_OR_RETURN(const char* head, take(4));
+  const std::uint32_t num_fields = ReadRaw<std::uint32_t>(head);
+  std::vector<storage::Field> fields;
+  fields.reserve(num_fields);
+  for (std::uint32_t i = 0; i < num_fields; ++i) {
+    EEDC_ASSIGN_OR_RETURN(const char* len_p, take(4));
+    const std::uint32_t name_len = ReadRaw<std::uint32_t>(len_p);
+    EEDC_ASSIGN_OR_RETURN(const char* name_p, take(name_len));
+    std::string name(name_p, name_len);
+    EEDC_ASSIGN_OR_RETURN(const char* tag_p, take(1));
+    const auto tag = static_cast<std::uint8_t>(*tag_p);
+    if (tag > static_cast<std::uint8_t>(storage::DataType::kString)) {
+      return Status::InvalidArgument(
+          "serialized schema has an unknown type tag");
+    }
+    EEDC_ASSIGN_OR_RETURN(const char* width_p, take(8));
+    fields.push_back(storage::Field{std::move(name),
+                                    static_cast<storage::DataType>(tag),
+                                    ReadRaw<double>(width_p)});
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("serialized schema has trailing bytes");
+  }
+  return storage::Schema(std::move(fields));
+}
+
+}  // namespace eedc::net

@@ -1,0 +1,127 @@
+// Coordinator <-> node control protocol for multi-process fleets.
+//
+// A process fleet runs one OS process per cluster node. The coordinator
+// process talks to each node process over a dedicated AF_UNIX socketpair
+// using control frames: the same 40-byte wire header as the data plane
+// (net/wire.h) with kFrameControl set, the message type in the
+// exchange_id field, the sender node in source_node, and a fixed
+// little-endian body as payload. Reusing the framing means one
+// re-framing loop handles both planes, and the control channel can also
+// carry plain kFrameData frames — that is how node result rows travel
+// back to the coordinator (kResultHeader announces the schema, then data
+// frames, then kFragmentDone).
+//
+// The control channel doubles as the fd conduit: kRunFragment carries
+// the node's pre-connected data-plane stream fds via SCM_RIGHTS, so node
+// processes never rendezvous with each other — the coordinator wires the
+// full mesh and the kernel closes a dead process's ends, which its peers
+// observe as stream EOF (net/socket.h edge-death detection).
+//
+// Per-query lifecycle:
+//
+//   node    -> coord   kHello          once, right after spawn
+//   coord   -> node    kRunFragment    epoch, query kind, start delay
+//                                      (+ data-plane fds via SCM_RIGHTS)
+//   node    -> coord   kStarted        transport wired, about to execute
+//   coord   -> node    kGo             barrier release: all nodes started
+//   node    -> coord   kResultHeader   serialized result schema
+//   node    -> coord   <data frames>   local result rows (exchange_id =
+//                                      epoch, source_node = node)
+//   node    -> coord   kFragmentDone   status, rows, wall, tx/rx bytes
+//   coord   -> node    kShutdown       fleet teardown; node _exit(0)s
+//
+// Every receive is poll()-driven with a deadline, and a peer's stream
+// ending mid-protocol surfaces as Unavailable — a SIGKILLed node process
+// is detected, never waited on forever.
+#ifndef EEDC_NET_CONTROL_H_
+#define EEDC_NET_CONTROL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+#include "net/wire.h"
+#include "storage/schema.h"
+
+namespace eedc::net {
+
+/// Control message types (the wire carries them in the header's
+/// exchange_id field; values are stable protocol constants).
+enum class ControlType : std::uint32_t {
+  kHello = 1,
+  kRunFragment = 2,
+  kStarted = 3,
+  kGo = 4,
+  kResultHeader = 5,
+  kFragmentDone = 6,
+  kShutdown = 7,
+};
+
+/// The union of every control message's fields; each type uses the
+/// subset its lifecycle step needs and leaves the rest zero.
+struct ControlMessage {
+  ControlType type = ControlType::kHello;
+  /// Query sequence number; tags RunFragment/Started/ResultHeader/
+  /// FragmentDone and the result data frames of one dispatch.
+  std::uint32_t epoch = 0;
+  /// The node this message is from (node -> coord) or for (coord ->
+  /// node).
+  std::int32_t node = 0;
+  /// QueryKind ordinal for kRunFragment.
+  std::int32_t kind = 0;
+  /// StatusCode ordinal for kFragmentDone (0 = OK).
+  std::int32_t status_code = 0;
+  /// Milliseconds the node sleeps after kGo before executing
+  /// (kRunFragment); gives crash injection a deterministic window.
+  std::int32_t start_delay_ms = 0;
+  /// Result rows produced locally (kFragmentDone).
+  std::int64_t rows = 0;
+  double wall_seconds = 0.0;
+  /// Logical bytes the fragment shipped to / received from remote nodes
+  /// (kFragmentDone) — the conservation gate's inputs.
+  double tx_bytes = 0.0;
+  double rx_bytes = 0.0;
+  /// Free-form body: the serialized result schema for kResultHeader
+  /// (EncodeSchema), an error message for kFragmentDone.
+  std::string detail;
+};
+
+/// Serializes `msg` into one control frame and writes it to `fd`,
+/// passing `fds` (may be empty) via SCM_RIGHTS attached to the first
+/// byte. Does not take ownership of `fds`; SIGPIPE is suppressed and a
+/// dead peer surfaces as Unavailable.
+Status SendControl(int fd, const ControlMessage& msg,
+                   const std::vector<int>& fds = {});
+
+/// Reads one full frame (header + payload) from `fd` with an overall
+/// `timeout`, appending any SCM_RIGHTS fds that arrive with it to
+/// `fds_out` (may be null only when no fds are expected; received fds
+/// would then leak — always pass it on RunFragment edges). Returns the
+/// parsed header with the raw frame bytes in `frame`; the caller
+/// dispatches on flags (kFrameControl -> ParseControl, else a data
+/// frame). Stream EOF is Unavailable, a missed deadline
+/// DeadlineExceeded.
+StatusOr<FrameHeader> ReceiveFrame(int fd, Duration timeout,
+                                   std::string* frame,
+                                   std::vector<int>* fds_out);
+
+/// Decodes a control frame previously read by ReceiveFrame. `frame`
+/// must carry kFrameControl.
+StatusOr<ControlMessage> ParseControl(const FrameHeader& header,
+                                      std::string_view frame);
+
+/// Convenience: ReceiveFrame + require kFrameControl + ParseControl.
+StatusOr<ControlMessage> ReceiveControl(int fd, Duration timeout,
+                                        std::vector<int>* fds_out = nullptr);
+
+/// Schema serialization for kResultHeader: per field the name, type tag
+/// and logical width, enough for the coordinator to rebuild result
+/// tables without sharing memory with the node.
+std::string EncodeSchema(const storage::Schema& schema);
+StatusOr<storage::Schema> DecodeSchema(std::string_view bytes);
+
+}  // namespace eedc::net
+
+#endif  // EEDC_NET_CONTROL_H_

@@ -266,10 +266,27 @@ class InProcessPort final : public ExchangePort {
   /// transport.h).
   void Transmit(int source, int dest, const storage::Block& block,
                 Duration* credit_wait) {
-    std::string frame_bytes;
-    EncodeBlockFrame(block, id_, source, dest, &frame_bytes);
+    // Same sender-side payload enforcement as the socket backend: split
+    // at the bound, poison on an indivisible oversized row — never
+    // truncate (the u32 length field would lie to the receiver).
+    std::vector<EncodedFrame> frames;
+    const Status encoded =
+        EncodeBlockFrames(block, id_, source, dest,
+                          options_.max_frame_payload_bytes, &frames);
+    if (!encoded.ok()) {
+      Close(encoded);
+      return;
+    }
+    for (EncodedFrame& frame : frames) {
+      TransmitFrame(source, dest, std::move(frame), credit_wait);
+    }
+  }
+
+  void TransmitFrame(int source, int dest, EncodedFrame frame,
+                     Duration* credit_wait) {
+    std::string frame_bytes = std::move(frame.bytes);
     const std::size_t frame_size = frame_bytes.size();
-    const std::size_t rows = block.size();
+    const std::size_t rows = frame.rows;
     Inbox& inbox = *inboxes_[static_cast<std::size_t>(dest)];
     const auto wait_start = std::chrono::steady_clock::now();
     bool waited = false;

@@ -1,0 +1,108 @@
+// One-OS-process-per-node fleet runner.
+//
+// ProcessFleet forks `num_nodes` child processes — fork without exec, so
+// children inherit the already-built database, placements and plans and
+// nothing has to be serialized to start serving — and wires one AF_UNIX
+// control socketpair per node (net/control.h). Each child runs the
+// caller's `node_main(node, control_fd)` loop, which must announce
+// itself with a kHello control message and never return (it _exit()s;
+// _exit also keeps fork-inherited atexit hooks, including sanitizer leak
+// checks, from firing twice).
+//
+// Fork hygiene: forking must happen while the parent is single-threaded
+// (between queries, when every worker and reader thread has been
+// joined), and a child must not inherit the coordinator's ends of OTHER
+// control channels — a fleet forked later would otherwise keep a dead
+// peer's stream half-open and mask its EOF. A process-global registry of
+// coordinator-side fds handles this: every parent-side control fd is
+// registered, and each fresh child closes all registered fds before
+// entering node_main.
+//
+// Spawn is fail-fast: it waits for every node's kHello under
+// `hello_timeout`, and a node that never reports (hung, crashed at
+// startup, or wedged) fails the spawn with DeadlineExceeded after
+// SIGKILLing and reaping the whole brood — the coordinator never blocks
+// forever on a fleet that didn't come up.
+#ifndef EEDC_NET_PROCESS_H_
+#define EEDC_NET_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/units.h"
+
+namespace eedc::net {
+
+/// Registers a coordinator-side fd that freshly forked node processes
+/// must close (see file comment). Idempotent per fd value.
+void RegisterCoordinatorFd(int fd);
+void UnregisterCoordinatorFd(int fd);
+/// Closes every registered coordinator fd; called in a child right after
+/// fork, before node_main.
+void CloseRegisteredFdsInChild();
+
+class ProcessFleet {
+ public:
+  /// Runs in the CHILD process and must not return: serve the control
+  /// channel, then _exit. The fd is the child's end of its control pair.
+  using NodeMain = std::function<void(int node, int control_fd)>;
+
+  struct Options {
+    /// How long Spawn waits for each node's kHello before declaring the
+    /// fleet dead on arrival.
+    Duration hello_timeout = Duration::Seconds(10);
+    /// How long Shutdown waits for voluntary exits before SIGKILL.
+    Duration shutdown_timeout = Duration::Seconds(5);
+  };
+
+  /// Forks the node processes and waits for every kHello. On any
+  /// failure the partial fleet is killed and reaped before returning.
+  /// Call only while the parent process is single-threaded.
+  static StatusOr<std::unique_ptr<ProcessFleet>> Spawn(
+      int num_nodes, const NodeMain& node_main, Options options);
+  static StatusOr<std::unique_ptr<ProcessFleet>> Spawn(
+      int num_nodes, const NodeMain& node_main);
+
+  ~ProcessFleet();
+
+  ProcessFleet(const ProcessFleet&) = delete;
+  ProcessFleet& operator=(const ProcessFleet&) = delete;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  /// Coordinator's end of node's control channel; -1 once killed.
+  int control_fd(int node) const;
+  pid_t pid(int node) const;
+  bool alive(int node) const;
+
+  /// SIGKILLs one node process and reaps it; its control fd closes,
+  /// which peers and the coordinator observe as stream EOF. Idempotent.
+  void Kill(int node);
+
+  /// Graceful teardown: kShutdown to every live node, bounded wait for
+  /// voluntary exits, SIGKILL for stragglers, reap everything.
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+ private:
+  struct Node {
+    pid_t pid = -1;
+    int control_fd = -1;
+    bool alive = false;
+  };
+
+  explicit ProcessFleet(std::vector<Node> nodes, Options options)
+      : nodes_(std::move(nodes)), options_(options) {}
+
+  void ReapAndClose(int node);
+
+  std::vector<Node> nodes_;
+  Options options_;
+};
+
+}  // namespace eedc::net
+
+#endif  // EEDC_NET_PROCESS_H_

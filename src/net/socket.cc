@@ -25,23 +25,23 @@ namespace eedc::net {
 
 namespace {
 
-/// Upper bound on a frame payload read off the wire; anything larger is
-/// a corrupt stream, not a real block.
-constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024 * 1024;
-
 Duration SinceSteady(std::chrono::steady_clock::time_point start) {
   return Duration::Seconds(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count());
 }
 
+/// Full write with SIGPIPE suppressed: a peer that died between our
+/// poll and our write must surface as `false` (EPIPE/ECONNRESET), never
+/// as a process-killing signal. MSG_NOSIGNAL is per-call, so no global
+/// signal disposition is touched.
 bool WriteFull(int fd, const char* data, std::size_t n) {
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t w = ::write(fd, data + done, n - done);
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EPIPE/ECONNRESET: edge closed under us
     }
     if (w == 0) return false;
     done += static_cast<std::size_t>(w);
@@ -63,58 +63,22 @@ bool ReadFull(int fd, char* data, std::size_t n) {
   return true;
 }
 
-/// Establishes one connected stream pair: TCP over loopback when
-/// `use_tcp`, AF_UNIX socketpair otherwise. Returns false on failure.
-bool MakeStreamPair(bool use_tcp, int fds[2]) {
-  if (use_tcp) {
-    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listener < 0) return false;
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0;  // ephemeral
-    socklen_t len = sizeof(addr);
-    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
-        ::listen(listener, 1) != 0 ||
-        ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) !=
-            0) {
-      ::close(listener);
-      return false;
-    }
-    const int client = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (client < 0) {
-      ::close(listener);
-      return false;
-    }
-    if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      ::close(client);
-      ::close(listener);
-      return false;
-    }
-    const int server = ::accept(listener, nullptr, nullptr);
-    ::close(listener);
-    if (server < 0) {
-      ::close(client);
-      return false;
-    }
-    const int one = 1;
-    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    fds[0] = client;  // sender side
-    fds[1] = server;  // receiver side
-    return true;
-  }
-  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0;
-}
-
 class SocketPort final : public ExchangePort {
  public:
+  /// Takes ownership of the per-edge stream fds: `send_fds[s*n+d]` is
+  /// valid (>= 0) when this process hosts source s of edge (s, d) — it
+  /// writes frames and reads credit bytes there — and `recv_fds[s*n+d]`
+  /// when it hosts dest d (reader thread + credit writes). The
+  /// single-process transport passes both sides of every edge;
+  /// `local_node` >= 0 marks a one-process-per-node fragment port
+  /// holding only its own node's ends.
   SocketPort(int exchange_id, int num_nodes,
-             const std::vector<int>& senders_per_node, bool use_tcp,
-             TransportOptions options, Status* init)
+             const std::vector<int>& senders_per_node, int local_node,
+             std::vector<int> send_fds, std::vector<int> recv_fds,
+             TransportOptions options)
       : id_(exchange_id),
         num_nodes_(num_nodes),
+        local_node_(local_node),
         senders_per_node_(senders_per_node),
         options_(options) {
     int total_senders = 0;
@@ -140,29 +104,28 @@ class SocketPort final : public ExchangePort {
                                         prefix + ".tx_rows",
                                         prefix + ".credit_wait_s"});
         if (s == d) continue;
+        const std::size_t e = EdgeIndex(s, d);
         auto edge = std::make_unique<Edge>();
-        int fds[2];
-        if (!MakeStreamPair(use_tcp, fds)) {
-          *init = Status::Unavailable(
-              "could not establish a socket pair for exchange edge");
-          return;
-        }
-        edge->send_fd = fds[0];
-        edge->recv_fd = fds[1];
-        edges_[EdgeIndex(s, d)] = std::move(edge);
+        edge->send_fd = send_fds[e];
+        edge->recv_fd = recv_fds[e];
+        edges_[e] = std::move(edge);
       }
     }
-    *init = Status::OK();
-    // Reader threads start only after every edge is connected.
+    // Reader threads only where we hold the receiving end, started only
+    // after every edge is wired.
     for (int s = 0; s < num_nodes; ++s) {
       for (int d = 0; d < num_nodes; ++d) {
         if (s == d) continue;
+        if (edges_[EdgeIndex(s, d)]->recv_fd < 0) continue;
         readers_.emplace_back(&SocketPort::ReadEdge, this, s, d);
       }
     }
   }
 
   ~SocketPort() override {
+    // Readers hitting stream end from here on is teardown, not a peer
+    // death — suppress the edge-death escalation before shutting down.
+    destroying_.store(true, std::memory_order_release);
     ShutdownSockets();
     for (std::thread& t : readers_) {
       if (t.joinable()) t.join();
@@ -250,7 +213,9 @@ class SocketPort final : public ExchangePort {
         Transmit(source, dest, *staged, nullptr);
       }
       // The EOF rides the same byte stream as the data, so the receiver
-      // retires this worker's token only after all its frames.
+      // retires this worker's token only after all its frames. A write
+      // failure here means the peer is already gone; its death is
+      // surfaced by the reader/transmit paths, not the farewell.
       std::string eof;
       EncodeControlFrame(kFrameEof, id_, source, dest, &eof);
       std::lock_guard<std::mutex> lock(edge.send_mu);
@@ -268,10 +233,24 @@ class SocketPort final : public ExchangePort {
   }
 
   void AbortSend(int source) override {
-    // Never blocks: the aborting path retires tokens through shared
-    // memory (all inboxes live in this process) — any in-flight data is
-    // garbage anyway, and the executor poisons the port right after.
-    (void)source;
+    // Never blocks on credit: abort frames are tiny and outside the
+    // credit window, and token retirement goes through shared memory.
+    if (local_node_ >= 0) {
+      // Fragment mode: the peers' inboxes live in other processes, so
+      // the abort must cross the wire. Best-effort — a dead peer's edge
+      // fails the write, and that peer needs no notification.
+      for (int dest = 0; dest < num_nodes_; ++dest) {
+        if (dest == source) continue;
+        Edge& edge = *edges_[EdgeIndex(source, dest)];
+        if (edge.send_fd < 0) continue;
+        std::string abort_frame;
+        EncodeControlFrame(kFrameAbort, id_, source, dest, &abort_frame);
+        std::lock_guard<std::mutex> lock(edge.send_mu);
+        if (!closed_.load(std::memory_order_acquire)) {
+          WriteFull(edge.send_fd, abort_frame.data(), abort_frame.size());
+        }
+      }
+    }
     for (auto& inbox : inboxes_) {
       {
         std::lock_guard<std::mutex> lock(inbox->mu);
@@ -390,6 +369,26 @@ class SocketPort final : public ExchangePort {
            static_cast<std::size_t>(dest);
   }
 
+  /// True while teardown is in progress (Close or destructor): stream
+  /// ends and failed writes are then expected shutdown effects, not a
+  /// peer dying.
+  bool TearingDown() const {
+    return closed_.load(std::memory_order_acquire) ||
+           destroying_.load(std::memory_order_acquire);
+  }
+
+  /// A peer vanished mid-exchange (stream EOF before its workers sent
+  /// their EOF frames, or a write hit a closed socket): poison the port
+  /// so every local worker aborts with the edge's death instead of
+  /// wedging on data that will never arrive.
+  void EdgeDied(int source, int dest, const char* how) {
+    if (TearingDown()) return;
+    Close(Status::Unavailable(
+        "exchange " + std::to_string(id_) + " edge " +
+        std::to_string(source) + "->" + std::to_string(dest) + " " + how +
+        " (peer process died?)"));
+  }
+
   /// Consumes any credit bytes the receiver has sent back, without
   /// blocking. Caller holds edge.send_mu.
   void PollAcks(Edge* edge) {
@@ -404,9 +403,28 @@ class SocketPort final : public ExchangePort {
 
   void Transmit(int source, int dest, const storage::Block& block,
                 Duration* credit_wait) {
-    std::string frame;
-    EncodeBlockFrame(block, id_, source, dest, &frame);
+    // Serialize-time enforcement of the receiver's payload bound: an
+    // oversized coalesced block splits into several frames (never
+    // truncates); a single indivisible oversized row poisons the port
+    // with the encode error instead of wedging the receiving edge.
+    std::vector<EncodedFrame> frames;
+    const Status encoded =
+        EncodeBlockFrames(block, id_, source, dest,
+                          options_.max_frame_payload_bytes, &frames);
+    if (!encoded.ok()) {
+      Close(encoded);
+      return;
+    }
+    for (const EncodedFrame& frame : frames) {
+      TransmitFrame(source, dest, frame, credit_wait);
+    }
+  }
+
+  void TransmitFrame(int source, int dest, const EncodedFrame& frame,
+                     Duration* credit_wait) {
     Edge& edge = *edges_[EdgeIndex(source, dest)];
+    EEDC_CHECK(edge.send_fd >= 0)
+        << "fragment port sent from a non-local node";
     const auto wait_start = std::chrono::steady_clock::now();
     bool waited = false;
     for (;;) {
@@ -415,8 +433,13 @@ class SocketPort final : public ExchangePort {
         std::lock_guard<std::mutex> lock(edge.send_mu);
         PollAcks(&edge);
         if (edge.unacked < options_.credit_window_frames) {
-          if (!WriteFull(edge.send_fd, frame.data(), frame.size())) {
-            return;  // peer shut down; Close() is poisoning us
+          if (!WriteFull(edge.send_fd, frame.bytes.data(),
+                         frame.bytes.size())) {
+            // EPIPE/ECONNRESET surfaced as edge closure (SIGPIPE is
+            // suppressed per-send), escalated to a poisoned port unless
+            // we are the ones shutting down.
+            EdgeDied(source, dest, "closed mid-send");
+            return;
           }
           ++edge.unacked;
           break;
@@ -433,9 +456,9 @@ class SocketPort final : public ExchangePort {
     if (options_.metrics != nullptr) {
       options_.metrics->AddCounter(names.tx_frames);
       options_.metrics->AddCounter(names.tx_bytes,
-                                   static_cast<double>(frame.size()));
+                                   static_cast<double>(frame.bytes.size()));
       options_.metrics->AddCounter(names.tx_rows,
-                                   static_cast<double>(block.size()));
+                                   static_cast<double>(frame.rows));
     }
     if (waited) {
       const Duration elapsed = SinceSteady(wait_start);
@@ -497,7 +520,8 @@ class SocketPort final : public ExchangePort {
 
   /// Reader thread for edge (source -> dest): re-frames the byte stream
   /// into dest's inbox. Exits after one EOF per sending worker of
-  /// `source`, or when the socket is shut down.
+  /// `source` — a stream that ends before then means the sending process
+  /// died, and the port is poisoned so no receiver wedges.
   void ReadEdge(int source, int dest) {
     Edge& edge = *edges_[EdgeIndex(source, dest)];
     Inbox& inbox = *inboxes_[static_cast<std::size_t>(dest)];
@@ -506,13 +530,16 @@ class SocketPort final : public ExchangePort {
         senders_per_node_[static_cast<std::size_t>(source)];
     while (eofs < expected_eofs) {
       std::string bytes(kFrameHeaderBytes, '\0');
-      if (!ReadFull(edge.recv_fd, bytes.data(), kFrameHeaderBytes)) return;
+      if (!ReadFull(edge.recv_fd, bytes.data(), kFrameHeaderBytes)) {
+        EdgeDied(source, dest, "hit stream end mid-exchange");
+        return;
+      }
       StatusOr<FrameHeader> header = ParseFrameHeader(bytes);
       if (!header.ok()) {
         Close(header.status());
         return;
       }
-      if (header.value().payload_bytes > kMaxPayloadBytes) {
+      if (header.value().payload_bytes > options_.max_frame_payload_bytes) {
         Close(Status::InvalidArgument(
             "frame payload length exceeds the sanity bound"));
         return;
@@ -521,6 +548,7 @@ class SocketPort final : public ExchangePort {
         bytes.resize(kFrameHeaderBytes + header.value().payload_bytes);
         if (!ReadFull(edge.recv_fd, bytes.data() + kFrameHeaderBytes,
                       header.value().payload_bytes)) {
+          EdgeDied(source, dest, "hit stream end mid-frame");
           return;
         }
       }
@@ -556,6 +584,9 @@ class SocketPort final : public ExchangePort {
 
   const int id_;
   const int num_nodes_;
+  /// -1: this process hosts every node (single-process transport).
+  /// >= 0: fragment port — only this node's edge ends are local.
+  const int local_node_;
   const std::vector<int> senders_per_node_;
   const TransportOptions options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
@@ -568,16 +599,101 @@ class SocketPort final : public ExchangePort {
   std::uint64_t schema_digest_ = 0;
 
   std::atomic<bool> closed_{false};
+  std::atomic<bool> destroying_{false};
   mutable std::mutex close_mu_;
   Status close_reason_;
 };
 
 }  // namespace
 
+bool MakeSocketStreamPair(bool use_tcp, int fds[2]) {
+  if (use_tcp) {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    socklen_t len = sizeof(addr);
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), len) != 0 ||
+        ::listen(listener, 1) != 0 ||
+        ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) !=
+            0) {
+      ::close(listener);
+      return false;
+    }
+    const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (client < 0) {
+      ::close(listener);
+      return false;
+    }
+    if (::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(client);
+      ::close(listener);
+      return false;
+    }
+    const int server = ::accept(listener, nullptr, nullptr);
+    ::close(listener);
+    if (server < 0) {
+      ::close(client);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::setsockopt(server, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fds[0] = client;  // sender side
+    fds[1] = server;  // receiver side
+    return true;
+  }
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0;
+}
+
+StatusOr<std::unique_ptr<ExchangePort>> CreatePreconnectedPort(
+    int exchange_id, int num_nodes,
+    const std::vector<int>& senders_per_node, int local_node,
+    std::vector<int> edge_fds, TransportOptions options) {
+  const auto close_all = [&edge_fds] {
+    for (int fd : edge_fds) {
+      if (fd >= 0) ::close(fd);
+    }
+  };
+  if (num_nodes <= 0 ||
+      static_cast<int>(senders_per_node.size()) != num_nodes ||
+      local_node < 0 || local_node >= num_nodes ||
+      static_cast<int>(edge_fds.size()) != num_nodes * num_nodes) {
+    close_all();
+    return Status::InvalidArgument(
+        "CreatePreconnectedPort needs a valid local node, one sender count "
+        "per node and num_nodes^2 edge fds");
+  }
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  std::vector<int> send_fds(n * n, -1);
+  std::vector<int> recv_fds(n * n, -1);
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int d = 0; d < num_nodes; ++d) {
+      const std::size_t e =
+          static_cast<std::size_t>(s) * n + static_cast<std::size_t>(d);
+      const bool should_be_local =
+          s != d && (s == local_node || d == local_node);
+      if (should_be_local != (edge_fds[e] >= 0)) {
+        close_all();
+        return Status::InvalidArgument(
+            "edge fds must be valid exactly on the local node's edges");
+      }
+      if (!should_be_local) continue;
+      (s == local_node ? send_fds : recv_fds)[e] = edge_fds[e];
+    }
+  }
+  return std::unique_ptr<ExchangePort>(std::make_unique<SocketPort>(
+      exchange_id, num_nodes, senders_per_node, local_node,
+      std::move(send_fds), std::move(recv_fds), options));
+}
+
 SocketTransport::SocketTransport(TransportOptions options)
     : options_(options) {
   int fds[2];
-  use_tcp_ = MakeStreamPair(/*use_tcp=*/true, fds);
+  use_tcp_ = MakeSocketStreamPair(/*use_tcp=*/true, fds);
   if (use_tcp_) {
     ::close(fds[0]);
     ::close(fds[1]);
@@ -593,12 +709,32 @@ StatusOr<std::unique_ptr<ExchangePort>> SocketTransport::CreatePort(
     return Status::InvalidArgument(
         "CreatePort needs one sender count per node");
   }
-  Status init = Status::OK();
-  auto port = std::make_unique<SocketPort>(exchange_id, num_nodes,
-                                           senders_per_node, use_tcp_,
-                                           options_, &init);
-  EEDC_RETURN_IF_ERROR(init);
-  return std::unique_ptr<ExchangePort>(std::move(port));
+  const std::size_t n = static_cast<std::size_t>(num_nodes);
+  std::vector<int> send_fds(n * n, -1);
+  std::vector<int> recv_fds(n * n, -1);
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int d = 0; d < num_nodes; ++d) {
+      if (s == d) continue;
+      int fds[2];
+      if (!MakeSocketStreamPair(use_tcp_, fds)) {
+        for (int fd : send_fds) {
+          if (fd >= 0) ::close(fd);
+        }
+        for (int fd : recv_fds) {
+          if (fd >= 0) ::close(fd);
+        }
+        return Status::Unavailable(
+            "could not establish a socket pair for exchange edge");
+      }
+      const std::size_t e =
+          static_cast<std::size_t>(s) * n + static_cast<std::size_t>(d);
+      send_fds[e] = fds[0];
+      recv_fds[e] = fds[1];
+    }
+  }
+  return std::unique_ptr<ExchangePort>(std::make_unique<SocketPort>(
+      exchange_id, num_nodes, senders_per_node, /*local_node=*/-1,
+      std::move(send_fds), std::move(recv_fds), options_));
 }
 
 }  // namespace eedc::net

@@ -32,6 +32,28 @@
 
 namespace eedc::net {
 
+/// Establishes one connected stream pair: a TCP connection over loopback
+/// (with TCP_NODELAY) when `use_tcp`, else an AF_UNIX socketpair.
+/// `fds[0]` is the sender-side end, `fds[1]` the receiver-side end.
+/// Returns false (no fds opened) when the pair cannot be established.
+bool MakeSocketStreamPair(bool use_tcp, int fds[2]);
+
+/// Builds a socket exchange port for ONE node of a multi-process fleet
+/// from already-connected stream fds (e.g. received over SCM_RIGHTS from
+/// a coordinator). `edge_fds` has num_nodes^2 entries in (source-major)
+/// edge order; entry s*num_nodes+d must be a valid fd exactly when
+/// s != d and the edge touches `local_node` (the send end when
+/// s == local_node, the receive end when d == local_node), and -1
+/// elsewhere. Takes ownership of every valid fd, including on error.
+/// Framing, credit, EOF, and abort protocols are identical to
+/// SocketTransport ports; additionally, a peer process dying mid-query
+/// is detected as a premature stream end (or a failed send) on one of
+/// its edges and poisons the port with Unavailable.
+StatusOr<std::unique_ptr<ExchangePort>> CreatePreconnectedPort(
+    int exchange_id, int num_nodes,
+    const std::vector<int>& senders_per_node, int local_node,
+    std::vector<int> edge_fds, TransportOptions options);
+
 class SocketTransport final : public Transport {
  public:
   /// Probes connectivity once: the backend name is "tcp" when a loopback

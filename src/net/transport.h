@@ -38,6 +38,7 @@
 
 #include "common/statusor.h"
 #include "common/units.h"
+#include "net/wire.h"
 #include "storage/block.h"
 #include "storage/schema.h"
 
@@ -54,6 +55,12 @@ struct TransportOptions {
   /// block and ship together (flushed at the threshold, at block
   /// capacity, and at SenderDone). 0 disables coalescing.
   std::size_t coalesce_bytes = 16 * 1024;
+  /// Ceiling on one frame's payload, enforced on BOTH ends of an edge:
+  /// senders split oversized blocks at serialize time (never truncate),
+  /// receivers reject larger lengths as stream corruption. Both ends
+  /// must agree. Small values are useful to exercise the split path in
+  /// tests.
+  std::uint64_t max_frame_payload_bytes = kMaxFramePayloadBytes;
   /// Per-edge frame/byte counters and credit-wait totals land here
   /// (names: net.e<exchange>.s<src>d<dst>.{tx_frames,tx_bytes,...}).
   /// Not owned; may be null.

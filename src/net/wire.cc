@@ -233,13 +233,25 @@ StatusOr<Block> DecodeBlockPayload(const Schema& schema,
   return block;
 }
 
-FrameHeader EncodeBlockFrame(const Block& block, int exchange_id,
-                             int source_node, int dest_node,
-                             std::string* out) {
+StatusOr<FrameHeader> EncodeBlockFrame(const Block& block, int exchange_id,
+                                       int source_node, int dest_node,
+                                       std::string* out,
+                                       std::uint64_t max_payload_bytes) {
   std::string payload;
   payload.reserve(static_cast<std::size_t>(block.LogicalBytes()) +
                   block.schema().num_fields() * 5);
   EncodeBlockPayload(block, &payload);
+  // Validate at serialize time, before the u32 casts below could
+  // truncate: the receiver's re-framing bound would reject (or worse,
+  // mis-frame) anything larger, wedging the edge.
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(max_payload_bytes, 0xffffffffull);
+  if (payload.size() > limit) {
+    return Status::ResourceExhausted(
+        "block payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit of " + std::to_string(limit) +
+        " (split the block; frames are never truncated)");
+  }
   FrameHeader header;
   header.flags = kFrameData;
   header.exchange_id = static_cast<std::uint32_t>(exchange_id);
@@ -252,6 +264,42 @@ FrameHeader EncodeBlockFrame(const Block& block, int exchange_id,
   EncodeFrameHeader(header, out);
   out->append(payload);
   return header;
+}
+
+Status EncodeBlockFrames(const Block& block, int exchange_id,
+                         int source_node, int dest_node,
+                         std::uint64_t max_payload_bytes,
+                         std::vector<EncodedFrame>* out) {
+  std::string bytes;
+  StatusOr<FrameHeader> header = EncodeBlockFrame(
+      block, exchange_id, source_node, dest_node, &bytes, max_payload_bytes);
+  if (header.ok()) {
+    out->push_back(EncodedFrame{std::move(bytes), block.size()});
+    return Status::OK();
+  }
+  if (block.size() <= 1) return header.status();  // one row is indivisible
+  if (block.has_selection()) {
+    // Gather once so the halves below are physical row ranges.
+    Block dense(block.schema(), std::max<std::size_t>(block.size(), 1));
+    for (std::size_t c = 0; c < block.schema().num_fields(); ++c) {
+      dense.mutable_column(c).AppendGather(block.column(c),
+                                           block.selection());
+    }
+    dense.FinishBulkLoad();
+    return EncodeBlockFrames(dense, exchange_id, source_node, dest_node,
+                             max_payload_bytes, out);
+  }
+  const std::size_t half = block.size() / 2;
+  const std::size_t ranges[2][2] = {{0, half},
+                                    {half, block.size() - half}};
+  for (const auto& range : ranges) {
+    Block part(block.schema(), std::max<std::size_t>(range[1], 1));
+    part.AppendPhysicalRange(block, range[0], range[1]);
+    EEDC_RETURN_IF_ERROR(EncodeBlockFrames(part, exchange_id, source_node,
+                                           dest_node, max_payload_bytes,
+                                           out));
+  }
+  return Status::OK();
 }
 
 FrameHeader EncodeControlFrame(std::uint16_t flags, int exchange_id,

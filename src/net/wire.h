@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/statusor.h"
 #include "storage/block.h"
@@ -36,7 +37,17 @@ enum FrameFlags : std::uint16_t {
   kFrameEof = 1 << 0,
   /// The sending side aborted; receivers should poison (no payload).
   kFrameAbort = 1 << 1,
+  /// Coordinator <-> node control message (net/control.h); the payload
+  /// is a control body, not a columnar block.
+  kFrameControl = 1 << 2,
 };
+
+/// Ceiling on a single frame's payload. Shared by both ends of an edge:
+/// senders validate it at serialize time (splitting blocks that exceed
+/// it — see EncodeBlockFrames), receivers use it as the stream sanity
+/// bound when re-framing bytes. Overridable per transport through
+/// TransportOptions::max_frame_payload_bytes.
+inline constexpr std::uint64_t kMaxFramePayloadBytes = 64ull * 1024 * 1024;
 
 struct FrameHeader {
   static constexpr std::uint32_t kMagic = 0x45454443;  // "EEDC"
@@ -79,10 +90,32 @@ StatusOr<storage::Block> DecodeBlockPayload(const storage::Schema& schema,
                                             std::uint32_t row_count);
 
 /// Serializes `block` into one data frame (header + payload) appended to
-/// `out`, returning the header that was written.
-FrameHeader EncodeBlockFrame(const storage::Block& block, int exchange_id,
-                             int source_node, int dest_node,
-                             std::string* out);
+/// `out`, returning the header that was written. Fails with
+/// ResourceExhausted — appending nothing, never truncating — when the
+/// payload would exceed `max_payload_bytes` (the header's u32 length
+/// field could not represent it faithfully and the receiver would refuse
+/// it anyway); callers that may carry oversized blocks should use
+/// EncodeBlockFrames instead.
+StatusOr<FrameHeader> EncodeBlockFrame(
+    const storage::Block& block, int exchange_id, int source_node,
+    int dest_node, std::string* out,
+    std::uint64_t max_payload_bytes = kMaxFramePayloadBytes);
+
+/// One serialized frame of a (possibly split) block.
+struct EncodedFrame {
+  std::string bytes;
+  std::size_t rows = 0;
+};
+
+/// Serializes `block` into one or more frames, recursively halving the
+/// row range until every payload fits `max_payload_bytes`. Never
+/// truncates: a single row whose payload exceeds the limit is an error.
+/// Handles selection vectors / borrowed ranges (gathered dense before
+/// splitting).
+Status EncodeBlockFrames(const storage::Block& block, int exchange_id,
+                         int source_node, int dest_node,
+                         std::uint64_t max_payload_bytes,
+                         std::vector<EncodedFrame>* out);
 
 /// Encodes a payload-free control frame (EOF / abort).
 FrameHeader EncodeControlFrame(std::uint16_t flags, int exchange_id,

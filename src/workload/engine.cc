@@ -1,9 +1,14 @@
 #include "workload/engine.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/stats.h"
@@ -12,9 +17,108 @@
 #include "exec/cancel.h"
 #include "exec/reference.h"
 #include "exec/runtime.h"
+#include "net/socket.h"
 #include "workload/profiles.h"
 
 namespace eedc::workload {
+
+namespace {
+
+/// Canonical data-plane fd order of one node's fragment (documented in
+/// net/control.h): for each exchange, edges in (source-major, dest)
+/// order, keeping those that touch `node`. Coordinator and node walk
+/// this identical order, so a flat SCM_RIGHTS fd list needs no per-fd
+/// labeling.
+template <typename Fn>
+void ForEachLocalEdge(int num_exchanges, int n, int node, Fn&& fn) {
+  for (int e = 0; e < num_exchanges; ++e) {
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d || (s != node && d != node)) continue;
+        fn(e, s, d);
+      }
+    }
+  }
+}
+
+/// Full write on the control channel with SIGPIPE suppressed (result
+/// data frames ride it outside SendControl).
+bool WriteAll(int fd, const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t w = ::send(fd, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Node-process transport: hands each exchange the pre-connected stream
+/// fds the coordinator shipped with kRunFragment. Owns every fd until
+/// CreatePort consumes its exchange (the port takes over from there);
+/// unconsumed fds close with the transport, so an aborted dispatch
+/// leaks nothing and its peers see stream EOF.
+class FragmentTransport final : public net::Transport {
+ public:
+  FragmentTransport(int num_nodes, int local_node,
+                    std::vector<std::vector<int>> per_exchange_fds,
+                    net::TransportOptions options)
+      : num_nodes_(num_nodes),
+        local_node_(local_node),
+        per_exchange_fds_(std::move(per_exchange_fds)),
+        consumed_(per_exchange_fds_.size(), false),
+        options_(options) {}
+
+  ~FragmentTransport() override {
+    for (std::size_t e = 0; e < per_exchange_fds_.size(); ++e) {
+      if (consumed_[e]) continue;
+      for (int fd : per_exchange_fds_[e]) {
+        if (fd >= 0) ::close(fd);
+      }
+    }
+  }
+
+  StatusOr<std::unique_ptr<net::ExchangePort>> CreatePort(
+      int exchange_id, int num_nodes,
+      const std::vector<int>& senders_per_node) override {
+    if (num_nodes != num_nodes_) {
+      return Status::InvalidArgument(
+          "fragment transport was wired for a different node count");
+    }
+    if (exchange_id < 0 ||
+        exchange_id >= static_cast<int>(per_exchange_fds_.size())) {
+      return Status::InvalidArgument(
+          "plan has more exchanges than the fragment was wired for");
+    }
+    const std::size_t e = static_cast<std::size_t>(exchange_id);
+    if (consumed_[e]) {
+      return Status::InvalidArgument(
+          "exchange wired twice in one fragment");
+    }
+    consumed_[e] = true;
+    return net::CreatePreconnectedPort(exchange_id, num_nodes_,
+                                       senders_per_node, local_node_,
+                                       std::move(per_exchange_fds_[e]),
+                                       options_);
+  }
+
+  std::string name() const override { return "process"; }
+  const net::TransportOptions& options() const override { return options_; }
+
+ private:
+  const int num_nodes_;
+  const int local_node_;
+  std::vector<std::vector<int>> per_exchange_fds_;
+  std::vector<bool> consumed_;
+  net::TransportOptions options_;
+};
+
+}  // namespace
 
 void AddEnergyByClass(
     std::vector<std::pair<std::string, Energy>>* by_class,
@@ -110,6 +214,10 @@ Status EngineFleet::Init() {
   exec_options.profile_operators = true;
   executor_ =
       std::make_unique<exec::Executor>(data_.get(), std::move(exec_options));
+
+  // Fork the node processes before any query spawns worker threads (a
+  // multi-threaded fork is where the trouble lives).
+  if (options_.process_fleet) EEDC_RETURN_IF_ERROR(EnsureProcessFleet());
   return Status::OK();
 }
 
@@ -262,6 +370,452 @@ StatusOr<FaultMeasurement> EngineFleet::MeasureWithCrash(
     m.retry_joules = retry->joules;
     m.result = retry->table;
     m.result_rows = m.result->num_rows();
+    m.rows_match = exec::TablesEqualUnordered(*reference.table, *m.result,
+                                              1e-6, &m.mismatch);
+    return m;
+  }
+  return last;
+}
+
+Status EngineFleet::EnsureProcessFleet() {
+  if (process_fleet_ != nullptr) return Status::OK();
+  EEDC_ASSIGN_OR_RETURN(
+      process_fleet_,
+      net::ProcessFleet::Spawn(
+          fleet_.total_nodes(),
+          [this](int node, int fd) { NodeServeLoop(node, fd); }));
+  return Status::OK();
+}
+
+void EngineFleet::NodeServeLoop(int node, int control_fd) {
+  net::ControlMessage hello;
+  hello.type = net::ControlType::kHello;
+  hello.node = node;
+  if (!net::SendControl(control_fd, hello).ok()) _exit(1);
+  for (;;) {
+    std::vector<int> fds;
+    StatusOr<net::ControlMessage> msg = net::ReceiveControl(
+        control_fd, Duration::Infinite(), &fds);
+    if (!msg.ok()) {
+      // An idle hour merely re-arms the receive; anything else means the
+      // coordinator is gone and this node has nobody to serve.
+      if (msg.status().code() == StatusCode::kDeadlineExceeded) continue;
+      _exit(0);
+    }
+    switch (msg->type) {
+      case net::ControlType::kShutdown:
+        _exit(0);
+      case net::ControlType::kRunFragment:
+        ServeFragment(node, control_fd, *msg, std::move(fds));
+        break;
+      default:
+        // Protocol noise: drop it (and any fds it smuggled in).
+        for (int fd : fds) ::close(fd);
+        break;
+    }
+  }
+}
+
+void EngineFleet::ServeFragment(int node, int control_fd,
+                                const net::ControlMessage& run,
+                                std::vector<int> fds) {
+  const auto report_error = [&](const Status& st) {
+    net::ControlMessage done;
+    done.type = net::ControlType::kFragmentDone;
+    done.epoch = run.epoch;
+    done.node = node;
+    done.status_code = static_cast<std::int32_t>(st.code());
+    done.detail = std::string(st.message());
+    (void)net::SendControl(control_fd, done);
+  };
+  const auto close_fds = [&fds] {
+    for (int fd : fds) {
+      if (fd >= 0) ::close(fd);
+    }
+    fds.clear();
+  };
+  if (run.kind < 0 || run.kind >= kNumQueryKinds) {
+    close_fds();
+    report_error(Status::InvalidArgument("unknown query kind ordinal"));
+    return;
+  }
+  const cluster::EnginePlacement& placement =
+      placements_[static_cast<std::size_t>(run.kind)];
+  const int n = fleet_.total_nodes();
+  const int num_exchanges =
+      exec::CountExchanges(*placement.plan_for_node(node));
+  const std::size_t expected =
+      static_cast<std::size_t>(num_exchanges) * 2 *
+      static_cast<std::size_t>(n - 1);
+  if (fds.size() != expected) {
+    close_fds();
+    report_error(Status::InvalidArgument(
+        "fragment fd count mismatch: got " + std::to_string(fds.size()) +
+        ", expected " + std::to_string(expected)));
+    return;
+  }
+  // Unpack the flat SCM_RIGHTS list along the canonical edge order into
+  // per-exchange n x n grids (s*n+d), -1 where this node has no end.
+  std::vector<std::vector<int>> per_exchange(
+      static_cast<std::size_t>(num_exchanges),
+      std::vector<int>(static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(n),
+                       -1));
+  std::size_t next = 0;
+  ForEachLocalEdge(num_exchanges, n, node, [&](int e, int s, int d) {
+    per_exchange[static_cast<std::size_t>(e)]
+                [static_cast<std::size_t>(s * n + d)] =
+        fds[next++];
+  });
+  fds.clear();  // the transport owns them now
+  net::TransportOptions transport_options;
+  FragmentTransport transport(n, node, std::move(per_exchange),
+                              transport_options);
+
+  net::ControlMessage started;
+  started.type = net::ControlType::kStarted;
+  started.epoch = run.epoch;
+  started.node = node;
+  if (!net::SendControl(control_fd, started).ok()) return;
+  StatusOr<net::ControlMessage> go =
+      net::ReceiveControl(control_fd, Duration::Seconds(60.0));
+  if (!go.ok() || go->type != net::ControlType::kGo) {
+    report_error(go.ok()
+                     ? Status::Internal("expected kGo after kStarted")
+                     : go.status());
+    return;
+  }
+  if (run.start_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(run.start_delay_ms));
+  }
+
+  exec::Executor::Options exec_options = placement.MakeExecutorOptions();
+  exec_options.local_node = node;
+  exec_options.transport = &transport;
+  // A SIGKILLed peer must fail this fragment, not hang it.
+  exec_options.receive_timeout = Duration::Seconds(30.0);
+  exec::Executor fragment_executor(data_.get(), std::move(exec_options));
+  StatusOr<exec::QueryResult> result =
+      fragment_executor.ExecutePerNode(placement.plan_for_node);
+  if (!result.ok()) {
+    report_error(result.status());
+    return;
+  }
+
+  // Stream the local partials home: schema first, then data frames on
+  // the control channel tagged with this dispatch's epoch.
+  const auto table = std::make_shared<const storage::Table>(
+      std::move(result->table));
+  net::ControlMessage header;
+  header.type = net::ControlType::kResultHeader;
+  header.epoch = run.epoch;
+  header.node = node;
+  header.detail = net::EncodeSchema(table->schema());
+  if (!net::SendControl(control_fd, header).ok()) return;
+  constexpr std::size_t kChunkRows = 4096;
+  for (std::size_t start = 0; start < table->num_rows();
+       start += kChunkRows) {
+    const std::size_t count =
+        std::min(kChunkRows, table->num_rows() - start);
+    const storage::Block block = storage::Block::Borrow(table, start, count);
+    std::vector<net::EncodedFrame> frames;
+    const Status encoded = net::EncodeBlockFrames(
+        block, static_cast<int>(run.epoch), node, /*dest_node=*/0,
+        net::kMaxFramePayloadBytes, &frames);
+    if (!encoded.ok()) {
+      report_error(encoded);
+      return;
+    }
+    for (const net::EncodedFrame& frame : frames) {
+      if (!WriteAll(control_fd, frame.bytes)) return;  // coordinator gone
+    }
+  }
+  net::ControlMessage done;
+  done.type = net::ControlType::kFragmentDone;
+  done.epoch = run.epoch;
+  done.node = node;
+  done.status_code = 0;
+  done.rows = static_cast<std::int64_t>(table->num_rows());
+  done.wall_seconds = result->metrics.wall.seconds();
+  const exec::NodeMetrics& local_metrics =
+      result->metrics.nodes[static_cast<std::size_t>(node)];
+  done.tx_bytes = local_metrics.total_sent_remote_bytes();
+  done.rx_bytes = local_metrics.total_received_remote_bytes();
+  (void)net::SendControl(control_fd, done);
+}
+
+StatusOr<ProcessRun> EngineFleet::RunProcessQuery(QueryKind kind,
+                                                  int kill_node) {
+  EEDC_RETURN_IF_ERROR(EnsureProcessFleet());
+  const int n = fleet_.total_nodes();
+  if (kill_node >= n) {
+    return Status::InvalidArgument("kill node out of range");
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!process_fleet_->alive(i)) {
+      return Status::Unavailable(
+          "node " + std::to_string(i) +
+          " process is dead (killed in an earlier episode)");
+    }
+  }
+  const std::uint32_t epoch = ++process_epoch_;
+  const cluster::EnginePlacement& placement =
+      placements_[static_cast<std::size_t>(kind)];
+  const int num_exchanges =
+      exec::CountExchanges(*placement.plan_for_node(0));
+
+  // Prefer real TCP loopback streams; fall back to AF_UNIX pairs when
+  // the environment has no loopback (sandboxes).
+  static const bool use_tcp = [] {
+    int probe[2];
+    const bool ok = net::MakeSocketStreamPair(/*use_tcp=*/true, probe);
+    if (ok) {
+      ::close(probe[0]);
+      ::close(probe[1]);
+    }
+    return ok;
+  }();
+
+  // One pre-connected stream per exchange edge; the coordinator owns
+  // both ends until they are shipped, then closes its copies so a dead
+  // node process is the only remaining owner of its ends.
+  std::vector<std::array<int, 2>> pairs(
+      static_cast<std::size_t>(num_exchanges) *
+          static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+      {-1, -1});
+  const auto pair_index = [n](int e, int s, int d) {
+    return (static_cast<std::size_t>(e) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(s)) *
+               static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(d);
+  };
+  const auto close_pairs = [&pairs] {
+    for (std::array<int, 2>& p : pairs) {
+      for (int& fd : p) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+    }
+  };
+  for (int e = 0; e < num_exchanges; ++e) {
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d) continue;
+        int ends[2];
+        if (!net::MakeSocketStreamPair(use_tcp, ends)) {
+          close_pairs();
+          return Status::Unavailable(
+              "could not wire a data-plane stream pair");
+        }
+        pairs[pair_index(e, s, d)] = {ends[0], ends[1]};
+      }
+    }
+  }
+
+  // Dispatch: each node's fds in the canonical order it will unpack.
+  for (int k = 0; k < n; ++k) {
+    std::vector<int> node_fds;
+    ForEachLocalEdge(num_exchanges, n, k, [&](int e, int s, int d) {
+      const std::array<int, 2>& p = pairs[pair_index(e, s, d)];
+      node_fds.push_back(s == k ? p[0] : p[1]);
+    });
+    net::ControlMessage run;
+    run.type = net::ControlType::kRunFragment;
+    run.epoch = epoch;
+    run.node = k;
+    run.kind = static_cast<std::int32_t>(kind);
+    // The crash victim sleeps past the kill window so the SIGKILL lands
+    // mid-query deterministically, not in a startup race.
+    run.start_delay_ms = (k == kill_node) ? 60 : 0;
+    const Status sent =
+        net::SendControl(process_fleet_->control_fd(k), run, node_fds);
+    if (!sent.ok()) {
+      close_pairs();
+      return sent;
+    }
+  }
+  close_pairs();  // node processes hold the only remaining ends
+
+  // Start barrier: every fragment has wired its transport before any
+  // executes, so a kill right after kGo hits all of them mid-query.
+  for (int k = 0; k < n; ++k) {
+    StatusOr<net::ControlMessage> started = net::ReceiveControl(
+        process_fleet_->control_fd(k), Duration::Seconds(30.0));
+    if (!started.ok()) {
+      return Status::Unavailable(
+          "node " + std::to_string(k) + " never reached the start barrier: " +
+          started.status().message());
+    }
+    if (started->type != net::ControlType::kStarted ||
+        started->epoch != epoch) {
+      return Status::Internal("start-barrier protocol violation");
+    }
+  }
+  for (int k = 0; k < n; ++k) {
+    net::ControlMessage go;
+    go.type = net::ControlType::kGo;
+    go.epoch = epoch;
+    const Status sent = net::SendControl(process_fleet_->control_fd(k), go);
+    if (!sent.ok()) return sent;
+  }
+  if (kill_node >= 0) process_fleet_->Kill(kill_node);
+
+  // Gather. Every live node is drained to its kFragmentDone even after
+  // another node failed — a survivor blocked writing results must not be
+  // left wedged against a full socket for the next dispatch to trip on.
+  ProcessRun out;
+  Status failure = Status::OK();
+  const auto note_failure = [&failure](Status st) {
+    if (failure.ok()) failure = std::move(st);
+  };
+  std::optional<storage::Schema> schema;
+  std::vector<std::shared_ptr<storage::Table>> node_tables(
+      static_cast<std::size_t>(n));
+  double wall_max = 0.0;
+  for (int k = 0; k < n; ++k) {
+    if (k == kill_node) {
+      note_failure(Status::Unavailable(
+          "node " + std::to_string(k) + " process died mid-query"));
+      continue;
+    }
+    std::shared_ptr<storage::Table> table;
+    for (;;) {
+      std::string frame;
+      StatusOr<net::FrameHeader> header =
+          net::ReceiveFrame(process_fleet_->control_fd(k),
+                            Duration::Seconds(60.0), &frame, nullptr);
+      if (!header.ok()) {
+        note_failure(Status::Unavailable(
+            "node " + std::to_string(k) + " fragment lost: " +
+            header.status().message()));
+        break;
+      }
+      if ((header->flags & net::kFrameControl) != 0) {
+        StatusOr<net::ControlMessage> msg =
+            net::ParseControl(*header, frame);
+        if (!msg.ok()) {
+          note_failure(msg.status());
+          break;
+        }
+        if (msg->type == net::ControlType::kResultHeader) {
+          StatusOr<storage::Schema> decoded =
+              net::DecodeSchema(msg->detail);
+          if (!decoded.ok()) {
+            note_failure(decoded.status());
+            break;
+          }
+          if (!schema.has_value()) schema = decoded.value();
+          table = std::make_shared<storage::Table>(
+              storage::Schema(decoded.value()));
+        } else if (msg->type == net::ControlType::kFragmentDone) {
+          if (msg->status_code != 0) {
+            note_failure(Status(
+                static_cast<StatusCode>(msg->status_code),
+                "node " + std::to_string(k) + ": " + msg->detail));
+          } else {
+            wall_max = std::max(wall_max, msg->wall_seconds);
+            out.tx_bytes += msg->tx_bytes;
+            out.rx_bytes += msg->rx_bytes;
+          }
+          break;
+        }
+        // Other control types mid-gather are stale noise; keep reading.
+      } else {
+        if (table == nullptr) {
+          note_failure(Status::Internal(
+              "node " + std::to_string(k) +
+              " sent result rows before its schema header"));
+          break;
+        }
+        StatusOr<net::DecodedFrame> decoded =
+            net::DecodeFrame(table->schema(), frame);
+        if (!decoded.ok()) {
+          note_failure(decoded.status());
+          break;
+        }
+        decoded->block.AppendLiveRowsTo(table.get());
+      }
+    }
+    node_tables[static_cast<std::size_t>(k)] = std::move(table);
+  }
+  if (!failure.ok()) return failure;
+  if (!schema.has_value()) {
+    return Status::Internal("no node reported a result schema");
+  }
+
+  // Node-order concatenation. Same row multiset as the in-process
+  // executor; row ORDER is nondeterministic on every path (exchange
+  // arrival interleaving), so identity gates compare unordered.
+  auto result = std::make_shared<storage::Table>(
+      storage::Schema(schema.value()));
+  for (int k = 0; k < n; ++k) {
+    const std::shared_ptr<storage::Table>& part =
+        node_tables[static_cast<std::size_t>(k)];
+    if (part == nullptr || part->num_rows() == 0) continue;
+    const storage::Block whole =
+        storage::Block::Borrow(part, 0, part->num_rows());
+    whole.AppendLiveRowsTo(result.get());
+  }
+  out.result_rows = result->num_rows();
+  out.table = std::move(result);
+  out.wall = Duration::Seconds(wall_max);
+  return out;
+}
+
+StatusOr<ProcessRun> EngineFleet::MeasureProcess(QueryKind kind) {
+  return RunProcessQuery(kind, /*kill_node=*/-1);
+}
+
+StatusOr<FaultMeasurement> EngineFleet::MeasureProcessWithCrash(
+    QueryKind kind, int crash_node, const EngineFaultOptions& fault) {
+  if (fault.max_attempts < 2) {
+    return Status::InvalidArgument("crash/recover needs >= 2 attempts");
+  }
+  // Fork both fleets while this process is still single-threaded: the
+  // survivor fleet first (its Create runs no queries), then our own,
+  // both before the threaded reference run below.
+  EEDC_ASSIGN_OR_RETURN(EngineFleet* degraded, Degraded(crash_node));
+  EEDC_RETURN_IF_ERROR(degraded->EnsureProcessFleet());
+  EEDC_RETURN_IF_ERROR(EnsureProcessFleet());
+
+  FaultMeasurement m;
+  m.kind = kind;
+  m.crash_node = crash_node;
+
+  // Fault-free ground truth, in-process on the full fleet.
+  EEDC_ASSIGN_OR_RETURN(EngineRun reference, RunOnce(kind));
+
+  // Attempt 1: dispatch with the victim delayed, SIGKILL it right after
+  // the start barrier. The coordinator sees its control stream end; the
+  // survivors see their data edges die (Unavailable, not SIGPIPE).
+  StatusOr<ProcessRun> first = RunProcessQuery(kind, crash_node);
+  m.attempts = 1;
+  if (first.ok()) {
+    // The fragments outran the kill; nothing to recover from.
+    m.completed = true;
+    m.wall = first->wall;
+    m.result = first->table;
+    m.result_rows = first->result_rows;
+    m.rows_match = exec::TablesEqualUnordered(*reference.table, *m.result,
+                                              1e-6, &m.mismatch);
+    return m;
+  }
+
+  // Failover: the survivor sub-fleet's own process fleet re-runs the
+  // query. Energy stays unmetered on this path (see ProcessRun).
+  Status last = first.status();
+  for (int attempt = 2; attempt <= fault.max_attempts; ++attempt) {
+    m.attempts = attempt;
+    StatusOr<ProcessRun> retry = degraded->MeasureProcess(kind);
+    if (!retry.ok()) {
+      last = retry.status();
+      continue;
+    }
+    m.completed = true;
+    m.wall = retry->wall;
+    m.result = retry->table;
+    m.result_rows = retry->result_rows;
     m.rows_match = exec::TablesEqualUnordered(*reference.table, *m.result,
                                               1e-6, &m.mismatch);
     return m;

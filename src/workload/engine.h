@@ -37,7 +37,9 @@
 #include "energy/meter.h"
 #include "exec/executor.h"
 #include "exec/profile.h"
+#include "net/control.h"
 #include "net/inproc.h"
+#include "net/process.h"
 #include "obs/trace.h"
 #include "tpch/dbgen.h"
 #include "workload/driver.h"
@@ -58,6 +60,11 @@ struct EngineFleetOptions {
   /// Forwarded to PlacementOptions: degraded survivor fleets set this so
   /// a mixed fleet that lost its last beefy still hosts joins somewhere.
   bool promote_joiner_when_no_beefy = false;
+  /// Spawns the one-OS-process-per-node fleet eagerly at Create (it is
+  /// otherwise forked lazily on the first MeasureProcess). Either way the
+  /// fork happens while the parent is single-threaded — eager spawn
+  /// merely moves startup cost out of the first measurement.
+  bool process_fleet = false;
 };
 
 /// Adds `joules` to the class's entry in a (class name, energy) list,
@@ -91,6 +98,24 @@ struct EngineRun {
   Duration wall = Duration::Zero();
   Energy joules = Energy::Zero();
   std::shared_ptr<const storage::Table> table;
+};
+
+/// One execution on the multi-process fleet: every node ran as its own
+/// OS process, plan fragments were dispatched over the control protocol
+/// (net/control.h) and data crossed real sockets. Not energy-metered —
+/// the meter's activity listener cannot observe worker spans in other
+/// processes; energy claims stay with the in-process paths.
+struct ProcessRun {
+  Duration wall = Duration::Zero();  // max per-node fragment wall
+  std::size_t result_rows = 0;
+  /// Gathered result, concatenated in node order — row-identical (same
+  /// row multiset) to the in-process executor's; row order is
+  /// nondeterministic on every path.
+  std::shared_ptr<const storage::Table> table;
+  /// Logical bytes the fragments shipped to / received from remote
+  /// nodes, summed over the fleet (the conservation gate's inputs).
+  double tx_bytes = 0.0;
+  double rx_bytes = 0.0;
 };
 
 /// One query's outcome inside a measured co-run.
@@ -224,6 +249,27 @@ class EngineFleet {
   StatusOr<FaultMeasurement> MeasureWithCrash(
       QueryKind kind, int crash_node, const EngineFaultOptions& fault = {});
 
+  /// Runs `kind` on the multi-process fleet: one coordinator (this
+  /// process) dispatches serialized plan fragments to one OS process per
+  /// node, data crosses real TCP/AF_UNIX sockets, and per-node results
+  /// gather back over the control channel. The fleet is forked on first
+  /// use. Rows are identical to the in-process paths as multisets (row
+  /// order is nondeterministic everywhere).
+  StatusOr<ProcessRun> MeasureProcess(QueryKind kind);
+
+  /// The crash/recover gate with a REAL crash: dispatches `kind` to the
+  /// process fleet with a start delay on `crash_node`, SIGKILLs that
+  /// node's process right after the start barrier releases, observes the
+  /// dead edges (peers see stream EOF, the coordinator sees control EOF
+  /// — never a SIGPIPE death or a wedged receiver), then fails over to
+  /// the survivor fleet's own process fleet and row-compares the retry
+  /// against a fault-free in-process reference. The killed node stays
+  /// dead: later MeasureProcess calls on THIS fleet fail, so run crash
+  /// episodes after the healthy measurements. Energy fields of the
+  /// measurement stay zero (see ProcessRun).
+  StatusOr<FaultMeasurement> MeasureProcessWithCrash(
+      QueryKind kind, int crash_node, const EngineFaultOptions& fault = {});
+
   /// Survivor sub-fleet with `crash_node` removed (lazily built and
   /// memoized per crashed node). The same dbgen seed is re-partitioned
   /// over the n-1 survivors, so the global row multiset — and therefore
@@ -244,6 +290,20 @@ class EngineFleet {
 
   Status Init();
 
+  /// Forks the node processes if not already running. Must be called
+  /// while this process is single-threaded (between queries — every
+  /// worker and reader thread joined), which all callers satisfy.
+  Status EnsureProcessFleet();
+  /// Child-side control loop (never returns; _exits).
+  void NodeServeLoop(int node, int control_fd);
+  /// Serves one kRunFragment in the child: wires the pre-connected
+  /// transport, runs the local fragment, streams the result back.
+  void ServeFragment(int node, int control_fd,
+                     const net::ControlMessage& run, std::vector<int> fds);
+  /// Coordinator-side dispatch of one query epoch. kill_node >= 0
+  /// SIGKILLs that node right after the start barrier (the crash gate).
+  StatusOr<ProcessRun> RunProcessQuery(QueryKind kind, int kill_node);
+
   cluster::ClusterConfig fleet_;  // placements point into this copy
   EngineFleetOptions options_;
   tpch::TpchDatabase db_;
@@ -259,6 +319,10 @@ class EngineFleet {
   std::array<std::optional<EngineMeasurement>, kNumQueryKinds> cache_;
   /// Index = crashed node id; built on first failover to that node.
   std::vector<std::unique_ptr<EngineFleet>> degraded_;
+  /// One OS process per node (lazily forked); coordinator side.
+  std::unique_ptr<net::ProcessFleet> process_fleet_;
+  /// Per-dispatch query sequence number tagging control traffic.
+  std::uint32_t process_epoch_ = 0;
 };
 
 }  // namespace eedc::workload

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "exec/channel.h"
+#include "obs/metrics_registry.h"
 #include "exec/exchange_op.h"
 #include "exec/scan_op.h"
 #include "storage/partitioner.h"
@@ -181,6 +182,29 @@ std::vector<Table> RunExchange(ExchangeMode mode,
   for (auto& t : threads) t.join();
   if (metrics_out) *metrics_out = std::move(metrics);
   return results;
+}
+
+TEST(BlockChannelTest, BytesQueuedGaugeReadsExactlyZeroAfterDrain) {
+  // Fractional logical widths made the old double accumulator drift
+  // (+= then -= of the same block need not cancel); the integer gauge
+  // must read exactly 0.0 — not merely nearly — once drained.
+  const Schema skewed{Field{"k", DataType::kInt64, 5.3},
+                      Field{"pad", DataType::kString, 17.7}};
+  obs::MetricsRegistry registry;
+  BlockChannel ch(1);
+  ch.AttachMetrics(&registry, "chan.test");
+  for (int round = 0; round < 1000; ++round) {
+    Block b(skewed);
+    for (int r = 0; r < 1 + round % 7; ++r) {
+      b.AppendRow({std::int64_t{round}, std::string("x")});
+    }
+    ch.Send(std::move(b));
+    ASSERT_TRUE(ch.Receive().has_value());
+  }
+  ch.SenderDone();
+  EXPECT_FALSE(ch.Receive().has_value());
+  EXPECT_EQ(registry.gauge("chan.test.queue_depth"), 0.0);
+  EXPECT_EQ(registry.gauge("chan.test.bytes_queued"), 0.0);  // exact
 }
 
 TEST(ExchangeOpTest, ShuffleDeliversEveryRowToItsHashNode) {

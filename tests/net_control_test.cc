@@ -1,0 +1,142 @@
+// Coordinator <-> node control protocol (net/control.h): message
+// round-trips over a real socketpair, SCM_RIGHTS fd passing, schema
+// serialization, and the bounded-receive guarantees (EOF is Unavailable,
+// a silent peer is DeadlineExceeded — never a hang).
+#include "net/control.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace eedc::net {
+namespace {
+
+using storage::DataType;
+using storage::Field;
+using storage::Schema;
+
+class ControlPairTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(ControlPairTest, RoundTripsEveryField) {
+  ControlMessage sent;
+  sent.type = ControlType::kFragmentDone;
+  sent.epoch = 7;
+  sent.node = 3;
+  sent.kind = 2;
+  sent.status_code = 14;
+  sent.start_delay_ms = 60;
+  sent.rows = 123456789012345;
+  sent.wall_seconds = 0.125;
+  sent.tx_bytes = 4096.5;
+  sent.rx_bytes = 8192.25;
+  sent.detail = "node 3: exchange edge died";
+  ASSERT_TRUE(SendControl(fds_[0], sent).ok());
+
+  auto got = ReceiveControl(fds_[1], Duration::Seconds(5.0));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->type, ControlType::kFragmentDone);
+  EXPECT_EQ(got->epoch, 7u);
+  EXPECT_EQ(got->node, 3);
+  EXPECT_EQ(got->kind, 2);
+  EXPECT_EQ(got->status_code, 14);
+  EXPECT_EQ(got->start_delay_ms, 60);
+  EXPECT_EQ(got->rows, 123456789012345);
+  EXPECT_DOUBLE_EQ(got->wall_seconds, 0.125);
+  EXPECT_DOUBLE_EQ(got->tx_bytes, 4096.5);
+  EXPECT_DOUBLE_EQ(got->rx_bytes, 8192.25);
+  EXPECT_EQ(got->detail, "node 3: exchange edge died");
+}
+
+TEST_F(ControlPairTest, PassesFdsViaScmRights) {
+  // Ship one end of a second pair through the control channel and prove
+  // the received fd is the same stream.
+  int carried[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, carried), 0);
+
+  ControlMessage run;
+  run.type = ControlType::kRunFragment;
+  run.epoch = 1;
+  ASSERT_TRUE(SendControl(fds_[0], run, {carried[0]}).ok());
+  ::close(carried[0]);  // sender's copy; the in-flight dup survives
+
+  std::vector<int> received;
+  auto got = ReceiveControl(fds_[1], Duration::Seconds(5.0), &received);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->type, ControlType::kRunFragment);
+  ASSERT_EQ(received.size(), 1u);
+
+  ASSERT_EQ(::send(received[0], "ping", 4, 0), 4);
+  char buf[8] = {0};
+  ASSERT_EQ(::recv(carried[1], buf, sizeof(buf), 0), 4);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  ::close(received[0]);
+  ::close(carried[1]);
+}
+
+TEST_F(ControlPairTest, PeerEofIsUnavailableNotAHang) {
+  ::close(fds_[0]);
+  fds_[0] = -1;
+  auto got = ReceiveControl(fds_[1], Duration::Seconds(5.0));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ControlPairTest, SilentPeerIsDeadlineExceeded) {
+  auto got = ReceiveControl(fds_[1], Duration::Seconds(0.05));
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ControlPairTest, SendToClosedPeerIsUnavailableNotSigpipe) {
+  ::close(fds_[1]);
+  fds_[1] = -1;
+  ControlMessage msg;
+  msg.type = ControlType::kGo;
+  // First write may land in the buffer of a half-closed socketpair;
+  // repeated writes must surface Unavailable without killing the
+  // process via SIGPIPE.
+  Status last = Status::OK();
+  for (int i = 0; i < 64 && last.ok(); ++i) last = SendControl(fds_[0], msg);
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kUnavailable);
+}
+
+TEST(ControlSchemaTest, SchemaRoundTripsExactly) {
+  const Schema schema{Field{"l_orderkey", DataType::kInt64, 8},
+                      Field{"l_comment", DataType::kString, 26.5},
+                      Field{"l_extendedprice", DataType::kDouble, 8}};
+  auto decoded = DecodeSchema(EncodeSchema(schema));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->fields().size(), schema.fields().size());
+  for (std::size_t i = 0; i < schema.fields().size(); ++i) {
+    EXPECT_EQ(decoded->fields()[i].name, schema.fields()[i].name);
+    EXPECT_EQ(decoded->fields()[i].type, schema.fields()[i].type);
+    EXPECT_DOUBLE_EQ(decoded->fields()[i].logical_width,
+                     schema.fields()[i].logical_width);
+  }
+}
+
+TEST(ControlSchemaTest, RejectsTruncatedSchemaBytes) {
+  const Schema schema{Field{"k", DataType::kInt64, 8}};
+  std::string bytes = EncodeSchema(schema);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DecodeSchema(bytes).ok());
+}
+
+}  // namespace
+}  // namespace eedc::net

@@ -1,0 +1,105 @@
+// ProcessFleet lifecycle (net/process.h): spawn/hello/shutdown of real
+// forked node processes, SIGKILL of a member observed as control-stream
+// EOF, and the fail-fast spawn path — a node that never says hello fails
+// the whole spawn with DeadlineExceeded instead of wedging the
+// coordinator.
+#include "net/process.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "net/control.h"
+
+namespace eedc::net {
+namespace {
+
+/// A well-behaved node: hello, then echo kGo epochs back as kStarted
+/// until shutdown.
+void EchoNodeMain(int node, int control_fd) {
+  ControlMessage hello;
+  hello.type = ControlType::kHello;
+  hello.node = node;
+  if (!SendControl(control_fd, hello).ok()) _exit(1);
+  for (;;) {
+    auto msg = ReceiveControl(control_fd, Duration::Seconds(30.0));
+    if (!msg.ok()) _exit(0);
+    if (msg->type == ControlType::kShutdown) _exit(0);
+    if (msg->type == ControlType::kGo) {
+      ControlMessage reply;
+      reply.type = ControlType::kStarted;
+      reply.node = node;
+      reply.epoch = msg->epoch;
+      if (!SendControl(control_fd, reply).ok()) _exit(1);
+    }
+  }
+}
+
+TEST(ProcessFleetTest, SpawnsTalksAndShutsDown) {
+  auto fleet = ProcessFleet::Spawn(3, EchoNodeMain);
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  EXPECT_EQ((*fleet)->num_nodes(), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE((*fleet)->alive(i));
+    ControlMessage go;
+    go.type = ControlType::kGo;
+    go.epoch = 41u + static_cast<std::uint32_t>(i);
+    ASSERT_TRUE(SendControl((*fleet)->control_fd(i), go).ok());
+    auto reply =
+        ReceiveControl((*fleet)->control_fd(i), Duration::Seconds(10.0));
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply->type, ControlType::kStarted);
+    EXPECT_EQ(reply->node, i);
+    EXPECT_EQ(reply->epoch, 41u + static_cast<std::uint32_t>(i));
+  }
+  (*fleet)->Shutdown();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE((*fleet)->alive(i));
+    EXPECT_EQ((*fleet)->control_fd(i), -1);
+  }
+}
+
+TEST(ProcessFleetTest, KilledNodeIsReapedAndSurvivorsKeepServing) {
+  auto fleet = ProcessFleet::Spawn(2, EchoNodeMain);
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  const pid_t victim = (*fleet)->pid(0);
+  (*fleet)->Kill(0);
+  EXPECT_FALSE((*fleet)->alive(0));
+  // Reaped: the pid is gone (waitpid on it errors with ECHILD).
+  EXPECT_EQ(::waitpid(victim, nullptr, WNOHANG), -1);
+  // The survivor still serves.
+  ControlMessage go;
+  go.type = ControlType::kGo;
+  go.epoch = 9;
+  ASSERT_TRUE(SendControl((*fleet)->control_fd(1), go).ok());
+  auto reply =
+      ReceiveControl((*fleet)->control_fd(1), Duration::Seconds(10.0));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->epoch, 9u);
+}
+
+TEST(ProcessFleetTest, NodeThatNeverConnectsFailsTheSpawnFast) {
+  // Node 1 wedges without ever saying hello; the spawn must give up at
+  // the hello timeout, kill and reap the brood, and say which node.
+  ProcessFleet::Options options;
+  options.hello_timeout = Duration::Seconds(0.2);
+  auto fleet = ProcessFleet::Spawn(
+      2,
+      [](int node, int control_fd) {
+        if (node == 1) {
+          ::pause();  // never reports for duty
+          _exit(0);
+        }
+        EchoNodeMain(node, control_fd);
+      },
+      options);
+  ASSERT_FALSE(fleet.ok());
+  EXPECT_EQ(fleet.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(fleet.status().message().find("node 1"), std::string::npos)
+      << fleet.status();
+}
+
+}  // namespace
+}  // namespace eedc::net

@@ -110,9 +110,11 @@ void ExpectLogicallyIdentical(const Block& original, const Block& decoded) {
 
 void RoundTrip(const Block& block, std::uint64_t seed) {
   std::string bytes;
-  const FrameHeader header =
+  const StatusOr<FrameHeader> encoded =
       EncodeBlockFrame(block, /*exchange_id=*/7, /*source_node=*/1,
                        /*dest_node=*/2, &bytes);
+  ASSERT_TRUE(encoded.ok()) << encoded.status() << " (seed " << seed << ")";
+  const FrameHeader& header = encoded.value();
   EXPECT_EQ(header.row_count, block.size());
   EXPECT_EQ(bytes.size(), kFrameHeaderBytes + header.payload_bytes);
 
@@ -189,7 +191,7 @@ TEST(WireHeaderTest, RejectsForeignMagicAndVersion) {
   Block b(schema);
   b.AppendRow({std::int64_t{42}});
   std::string bytes;
-  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+  ASSERT_TRUE(EncodeBlockFrame(b, 0, 0, 1, &bytes).ok());
 
   std::string bad_magic = bytes;
   bad_magic[0] = 'X';
@@ -208,7 +210,7 @@ TEST(WireDecodeTest, RejectsSchemaDigestMismatch) {
   Block b(sender);
   b.AppendRow({std::int64_t{1}});
   std::string bytes;
-  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+  ASSERT_TRUE(EncodeBlockFrame(b, 0, 0, 1, &bytes).ok());
   EXPECT_FALSE(DecodeFrame(receiver, bytes).ok());
 }
 
@@ -218,10 +220,96 @@ TEST(WireDecodeTest, RejectsTruncatedAndOversizedFrames) {
   Block b(schema);
   b.AppendRow({std::int64_t{7}, std::string("hello")});
   std::string bytes;
-  EncodeBlockFrame(b, 0, 0, 1, &bytes);
+  ASSERT_TRUE(EncodeBlockFrame(b, 0, 0, 1, &bytes).ok());
 
   EXPECT_FALSE(DecodeFrame(schema, bytes.substr(0, bytes.size() - 1)).ok());
   EXPECT_FALSE(DecodeFrame(schema, bytes + "x").ok());
+}
+
+TEST(WireOversizeTest, SingleFrameEncodeRefusesOversizedPayload) {
+  const Schema schema{Field{"s", DataType::kString, 64}};
+  Block b(schema, 16);
+  for (int r = 0; r < 8; ++r) {
+    b.AppendRow({std::string(100, 'x')});
+  }
+  // The block's payload (~800 string bytes plus framing) cannot fit a
+  // 64-byte ceiling; the encoder must refuse — appending NOTHING, so a
+  // truncated frame can never reach the stream.
+  std::string bytes = "preserved";
+  const auto encoded =
+      EncodeBlockFrame(b, 0, 0, 1, &bytes, /*max_payload_bytes=*/64);
+  EXPECT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(bytes, "preserved");
+}
+
+TEST(WireOversizeTest, SplitFramesCoverEveryRowWithinTheBound) {
+  const Schema schema{Field{"k", DataType::kInt64, 8},
+                      Field{"s", DataType::kString, 32}};
+  Block b(schema, 64);
+  for (int r = 0; r < 40; ++r) {
+    b.AppendRow({std::int64_t{r}, std::string(25, static_cast<char>('a' + r % 26))});
+  }
+  const std::uint64_t bound = 256;
+  std::vector<EncodedFrame> frames;
+  ASSERT_TRUE(EncodeBlockFrames(b, 5, 1, 2, bound, &frames).ok());
+  EXPECT_GT(frames.size(), 1u);  // forced a split
+  std::size_t rows = 0;
+  std::int64_t next_key = 0;
+  for (const EncodedFrame& f : frames) {
+    auto parsed = ParseFrameHeader(f.bytes);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_LE(parsed->payload_bytes, bound);
+    EXPECT_EQ(f.bytes.size(), kFrameHeaderBytes + parsed->payload_bytes);
+    auto decoded = DecodeFrame(schema, f.bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->block.size(), f.rows);
+    // Frames arrive in row order: keys must continue the sequence.
+    for (std::size_t r = 0; r < decoded->block.size(); ++r) {
+      EXPECT_EQ(decoded->block.column(0).Int64At(r), next_key++);
+    }
+    rows += f.rows;
+  }
+  EXPECT_EQ(rows, 40u);
+  EXPECT_EQ(next_key, 40);
+}
+
+TEST(WireOversizeTest, SplitErrorsOnAnIndivisibleOversizedRow) {
+  const Schema schema{Field{"s", DataType::kString, 64}};
+  Block b(schema, 4);
+  b.AppendRow({std::string(1000, 'y')});
+  std::vector<EncodedFrame> frames;
+  const Status st = EncodeBlockFrames(b, 0, 0, 1, /*max_payload_bytes=*/64,
+                                      &frames);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WireOversizeTest, SplitGathersSelectionsBeforeHalving) {
+  const Schema schema{Field{"k", DataType::kInt64, 8}};
+  Block b(schema, 128);
+  for (int r = 0; r < 100; ++r) {
+    b.AppendRow({std::int64_t{r}});
+  }
+  std::vector<std::uint32_t> sel;
+  for (std::uint32_t r = 0; r < 100; r += 2) sel.push_back(r);
+  b.SetSelection(std::move(sel));
+  std::vector<EncodedFrame> frames;
+  ASSERT_TRUE(EncodeBlockFrames(b, 0, 0, 1, /*max_payload_bytes=*/128,
+                                &frames)
+                  .ok());
+  std::int64_t want = 0;
+  std::size_t rows = 0;
+  for (const EncodedFrame& f : frames) {
+    auto decoded = DecodeFrame(schema, f.bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    for (std::size_t r = 0; r < decoded->block.size(); ++r) {
+      EXPECT_EQ(decoded->block.column(0).Int64At(r), want);
+      want += 2;
+    }
+    rows += decoded->block.size();
+  }
+  EXPECT_EQ(rows, 50u);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// The multi-process fleet end to end (EngineFleet::MeasureProcess):
+// every node its own forked OS process, plan fragments dispatched over
+// the control protocol, data crossing real sockets — and the gathered
+// result row-identical (same row multiset) to the in-process executor's.
+// Plus
+// the real crash gate: SIGKILL a node process mid-query, observe the
+// dead edges, fail over to the survivor fleet's processes, and recover
+// row-identical results.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node_class.h"
+#include "exec/reference.h"
+#include "storage/table.h"
+#include "workload/engine.h"
+
+namespace eedc::workload {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::NodeClassRegistry;
+using cluster::NodeClassSpec;
+
+NodeClassSpec PaperClass(const char* name, int engine_workers) {
+  const NodeClassRegistry registry = NodeClassRegistry::PaperDefault();
+  auto found = registry.Find(name);
+  EEDC_CHECK(found.ok());
+  NodeClassSpec cls = **found;
+  cls.engine_workers = engine_workers;
+  return cls;
+}
+
+EngineFleetOptions FastOptions() {
+  EngineFleetOptions options;
+  options.scale_factor = 0.001;
+  options.repetitions = 1;
+  return options;
+}
+
+/// The repo's row-identity gate (net_executor_test and the cluster
+/// gates define "bit-identical" the same way): identical row MULTISETS.
+/// Row order is not part of the claim — exchange arrival interleaving
+/// makes it nondeterministic run to run on every path, in-process
+/// included.
+void ExpectRowIdentical(const storage::Table& want,
+                        const storage::Table& got) {
+  ASSERT_EQ(want.num_rows(), got.num_rows());
+  ASSERT_EQ(want.num_columns(), got.num_columns());
+  std::string diff;
+  EXPECT_TRUE(exec::TablesEqualUnordered(want, got, 1e-6, &diff)) << diff;
+}
+
+TEST(ProcessFleetEngineTest, EveryKindMatchesInProcessBitForBit) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (int k = 0; k < kNumQueryKinds; ++k) {
+    const QueryKind kind = static_cast<QueryKind>(k);
+    SCOPED_TRACE("kind=" + std::to_string(k));
+
+    auto process = (*engine)->MeasureProcess(kind);
+    ASSERT_TRUE(process.ok()) << process.status();
+    ASSERT_NE(process->table, nullptr);
+
+    auto want = (*engine)->RunOnce(kind);
+    ASSERT_TRUE(want.ok()) << want.status();
+
+    EXPECT_EQ(process->result_rows, want->table->num_rows());
+    ExpectRowIdentical(*want->table, *process->table);
+
+    // Conservation: what the fragments shipped, the fragments received
+    // (logical bytes; summation order differs across coalescing
+    // boundaries, hence the small relative tolerance).
+    if (process->tx_bytes > 0.0) {
+      EXPECT_NEAR(process->rx_bytes / process->tx_bytes, 1.0, 1e-6);
+    } else {
+      EXPECT_DOUBLE_EQ(process->rx_bytes, 0.0);
+    }
+  }
+}
+
+TEST(ProcessFleetEngineTest, RepeatDispatchesReuseTheFleet) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 1);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  auto first = (*engine)->MeasureProcess(QueryKind::kQ1);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = (*engine)->MeasureProcess(QueryKind::kQ1);
+  ASSERT_TRUE(second.ok()) << second.status();
+  ExpectRowIdentical(*first->table, *second->table);
+}
+
+TEST(ProcessFleetEngineTest, SigkilledNodeProcessRecoversRowIdentical) {
+  const ClusterConfig fleet = ClusterConfig::BeefyWimpy(
+      PaperClass("beefy", 2), 1, PaperClass("wimpy", 1), 2);
+  auto engine = EngineFleet::Create(fleet, FastOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  const int crash_node = 1;  // a wimpy fact-shard holder
+  auto m = (*engine)->MeasureProcessWithCrash(QueryKind::kQ3, crash_node);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->completed);
+  EXPECT_TRUE(m->rows_match) << m->mismatch;
+  EXPECT_GE(m->attempts, 1);
+  ASSERT_NE(m->result, nullptr);
+
+  // The killed node stays dead: a healthy dispatch on this fleet now
+  // reports the corpse instead of wedging.
+  auto after = (*engine)->MeasureProcess(QueryKind::kQ1);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace eedc::workload
